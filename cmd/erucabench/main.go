@@ -1,0 +1,101 @@
+// Command erucabench regenerates the tables and figures of the ERUCA
+// paper's evaluation. Each experiment prints a text table alongside the
+// paper's reported numbers for comparison.
+//
+// Examples:
+//
+//	erucabench -exp fig12 -instrs 250000
+//	erucabench -exp all -frag 0.1
+//	erucabench -exp fig13a -frag 0.5 -mixes mix0,mix2,mix4,mix6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"eruca/internal/exp"
+)
+
+func main() {
+	var (
+		which  = flag.String("exp", "all", "experiment: tab1, tab2, tab3, fig4, fig11, fig12, fig13a, fig13b, fig14, fig15, fig16a, fig16b, locality, ablations, all")
+		instrs = flag.Int64("instrs", 250_000, "measured instructions per core")
+		warmup = flag.Int64("warmup", 0, "warmup instructions per core (default instrs/2)")
+		seed   = flag.Int64("seed", 42, "simulation seed")
+		frag   = flag.Float64("frag", 0.1, "memory fragmentation (FMFI)")
+		mixes  = flag.String("mixes", "", "comma-separated mix subset (default all nine)")
+		quiet  = flag.Bool("q", false, "suppress progress output")
+		chart  = flag.Bool("chart", false, "render numeric results as bar charts too")
+	)
+	flag.Parse()
+
+	p := exp.Params{Instrs: *instrs, Warmup: *warmup, Seed: *seed}
+	if *mixes != "" {
+		p.Mixes = strings.Split(*mixes, ",")
+	}
+	if !*quiet {
+		p.Log = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+	}
+	r := exp.NewRunner(p)
+
+	type experiment struct {
+		name string
+		run  func() (*exp.Table, error)
+	}
+	static := func(t *exp.Table) func() (*exp.Table, error) {
+		return func() (*exp.Table, error) { return t, nil }
+	}
+	all := []experiment{
+		{"tab1", static(exp.Tab1())},
+		{"tab2", static(exp.Tab2())},
+		{"tab3", static(exp.Tab3())},
+		{"fig4", func() (*exp.Table, error) { return r.Fig4(*frag) }},
+		{"locality", func() (*exp.Table, error) { return r.Locality(*frag) }},
+		{"fig11", static(exp.Fig11())},
+		{"fig12", func() (*exp.Table, error) { return r.Fig12(*frag) }},
+		{"fig13a", func() (*exp.Table, error) { return r.Fig13a(*frag) }},
+		{"fig13b", func() (*exp.Table, error) { return r.Fig13b(*frag) }},
+		{"fig14", func() (*exp.Table, error) { return r.Fig14(*frag) }},
+		{"fig15", func() (*exp.Table, error) { return r.Fig15(*frag) }},
+		{"fig16a", func() (*exp.Table, error) { return r.Fig16a(*frag) }},
+		{"fig16b", func() (*exp.Table, error) { return r.Fig16b(*frag) }},
+		{"ablations", func() (*exp.Table, error) { return r.Ablations(*frag) }},
+		{"repair", static(exp.Repair())},
+		{"gddr5", func() (*exp.Table, error) { return r.GDDR5(*frag) }},
+	}
+
+	selected := all
+	if *which != "all" {
+		selected = nil
+		for _, e := range all {
+			if e.name == *which {
+				selected = append(selected, e)
+			}
+		}
+		if len(selected) == 0 {
+			fmt.Fprintf(os.Stderr, "erucabench: unknown experiment %q\n", *which)
+			os.Exit(2)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		t, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "erucabench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Format())
+		if *chart {
+			if c := t.Chart(); c != "" {
+				fmt.Println(c)
+			}
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "  [%s took %.1fs]\n", e.name, time.Since(start).Seconds())
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Command erucasim runs one ERUCA simulation: a DRAM configuration from
+// the preset registry against a SPEC2006-style mix or ad-hoc benchmark
+// list, printing performance, DRAM-event and energy summaries.
+//
+// Examples:
+//
+//	erucasim -system vsb-ewlr-rap-ddb -mix mix0 -instrs 500000
+//	erucasim -system ddr4 -bench mcf,lbm -frag 0.5
+//	erucasim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"eruca/internal/config"
+	"eruca/internal/sim"
+	"eruca/internal/workload"
+)
+
+func main() {
+	var (
+		system = flag.String("system", "ddr4", "system preset (see -list)")
+		mixN   = flag.String("mix", "", "Tab. III mix name (mix0..mix8)")
+		bench  = flag.String("bench", "", "comma-separated benchmarks (alternative to -mix)")
+		planes = flag.Int("planes", 4, "plane count for sub-banked systems")
+		bus    = flag.Float64("bus", config.DefaultBusMHz, "channel frequency (MHz)")
+		instrs = flag.Int64("instrs", 500_000, "instructions per core")
+		frag   = flag.Float64("frag", 0.1, "target memory fragmentation (FMFI)")
+		seed   = flag.Int64("seed", 42, "simulation seed")
+		list   = flag.Bool("list", false, "list systems, benchmarks and mixes")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("systems:   ", strings.Join(config.RegistryNames(), " "))
+		fmt.Println("benchmarks:", strings.Join(workload.Names(), " "))
+		var mixes []string
+		for _, m := range workload.Mixes() {
+			mixes = append(mixes, m.Name)
+		}
+		fmt.Println("mixes:     ", strings.Join(mixes, " "))
+		return
+	}
+
+	sys, err := config.ByName(*system, *planes, *bus)
+	if err != nil {
+		fatal(err)
+	}
+
+	var benches []string
+	switch {
+	case *bench != "":
+		benches = strings.Split(*bench, ",")
+	case *mixN != "":
+		m, err := workload.MixByName(*mixN)
+		if err != nil {
+			fatal(err)
+		}
+		benches = m.Bench
+	default:
+		m, _ := workload.MixByName("mix0")
+		benches = m.Bench
+	}
+
+	res, err := sim.Run(sim.Options{
+		Sys: sys, Benches: benches, Instrs: *instrs, Frag: *frag, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("system        %s (bus %.0fMHz, %d effective banks/rank)\n",
+		sys.Name, sys.Bus.FreqMHz(), sys.EffectiveBanksPerRank())
+	fmt.Printf("workloads     %s (FMFI %.2f, huge coverage %.0f%%)\n",
+		strings.Join(benches, ","), res.AchievedFMFI, res.HugeCoverage*100)
+	fmt.Printf("bus cycles    %d (%.1f us)\n", res.BusCycles, res.ElapsedNS/1000)
+	for i, ipc := range res.IPC {
+		fmt.Printf("core %d        %-10s IPC %.3f  MPKI %.1f\n", i, benches[i], ipc, res.MPKI[i])
+	}
+	d := res.DRAM
+	fmt.Printf("dram          ACT %d (EWLR hits %d)  RD %d  WR %d  PRE %d (plane-conflict %d, partial %d)  REF %d\n",
+		d.Acts, d.ActsEWLRHit, d.Reads, d.Writes, d.Pres, d.PlaneConfPre, d.PartialPres, d.Refreshes)
+	fmt.Printf("row hit rate  %.1f%%   plane-conflict PREs %.1f%%\n",
+		res.RowHitRate()*100, res.PlaneConflictPreFrac()*100)
+	q1, med, q3 := res.QueueLat.Quartiles()
+	fmt.Printf("read queueing mean %.1fns  q1 %.1f  med %.1f  q3 %.1f\n",
+		res.QueueLat.Mean(), q1, med, q3)
+	e := res.Energy
+	fmt.Printf("energy (uJ)   background %.1f  act %.1f  rd/wr %.1f  refresh %.1f  total %.1f\n",
+		e.BackgroundNJ/1000, e.ActNJ/1000, e.RdWrNJ/1000, e.RefreshNJ/1000, e.TotalNJ()/1000)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "erucasim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,126 @@
+// Command erucatrace captures DRAM transaction traces from a simulated
+// workload and runs the paper's Fig. 4 analyses on them: plane-conflict
+// classification across plane counts and the row-address locality
+// profile. Traces can also be dumped as CSV for external tooling.
+//
+// Examples:
+//
+//	erucatrace -bench mcf,lbm -analyze planes
+//	erucatrace -mix mix0 -analyze locality -frag 0.5
+//	erucatrace -bench mcf -dump trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"eruca/internal/addrmap"
+	"eruca/internal/config"
+	"eruca/internal/sim"
+	"eruca/internal/trace"
+	"eruca/internal/workload"
+)
+
+func main() {
+	var (
+		mixN    = flag.String("mix", "", "Tab. III mix name")
+		bench   = flag.String("bench", "mcf", "comma-separated benchmarks")
+		instrs  = flag.Int64("instrs", 150_000, "instructions per core")
+		frag    = flag.Float64("frag", 0.1, "memory fragmentation (FMFI)")
+		seed    = flag.Int64("seed", 42, "simulation seed")
+		analyze = flag.String("analyze", "planes", "analysis: planes, locality, none")
+		dump    = flag.String("dump", "", "write the raw trace as CSV to this file")
+		load    = flag.String("load", "", "analyze an existing CSV trace instead of simulating")
+	)
+	flag.Parse()
+
+	var recs []trace.Record
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fatal(err)
+		}
+		recs, err = trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d transactions from %s\n", len(recs), *load)
+	} else {
+		benches := strings.Split(*bench, ",")
+		if *mixN != "" {
+			m, err := workload.MixByName(*mixN)
+			if err != nil {
+				fatal(err)
+			}
+			benches = m.Bench
+		}
+		_, err := sim.Run(sim.Options{
+			Sys: config.Baseline(config.DefaultBusMHz), Benches: benches,
+			Instrs: *instrs, Frag: *frag, Seed: *seed,
+			Capture: func(r trace.Record) { recs = append(recs, r) },
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "captured %d transactions from %s\n", len(recs), strings.Join(benches, ","))
+	}
+
+	if *dump != "" {
+		if err := dumpCSV(*dump, recs); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *dump)
+	}
+
+	vsb := config.VSB(4, false, false, false, config.DefaultBusMHz)
+	mapper := addrmap.New(vsb)
+	view := func(pa uint64) (int, int, uint32) {
+		l := mapper.Map(pa)
+		return l.Channel<<8 | mapper.BankID(l), l.Sub, l.Row
+	}
+	tm := config.DDR4Timing()
+	tRC := tm.TRASns + tm.TRPns
+
+	switch *analyze {
+	case "none":
+	case "planes":
+		var counts []int
+		for p := 2; p <= 1<<uint(mapper.RowBits()-1); p *= 2 {
+			counts = append(counts, p)
+		}
+		pts := trace.AnalyzePlaneConflicts(recs, view, mapper.RowBits(), tRC, counts)
+		fmt.Printf("%-8s %15s %18s %13s\n", "planes", "plane conflict", "no plane conflict", "overlapping")
+		for _, p := range pts {
+			fmt.Printf("%-8d %14.1f%% %17.1f%% %12.1f%%\n",
+				p.Planes, p.PlaneConflict*100, p.NoPlaneConflict*100, p.Overlapping*100)
+		}
+	case "locality":
+		prof := trace.LocalityProfile(recs, view, mapper.RowBits(), tRC)
+		fmt.Printf("%-10s %10s\n", "top-k MSBs", "P(match)")
+		for k, p := range prof {
+			fmt.Printf("%-10d %9.1f%%\n", k, p*100)
+		}
+	default:
+		fatal(fmt.Errorf("unknown analysis %q", *analyze))
+	}
+}
+
+func dumpCSV(path string, recs []trace.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteCSV(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "erucatrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,152 @@
+// Package eruca is a simulation library reproducing ERUCA — Efficient
+// DRAM Resource Utilization and Conflict Avoidance for Memory System
+// Parallelism (Lym et al., HPCA 2018).
+//
+// ERUCA raises effective DRAM bank parallelism at near-zero die cost by
+// splitting each x4 Combo-DRAM bank into two vertical sub-banks (VSB)
+// and attacking the conflicts on the resources the sub-banks share:
+//
+//   - EWLR (effective wordline range) lets both sub-banks stay active in
+//     one plane when their rows share a main-wordline address;
+//   - RAP (row address permutation) inverts one sub-bank's plane-ID bits
+//     so huge-page-induced MSB locality stops causing plane conflicts;
+//   - DDB (dual data bus) switches in the chip-global bus that is idle
+//     in x4 mode, doubling per-bank-group column bandwidth under the
+//     tTCW/tTWTRW two-command windows.
+//
+// The library contains everything needed to reproduce the paper's
+// evaluation: a cycle-level DDR4 timing engine with sub-banks, planes,
+// MASA subarrays and DDB; an FR-FCFS memory controller; trace-driven
+// out-of-order cores with caches; a buddy allocator with transparent
+// huge pages and controllable fragmentation; synthetic SPEC2006-like
+// workloads; and energy/area models.
+//
+// Quick start:
+//
+//	res, err := eruca.Simulate("vsb-ewlr-rap-ddb", []string{"mcf", "lbm"}, eruca.RunConfig{})
+//	base, err := eruca.Simulate("ddr4", []string{"mcf", "lbm"}, eruca.RunConfig{})
+//	// compare res.IPC against base.IPC
+//
+// Every configuration of the paper's figures is available by preset name
+// (see Presets), and the full figure harness is exposed through
+// NewExperiments. The cmd/erucasim and cmd/erucabench binaries wrap the
+// same entry points.
+package eruca
+
+import (
+	"eruca/internal/area"
+	"eruca/internal/config"
+	"eruca/internal/exp"
+	"eruca/internal/sim"
+	"eruca/internal/trace"
+	"eruca/internal/workload"
+)
+
+// System is a fully resolved machine configuration (DRAM geometry,
+// scheme, timing, controller and CPU parameters).
+type System = config.System
+
+// Scheme describes a sub-banking/conflict-avoidance design point.
+type Scheme = config.Scheme
+
+// Result is the outcome of one simulation run: per-core IPC and MPKI,
+// DRAM command statistics, latency distributions and energy.
+type Result = sim.Result
+
+// TraceRecord is one captured DRAM transaction (for Fig. 4-style
+// analyses).
+type TraceRecord = trace.Record
+
+// Mix is a named multiprogrammed workload.
+type Mix = workload.Mix
+
+// Presets lists the configuration names accepted by NewSystem and
+// Simulate — every design point of the paper's evaluation.
+func Presets() []string { return config.RegistryNames() }
+
+// Benchmarks lists the modeled SPEC CPU2006 workloads.
+func Benchmarks() []string { return workload.Names() }
+
+// Mixes returns the nine 4-program mixes of Tab. III.
+func Mixes() []Mix { return workload.Mixes() }
+
+// NewSystem builds a preset system. planes selects the plane count for
+// sub-banked presets (0 = the paper's default of 4); busMHz selects the
+// channel frequency (0 = 1333, the Tab. III default).
+func NewSystem(preset string, planes int, busMHz float64) (*System, error) {
+	return config.ByName(preset, planes, busMHz)
+}
+
+// RunConfig controls a simulation run. The zero value uses sensible
+// defaults: 250k measured instructions per core after a 125k warmup,
+// 10% memory fragmentation, seed 42.
+type RunConfig struct {
+	// Instrs is the measured instruction budget per core.
+	Instrs int64
+	// Warmup instructions run before measurement (default Instrs/2).
+	Warmup int64
+	// Frag is the target free-memory fragmentation index.
+	Frag float64
+	// FragSet marks Frag as explicit (distinguishes 0 from default).
+	FragSet bool
+	// Seed drives all randomness (default 42).
+	Seed int64
+	// Planes / BusMHz configure the preset (0 = paper defaults).
+	Planes int
+	BusMHz float64
+	// Capture receives every DRAM transaction when set.
+	Capture func(TraceRecord)
+}
+
+func (rc RunConfig) normalize() RunConfig {
+	if rc.Instrs <= 0 {
+		rc.Instrs = 250_000
+	}
+	if rc.Seed == 0 {
+		rc.Seed = 42
+	}
+	if rc.Frag == 0 && !rc.FragSet {
+		rc.Frag = 0.1
+	}
+	return rc
+}
+
+// Simulate runs a preset system against the named benchmarks (one per
+// core, up to four).
+func Simulate(preset string, benches []string, rc RunConfig) (*Result, error) {
+	rc = rc.normalize()
+	sys, err := config.ByName(preset, rc.Planes, rc.BusMHz)
+	if err != nil {
+		return nil, err
+	}
+	return SimulateSystem(sys, benches, rc)
+}
+
+// SimulateSystem runs an explicit System (e.g. one with a custom
+// Scheme) against the named benchmarks.
+func SimulateSystem(sys *System, benches []string, rc RunConfig) (*Result, error) {
+	rc = rc.normalize()
+	return sim.Run(sim.Options{
+		Sys: sys, Benches: benches, Instrs: rc.Instrs, Warmup: rc.Warmup,
+		Frag: rc.Frag, Seed: rc.Seed, Capture: rc.Capture,
+	})
+}
+
+// AreaOverhead reports the DRAM die-area fraction a scheme adds over
+// baseline DDR4 (negative = saving), per the Sec. VI-C model.
+func AreaOverhead(s Scheme) float64 {
+	return area.Overhead(s, config.DefaultGeometry().Banks())
+}
+
+// Experiments drives the paper's figure/table reproductions with shared
+// caching of simulation results.
+type Experiments = exp.Runner
+
+// ExperimentParams scales the figure harness.
+type ExperimentParams = exp.Params
+
+// NewExperiments builds a figure harness. Zero-value params use the
+// defaults (250k instructions, all nine mixes).
+func NewExperiments(p ExperimentParams) *Experiments {
+	return exp.NewRunner(p)
+}

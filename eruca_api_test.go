@@ -1,0 +1,92 @@
+package eruca_test
+
+import (
+	"testing"
+
+	"eruca"
+)
+
+func TestPresetsAndBenchmarks(t *testing.T) {
+	if len(eruca.Presets()) < 15 {
+		t.Errorf("presets = %v", eruca.Presets())
+	}
+	if len(eruca.Benchmarks()) != 10 {
+		t.Errorf("benchmarks = %v", eruca.Benchmarks())
+	}
+	if len(eruca.Mixes()) != 9 {
+		t.Errorf("mixes = %d", len(eruca.Mixes()))
+	}
+}
+
+func TestNewSystemDefaults(t *testing.T) {
+	sys, err := eruca.NewSystem("vsb-ewlr-rap-ddb", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Scheme.Planes != 4 {
+		t.Errorf("default planes = %d, want 4", sys.Scheme.Planes)
+	}
+	if got := sys.Bus.FreqMHz(); got < 1330 || got > 1340 {
+		t.Errorf("default bus = %vMHz", got)
+	}
+	if _, err := eruca.NewSystem("bogus", 0, 0); err == nil {
+		t.Error("bogus preset accepted")
+	}
+}
+
+func TestSimulateQuick(t *testing.T) {
+	res, err := eruca.Simulate("ddr4", []string{"astar"}, eruca.RunConfig{Instrs: 20_000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.System != "DDR4" || len(res.IPC) != 1 || res.IPC[0] <= 0 {
+		t.Errorf("result: %+v", res)
+	}
+}
+
+func TestSimulateSystemCustomScheme(t *testing.T) {
+	sys, err := eruca.NewSystem("vsb-ewlr-rap-ddb", 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Scheme.EWLRBits = 4
+	res, err := eruca.SimulateSystem(sys, []string{"milc"}, eruca.RunConfig{Instrs: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DRAM.Reads == 0 {
+		t.Error("no traffic")
+	}
+}
+
+func TestAreaOverheadAPI(t *testing.T) {
+	sys, _ := eruca.NewSystem("vsb-ewlr-rap-ddb", 4, 0)
+	if o := eruca.AreaOverhead(sys.Scheme); o <= 0 || o > 0.004 {
+		t.Errorf("area overhead = %v", o)
+	}
+	base, _ := eruca.NewSystem("ddr4", 0, 0)
+	if o := eruca.AreaOverhead(base.Scheme); o != 0 {
+		t.Errorf("baseline overhead = %v", o)
+	}
+}
+
+func TestRunConfigCapture(t *testing.T) {
+	n := 0
+	_, err := eruca.Simulate("ddr4", []string{"mcf"}, eruca.RunConfig{
+		Instrs:  15_000,
+		Capture: func(eruca.TraceRecord) { n++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("no records captured via public API")
+	}
+}
+
+func TestExperimentsFacade(t *testing.T) {
+	r := eruca.NewExperiments(eruca.ExperimentParams{Instrs: 10_000, Mixes: []string{"mix8"}})
+	if got := len(r.Mixes()); got != 1 {
+		t.Errorf("experiment mixes = %d", got)
+	}
+}

@@ -1,0 +1,44 @@
+// Planesweep explores the central trade-off of Sec. IV: how many
+// row-address latch sets (planes) does a sub-banked DRAM need? It sweeps
+// the plane count for naive VSB and for ERUCA's EWLR+RAP, showing that
+// conflict avoidance makes two planes enough (the paper's Fig. 13
+// argument) — which matters because latch-select wires grow the die with
+// every doubling.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eruca"
+)
+
+func main() {
+	mix := []string{"mcf", "lbm", "soplex", "milc"}
+	rc := eruca.RunConfig{Instrs: 120_000}
+
+	base, err := eruca.Simulate("ddr4", mix, rc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-8s %-28s %12s %16s %10s\n", "planes", "scheme", "speedup", "plane-conf PREs", "die cost")
+	for _, planes := range []int{2, 4, 8, 16} {
+		for _, preset := range []string{"vsb-naive-ddb", "vsb-ewlr-rap-ddb"} {
+			rcp := rc
+			rcp.Planes = planes
+			res, err := eruca.Simulate(preset, mix, rcp)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sys, _ := eruca.NewSystem(preset, planes, 0)
+			fmt.Printf("%-8d %-28s %+10.1f%% %15.1f%% %9.2f%%\n",
+				planes, res.System,
+				(float64(base.BusCycles)/float64(res.BusCycles)-1)*100,
+				res.PlaneConflictPreFrac()*100,
+				eruca.AreaOverhead(sys.Scheme)*100)
+		}
+	}
+	fmt.Println("\nEWLR+RAP should stay near its peak even at 2 planes; naive VSB needs many")
+	fmt.Println("planes to escape conflicts, paying die area for every doubling.")
+}

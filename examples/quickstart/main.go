@@ -1,0 +1,43 @@
+// Quickstart: compare ERUCA (4-plane VSB with EWLR+RAP+DDB) against
+// stock DDR4 on one memory-intensive mix and print the headline result —
+// the paper's ~15% speedup at <0.3% die area.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eruca"
+)
+
+func main() {
+	mix := []string{"mcf", "lbm", "omnetpp", "gemsFDTD"} // mix0 of Tab. III
+	rc := eruca.RunConfig{Instrs: 150_000}
+
+	base, err := eruca.Simulate("ddr4", mix, rc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err := eruca.Simulate("vsb-ewlr-rap-ddb", mix, rc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("workload: mcf, lbm, omnetpp, gemsFDTD (4 cores)")
+	fmt.Printf("%-24s %10s %12s %14s %12s\n", "system", "IPC(sum)", "row hits", "plane-conf PRE", "qlat mean")
+	for _, r := range []*eruca.Result{base, best} {
+		sum := 0.0
+		for _, ipc := range r.IPC {
+			sum += ipc
+		}
+		fmt.Printf("%-24s %10.3f %11.1f%% %13.1f%% %10.1fns\n",
+			r.System, sum, r.RowHitRate()*100, r.PlaneConflictPreFrac()*100, r.QueueLat.Mean())
+	}
+
+	speedup := float64(base.BusCycles) / float64(best.BusCycles)
+	sys, _ := eruca.NewSystem("vsb-ewlr-rap-ddb", 0, 0)
+	fmt.Printf("\nthroughput speedup: %.1f%% at %.2f%% extra DRAM die area\n",
+		(speedup-1)*100, eruca.AreaOverhead(sys.Scheme)*100)
+	fmt.Printf("EWLR hits reused a driven main wordline on %d of %d activations\n",
+		best.DRAM.ActsEWLRHit, best.DRAM.Acts)
+}

@@ -1,0 +1,3 @@
+module eruca
+
+go 1.22

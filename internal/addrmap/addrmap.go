@@ -1,0 +1,212 @@
+// Package addrmap translates physical addresses into DRAM locations
+// (channel, rank, bank group, bank, sub-bank, row, column).
+//
+// The mapping follows the Intel Skylake style used in the paper's
+// evaluation (Tab. III, Fig. 9): address LSBs feed the parallel resources
+// (column, channel, bank group, bank) and the MSBs feed the row, with
+// XOR folding of row bits into the channel/group/bank/sub-bank selects so
+// that strided streams spread across parallel resources
+// (permutation-based interleaving).
+//
+// Sub-banking schemes repurpose one low-order field position as the
+// sub-bank select: an x4 Combo DRAM bank physically selects its
+// left/right half with a row-address bit, and ERUCA exposes that bit to
+// the controller so it can interleave sub-banks (Fig. 9 "sub-bank ID").
+package addrmap
+
+import (
+	"fmt"
+
+	"eruca/internal/config"
+)
+
+// Loc is a fully decoded DRAM location for one cache-line transaction.
+type Loc struct {
+	Channel int
+	Rank    int
+	Group   int // bank group
+	Bank    int // bank within group (pair index under paired-bank)
+	Sub     int // sub-bank within bank; 0 when the scheme has no sub-banks
+	Row     uint32
+	Col     uint32
+}
+
+// String implements fmt.Stringer.
+func (l Loc) String() string {
+	return fmt.Sprintf("ch%d/rk%d/bg%d/bk%d/sb%d/r%05x/c%02x",
+		l.Channel, l.Rank, l.Group, l.Bank, l.Sub, l.Row, l.Col)
+}
+
+// Mapper decodes physical addresses for one System configuration.
+// Mappers are immutable and safe for concurrent use.
+type Mapper struct {
+	lineBits  int
+	colLoBits int
+	bgLoBits  int // low bank-group bit(s), below the channel bit (Fig. 9)
+	chBits    int
+	colHiBits int
+	bgHiBits  int
+	bankBits  int
+	rankBits  int
+	rowSBBits int // row field including the sub-bank select position
+
+	colLoShift, bgLoShift, chShift, subShift, colHiShift, bgHiShift, bankShift, rankShift, rowShift uint
+
+	mode      config.SubBankMode
+	hasSubBit bool // VSB-style: a dedicated low sub-bank-select position
+	subHash   bool // XOR-fold row bits into the sub-bank select
+
+	addrBits int
+}
+
+// New builds the Mapper for a system configuration.
+func New(sys *config.System) *Mapper {
+	g := sys.Geom
+	m := &Mapper{
+		lineBits:  log2(g.LineBytes),
+		colLoBits: 2,
+		chBits:    log2(g.Channels),
+		bankBits:  log2(g.BanksPerGroup),
+		rankBits:  log2(g.Ranks),
+		rowSBBits: g.RowBits,
+		mode:      sys.Scheme.Mode,
+
+		subHash:  !sys.Scheme.SubHashDisabled,
+		addrBits: g.AddrBits(),
+	}
+	switch sys.Scheme.Mode {
+	case config.SubBankVSB, config.SubBankHalfDRAM:
+		m.hasSubBit = true
+	case config.SubBankMASA:
+		m.hasSubBit = sys.Scheme.MASAStacked
+	}
+
+	// Fig. 9 field order, LSB to MSB:
+	//   offset | col | BG | ch | sub-bank | col | BG | bank | rank | row
+	// The bank-group bits sit below the channel bit so that sequential
+	// streams alternate bank groups every few lines, dodging tCCD_L; the
+	// sub-bank select — physically a row-address bit in the DRAM — is
+	// fed from a low position so it changes frequently (Fig. 9 #1
+	// "sub-bank ID"). The displaced row bit moves to the top.
+	bgBits := log2(g.BankGroups)
+	m.bgLoBits = bgBits
+	if m.bgLoBits > 2 {
+		m.bgLoBits = 2
+	}
+	m.bgHiBits = bgBits - m.bgLoBits
+	m.colHiBits = g.ColBits - m.colLoBits
+	subBits := 0
+	if m.hasSubBit {
+		subBits = 1
+	}
+	shift := uint(m.lineBits)
+	m.colLoShift, shift = shift, shift+uint(m.colLoBits)
+	m.bgLoShift, shift = shift, shift+uint(m.bgLoBits)
+	m.chShift, shift = shift, shift+uint(m.chBits)
+	m.subShift, shift = shift, shift+uint(subBits)
+	m.colHiShift, shift = shift, shift+uint(m.colHiBits)
+	m.bgHiShift, shift = shift, shift+uint(m.bgHiBits)
+	m.bankShift, shift = shift, shift+uint(m.bankBits)
+	m.rankShift, shift = shift, shift+uint(m.rankBits)
+	m.rowShift = shift
+	return m
+}
+
+// AddrBits reports the physical-address width the mapper decodes.
+func (m *Mapper) AddrBits() int { return m.addrBits }
+
+// RowBits reports the per-(sub-)bank row-address width the mapper
+// produces in Loc.Row.
+func (m *Mapper) RowBits() int {
+	if m.hasSubBit {
+		return m.rowSBBits - 1
+	}
+	return m.rowSBBits
+}
+
+func bits(pa uint64, shift uint, n int) uint64 {
+	return (pa >> shift) & (1<<uint(n) - 1)
+}
+
+// Map decodes a physical address. Addresses beyond the configured
+// capacity wrap (the top bits are masked).
+func (m *Mapper) Map(pa uint64) Loc {
+	pa &= 1<<uint(m.addrBits) - 1
+
+	rowBits := m.rowSBBits
+	if m.hasSubBit {
+		rowBits--
+	}
+	rowsb := bits(pa, m.rowShift, rowBits)
+
+	var loc Loc
+	colLo := bits(pa, m.colLoShift, m.colLoBits)
+	colHi := bits(pa, m.colHiShift, m.colHiBits)
+	loc.Col = uint32(colHi<<uint(m.colLoBits) | colLo)
+
+	// Permutation-based interleaving: XOR row LSBs into the channel,
+	// group and bank selects so that row-strided access patterns still
+	// spread across the parallel resources (Zhang et al. [28], as in
+	// Skylake [30]).
+	ch := bits(pa, m.chShift, m.chBits)
+	if m.chBits > 0 {
+		ch ^= (rowsb ^ rowsb>>3 ^ rowsb>>7) & (1<<uint(m.chBits) - 1)
+	}
+	loc.Channel = int(ch)
+
+	bg := bits(pa, m.bgHiShift, m.bgHiBits)<<uint(m.bgLoBits) | bits(pa, m.bgLoShift, m.bgLoBits)
+	if nbg := m.bgLoBits + m.bgHiBits; nbg > 0 {
+		bg ^= (rowsb>>1 ^ rowsb>>5) & (1<<uint(nbg) - 1)
+	}
+	loc.Group = int(bg)
+
+	bank := bits(pa, m.bankShift, m.bankBits)
+	if m.bankBits > 0 {
+		bank ^= (rowsb>>3 ^ rowsb>>8) & (1<<uint(m.bankBits) - 1)
+	}
+
+	loc.Rank = int(bits(pa, m.rankShift, m.rankBits))
+
+	switch {
+	case m.hasSubBit:
+		// VSB / Half-DRAM / stacked MASA: the physical half-select row
+		// bit is fed from a low address position so it changes often,
+		// XOR-folded with row bits for spreading.
+		sub := bits(pa, m.subShift, 1)
+		if m.subHash {
+			sub ^= (rowsb>>4 ^ rowsb>>9) & 1
+		}
+		loc.Sub = int(sub)
+		loc.Row = uint32(rowsb)
+		loc.Bank = int(bank)
+	case m.mode == config.SubBankPaired:
+		// Paired banks: adjacent banks within a group form a pair; the
+		// low bank bit selects the sub-bank (which constituent bank).
+		loc.Sub = int(bank & 1)
+		loc.Bank = int(bank >> 1)
+		loc.Row = uint32(rowsb)
+	default:
+		loc.Sub = 0
+		loc.Bank = int(bank)
+		loc.Row = uint32(rowsb)
+	}
+	return loc
+}
+
+// BankID flattens (group, bank) into a per-rank bank index.
+func (m *Mapper) BankID(l Loc) int {
+	banks := 1 << uint(m.bankBits)
+	if m.mode == config.SubBankPaired {
+		banks >>= 1
+	}
+	return l.Group*banks + l.Bank
+}
+
+func log2(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}

@@ -1,0 +1,161 @@
+package addrmap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"eruca/internal/config"
+)
+
+func baseline() *config.System { return config.Baseline(config.DefaultBusMHz) }
+func vsb() *config.System      { return config.VSB(4, true, true, true, config.DefaultBusMHz) }
+
+func TestFieldRanges(t *testing.T) {
+	for _, sys := range []*config.System{
+		baseline(), vsb(),
+		config.Ideal32(config.DefaultBusMHz),
+		config.PairedBank(4, false, config.DefaultBusMHz),
+		config.MASA(8, config.DefaultBusMHz),
+		config.MASAERUCA(8, 4, true, config.DefaultBusMHz),
+	} {
+		m := New(sys)
+		g := sys.Geom
+		banks := g.BanksPerGroup
+		if sys.Scheme.Mode == config.SubBankPaired {
+			banks /= 2
+		}
+		for pa := uint64(0); pa < 1<<22; pa += 4093 * 64 {
+			l := m.Map(pa * 977) // scatter
+			if l.Channel < 0 || l.Channel >= g.Channels {
+				t.Fatalf("%s: channel %d out of range", sys.Name, l.Channel)
+			}
+			if l.Group < 0 || l.Group >= g.BankGroups {
+				t.Fatalf("%s: group %d out of range", sys.Name, l.Group)
+			}
+			if l.Bank < 0 || l.Bank >= banks {
+				t.Fatalf("%s: bank %d out of range", sys.Name, l.Bank)
+			}
+			if l.Sub < 0 || l.Sub >= sys.Scheme.SubBanksPerBank() {
+				t.Fatalf("%s: sub %d out of range", sys.Name, l.Sub)
+			}
+			if int(l.Row) >= 1<<uint(m.RowBits()) {
+				t.Fatalf("%s: row %#x out of range for %d bits", sys.Name, l.Row, m.RowBits())
+			}
+			if int(l.Col) >= 1<<uint(g.ColBits) {
+				t.Fatalf("%s: col %#x out of range", sys.Name, l.Col)
+			}
+		}
+	}
+}
+
+// Two addresses differing only in their line offset map to the same
+// location and column... differing in bits [6,8) map to the same row.
+func TestLineOffsetInvariance(t *testing.T) {
+	m := New(vsb())
+	f := func(pa uint64, off uint8) bool {
+		a := m.Map(pa &^ 63)
+		b := m.Map((pa &^ 63) | uint64(off&63))
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The mapping must be a bijection over the physical address space: two
+// distinct line addresses never collide on the same full location.
+func TestBijection(t *testing.T) {
+	for _, sys := range []*config.System{baseline(), vsb(), config.PairedBank(4, false, config.DefaultBusMHz)} {
+		m := New(sys)
+		seen := make(map[Loc]uint64)
+		// Cover a contiguous window plus a scattered sample.
+		probe := func(pa uint64) {
+			l := m.Map(pa)
+			if prev, dup := seen[l]; dup && prev != pa {
+				t.Fatalf("%s: %#x and %#x both map to %v", sys.Name, prev, pa, l)
+			}
+			seen[l] = pa
+		}
+		for pa := uint64(0); pa < 1<<20; pa += 64 {
+			probe(pa)
+		}
+		for i := uint64(0); i < 1<<14; i++ {
+			probe((i * 0x9E3779B97F4A7C15) & (1<<35 - 1) &^ 63)
+		}
+	}
+}
+
+// A 64-line sequential stream must spread over both channels and several
+// bank groups: that is the entire point of the Skylake-style hashing.
+func TestSequentialSpreads(t *testing.T) {
+	m := New(baseline())
+	chans := map[int]int{}
+	groups := map[int]int{}
+	for i := uint64(0); i < 256; i++ {
+		l := m.Map(i * 64)
+		chans[l.Channel]++
+		groups[l.Group]++
+	}
+	if len(chans) != 2 {
+		t.Errorf("sequential stream used %d channels, want 2", len(chans))
+	}
+	if len(groups) != 4 {
+		t.Errorf("sequential stream used %d bank groups, want 4", len(groups))
+	}
+}
+
+// Row-strided streams (stride = one full row) must not camp on a single
+// bank: XOR folding spreads them.
+func TestRowStrideSpreadsBanks(t *testing.T) {
+	sys := baseline()
+	m := New(sys)
+	stride := uint64(sys.Geom.RowBytes() * sys.Geom.Banks() * sys.Geom.Channels)
+	banks := map[int]int{}
+	for i := uint64(0); i < 64; i++ {
+		l := m.Map(i * stride)
+		banks[m.BankID(l)*2+l.Channel]++
+	}
+	if len(banks) < 8 {
+		t.Errorf("row-strided stream hit only %d (bank,channel) pairs", len(banks))
+	}
+}
+
+// Under VSB the sub-bank select must flip within a modest footprint so
+// that distinct streams can interleave across sub-banks.
+func TestSubBankBalance(t *testing.T) {
+	m := New(vsb())
+	subs := [2]int{}
+	for i := uint64(0); i < 1<<13; i++ {
+		l := m.Map(i * 64 * 1021 % (1 << 33) &^ 63)
+		subs[l.Sub]++
+	}
+	total := subs[0] + subs[1]
+	if subs[0] < total/3 || subs[1] < total/3 {
+		t.Errorf("sub-bank imbalance: %v", subs)
+	}
+}
+
+func TestPairedBankFields(t *testing.T) {
+	sys := config.PairedBank(4, false, config.DefaultBusMHz)
+	m := New(sys)
+	if m.RowBits() != sys.Geom.RowBits {
+		t.Errorf("paired row bits = %d, want %d (full bank row space)", m.RowBits(), sys.Geom.RowBits)
+	}
+	seenSub := map[int]bool{}
+	for i := uint64(0); i < 1<<12; i++ {
+		l := m.Map(i << 16)
+		seenSub[l.Sub] = true
+		if l.Bank >= sys.Geom.BanksPerGroup/2 {
+			t.Fatalf("paired bank index %d out of range", l.Bank)
+		}
+	}
+	if !seenSub[0] || !seenSub[1] {
+		t.Error("paired mapping never used both sub-banks")
+	}
+}
+
+func TestVSBRowBitsNarrower(t *testing.T) {
+	if b, v := New(baseline()).RowBits(), New(vsb()).RowBits(); v != b-1 {
+		t.Errorf("VSB row bits = %d, want baseline-1 = %d", v, b-1)
+	}
+}

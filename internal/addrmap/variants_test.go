@@ -1,0 +1,126 @@
+package addrmap
+
+import (
+	"testing"
+
+	"eruca/internal/config"
+)
+
+// twoRank builds a 2-rank variant at constant capacity.
+func twoRank() *config.System {
+	g := config.DefaultGeometry()
+	g.Ranks = 2
+	g.RowBits--
+	sch := config.Scheme{Name: "2rank", Mode: config.SubBankNone, BankGrouping: true}
+	return config.MustSystem("2rank", g, sch, config.DDR4Timing(), config.DefaultBusMHz,
+		config.DefaultController(), config.DefaultCPU())
+}
+
+func TestTwoRankMapping(t *testing.T) {
+	sys := twoRank()
+	m := New(sys)
+	ranks := map[int]int{}
+	seen := make(map[Loc]uint64)
+	for i := uint64(0); i < 1<<14; i++ {
+		pa := (i * 0x9E3779B97F4A7C15) & (1<<35 - 1) &^ 63
+		l := m.Map(pa)
+		if l.Rank < 0 || l.Rank >= 2 {
+			t.Fatalf("rank %d out of range", l.Rank)
+		}
+		ranks[l.Rank]++
+		if prev, dup := seen[l]; dup && prev != pa {
+			t.Fatalf("collision: %#x and %#x -> %v", prev, pa, l)
+		}
+		seen[l] = pa
+	}
+	if ranks[0] == 0 || ranks[1] == 0 {
+		t.Errorf("rank distribution %v", ranks)
+	}
+}
+
+// Stacked MASA carries both a sub-bank select and full MASA row space.
+func TestStackedMapping(t *testing.T) {
+	sys := config.MASAERUCA(8, 4, true, config.DefaultBusMHz)
+	m := New(sys)
+	if m.RowBits() != sys.Geom.RowBits-1 {
+		t.Errorf("stacked row bits = %d", m.RowBits())
+	}
+	subs := map[int]int{}
+	for i := uint64(0); i < 4096; i++ {
+		l := m.Map(i * 64 * 131)
+		subs[l.Sub]++
+	}
+	if subs[0] == 0 || subs[1] == 0 {
+		t.Errorf("stacked sub distribution %v", subs)
+	}
+}
+
+// Disabling the sub-bank hash yields a plain position-derived select.
+func TestSubHashDisabled(t *testing.T) {
+	sys := config.VSB(4, true, true, true, config.DefaultBusMHz)
+	sys.Scheme.SubHashDisabled = true
+	m := New(sys)
+	// With the hash off, two addresses differing only in high row bits
+	// share the same sub-bank.
+	a := m.Map(0x0000_0000)
+	b := m.Map(0x2000_0000)
+	if a.Sub != b.Sub {
+		t.Error("plain sub-bank select varied with row MSBs")
+	}
+	// With the hash on, flipping a folded row bit flips the sub-bank.
+	sys2 := config.VSB(4, true, true, true, config.DefaultBusMHz)
+	m2 := New(sys2)
+	diff := false
+	for i := uint64(0); i < 8 && !diff; i++ {
+		x := m2.Map(i << 20)
+		y := m2.Map(i<<20 ^ 1<<23) // row bit 4
+		diff = x.Sub != y.Sub
+	}
+	if !diff {
+		t.Error("hashed sub-bank select never varied with row bits")
+	}
+}
+
+// MASA (non-stacked) exposes the full row space and no sub-banks.
+func TestMASAMapping(t *testing.T) {
+	sys := config.MASA(8, config.DefaultBusMHz)
+	m := New(sys)
+	if m.RowBits() != sys.Geom.RowBits {
+		t.Errorf("MASA row bits = %d", m.RowBits())
+	}
+	for i := uint64(0); i < 1024; i++ {
+		if l := m.Map(i * 64 * 977); l.Sub != 0 {
+			t.Fatal("MASA mapping produced a sub-bank")
+		}
+	}
+}
+
+// The Loc string form is stable and informative.
+func TestLocString(t *testing.T) {
+	l := Loc{Channel: 1, Group: 2, Bank: 3, Sub: 1, Row: 0xBEEF, Col: 0x2A}
+	s := l.String()
+	if s != "ch1/rk0/bg2/bk3/sb1/r0beef/c2a" {
+		t.Errorf("Loc string = %q", s)
+	}
+}
+
+// All preset systems produce in-range, collision-free mappings over a
+// sample (cross-preset property).
+func TestAllPresetsMapSafely(t *testing.T) {
+	for _, name := range config.RegistryNames() {
+		sys, err := config.ByName(name, 4, config.DefaultBusMHz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := New(sys)
+		seen := make(map[Loc]uint64, 4096)
+		for i := uint64(0); i < 4096; i++ {
+			pa := (i*0x9E3779B97F4A7C15 + 12345) & (1<<35 - 1) &^ 63
+			l := m.Map(pa)
+			if prev, dup := seen[l]; dup && prev != pa {
+				t.Fatalf("%s: collision %#x vs %#x -> %v", name, prev, pa, l)
+			}
+			seen[l] = pa
+		}
+	}
+}

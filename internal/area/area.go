@@ -1,0 +1,119 @@
+// Package area implements the DRAM die-area model of Sec. VI-C and
+// Fig. 11. The baseline is an 8Gb x4 DDR4 die in 32nm estimated at
+// 120.992 mm^2 (8.98mm x 13.47mm) with CACTI-3DD; the overhead
+// components come from the paper's synthesis results:
+//
+//   - a 40-bit row-address latch set is 203 um^2, a 48-bit (EWLR) set
+//     244 um^2; one set per plane per bank;
+//   - plane-latch-select wires run in the bitline direction across all 8
+//     row decoders at a conservative 1 um pitch, so every doubling of
+//     the plane count widens the die by 8 um;
+//   - EWLR adds the doubled LWL_SEL select signals along the same path;
+//   - DDB adds 64 pass-transistor switches (191 um^2 per sub-bank), a
+//     32b 2:1 MUX/DEMUX per bank-group pair (674 um^2 each), and four
+//     bus-select wires that grow the die height by 4 um (~85% of the
+//     DDB overhead, matching the paper).
+//
+// Reference points for prior work (Fig. 11 / Sec. III): Half-DRAM 1.46%,
+// MASA 3.03% (4 groups) and 4.76% (8 groups), paired-bank -1.1%, and a
+// full 32-bank DDR4 +11%.
+package area
+
+import "eruca/internal/config"
+
+// Die geometry (um).
+const (
+	DieWidthUM  = 8980.0
+	DieHeightUM = 13470.0
+	DieAreaUM2  = 120.992e6
+)
+
+// Synthesis-derived component areas (um^2) and wire growth (um).
+const (
+	LatchSet40bUM2       = 203.0
+	LatchSet48bUM2       = 244.0
+	PlaneSelectWidthUM   = 8.0 // die-width growth per plane-count doubling
+	EWLRSelectWidthUM    = 8.0 // die-width growth for the doubled LWL_SEL selects
+	DDBSwitchPerSubUM2   = 191.0
+	DDBMuxUM2            = 674.0
+	DDBMuxCount          = 4
+	DDBBusSelectHeightUM = 4.0
+)
+
+// Reference overheads of prior designs, as die-area fractions.
+const (
+	HalfDRAMOverhead = 0.0146
+	MASA4Overhead    = 0.0303
+	MASA8Overhead    = 0.0476
+	PairedBankSaving = -0.011 // paired banks remove half the row decoders
+	FullBanks32      = 0.11   // doubling full banks (Rambus model)
+)
+
+// Overhead reports the die-area fraction a scheme adds over baseline
+// DDR4 (negative = saving). banks is the physical bank count.
+func Overhead(sch config.Scheme, banks int) float64 {
+	switch sch.Mode {
+	case config.SubBankNone:
+		return 0
+	case config.SubBankHalfDRAM:
+		return HalfDRAMOverhead
+	case config.SubBankMASA:
+		o := MASA4Overhead
+		if sch.MASAGroups >= 8 {
+			o = MASA8Overhead
+		}
+		if sch.MASAStacked {
+			o += vsbOverheadUM2(sch, banks) / DieAreaUM2
+		}
+		if sch.DDB {
+			o += ddbOverheadUM2(banks) / DieAreaUM2
+		}
+		return o
+	}
+
+	um2 := vsbOverheadUM2(sch, banks)
+	if sch.DDB {
+		um2 += ddbOverheadUM2(banks)
+	}
+	frac := um2 / DieAreaUM2
+	if sch.Mode == config.SubBankPaired {
+		frac += PairedBankSaving
+	}
+	return frac
+}
+
+// vsbOverheadUM2 is the latch + select-wire area of a plane/EWLR
+// configuration.
+func vsbOverheadUM2(sch config.Scheme, banks int) float64 {
+	latch := LatchSet40bUM2
+	if sch.EWLR {
+		latch = LatchSet48bUM2
+	}
+	um2 := float64(banks*sch.Planes) * latch
+	um2 += float64(log2(sch.Planes)) * PlaneSelectWidthUM * DieWidthUM
+	if sch.EWLR {
+		um2 += EWLRSelectWidthUM * DieWidthUM
+	}
+	return um2
+}
+
+// ddbOverheadUM2 is the switch + mux + bus-select-wire area of DDB.
+func ddbOverheadUM2(banks int) float64 {
+	subBanks := banks * 2
+	return float64(subBanks)*DDBSwitchPerSubUM2 +
+		DDBMuxCount*DDBMuxUM2 +
+		DDBBusSelectHeightUM*DieHeightUM
+}
+
+// DDBOverhead reports the stand-alone DDB die fraction (the 0.05% point
+// of Sec. VI-C).
+func DDBOverhead(banks int) float64 { return ddbOverheadUM2(banks) / DieAreaUM2 }
+
+func log2(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}

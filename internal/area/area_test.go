@@ -1,0 +1,80 @@
+package area
+
+import (
+	"testing"
+
+	"eruca/internal/config"
+)
+
+const banks = 16
+
+func scheme(planes int, ewlr, rap, ddb bool) config.Scheme {
+	return config.VSB(planes, ewlr, rap, ddb, config.DefaultBusMHz).Scheme
+}
+
+// Sec. VI-C anchors: DDB alone 0.05%, 2-plane VSB+RAP 0.06%, EWLR adds
+// ~0.06%, and the full 4-plane stack stays at or under ~0.3%.
+func TestPaperAnchors(t *testing.T) {
+	if o := DDBOverhead(banks); o < 0.0004 || o > 0.0006 {
+		t.Errorf("DDB overhead = %.4f%%, want ~0.05%%", o*100)
+	}
+	if o := Overhead(scheme(2, false, true, false), banks); o < 0.0005 || o > 0.0008 {
+		t.Errorf("2P RAP overhead = %.4f%%, want ~0.06%%", o*100)
+	}
+	base := Overhead(scheme(2, false, true, false), banks)
+	withE := Overhead(scheme(2, true, true, false), banks)
+	if d := withE - base; d < 0.0004 || d > 0.0008 {
+		t.Errorf("EWLR delta = %.4f%%, want ~0.06%%", d*100)
+	}
+	full4 := Overhead(scheme(4, true, true, true), banks)
+	if full4 > 0.0031 {
+		t.Errorf("4P DDB+EWLR+RAP = %.4f%%, want <= ~0.30%%", full4*100)
+	}
+}
+
+// Fig. 11 shape: overhead grows monotonically with plane count, and the
+// full stack is five times cheaper than Half-DRAM.
+func TestFig11Shape(t *testing.T) {
+	prev := 0.0
+	for _, p := range []int{2, 4, 8, 16} {
+		o := Overhead(scheme(p, true, true, true), banks)
+		if o <= prev {
+			t.Errorf("overhead not increasing at %d planes: %v <= %v", p, o, prev)
+		}
+		prev = o
+	}
+	eruca := Overhead(scheme(4, true, true, true), banks)
+	if HalfDRAMOverhead < 4.5*eruca {
+		t.Errorf("Half-DRAM (%.3f%%) not ~5x ERUCA (%.3f%%)", HalfDRAMOverhead*100, eruca*100)
+	}
+}
+
+func TestPriorWorkReferences(t *testing.T) {
+	if o := Overhead(config.HalfDRAM(config.DefaultBusMHz).Scheme, banks); o != HalfDRAMOverhead {
+		t.Errorf("Half-DRAM = %v", o)
+	}
+	if o := Overhead(config.MASA(4, config.DefaultBusMHz).Scheme, banks); o != MASA4Overhead {
+		t.Errorf("MASA4 = %v", o)
+	}
+	if o := Overhead(config.MASA(8, config.DefaultBusMHz).Scheme, banks); o != MASA8Overhead {
+		t.Errorf("MASA8 = %v", o)
+	}
+	m := Overhead(config.MASAERUCA(8, 4, true, config.DefaultBusMHz).Scheme, banks)
+	if m <= MASA8Overhead {
+		t.Errorf("MASA8+ERUCA (%v) not above MASA8", m)
+	}
+}
+
+// Paired banks save die area even with all mechanisms (Sec. VI-C: -1.1%).
+func TestPairedBankSavesArea(t *testing.T) {
+	o := Overhead(config.PairedBank(4, true, config.DefaultBusMHz).Scheme, banks)
+	if o > -0.005 {
+		t.Errorf("paired-bank overhead = %.3f%%, want around -1%%", o*100)
+	}
+}
+
+func TestBaselineZero(t *testing.T) {
+	if o := Overhead(config.Baseline(config.DefaultBusMHz).Scheme, banks); o != 0 {
+		t.Errorf("baseline overhead = %v", o)
+	}
+}

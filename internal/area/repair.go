@@ -1,0 +1,78 @@
+package area
+
+import "math"
+
+// Row-repair flexibility model (Sec. III-A / Sec. VIII).
+//
+// DRAM banks carry spare wordlines that can be mapped over faulty rows.
+// Plane latches restrict that mapping: a spare can only stand in for a
+// row whose address the plane's latch set can select, so with P planes a
+// bank's spares are effectively partitioned P ways. The paper argues
+// this is why plane count must stay low ("row repair is twice more
+// effective [with 2 planes] than with 4 planes") and why many-sub-bank
+// schemes hurt manufacturability.
+//
+// The model: wordline defects arrive Poisson with mean lambda per bank,
+// uniformly across planes; the bank is repairable when every plane's
+// defect count fits in its share of the spares; a die yields when all
+// its banks are repairable.
+
+// RepairYield reports the probability that a die with `banks` banks,
+// `spares` spare wordlines per bank and Poisson(lambda) defective
+// wordlines per bank is fully repairable under a `planes`-way spare
+// partition. planes must be >= 1; spares are divided evenly (floor).
+func RepairYield(planes, spares, banks int, lambda float64) float64 {
+	if planes < 1 {
+		planes = 1
+	}
+	perPlane := spares / planes
+	perPlaneLambda := lambda / float64(planes)
+	pPlane := poissonCDF(perPlane, perPlaneLambda)
+	pBank := math.Pow(pPlane, float64(planes))
+	return math.Pow(pBank, float64(banks))
+}
+
+// TolerableDefectRate reports the largest per-bank mean defect count
+// lambda at which the die still yields at least `target` — the repair
+// capability of a `planes`-way partitioned spare pool. "Twice as
+// effective" repair means tolerating twice the defect rate.
+func TolerableDefectRate(planes, spares, banks int, target float64) float64 {
+	lo, hi := 0.0, float64(spares)*4
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if RepairYield(planes, spares, banks, mid) >= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// RelativeRepairEffectiveness reports the partitioned design's tolerable
+// defect rate as a fraction of the unpartitioned bank's, at a 90% yield
+// target (1 = unrestricted, smaller = weaker repair).
+func RelativeRepairEffectiveness(planes, spares, banks int, _ float64) float64 {
+	base := TolerableDefectRate(1, spares, banks, 0.9)
+	if base == 0 {
+		return 1
+	}
+	return TolerableDefectRate(planes, spares, banks, 0.9) / base
+}
+
+// poissonCDF is P(X <= k) for X ~ Poisson(lambda).
+func poissonCDF(k int, lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	term := math.Exp(-lambda)
+	sum := term
+	for i := 1; i <= k; i++ {
+		term *= lambda / float64(i)
+		sum += term
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}

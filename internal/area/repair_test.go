@@ -1,0 +1,74 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+const (
+	rSpares = 64
+	rBanks  = 16
+	rLambda = 24.0 // mean defective wordlines per bank
+)
+
+// Yield is monotone non-increasing in plane count: partitioning spares
+// can only hurt.
+func TestRepairYieldMonotone(t *testing.T) {
+	prev := 1.1
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		y := RepairYield(p, rSpares, rBanks, rLambda)
+		if y < 0 || y > 1 {
+			t.Fatalf("yield(%d) = %v out of [0,1]", p, y)
+		}
+		if y > prev+1e-12 {
+			t.Fatalf("yield rose at %d planes: %v > %v", p, y, prev)
+		}
+		prev = y
+	}
+}
+
+// With no defects, yield is 1 regardless of partitioning.
+func TestRepairYieldNoDefects(t *testing.T) {
+	for _, p := range []int{1, 4, 16} {
+		if y := RepairYield(p, rSpares, rBanks, 0); y != 1 {
+			t.Errorf("yield with lambda=0, planes=%d: %v", p, y)
+		}
+	}
+}
+
+// More spares never hurt.
+func TestRepairYieldMoreSparesHelp(t *testing.T) {
+	lo := RepairYield(4, 32, rBanks, rLambda)
+	hi := RepairYield(4, 128, rBanks, rLambda)
+	if hi < lo {
+		t.Errorf("more spares reduced yield: %v -> %v", lo, hi)
+	}
+}
+
+// The paper's claim: repair is roughly twice as effective with 2 planes
+// as with 4 — the failure exponent roughly halves.
+func TestTwoPlanesBeatFour(t *testing.T) {
+	e2 := RelativeRepairEffectiveness(2, rSpares, rBanks, rLambda)
+	e4 := RelativeRepairEffectiveness(4, rSpares, rBanks, rLambda)
+	if !(e2 > e4) {
+		t.Fatalf("2-plane effectiveness %v not above 4-plane %v", e2, e4)
+	}
+}
+
+func TestPoissonCDF(t *testing.T) {
+	if p := poissonCDF(0, 1); math.Abs(p-math.Exp(-1)) > 1e-12 {
+		t.Errorf("P(X=0;1) = %v", p)
+	}
+	if p := poissonCDF(1000, 3); math.Abs(p-1) > 1e-9 {
+		t.Errorf("CDF tail = %v", p)
+	}
+	if poissonCDF(5, 0) != 1 {
+		t.Error("zero lambda")
+	}
+}
+
+func TestRepairYieldDegenerate(t *testing.T) {
+	if y := RepairYield(0, rSpares, rBanks, rLambda); y != RepairYield(1, rSpares, rBanks, rLambda) {
+		t.Errorf("planes<1 not clamped: %v", y)
+	}
+}

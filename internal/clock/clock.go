@@ -1,0 +1,67 @@
+// Package clock models the fixed-frequency clock domains of the simulated
+// system: the DRAM external bus (the master clock of the simulator), the
+// CPU core clock, and the DRAM internal core clock. All simulator state is
+// stepped in bus cycles; this package owns the conversions between
+// wall-clock time and cycles so that timing parameters specified in
+// nanoseconds (tRCD, tRP, ...) can be applied at any bus frequency.
+package clock
+
+import "fmt"
+
+// Cycle is a point in time or a duration measured in cycles of some
+// Domain. The simulator's master Cycle counts DRAM bus clocks.
+type Cycle = int64
+
+// Domain is a fixed-frequency clock domain. The zero value is invalid;
+// construct domains with MHz or GHz.
+type Domain struct {
+	name     string
+	periodPS int64
+}
+
+// MHz returns a clock domain running at the given frequency in MHz.
+func MHz(name string, mhz float64) Domain {
+	if mhz <= 0 {
+		panic(fmt.Sprintf("clock: non-positive frequency %vMHz for domain %q", mhz, name))
+	}
+	return Domain{name: name, periodPS: int64(1e6/mhz + 0.5)}
+}
+
+// GHz returns a clock domain running at the given frequency in GHz.
+func GHz(name string, ghz float64) Domain {
+	return MHz(name, ghz*1000)
+}
+
+// Name reports the domain's name.
+func (d Domain) Name() string { return d.name }
+
+// PeriodPS reports the clock period in picoseconds, rounded to the
+// nearest picosecond.
+func (d Domain) PeriodPS() int64 { return d.periodPS }
+
+// PeriodNS reports the clock period in nanoseconds.
+func (d Domain) PeriodNS() float64 { return float64(d.periodPS) / 1000 }
+
+// FreqMHz reports the domain frequency in MHz.
+func (d Domain) FreqMHz() float64 { return 1e6 / float64(d.periodPS) }
+
+// CyclesCeil converts a duration in nanoseconds to the minimum whole
+// number of cycles that covers it. DRAM timing constraints specified in
+// nanoseconds must always be rounded up when expressed in clocks.
+func (d Domain) CyclesCeil(ns float64) Cycle {
+	if ns <= 0 {
+		return 0
+	}
+	ps := int64(ns*1000 + 0.5)
+	return (ps + d.periodPS - 1) / d.periodPS
+}
+
+// NS converts a cycle count in this domain to nanoseconds.
+func (d Domain) NS(cycles Cycle) float64 {
+	return float64(cycles) * float64(d.periodPS) / 1000
+}
+
+// String implements fmt.Stringer.
+func (d Domain) String() string {
+	return fmt.Sprintf("%s@%.0fMHz", d.name, d.FreqMHz())
+}

@@ -1,0 +1,92 @@
+package clock
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMHzPeriod(t *testing.T) {
+	cases := []struct {
+		mhz  float64
+		want int64 // ps
+	}{
+		{1333, 750},
+		{1600, 625},
+		{2000, 500},
+		{2400, 417},
+		{200, 5000},
+		{4000, 250},
+	}
+	for _, c := range cases {
+		d := MHz("bus", c.mhz)
+		if d.PeriodPS() != c.want {
+			t.Errorf("MHz(%v): period = %dps, want %dps", c.mhz, d.PeriodPS(), c.want)
+		}
+	}
+}
+
+func TestCyclesCeil(t *testing.T) {
+	bus := MHz("bus", 1333) // 750ps
+	cases := []struct {
+		ns   float64
+		want Cycle
+	}{
+		{0, 0},
+		{-1, 0},
+		{0.75, 1},
+		{0.76, 2},
+		{13.5, 18}, // CAS 18-18-18 at 1333MHz
+		{5.0, 7},   // one DRAM core clock
+		{32.0, 43}, // tRAS
+	}
+	for _, c := range cases {
+		if got := bus.CyclesCeil(c.ns); got != c.want {
+			t.Errorf("CyclesCeil(%vns) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestGHzMatchesMHz(t *testing.T) {
+	if GHz("cpu", 4).PeriodPS() != MHz("cpu", 4000).PeriodPS() {
+		t.Error("GHz(4) != MHz(4000)")
+	}
+}
+
+// Property: CyclesCeil always covers the requested duration and never
+// overshoots by a full cycle.
+func TestCyclesCeilCovers(t *testing.T) {
+	bus := MHz("bus", 1333)
+	f := func(raw uint16) bool {
+		ns := float64(raw) / 16 // 0 .. 4096ns
+		cy := bus.CyclesCeil(ns)
+		covered := bus.NS(cy)
+		return covered+1e-9 >= ns && (cy == 0 || bus.NS(cy-1) < ns+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNSRoundTrip(t *testing.T) {
+	bus := MHz("bus", 2000)
+	if got := bus.NS(10); math.Abs(got-5.0) > 1e-9 {
+		t.Errorf("NS(10) at 2GHz = %v, want 5", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	d := MHz("bus", 1333)
+	if got := d.String(); got != "bus@1333MHz" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MHz(0) did not panic")
+		}
+	}()
+	MHz("bad", 0)
+}

@@ -1,0 +1,28 @@
+package config
+
+// Acronym is one row of the paper's Tab. II glossary.
+type Acronym struct {
+	Name        string
+	Description string
+}
+
+// Acronyms returns Tab. II: the DRAM-internals vocabulary the paper (and
+// this codebase) uses.
+func Acronyms() []Acronym {
+	return []Acronym{
+		{"CSL", "column select line"},
+		{"SBL", "sub-bitline"},
+		{"GBL", "global bitline"},
+		{"SA", "sense amplifier"},
+		{"LWL", "local wordline"},
+		{"LWL DRV", "local wordline driver"},
+		{"LWL SEL", "local wordline select"},
+		{"MWL", "main wordline"},
+		{"VSB", "vertical sub-bank (this work)"},
+		{"EWLR", "effective wordline range (this work)"},
+		{"RAP", "row address permutation (this work)"},
+		{"DDB", "dual data bus (this work)"},
+		{"FMFI", "free memory fragmentation index"},
+		{"THP", "transparent huge pages"},
+	}
+}

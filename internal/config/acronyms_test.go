@@ -1,0 +1,66 @@
+package config
+
+import "testing"
+
+func TestAcronyms(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range Acronyms() {
+		if a.Name == "" || a.Description == "" {
+			t.Errorf("empty acronym entry %+v", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate acronym %s", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, want := range []string{"MWL", "LWL SEL", "GBL", "VSB", "EWLR", "RAP", "DDB"} {
+		if !seen[want] {
+			t.Errorf("missing acronym %s", want)
+		}
+	}
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	for _, name := range RegistryNames() {
+		sys, err := ByName(name, 0, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sys.Name == "" {
+			t.Errorf("%s: empty system name", name)
+		}
+		if err := sys.Scheme.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := ByName("nonsense", 0, 0); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestRegistryPlaneAndBusOverrides(t *testing.T) {
+	sys, err := ByName("vsb-ewlr-rap-ddb", 8, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Scheme.Planes != 8 {
+		t.Errorf("planes = %d", sys.Scheme.Planes)
+	}
+	if mhz := sys.Bus.FreqMHz(); mhz < 1990 || mhz > 2010 {
+		t.Errorf("bus = %v", mhz)
+	}
+}
+
+func TestSubBankModeString(t *testing.T) {
+	for m, want := range map[SubBankMode]string{
+		SubBankNone: "none", SubBankVSB: "vsb", SubBankPaired: "paired",
+		SubBankHalfDRAM: "halfdram", SubBankMASA: "masa",
+	} {
+		if m.String() != want {
+			t.Errorf("%d = %q", int(m), m.String())
+		}
+	}
+	if PlaneBitsLow.String() != "low" || PlaneBitsHigh.String() != "high" {
+		t.Error("PlaneBitsMode strings")
+	}
+}

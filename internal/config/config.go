@@ -1,0 +1,504 @@
+// Package config defines the configuration space of the ERUCA simulator:
+// DRAM geometry, timing parameters, the sub-banking scheme knobs that
+// form the paper's design space (VSB, planes, EWLR, RAP, DDB, paired-bank,
+// MASA, Half-DRAM), memory-controller policies, and the CPU-side
+// parameters of Tab. III. Presets for every configuration evaluated in
+// the paper live in presets.go.
+package config
+
+import (
+	"fmt"
+
+	"eruca/internal/clock"
+)
+
+// SubBankMode selects the sub-banking organization of a physical bank.
+type SubBankMode int
+
+const (
+	// SubBankNone is a stock DDR4 bank: one row buffer, no sub-banks.
+	SubBankNone SubBankMode = iota
+	// SubBankVSB splits each bank into two vertical sub-banks (the left
+	// and right half pages of an x4 Combo DRAM chip), each with its own
+	// column path. Sub-banks share per-plane row-address latches.
+	SubBankVSB
+	// SubBankPaired merges two adjacent banks into one paired bank that
+	// shares a single row decoder; the two constituent banks act as the
+	// two sub-banks. Saves area (Sec. IV, Fig. 3e) at the cost of plane
+	// conflicts.
+	SubBankPaired
+	// SubBankHalfDRAM models Half-DRAM [Zhang et al., ISCA'14]: two
+	// wordline-direction sub-banks whose row-address latches are shared,
+	// equivalent to a naive 2-plane VSB without EWLR or RAP.
+	SubBankHalfDRAM
+	// SubBankMASA models MASA, the highest-performing SALP scheme
+	// [Kim et al., ISCA'12]: each bank holds several subarray groups,
+	// each with its own row buffer; switching the subarray selected for
+	// column access costs an extra tSA.
+	SubBankMASA
+)
+
+// String implements fmt.Stringer.
+func (m SubBankMode) String() string {
+	switch m {
+	case SubBankNone:
+		return "none"
+	case SubBankVSB:
+		return "vsb"
+	case SubBankPaired:
+		return "paired"
+	case SubBankHalfDRAM:
+		return "halfdram"
+	case SubBankMASA:
+		return "masa"
+	}
+	return fmt.Sprintf("SubBankMode(%d)", int(m))
+}
+
+// PlaneBitsMode selects which row-address bits index the per-plane
+// row-address latch sets (Fig. 9).
+type PlaneBitsMode int
+
+const (
+	// PlaneBitsLow uses the row-address LSBs just above the EWLR offset
+	// (Fig. 9 mapping #2: EWLR alone). Low bits change frequently, so
+	// each sub-bank is likely to hit different planes.
+	PlaneBitsLow PlaneBitsMode = iota
+	// PlaneBitsHigh uses the row-address MSBs (Fig. 9 mapping #1: EWLR
+	// combined with RAP). RAP inverts these bits per sub-bank, and EWLR
+	// covers the spatial locality left in the low bits.
+	PlaneBitsHigh
+)
+
+// String implements fmt.Stringer.
+func (m PlaneBitsMode) String() string {
+	if m == PlaneBitsLow {
+		return "low"
+	}
+	return "high"
+}
+
+// Scheme describes one point in the ERUCA design space. The zero value
+// is stock DDR4 with bank groups.
+type Scheme struct {
+	Name string
+
+	Mode SubBankMode
+
+	// Planes is the number of row-address latch sets per physical bank
+	// (per sub-bank pair). Meaningful for VSB, paired-bank and
+	// Half-DRAM. Must be a power of two >= 1.
+	Planes int
+
+	// PlaneBits selects which row bits form the plane ID.
+	PlaneBits PlaneBitsMode
+
+	// EWLR enables per-sub-bank LWL_SEL latches: both sub-banks may hold
+	// different rows in the same plane when the rows share their MWL
+	// address (all row bits equal except the EWLRBits LSBs).
+	EWLR bool
+
+	// EWLRBits is the width of the EWLR offset (the LWL_SEL field).
+	// DDR4 has 8 local wordlines per MWL, so the paper uses 3.
+	EWLRBits int
+
+	// RAP inverts the plane-ID bits of the right sub-bank so that
+	// accesses with identical row MSBs map to different planes in
+	// different sub-banks.
+	RAP bool
+
+	// DDB enables the dual data bus: two chip-global buses per bank
+	// group, governed by the tTCW / tTWTRW two-command windows instead
+	// of the bank-group tCCD_L / tWTR_L penalties.
+	DDB bool
+
+	// DDBGroupPairs is the non-Combo DDB variant of Sec. V ("Application
+	// to other DRAM types"): instead of reusing the x4-idle second bus
+	// within each group, switches connect the buses of vertically
+	// adjacent bank groups (0-2 and 1-3), so each group PAIR shares two
+	// buses under one two-command window. Requires DDB.
+	DDBGroupPairs bool
+
+	// BankGrouping enforces the DDR4 bank-group timing penalties
+	// (tCCD_L, tWTR_L within a group). The idealized configuration of
+	// Fig. 12 turns this off.
+	BankGrouping bool
+
+	// MASAGroups is the number of subarray groups per bank when Mode is
+	// SubBankMASA.
+	MASAGroups int
+
+	// MASAStacked composes MASA with VSB (the MASA8+ERUCA configuration
+	// of Fig. 15): each of the two VSB sub-banks carries MASAGroups
+	// subarray row buffers, and EWLR+RAP manage the shared latches.
+	MASAStacked bool
+
+	// SubHashDisabled turns off the XOR folding of row bits into the
+	// sub-bank select (ablation: a plain dedicated bit).
+	SubHashDisabled bool
+}
+
+// SubBanksPerBank reports how many independently activatable sub-banks a
+// physical bank contributes under this scheme (1 for stock DDR4 and for
+// pure MASA, 2 for VSB/paired/Half-DRAM).
+func (s Scheme) SubBanksPerBank() int {
+	switch s.Mode {
+	case SubBankVSB, SubBankPaired, SubBankHalfDRAM:
+		return 2
+	case SubBankMASA:
+		if s.MASAStacked {
+			return 2
+		}
+		return 1
+	default:
+		return 1
+	}
+}
+
+// HasPlanes reports whether the scheme uses shared per-plane row-address
+// latches (and can therefore suffer plane conflicts).
+func (s Scheme) HasPlanes() bool {
+	return s.SubBanksPerBank() > 1
+}
+
+// Validate checks internal consistency.
+func (s Scheme) Validate() error {
+	if s.HasPlanes() {
+		if s.Planes < 1 || s.Planes&(s.Planes-1) != 0 {
+			return fmt.Errorf("config: scheme %q: plane count %d is not a power of two >= 1", s.Name, s.Planes)
+		}
+	}
+	if s.EWLR && (s.EWLRBits < 1 || s.EWLRBits > 6) {
+		return fmt.Errorf("config: scheme %q: EWLR offset width %d out of range [1,6]", s.Name, s.EWLRBits)
+	}
+	if s.Mode == SubBankMASA {
+		if s.MASAGroups < 2 || s.MASAGroups&(s.MASAGroups-1) != 0 {
+			return fmt.Errorf("config: scheme %q: MASA group count %d is not a power of two >= 2", s.Name, s.MASAGroups)
+		}
+	}
+	if s.DDBGroupPairs && !s.DDB {
+		return fmt.Errorf("config: scheme %q: DDBGroupPairs requires DDB", s.Name)
+	}
+	return nil
+}
+
+// Timing holds DDR4 timing parameters. Fields suffixed NS are in
+// nanoseconds and are converted to bus cycles when a System is built;
+// fields suffixed CK are specified directly in bus clocks, matching how
+// Tab. III of the paper expresses them.
+type Timing struct {
+	TCLns  float64 // CAS latency (read command to first data)
+	TCWLns float64 // CAS write latency
+	TRCDns float64 // ACT to column command
+	TRPns  float64 // PRE to ACT
+	TRASns float64 // ACT to PRE
+	TRTPns float64 // read to PRE
+	TWRns  float64 // end of write burst to PRE
+
+	TCCDSck int     // column-to-column, different bank groups (4 CLKs)
+	TCCDLns float64 // column-to-column, same bank group (one DRAM core clock, 5ns)
+	TWTRSns float64 // write burst end to read, different bank groups
+	TWTRLns float64 // write burst end to read, same bank group
+
+	TRRDck int     // ACT to ACT, same rank (paper: single tRRD of 4 CLKs)
+	TFAWns float64 // four-activation window
+
+	TRTWck int // read command to write command, same channel (bus turnaround)
+
+	TREFIns float64 // refresh interval
+	TRFCns  float64 // refresh cycle time
+
+	TTCWns  float64 // DDB two-column window (one DRAM core clock)
+	TSAns   float64 // MASA subarray-select switch penalty
+	BurstCK int     // data burst length in bus clocks (BL8 on DDR = 4)
+	CoreNS  float64 // DRAM internal core clock period (5ns = 200MHz)
+}
+
+// DDR4Timing returns the DDR4 timing set of Tab. III. The CAS/RCD/RP
+// latencies are "18-18-18" at a 1333MHz bus (0.75ns tCK), i.e. 13.5ns
+// each, and stay fixed in nanoseconds when the bus frequency is swept
+// (Fig. 14): the DRAM core does not get faster.
+func DDR4Timing() Timing {
+	return Timing{
+		TCLns:  13.5,
+		TCWLns: 9.0,
+		TRCDns: 13.5,
+		TRPns:  13.5,
+		TRASns: 32.0,
+		TRTPns: 7.5,
+		TWRns:  15.0,
+
+		TCCDSck: 4,
+		TCCDLns: 5.0,
+		TWTRSns: 2.5,
+		TWTRLns: 7.5,
+
+		TRRDck: 4,
+		TFAWns: 25.0,
+
+		TRTWck: 2,
+
+		TREFIns: 7800,
+		TRFCns:  350,
+
+		TTCWns:  5.0,
+		TSAns:   1.5, // MASA subarray-select switch (SALP reports ~1.4ns)
+		BurstCK: 4,
+		CoreNS:  5.0,
+	}
+}
+
+// CycleTiming is Timing resolved to bus cycles for one bus frequency.
+type CycleTiming struct {
+	CL, CWL             clock.Cycle
+	RCD, RP, RAS, RC    clock.Cycle
+	RTP, WR             clock.Cycle
+	CCDS, CCDL          clock.Cycle
+	WTRS, WTRL          clock.Cycle
+	RRD, FAW            clock.Cycle
+	RTW                 clock.Cycle
+	REFI, RFC           clock.Cycle
+	TCW, TWTRW          clock.Cycle
+	SA                  clock.Cycle
+	Burst               clock.Cycle
+	CoreCK              clock.Cycle // DRAM core clock period in bus cycles
+	TwoCommandWindowsOn bool        // whether tTCW/tTWTRW need enforcing (core clock > 2 bursts)
+}
+
+// Resolve converts the nanosecond timing set to cycles of the given bus
+// domain. tTWTRW is derived as WL + 4 CLKs + tWTR_L per Fig. 10c.
+func (t Timing) Resolve(bus clock.Domain) CycleTiming {
+	ct := CycleTiming{
+		CL:    bus.CyclesCeil(t.TCLns),
+		CWL:   bus.CyclesCeil(t.TCWLns),
+		RCD:   bus.CyclesCeil(t.TRCDns),
+		RP:    bus.CyclesCeil(t.TRPns),
+		RAS:   bus.CyclesCeil(t.TRASns),
+		RTP:   bus.CyclesCeil(t.TRTPns),
+		WR:    bus.CyclesCeil(t.TWRns),
+		CCDS:  clock.Cycle(t.TCCDSck),
+		CCDL:  bus.CyclesCeil(t.TCCDLns),
+		WTRS:  bus.CyclesCeil(t.TWTRSns),
+		WTRL:  bus.CyclesCeil(t.TWTRLns),
+		RRD:   clock.Cycle(t.TRRDck),
+		FAW:   bus.CyclesCeil(t.TFAWns),
+		RTW:   clock.Cycle(t.TRTWck),
+		REFI:  bus.CyclesCeil(t.TREFIns),
+		RFC:   bus.CyclesCeil(t.TRFCns),
+		TCW:   bus.CyclesCeil(t.TTCWns),
+		SA:    bus.CyclesCeil(t.TSAns),
+		Burst: clock.Cycle(t.BurstCK),
+	}
+	ct.RC = ct.RAS + ct.RP
+	ct.CoreCK = bus.CyclesCeil(t.CoreNS)
+	ct.TWTRW = ct.CWL + 4 + ct.WTRL
+	// The two-command windows only bind when one DRAM core clock is
+	// longer than two external data bursts (Sec. VI-B): below that, the
+	// bus can never out-pace the array.
+	ct.TwoCommandWindowsOn = ct.CoreCK > 2*ct.Burst
+	return ct
+}
+
+// Geometry describes the memory-system shape of Tab. III: 2 channels x 1
+// rank of 8Gb x4 DDR4 chips, 16 banks in 4 bank groups, 8KiB rank-level
+// rows.
+type Geometry struct {
+	Channels      int
+	Ranks         int
+	BankGroups    int
+	BanksPerGroup int
+	// RowBits is the per-bank row-address width covering the full bank,
+	// including the bit that VSB repurposes as the sub-bank select
+	// (2^17 rows of 8KiB = 1GiB per bank for an 8Gb x4 rank of 16 chips).
+	RowBits int
+	// ColBits is log2(cache lines per row): an 8KiB row holds 128 lines.
+	ColBits int
+	// LineBytes is the cache-line (memory transaction) size.
+	LineBytes int
+}
+
+// DefaultGeometry returns the Tab. III memory system.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		Channels:      2,
+		Ranks:         1,
+		BankGroups:    4,
+		BanksPerGroup: 4,
+		RowBits:       17,
+		ColBits:       7,
+		LineBytes:     64,
+	}
+}
+
+// Banks reports banks per rank.
+func (g Geometry) Banks() int { return g.BankGroups * g.BanksPerGroup }
+
+// RowBytes reports the rank-level row (page) size in bytes.
+func (g Geometry) RowBytes() int { return (1 << g.ColBits) * g.LineBytes }
+
+// BankBytes reports per-bank capacity in bytes.
+func (g Geometry) BankBytes() uint64 {
+	return uint64(g.RowBytes()) << uint(g.RowBits)
+}
+
+// TotalBytes reports total physical capacity across channels and ranks.
+func (g Geometry) TotalBytes() uint64 {
+	return g.BankBytes() * uint64(g.Banks()*g.Ranks*g.Channels)
+}
+
+// AddrBits reports the number of physical-address bits the geometry spans.
+func (g Geometry) AddrBits() int {
+	b := 0
+	for n := g.TotalBytes(); n > 1; n >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Controller holds memory-controller policy parameters.
+type Controller struct {
+	ReadQueueDepth  int
+	WriteQueueDepth int
+	// WriteDrainHi/Lo are the write-drain watermarks: when the write
+	// queue reaches Hi the controller switches to draining writes until
+	// it falls to Lo.
+	WriteDrainHi int
+	WriteDrainLo int
+	// ScanLimit bounds how many queued transactions FR-FCFS examines per
+	// cycle, oldest first.
+	ScanLimit int
+	// ClosePageIdleCK closes an open row after this many idle bus cycles
+	// with no queued request to it (the "adaptive open page" policy of
+	// Tab. III). Zero keeps rows open until a conflict.
+	ClosePageIdleCK int
+	// RefreshEnabled turns on tREFI/tRFC refresh scheduling.
+	RefreshEnabled bool
+	// HitFirstDisabled drops the row-hit-first pass, degrading FR-FCFS
+	// to plain FCFS (ablation).
+	HitFirstDisabled bool
+}
+
+// DefaultController returns the controller policy used throughout the
+// evaluation.
+func DefaultController() Controller {
+	return Controller{
+		ReadQueueDepth:  64,
+		WriteQueueDepth: 64,
+		WriteDrainHi:    40,
+		WriteDrainLo:    16,
+		ScanLimit:       32,
+		ClosePageIdleCK: 1200,
+		RefreshEnabled:  true,
+	}
+}
+
+// CPU holds the processor-side parameters of Tab. III.
+type CPU struct {
+	Cores           int
+	Width           int // fetch/issue/retire width
+	ROB             int
+	LSQ             int
+	L1Bytes         int
+	L1Ways          int
+	L1LatencyCK     int // CPU cycles
+	LLCBytesPerCore int
+	LLCWays         int
+	LLCLatencyCK    int
+	// ClockRatio is CPU cycles per bus cycle. The paper runs a 4GHz CPU
+	// against a 1.33GHz bus and scales the CPU with the bus in Fig. 14,
+	// keeping the ratio at 3.
+	ClockRatio int
+}
+
+// DefaultCPU returns the Tab. III processor: 4-core OoO x86 at 4GHz,
+// width 8, LSQ 32, ROB 192, 32KiB L1D, 1MiB LLC per core.
+func DefaultCPU() CPU {
+	return CPU{
+		Cores:           4,
+		Width:           8,
+		ROB:             192,
+		LSQ:             32,
+		L1Bytes:         32 << 10,
+		L1Ways:          8,
+		L1LatencyCK:     4,
+		LLCBytesPerCore: 1 << 20,
+		LLCWays:         16,
+		LLCLatencyCK:    30,
+		ClockRatio:      3,
+	}
+}
+
+// System is a fully resolved simulator configuration.
+type System struct {
+	Name   string
+	Geom   Geometry
+	Scheme Scheme
+	Timing Timing
+	Bus    clock.Domain
+	CT     CycleTiming
+	Ctrl   Controller
+	CPU    CPU
+}
+
+// NewSystem assembles and validates a System for the given bus frequency
+// in MHz.
+func NewSystem(name string, geom Geometry, sch Scheme, tm Timing, busMHz float64, ctrl Controller, cpu CPU) (*System, error) {
+	if err := sch.Validate(); err != nil {
+		return nil, err
+	}
+	bus := clock.MHz("bus", busMHz)
+	sys := &System{
+		Name:   name,
+		Geom:   geom,
+		Scheme: sch,
+		Timing: tm,
+		Bus:    bus,
+		CT:     tm.Resolve(bus),
+		Ctrl:   ctrl,
+		CPU:    cpu,
+	}
+	if sch.HasPlanes() {
+		rowBits := geom.RowBits - 1 // per-sub-bank row bits
+		if sch.Mode == SubBankPaired {
+			rowBits = geom.RowBits // paired sub-banks keep full banks
+		}
+		planeBits := log2(sch.Planes)
+		need := planeBits
+		if sch.EWLR {
+			need += sch.EWLRBits
+		}
+		if need > rowBits {
+			return nil, fmt.Errorf("config: %s: plane bits (%d) + EWLR bits exceed row width %d", name, planeBits, rowBits)
+		}
+	}
+	return sys, nil
+}
+
+// MustSystem is NewSystem that panics on error; used by the preset
+// constructors, whose parameters are static.
+func MustSystem(name string, geom Geometry, sch Scheme, tm Timing, busMHz float64, ctrl Controller, cpu CPU) *System {
+	sys, err := NewSystem(name, geom, sch, tm, busMHz, ctrl, cpu)
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+// EffectiveBanksPerRank reports how many independently activatable
+// (sub-)bank row buffers a rank exposes under the configured scheme.
+func (s *System) EffectiveBanksPerRank() int {
+	n := s.Geom.Banks() * s.Scheme.SubBanksPerBank()
+	if s.Scheme.Mode == SubBankMASA {
+		n *= s.Scheme.MASAGroups
+	}
+	return n
+}
+
+func log2(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}

@@ -1,0 +1,144 @@
+package config
+
+import (
+	"testing"
+
+	"eruca/internal/clock"
+)
+
+func TestDefaultGeometry(t *testing.T) {
+	g := DefaultGeometry()
+	if g.Banks() != 16 {
+		t.Errorf("banks = %d, want 16", g.Banks())
+	}
+	if g.RowBytes() != 8<<10 {
+		t.Errorf("row bytes = %d, want 8KiB", g.RowBytes())
+	}
+	if g.BankBytes() != 1<<30 {
+		t.Errorf("bank bytes = %d, want 1GiB", g.BankBytes())
+	}
+	if g.TotalBytes() != 32<<30 {
+		t.Errorf("total = %d, want 32GiB", g.TotalBytes())
+	}
+	if g.AddrBits() != 35 {
+		t.Errorf("addr bits = %d, want 35", g.AddrBits())
+	}
+}
+
+func TestResolveTabIII(t *testing.T) {
+	bus := clock.MHz("bus", 1333)
+	ct := DDR4Timing().Resolve(bus)
+	// 18-18-18 at 1333MHz.
+	if ct.CL != 18 || ct.RCD != 18 || ct.RP != 18 {
+		t.Errorf("CL/RCD/RP = %d/%d/%d, want 18/18/18", ct.CL, ct.RCD, ct.RP)
+	}
+	if ct.CCDS != 4 {
+		t.Errorf("tCCD_S = %d, want 4 CLKs", ct.CCDS)
+	}
+	if ct.CCDL != 7 { // 5ns at 0.75ns tCK
+		t.Errorf("tCCD_L = %d, want 7", ct.CCDL)
+	}
+	if ct.RRD != 4 {
+		t.Errorf("tRRD = %d, want 4 CLKs", ct.RRD)
+	}
+	if ct.TWTRW != ct.CWL+4+ct.WTRL {
+		t.Errorf("tTWTRW = %d, want WL+4+tWTR_L = %d", ct.TWTRW, ct.CWL+4+ct.WTRL)
+	}
+	if ct.RC != ct.RAS+ct.RP {
+		t.Errorf("tRC = %d, want tRAS+tRP = %d", ct.RC, ct.RAS+ct.RP)
+	}
+}
+
+// The two-command windows only matter once a DRAM core clock outlasts two
+// external bursts. At 1.33GHz a core clock is 7 bus cycles < 2*4, so DDB
+// is effectively unconstrained; at 2.4GHz it is 12 > 8 and the windows
+// bind. (Sec. VI-B: "applied only when the DRAM core clock cycle time is
+// longer than twice the data burst time".)
+func TestTwoCommandWindowActivation(t *testing.T) {
+	low := DDR4Timing().Resolve(clock.MHz("bus", 1333))
+	if low.TwoCommandWindowsOn {
+		t.Error("two-command windows should be off at 1.33GHz")
+	}
+	hi := DDR4Timing().Resolve(clock.MHz("bus", 2400))
+	if !hi.TwoCommandWindowsOn {
+		t.Error("two-command windows should bind at 2.4GHz")
+	}
+}
+
+func TestSchemeValidate(t *testing.T) {
+	bad := Scheme{Name: "bad", Mode: SubBankVSB, Planes: 3}
+	if err := bad.Validate(); err == nil {
+		t.Error("plane count 3 validated")
+	}
+	bad = Scheme{Name: "bad", Mode: SubBankVSB, Planes: 4, EWLR: true, EWLRBits: 9}
+	if err := bad.Validate(); err == nil {
+		t.Error("EWLR width 9 validated")
+	}
+	bad = Scheme{Name: "bad", Mode: SubBankMASA, MASAGroups: 3}
+	if err := bad.Validate(); err == nil {
+		t.Error("MASA groups 3 validated")
+	}
+	good := Scheme{Name: "ok", Mode: SubBankVSB, Planes: 4, EWLR: true, EWLRBits: 3, RAP: true}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid scheme rejected: %v", err)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, sys := range append(Fig12Systems(), Fig15Systems()...) {
+		if err := sys.Scheme.Validate(); err != nil {
+			t.Errorf("%s: %v", sys.Name, err)
+		}
+		if sys.Geom.TotalBytes() != 32<<30 {
+			t.Errorf("%s: capacity changed to %d", sys.Name, sys.Geom.TotalBytes())
+		}
+	}
+}
+
+func TestEffectiveBanks(t *testing.T) {
+	cases := []struct {
+		sys  *System
+		want int
+	}{
+		{Baseline(DefaultBusMHz), 16},
+		{VSB(4, true, true, true, DefaultBusMHz), 32},
+		{Ideal32(DefaultBusMHz), 32},
+		{BG32(DefaultBusMHz), 32},
+		{MASA(8, DefaultBusMHz), 128},
+		{MASAERUCA(8, 4, true, DefaultBusMHz), 256},
+		{HalfDRAM(DefaultBusMHz), 32},
+		{PairedBank(4, false, DefaultBusMHz), 32},
+	}
+	for _, c := range cases {
+		if got := c.sys.EffectiveBanksPerRank(); got != c.want {
+			t.Errorf("%s: effective banks = %d, want %d", c.sys.Name, got, c.want)
+		}
+	}
+}
+
+func TestPlaneBitsRule(t *testing.T) {
+	if VSB(4, true, false, false, DefaultBusMHz).Scheme.PlaneBits != PlaneBitsLow {
+		t.Error("EWLR alone should draw plane ID from row LSBs (Fig. 9 #2)")
+	}
+	if VSB(4, true, true, false, DefaultBusMHz).Scheme.PlaneBits != PlaneBitsHigh {
+		t.Error("EWLR+RAP should draw plane ID from row MSBs (Fig. 9 #1)")
+	}
+}
+
+func TestGenerationSpecs(t *testing.T) {
+	specs := GenerationSpecs()
+	if len(specs) != 4 {
+		t.Fatalf("got %d generations, want 4", len(specs))
+	}
+	if specs[3].Name != "DDR4" || specs[3].BankCount != "16" {
+		t.Errorf("DDR4 spec wrong: %+v", specs[3])
+	}
+}
+
+func TestNewSystemRejectsOverwidePlanes(t *testing.T) {
+	sch := Scheme{Name: "huge", Mode: SubBankVSB, Planes: 1 << 15, PlaneBits: PlaneBitsHigh, EWLR: true, EWLRBits: 3}
+	_, err := NewSystem("huge", DefaultGeometry(), sch, DDR4Timing(), DefaultBusMHz, DefaultController(), DefaultCPU())
+	if err == nil {
+		t.Error("16-bit plane ID + 3 EWLR bits in a 16-bit row accepted")
+	}
+}

@@ -1,0 +1,22 @@
+package config
+
+// GenerationSpec is one column of Tab. I: the headline parameters of a
+// DRAM generation, illustrating the widening gap between channel and
+// core frequency that motivates DDB.
+type GenerationSpec struct {
+	Name             string
+	BankCount        string
+	ChannelClockMHz  string
+	CoreClockMHz     string
+	InternalPrefetch string
+}
+
+// GenerationSpecs returns Tab. I.
+func GenerationSpecs() []GenerationSpec {
+	return []GenerationSpec{
+		{"DDR", "4", "133-200", "133-200", "2n"},
+		{"DDR2", "4-8", "266-400", "133-200", "4n"},
+		{"DDR3", "8", "533-800", "133-200", "8n"},
+		{"DDR4", "16", "1066-1600", "133-200", "8n"},
+	}
+}

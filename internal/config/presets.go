@@ -1,0 +1,223 @@
+package config
+
+// This file defines one constructor per configuration evaluated in the
+// paper (Figs. 12-16). All presets share the Tab. III geometry, timing,
+// controller policy and CPU; they differ only in the Scheme and, for the
+// 32-bank idealizations, the bank geometry.
+
+// DefaultBusMHz is the Tab. III DDR4 channel frequency (1.33GHz).
+const DefaultBusMHz = 1333
+
+// Baseline returns stock DDR4: 16 banks, 4 bank groups, no sub-banking.
+// Every speedup in the paper is normalized to this configuration.
+func Baseline(busMHz float64) *System {
+	sch := Scheme{Name: "DDR4", Mode: SubBankNone, BankGrouping: true}
+	return MustSystem("DDR4", DefaultGeometry(), sch, DDR4Timing(), busMHz, DefaultController(), DefaultCPU())
+}
+
+// VSB returns a vertical sub-bank configuration with the given plane
+// count and conflict-avoidance mechanisms. With ddb=false the chip keeps
+// the single bank-group bus ("VSB+BG" in Fig. 12).
+func VSB(planes int, ewlr, rap, ddb bool, busMHz float64) *System {
+	name := "VSB(" + vsbTag(ewlr, rap) + ")"
+	if ddb {
+		name += "+DDB"
+	} else {
+		name += "+BG"
+	}
+	sch := Scheme{
+		Name:         name,
+		Mode:         SubBankVSB,
+		Planes:       planes,
+		PlaneBits:    planeBitsFor(ewlr, rap),
+		EWLR:         ewlr,
+		EWLRBits:     3,
+		RAP:          rap,
+		DDB:          ddb,
+		BankGrouping: true,
+	}
+	return MustSystem(name, DefaultGeometry(), sch, DDR4Timing(), busMHz, DefaultController(), DefaultCPU())
+}
+
+// planeBitsFor implements the Fig. 9 address-mapping rule: EWLR alone
+// draws the plane ID from the row LSBs (above the EWLR offset); as soon
+// as RAP is in play the plane ID moves to the row MSBs, which RAP
+// permutes per sub-bank.
+func planeBitsFor(ewlr, rap bool) PlaneBitsMode {
+	if rap {
+		return PlaneBitsHigh
+	}
+	if ewlr {
+		return PlaneBitsLow
+	}
+	// Naive VSB: planes are contiguous row regions indexed by the MSBs
+	// (Fig. 3a/b).
+	return PlaneBitsHigh
+}
+
+func vsbTag(ewlr, rap bool) string {
+	switch {
+	case ewlr && rap:
+		return "EWLR+RAP"
+	case ewlr:
+		return "EWLR"
+	case rap:
+		return "RAP"
+	default:
+		return "naive"
+	}
+}
+
+// PairedBank returns the non-Combo paired-bank design of Fig. 3e: two
+// adjacent banks share one row decoder and act as the two sub-banks of a
+// paired bank, always with EWLR+RAP (the paper evaluates no naive
+// paired-bank).
+func PairedBank(planes int, ddb bool, busMHz float64) *System {
+	name := "Paired-bank(EWLR+RAP)"
+	if ddb {
+		name += "+DDB"
+	}
+	sch := Scheme{
+		Name:         name,
+		Mode:         SubBankPaired,
+		Planes:       planes,
+		PlaneBits:    PlaneBitsHigh,
+		EWLR:         true,
+		EWLRBits:     3,
+		RAP:          true,
+		DDB:          ddb,
+		BankGrouping: true,
+	}
+	return MustSystem(name, DefaultGeometry(), sch, DDR4Timing(), busMHz, DefaultController(), DefaultCPU())
+}
+
+// PairedBankNonCombo returns the fully non-Combo ERUCA design: paired
+// banks (Fig. 3e) with EWLR+RAP plus the Sec. V DDB variant, where the
+// dual-bus switches connect vertically-adjacent bank groups instead of
+// reusing the x4-idle second bus.
+func PairedBankNonCombo(planes int, busMHz float64) *System {
+	sch := Scheme{
+		Name:          "Paired-bank(EWLR+RAP)+DDBpairs",
+		Mode:          SubBankPaired,
+		Planes:        planes,
+		PlaneBits:     PlaneBitsHigh,
+		EWLR:          true,
+		EWLRBits:      3,
+		RAP:           true,
+		DDB:           true,
+		DDBGroupPairs: true,
+		BankGrouping:  true,
+	}
+	return MustSystem(sch.Name, DefaultGeometry(), sch, DDR4Timing(), busMHz, DefaultController(), DefaultCPU())
+}
+
+// HalfDRAM returns the Half-DRAM comparison point of Fig. 15: two
+// wordline-direction sub-banks that share row-address latches, modeled
+// as a 2-plane naive sub-bank pair without EWLR, RAP or DDB.
+func HalfDRAM(busMHz float64) *System {
+	sch := Scheme{
+		Name:         "Half-DRAM",
+		Mode:         SubBankHalfDRAM,
+		Planes:       2,
+		PlaneBits:    PlaneBitsHigh,
+		BankGrouping: true,
+	}
+	return MustSystem("Half-DRAM", DefaultGeometry(), sch, DDR4Timing(), busMHz, DefaultController(), DefaultCPU())
+}
+
+// MASA returns the MASA (SALP) comparison point with the given number of
+// subarray groups per bank (4 or 8 in Fig. 15).
+func MASA(groups int, busMHz float64) *System {
+	name := "MASA4"
+	if groups == 8 {
+		name = "MASA8"
+	}
+	sch := Scheme{
+		Name:         name,
+		Mode:         SubBankMASA,
+		MASAGroups:   groups,
+		BankGrouping: true,
+	}
+	return MustSystem(name, DefaultGeometry(), sch, DDR4Timing(), busMHz, DefaultController(), DefaultCPU())
+}
+
+// MASAERUCA composes MASA8 with the ERUCA mechanisms (Fig. 15's
+// MASA8+ERUCA bars): VSB sub-banks on top of 8 subarray groups with
+// EWLR+RAP on the shared latches, optionally with DDB.
+func MASAERUCA(groups, planes int, ddb bool, busMHz float64) *System {
+	name := "MASA8+ERUCA"
+	if !ddb {
+		name += "(no DDB)"
+	}
+	sch := Scheme{
+		Name:         name,
+		Mode:         SubBankMASA,
+		MASAGroups:   groups,
+		MASAStacked:  true,
+		Planes:       planes,
+		PlaneBits:    PlaneBitsHigh,
+		EWLR:         true,
+		EWLRBits:     3,
+		RAP:          true,
+		DDB:          ddb,
+		BankGrouping: true,
+	}
+	return MustSystem(name, DefaultGeometry(), sch, DDR4Timing(), busMHz, DefaultController(), DefaultCPU())
+}
+
+// thirtyTwoBankGeometry doubles the bank count at constant capacity:
+// 8 banks per group, one less row bit. Neither 32-bank design is
+// practical (11% die overhead); they bound achievable performance.
+func thirtyTwoBankGeometry() Geometry {
+	g := DefaultGeometry()
+	g.BanksPerGroup = 8
+	g.RowBits--
+	return g
+}
+
+// Ideal32 returns the idealized DDR4 of Fig. 12: 32 full banks and
+// enough internal buses that bank grouping (and its tCCD_L/tWTR_L
+// penalties) disappears.
+func Ideal32(busMHz float64) *System {
+	sch := Scheme{Name: "Ideal32", Mode: SubBankNone, BankGrouping: false}
+	return MustSystem("Ideal32", thirtyTwoBankGeometry(), sch, DDR4Timing(), busMHz, DefaultController(), DefaultCPU())
+}
+
+// BG32 returns 32 banks that still pay the bank-group timing
+// constraints ("bg32" in Fig. 12).
+func BG32(busMHz float64) *System {
+	sch := Scheme{Name: "BG32", Mode: SubBankNone, BankGrouping: true}
+	return MustSystem("BG32", thirtyTwoBankGeometry(), sch, DDR4Timing(), busMHz, DefaultController(), DefaultCPU())
+}
+
+// Fig12Systems returns the configurations of Fig. 12 in presentation
+// order, all at the default 1.33GHz bus.
+func Fig12Systems() []*System {
+	return []*System{
+		PairedBank(4, false, DefaultBusMHz),
+		PairedBank(4, true, DefaultBusMHz),
+		VSB(4, false, false, false, DefaultBusMHz),
+		VSB(4, false, false, true, DefaultBusMHz),
+		VSB(4, true, true, true, DefaultBusMHz),
+		BG32(DefaultBusMHz),
+		Ideal32(DefaultBusMHz),
+	}
+}
+
+// Fig15Systems returns the prior-work comparison configurations of
+// Fig. 15.
+func Fig15Systems() []*System {
+	return []*System{
+		HalfDRAM(DefaultBusMHz),
+		VSB(4, true, true, false, DefaultBusMHz),
+		VSB(4, true, true, true, DefaultBusMHz),
+		MASA(4, DefaultBusMHz),
+		MASA(8, DefaultBusMHz),
+		MASAERUCA(8, 4, false, DefaultBusMHz),
+		MASAERUCA(8, 4, true, DefaultBusMHz),
+		Ideal32(DefaultBusMHz),
+	}
+}
+
+// Fig14Frequencies lists the channel frequencies swept in Fig. 14 (MHz).
+func Fig14Frequencies() []float64 { return []float64{1333, 1600, 2000, 2400} }

@@ -1,0 +1,85 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ByName builds a preset system by its registry name, with the given
+// plane count (where applicable) and bus frequency. Names:
+//
+//	ddr4            stock DDR4 baseline
+//	vsb-naive       VSB without conflict avoidance, bank-group bus
+//	vsb-naive-ddb   VSB + DDB
+//	vsb-ewlr        VSB + EWLR (+DDB with the -ddb suffix convention below)
+//	vsb-rap         VSB + RAP
+//	vsb-ewlr-rap    VSB + EWLR + RAP
+//	vsb-ewlr-ddb, vsb-rap-ddb, vsb-ewlr-rap-ddb
+//	paired          paired-bank ERUCA (EWLR+RAP)
+//	paired-ddb      paired-bank ERUCA + DDB
+//	halfdram        Half-DRAM comparison point
+//	masa4, masa8    MASA comparison points
+//	masa8-eruca     MASA8 + VSB(EWLR+RAP) + DDB
+//	masa8-eruca-noddb
+//	bg32, ideal32   32-bank references
+func ByName(name string, planes int, busMHz float64) (*System, error) {
+	if planes == 0 {
+		planes = 4
+	}
+	if busMHz == 0 {
+		busMHz = DefaultBusMHz
+	}
+	switch name {
+	case "ddr4":
+		return Baseline(busMHz), nil
+	case "vsb-naive":
+		return VSB(planes, false, false, false, busMHz), nil
+	case "vsb-naive-ddb":
+		return VSB(planes, false, false, true, busMHz), nil
+	case "vsb-ewlr":
+		return VSB(planes, true, false, false, busMHz), nil
+	case "vsb-ewlr-ddb":
+		return VSB(planes, true, false, true, busMHz), nil
+	case "vsb-rap":
+		return VSB(planes, false, true, false, busMHz), nil
+	case "vsb-rap-ddb":
+		return VSB(planes, false, true, true, busMHz), nil
+	case "vsb-ewlr-rap":
+		return VSB(planes, true, true, false, busMHz), nil
+	case "vsb-ewlr-rap-ddb":
+		return VSB(planes, true, true, true, busMHz), nil
+	case "paired":
+		return PairedBank(planes, false, busMHz), nil
+	case "paired-ddb":
+		return PairedBank(planes, true, busMHz), nil
+	case "paired-ddb-nocombo":
+		return PairedBankNonCombo(planes, busMHz), nil
+	case "halfdram":
+		return HalfDRAM(busMHz), nil
+	case "masa4":
+		return MASA(4, busMHz), nil
+	case "masa8":
+		return MASA(8, busMHz), nil
+	case "masa8-eruca":
+		return MASAERUCA(8, planes, true, busMHz), nil
+	case "masa8-eruca-noddb":
+		return MASAERUCA(8, planes, false, busMHz), nil
+	case "bg32":
+		return BG32(busMHz), nil
+	case "ideal32":
+		return Ideal32(busMHz), nil
+	}
+	return nil, fmt.Errorf("config: unknown system %q (see RegistryNames)", name)
+}
+
+// RegistryNames lists every name ByName accepts, sorted.
+func RegistryNames() []string {
+	names := []string{
+		"ddr4", "vsb-naive", "vsb-naive-ddb", "vsb-ewlr", "vsb-ewlr-ddb",
+		"vsb-rap", "vsb-rap-ddb", "vsb-ewlr-rap", "vsb-ewlr-rap-ddb",
+		"paired", "paired-ddb", "paired-ddb-nocombo", "halfdram",
+		"masa4", "masa8", "masa8-eruca", "masa8-eruca-noddb", "bg32", "ideal32",
+	}
+	sort.Strings(names)
+	return names
+}

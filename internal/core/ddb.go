@@ -1,0 +1,90 @@
+package core
+
+import "eruca/internal/clock"
+
+// DDBWindow enforces the dual-data-bus command windows of Sec. VI-B for
+// one bank group. DDB gives each bank group two chip-global buses, so up
+// to two column accesses may overlap; a third within one DRAM core clock
+// would need a third bus. The two constraints are:
+//
+//   - tTCW (two-column window, Fig. 10a/b): a column command must wait
+//     until at least tTCW after the second-most-recent column command of
+//     the same direction;
+//   - tTWTRW (two-write-to-read window, Fig. 10c): a read must wait
+//     tTWTRW = WL + 4CLK + tWTR_L after the first of two closely spaced
+//     writes.
+//
+// Both windows apply only when the DRAM core clock is longer than two
+// external bursts (otherwise the external bus cannot out-pace the
+// array); CycleTiming.TwoCommandWindowsOn captures that.
+//
+// The zero value is an unconstrained window (DDB off or windows not
+// binding).
+type DDBWindow struct {
+	enabled bool
+	tcw     clock.Cycle
+	twtrw   clock.Cycle
+
+	lastRd [2]clock.Cycle // [0] most recent, [1] before that
+	lastWr [2]clock.Cycle
+}
+
+// NewDDBWindow returns a window enforcing tTCW/tTWTRW when enabled.
+func NewDDBWindow(enabled bool, tcw, twtrw clock.Cycle) DDBWindow {
+	w := DDBWindow{enabled: enabled, tcw: tcw, twtrw: twtrw}
+	w.lastRd = [2]clock.Cycle{-1 << 60, -1 << 60}
+	w.lastWr = [2]clock.Cycle{-1 << 60, -1 << 60}
+	return w
+}
+
+// EarliestColumn reports the earliest cycle a column command of the
+// given direction may issue in this bank group.
+func (w *DDBWindow) EarliestColumn(read bool) clock.Cycle {
+	if !w.enabled {
+		return 0
+	}
+	if read {
+		e := w.lastRd[1] + w.tcw
+		// tTWTRW: a read after two successive writes waits tTWTRW from
+		// the first of the pair. If the writes were far apart this bound
+		// is already in the past.
+		if t := w.lastWr[1] + w.twtrw; t > e {
+			e = t
+		}
+		return e
+	}
+	return w.lastWr[1] + w.tcw
+}
+
+// Record notes a column command issued at the given cycle.
+func (w *DDBWindow) Record(at clock.Cycle, read bool) {
+	if !w.enabled {
+		return
+	}
+	if read {
+		w.lastRd[1], w.lastRd[0] = w.lastRd[0], at
+	} else {
+		w.lastWr[1], w.lastWr[0] = w.lastWr[0], at
+	}
+}
+
+// MASASlots derives the subarray-group slot of a row for the MASA
+// comparison model. SALP exposes the subarray bits to the memory
+// controller and interleaves rows across subarray groups (the row
+// decoder is free to place consecutive row addresses in different
+// groups), so the slot is taken from the row-address LSBs — otherwise
+// huge-page MSB locality would park all traffic in one subarray and
+// waste the extra row buffers.
+type MASASlots struct {
+	mask uint32
+}
+
+// NewMASASlots builds slot selection for `groups` subarray groups over a
+// rowBits-wide row address.
+func NewMASASlots(groups, rowBits int) MASASlots {
+	_ = rowBits
+	return MASASlots{mask: uint32(groups - 1)}
+}
+
+// Slot returns the subarray group holding the row.
+func (m MASASlots) Slot(row uint32) int { return int(row & m.mask) }

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"eruca/internal/clock"
+)
+
+func TestDDBWindowDisabled(t *testing.T) {
+	w := NewDDBWindow(false, 12, 30)
+	w.Record(100, true)
+	w.Record(101, true)
+	if e := w.EarliestColumn(true); e != 0 {
+		t.Errorf("disabled window constrains: %d", e)
+	}
+}
+
+// Fig. 10a: two reads may be back-to-back; the third waits tTCW from the
+// first.
+func TestTCWThirdCommandBlocked(t *testing.T) {
+	w := NewDDBWindow(true, 12, 30)
+	if e := w.EarliestColumn(true); e > 0 {
+		t.Fatalf("first read constrained: %d", e)
+	}
+	w.Record(100, true)
+	if e := w.EarliestColumn(true); e > 100 {
+		t.Fatalf("second read constrained: %d", e)
+	}
+	w.Record(104, true)
+	if e := w.EarliestColumn(true); e != 100+12 {
+		t.Errorf("third read earliest = %d, want 112 (first + tTCW)", e)
+	}
+	w.Record(112, true)
+	if e := w.EarliestColumn(true); e != 104+12 {
+		t.Errorf("fourth read earliest = %d, want 116", e)
+	}
+}
+
+// Reads and writes are tracked separately (Sec. VI-B: the controller
+// keeps two tTCW constraints because data occupies the bus at different
+// offsets for reads and writes).
+func TestTCWSeparateDirections(t *testing.T) {
+	w := NewDDBWindow(true, 12, 30)
+	w.Record(100, true)
+	w.Record(101, true)
+	if e := w.EarliestColumn(false); e > 101 {
+		t.Errorf("write constrained by read window: %d", e)
+	}
+}
+
+// Fig. 10c: a read after two successive writes waits tTWTRW from the
+// first write of the pair.
+func TestTWTRW(t *testing.T) {
+	w := NewDDBWindow(true, 12, 30)
+	w.Record(200, false)
+	w.Record(203, false)
+	if e := w.EarliestColumn(true); e != 200+30 {
+		t.Errorf("read after write pair earliest = %d, want 230", e)
+	}
+	// Writes far apart: the bound is stale and does not bind.
+	w2 := NewDDBWindow(true, 12, 30)
+	w2.Record(100, false)
+	w2.Record(500, false)
+	if e := w2.EarliestColumn(true); e > 130 {
+		t.Errorf("distant writes still constrain read: %d", e)
+	}
+}
+
+func TestMASASlots(t *testing.T) {
+	s := NewMASASlots(8, 17)
+	if got := s.Slot(0); got != 0 {
+		t.Errorf("slot(0) = %d", got)
+	}
+	// Subarray-interleaved row mapping: consecutive rows alternate
+	// groups.
+	if got := s.Slot(1); got != 1 {
+		t.Errorf("slot(1) = %d, want 1", got)
+	}
+	if got := s.Slot(7); got != 7 {
+		t.Errorf("slot(7) = %d, want 7", got)
+	}
+	if got := s.Slot(8); got != 0 {
+		t.Errorf("slot(8) = %d, want 0 (wraps)", got)
+	}
+	s4 := NewMASASlots(4, 16)
+	if got := s4.Slot(0xC003); got != 3 {
+		t.Errorf("4-group slot(0xC003) = %d, want 3", got)
+	}
+}
+
+func TestDDBWindowZeroValue(t *testing.T) {
+	var w DDBWindow
+	if e := w.EarliestColumn(true); e != 0 {
+		t.Errorf("zero value constrains: %d", e)
+	}
+	w.Record(5, true) // must not panic
+}
+
+func TestTCWLongIdleDoesNotBlock(t *testing.T) {
+	w := NewDDBWindow(true, 12, 30)
+	w.Record(100, true)
+	w.Record(101, true)
+	var now clock.Cycle = 10000
+	if e := w.EarliestColumn(true); e > now {
+		t.Errorf("stale window blocks at %d", e)
+	}
+}

@@ -1,0 +1,219 @@
+// Package core implements the ERUCA mechanisms that are the paper's
+// contribution:
+//
+//   - plane bookkeeping for vertical sub-banks (VSB), paired banks and
+//     Half-DRAM: which row-address latch set each active row occupies and
+//     when two sub-banks conflict on one (Sec. IV, Fig. 3);
+//   - EWLR, the effective wordline range: per-sub-bank LWL_SEL latches
+//     that let both sub-banks stay active in one plane when their rows
+//     share the MWL address (Fig. 6);
+//   - RAP, row address permutation: per-sub-bank inversion of the
+//     plane-ID bits (Fig. 3d);
+//   - the Fig. 5 activation decision flow (Decide);
+//   - the DDB two-command windows tTCW and tTWTRW (Sec. VI-B, Fig. 10);
+//   - MASA subarray-slot selection for the prior-work comparison.
+//
+// The package is pure logic over row addresses and timestamps; the DRAM
+// timing engine (internal/dram) owns the clocks and state machines and
+// consults this package for every activation decision.
+package core
+
+import (
+	"fmt"
+
+	"eruca/internal/config"
+)
+
+// PlaneLogic derives plane IDs, latch (MWL) addresses and EWLR hits
+// from row addresses under one scheme, following the Fig. 9 address
+// mappings:
+//
+//   - with RAP (or naive VSB), the plane ID is the row MSBs and the EWLR
+//     offset sits directly below it — RAP changes the MSBs, so
+//     randomizing the next bits down is what pays (Fig. 9 #1);
+//   - with EWLR alone, the plane ID is the row LSBs (they change most
+//     often) and the EWLR offset sits directly above it (Fig. 9 #2).
+//
+// The DRAM exposes which physical address bits feed the LWL_SEL latches,
+// so the controller is free to place the offset field (Sec. IV).
+// PlaneLogic is immutable and safe for concurrent use.
+type PlaneLogic struct {
+	planes    int
+	planeBits int
+	ewlr      bool
+	ewlrBits  int
+	rap       bool
+	rowBits   int
+	high      bool
+
+	planeShift uint
+	offsetMask uint32 // EWLR offset field, in place; 0 when EWLR is off
+	planeMask  uint32 // plane-ID field, in place
+}
+
+// NewPlaneLogic builds the plane logic for a system. It panics if the
+// scheme has no planes; call only when Scheme.HasPlanes().
+func NewPlaneLogic(sch config.Scheme, rowBits int) *PlaneLogic {
+	if !sch.HasPlanes() {
+		panic("core: NewPlaneLogic on a scheme without planes")
+	}
+	p := &PlaneLogic{
+		planes:   sch.Planes,
+		ewlr:     sch.EWLR,
+		ewlrBits: sch.EWLRBits,
+		rap:      sch.RAP,
+		rowBits:  rowBits,
+		high:     sch.PlaneBits == config.PlaneBitsHigh,
+	}
+	for n := sch.Planes; n > 1; n >>= 1 {
+		p.planeBits++
+	}
+	if p.high {
+		p.planeShift = uint(rowBits - p.planeBits)
+		if p.ewlr {
+			off := int(p.planeShift) - p.ewlrBits
+			if off < 0 {
+				off = 0
+			}
+			p.offsetMask = (1<<uint(p.ewlrBits) - 1) << uint(off)
+		}
+	} else {
+		p.planeShift = 0
+		if p.ewlr {
+			p.offsetMask = (1<<uint(p.ewlrBits) - 1) << uint(p.planeBits)
+		}
+	}
+	p.planeMask = uint32(p.planes-1) << p.planeShift
+	return p
+}
+
+// Planes reports the plane count.
+func (p *PlaneLogic) Planes() int { return p.planes }
+
+// EWLR reports whether the effective-wordline-range mechanism is on.
+func (p *PlaneLogic) EWLR() bool { return p.ewlr }
+
+// PlaneID returns the row-address latch set the row occupies in the
+// given sub-bank. With RAP, the right sub-bank's plane bits are
+// bit-inverted (Fig. 3d) so that equal row MSBs in the two sub-banks land
+// in different planes.
+func (p *PlaneLogic) PlaneID(row uint32, sub int) int {
+	if p.planes == 1 {
+		return 0
+	}
+	id := row >> p.planeShift & uint32(p.planes-1)
+	if p.rap && sub == 1 {
+		id = ^id & uint32(p.planes-1)
+	}
+	return int(id)
+}
+
+// Latch returns the value a plane's shared row-address latches hold for
+// an active row: the row's position *within its plane*. The plane-ID
+// field is excluded — it selects which latch set, and RAP physically
+// remaps address MSBs to planes per sub-bank (Fig. 3d), so two rows in
+// one plane compare by their within-plane position. With EWLR the
+// per-sub-bank LWL_SEL latches additionally absorb the offset field.
+func (p *PlaneLogic) Latch(row uint32) uint32 {
+	return row &^ p.offsetMask &^ p.planeMask
+}
+
+// MWL returns the main-wordline (shared-latch) address of a row; rows
+// with equal MWL differ only within the EWLR offset field.
+func (p *PlaneLogic) MWL(row uint32) uint32 { return p.Latch(row) }
+
+// Action is what the controller must do before (or instead of)
+// activating a target row, per the Fig. 5 flow.
+type Action int
+
+const (
+	// ActionHit: the target row is already active in its sub-bank; issue
+	// the column command directly.
+	ActionHit Action = iota
+	// ActionActivate: the target sub-bank is idle and the plane latches
+	// are free (or match under EWLR); issue ACT.
+	ActionActivate
+	// ActionPrechargeSelf: the target sub-bank holds a different row;
+	// precharge it first (an ordinary row-buffer conflict).
+	ActionPrechargeSelf
+	// ActionPrechargeOther: the paired sub-bank holds a row whose plane
+	// latches the target needs — a plane conflict; precharge the paired
+	// sub-bank first.
+	ActionPrechargeOther
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case ActionHit:
+		return "hit"
+	case ActionActivate:
+		return "activate"
+	case ActionPrechargeSelf:
+		return "precharge-self"
+	case ActionPrechargeOther:
+		return "precharge-other"
+	}
+	return fmt.Sprintf("Action(%d)", int(a))
+}
+
+// Decision is the outcome of one Fig. 5 evaluation.
+type Decision struct {
+	Action Action
+	// EWLRHit is set on ActionActivate when the paired sub-bank already
+	// holds the target plane's latches with a matching MWL: the ACT can
+	// reuse the driven MWL, avoiding the plane conflict and saving 18%
+	// of Vpp activation power.
+	EWLRHit bool
+	// PlaneConflict is set when the (eventual) activation required
+	// precharging the paired sub-bank — the metric of Fig. 13b. It is
+	// reported on ActionPrechargeOther.
+	PlaneConflict bool
+	// PartialPrecharge is set on ActionPrechargeSelf when both sub-banks
+	// hold rows within the same EWLR: the precharge must not deactivate
+	// the shared MWL (Sec. VI-A "partial precharge").
+	PartialPrecharge bool
+}
+
+// SubState is the view of one sub-bank Decide needs.
+type SubState struct {
+	Active bool
+	Row    uint32
+}
+
+// Decide implements the Fig. 5 operation flow for a target row in
+// sub-bank `sub`, given the current state of both sub-banks of the
+// physical bank.
+func (p *PlaneLogic) Decide(row uint32, sub int, self, other SubState) Decision {
+	if self.Active && self.Row == row {
+		return Decision{Action: ActionHit}
+	}
+	if self.Active {
+		// Ordinary row-buffer conflict within the target sub-bank. If
+		// the paired sub-bank holds a row in the same EWLR as the row we
+		// are closing, the precharge must leave the MWL driven.
+		d := Decision{Action: ActionPrechargeSelf}
+		if p.ewlr && other.Active &&
+			p.PlaneID(self.Row, sub) == p.PlaneID(other.Row, 1-sub) &&
+			p.MWL(self.Row) == p.MWL(other.Row) {
+			d.PartialPrecharge = true
+		}
+		return d
+	}
+	// Target sub-bank is idle: can we take the plane latches?
+	if !other.Active {
+		return Decision{Action: ActionActivate}
+	}
+	planeSelf := p.PlaneID(row, sub)
+	planeOther := p.PlaneID(other.Row, 1-sub)
+	if planeSelf != planeOther {
+		return Decision{Action: ActionActivate}
+	}
+	// Same plane: shared latches. An exact latch match lets both
+	// sub-banks coexist; under EWLR that is an MWL match (an EWLR hit),
+	// without EWLR it requires the identical full row address.
+	if p.Latch(row) == p.Latch(other.Row) {
+		return Decision{Action: ActionActivate, EWLRHit: p.ewlr}
+	}
+	return Decision{Action: ActionPrechargeOther, PlaneConflict: true}
+}

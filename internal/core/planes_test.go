@@ -1,0 +1,254 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"eruca/internal/config"
+)
+
+const rowBits = 16
+
+func logic(planes int, ewlr, rap bool, mode config.PlaneBitsMode) *PlaneLogic {
+	sch := config.Scheme{
+		Name:      "t",
+		Mode:      config.SubBankVSB,
+		Planes:    planes,
+		PlaneBits: mode,
+		EWLR:      ewlr,
+		EWLRBits:  3,
+		RAP:       rap,
+	}
+	return NewPlaneLogic(sch, rowBits)
+}
+
+func TestPlaneIDHighBits(t *testing.T) {
+	p := logic(4, false, false, config.PlaneBitsHigh)
+	cases := []struct {
+		row  uint32
+		want int
+	}{
+		{0x0000, 0},
+		{0x3FFF, 0},
+		{0x4000, 1},
+		{0x8000, 2},
+		{0xC000, 3},
+		{0xFFFF, 3},
+	}
+	for _, c := range cases {
+		if got := p.PlaneID(c.row, 0); got != c.want {
+			t.Errorf("PlaneID(%#x, sub0) = %d, want %d", c.row, got, c.want)
+		}
+	}
+}
+
+func TestPlaneIDLowBits(t *testing.T) {
+	// EWLR alone (Fig. 9 #2): plane ID at the row LSBs, EWLR offset
+	// directly above it.
+	p := logic(4, true, false, config.PlaneBitsLow)
+	if got := p.PlaneID(0b00, 0); got != 0 {
+		t.Errorf("row 0 plane = %d", got)
+	}
+	if got := p.PlaneID(0b01, 0); got != 1 {
+		t.Errorf("row 1 plane = %d, want 1", got)
+	}
+	if got := p.PlaneID(0b10, 0); got != 2 {
+		t.Errorf("row 2 plane = %d, want 2", got)
+	}
+	if got := p.PlaneID(0b100, 0); got != 0 {
+		t.Errorf("row 4 plane = %d, want 0 (above plane field)", got)
+	}
+	// The offset field (bits [4:2]) is masked out of the shared latch.
+	if p.Latch(0b10100) != 0 {
+		t.Errorf("Latch(0b10100) = %#b, want 0", p.Latch(0b10100))
+	}
+}
+
+// RAP inverts the right sub-bank's plane bits: rows with identical MSBs
+// land in complementary planes (Fig. 3d).
+func TestRAPInversion(t *testing.T) {
+	p := logic(4, false, true, config.PlaneBitsHigh)
+	for _, row := range []uint32{0x0000, 0x4321, 0x8888, 0xFFFF} {
+		l, r := p.PlaneID(row, 0), p.PlaneID(row, 1)
+		if l != ^r&3 {
+			t.Errorf("row %#x: left plane %d, right plane %d not complementary", row, l, r)
+		}
+	}
+}
+
+func TestMWLAndLatch(t *testing.T) {
+	// EWLR+RAP (Fig. 9 #1): plane = row[15:14], offset = row[13:11];
+	// the shared latch masks out the offset field.
+	p := logic(4, true, true, config.PlaneBitsHigh)
+	if got := p.Latch(0x1238); got != 0x1238&^0x3800 {
+		t.Errorf("Latch(0x1238) = %#x, want %#x", got, 0x1238&^0x3800)
+	}
+	if p.Latch(0x1238) != p.MWL(0x1238) {
+		t.Error("MWL and Latch must agree under EWLR")
+	}
+	noEwlr := logic(4, false, false, config.PlaneBitsHigh)
+	if noEwlr.Latch(0x1238) != 0x1238 {
+		t.Error("without EWLR the latch holds the full row address")
+	}
+}
+
+func TestDecideHit(t *testing.T) {
+	p := logic(4, true, true, config.PlaneBitsHigh)
+	d := p.Decide(0x42, 0, SubState{Active: true, Row: 0x42}, SubState{})
+	if d.Action != ActionHit {
+		t.Errorf("open target row gave %v", d.Action)
+	}
+}
+
+func TestDecideActivateIdleBank(t *testing.T) {
+	p := logic(4, true, true, config.PlaneBitsHigh)
+	d := p.Decide(0x42, 0, SubState{}, SubState{})
+	if d.Action != ActionActivate || d.EWLRHit {
+		t.Errorf("idle bank gave %+v", d)
+	}
+}
+
+func TestDecideRowConflictSelf(t *testing.T) {
+	p := logic(4, true, true, config.PlaneBitsHigh)
+	d := p.Decide(0x42, 0, SubState{Active: true, Row: 0x99}, SubState{})
+	if d.Action != ActionPrechargeSelf || d.PlaneConflict {
+		t.Errorf("row conflict gave %+v", d)
+	}
+}
+
+// Plane conflict: sub-bank R idle, sub-bank L (the "other") active in the
+// target plane with a different MWL -> L must be precharged (Fig. 3a).
+func TestDecidePlaneConflict(t *testing.T) {
+	p := logic(4, false, false, config.PlaneBitsHigh)
+	// Both rows in plane 0 (top two bits 00), different addresses.
+	d := p.Decide(0x0100, 1, SubState{}, SubState{Active: true, Row: 0x0200})
+	if d.Action != ActionPrechargeOther || !d.PlaneConflict {
+		t.Errorf("plane conflict gave %+v", d)
+	}
+}
+
+// Different planes: no conflict, both sub-banks coexist (Fig. 3b).
+func TestDecideDifferentPlanes(t *testing.T) {
+	p := logic(4, false, false, config.PlaneBitsHigh)
+	d := p.Decide(0x4100, 1, SubState{}, SubState{Active: true, Row: 0x0200})
+	if d.Action != ActionActivate {
+		t.Errorf("different planes gave %+v", d)
+	}
+}
+
+// EWLR hit: same plane, same shared-latch value, rows differ only in the
+// 3-bit offset field (Fig. 3c) -> activate without a plane conflict.
+// With high plane bits the offset field is row[13:11].
+func TestDecideEWLRHit(t *testing.T) {
+	p := logic(4, true, false, config.PlaneBitsHigh)
+	other := SubState{Active: true, Row: 0x0800} // bit 11 set
+	d := p.Decide(0x1000, 1, SubState{}, other)  // differs in bits 11,12
+	if d.Action != ActionActivate || !d.EWLRHit {
+		t.Errorf("EWLR hit gave %+v", d)
+	}
+	// A bit below the offset field differs -> latch mismatch -> conflict.
+	d = p.Decide(0x0400, 1, SubState{}, other)
+	if d.Action != ActionPrechargeOther || !d.PlaneConflict {
+		t.Errorf("latch mismatch gave %+v", d)
+	}
+}
+
+// Without EWLR an exact row match still coexists (the shared latches hold
+// one value that serves both sub-banks).
+func TestDecideExactMatchWithoutEWLR(t *testing.T) {
+	p := logic(4, false, false, config.PlaneBitsHigh)
+	d := p.Decide(0x0205, 1, SubState{}, SubState{Active: true, Row: 0x0205})
+	if d.Action != ActionActivate || d.EWLRHit {
+		t.Errorf("exact match gave %+v", d)
+	}
+}
+
+// Partial precharge: closing a row while its EWLR partner stays active in
+// the other sub-bank must not drop the shared MWL (Sec. VI-A).
+func TestDecidePartialPrecharge(t *testing.T) {
+	p := logic(4, true, false, config.PlaneBitsHigh)
+	self := SubState{Active: true, Row: 0x0800}
+	other := SubState{Active: true, Row: 0x1000} // same latch, same plane
+	d := p.Decide(0x4000, 0, self, other)
+	if d.Action != ActionPrechargeSelf || !d.PartialPrecharge {
+		t.Errorf("partial precharge gave %+v", d)
+	}
+	// Partner in a different EWLR: ordinary precharge.
+	other = SubState{Active: true, Row: 0x0400}
+	d = p.Decide(0x4000, 0, self, other)
+	if d.Action != ActionPrechargeSelf || d.PartialPrecharge {
+		t.Errorf("ordinary precharge gave %+v", d)
+	}
+}
+
+// Property: under RAP the two sub-banks never plane-conflict for rows
+// with equal plane-selecting MSBs, whatever those bits are.
+func TestRAPAvoidsMSBLocalityConflicts(t *testing.T) {
+	p := logic(4, false, true, config.PlaneBitsHigh)
+	f := func(a, b uint16) bool {
+		// Force identical plane MSBs.
+		ra := uint32(a)
+		rb := uint32(b)&0x3FFF | uint32(a)&0xC000
+		if ra == rb {
+			return true
+		}
+		d := p.Decide(rb, 1, SubState{}, SubState{Active: true, Row: ra})
+		return d.Action == ActionActivate
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Decide is symmetric in the sub-bank argument for plane
+// conflicts -- if (row, sub=0) conflicts with other sub-bank's row, then
+// the mirrored query conflicts too, under any mechanism combination.
+func TestDecideSymmetry(t *testing.T) {
+	for _, ewlr := range []bool{false, true} {
+		for _, rap := range []bool{false, true} {
+			p := logic(8, ewlr, rap, config.PlaneBitsHigh)
+			f := func(a, b uint16) bool {
+				ra, rb := uint32(a), uint32(b)
+				d0 := p.Decide(ra, 0, SubState{}, SubState{Active: true, Row: rb})
+				d1 := p.Decide(rb, 1, SubState{}, SubState{Active: true, Row: ra})
+				return (d0.Action == ActionPrechargeOther) == (d1.Action == ActionPrechargeOther)
+			}
+			if err := quick.Check(f, nil); err != nil {
+				t.Errorf("ewlr=%v rap=%v: %v", ewlr, rap, err)
+			}
+		}
+	}
+}
+
+// With a single plane and no EWLR (degenerate Half-DRAM-like case) any
+// two distinct rows conflict.
+func TestSinglePlaneAlwaysConflicts(t *testing.T) {
+	sch := config.Scheme{Name: "t", Mode: config.SubBankHalfDRAM, Planes: 1, PlaneBits: config.PlaneBitsHigh}
+	p := NewPlaneLogic(sch, rowBits)
+	d := p.Decide(1, 0, SubState{}, SubState{Active: true, Row: 2})
+	if d.Action != ActionPrechargeOther {
+		t.Errorf("single plane distinct rows gave %+v", d)
+	}
+}
+
+func TestNewPlaneLogicPanicsWithoutPlanes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for plane-less scheme")
+		}
+	}()
+	NewPlaneLogic(config.Scheme{Mode: config.SubBankNone}, rowBits)
+}
+
+func TestActionString(t *testing.T) {
+	for a, want := range map[Action]string{
+		ActionHit:            "hit",
+		ActionActivate:       "activate",
+		ActionPrechargeSelf:  "precharge-self",
+		ActionPrechargeOther: "precharge-other",
+	} {
+		if a.String() != want {
+			t.Errorf("Action %d String = %q, want %q", int(a), a.String(), want)
+		}
+	}
+}

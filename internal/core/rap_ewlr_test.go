@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"eruca/internal/config"
+)
+
+// With RAP, the same physical plane is reached by address MSBs m from
+// the left sub-bank and ~m from the right; rows whose within-plane
+// positions match coexist even without EWLR (the shared latch holds one
+// value that serves both).
+func TestRAPCrossPlaneCoexistence(t *testing.T) {
+	p := logic(4, false, true, config.PlaneBitsHigh)
+	// Left holds MSB=00 row; right's MSB=11 maps to plane ~3 = 0.
+	left := SubState{Active: true, Row: 0x0123}
+	rightRow := uint32(0xC123) // same within-plane bits, complementary MSBs
+	if p.PlaneID(left.Row, 0) != p.PlaneID(rightRow, 1) {
+		t.Fatal("setup: rows not in the same physical plane")
+	}
+	d := p.Decide(rightRow, 1, SubState{}, left)
+	if d.Action != ActionActivate {
+		t.Errorf("matching within-plane rows conflicted: %+v", d)
+	}
+	// Different within-plane position: conflict.
+	d = p.Decide(0xC124, 1, SubState{}, left)
+	if d.Action != ActionPrechargeOther {
+		t.Errorf("mismatched within-plane rows coexisted: %+v", d)
+	}
+}
+
+// With EWLR+RAP combined, the EWLR offset field (just below the plane
+// MSBs) absorbs differences, enabling cross-plane EWLR hits.
+func TestEWLRRAPCombinedHit(t *testing.T) {
+	p := logic(4, true, true, config.PlaneBitsHigh)
+	left := SubState{Active: true, Row: 0x0123} // plane 0 via sub 0
+	// Right sub-bank: complementary MSBs land in plane 0; offset bits
+	// [13:11] differ; everything else matches.
+	rightRow := uint32(0xC123) | 1<<12
+	if p.PlaneID(left.Row, 0) != p.PlaneID(rightRow, 1) {
+		t.Fatal("setup: rows not in the same physical plane")
+	}
+	d := p.Decide(rightRow, 1, SubState{}, left)
+	if d.Action != ActionActivate || !d.EWLRHit {
+		t.Errorf("combined-mapping EWLR hit gave %+v", d)
+	}
+}
+
+// Property: Decide never reports an EWLR hit when EWLR is disabled.
+func TestNoEWLRHitWhenDisabled(t *testing.T) {
+	for _, rap := range []bool{false, true} {
+		p := logic(4, false, rap, config.PlaneBitsHigh)
+		f := func(a, b uint16, sub bool) bool {
+			s := 0
+			if sub {
+				s = 1
+			}
+			d := p.Decide(uint32(a), s, SubState{}, SubState{Active: true, Row: uint32(b)})
+			return !d.EWLRHit
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("rap=%v: %v", rap, err)
+		}
+	}
+}
+
+// Property: an EWLR hit implies no plane conflict, and vice versa a
+// plane conflict implies no hit.
+func TestHitAndConflictExclusive(t *testing.T) {
+	p := logic(8, true, true, config.PlaneBitsHigh)
+	f := func(a, b uint16) bool {
+		d := p.Decide(uint32(a), 0, SubState{}, SubState{Active: true, Row: uint32(b)})
+		return !(d.EWLRHit && d.PlaneConflict)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Decide on an idle bank (both sub-banks empty) is always a
+// plain activation for every mechanism combination and plane count.
+func TestIdleBankAlwaysActivates(t *testing.T) {
+	for _, planes := range []int{1, 2, 4, 16} {
+		for _, ewlr := range []bool{false, true} {
+			sch := config.Scheme{
+				Name: "t", Mode: config.SubBankVSB, Planes: planes,
+				PlaneBits: config.PlaneBitsHigh, EWLR: ewlr, EWLRBits: 3,
+			}
+			p := NewPlaneLogic(sch, rowBits)
+			f := func(r uint16, sub bool) bool {
+				s := 0
+				if sub {
+					s = 1
+				}
+				d := p.Decide(uint32(r), s, SubState{}, SubState{})
+				return d.Action == ActionActivate && !d.EWLRHit && !d.PlaneConflict
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+				t.Errorf("planes=%d ewlr=%v: %v", planes, ewlr, err)
+			}
+		}
+	}
+}
+
+// PlaneID stays within range for every configuration.
+func TestPlaneIDRange(t *testing.T) {
+	for _, planes := range []int{2, 4, 8, 16} {
+		for _, rap := range []bool{false, true} {
+			for _, mode := range []config.PlaneBitsMode{config.PlaneBitsLow, config.PlaneBitsHigh} {
+				p := logic(planes, true, rap, mode)
+				f := func(r uint16, sub bool) bool {
+					s := 0
+					if sub {
+						s = 1
+					}
+					id := p.PlaneID(uint32(r), s)
+					return id >= 0 && id < planes
+				}
+				if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+					t.Errorf("planes=%d rap=%v mode=%v: %v", planes, rap, mode, err)
+				}
+			}
+		}
+	}
+}

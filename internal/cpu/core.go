@@ -1,0 +1,187 @@
+// Package cpu models the out-of-order cores of Tab. III at the level of
+// detail the memory study needs (the role Sniper plays in the paper):
+// a trace-driven front end with fetch/issue width 8, a 192-entry ROB
+// whose head blocks on incomplete loads, a 32-entry LSQ bounding
+// memory-level parallelism, and posted stores. Non-memory instructions
+// retire at full width; all timing pressure comes from the memory
+// system behind the MemSystem interface.
+package cpu
+
+// Source feeds the core instructions: a run of `gap` non-memory
+// instructions followed by one memory operation.
+type Source interface {
+	Next() (gap int, write bool, va uint64)
+}
+
+// MemSystem services the core's memory instructions (caches + DRAM).
+type MemSystem interface {
+	// Access issues one memory instruction for a core at a virtual
+	// address. It returns:
+	//   accept  - false when resources (queues) are exhausted; the core
+	//             must stall and retry;
+	//   pending - completion will be signalled through done;
+	//   doneAt  - completion CPU cycle when pending is false.
+	// done must not be retained past its single invocation.
+	Access(core int, va uint64, write bool, done func()) (accept, pending bool, doneAt int64)
+}
+
+// read is one in-flight load occupying a ROB position.
+type read struct {
+	pos     int64 // instruction index in program order
+	ready   bool  // completion signalled (memory) or timestamp known
+	readyAt int64 // completion cycle when ready by timestamp
+}
+
+// Core is one simulated core. Create with New; not safe for concurrent
+// use.
+type Core struct {
+	id    int
+	width int
+	rob   int64
+	lsq   int
+
+	src Source
+	mem MemSystem
+
+	fetched int64
+	retired int64
+
+	reads    []*read // program order; head blocks retirement
+	inflight int     // LSQ occupancy: loads awaiting data
+
+	gap     int // remaining non-memory instructions before pendingOp
+	hasOp   bool
+	opWrite bool
+	opVA    uint64
+
+	// Target is the instruction count after which FinishedAt is latched.
+	Target     int64
+	FinishedAt int64 // CPU cycle when Target retired (0 until then)
+	// Warmup marks the retirement count at which measurement starts;
+	// WarmupAt records the cycle it was reached. IPC covers
+	// [WarmupAt, FinishedAt].
+	Warmup   int64
+	WarmupAt int64
+
+	// Counters.
+	MemOps  uint64
+	Loads   uint64
+	Stores  uint64
+	Stalled uint64 // cycles with zero fetch progress
+}
+
+// New builds a core.
+func New(id, width, rob, lsq int, target int64, src Source, mem MemSystem) *Core {
+	return &Core{id: id, width: width, rob: int64(rob), lsq: lsq, src: src, mem: mem, Target: target}
+}
+
+// Done reports whether the core has retired its target.
+func (c *Core) Done() bool { return c.FinishedAt > 0 }
+
+// Retired reports retired instructions.
+func (c *Core) Retired() int64 { return c.retired }
+
+// Warmed reports whether the core has passed its warmup point.
+func (c *Core) Warmed() bool { return c.Warmup == 0 || c.WarmupAt > 0 }
+
+// IPC reports retired instructions per cycle over the measured window
+// (warmup to target), 0 before the target is reached.
+func (c *Core) IPC() float64 {
+	if c.FinishedAt <= 0 {
+		return 0
+	}
+	return float64(c.Target-c.Warmup) / float64(c.FinishedAt-c.WarmupAt)
+}
+
+// Tick advances the core by one CPU cycle.
+func (c *Core) Tick(now int64) {
+	c.retire(now)
+	c.fetch(now)
+}
+
+func (c *Core) retire(now int64) {
+	budget := c.width
+	for budget > 0 && c.retired < c.fetched {
+		if len(c.reads) > 0 && c.reads[0].pos == c.retired {
+			r := c.reads[0]
+			if !r.ready || now < r.readyAt {
+				break
+			}
+			c.reads = c.reads[1:]
+		}
+		c.retired++
+		budget--
+	}
+	if c.WarmupAt == 0 && c.Warmup > 0 && c.retired >= c.Warmup {
+		c.WarmupAt = now
+	}
+	if c.FinishedAt == 0 && c.retired >= c.Target {
+		c.FinishedAt = now
+		if c.FinishedAt == 0 {
+			c.FinishedAt = 1
+		}
+	}
+}
+
+func (c *Core) fetch(now int64) {
+	budget := c.width
+	progress := false
+	for budget > 0 && c.fetched-c.retired < c.rob {
+		if !c.hasOp && c.gap == 0 {
+			g, w, va := c.src.Next()
+			c.gap, c.opWrite, c.opVA = g, w, va
+			c.hasOp = true
+		}
+		if c.gap > 0 {
+			n := c.gap
+			if n > budget {
+				n = budget
+			}
+			if space := c.rob - (c.fetched - c.retired); int64(n) > space {
+				n = int(space)
+			}
+			c.fetched += int64(n)
+			c.gap -= n
+			budget -= n
+			progress = progress || n > 0
+			continue
+		}
+		// Memory operation at instruction index c.fetched.
+		if !c.opWrite && c.inflight >= c.lsq {
+			break // LSQ full
+		}
+		pos := c.fetched
+		if c.opWrite {
+			accept, _, _ := c.mem.Access(c.id, c.opVA, true, nil)
+			if !accept {
+				break
+			}
+			c.Stores++
+		} else {
+			r := &read{pos: pos}
+			accept, pending, doneAt := c.mem.Access(c.id, c.opVA, false, func() {
+				r.ready = true
+				c.inflight--
+			})
+			if !accept {
+				break
+			}
+			if !pending {
+				r.ready = true
+				r.readyAt = doneAt
+			} else {
+				c.inflight++
+			}
+			c.reads = append(c.reads, r)
+			c.Loads++
+		}
+		c.MemOps++
+		c.fetched++
+		budget--
+		progress = true
+		c.hasOp = false
+	}
+	if !progress {
+		c.Stalled++
+	}
+}

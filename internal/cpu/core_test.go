@@ -1,0 +1,183 @@
+package cpu
+
+import "testing"
+
+// scriptSource replays a fixed op list, then repeats the last op.
+type scriptSource struct {
+	ops [][3]int64 // gap, write(0/1), va
+	i   int
+}
+
+func (s *scriptSource) Next() (int, bool, uint64) {
+	op := s.ops[s.i]
+	if s.i < len(s.ops)-1 {
+		s.i++
+	}
+	return int(op[0]), op[1] == 1, uint64(op[2])
+}
+
+// fakeMem services everything with a fixed latency; optionally it holds
+// reads for manual release or rejects accesses.
+type fakeMem struct {
+	lat      int64
+	now      *int64
+	pendings []func()
+	hold     bool
+	reject   bool
+	accesses int
+}
+
+func (m *fakeMem) Access(core int, va uint64, write bool, done func()) (bool, bool, int64) {
+	if m.reject {
+		return false, false, 0
+	}
+	m.accesses++
+	if write {
+		return true, false, 0
+	}
+	if m.hold {
+		m.pendings = append(m.pendings, done)
+		return true, true, 0
+	}
+	return true, false, *m.now + m.lat
+}
+
+func (m *fakeMem) release() {
+	for _, d := range m.pendings {
+		d()
+	}
+	m.pendings = nil
+}
+
+func run(c *Core, mem *fakeMem, cycles int64) {
+	for now := int64(1); now <= cycles; now++ {
+		*mem.now = now
+		c.Tick(now)
+		if c.Done() {
+			return
+		}
+	}
+}
+
+func newNow() *int64 { v := int64(0); return &v }
+
+// Pure non-memory work retires at full width.
+func TestFullWidthRetirement(t *testing.T) {
+	now := newNow()
+	mem := &fakeMem{lat: 1, now: now}
+	src := &scriptSource{ops: [][3]int64{{1 << 30, 0, 0}}}
+	c := New(0, 8, 192, 32, 8000, src, mem)
+	run(c, mem, 10000)
+	if !c.Done() {
+		t.Fatal("core did not finish")
+	}
+	// Perfect IPC is width; pipeline fill costs a little.
+	if ipc := c.IPC(); ipc < 7.5 || ipc > 8.0 {
+		t.Errorf("IPC = %v, want ~8", ipc)
+	}
+}
+
+// A blocked load at the ROB head stalls retirement until completion.
+func TestLoadBlocksRetirement(t *testing.T) {
+	now := newNow()
+	mem := &fakeMem{now: now, hold: true}
+	src := &scriptSource{ops: [][3]int64{{0, 0, 64}, {1 << 30, 0, 0}}}
+	c := New(0, 8, 192, 32, 100, src, mem)
+	run(c, mem, 50)
+	if c.Retired() != 0 {
+		t.Errorf("retired %d with load outstanding at head", c.Retired())
+	}
+	mem.release()
+	run(c, mem, 200)
+	if !c.Done() {
+		t.Error("core did not finish after load completion")
+	}
+}
+
+// The LSQ bounds outstanding loads.
+func TestLSQBound(t *testing.T) {
+	now := newNow()
+	mem := &fakeMem{now: now, hold: true}
+	src := &scriptSource{ops: [][3]int64{{0, 0, 64}}} // endless loads
+	c := New(0, 8, 192, 4, 1000, src, mem)
+	run(c, mem, 100)
+	if len(mem.pendings) != 4 {
+		t.Errorf("outstanding loads = %d, want LSQ = 4", len(mem.pendings))
+	}
+}
+
+// The ROB bounds in-flight instructions even without memory stalls.
+func TestROBBound(t *testing.T) {
+	now := newNow()
+	mem := &fakeMem{now: now, hold: true}
+	// One load, then pure gap: the load blocks retirement, the gap can
+	// only fill the remaining ROB.
+	src := &scriptSource{ops: [][3]int64{{0, 0, 64}, {1 << 30, 0, 0}}}
+	c := New(0, 8, 16, 4, 1000, src, mem)
+	run(c, mem, 100)
+	if got := c.fetched - c.retired; got != 16 {
+		t.Errorf("ROB occupancy = %d, want 16", got)
+	}
+}
+
+// Stores are posted: they never block retirement.
+func TestStoresPosted(t *testing.T) {
+	now := newNow()
+	mem := &fakeMem{now: now}
+	src := &scriptSource{ops: [][3]int64{{0, 1, 64}}}
+	c := New(0, 8, 192, 32, 4000, src, mem)
+	run(c, mem, 4000)
+	if !c.Done() {
+		t.Fatal("store-only stream did not finish")
+	}
+	if c.Stores == 0 {
+		t.Error("no stores counted")
+	}
+}
+
+// A rejecting memory system stalls fetch but the core recovers when it
+// accepts again.
+func TestMemRejectionStallsAndRecovers(t *testing.T) {
+	now := newNow()
+	mem := &fakeMem{now: now, lat: 1, reject: true}
+	src := &scriptSource{ops: [][3]int64{{0, 0, 64}}}
+	c := New(0, 8, 192, 32, 64, src, mem)
+	run(c, mem, 50)
+	if c.Retired() != 0 {
+		t.Errorf("retired %d while memory rejected", c.Retired())
+	}
+	stalled := c.Stalled
+	if stalled == 0 {
+		t.Error("no stall cycles recorded")
+	}
+	mem.reject = false
+	run(c, mem, 500)
+	if !c.Done() {
+		t.Error("core did not recover")
+	}
+}
+
+// Memory-level parallelism: with a wide LSQ, N independent loads of
+// latency L complete in far less than N*L cycles.
+func TestMLPOverlapsLoads(t *testing.T) {
+	now := newNow()
+	mem := &fakeMem{now: now, lat: 100}
+	src := &scriptSource{ops: [][3]int64{{0, 0, 64}}}
+	c := New(0, 8, 192, 32, 64, src, mem) // 64 loads
+	run(c, mem, 100000)
+	serial := int64(64 * 100)
+	if c.FinishedAt >= serial/4 {
+		t.Errorf("finished at %d, want < %d (MLP should overlap latency)", c.FinishedAt, serial/4)
+	}
+}
+
+func TestIPCZeroBeforeFinish(t *testing.T) {
+	now := newNow()
+	mem := &fakeMem{now: now, hold: true}
+	src := &scriptSource{ops: [][3]int64{{0, 0, 64}}}
+	c := New(0, 8, 192, 32, 1000, src, mem)
+	run(c, mem, 10)
+	if c.IPC() != 0 {
+		t.Error("IPC nonzero before target")
+	}
+}

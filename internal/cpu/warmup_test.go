@@ -1,0 +1,73 @@
+package cpu
+
+import "testing"
+
+// Warmup latches its cycle and IPC measures only the post-warmup window.
+func TestWarmupWindowIPC(t *testing.T) {
+	now := newNow()
+	mem := &fakeMem{lat: 1, now: now}
+	src := &scriptSource{ops: [][3]int64{{1 << 30, 0, 0}}}
+	c := New(0, 8, 192, 32, 16_000, src, mem)
+	c.Warmup = 8_000
+	run(c, mem, 100000)
+	if !c.Done() {
+		t.Fatal("did not finish")
+	}
+	if c.WarmupAt == 0 || c.WarmupAt >= c.FinishedAt {
+		t.Fatalf("warmup at %d, finished at %d", c.WarmupAt, c.FinishedAt)
+	}
+	if ipc := c.IPC(); ipc < 7.5 || ipc > 8.01 {
+		t.Errorf("post-warmup IPC = %v, want ~8", ipc)
+	}
+}
+
+// Warmed is immediately true without a warmup.
+func TestWarmedWithoutWarmup(t *testing.T) {
+	now := newNow()
+	mem := &fakeMem{lat: 1, now: now}
+	src := &scriptSource{ops: [][3]int64{{100, 0, 0}}}
+	c := New(0, 8, 192, 32, 1000, src, mem)
+	if !c.Warmed() {
+		t.Error("zero-warmup core not warmed")
+	}
+}
+
+// Retired is monotone and never exceeds fetched.
+func TestRetireNeverExceedsFetch(t *testing.T) {
+	now := newNow()
+	mem := &fakeMem{lat: 50, now: now}
+	src := &scriptSource{ops: [][3]int64{{3, 0, 64}}}
+	c := New(0, 8, 32, 8, 5_000, src, mem)
+	prev := int64(0)
+	for i := int64(1); i < 20000 && !c.Done(); i++ {
+		*mem.now = i
+		c.Tick(i)
+		if c.Retired() < prev {
+			t.Fatal("retirement went backwards")
+		}
+		if c.Retired() > c.fetched {
+			t.Fatal("retired more than fetched")
+		}
+		prev = c.Retired()
+	}
+}
+
+// A mixed read/write stream completes and counts both kinds.
+func TestMixedStreamCounts(t *testing.T) {
+	now := newNow()
+	mem := &fakeMem{lat: 2, now: now}
+	src := &scriptSource{ops: [][3]int64{
+		{2, 0, 64}, {1, 1, 128}, {3, 0, 192}, {0, 1, 256},
+	}}
+	c := New(0, 8, 192, 32, 2000, src, mem)
+	run(c, mem, 50000)
+	if !c.Done() {
+		t.Fatal("did not finish")
+	}
+	if c.Loads == 0 || c.Stores == 0 {
+		t.Errorf("loads=%d stores=%d", c.Loads, c.Stores)
+	}
+	if c.MemOps != c.Loads+c.Stores {
+		t.Errorf("memops=%d != loads+stores=%d", c.MemOps, c.Loads+c.Stores)
+	}
+}

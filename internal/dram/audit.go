@@ -1,0 +1,279 @@
+package dram
+
+import (
+	"fmt"
+
+	"eruca/internal/clock"
+	"eruca/internal/config"
+	"eruca/internal/core"
+)
+
+// Auditor independently re-checks the DDR4 protocol over an issued
+// command stream. It is a second implementation of the timing rules,
+// deliberately written as post-hoc checks over the command history
+// rather than as next-allowed registers, so that a bug in the Channel's
+// scheduling logic cannot hide in the Auditor too.
+//
+// Attach with Channel.Attach and call Violations at the end of a run;
+// simulation tests run every preset under audit.
+type Auditor struct {
+	ct   config.CycleTiming
+	sch  config.Scheme
+	geom config.Geometry
+
+	history    []auditEvent
+	violations []string
+
+	// open tracks row state per (rank, group, bank, sub, slot).
+	open map[auditKey]*auditRow
+	// blockedUntil tracks per-rank refresh blackouts.
+	blockedUntil map[int]clock.Cycle
+
+	planes *core.PlaneLogic
+}
+
+type auditKey struct {
+	rank, group, bank, sub, slot int
+}
+
+type auditEvent struct {
+	cmd Command
+	at  clock.Cycle
+}
+
+type auditRow struct {
+	row    uint32
+	actAt  clock.Cycle
+	lastRd clock.Cycle
+	lastWr clock.Cycle
+	preAt  clock.Cycle
+	active bool
+}
+
+// NewAuditor builds an auditor for one channel's configuration.
+func NewAuditor(sys *config.System) *Auditor {
+	a := &Auditor{
+		ct: sys.CT, sch: sys.Scheme, geom: sys.Geom,
+		open:         make(map[auditKey]*auditRow),
+		blockedUntil: make(map[int]clock.Cycle),
+	}
+	if sys.Scheme.HasPlanes() && sys.Scheme.Mode != config.SubBankMASA {
+		rowBits := sys.Geom.RowBits
+		if sys.Scheme.Mode != config.SubBankPaired {
+			rowBits--
+		}
+		a.planes = core.NewPlaneLogic(sys.Scheme, rowBits)
+	}
+	return a
+}
+
+func (a *Auditor) fail(at clock.Cycle, format string, args ...any) {
+	if len(a.violations) < 32 {
+		a.violations = append(a.violations, fmt.Sprintf("cycle %d: %s", at, fmt.Sprintf(format, args...)))
+	}
+}
+
+// Violations reports every detected protocol violation.
+func (a *Auditor) Violations() []string { return a.violations }
+
+// Commands reports how many commands were observed.
+func (a *Auditor) Commands() int { return len(a.history) }
+
+// Observe records and checks one issued command.
+func (a *Auditor) Observe(c Command, at clock.Cycle) {
+	if at < a.blockedUntil[c.Rank] && c.Kind != CmdREF {
+		a.fail(at, "command during tRFC blackout (until %d): %v", a.blockedUntil[c.Rank], c)
+	}
+	switch c.Kind {
+	case CmdPREA:
+		// Pre-refresh precharge-all: close every row of the rank.
+		for k, st := range a.open {
+			if k.rank == c.Rank && st.active {
+				st.active = false
+				st.preAt = at
+			}
+		}
+		a.history = append(a.history, auditEvent{c, at})
+		return
+	case CmdREF:
+		a.blockedUntil[c.Rank] = at + a.ct.RFC
+		a.history = append(a.history, auditEvent{c, at})
+		return
+	}
+	k := auditKey{c.Rank, c.Group, c.Bank, c.Sub, c.Slot}
+	st := a.open[k]
+	if st == nil {
+		st = &auditRow{actAt: never, lastRd: never, lastWr: never, preAt: never}
+		a.open[k] = st
+	}
+
+	switch c.Kind {
+	case CmdACT:
+		if st.active {
+			a.fail(at, "ACT to open slot %v", c)
+		}
+		if st.preAt != never && at-st.preAt < a.ct.RP {
+			a.fail(at, "tRP violation: ACT %d after PRE (need %d): %v", at-st.preAt, a.ct.RP, c)
+		}
+		if st.actAt != never && at-st.actAt < a.ct.RC {
+			a.fail(at, "tRC violation: ACT %d after ACT (need %d): %v", at-st.actAt, a.ct.RC, c)
+		}
+		a.checkActRate(c, at)
+		a.checkPlaneInvariant(c, at)
+		st.active = true
+		st.row = c.Row
+		st.actAt = at
+	case CmdPRE:
+		if !st.active {
+			a.fail(at, "PRE to closed slot %v", c)
+		}
+		if st.actAt != never && at-st.actAt < a.ct.RAS {
+			a.fail(at, "tRAS violation: PRE %d after ACT (need %d): %v", at-st.actAt, a.ct.RAS, c)
+		}
+		if st.lastRd != never && at-st.lastRd < a.ct.RTP {
+			a.fail(at, "tRTP violation: PRE %d after RD (need %d): %v", at-st.lastRd, a.ct.RTP, c)
+		}
+		if st.lastWr != never && at-st.lastWr < a.ct.CWL+a.ct.Burst+a.ct.WR {
+			a.fail(at, "tWR violation: PRE %d after WR: %v", at-st.lastWr, c)
+		}
+		st.active = false
+		st.preAt = at
+	case CmdRD, CmdWR:
+		if !st.active || st.row != c.Row {
+			a.fail(at, "column command to closed/mismatched row: %v", c)
+		}
+		if st.actAt != never && at-st.actAt < a.ct.RCD {
+			a.fail(at, "tRCD violation: column %d after ACT (need %d): %v", at-st.actAt, a.ct.RCD, c)
+		}
+		a.checkColumnSpacing(c, at)
+		a.checkDataBus(c, at)
+		if c.Kind == CmdRD {
+			st.lastRd = at
+		} else {
+			st.lastWr = at
+		}
+	}
+	a.history = append(a.history, auditEvent{c, at})
+}
+
+// checkActRate enforces tRRD and tFAW per rank over the history.
+func (a *Auditor) checkActRate(c Command, at clock.Cycle) {
+	count := 0
+	for i := len(a.history) - 1; i >= 0; i-- {
+		ev := a.history[i]
+		if ev.cmd.Kind != CmdACT || ev.cmd.Rank != c.Rank {
+			continue
+		}
+		if count == 0 && at-ev.at < a.ct.RRD {
+			a.fail(at, "tRRD violation: ACT %d after ACT (need %d): %v", at-ev.at, a.ct.RRD, c)
+		}
+		count++
+		if count == 4 {
+			if at-ev.at < a.ct.FAW {
+				a.fail(at, "tFAW violation: 5th ACT %d after 4-back (need %d): %v", at-ev.at, a.ct.FAW, c)
+			}
+			return
+		}
+		if at-ev.at > a.ct.FAW {
+			return
+		}
+	}
+}
+
+// checkColumnSpacing enforces tCCD_S/tCCD_L, bank-group constraints,
+// DDB windows and write-to-read turnarounds.
+func (a *Auditor) checkColumnSpacing(c Command, at clock.Cycle) {
+	read := c.Kind == CmdRD
+	sameGroupCount := 0
+	for i := len(a.history) - 1; i >= 0; i-- {
+		ev := a.history[i]
+		if at-ev.at > a.ct.TWTRW+a.ct.FAW {
+			break
+		}
+		if ev.cmd.Kind != CmdRD && ev.cmd.Kind != CmdWR {
+			continue
+		}
+		gap := at - ev.at
+		if gap < a.ct.CCDS {
+			a.fail(at, "tCCD_S violation: column %d after column (need %d): %v", gap, a.ct.CCDS, c)
+		}
+		sameBank := ev.cmd.Rank == c.Rank && ev.cmd.Group == c.Group && ev.cmd.Bank == c.Bank
+		sameGroup := ev.cmd.Rank == c.Rank && ev.cmd.Group == c.Group
+		if sameBank && gap < a.ct.CCDL {
+			a.fail(at, "tCCD_L(bank) violation: column %d after column (need %d): %v", gap, a.ct.CCDL, c)
+		}
+		if sameGroup && !a.sch.DDB && a.sch.BankGrouping && gap < a.ct.CCDL {
+			a.fail(at, "tCCD_L(group) violation: column %d after column (need %d): %v", gap, a.ct.CCDL, c)
+		}
+		// DDB two-command windows: at most two same-direction column
+		// commands per tTCW window within a bank group.
+		if sameGroup && a.sch.DDB && a.ct.TwoCommandWindowsOn &&
+			(ev.cmd.Kind == c.Kind) && gap < a.ct.TCW {
+			sameGroupCount++
+			if sameGroupCount >= 2 {
+				a.fail(at, "tTCW violation: third same-direction column within %d: %v", a.ct.TCW, c)
+			}
+		}
+		// Write-to-read turnaround.
+		if read && ev.cmd.Kind == CmdWR {
+			dataEnd := ev.at + a.ct.CWL + a.ct.Burst
+			if at-dataEnd < a.ct.WTRS && at > dataEnd-a.ct.WTRS {
+				a.fail(at, "tWTR_S violation: RD %d after WR data end: %v", at-dataEnd, c)
+			}
+			if sameBank && at < dataEnd+a.ct.WTRL {
+				a.fail(at, "tWTR_L violation: RD %d after same-bank WR data end: %v", at-dataEnd, c)
+			}
+		}
+	}
+}
+
+// checkDataBus verifies that data bursts never overlap on the shared
+// external bus.
+func (a *Auditor) checkDataBus(c Command, at clock.Cycle) {
+	start, end := a.dataWindow(c.Kind, at)
+	for i := len(a.history) - 1; i >= 0; i-- {
+		ev := a.history[i]
+		if at-ev.at > a.ct.CL+a.ct.Burst+a.ct.CWL {
+			break
+		}
+		if ev.cmd.Kind != CmdRD && ev.cmd.Kind != CmdWR {
+			continue
+		}
+		s2, e2 := a.dataWindow(ev.cmd.Kind, ev.at)
+		if start < e2 && s2 < end {
+			a.fail(at, "data bus overlap: [%d,%d) with [%d,%d): %v", start, end, s2, e2, c)
+		}
+	}
+}
+
+func (a *Auditor) dataWindow(k CmdKind, at clock.Cycle) (clock.Cycle, clock.Cycle) {
+	if k == CmdRD {
+		return at + a.ct.CL, at + a.ct.CL + a.ct.Burst
+	}
+	return at + a.ct.CWL, at + a.ct.CWL + a.ct.Burst
+}
+
+// checkPlaneInvariant enforces the core ERUCA rule: the two sub-banks of
+// one bank never simultaneously hold rows with different shared-latch
+// values in the same plane.
+func (a *Auditor) checkPlaneInvariant(c Command, at clock.Cycle) {
+	if a.sch.SubBanksPerBank() < 2 {
+		return
+	}
+	otherKey := auditKey{c.Rank, c.Group, c.Bank, 1 - c.Sub, c.Slot}
+	other := a.open[otherKey]
+	if other == nil || !other.active {
+		return
+	}
+	if a.sch.Mode == config.SubBankMASA {
+		// Stacked MASA: same slot implies shared latches; the Channel's
+		// planes logic is checked by its own tests.
+		return
+	}
+	pl := a.planes
+	if pl.PlaneID(c.Row, c.Sub) == pl.PlaneID(other.row, 1-c.Sub) &&
+		pl.Latch(c.Row) != pl.Latch(other.row) {
+		a.fail(at, "plane invariant violation: ACT %#x in sub %d while sub %d holds %#x in the same plane",
+			c.Row, c.Sub, 1-c.Sub, other.row)
+	}
+}

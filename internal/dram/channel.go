@@ -1,0 +1,397 @@
+package dram
+
+import (
+	"fmt"
+
+	"eruca/internal/clock"
+	"eruca/internal/config"
+	"eruca/internal/core"
+)
+
+// Channel is the timing engine for one DRAM channel.
+type Channel struct {
+	sys *config.System
+	ct  config.CycleTiming
+
+	ranks []*rank
+
+	// Chip-global data bus occupancy (the external channel data bus).
+	busBusyUntil clock.Cycle
+	busLastRead  bool
+	lastCol      clock.Cycle // channel-level tCCD_S base
+
+	planes  *core.PlaneLogic // nil when the scheme has no planes
+	masa    core.MASASlots
+	hasMASA bool
+	stacked bool
+
+	slotsPerSub int
+	subsPerBank int
+	banksPerGrp int
+
+	audit *Auditor
+
+	Stats Stats
+}
+
+// Attach registers a protocol auditor that independently re-checks every
+// issued command (including the internal refresh sequence).
+func (ch *Channel) Attach(a *Auditor) { ch.audit = a }
+
+// NewChannel builds a channel for the system configuration. rowBits is
+// the per-sub-bank row width produced by the address mapper.
+func NewChannel(sys *config.System, rowBits int) *Channel {
+	sch := sys.Scheme
+	ch := &Channel{
+		sys:         sys,
+		ct:          sys.CT,
+		lastCol:     never,
+		subsPerBank: sch.SubBanksPerBank(),
+		banksPerGrp: sys.Geom.BanksPerGroup,
+		slotsPerSub: 1,
+	}
+	if sch.Mode == config.SubBankMASA {
+		ch.hasMASA = true
+		ch.stacked = sch.MASAStacked
+		ch.slotsPerSub = sch.MASAGroups
+		ch.masa = core.NewMASASlots(sch.MASAGroups, rowBits)
+	}
+	if sch.Mode == config.SubBankPaired {
+		ch.banksPerGrp /= 2
+	}
+	if sch.HasPlanes() {
+		ch.planes = core.NewPlaneLogic(sch, rowBits)
+	}
+	for r := 0; r < sys.Geom.Ranks; r++ {
+		rk := &rank{
+			lastAct:     never,
+			lastWrData:  never,
+			nextRefresh: ch.ct.REFI * clock.Cycle(r+1) / clock.Cycle(sys.Geom.Ranks),
+		}
+		if !sys.Ctrl.RefreshEnabled {
+			rk.nextRefresh = never * -1 // effectively infinity
+		}
+		for i := range rk.faw {
+			rk.faw[i] = never
+		}
+		if sch.DDBGroupPairs {
+			rk.pairDDB = make([]core.DDBWindow, sys.Geom.BankGroups/2)
+			for i := range rk.pairDDB {
+				rk.pairDDB[i] = core.NewDDBWindow(ch.ct.TwoCommandWindowsOn, ch.ct.TCW, ch.ct.TWTRW)
+			}
+		}
+		for g := 0; g < sys.Geom.BankGroups; g++ {
+			grp := &group{
+				lastCol:    never,
+				lastWrData: never,
+				ddb:        core.NewDDBWindow(sch.DDB && ch.ct.TwoCommandWindowsOn, ch.ct.TCW, ch.ct.TWTRW),
+			}
+			for b := 0; b < ch.banksPerGrp; b++ {
+				bk := &bank{lastCol: never, lastWrData: never}
+				for s := 0; s < ch.subsPerBank; s++ {
+					bk.subs = append(bk.subs, newSubBank(ch.slotsPerSub))
+				}
+				grp.banks = append(grp.banks, bk)
+			}
+			rk.groups = append(rk.groups, grp)
+		}
+		ch.ranks = append(ch.ranks, rk)
+	}
+	return ch
+}
+
+func (ch *Channel) sub(c Command) (*rank, *group, *bank, *subBank) {
+	rk := ch.ranks[c.Rank]
+	grp := rk.groups[c.Group]
+	bk := grp.banks[c.Bank]
+	return rk, grp, bk, bk.subs[c.Sub]
+}
+
+// ddbWindow selects the two-command window covering a column command:
+// per bank group for Combo DDB, per vertically-adjacent group pair for
+// the non-Combo variant.
+func (ch *Channel) ddbWindow(rk *rank, grpIdx int, grp *group) *core.DDBWindow {
+	if len(rk.pairDDB) > 0 {
+		return &rk.pairDDB[grpIdx%len(rk.pairDDB)]
+	}
+	return &grp.ddb
+}
+
+// SlotFor returns the row-buffer slot a row occupies in a sub-bank (the
+// MASA subarray group, or 0 for single-row-buffer schemes).
+func (ch *Channel) SlotFor(row uint32) int {
+	if !ch.hasMASA {
+		return 0
+	}
+	return ch.masa.Slot(row)
+}
+
+// EarliestIssue reports the earliest cycle at which the command could
+// legally issue given current state. It does not mutate state. The
+// result is a lower bound that is exact for the current state; issuing
+// other commands first can push it later.
+func (ch *Channel) EarliestIssue(c Command) clock.Cycle {
+	rk, grp, bk, sb := ch.sub(c)
+	slot := &sb.slots[c.Slot]
+
+	if rk.refPending {
+		return rk.blockedUntil + 1<<40 // unavailable until refresh resolves
+	}
+	e := rk.blockedUntil
+
+	switch c.Kind {
+	case CmdACT:
+		e = maxc(e, slot.rdyAct, rk.lastAct+ch.ct.RRD, rk.faw[rk.fawIdx]+ch.ct.FAW)
+	case CmdPRE:
+		e = maxc(e, slot.rdyPre)
+	case CmdRD, CmdWR:
+		read := c.Kind == CmdRD
+		e = maxc(e, slot.rdyCol)
+		// GBLs within the bank are busy one DRAM core clock per access:
+		// same-bank column commands are always tCCD_L apart, even across
+		// sub-banks (the paper's timing table).
+		e = maxc(e, bk.lastCol+ch.ct.CCDL)
+		// Channel-wide minimum column-to-column spacing.
+		e = maxc(e, ch.lastCol+ch.ct.CCDS)
+		// Bank-group bus: a single shared bus imposes tCCD_L/tWTR_L per
+		// group; DDB replaces that with the two-command windows.
+		if ch.sys.Scheme.DDB {
+			e = maxc(e, ch.ddbWindow(rk, c.Group, grp).EarliestColumn(read))
+		} else if ch.sys.Scheme.BankGrouping {
+			e = maxc(e, grp.lastCol+ch.ct.CCDL)
+			if read {
+				e = maxc(e, grp.lastWrData+ch.ct.WTRL)
+			}
+		}
+		if read {
+			// Write-to-read turnaround: rank-wide tWTR_S, same-sub-bank
+			// tWTR_L (internal write recovery near the array).
+			e = maxc(e, rk.lastWrData+ch.ct.WTRS, bk.lastWrData+ch.ct.WTRL)
+		}
+		// External data-bus occupancy (and direction turnaround).
+		lat := ch.ct.CWL
+		if read {
+			lat = ch.ct.CL
+		}
+		busFree := ch.busBusyUntil
+		if ch.busLastRead != read {
+			busFree += ch.ct.RTW
+		}
+		if busFree-lat > e {
+			e = busFree - lat
+		}
+		// MASA: switching the subarray selected for the column path
+		// costs tSA.
+		if ch.slotsPerSub > 1 && sb.sel != c.Slot {
+			e += ch.ct.SA
+		}
+	case CmdPREA, CmdREF:
+		// Managed internally by MaintainRefresh.
+		return rk.blockedUntil
+	}
+	return e
+}
+
+// Issue commits a command at the given cycle. It panics if the command
+// violates a timing constraint: that is a controller bug.
+func (ch *Channel) Issue(c Command, now clock.Cycle) {
+	if e := ch.EarliestIssue(c); now < e {
+		panic(fmt.Sprintf("dram: %v issued at %d, earliest legal %d", c, now, e))
+	}
+	rk, grp, bk, sb := ch.sub(c)
+	slot := &sb.slots[c.Slot]
+	rk.observe(now, &ch.Stats)
+	if ch.audit != nil {
+		ch.audit.Observe(c, now)
+	}
+
+	switch c.Kind {
+	case CmdACT:
+		if slot.active {
+			panic(fmt.Sprintf("dram: ACT on open slot: %v", c))
+		}
+		slot.active = true
+		slot.row = c.Row
+		slot.rdyCol = now + ch.ct.RCD
+		slot.rdyPre = now + ch.ct.RAS
+		slot.rdyAct = now + ch.ct.RC
+		slot.lastUse = now
+		rk.lastAct = now
+		rk.faw[rk.fawIdx] = now
+		rk.fawIdx = (rk.fawIdx + 1) % len(rk.faw)
+		sb.openCount++
+		rk.openSubs++
+		ch.Stats.Acts++
+		if c.EWLRHit {
+			ch.Stats.ActsEWLRHit++
+		}
+	case CmdPRE:
+		if !slot.active {
+			panic(fmt.Sprintf("dram: PRE on closed slot: %v", c))
+		}
+		slot.active = false
+		slot.rdyAct = maxc(slot.rdyAct, now+ch.ct.RP)
+		slot.rdyCol = never
+		slot.rdyPre = never
+		sb.openCount--
+		rk.openSubs--
+		ch.Stats.Pres++
+		if c.Partial {
+			ch.Stats.PartialPres++
+		}
+		if c.PlaneConflict {
+			ch.Stats.PlaneConfPre++
+		}
+	case CmdRD, CmdWR:
+		read := c.Kind == CmdRD
+		if !slot.active || slot.row != c.Row {
+			panic(fmt.Sprintf("dram: column command to closed/mismatched row: %v (open=%v row=%#x)", c, slot.active, slot.row))
+		}
+		bk.lastCol = now
+		bk.colCount++
+		sb.sel = c.Slot
+		grp.lastCol = now
+		ch.lastCol = now
+		slot.lastUse = now
+		ch.ddbWindow(rk, c.Group, grp).Record(now, read)
+		if read {
+			slot.rdyPre = maxc(slot.rdyPre, now+ch.ct.RTP)
+			ch.busBusyUntil = now + ch.ct.CL + ch.ct.Burst
+			ch.Stats.Reads++
+		} else {
+			dataEnd := now + ch.ct.CWL + ch.ct.Burst
+			slot.rdyPre = maxc(slot.rdyPre, dataEnd+ch.ct.WR)
+			grp.lastWrData = dataEnd
+			rk.lastWrData = dataEnd
+			bk.lastWrData = dataEnd
+			ch.busBusyUntil = dataEnd
+			ch.Stats.Writes++
+		}
+		ch.busLastRead = read
+	default:
+		panic(fmt.Sprintf("dram: Issue of managed command %v", c))
+	}
+}
+
+// ReadDataAt reports the cycle at which read data issued at `at`
+// completes on the bus.
+func (ch *Channel) ReadDataAt(at clock.Cycle) clock.Cycle { return at + ch.ct.CL + ch.ct.Burst }
+
+// WriteDataAt reports the cycle at which write data issued at `at` has
+// been transferred.
+func (ch *Channel) WriteDataAt(at clock.Cycle) clock.Cycle { return at + ch.ct.CWL + ch.ct.Burst }
+
+// Available reports whether the rank accepts new transactions (not
+// refreshing and no refresh pending).
+func (ch *Channel) Available(rankID int, now clock.Cycle) bool {
+	rk := ch.ranks[rankID]
+	return !rk.refPending && now >= rk.blockedUntil
+}
+
+// MaintainRefresh advances per-rank refresh state. The controller calls
+// it once per cycle before scheduling. While a refresh is pending the
+// rank stops accepting commands, open rows are precharged with PREA, and
+// REF blocks the rank for tRFC.
+func (ch *Channel) MaintainRefresh(now clock.Cycle) {
+	if !ch.sys.Ctrl.RefreshEnabled {
+		return
+	}
+	for _, rk := range ch.ranks {
+		if now < rk.blockedUntil {
+			continue
+		}
+		if !rk.refPending {
+			if now >= rk.nextRefresh {
+				rk.refPending = true
+				rk.preaAt = never
+			} else {
+				continue
+			}
+		}
+		if rk.openSubs > 0 && rk.preaAt == never {
+			// Wait for every open slot to become precharge-able, then
+			// PREA.
+			ready := clock.Cycle(0)
+			for _, g := range rk.groups {
+				for _, b := range g.banks {
+					for _, s := range b.subs {
+						for i := range s.slots {
+							if s.slots[i].active {
+								ready = maxc(ready, s.slots[i].rdyPre)
+							}
+						}
+					}
+				}
+			}
+			if now < ready {
+				continue
+			}
+			rk.observe(now, &ch.Stats)
+			for _, g := range rk.groups {
+				for _, b := range g.banks {
+					for _, s := range b.subs {
+						for i := range s.slots {
+							if s.slots[i].active {
+								s.slots[i].active = false
+								s.slots[i].rdyAct = now + ch.ct.RP
+								s.slots[i].rdyCol = never
+								s.slots[i].rdyPre = never
+								s.openCount = 0
+								ch.Stats.Pres++
+							}
+						}
+					}
+				}
+			}
+			rk.openSubs = 0
+			ch.Stats.PreAlls++
+			rk.preaAt = now
+			if ch.audit != nil {
+				ch.audit.Observe(Command{Kind: CmdPREA, Rank: rankIndex(ch, rk)}, now)
+			}
+			continue
+		}
+		// All closed: REF once tRP from PREA has elapsed.
+		refAt := clock.Cycle(0)
+		if rk.preaAt != never {
+			refAt = rk.preaAt + ch.ct.RP
+		}
+		if now >= refAt {
+			rk.observe(now, &ch.Stats)
+			rk.blockedUntil = now + ch.ct.RFC
+			rk.nextRefresh += ch.ct.REFI
+			rk.refPending = false
+			rk.preaAt = never
+			ch.Stats.Refreshes++
+			if ch.audit != nil {
+				ch.audit.Observe(Command{Kind: CmdREF, Rank: rankIndex(ch, rk)}, now)
+			}
+		}
+	}
+}
+
+// Finish integrates background-energy accounting up to the given cycle.
+func (ch *Channel) Finish(now clock.Cycle) {
+	for _, rk := range ch.ranks {
+		rk.observe(now, &ch.Stats)
+	}
+}
+
+func rankIndex(ch *Channel, rk *rank) int {
+	for i, r := range ch.ranks {
+		if r == rk {
+			return i
+		}
+	}
+	return 0
+}
+
+func maxc(vals ...clock.Cycle) clock.Cycle {
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,239 @@
+package dram
+
+import (
+	"testing"
+
+	"eruca/internal/clock"
+	"eruca/internal/config"
+)
+
+// testChannel builds a channel with refresh disabled so tests control
+// all timing, returning it with the resolved cycle timing.
+func testChannel(t *testing.T, sys *config.System) (*Channel, config.CycleTiming) {
+	t.Helper()
+	sys.Ctrl.RefreshEnabled = false
+	rowBits := sys.Geom.RowBits
+	if sys.Scheme.SubBanksPerBank() > 1 && sys.Scheme.Mode != config.SubBankPaired {
+		rowBits--
+	}
+	return NewChannel(sys, rowBits), sys.CT
+}
+
+func baselineCh(t *testing.T) (*Channel, config.CycleTiming) {
+	return testChannel(t, config.Baseline(config.DefaultBusMHz))
+}
+
+func cmd(k CmdKind, bank int, row uint32) Command {
+	return Command{Kind: k, Group: bank / 4, Bank: bank % 4, Row: row}
+}
+
+// issueAt issues the command at its earliest legal cycle at or after
+// `from`, returning the issue cycle.
+func issueAt(t *testing.T, ch *Channel, c Command, from clock.Cycle) clock.Cycle {
+	t.Helper()
+	e := ch.EarliestIssue(c)
+	if e < from {
+		e = from
+	}
+	ch.Issue(c, e)
+	return e
+}
+
+func TestActToColumnRespectsTRCD(t *testing.T) {
+	ch, ct := baselineCh(t)
+	ch.Issue(cmd(CmdACT, 0, 7), 0)
+	rd := cmd(CmdRD, 0, 7)
+	if e := ch.EarliestIssue(rd); e != ct.RCD {
+		t.Errorf("read after ACT earliest = %d, want tRCD = %d", e, ct.RCD)
+	}
+}
+
+func TestPrechargeRespectsTRAS(t *testing.T) {
+	ch, ct := baselineCh(t)
+	ch.Issue(cmd(CmdACT, 0, 7), 0)
+	if e := ch.EarliestIssue(cmd(CmdPRE, 0, 7)); e != ct.RAS {
+		t.Errorf("PRE earliest = %d, want tRAS = %d", e, ct.RAS)
+	}
+}
+
+func TestActAfterPrechargeRespectsTRP(t *testing.T) {
+	ch, ct := baselineCh(t)
+	ch.Issue(cmd(CmdACT, 0, 7), 0)
+	pre := issueAt(t, ch, cmd(CmdPRE, 0, 7), 0)
+	if e := ch.EarliestIssue(cmd(CmdACT, 0, 9)); e != pre+ct.RP {
+		t.Errorf("re-ACT earliest = %d, want PRE+tRP = %d", e, pre+ct.RP)
+	}
+}
+
+func TestReadAfterReadSameBankIsTCCDL(t *testing.T) {
+	ch, ct := baselineCh(t)
+	ch.Issue(cmd(CmdACT, 0, 7), 0)
+	rd := issueAt(t, ch, cmd(CmdRD, 0, 7), 0)
+	if e := ch.EarliestIssue(cmd(CmdRD, 0, 7)); e != rd+ct.CCDL {
+		t.Errorf("same-bank read-to-read = %d, want tCCD_L = %d", e-rd, ct.CCDL)
+	}
+}
+
+// Same bank group, different bank: tCCD_L with bank grouping.
+func TestSameGroupColumnIsTCCDL(t *testing.T) {
+	ch, ct := baselineCh(t)
+	ch.Issue(cmd(CmdACT, 0, 7), 0)
+	issueAt(t, ch, cmd(CmdACT, 1, 7), 0)
+	rd := issueAt(t, ch, cmd(CmdRD, 0, 7), 100)
+	if e := ch.EarliestIssue(cmd(CmdRD, 1, 7)); e != rd+ct.CCDL {
+		t.Errorf("same-group read spacing = %d, want tCCD_L = %d", e-rd, ct.CCDL)
+	}
+}
+
+// Different bank groups: tCCD_S.
+func TestCrossGroupColumnIsTCCDS(t *testing.T) {
+	ch, ct := baselineCh(t)
+	ch.Issue(cmd(CmdACT, 0, 7), 0)
+	issueAt(t, ch, cmd(CmdACT, 4, 7), 0) // bank 4 = group 1
+	rd := issueAt(t, ch, cmd(CmdRD, 0, 7), 100)
+	if e := ch.EarliestIssue(cmd(CmdRD, 4, 7)); e != rd+ct.CCDS {
+		t.Errorf("cross-group read spacing = %d, want tCCD_S = %d", e-rd, ct.CCDS)
+	}
+}
+
+// Without bank grouping (Ideal32), cross-bank same-group accesses are
+// tCCD_S but same-bank stays tCCD_L (GBLs are still shared in a bank).
+func TestIdealDropsGroupPenalty(t *testing.T) {
+	ch, ct := testChannel(t, config.Ideal32(config.DefaultBusMHz))
+	c0 := Command{Kind: CmdACT, Group: 0, Bank: 0, Row: 7}
+	c1 := Command{Kind: CmdACT, Group: 0, Bank: 1, Row: 7}
+	ch.Issue(c0, 0)
+	issueAt(t, ch, c1, 0)
+	rd0 := Command{Kind: CmdRD, Group: 0, Bank: 0, Row: 7}
+	rd1 := Command{Kind: CmdRD, Group: 0, Bank: 1, Row: 7}
+	at := issueAt(t, ch, rd0, 100)
+	if e := ch.EarliestIssue(rd1); e != at+ct.CCDS {
+		t.Errorf("ideal same-group spacing = %d, want tCCD_S = %d", e-at, ct.CCDS)
+	}
+	if e := ch.EarliestIssue(rd0); e != at+ct.CCDL {
+		t.Errorf("ideal same-bank spacing = %d, want tCCD_L = %d", e-at, ct.CCDL)
+	}
+}
+
+func TestTRRDBetweenActivates(t *testing.T) {
+	ch, ct := baselineCh(t)
+	ch.Issue(cmd(CmdACT, 0, 7), 0)
+	if e := ch.EarliestIssue(cmd(CmdACT, 4, 9)); e != ct.RRD {
+		t.Errorf("ACT-to-ACT = %d, want tRRD = %d", e, ct.RRD)
+	}
+}
+
+func TestTFAWLimitsBurstOfActivates(t *testing.T) {
+	ch, ct := baselineCh(t)
+	var last clock.Cycle
+	for i := 0; i < 4; i++ {
+		last = issueAt(t, ch, cmd(CmdACT, i*4, 7), 0) // four different groups
+	}
+	fifth := ch.EarliestIssue(cmd(CmdACT, 1, 7))
+	if fifth < ct.FAW {
+		t.Errorf("fifth ACT at %d, want >= first+tFAW = %d (4th at %d)", fifth, ct.FAW, last)
+	}
+}
+
+func TestWriteToReadTurnaround(t *testing.T) {
+	ch, ct := baselineCh(t)
+	ch.Issue(cmd(CmdACT, 0, 7), 0)
+	issueAt(t, ch, cmd(CmdACT, 4, 7), 0)
+	wr := issueAt(t, ch, cmd(CmdWR, 0, 7), 100)
+	dataEnd := wr + ct.CWL + ct.Burst
+	// Same bank: tWTR_L from end of write data.
+	if e := ch.EarliestIssue(cmd(CmdRD, 0, 7)); e < dataEnd+ct.WTRL {
+		t.Errorf("same-bank W->R = %d, want >= %d", e, dataEnd+ct.WTRL)
+	}
+	// Different group: tWTR_S.
+	if e := ch.EarliestIssue(cmd(CmdRD, 4, 7)); e < dataEnd+ct.WTRS {
+		t.Errorf("cross-group W->R = %d, want >= %d", e, dataEnd+ct.WTRS)
+	}
+}
+
+func TestWriteAfterPrechargeNeedsTWR(t *testing.T) {
+	ch, ct := baselineCh(t)
+	ch.Issue(cmd(CmdACT, 0, 7), 0)
+	wr := issueAt(t, ch, cmd(CmdWR, 0, 7), 0)
+	want := wr + ct.CWL + ct.Burst + ct.WR
+	if e := ch.EarliestIssue(cmd(CmdPRE, 0, 7)); e != want {
+		t.Errorf("PRE after WR = %d, want data end + tWR = %d", e, want)
+	}
+}
+
+// The external data bus can only carry one burst at a time; reads to
+// different groups cannot be closer than the burst length even though
+// tCCD_S would allow it... tCCD_S (4) equals the burst (4) here, so
+// saturate the bus and check no overlap by construction.
+func TestDataBusNeverOverlaps(t *testing.T) {
+	ch, ct := baselineCh(t)
+	for b := 0; b < 8; b++ {
+		issueAt(t, ch, cmd(CmdACT, b, 3), 0)
+	}
+	type window struct{ start, end clock.Cycle }
+	var wins []window
+	now := clock.Cycle(200)
+	for i := 0; i < 16; i++ {
+		c := cmd(CmdRD, i%8, 3)
+		at := issueAt(t, ch, c, now)
+		now = at
+		wins = append(wins, window{at + ct.CL, at + ct.CL + ct.Burst})
+	}
+	for i := 1; i < len(wins); i++ {
+		if wins[i].start < wins[i-1].end {
+			t.Fatalf("data windows overlap: %v then %v", wins[i-1], wins[i])
+		}
+	}
+}
+
+func TestIssueEarlyPanics(t *testing.T) {
+	ch, _ := baselineCh(t)
+	ch.Issue(cmd(CmdACT, 0, 7), 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("early read did not panic")
+		}
+	}()
+	ch.Issue(cmd(CmdRD, 0, 7), 1) // tRCD violated
+}
+
+func TestColumnToClosedRowPanics(t *testing.T) {
+	ch, _ := baselineCh(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("read to closed bank did not panic")
+		}
+	}()
+	ch.Issue(cmd(CmdRD, 0, 7), 100)
+}
+
+func TestStatsCounting(t *testing.T) {
+	ch, _ := baselineCh(t)
+	ch.Issue(cmd(CmdACT, 0, 7), 0)
+	issueAt(t, ch, cmd(CmdRD, 0, 7), 0)
+	issueAt(t, ch, cmd(CmdRD, 0, 7), 0)
+	issueAt(t, ch, cmd(CmdWR, 0, 7), 0)
+	issueAt(t, ch, cmd(CmdPRE, 0, 7), 0)
+	s := ch.Stats
+	if s.Acts != 1 || s.Reads != 2 || s.Writes != 1 || s.Pres != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.RowHits() != 2 {
+		t.Errorf("row hits = %d, want 2", s.RowHits())
+	}
+}
+
+func TestBackgroundAccounting(t *testing.T) {
+	ch, ct := baselineCh(t)
+	ch.Issue(cmd(CmdACT, 0, 7), 0)
+	pre := issueAt(t, ch, cmd(CmdPRE, 0, 7), 0)
+	ch.Finish(pre + 100)
+	s := ch.Stats
+	if s.AllCycles != uint64(pre+100) {
+		t.Errorf("all cycles = %d, want %d", s.AllCycles, pre+100)
+	}
+	if s.ActiveCycles != uint64(pre) {
+		t.Errorf("active cycles = %d, want %d (tRAS window)", s.ActiveCycles, pre)
+	}
+	_ = ct
+}

@@ -1,0 +1,67 @@
+package dram
+
+import (
+	"testing"
+
+	"eruca/internal/clock"
+	"eruca/internal/config"
+)
+
+// The non-Combo DDB pairs groups 0-2 and 1-3 (Sec. V): the two-command
+// window spans a group pair, not a single group.
+func TestDDBGroupPairsWindowSpansPair(t *testing.T) {
+	sys := config.PairedBankNonCombo(4, 2400)
+	ch, ct := testChannel(t, sys)
+	if !ct.TwoCommandWindowsOn {
+		t.Fatal("windows should bind at 2.4GHz")
+	}
+	// Open rows in groups 0 and 2 (one pair) plus group 1 (other pair).
+	open := func(grp, bank int, row uint32) {
+		c := Command{Kind: CmdACT, Group: grp, Bank: bank, Row: row}
+		e := ch.EarliestIssue(c)
+		ch.Issue(c, e)
+	}
+	open(0, 0, 7)
+	open(2, 0, 9)
+	open(1, 0, 11)
+
+	now := clock.Cycle(1000)
+	r1 := issueAt(t, ch, Command{Kind: CmdRD, Group: 0, Row: 7}, now)
+	r2 := issueAt(t, ch, Command{Kind: CmdRD, Group: 2, Row: 9}, r1)
+	if r2-r1 >= ct.CCDL {
+		t.Errorf("cross-group pair spacing = %d, want < tCCD_L (%d): pair shares two buses", r2-r1, ct.CCDL)
+	}
+	// Third read in the same pair is window-blocked...
+	e0 := ch.EarliestIssue(Command{Kind: CmdRD, Group: 0, Row: 7})
+	if e0 < r1+ct.TCW {
+		t.Errorf("third pair read at %d, want >= first + tTCW = %d", e0, r1+ct.TCW)
+	}
+	// ...but the other pair (group 1) is unconstrained by this window.
+	e1 := ch.EarliestIssue(Command{Kind: CmdRD, Group: 1, Row: 11})
+	if e1 >= r1+ct.TCW {
+		t.Errorf("other pair blocked by this pair's window: %d", e1)
+	}
+}
+
+// At the default frequency the pair variant removes intra-group tCCD_L
+// like Combo DDB does.
+func TestDDBGroupPairsLowFrequency(t *testing.T) {
+	sys := config.PairedBankNonCombo(4, config.DefaultBusMHz)
+	ch, ct := testChannel(t, sys)
+	a := Command{Kind: CmdACT, Group: 0, Bank: 0, Sub: 0, Row: 0x00100}
+	b := Command{Kind: CmdACT, Group: 0, Bank: 1, Sub: 0, Row: 0x04100}
+	ch.Issue(a, 0)
+	issueAt(t, ch, b, 0)
+	r1 := issueAt(t, ch, Command{Kind: CmdRD, Group: 0, Bank: 0, Sub: 0, Row: 0x00100}, 100)
+	r2 := ch.EarliestIssue(Command{Kind: CmdRD, Group: 0, Bank: 1, Sub: 0, Row: 0x04100})
+	if r2-r1 != ct.CCDS {
+		t.Errorf("same-group spacing under pair DDB = %d, want tCCD_S = %d", r2-r1, ct.CCDS)
+	}
+}
+
+func TestDDBGroupPairsRequiresDDB(t *testing.T) {
+	sch := config.Scheme{Name: "bad", Mode: config.SubBankNone, DDBGroupPairs: true, BankGrouping: true}
+	if err := sch.Validate(); err == nil {
+		t.Error("DDBGroupPairs without DDB validated")
+	}
+}

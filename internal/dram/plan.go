@@ -1,0 +1,170 @@
+package dram
+
+import (
+	"eruca/internal/clock"
+	"eruca/internal/core"
+)
+
+// Target addresses one transaction's DRAM coordinates within a channel.
+type Target struct {
+	Rank, Group, Bank, Sub int
+	Row                    uint32
+}
+
+// Step is the next command a transaction needs, per the Fig. 5 flow
+// evaluated against live bank state.
+type Step struct {
+	Cmd Command
+	// Column reports that Cmd is the transaction's RD/WR itself (the
+	// target row is open); otherwise Cmd is a preparatory ACT or PRE.
+	Column bool
+	// Hit reports the target row was already open (row-buffer hit).
+	Hit bool
+}
+
+// NextStep computes the next command required to service a transaction.
+// It re-evaluates from current state, so the controller can call it
+// every cycle and always issue a legal step. The returned command
+// carries the EWLR-hit / partial-precharge / plane-conflict annotations
+// used for energy and Fig. 13b accounting.
+func (ch *Channel) NextStep(t Target, write bool) Step {
+	bk := ch.ranks[t.Rank].groups[t.Group].banks[t.Bank]
+	sb := bk.subs[t.Sub]
+	slot := ch.SlotFor(t.Row)
+	base := Command{Rank: t.Rank, Group: t.Group, Bank: t.Bank, Sub: t.Sub, Row: t.Row, Slot: slot}
+
+	col := func() Step {
+		c := base
+		c.Kind = CmdRD
+		if write {
+			c.Kind = CmdWR
+		}
+		return Step{Cmd: c, Column: true, Hit: true}
+	}
+
+	st := &sb.slots[slot]
+	switch {
+	case ch.slotsPerSub > 1:
+		// MASA: one row buffer per subarray group.
+		if st.active && st.row == t.Row {
+			return col()
+		}
+		if st.active {
+			c := base
+			c.Kind = CmdPRE
+			return Step{Cmd: c}
+		}
+		// Stacked MASA+ERUCA: the two VSB sub-banks share each
+		// subarray's row-address latches; EWLR lets them coexist when
+		// the MWLs match, otherwise the partner slot must close first
+		// (a plane conflict at subarray granularity).
+		if ch.stacked {
+			other := bk.subs[1-t.Sub]
+			ost := &other.slots[slot]
+			if ost.active && ch.planes.Latch(t.Row) != ch.planes.Latch(ost.row) {
+				c := base
+				c.Kind = CmdPRE
+				c.Sub = 1 - t.Sub
+				c.PlaneConflict = true
+				return Step{Cmd: c}
+			}
+			c := base
+			c.Kind = CmdACT
+			c.EWLRHit = ch.planes.EWLR() && ost.active && ch.planes.MWL(t.Row) == ch.planes.MWL(ost.row)
+			return Step{Cmd: c}
+		}
+		c := base
+		c.Kind = CmdACT
+		return Step{Cmd: c}
+
+	case ch.planes != nil:
+		// VSB / paired-bank / Half-DRAM: shared plane latches between
+		// the two sub-banks (Fig. 5).
+		other := bk.subs[1-t.Sub]
+		d := ch.planes.Decide(t.Row, t.Sub, sb.state(), other.state())
+		switch d.Action {
+		case core.ActionHit:
+			return col()
+		case core.ActionActivate:
+			c := base
+			c.Kind = CmdACT
+			c.EWLRHit = d.EWLRHit
+			return Step{Cmd: c}
+		case core.ActionPrechargeSelf:
+			c := base
+			c.Kind = CmdPRE
+			c.Partial = d.PartialPrecharge
+			return Step{Cmd: c}
+		default: // core.ActionPrechargeOther
+			c := base
+			c.Kind = CmdPRE
+			c.Sub = 1 - t.Sub
+			c.PlaneConflict = true
+			// Closing the partner may itself need to keep the MWL up if
+			// a third row shares it; with two sub-banks that cannot
+			// happen, so no Partial flag here.
+			return Step{Cmd: c}
+		}
+
+	default:
+		// Stock bank: single row buffer.
+		if st.active && st.row == t.Row {
+			return col()
+		}
+		if st.active {
+			c := base
+			c.Kind = CmdPRE
+			return Step{Cmd: c}
+		}
+		c := base
+		c.Kind = CmdACT
+		return Step{Cmd: c}
+	}
+}
+
+// OpenRow reports the open row of the slot that would serve the target,
+// for row-hit-first scheduling.
+func (ch *Channel) OpenRow(t Target) (uint32, bool) {
+	sb := ch.ranks[t.Rank].groups[t.Group].banks[t.Bank].subs[t.Sub]
+	st := &sb.slots[ch.SlotFor(t.Row)]
+	if st.active {
+		return st.row, true
+	}
+	return 0, false
+}
+
+// BankLoad reports per-(group,bank) column-command counts, flattened
+// group-major — the utilization balance the XOR address hashing is
+// supposed to deliver.
+func (ch *Channel) BankLoad() []uint64 {
+	var out []uint64
+	for _, rk := range ch.ranks {
+		for _, grp := range rk.groups {
+			for _, bk := range grp.banks {
+				out = append(out, bk.colCount)
+			}
+		}
+	}
+	return out
+}
+
+// IdleOpenRows visits every open slot that has not been used for at
+// least idleCK cycles, handing the caller a ready-to-build PRE command.
+// The controller uses it to implement the adaptive close-page timeout of
+// Tab. III.
+func (ch *Channel) IdleOpenRows(now, idleCK clock.Cycle, visit func(Command)) {
+	for r, rk := range ch.ranks {
+		for g, grp := range rk.groups {
+			for b, bk := range grp.banks {
+				for s, sb := range bk.subs {
+					for sl := range sb.slots {
+						st := &sb.slots[sl]
+						if st.active && now-st.lastUse >= idleCK {
+							visit(Command{Kind: CmdPRE, Rank: r, Group: g, Bank: b, Sub: s, Slot: sl, Row: st.row})
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Package energy converts DRAM command counts into energy, loosely after
+// the Micron 8Gb DDR4 current profile the paper uses (Tab. III), at
+// rank granularity (16 x4 chips). It reproduces the decomposition of
+// Fig. 16b — background, activation, read/write, refresh — including the
+// EWLR saving: an EWLR-hit activation skips re-driving the main wordline
+// and saves 18% of the Vpp power of the activation (Sec. IV).
+package energy
+
+import "eruca/internal/dram"
+
+// Model holds per-event energies (nJ) and background power (mW) for one
+// rank.
+type Model struct {
+	// ActPreNJ is the energy of one activate/precharge pair.
+	ActPreNJ float64
+	// VppFracOfAct is the share of ActPreNJ drawn from the Vpp wordline
+	// supply.
+	VppFracOfAct float64
+	// EWLRSaveFrac is the fraction of Vpp energy an EWLR hit saves
+	// (the paper reports 18%, from the Rambus model for a 2Gb device).
+	EWLRSaveFrac float64
+	// ReadNJ / WriteNJ are per-burst column energies including I/O.
+	ReadNJ, WriteNJ float64
+	// RefreshNJ is per REF command.
+	RefreshNJ float64
+	// ActiveStandbyMW / PrechargeStandbyMW are rank background powers
+	// with at least one open row vs. all banks precharged.
+	ActiveStandbyMW, PrechargeStandbyMW float64
+}
+
+// Default returns the rank-level model (16 x 8Gb x4 DDR4 chips, derived
+// from IDD0/IDD2N/IDD3N/IDD4R/IDD4W/IDD5-style figures at 1.2V).
+func Default() Model {
+	return Model{
+		ActPreNJ:           13.0,
+		VppFracOfAct:       0.35,
+		EWLRSaveFrac:       0.18,
+		ReadNJ:             9.0,
+		WriteNJ:            9.5,
+		RefreshNJ:          500.0,
+		ActiveStandbyMW:    770,
+		PrechargeStandbyMW: 615,
+	}
+}
+
+// Breakdown is the Fig. 16b decomposition, in nanojoules.
+type Breakdown struct {
+	BackgroundNJ float64
+	ActNJ        float64
+	RdWrNJ       float64
+	RefreshNJ    float64
+}
+
+// TotalNJ sums the components.
+func (b Breakdown) TotalNJ() float64 {
+	return b.BackgroundNJ + b.ActNJ + b.RdWrNJ + b.RefreshNJ
+}
+
+// Compute derives the energy breakdown from DRAM statistics and the
+// elapsed wall-clock time of the run. busNSPerCycle converts the
+// cycle-integrated background counters to time.
+func (m Model) Compute(st dram.Stats, busNSPerCycle float64) Breakdown {
+	activeNS := float64(st.ActiveCycles) * busNSPerCycle
+	idleNS := float64(st.AllCycles-st.ActiveCycles) * busNSPerCycle
+	// mW * ns = pJ; /1000 -> nJ.
+	bg := (activeNS*m.ActiveStandbyMW + idleNS*m.PrechargeStandbyMW) / 1000
+
+	hit := float64(st.ActsEWLRHit)
+	full := float64(st.Acts) - hit
+	perHit := m.ActPreNJ * (1 - m.VppFracOfAct*m.EWLRSaveFrac)
+	act := full*m.ActPreNJ + hit*perHit
+
+	rdwr := float64(st.Reads)*m.ReadNJ + float64(st.Writes)*m.WriteNJ
+	ref := float64(st.Refreshes) * m.RefreshNJ
+	return Breakdown{BackgroundNJ: bg, ActNJ: act, RdWrNJ: rdwr, RefreshNJ: ref}
+}

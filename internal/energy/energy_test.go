@@ -1,0 +1,69 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"eruca/internal/dram"
+)
+
+func TestBreakdownComponents(t *testing.T) {
+	m := Default()
+	st := dram.Stats{
+		Acts: 10, Reads: 100, Writes: 50, Refreshes: 2,
+		ActiveCycles: 1000, AllCycles: 2000,
+	}
+	b := m.Compute(st, 0.75)
+	if b.ActNJ != 10*m.ActPreNJ {
+		t.Errorf("ACT energy = %v", b.ActNJ)
+	}
+	wantRW := 100*m.ReadNJ + 50*m.WriteNJ
+	if b.RdWrNJ != wantRW {
+		t.Errorf("RD/WR energy = %v, want %v", b.RdWrNJ, wantRW)
+	}
+	if b.RefreshNJ != 2*m.RefreshNJ {
+		t.Errorf("refresh energy = %v", b.RefreshNJ)
+	}
+	wantBG := (1000*0.75*m.ActiveStandbyMW + 1000*0.75*m.PrechargeStandbyMW) / 1000
+	if math.Abs(b.BackgroundNJ-wantBG) > 1e-9 {
+		t.Errorf("background = %v, want %v", b.BackgroundNJ, wantBG)
+	}
+	if b.TotalNJ() != b.BackgroundNJ+b.ActNJ+b.RdWrNJ+b.RefreshNJ {
+		t.Error("total mismatch")
+	}
+}
+
+// An EWLR-hit activation saves 18% of the Vpp share (Sec. IV).
+func TestEWLRSaving(t *testing.T) {
+	m := Default()
+	full := m.Compute(dram.Stats{Acts: 100}, 1)
+	hits := m.Compute(dram.Stats{Acts: 100, ActsEWLRHit: 100}, 1)
+	saveFrac := 1 - hits.ActNJ/full.ActNJ
+	want := m.VppFracOfAct * m.EWLRSaveFrac
+	if math.Abs(saveFrac-want) > 1e-9 {
+		t.Errorf("EWLR ACT saving = %v, want %v", saveFrac, want)
+	}
+	if hits.ActNJ >= full.ActNJ {
+		t.Error("EWLR hits did not reduce activation energy")
+	}
+}
+
+// Background energy dominates idle periods; shorter runs cost less.
+func TestBackgroundScalesWithTime(t *testing.T) {
+	m := Default()
+	slow := m.Compute(dram.Stats{AllCycles: 2000}, 0.75)
+	fast := m.Compute(dram.Stats{AllCycles: 1000}, 0.75)
+	if fast.BackgroundNJ*2 != slow.BackgroundNJ {
+		t.Errorf("background not linear in time: %v vs %v", fast.BackgroundNJ, slow.BackgroundNJ)
+	}
+}
+
+// Active standby costs more than precharge standby.
+func TestActiveStandbyCostsMore(t *testing.T) {
+	m := Default()
+	active := m.Compute(dram.Stats{ActiveCycles: 1000, AllCycles: 1000}, 1)
+	idle := m.Compute(dram.Stats{ActiveCycles: 0, AllCycles: 1000}, 1)
+	if active.BackgroundNJ <= idle.BackgroundNJ {
+		t.Error("active standby not more expensive")
+	}
+}

@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"fmt"
+
+	"eruca/internal/config"
+	"eruca/internal/stats"
+)
+
+// Ablations evaluates the design choices DESIGN.md calls out, each as a
+// GMEAN normalized weighted speedup over the configured mixes against
+// the same baseline. Variants that merely relax physical constraints
+// (the idealized dual bus) are marked unbuildable.
+func (r *Runner) Ablations(frag float64) (*Table, error) {
+	type variant struct {
+		group string
+		name  string
+		sys   *config.System
+	}
+	mk := func() *config.System { return config.VSB(4, true, true, true, config.DefaultBusMHz) }
+
+	var variants []variant
+	add := func(group, name string, mut func(*config.System)) {
+		sys := mk()
+		if mut != nil {
+			mut(sys)
+		}
+		variants = append(variants, variant{group, name, sys})
+	}
+
+	add("plane-bits", "high (Fig.9 #1, default)", nil)
+	add("plane-bits", "low (Fig.9 #2)", func(s *config.System) { s.Scheme.PlaneBits = config.PlaneBitsLow })
+
+	add("ewlr-width", "2 bits", func(s *config.System) { s.Scheme.EWLRBits = 2 })
+	add("ewlr-width", "3 bits (default)", nil)
+	add("ewlr-width", "4 bits", func(s *config.System) { s.Scheme.EWLRBits = 4 })
+
+	add("sub-bank-hash", "XOR-folded (default)", nil)
+	add("sub-bank-hash", "plain bit", func(s *config.System) { s.Scheme.SubHashDisabled = true })
+
+	add("page-policy", "adaptive open (default)", nil)
+	add("page-policy", "keep open", func(s *config.System) { s.Ctrl.ClosePageIdleCK = 0 })
+	add("page-policy", "near-closed (40ck)", func(s *config.System) { s.Ctrl.ClosePageIdleCK = 40 })
+
+	add("scheduler", "FR-FCFS (default)", nil)
+	add("scheduler", "FCFS", func(s *config.System) { s.Ctrl.HitFirstDisabled = true })
+
+	t := &Table{
+		Title:  fmt.Sprintf("Ablations: GMEAN normalized WS of VSB(EWLR+RAP)+DDB variants (FMFI %.0f%%)", frag*100),
+		Header: []string{"choice", "variant", "norm WS"},
+	}
+	for i, v := range variants {
+		// Distinguish otherwise identically-named systems in the cache.
+		v.sys.Name = fmt.Sprintf("%s[%s/%d]", v.sys.Name, v.group, i)
+		var vals []float64
+		for _, mix := range r.Mixes() {
+			ws, err := r.NormWS(v.sys, mix, frag)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, ws)
+		}
+		t.Rows = append(t.Rows, []string{v.group, v.name, f3(stats.GeoMean(vals))})
+	}
+	t.Notes = append(t.Notes,
+		"Each group varies one knob of the full ERUCA configuration; DESIGN.md lists the rationale.")
+	return t, nil
+}
+
+// aloneSanity is referenced by tests: every benchmark's alone IPC must
+// be at least its shared IPC in any mix containing it (contention can
+// only hurt).
+func (r *Runner) aloneSanity(frag float64) error {
+	for _, mix := range r.Mixes() {
+		res, err := r.Result(config.Baseline(config.DefaultBusMHz), mix, frag)
+		if err != nil {
+			return err
+		}
+		for i, b := range mix.Bench {
+			alone, err := r.AloneIPC(b, frag, config.DefaultBusMHz)
+			if err != nil {
+				return err
+			}
+			if res.IPC[i] > alone*1.02 { // 2% tolerance for seed noise
+				return fmt.Errorf("%s in %s: shared IPC %.3f exceeds alone %.3f",
+					b, mix.Name, res.IPC[i], alone)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Chart renders the table's numeric columns as horizontal bar charts,
+// one block per row group, so figure-shaped results read as figures in a
+// terminal. Cells that do not parse as numbers (including trailing '%')
+// are skipped. The scale runs from the smallest to the largest value
+// across all numeric cells.
+func (t *Table) Chart() string {
+	type bar struct {
+		label string
+		col   string
+		v     float64
+	}
+	var bars []bar
+	min, max := 0.0, 0.0
+	first := true
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i == 0 || i >= len(t.Header) {
+				continue
+			}
+			v, ok := parseNumeric(cell)
+			if !ok {
+				continue
+			}
+			bars = append(bars, bar{label: row[0], col: t.Header[i], v: v})
+			if first || v < min {
+				min = v
+			}
+			if first || v > max {
+				max = v
+			}
+			first = false
+		}
+	}
+	if len(bars) == 0 || max == min {
+		return ""
+	}
+
+	const width = 42
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%.3g .. %.3g]\n", t.Title, min, max)
+	lastLabel := ""
+	for _, bb := range bars {
+		if bb.label != lastLabel {
+			fmt.Fprintf(&b, "%s\n", bb.label)
+			lastLabel = bb.label
+		}
+		n := int((bb.v - min) / (max - min) * width)
+		fmt.Fprintf(&b, "  %-28s |%s%s| %s\n",
+			truncate(bb.col, 28), strings.Repeat("#", n), strings.Repeat(" ", width-n),
+			strconv.FormatFloat(bb.v, 'g', 4, 64))
+	}
+	return b.String()
+}
+
+func parseNumeric(cell string) (float64, bool) {
+	s := strings.TrimSuffix(strings.TrimSpace(cell), "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRendersNumericColumns(t *testing.T) {
+	tbl := &Table{
+		Title:  "demo",
+		Header: []string{"mix", "a", "b"},
+		Rows: [][]string{
+			{"mix0", "1.000", "1.100"},
+			{"mix1", "1.050", "1.150"},
+		},
+	}
+	c := tbl.Chart()
+	if c == "" {
+		t.Fatal("empty chart")
+	}
+	for _, want := range []string{"mix0", "mix1", "a", "b", "#"} {
+		if !strings.Contains(c, want) {
+			t.Errorf("chart missing %q:\n%s", want, c)
+		}
+	}
+	// The max value gets the longest bar.
+	lines := strings.Split(c, "\n")
+	maxHashes, maxLine := 0, ""
+	for _, l := range lines {
+		n := strings.Count(l, "#")
+		if n > maxHashes {
+			maxHashes, maxLine = n, l
+		}
+	}
+	if !strings.Contains(maxLine, "1.15") {
+		t.Errorf("longest bar is not the max value: %q", maxLine)
+	}
+}
+
+func TestChartPercentCells(t *testing.T) {
+	tbl := &Table{
+		Title:  "pct",
+		Header: []string{"planes", "x"},
+		Rows:   [][]string{{"2", "45.6%"}, {"4", "3.6%"}},
+	}
+	if tbl.Chart() == "" {
+		t.Error("percent cells not charted")
+	}
+}
+
+func TestChartDegenerate(t *testing.T) {
+	empty := &Table{Title: "e", Header: []string{"k", "v"}}
+	if empty.Chart() != "" {
+		t.Error("empty table charted")
+	}
+	flat := &Table{Title: "f", Header: []string{"k", "v"},
+		Rows: [][]string{{"a", "1.0"}, {"b", "1.0"}}}
+	if flat.Chart() != "" {
+		t.Error("flat table charted (no range)")
+	}
+	text := &Table{Title: "t", Header: []string{"k", "v"},
+		Rows: [][]string{{"a", "hello"}}}
+	if text.Chart() != "" {
+		t.Error("text table charted")
+	}
+}

@@ -1,0 +1,212 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (Sec. VII-VIII). Each experiment is a function on a Runner,
+// which caches simulation results and alone-run IPCs so that figures
+// sharing configurations do not re-simulate.
+//
+// Metrics follow the paper: multiprogrammed performance is weighted
+// speedup (sum of IPC_shared / IPC_alone, with IPC_alone measured on the
+// baseline DDR4 system), normalized to baseline DDR4 at the same channel
+// frequency and fragmentation level; summary rows are geometric means.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"eruca/internal/config"
+	"eruca/internal/sim"
+	"eruca/internal/stats"
+	"eruca/internal/workload"
+)
+
+// Params scales the experiments. The paper simulates 200M instructions
+// per mix; these defaults are sized for minutes-long runs that preserve
+// the result shape.
+type Params struct {
+	// Instrs is the measured instruction budget per core.
+	Instrs int64
+	// Warmup instructions run before measurement (default Instrs/2).
+	Warmup int64
+	// Seed drives all randomness.
+	Seed int64
+	// Mixes restricts the workload mixes (nil = all nine of Tab. III).
+	Mixes []string
+	// Log receives progress lines (nil = silent).
+	Log func(string)
+}
+
+// DefaultParams returns the harness defaults.
+func DefaultParams() Params {
+	return Params{Instrs: 250_000, Seed: 42}
+}
+
+// Runner executes and caches simulations.
+type Runner struct {
+	p     Params
+	cache map[string]*sim.Result
+	alone map[string]float64
+}
+
+// NewRunner builds a Runner.
+func NewRunner(p Params) *Runner {
+	if p.Instrs <= 0 {
+		p.Instrs = DefaultParams().Instrs
+	}
+	return &Runner{p: p, cache: make(map[string]*sim.Result), alone: make(map[string]float64)}
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.p.Log != nil {
+		r.p.Log(fmt.Sprintf(format, args...))
+	}
+}
+
+// Mixes returns the configured workload mixes.
+func (r *Runner) Mixes() []workload.Mix {
+	all := workload.Mixes()
+	if len(r.p.Mixes) == 0 {
+		return all
+	}
+	var out []workload.Mix
+	for _, name := range r.p.Mixes {
+		for _, m := range all {
+			if m.Name == name {
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+func sysKey(sys *config.System) string {
+	return fmt.Sprintf("%s/p%d/%.0fMHz", sys.Name, sys.Scheme.Planes, sys.Bus.FreqMHz())
+}
+
+// Result runs (or recalls) one mix on one system at one fragmentation.
+func (r *Runner) Result(sys *config.System, mix workload.Mix, frag float64) (*sim.Result, error) {
+	key := fmt.Sprintf("%s|%s|%.2f", sysKey(sys), mix.Name, frag)
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	r.logf("run %-34s %s frag=%.1f", sysKey(sys), mix.Name, frag)
+	res, err := sim.Run(sim.Options{
+		Sys: sys, Benches: mix.Bench, Instrs: r.p.Instrs, Warmup: r.p.Warmup,
+		Frag: frag, Seed: r.p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.cache[key] = res
+	return res, nil
+}
+
+// AloneIPC measures a benchmark's IPC running alone on baseline DDR4 at
+// the given channel frequency and fragmentation (the weighted-speedup
+// denominator).
+func (r *Runner) AloneIPC(bench string, frag, busMHz float64) (float64, error) {
+	key := fmt.Sprintf("%s|%.2f|%.0f", bench, frag, busMHz)
+	if v, ok := r.alone[key]; ok {
+		return v, nil
+	}
+	r.logf("alone %-12s frag=%.1f bus=%.0f", bench, frag, busMHz)
+	res, err := sim.Run(sim.Options{
+		Sys: config.Baseline(busMHz), Benches: []string{bench},
+		Instrs: r.p.Instrs, Warmup: r.p.Warmup, Frag: frag, Seed: r.p.Seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	r.alone[key] = res.IPC[0]
+	return res.IPC[0], nil
+}
+
+// WS computes the weighted speedup of one mix on one system.
+func (r *Runner) WS(sys *config.System, mix workload.Mix, frag float64) (float64, error) {
+	res, err := r.Result(sys, mix, frag)
+	if err != nil {
+		return 0, err
+	}
+	aloneIPC := make([]float64, len(mix.Bench))
+	for i, b := range mix.Bench {
+		a, err := r.AloneIPC(b, frag, sys.Bus.FreqMHz())
+		if err != nil {
+			return 0, err
+		}
+		aloneIPC[i] = a
+	}
+	return stats.WeightedSpeedup(res.IPC, aloneIPC), nil
+}
+
+// NormWS computes WS normalized to baseline DDR4 at the same channel
+// frequency and fragmentation.
+func (r *Runner) NormWS(sys *config.System, mix workload.Mix, frag float64) (float64, error) {
+	ws, err := r.WS(sys, mix, frag)
+	if err != nil {
+		return 0, err
+	}
+	base, err := r.WS(config.Baseline(sys.Bus.FreqMHz()), mix, frag)
+	if err != nil {
+		return 0, err
+	}
+	return stats.Ratio(ws, base), nil
+}
+
+// GMeanNormWS is the geometric mean of NormWS across the configured
+// mixes — the GMEAN bars of Figs. 12-15.
+func (r *Runner) GMeanNormWS(sys *config.System, frag float64) (float64, error) {
+	var vals []float64
+	for _, mix := range r.Mixes() {
+		v, err := r.NormWS(sys, mix, frag)
+		if err != nil {
+			return 0, err
+		}
+		vals = append(vals, v)
+	}
+	return stats.GeoMean(vals), nil
+}
+
+// Table is a generic formatted result: a header row plus data rows.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s\n\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n%s\n", n)
+	}
+	return b.String()
+}
+
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

@@ -1,0 +1,216 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"eruca/internal/config"
+)
+
+// tinyRunner keeps experiment tests fast: two mixes, small budgets.
+func tinyRunner(logged *int) *Runner {
+	p := Params{Instrs: 15_000, Seed: 7, Mixes: []string{"mix0", "mix6"}}
+	if logged != nil {
+		p.Log = func(string) { *logged++ }
+	}
+	return NewRunner(p)
+}
+
+func TestTableFormat(t *testing.T) {
+	tbl := &Table{
+		Title:  "demo",
+		Header: []string{"a", "bbbb"},
+		Rows:   [][]string{{"xx", "y"}},
+		Notes:  []string{"note"},
+	}
+	out := tbl.Format()
+	for _, want := range []string{"## demo", "a   bbbb", "xx  y", "note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunnerCaching(t *testing.T) {
+	logged := 0
+	r := tinyRunner(&logged)
+	sys := fig13Systems(4)[3]
+	mix := r.Mixes()[0]
+	if _, err := r.Result(sys, mix, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	after := logged
+	if _, err := r.Result(sys, mix, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if logged != after {
+		t.Error("second Result call re-simulated")
+	}
+}
+
+func TestNormWSBaselineIsOne(t *testing.T) {
+	r := tinyRunner(nil)
+	mix := r.Mixes()[0]
+	v, err := r.NormWS(config.Baseline(config.DefaultBusMHz), mix, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1.0 {
+		t.Errorf("baseline normalized WS = %v, want exactly 1", v)
+	}
+}
+
+func TestMixesFilter(t *testing.T) {
+	r := tinyRunner(nil)
+	mixes := r.Mixes()
+	if len(mixes) != 2 || mixes[0].Name != "mix0" || mixes[1].Name != "mix6" {
+		t.Fatalf("mixes = %v", mixes)
+	}
+	all := NewRunner(Params{Instrs: 1000})
+	if len(all.Mixes()) != 9 {
+		t.Errorf("default mixes = %d, want 9", len(all.Mixes()))
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r := tinyRunner(nil)
+	tbl, err := r.Fig12(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Header) != 8 { // mix + 7 systems
+		t.Errorf("header = %v", tbl.Header)
+	}
+	if len(tbl.Rows) != 3 { // 2 mixes + GMEAN
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[len(tbl.Rows)-1][0] != "GMEAN" {
+		t.Error("missing GMEAN row")
+	}
+}
+
+func TestFig13Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r := NewRunner(Params{Instrs: 10_000, Seed: 7, Mixes: []string{"mix0"}})
+	a, err := r.Fig13a(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 4 {
+		t.Errorf("fig13a rows = %d", len(a.Rows))
+	}
+	b, err := r.Fig13b(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range b.Rows {
+		for _, cell := range row[1:] {
+			if !strings.HasSuffix(cell, "%") {
+				t.Errorf("fig13b cell %q not a percentage", cell)
+			}
+		}
+	}
+}
+
+func TestFig16Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r := NewRunner(Params{Instrs: 10_000, Seed: 7, Mixes: []string{"mix0"}})
+	a, err := r.Fig16a(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 3 {
+		t.Errorf("fig16a rows = %d", len(a.Rows))
+	}
+	b, err := r.Fig16b(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Rows) != 2 {
+		t.Errorf("fig16b rows = %d", len(b.Rows))
+	}
+}
+
+func TestFig4Monotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r := NewRunner(Params{Instrs: 20_000, Seed: 7})
+	tbl, err := r.Fig4(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 101.0
+	for _, row := range tbl.Rows {
+		v := parsePct(t, row[1])
+		if v > prev+1e-9 {
+			t.Errorf("conflict fraction rose at %s planes: %v > %v", row[0], v, prev)
+		}
+		prev = v
+	}
+}
+
+// Contention sanity: shared IPC never exceeds alone IPC.
+func TestAloneVsSharedIPC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r := NewRunner(Params{Instrs: 20_000, Seed: 7, Mixes: []string{"mix0", "mix7"}})
+	if err := r.aloneSanity(0.1); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAblationsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r := NewRunner(Params{Instrs: 8_000, Seed: 7, Mixes: []string{"mix6"}})
+	tbl, err := r.Ablations(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 12 {
+		t.Errorf("ablation rows = %d, want 12", len(tbl.Rows))
+	}
+	groups := map[string]bool{}
+	for _, row := range tbl.Rows {
+		groups[row[0]] = true
+	}
+	if len(groups) != 5 {
+		t.Errorf("ablation groups = %d, want 5", len(groups))
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	if got := len(Tab1().Rows); got != 4 {
+		t.Errorf("Tab1 rows = %d", got)
+	}
+	if got := len(Tab2().Rows); got < 10 {
+		t.Errorf("Tab2 rows = %d", got)
+	}
+	if got := len(Tab3().Rows); got < 6 {
+		t.Errorf("Tab3 rows = %d", got)
+	}
+	f := Fig11()
+	if len(f.Rows) != 4 || len(f.Header) != 5 {
+		t.Errorf("Fig11 shape = %dx%d", len(f.Rows), len(f.Header))
+	}
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmt.Sscanf(s, "%f%%", &v); err != nil {
+		t.Fatalf("bad percentage %q: %v", s, err)
+	}
+	return v
+}

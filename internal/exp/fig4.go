@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"fmt"
+
+	"eruca/internal/addrmap"
+	"eruca/internal/config"
+	"eruca/internal/sim"
+	"eruca/internal/trace"
+)
+
+// fig4Benches are the applications whose traces drive the Fig. 4
+// characterization.
+var fig4Benches = []string{"mcf", "lbm", "gemsFDTD", "omnetpp"}
+
+// Fig4 reproduces the plane-conflict characterization: capture physical
+// transaction traces of the four Fig. 4 applications on baseline DDR4,
+// then classify same-bank overlaps within a tRC window against a
+// hypothetical 2-sub-bank DRAM, sweeping the plane count from 2 to one
+// plane per row.
+func (r *Runner) Fig4(frag float64) (*Table, error) {
+	base := config.Baseline(config.DefaultBusMHz)
+	vsb := config.VSB(4, false, false, false, config.DefaultBusMHz)
+	mapper := addrmap.New(vsb) // the sub-banked view of each address
+	view := func(pa uint64) (int, int, uint32) {
+		l := mapper.Map(pa)
+		return (l.Channel*base.Geom.Ranks+l.Rank)*base.Geom.Banks() + mapper.BankID(l), l.Sub, l.Row
+	}
+	rowBits := mapper.RowBits()
+	tRCns := base.Timing.TRASns + base.Timing.TRPns
+
+	// Sweep up to two rows per plane, as in the paper (its x-axis ends
+	// at 32768 planes for a 64k-row sub-bank).
+	var planeCounts []int
+	for p := 2; p <= 1<<uint(rowBits-1); p *= 2 {
+		planeCounts = append(planeCounts, p)
+	}
+
+	// Capture the multiprogrammed run of the four applications — the
+	// same-bank overlap that matters comes from their combined traffic.
+	var recs []trace.Record
+	r.logf("fig4 capture %v", fig4Benches)
+	_, err := sim.Run(sim.Options{
+		Sys: config.Baseline(config.DefaultBusMHz), Benches: fig4Benches,
+		Instrs: r.p.Instrs, Warmup: r.p.Warmup, Frag: frag, Seed: r.p.Seed,
+		Capture: func(rec trace.Record) { recs = append(recs, rec) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	pts := trace.AnalyzePlaneConflicts(recs, view, rowBits, tRCns, planeCounts)
+
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 4: transactions with plane conflicts per tRC interval (FMFI %.0f%%)", frag*100),
+		Header: []string{"planes", "PlaneConflict", "NoPlaneConflict", "overlapping"},
+	}
+	for _, pt := range pts {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(pt.Planes), pct(pt.PlaneConflict), pct(pt.NoPlaneConflict), pct(pt.Overlapping)})
+	}
+	t.Notes = append(t.Notes,
+		"Paper: 67% of transactions overlap with same-bank traffic; 51% conflict at 2 planes, falling",
+		"to ~17% even at one plane per row — two locality regions (huge-page MSBs, spatial LSBs).")
+	return t, nil
+}
+
+// Locality reports the row-address MSB-match profile behind the Fig. 4
+// locality regions (Sec. IV).
+func (r *Runner) Locality(frag float64) (*Table, error) {
+	vsb := config.VSB(4, false, false, false, config.DefaultBusMHz)
+	mapper := addrmap.New(vsb)
+	base := config.Baseline(config.DefaultBusMHz)
+	view := func(pa uint64) (int, int, uint32) {
+		l := mapper.Map(pa)
+		return (l.Channel*base.Geom.Ranks+l.Rank)*base.Geom.Banks() + mapper.BankID(l), l.Sub, l.Row
+	}
+	rowBits := mapper.RowBits()
+	tRCns := base.Timing.TRASns + base.Timing.TRPns
+
+	var recs []trace.Record
+	r.logf("locality capture %v", fig4Benches)
+	_, err := sim.Run(sim.Options{
+		Sys: config.Baseline(config.DefaultBusMHz), Benches: fig4Benches,
+		Instrs: r.p.Instrs, Warmup: r.p.Warmup, Frag: frag, Seed: r.p.Seed,
+		Capture: func(rec trace.Record) { recs = append(recs, rec) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	prof := trace.LocalityProfile(recs, view, rowBits, tRCns)
+	t := &Table{
+		Title:  fmt.Sprintf("Row-address locality: P(top-k row MSBs match | same-bank overlap), FMFI %.0f%%", frag*100),
+		Header: []string{"k (MSBs)", "P(match)"},
+	}
+	for k := 0; k <= rowBits; k++ {
+		t.Rows = append(t.Rows, []string{fmt.Sprint(k), pct(prof[k])})
+	}
+	return t, nil
+}

@@ -1,0 +1,242 @@
+package exp
+
+import (
+	"fmt"
+
+	"eruca/internal/area"
+	"eruca/internal/config"
+	"eruca/internal/stats"
+)
+
+// Fig12 reproduces the per-mix normalized weighted speedups of Fig. 12
+// at the given fragmentation level (the paper plots 10% and 50%).
+func (r *Runner) Fig12(frag float64) (*Table, error) {
+	systems := config.Fig12Systems()
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 12: normalized weighted speedup over DDR4 (FMFI %.0f%%)", frag*100),
+		Header: []string{"mix"},
+	}
+	for _, sys := range systems {
+		t.Header = append(t.Header, sys.Name)
+	}
+	perSys := make([][]float64, len(systems))
+	for _, mix := range r.Mixes() {
+		row := []string{mix.Name}
+		for i, sys := range systems {
+			v, err := r.NormWS(sys, mix, frag)
+			if err != nil {
+				return nil, err
+			}
+			perSys[i] = append(perSys[i], v)
+			row = append(row, f3(v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	g := []string{"GMEAN"}
+	for i := range systems {
+		g = append(g, f3(stats.GeoMean(perSys[i])))
+	}
+	t.Rows = append(t.Rows, g)
+	t.Notes = append(t.Notes,
+		"Paper (GMEAN, 200M instrs): VSB(naive)+BG ~1.10, VSB(naive)+DDB ~1.12, VSB(EWLR+RAP)+DDB ~1.15,",
+		"Ideal32 ~1.17, Paired-bank(EWLR+RAP) ~0.98 (+DDB ~0.99). 4 planes throughout.")
+	return t, nil
+}
+
+// fig13Systems returns the plane-count sensitivity grid of Fig. 13:
+// {naive, EWLR, RAP, EWLR+RAP} x planes, all with DDB.
+func fig13Systems(planes int) []*config.System {
+	return []*config.System{
+		config.VSB(planes, false, false, true, config.DefaultBusMHz),
+		config.VSB(planes, true, false, true, config.DefaultBusMHz),
+		config.VSB(planes, false, true, true, config.DefaultBusMHz),
+		config.VSB(planes, true, true, true, config.DefaultBusMHz),
+	}
+}
+
+var fig13PlaneCounts = []int{2, 4, 8, 16}
+
+// Fig13a reproduces the plane-count sensitivity of weighted speedup at
+// one fragmentation level.
+func (r *Runner) Fig13a(frag float64) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 13a: plane-count sensitivity, GMEAN normalized WS (FMFI %.0f%%, all +DDB)", frag*100),
+		Header: []string{"planes", "VSB(naive)", "VSB(EWLR)", "VSB(RAP)", "VSB(EWLR+RAP)"},
+	}
+	for _, planes := range fig13PlaneCounts {
+		row := []string{fmt.Sprint(planes)}
+		for _, sys := range fig13Systems(planes) {
+			v, err := r.GMeanNormWS(sys, frag)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f3(v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	ideal, err := r.GMeanNormWS(config.Ideal32(config.DefaultBusMHz), frag)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("Ideal32 reference: %.3f.", ideal),
+		"Paper: EWLR+RAP varies <4% between 2 and 16 planes and reaches within ~4% of ideal with",
+		"2 planes; naive VSB needs many planes and still trails at 16.")
+	return t, nil
+}
+
+// Fig13b reproduces the fraction of precharges caused by plane
+// conflicts over the same grid.
+func (r *Runner) Fig13b(frag float64) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 13b: precharges from plane conflicts (FMFI %.0f%%, all +DDB)", frag*100),
+		Header: []string{"planes", "VSB(naive)", "VSB(EWLR)", "VSB(RAP)", "VSB(EWLR+RAP)"},
+	}
+	for _, planes := range fig13PlaneCounts {
+		row := []string{fmt.Sprint(planes)}
+		for _, sys := range fig13Systems(planes) {
+			var confPre, pres uint64
+			for _, mix := range r.Mixes() {
+				res, err := r.Result(sys, mix, frag)
+				if err != nil {
+					return nil, err
+				}
+				confPre += res.DRAM.PlaneConfPre
+				pres += res.DRAM.Pres
+			}
+			row = append(row, pct(stats.Ratio(float64(confPre), float64(pres))))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, "Paper: highly correlated with Fig. 13a; EWLR+RAP suppresses conflicts at low plane counts.")
+	return t, nil
+}
+
+// Fig14 reproduces the channel-frequency sweep: GMEAN normalized WS of
+// VSB(EWLR+RAP) with the bank-group bus vs. DDB, plus the 32-bank
+// references, normalized to DDR4 at each frequency.
+func (r *Runner) Fig14(frag float64) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 14: DDB speedup vs channel frequency (FMFI %.0f%%)", frag*100),
+		Header: []string{"busMHz", "VSB(EWLR+RAP)+BG", "VSB(EWLR+RAP)+DDB", "BG32", "Ideal32"},
+	}
+	for _, mhz := range config.Fig14Frequencies() {
+		systems := []*config.System{
+			config.VSB(4, true, true, false, mhz),
+			config.VSB(4, true, true, true, mhz),
+			config.BG32(mhz),
+			config.Ideal32(mhz),
+		}
+		row := []string{fmt.Sprintf("%.0f", mhz)}
+		for _, sys := range systems {
+			v, err := r.GMeanNormWS(sys, frag)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f3(v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"Paper: bank-grouped configurations saturate with frequency while VSB+DDB tracks the ideal",
+		"growth trend, reaching ~5% over VSB+BG at 2.4GHz.")
+	return t, nil
+}
+
+// Fig15 reproduces the prior-work comparison (GMEAN normalized WS).
+func (r *Runner) Fig15(frag float64) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 15: comparison to prior sub-banking schemes (FMFI %.0f%%)", frag*100),
+		Header: []string{"system", "norm WS", "area overhead"},
+	}
+	for _, sys := range config.Fig15Systems() {
+		v, err := r.GMeanNormWS(sys, frag)
+		if err != nil {
+			return nil, err
+		}
+		ov := area.Overhead(sys.Scheme, sys.Geom.Banks())
+		ovs := pct(ov)
+		if sys.Scheme.Mode == config.SubBankNone {
+			ovs = pct(area.FullBanks32)
+		}
+		t.Rows = append(t.Rows, []string{sys.Name, f3(v), ovs})
+	}
+	t.Notes = append(t.Notes,
+		"Paper: Half-DRAM ~1.08, VSB(EWLR+RAP) ~1.13 (+DDB 1.15), MASA4/MASA8 above VSB at medium",
+		"intensity, MASA8+ERUCA ~1.26 (no DDB) and ~1.29 (DDB), Ideal32 ~1.17.")
+	return t, nil
+}
+
+// Fig16a reproduces the read queueing-latency comparison.
+func (r *Runner) Fig16a(frag float64) (*Table, error) {
+	systems := []*config.System{
+		config.Baseline(config.DefaultBusMHz),
+		config.VSB(4, true, true, true, config.DefaultBusMHz),
+		config.Ideal32(config.DefaultBusMHz),
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 16a: read queueing latency, ns (FMFI %.0f%%)", frag*100),
+		Header: []string{"system", "mean", "q1", "median", "q3"},
+	}
+	for _, sys := range systems {
+		agg := &stats.Sampler{}
+		for _, mix := range r.Mixes() {
+			res, err := r.Result(sys, mix, frag)
+			if err != nil {
+				return nil, err
+			}
+			agg.Merge(res.QueueLat, 1)
+		}
+		q1, med, q3 := agg.Quartiles()
+		t.Rows = append(t.Rows, []string{sys.Name, f1(agg.Mean()), f1(q1), f1(med), f1(q3)})
+	}
+	t.Notes = append(t.Notes,
+		"Paper: mean drops ~15% from DDR4 (61.2ns) with ERUCA (51.8ns), within 1% of ideal (51.7ns);",
+		"ERUCA's third quartile stays above ideal due to residual plane conflicts.")
+	return t, nil
+}
+
+// Fig16b reproduces the energy comparison, normalized to DDR4.
+func (r *Runner) Fig16b(frag float64) (*Table, error) {
+	base := config.Baseline(config.DefaultBusMHz)
+	systems := []*config.System{
+		config.VSB(4, true, true, true, config.DefaultBusMHz),
+		config.Ideal32(config.DefaultBusMHz),
+	}
+	type tot struct{ bg, act, all float64 }
+	sum := func(sys *config.System) (tot, error) {
+		var s tot
+		for _, mix := range r.Mixes() {
+			res, err := r.Result(sys, mix, frag)
+			if err != nil {
+				return s, err
+			}
+			s.bg += res.Energy.BackgroundNJ
+			s.act += res.Energy.ActNJ
+			s.all += res.Energy.TotalNJ()
+		}
+		return s, nil
+	}
+	bsum, err := sum(base)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 16b: energy normalized to DDR4 (FMFI %.0f%%)", frag*100),
+		Header: []string{"system", "background", "ACT", "total"},
+	}
+	for _, sys := range systems {
+		s, err := sum(sys)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{sys.Name,
+			pct(stats.Ratio(s.bg, bsum.bg)),
+			pct(stats.Ratio(s.act, bsum.act)),
+			pct(stats.Ratio(s.all, bsum.all))})
+	}
+	t.Notes = append(t.Notes,
+		"Paper: ERUCA cuts activation energy ~6% (more page-locality reuse + EWLR hits) and background",
+		"energy through shorter execution, landing within 1% of the ideal configuration.")
+	return t, nil
+}

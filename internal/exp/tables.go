@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"fmt"
+
+	"eruca/internal/area"
+	"eruca/internal/config"
+)
+
+// Fig11 reproduces the DRAM area-overhead comparison. It is analytic
+// (Sec. VI-C) and needs no simulation.
+func Fig11() *Table {
+	banks := config.DefaultGeometry().Banks()
+	t := &Table{
+		Title:  "Fig. 11: DRAM die area overhead",
+		Header: []string{"planes", "RAP", "EWLR+RAP", "DDB+RAP", "DDB+EWLR+RAP"},
+	}
+	for _, planes := range []int{2, 4, 8, 16} {
+		row := []string{fmt.Sprint(planes)}
+		for _, f := range [][2]bool{{false, false}, {true, false}, {false, true}, {true, true}} {
+			sch := config.VSB(planes, f[0], true, f[1], config.DefaultBusMHz).Scheme
+			row = append(row, fmt.Sprintf("%.2f%%", area.Overhead(sch, banks)*100))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("References: Half-DRAM %.2f%%, MASA4 %.2f%%, MASA8 %.2f%%, paired-bank %.1f%%, full 32 banks +%.0f%%.",
+			area.HalfDRAMOverhead*100, area.MASA4Overhead*100, area.MASA8Overhead*100,
+			area.PairedBankSaving*100, area.FullBanks32*100),
+		"Paper anchors: DDB 0.05%, 2-plane RAP 0.06%, EWLR +0.06%, <=0.3% up to 4 planes.")
+	return t
+}
+
+// Tab1 renders the DRAM generation table.
+func Tab1() *Table {
+	t := &Table{
+		Title:  "Tab. I: DRAM generations",
+		Header: []string{"", "DDR", "DDR2", "DDR3", "DDR4"},
+	}
+	specs := config.GenerationSpecs()
+	rows := []struct {
+		label string
+		get   func(config.GenerationSpec) string
+	}{
+		{"Bank count", func(s config.GenerationSpec) string { return s.BankCount }},
+		{"Channel clock (MHz)", func(s config.GenerationSpec) string { return s.ChannelClockMHz }},
+		{"DRAM core clock (MHz)", func(s config.GenerationSpec) string { return s.CoreClockMHz }},
+		{"Internal prefetch", func(s config.GenerationSpec) string { return s.InternalPrefetch }},
+	}
+	for _, r := range rows {
+		row := []string{r.label}
+		for _, s := range specs {
+			row = append(row, r.get(s))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Tab2 renders the acronym glossary.
+func Tab2() *Table {
+	t := &Table{
+		Title:  "Tab. II: acronyms",
+		Header: []string{"acronym", "description"},
+	}
+	for _, a := range config.Acronyms() {
+		t.Rows = append(t.Rows, []string{a.Name, a.Description})
+	}
+	return t
+}
+
+// Tab3 renders the evaluation configuration.
+func Tab3() *Table {
+	sys := config.Baseline(config.DefaultBusMHz)
+	ct := sys.CT
+	t := &Table{
+		Title:  "Tab. III: system configuration",
+		Header: []string{"parameter", "value"},
+	}
+	add := func(k, v string) { t.Rows = append(t.Rows, []string{k, v}) }
+	add("Processor", fmt.Sprintf("%d-core OoO, width %d, ROB %d, LSQ %d, %dx bus clock",
+		sys.CPU.Cores, sys.CPU.Width, sys.CPU.ROB, sys.CPU.LSQ, sys.CPU.ClockRatio))
+	add("L1D", fmt.Sprintf("%dKB %d-way, %d cycles", sys.CPU.L1Bytes>>10, sys.CPU.L1Ways, sys.CPU.L1LatencyCK))
+	add("LLC", fmt.Sprintf("%dMB/core %d-way, %d cycles", sys.CPU.LLCBytesPerCore>>20, sys.CPU.LLCWays, sys.CPU.LLCLatencyCK))
+	add("DRAM", fmt.Sprintf("DDR4-%0.f, %d channels x %d rank, %d bank groups x %d banks",
+		sys.Bus.FreqMHz()*2, sys.Geom.Channels, sys.Geom.Ranks, sys.Geom.BankGroups, sys.Geom.BanksPerGroup))
+	add("Timing (bus cycles)", fmt.Sprintf("CL %d, tRCD %d, tRP %d, tRAS %d, tCCD_S %d, tCCD_L %d",
+		ct.CL, ct.RCD, ct.RP, ct.RAS, ct.CCDS, ct.CCDL))
+	add("Two-command windows", fmt.Sprintf("tTCW %d, tTWTRW %d (bind only when core clock > 2 bursts)", ct.TCW, ct.TWTRW))
+	add("Scheduling", "FR-FCFS, adaptive open page, write-drain watermarks")
+	add("Physical memory", fmt.Sprintf("%dGiB, buddy allocator + THP, FMFI-controlled fragmentation", sys.Geom.TotalBytes()>>30))
+	return t
+}

@@ -1,0 +1,262 @@
+// Package memctrl implements the per-channel memory controller: read and
+// write transaction queues, FR-FCFS scheduling with an adaptive open-page
+// policy and write-drain watermarks (Tab. III), refresh maintenance, and
+// the ERUCA operation flow of Fig. 5 via the dram planner. It collects
+// the read queueing-latency distribution of Fig. 16a.
+package memctrl
+
+import (
+	"eruca/internal/addrmap"
+	"eruca/internal/clock"
+	"eruca/internal/config"
+	"eruca/internal/dram"
+	"eruca/internal/stats"
+)
+
+// Transaction is one cache-line memory request.
+type Transaction struct {
+	Write  bool
+	Loc    addrmap.Loc
+	Arrive clock.Cycle
+	// Done, if non-nil, is called once with the cycle at which the data
+	// transfer completes (read data available / write data absorbed).
+	Done func(dataAt clock.Cycle)
+}
+
+func (t *Transaction) target() dram.Target {
+	return dram.Target{Rank: t.Loc.Rank, Group: t.Loc.Group, Bank: t.Loc.Bank, Sub: t.Loc.Sub, Row: t.Loc.Row}
+}
+
+// Stats aggregates controller-side metrics for one channel.
+type Stats struct {
+	ReadsDone  uint64
+	WritesDone uint64
+	// QueueLatency samples, per read, the bus cycles from arrival to the
+	// issue of its column command (the Fig. 16a metric).
+	QueueLatency stats.Sampler
+	// TotalLatency samples arrival-to-data cycles per read.
+	TotalLatency stats.Sampler
+	// DrainEntered counts write-drain episodes.
+	DrainEntered uint64
+	// Forwarded counts reads served from the write queue.
+	Forwarded uint64
+
+	// Ticks and the occupancy sums integrate queue depth over time
+	// (average depth = sum / ticks).
+	Ticks       uint64
+	ReadOccSum  uint64
+	WriteOccSum uint64
+}
+
+// AvgReadQueueDepth reports the time-averaged read-queue occupancy.
+func (s *Stats) AvgReadQueueDepth() float64 {
+	if s.Ticks == 0 {
+		return 0
+	}
+	return float64(s.ReadOccSum) / float64(s.Ticks)
+}
+
+// AvgWriteQueueDepth reports the time-averaged write-queue occupancy.
+func (s *Stats) AvgWriteQueueDepth() float64 {
+	if s.Ticks == 0 {
+		return 0
+	}
+	return float64(s.WriteOccSum) / float64(s.Ticks)
+}
+
+// Controller schedules one DRAM channel.
+type Controller struct {
+	sys *config.System
+	ch  *dram.Channel
+
+	readQ  []*Transaction
+	writeQ []*Transaction
+
+	draining bool
+
+	// starveCK promotes the oldest transaction over row hits once it has
+	// waited this long, bounding FR-FCFS starvation.
+	starveCK clock.Cycle
+
+	lastCloseScan clock.Cycle
+
+	Stats Stats
+}
+
+// New builds a controller driving the given channel.
+func New(sys *config.System, ch *dram.Channel) *Controller {
+	return &Controller{sys: sys, ch: ch, starveCK: 1500}
+}
+
+// Channel exposes the underlying DRAM channel (for stats readout).
+func (c *Controller) Channel() *dram.Channel { return c.ch }
+
+// CanAccept reports whether a new transaction of the given kind fits.
+func (c *Controller) CanAccept(write bool) bool {
+	if write {
+		return len(c.writeQ) < c.sys.Ctrl.WriteQueueDepth
+	}
+	return len(c.readQ) < c.sys.Ctrl.ReadQueueDepth
+}
+
+// Enqueue adds a transaction; the caller must have checked CanAccept.
+// A read that matches a queued write is forwarded from the write queue
+// and completes immediately without a DRAM access.
+func (c *Controller) Enqueue(t *Transaction) {
+	if t.Write {
+		c.writeQ = append(c.writeQ, t)
+		return
+	}
+	for _, w := range c.writeQ {
+		if w.Loc == t.Loc {
+			c.Stats.Forwarded++
+			if t.Done != nil {
+				t.Done(t.Arrive + 1)
+			}
+			return
+		}
+	}
+	c.readQ = append(c.readQ, t)
+}
+
+// Pending reports queued transactions.
+func (c *Controller) Pending() int { return len(c.readQ) + len(c.writeQ) }
+
+// Tick runs one bus cycle: refresh maintenance, then at most one DRAM
+// command chosen FR-FCFS with hits first, oldest first, reads prioritized
+// outside write-drain episodes.
+func (c *Controller) Tick(now clock.Cycle) {
+	c.Stats.Ticks++
+	c.Stats.ReadOccSum += uint64(len(c.readQ))
+	c.Stats.WriteOccSum += uint64(len(c.writeQ))
+	c.ch.MaintainRefresh(now)
+
+	// Write-drain hysteresis.
+	if !c.draining && len(c.writeQ) >= c.sys.Ctrl.WriteDrainHi {
+		c.draining = true
+		c.Stats.DrainEntered++
+	}
+	if c.draining && len(c.writeQ) <= c.sys.Ctrl.WriteDrainLo {
+		c.draining = false
+	}
+
+	// FR-FCFS serves row hits first; with the hit-first pass disabled
+	// the controller degrades to age-ordered FCFS (ablation knob).
+	hf := !c.sys.Ctrl.HitFirstDisabled
+	if c.draining {
+		if (hf && c.tryQueue(now, c.writeQ, true, true)) || c.tryQueue(now, c.writeQ, true, false) ||
+			(hf && c.tryQueue(now, c.readQ, false, true)) {
+			return
+		}
+	} else {
+		if (hf && c.tryQueue(now, c.readQ, false, true)) || c.tryQueue(now, c.readQ, false, false) ||
+			(hf && c.tryQueue(now, c.writeQ, true, true)) {
+			return
+		}
+		if len(c.readQ) == 0 && c.tryQueue(now, c.writeQ, true, false) {
+			return
+		}
+	}
+
+	c.maybeClosePage(now)
+}
+
+// tryQueue scans up to ScanLimit transactions oldest-first and issues the
+// first issuable step. hitsOnly restricts the pass to transactions whose
+// row is already open (FR of FR-FCFS).
+func (c *Controller) tryQueue(now clock.Cycle, q []*Transaction, write, hitsOnly bool) bool {
+	limit := c.sys.Ctrl.ScanLimit
+	if limit > len(q) {
+		limit = len(q)
+	}
+	// Starvation guard: once the queue head has waited too long, only it
+	// (and row hits that cost nothing) may issue preparatory commands.
+	starved := limit > 0 && now-q[0].Arrive > c.starveCK
+	for i := 0; i < limit; i++ {
+		t := q[i]
+		if !c.ch.Available(t.Loc.Rank, now) {
+			continue
+		}
+		step := c.ch.NextStep(t.target(), t.Write)
+		if hitsOnly && !step.Hit {
+			continue
+		}
+		if starved && i > 0 && !step.Hit {
+			continue
+		}
+		if c.ch.EarliestIssue(step.Cmd) > now {
+			continue
+		}
+		c.ch.Issue(step.Cmd, now)
+		if step.Column {
+			c.complete(t, now, q, i, write)
+		}
+		return true
+	}
+	return false
+}
+
+func (c *Controller) complete(t *Transaction, now clock.Cycle, q []*Transaction, idx int, write bool) {
+	var dataAt clock.Cycle
+	if write {
+		dataAt = c.ch.WriteDataAt(now)
+		c.Stats.WritesDone++
+		c.writeQ = append(q[:idx], q[idx+1:]...)
+	} else {
+		dataAt = c.ch.ReadDataAt(now)
+		c.Stats.ReadsDone++
+		c.Stats.QueueLatency.Add(float64(now - t.Arrive))
+		c.Stats.TotalLatency.Add(float64(dataAt - t.Arrive))
+		c.readQ = append(q[:idx], q[idx+1:]...)
+	}
+	if t.Done != nil {
+		t.Done(dataAt)
+	}
+}
+
+// maybeClosePage implements the adaptive open-page timeout: periodically
+// precharge rows that have been idle with no queued requester.
+func (c *Controller) maybeClosePage(now clock.Cycle) {
+	idle := clock.Cycle(c.sys.Ctrl.ClosePageIdleCK)
+	if idle == 0 || now-c.lastCloseScan < 64 {
+		return
+	}
+	c.lastCloseScan = now
+	var chosen *dram.Command
+	c.ch.IdleOpenRows(now, idle, func(cmd dram.Command) {
+		if chosen != nil {
+			return
+		}
+		if c.hasQueuedFor(cmd) {
+			return
+		}
+		if c.ch.EarliestIssue(cmd) <= now {
+			cc := cmd
+			chosen = &cc
+		}
+	})
+	if chosen != nil {
+		c.ch.Issue(*chosen, now)
+	}
+}
+
+// hasQueuedFor reports whether any queued transaction targets the open
+// row the PRE command would close.
+func (c *Controller) hasQueuedFor(cmd dram.Command) bool {
+	match := func(t *Transaction) bool {
+		l := t.Loc
+		return l.Rank == cmd.Rank && l.Group == cmd.Group && l.Bank == cmd.Bank &&
+			l.Sub == cmd.Sub && l.Row == cmd.Row
+	}
+	for _, t := range c.readQ {
+		if match(t) {
+			return true
+		}
+	}
+	for _, t := range c.writeQ {
+		if match(t) {
+			return true
+		}
+	}
+	return false
+}

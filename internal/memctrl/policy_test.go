@@ -1,0 +1,143 @@
+package memctrl
+
+import (
+	"testing"
+
+	"eruca/internal/addrmap"
+	"eruca/internal/clock"
+	"eruca/internal/config"
+	"eruca/internal/dram"
+)
+
+// The starvation guard bounds how long a conflicting transaction can be
+// bypassed by a stream of row hits.
+func TestStarvationGuard(t *testing.T) {
+	c, _ := newCtl(t, config.Baseline(config.DefaultBusMHz))
+	var conflictDone clock.Cycle
+	served := 0
+	// Open row 5 and keep feeding hits while one conflict waits.
+	c.Enqueue(&Transaction{Loc: loc(0, 5, 0), Done: func(clock.Cycle) { served++ }})
+	drive(t, c, func() bool { return served == 1 }, 2000)
+	c.Enqueue(&Transaction{Loc: loc(0, 9, 0), Arrive: 100, Done: func(at clock.Cycle) { conflictDone = at }})
+	col := uint32(1)
+	var now clock.Cycle
+	for now = 100; now < 30000 && conflictDone == 0; now++ {
+		// Keep the hit stream alive.
+		if now%40 == 0 && c.CanAccept(false) {
+			c.Enqueue(&Transaction{Loc: loc(0, 5, col%128), Arrive: now, Done: func(clock.Cycle) { served++ }})
+			col++
+		}
+		c.Tick(now)
+	}
+	if conflictDone == 0 {
+		t.Fatal("conflicting transaction starved beyond 30k cycles")
+	}
+	if conflictDone > 100+c.starveCK*3 {
+		t.Errorf("conflict served at %d, guard should bound near %d", conflictDone, 100+c.starveCK)
+	}
+}
+
+// With refresh enabled the controller keeps making progress across
+// refresh blackouts.
+func TestProgressAcrossRefresh(t *testing.T) {
+	sys := config.Baseline(config.DefaultBusMHz)
+	m := addrmap.New(sys)
+	ch := dram.NewChannel(sys, m.RowBits())
+	c := New(sys, ch)
+	done := 0
+	var now clock.Cycle
+	deadline := sys.CT.REFI*3 + 10000
+	for now = 0; now < deadline; now++ {
+		if now%200 == 0 && c.CanAccept(false) {
+			c.Enqueue(&Transaction{Loc: loc(int(now/200)%16, uint32(now), 0), Arrive: now,
+				Done: func(clock.Cycle) { done++ }})
+		}
+		c.Tick(now)
+	}
+	if ch.Stats.Refreshes < 2 {
+		t.Fatalf("refreshes = %d, want >= 2", ch.Stats.Refreshes)
+	}
+	if done < int(deadline/200)-8 {
+		t.Errorf("completed %d of ~%d transactions across refreshes", done, deadline/200)
+	}
+}
+
+// The close-page scan never closes a row that still has a queued
+// requester.
+func TestClosePageSparesQueuedRows(t *testing.T) {
+	sys := config.Baseline(config.DefaultBusMHz)
+	c, _ := newCtl(t, sys)
+	served := 0
+	c.Enqueue(&Transaction{Loc: loc(0, 5, 0), Done: func(clock.Cycle) { served++ }})
+	drive(t, c, func() bool { return served == 1 }, 2000)
+	// A same-row transaction waits, blocked artificially by saturating
+	// its earliest issue: fill the queue behind it so it stays queued
+	// while the idle timeout passes. Simplest: enqueue it and do not
+	// tick; then scan manually.
+	c.Enqueue(&Transaction{Loc: loc(0, 5, 3), Arrive: 0})
+	idle := clock.Cycle(sys.Ctrl.ClosePageIdleCK)
+	pres := c.Channel().Stats.Pres
+	// Force a close-page scan at a time the row is idle.
+	c.lastCloseScan = 0
+	c.maybeClosePage(idle * 2)
+	if c.Channel().Stats.Pres != pres {
+		t.Error("close-page closed a row with a queued requester")
+	}
+}
+
+// Writes complete with data-transfer timing.
+func TestWriteCompletionTiming(t *testing.T) {
+	sys := config.Baseline(config.DefaultBusMHz)
+	c, _ := newCtl(t, sys)
+	var dataAt clock.Cycle
+	c.Enqueue(&Transaction{Write: true, Loc: loc(0, 5, 0), Done: func(at clock.Cycle) { dataAt = at }})
+	// Writes only drain when reads are absent.
+	for now := clock.Cycle(0); now < 3000 && dataAt == 0; now++ {
+		c.Tick(now)
+	}
+	ct := sys.CT
+	want := ct.RCD + ct.CWL + ct.Burst // ACT at 0, WR at tRCD
+	if dataAt != want {
+		t.Errorf("write data at %d, want %d", dataAt, want)
+	}
+}
+
+// Pending counts both queues.
+func TestPending(t *testing.T) {
+	c, _ := newCtl(t, config.Baseline(config.DefaultBusMHz))
+	c.Enqueue(&Transaction{Loc: loc(0, 1, 0)})
+	c.Enqueue(&Transaction{Write: true, Loc: loc(1, 1, 0)})
+	if c.Pending() != 2 {
+		t.Errorf("pending = %d", c.Pending())
+	}
+}
+
+// FR-FCFS respects rank availability: no commands to a refreshing rank.
+func TestNoServiceDuringRefresh(t *testing.T) {
+	sys := config.Baseline(config.DefaultBusMHz)
+	m := addrmap.New(sys)
+	ch := dram.NewChannel(sys, m.RowBits())
+	c := New(sys, ch)
+	// Advance right up to the refresh point with an empty queue.
+	var now clock.Cycle
+	for now = 0; ch.Stats.Refreshes == 0; now++ {
+		c.Tick(now)
+		if now > sys.CT.REFI*2 {
+			t.Fatal("no refresh happened")
+		}
+	}
+	// Rank is blocked for tRFC; a transaction enqueued now must not
+	// complete before the blackout ends.
+	var doneAt clock.Cycle
+	c.Enqueue(&Transaction{Loc: loc(0, 5, 0), Arrive: now, Done: func(at clock.Cycle) { doneAt = at }})
+	blackoutEnd := now + sys.CT.RFC
+	for ; doneAt == 0 && now < blackoutEnd+2000; now++ {
+		c.Tick(now)
+	}
+	if doneAt == 0 {
+		t.Fatal("transaction never served after refresh")
+	}
+	if doneAt < blackoutEnd {
+		t.Errorf("transaction data at %d, inside tRFC blackout ending %d", doneAt, blackoutEnd)
+	}
+}

@@ -1,0 +1,169 @@
+// Package osmem models the operating-system side of physical memory:
+// a buddy allocator over 4KiB frames, transparent huge pages (2MiB), a
+// deliberate fragmenter, and the free-memory fragmentation index (FMFI)
+// of Gorman & Whitcroft used by the paper to quantify its 10% and 50%
+// fragmentation scenarios (Sec. VII).
+//
+// The paper's RAP and EWLR mechanisms live or die by physical-address
+// locality: transparent huge pages leave row-address MSB locality
+// (region 1 of Fig. 4), which fragmentation destroys. Simulating the
+// allocator — rather than feeding synthetic physical addresses —
+// reproduces that effect mechanically.
+package osmem
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+const (
+	// FrameBytes is the base page size.
+	FrameBytes = 4 << 10
+	// MaxOrder is the largest buddy order; order 9 blocks are 2MiB huge
+	// pages.
+	MaxOrder = 9
+	// HugeBytes is the huge-page size.
+	HugeBytes = FrameBytes << MaxOrder
+)
+
+// Memory is a physical-memory buddy allocator. It is not safe for
+// concurrent use.
+type Memory struct {
+	frames uint32
+	free   [MaxOrder + 1][]uint32 // stacks of free block start frames
+	// inFree tracks which (start,order) blocks are free, for coalescing.
+	inFree     map[uint64]bool
+	freeFrames uint32
+	rng        *rand.Rand
+}
+
+// NewMemory builds an allocator over totalBytes of physical memory
+// (rounded down to a whole number of max-order blocks). The seed drives
+// the fragmenter.
+func NewMemory(totalBytes uint64, seed int64) *Memory {
+	blocks := uint32(totalBytes / HugeBytes)
+	m := &Memory{
+		frames: blocks << MaxOrder,
+		inFree: make(map[uint64]bool),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+	m.freeFrames = m.frames
+	// Push in descending address order so allocation proceeds from low
+	// addresses upward, like a freshly booted system.
+	for b := int(blocks) - 1; b >= 0; b-- {
+		start := uint32(b) << MaxOrder
+		m.free[MaxOrder] = append(m.free[MaxOrder], start)
+		m.inFree[key(start, MaxOrder)] = true
+	}
+	return m
+}
+
+func key(start uint32, order int) uint64 { return uint64(start)<<8 | uint64(order) }
+
+// FreeBytes reports the free physical memory.
+func (m *Memory) FreeBytes() uint64 { return uint64(m.freeFrames) * FrameBytes }
+
+// TotalBytes reports the managed capacity.
+func (m *Memory) TotalBytes() uint64 { return uint64(m.frames) * FrameBytes }
+
+// Alloc allocates a block of 2^order frames, returning its start frame.
+// ok is false when no block can satisfy the request.
+func (m *Memory) Alloc(order int) (start uint32, ok bool) {
+	for o := order; o <= MaxOrder; o++ {
+		n := len(m.free[o])
+		if n == 0 {
+			continue
+		}
+		blk := m.free[o][n-1]
+		m.free[o] = m.free[o][:n-1]
+		delete(m.inFree, key(blk, o))
+		// Split down, pushing upper halves so the lower half is served
+		// first (keeps consecutive allocations contiguous).
+		for o > order {
+			o--
+			upper := blk + 1<<uint(o)
+			m.free[o] = append(m.free[o], upper)
+			m.inFree[key(upper, o)] = true
+		}
+		m.freeFrames -= 1 << uint(order)
+		return blk, true
+	}
+	return 0, false
+}
+
+// Free returns a block to the allocator, coalescing with free buddies.
+func (m *Memory) Free(start uint32, order int) {
+	if start&(1<<uint(order)-1) != 0 {
+		panic(fmt.Sprintf("osmem: Free of misaligned block %d order %d", start, order))
+	}
+	m.freeFrames += 1 << uint(order)
+	for order < MaxOrder {
+		buddy := start ^ 1<<uint(order)
+		if !m.inFree[key(buddy, order)] {
+			break
+		}
+		// Remove the buddy from its free list and merge.
+		delete(m.inFree, key(buddy, order))
+		m.removeFromList(buddy, order)
+		if buddy < start {
+			start = buddy
+		}
+		order++
+	}
+	m.free[order] = append(m.free[order], start)
+	m.inFree[key(start, order)] = true
+}
+
+func (m *Memory) removeFromList(start uint32, order int) {
+	lst := m.free[order]
+	for i := len(lst) - 1; i >= 0; i-- {
+		if lst[i] == start {
+			lst[i] = lst[len(lst)-1]
+			m.free[order] = lst[:len(lst)-1]
+			return
+		}
+	}
+	panic(fmt.Sprintf("osmem: free block %d order %d not on list", start, order))
+}
+
+// FMFI reports the free-memory fragmentation index at huge-page
+// granularity: the fraction of free memory that sits in blocks smaller
+// than a huge page and therefore cannot back one [Gorman & Whitcroft;
+// Ingens].
+func (m *Memory) FMFI() float64 {
+	if m.freeFrames == 0 {
+		return 1
+	}
+	hugeFree := uint64(len(m.free[MaxOrder])) << MaxOrder
+	return 1 - float64(hugeFree)/float64(m.freeFrames)
+}
+
+// Fragment allocates scattered single frames until FMFI reaches the
+// target (within tolerance), mimicking the fragmentation tool of the
+// paper's methodology [34]. The frames stay allocated for the lifetime
+// of the Memory. It returns the achieved FMFI.
+func (m *Memory) Fragment(target float64) float64 {
+	for m.FMFI() < target {
+		n := len(m.free[MaxOrder])
+		if n == 0 {
+			break
+		}
+		// Poke one frame out of a random pristine huge block: the other
+		// 511 frames stay free but can no longer back a huge page.
+		idx := m.rng.Intn(n)
+		blk := m.free[MaxOrder][idx]
+		m.free[MaxOrder][idx] = m.free[MaxOrder][n-1]
+		m.free[MaxOrder] = m.free[MaxOrder][:n-1]
+		delete(m.inFree, key(blk, MaxOrder))
+		victim := blk + uint32(m.rng.Intn(1<<MaxOrder))
+		// Re-free every frame except the victim; coalescing rebuilds the
+		// largest possible sub-blocks around it.
+		m.freeFrames -= 1 << MaxOrder
+		for f := blk; f < blk+1<<MaxOrder; f++ {
+			if f != victim {
+				m.Free(f, 0)
+			}
+		}
+	}
+	return m.FMFI()
+}

@@ -1,0 +1,86 @@
+package osmem
+
+import "math/rand"
+
+// Process is one simulated address space with demand paging and
+// transparent huge pages. Translation is fault-on-first-touch: the
+// first access to a virtual page allocates physical memory, preferring a
+// 2MiB huge page when THP is enabled and the region can be backed.
+type Process struct {
+	mem *Memory
+	thp bool
+
+	// hugeLuck models the probability that the OS manages to back a
+	// 2MiB region with a huge page under the prevailing fragmentation:
+	// with the Ingens-style fragmenter at FMFI f, compaction fails for
+	// roughly that fraction of regions, so hugeLuck = 1-f at process
+	// creation. (Sec. VII: physical addresses depend on the
+	// fragmentation level.)
+	hugeLuck float64
+
+	pages  map[uint32]uint32 // 4KiB vpn -> pfn
+	huge   map[uint32]uint32 // 2MiB region number -> start frame
+	noHuge map[uint32]bool   // regions that already fell back to base pages
+	rng    *rand.Rand
+
+	// Stats.
+	HugeMapped uint64
+	BaseMapped uint64
+}
+
+// NewProcess creates an address space on this physical memory. With thp
+// enabled, 2MiB-aligned regions are backed by huge pages when
+// fragmentation permits.
+func (m *Memory) NewProcess(thp bool, seed int64) *Process {
+	return &Process{
+		mem:      m,
+		thp:      thp,
+		hugeLuck: 1 - m.FMFI(),
+		pages:    make(map[uint32]uint32),
+		huge:     make(map[uint32]uint32),
+		noHuge:   make(map[uint32]bool),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+const framesPerHuge = 1 << MaxOrder
+
+// Translate maps a virtual address to a physical address, faulting in
+// memory on first touch. It panics when physical memory is exhausted —
+// a workload sizing bug in this simulator, not a recoverable condition.
+func (p *Process) Translate(va uint64) uint64 {
+	vpn := uint32(va / FrameBytes)
+	region := vpn / framesPerHuge
+
+	if start, ok := p.huge[region]; ok {
+		return (uint64(start)+uint64(vpn%framesPerHuge))*FrameBytes + va%FrameBytes
+	}
+	if pfn, ok := p.pages[vpn]; ok {
+		return uint64(pfn)*FrameBytes + va%FrameBytes
+	}
+
+	// Fault. Try a huge page on the region's first touch; the decision
+	// is sticky so a region never mixes huge and base mappings.
+	if p.thp && !p.noHuge[region] {
+		if p.rng.Float64() < p.hugeLuck {
+			if start, ok := p.mem.Alloc(MaxOrder); ok {
+				p.huge[region] = start
+				p.HugeMapped++
+				return (uint64(start)+uint64(vpn%framesPerHuge))*FrameBytes + va%FrameBytes
+			}
+		}
+		p.noHuge[region] = true
+	}
+	pfn, ok := p.mem.Alloc(0)
+	if !ok {
+		panic("osmem: physical memory exhausted")
+	}
+	p.pages[vpn] = pfn
+	p.BaseMapped++
+	return uint64(pfn)*FrameBytes + va%FrameBytes
+}
+
+// MappedBytes reports the resident set size.
+func (p *Process) MappedBytes() uint64 {
+	return p.HugeMapped*HugeBytes + p.BaseMapped*FrameBytes
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"testing"
+
+	"eruca/internal/config"
+)
+
+// Every preset configuration must survive a full multiprogrammed run
+// under the independent protocol auditor — the strongest end-to-end
+// correctness check in the suite: scheduler, planner and timing engine
+// are cross-validated against a second implementation of the DDR4 and
+// ERUCA rules, with refresh enabled.
+func TestAllPresetsPassAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every preset")
+	}
+	for _, name := range config.RegistryNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sys, err := config.ByName(name, 4, config.DefaultBusMHz)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(Options{
+				Sys: sys, Benches: []string{"mcf", "lbm"}, Instrs: 30_000,
+				Frag: 0.1, Seed: 7, Audit: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.DRAM.Reads == 0 {
+				t.Error("no DRAM reads")
+			}
+		})
+	}
+}
+
+// The high-frequency DDB configuration exercises the two-command windows
+// under audit.
+func TestHighFrequencyDDBAudit(t *testing.T) {
+	sys := config.VSB(4, true, true, true, 2400)
+	if !sys.CT.TwoCommandWindowsOn {
+		t.Fatal("windows should bind at 2.4GHz")
+	}
+	if _, err := Run(Options{
+		Sys: sys, Benches: []string{"lbm", "gemsFDTD", "bwaves", "leslie3d"},
+		Instrs: 40_000, Frag: 0.1, Seed: 7, Audit: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Both fragmentation scenarios run clean under audit.
+func TestFragmentationScenariosAudit(t *testing.T) {
+	for _, frag := range []float64{0.1, 0.5} {
+		if _, err := Run(Options{
+			Sys:     config.VSB(2, true, true, true, config.DefaultBusMHz),
+			Benches: []string{"mcf", "omnetpp"}, Instrs: 30_000,
+			Frag: frag, Seed: 7, Audit: true,
+		}); err != nil {
+			t.Fatalf("frag %.1f: %v", frag, err)
+		}
+	}
+}

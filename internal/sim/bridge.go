@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"eruca/internal/addrmap"
+	"eruca/internal/cache"
+	"eruca/internal/clock"
+	"eruca/internal/config"
+	"eruca/internal/memctrl"
+	"eruca/internal/osmem"
+	"eruca/internal/trace"
+)
+
+// bridge connects the cores to the memory system: virtual-to-physical
+// translation, the cache hierarchy, MSHR-style miss coalescing, and the
+// per-channel memory controllers. It implements cpu.MemSystem.
+//
+// Timing is magic-fill: the caches update state at access time and
+// report the level; DRAM misses complete through deferred events at the
+// data-return bus cycle. A load to a line whose fetch is already in
+// flight joins the outstanding miss rather than hitting the
+// freshly-filled cache line.
+type bridge struct {
+	sys    *config.System
+	mapper *addrmap.Mapper
+	procs  []*osmem.Process
+	caches *cache.Hierarchy
+	ctls   []*memctrl.Controller
+
+	cpuNow int64       // current CPU cycle, updated by the run loop
+	busNow clock.Cycle // current bus cycle
+	ratio  int64
+	busNS  float64
+
+	// events defers completions to their data-return bus cycle.
+	events map[clock.Cycle][]func()
+
+	// mshr coalesces outstanding line fetches: line address -> waiting
+	// load completions.
+	mshr map[uint64][]func()
+
+	// spill buffers dirty writebacks that did not fit in a write queue.
+	spill []uint64
+
+	capture func(trace.Record)
+
+	lineShift uint
+
+	// Per-core demand misses reaching DRAM (for MPKI).
+	misses          []uint64
+	stalledForSpill uint64
+}
+
+const spillLimit = 64
+
+func newBridge(sys *config.System, mapper *addrmap.Mapper, procs []*osmem.Process,
+	caches *cache.Hierarchy, ctls []*memctrl.Controller, capture func(trace.Record)) *bridge {
+	ls := uint(0)
+	for n := sys.Geom.LineBytes; n > 1; n >>= 1 {
+		ls++
+	}
+	return &bridge{
+		sys:       sys,
+		mapper:    mapper,
+		procs:     procs,
+		caches:    caches,
+		ctls:      ctls,
+		ratio:     int64(sys.CPU.ClockRatio),
+		busNS:     sys.Bus.PeriodNS(),
+		events:    make(map[clock.Cycle][]func()),
+		mshr:      make(map[uint64][]func()),
+		capture:   capture,
+		lineShift: ls,
+		misses:    make([]uint64, sys.CPU.Cores),
+	}
+}
+
+func (b *bridge) ctlFor(line uint64) *memctrl.Controller {
+	return b.ctls[b.mapper.Map(line<<b.lineShift).Channel]
+}
+
+// Access implements cpu.MemSystem.
+func (b *bridge) Access(core int, va uint64, write bool, done func()) (accept, pending bool, doneAt int64) {
+	// Give each core a disjoint virtual address space.
+	pa := b.procs[core].Translate(va)
+	line := pa >> b.lineShift
+
+	// Backpressure: a miss may need a read-queue slot and produce
+	// writebacks; refuse up front when either could overflow.
+	if len(b.spill) >= spillLimit || !b.ctlFor(line).CanAccept(false) {
+		b.stalledForSpill++
+		return false, false, 0
+	}
+
+	out := b.caches.Access(core, line, write)
+	for _, wb := range out.Writebacks {
+		b.spill = append(b.spill, wb)
+	}
+
+	// Join an outstanding fetch of the same line regardless of the
+	// cache's (already filled) view.
+	if waiters, inflight := b.mshr[line]; inflight {
+		if write {
+			return true, false, 0
+		}
+		b.mshr[line] = append(waiters, done)
+		return true, true, 0
+	}
+
+	switch out.Level {
+	case cache.L1:
+		return true, false, b.cpuNow + int64(b.sys.CPU.L1LatencyCK)
+	case cache.LLC:
+		return true, false, b.cpuNow + int64(b.sys.CPU.LLCLatencyCK)
+	}
+
+	// DRAM fetch (demand load or store write-allocate).
+	b.misses[core]++
+	b.mshr[line] = nil
+	if !write && done != nil {
+		b.mshr[line] = append(b.mshr[line], done)
+	}
+	b.enqueue(line, false)
+	return true, !write, 0
+}
+
+// enqueue submits a line transaction to its channel controller. The
+// caller has verified capacity for reads; writes come from the spill
+// buffer which retries.
+func (b *bridge) enqueue(line uint64, write bool) {
+	pa := line << b.lineShift
+	loc := b.mapper.Map(pa)
+	ctl := b.ctls[loc.Channel]
+	t := &memctrl.Transaction{Write: write, Loc: loc, Arrive: b.busNow}
+	if !write {
+		ln := line
+		t.Done = func(dataAt clock.Cycle) {
+			if dataAt <= b.busNow {
+				dataAt = b.busNow + 1
+			}
+			b.events[dataAt] = append(b.events[dataAt], func() { b.fill(ln) })
+		}
+	}
+	ctl.Enqueue(t)
+	if b.capture != nil {
+		b.capture(trace.Record{NS: float64(b.busNow) * b.busNS, PA: pa, Write: write})
+	}
+}
+
+// fill completes an outstanding line fetch, waking all coalesced loads.
+func (b *bridge) fill(line uint64) {
+	waiters := b.mshr[line]
+	delete(b.mshr, line)
+	for _, w := range waiters {
+		w()
+	}
+}
+
+// drainSpill pushes buffered writebacks into their write queues.
+func (b *bridge) drainSpill() {
+	kept := b.spill[:0]
+	for _, wb := range b.spill {
+		if b.ctlFor(wb).CanAccept(true) {
+			b.enqueue(wb, true)
+		} else {
+			kept = append(kept, wb)
+		}
+	}
+	b.spill = kept
+}
+
+// fireEvents runs completions scheduled for the current bus cycle.
+func (b *bridge) fireEvents() {
+	if fs, ok := b.events[b.busNow]; ok {
+		delete(b.events, b.busNow)
+		for _, f := range fs {
+			f()
+		}
+	}
+}

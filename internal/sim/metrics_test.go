@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+
+	"eruca/internal/config"
+)
+
+// The address hashing must spread a multiprogrammed run's traffic across
+// banks: no bank should carry more than a handful of times the mean
+// column load.
+func TestBankLoadBalance(t *testing.T) {
+	res, err := Run(Options{
+		Sys: config.Baseline(config.DefaultBusMHz), Benches: []string{"mcf", "lbm", "omnetpp", "gemsFDTD"},
+		Instrs: 60_000, Frag: 0.1, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, l := range res.BankLoad {
+		total += l
+	}
+	if total == 0 {
+		t.Fatal("no column commands")
+	}
+	mean := float64(total) / float64(len(res.BankLoad))
+	for i, l := range res.BankLoad {
+		if float64(l) > 5*mean {
+			t.Errorf("bank %d carries %d columns, mean %.0f", i, l, mean)
+		}
+	}
+}
+
+// Queue-depth accounting is populated and sane.
+func TestQueueDepthStats(t *testing.T) {
+	sys := config.Baseline(config.DefaultBusMHz)
+	res, err := Run(Options{
+		Sys: sys, Benches: []string{"mcf", "lbm", "omnetpp", "gemsFDTD"},
+		Instrs: 60_000, Frag: 0.1, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgReadQueueDepth <= 0 || res.AvgReadQueueDepth > float64(sys.Ctrl.ReadQueueDepth) {
+		t.Errorf("avg read depth %v out of range", res.AvgReadQueueDepth)
+	}
+}
+
+// Micro workloads run end-to-end: the hot-row pattern yields a much
+// higher DRAM row-hit rate than the random pattern.
+func TestMicroWorkloadsContrast(t *testing.T) {
+	run := func(bench string) *Result {
+		res, err := Run(Options{
+			Sys: config.Baseline(config.DefaultBusMHz), Benches: []string{bench},
+			Instrs: 50_000, Frag: 0.1, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	stream := run("micro-stream")
+	random := run("micro-random")
+	if stream.RowHitRate() <= random.RowHitRate() {
+		t.Errorf("stream row-hit %.2f <= random %.2f", stream.RowHitRate(), random.RowHitRate())
+	}
+	if random.MPKI[0] <= stream.MPKI[0] {
+		t.Errorf("random MPKI %.1f <= stream %.1f", random.MPKI[0], stream.MPKI[0])
+	}
+}

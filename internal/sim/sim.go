@@ -1,0 +1,273 @@
+// Package sim wires the full system together — synthetic workloads, the
+// OS memory allocator, out-of-order cores, caches, memory controllers
+// and the DRAM timing engine — and runs multiprogrammed simulations,
+// producing the metrics behind every performance figure of the paper.
+package sim
+
+import (
+	"fmt"
+
+	"eruca/internal/addrmap"
+	"eruca/internal/cache"
+	"eruca/internal/clock"
+	"eruca/internal/config"
+	"eruca/internal/cpu"
+	"eruca/internal/dram"
+	"eruca/internal/energy"
+	"eruca/internal/memctrl"
+	"eruca/internal/osmem"
+	"eruca/internal/stats"
+	"eruca/internal/trace"
+	"eruca/internal/workload"
+)
+
+// Options configures one simulation run.
+type Options struct {
+	Sys *config.System
+	// Benches names one workload per active core (1 to Sys.CPU.Cores).
+	Benches []string
+	// Instrs is the per-core measured instruction budget.
+	Instrs int64
+	// Warmup is the per-core instruction count run before measurement
+	// starts (caches fill, rows open). Defaults to Instrs/2.
+	Warmup int64
+	// Frag is the target free-memory fragmentation index (0, 0.1, 0.5).
+	Frag float64
+	// Seed drives every random choice in the run.
+	Seed int64
+	// Capture, when set, receives every DRAM transaction (Fig. 4).
+	Capture func(trace.Record)
+	// MaxBusCycles caps the run as a deadlock guard (0 = automatic).
+	MaxBusCycles int64
+	// Audit attaches an independent protocol checker to every channel;
+	// detected violations are returned as an error.
+	Audit bool
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	System  string
+	Benches []string
+
+	IPC  []float64 // per core, latched when it hit its target
+	MPKI []float64 // per core, DRAM demand misses per 1000 instructions
+
+	BusCycles int64
+	ElapsedNS float64
+
+	DRAM     dram.Stats // summed over channels
+	Energy   energy.Breakdown
+	QueueLat *stats.Sampler // read queueing latency, ns
+	TotalLat *stats.Sampler // read arrival-to-data latency, ns
+
+	HugeCoverage float64 // fraction of mapped memory backed by huge pages
+	AchievedFMFI float64
+
+	// BankLoad is the per-bank column-command count, channels
+	// concatenated — the utilization balance of the address hashing.
+	BankLoad []uint64
+	// AvgReadQueueDepth / AvgWriteQueueDepth are time-averaged controller
+	// queue occupancies across channels.
+	AvgReadQueueDepth  float64
+	AvgWriteQueueDepth float64
+}
+
+// PlaneConflictPreFrac reports the fraction of precharges triggered by
+// plane conflicts (Fig. 13b).
+func (r *Result) PlaneConflictPreFrac() float64 {
+	if r.DRAM.Pres == 0 {
+		return 0
+	}
+	return float64(r.DRAM.PlaneConfPre) / float64(r.DRAM.Pres)
+}
+
+// RowHitRate reports column commands served without a fresh activation.
+func (r *Result) RowHitRate() float64 {
+	cols := r.DRAM.Reads + r.DRAM.Writes
+	if cols == 0 {
+		return 0
+	}
+	return float64(r.DRAM.RowHits()) / float64(cols)
+}
+
+// Run executes one simulation.
+func Run(opt Options) (*Result, error) {
+	sys := opt.Sys
+	if len(opt.Benches) == 0 || len(opt.Benches) > sys.CPU.Cores {
+		return nil, fmt.Errorf("sim: %d workloads for %d cores", len(opt.Benches), sys.CPU.Cores)
+	}
+	if opt.Instrs <= 0 {
+		return nil, fmt.Errorf("sim: non-positive instruction budget")
+	}
+
+	mapper := addrmap.New(sys)
+
+	mem := osmem.NewMemory(sys.Geom.TotalBytes(), opt.Seed)
+	achieved := mem.Fragment(opt.Frag)
+
+	var procs []*osmem.Process
+	var gens []workload.Generator
+	for i, name := range opt.Benches {
+		p, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		procs = append(procs, mem.NewProcess(true, opt.Seed*1000003+int64(i)))
+		gens = append(gens, workload.New(p, opt.Seed*7919+int64(i)))
+	}
+
+	caches := cache.New(cache.Config{
+		Cores:     len(opt.Benches),
+		L1Bytes:   sys.CPU.L1Bytes,
+		L1Ways:    sys.CPU.L1Ways,
+		LLCBytes:  sys.CPU.LLCBytesPerCore * sys.CPU.Cores,
+		LLCWays:   sys.CPU.LLCWays,
+		LineBytes: sys.Geom.LineBytes,
+	})
+
+	var ctls []*memctrl.Controller
+	var auditors []*dram.Auditor
+	for c := 0; c < sys.Geom.Channels; c++ {
+		ch := dram.NewChannel(sys, mapper.RowBits())
+		if opt.Audit {
+			a := dram.NewAuditor(sys)
+			ch.Attach(a)
+			auditors = append(auditors, a)
+		}
+		ctls = append(ctls, memctrl.New(sys, ch))
+	}
+
+	br := newBridge(sys, mapper, procs, caches, ctls, opt.Capture)
+
+	warmup := opt.Warmup
+	if warmup == 0 {
+		warmup = opt.Instrs / 2
+	}
+	var cores []*cpu.Core
+	for i := range gens {
+		c := cpu.New(i, sys.CPU.Width, sys.CPU.ROB, sys.CPU.LSQ, warmup+opt.Instrs, source{gens[i]}, br)
+		c.Warmup = warmup
+		cores = append(cores, c)
+	}
+
+	maxBus := opt.MaxBusCycles
+	if maxBus == 0 {
+		maxBus = (warmup+opt.Instrs)*300 + 1_000_000
+	}
+
+	var bus, busAtWarm clock.Cycle
+	cpuCycle := int64(0)
+	warmed := warmup == 0
+	for bus = 0; ; bus++ {
+		if bus > maxBus {
+			return nil, fmt.Errorf("sim: %s did not finish within %d bus cycles", sys.Name, maxBus)
+		}
+		br.busNow = bus
+		br.fireEvents()
+		for r := 0; r < sys.CPU.ClockRatio; r++ {
+			cpuCycle++
+			br.cpuNow = cpuCycle
+			for _, c := range cores {
+				c.Tick(cpuCycle)
+			}
+		}
+		for _, ctl := range ctls {
+			ctl.Tick(bus)
+		}
+		br.drainSpill()
+
+		if !warmed {
+			warmed = true
+			for _, c := range cores {
+				if !c.Warmed() {
+					warmed = false
+					break
+				}
+			}
+			if warmed {
+				// Measurement starts: drop warmup statistics.
+				busAtWarm = bus
+				for _, ctl := range ctls {
+					ctl.Channel().Finish(bus)
+					ctl.Channel().Stats = dram.Stats{}
+					ctl.Stats = memctrl.Stats{}
+				}
+				for i := range br.misses {
+					br.misses[i] = 0
+				}
+			}
+			continue
+		}
+
+		done := true
+		for _, c := range cores {
+			if !c.Done() {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+
+	res := &Result{
+		System:       sys.Name,
+		Benches:      opt.Benches,
+		BusCycles:    bus - busAtWarm,
+		ElapsedNS:    sys.Bus.NS(bus - busAtWarm),
+		QueueLat:     &stats.Sampler{},
+		TotalLat:     &stats.Sampler{},
+		AchievedFMFI: achieved,
+	}
+	busNS := sys.Bus.PeriodNS()
+	for _, ctl := range ctls {
+		ch := ctl.Channel()
+		ch.Finish(bus)
+		s := ch.Stats
+		res.DRAM.Acts += s.Acts
+		res.DRAM.ActsEWLRHit += s.ActsEWLRHit
+		res.DRAM.Reads += s.Reads
+		res.DRAM.Writes += s.Writes
+		res.DRAM.Pres += s.Pres
+		res.DRAM.PartialPres += s.PartialPres
+		res.DRAM.PlaneConfPre += s.PlaneConfPre
+		res.DRAM.Refreshes += s.Refreshes
+		res.DRAM.PreAlls += s.PreAlls
+		res.DRAM.ActiveCycles += s.ActiveCycles
+		res.DRAM.AllCycles += s.AllCycles
+		res.QueueLat.Merge(&ctl.Stats.QueueLatency, busNS)
+		res.TotalLat.Merge(&ctl.Stats.TotalLatency, busNS)
+		res.BankLoad = append(res.BankLoad, ch.BankLoad()...)
+		res.AvgReadQueueDepth += ctl.Stats.AvgReadQueueDepth() / float64(len(ctls))
+		res.AvgWriteQueueDepth += ctl.Stats.AvgWriteQueueDepth() / float64(len(ctls))
+	}
+	res.Energy = energy.Default().Compute(res.DRAM, busNS)
+
+	for i, a := range auditors {
+		if v := a.Violations(); len(v) > 0 {
+			return nil, fmt.Errorf("sim: %s: channel %d protocol violations (%d commands audited): %v",
+				sys.Name, i, a.Commands(), v[0])
+		}
+	}
+
+	var mappedHuge, mapped uint64
+	for i, c := range cores {
+		res.IPC = append(res.IPC, c.IPC())
+		res.MPKI = append(res.MPKI, 1000*float64(br.misses[i])/float64(opt.Instrs))
+		mappedHuge += procs[i].HugeMapped * osmem.HugeBytes
+		mapped += procs[i].MappedBytes()
+	}
+	if mapped > 0 {
+		res.HugeCoverage = float64(mappedHuge) / float64(mapped)
+	}
+	return res, nil
+}
+
+// source adapts a workload.Generator to cpu.Source.
+type source struct{ g workload.Generator }
+
+func (s source) Next() (int, bool, uint64) {
+	op := s.g.Next()
+	return op.Gap, op.Write, op.VA
+}

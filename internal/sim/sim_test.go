@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"testing"
+
+	"eruca/internal/config"
+	"eruca/internal/trace"
+)
+
+const (
+	testInstrs = 60_000
+	testSeed   = 42
+)
+
+func runOne(t *testing.T, sys *config.System, benches []string, frag float64) *Result {
+	t.Helper()
+	res, err := Run(Options{Sys: sys, Benches: benches, Instrs: testInstrs, Frag: frag, Seed: testSeed})
+	if err != nil {
+		t.Fatalf("%s: %v", sys.Name, err)
+	}
+	return res
+}
+
+func TestBaselineMixRuns(t *testing.T) {
+	res := runOne(t, config.Baseline(config.DefaultBusMHz), []string{"mcf", "lbm", "omnetpp", "gemsFDTD"}, 0.1)
+	for i, ipc := range res.IPC {
+		if ipc <= 0 || ipc > 8 {
+			t.Errorf("core %d IPC = %v", i, ipc)
+		}
+	}
+	if res.DRAM.Reads == 0 {
+		t.Errorf("no DRAM traffic: %+v", res.DRAM)
+	}
+	if res.QueueLat.N() == 0 {
+		t.Error("no queueing-latency samples")
+	}
+	if res.Energy.TotalNJ() <= 0 {
+		t.Error("no energy accounted")
+	}
+	if res.HugeCoverage < 0.5 {
+		t.Errorf("huge coverage %v at 10%% fragmentation", res.HugeCoverage)
+	}
+}
+
+// Determinism: identical options give identical results.
+func TestDeterminism(t *testing.T) {
+	sys := config.VSB(4, true, true, true, config.DefaultBusMHz)
+	a := runOne(t, sys, []string{"mcf", "lbm"}, 0.1)
+	sys2 := config.VSB(4, true, true, true, config.DefaultBusMHz)
+	b := runOne(t, sys2, []string{"mcf", "lbm"}, 0.1)
+	if a.BusCycles != b.BusCycles {
+		t.Errorf("cycles differ: %d vs %d", a.BusCycles, b.BusCycles)
+	}
+	for i := range a.IPC {
+		if a.IPC[i] != b.IPC[i] {
+			t.Errorf("core %d IPC differs: %v vs %v", i, a.IPC[i], b.IPC[i])
+		}
+	}
+	if a.DRAM != b.DRAM {
+		t.Errorf("DRAM stats differ:\n%+v\n%+v", a.DRAM, b.DRAM)
+	}
+}
+
+// High-MPKI benchmarks land in the paper's H class, medium ones below
+// them (Tab. III) — measured through the real cache hierarchy.
+func TestMPKIClasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run")
+	}
+	sys := config.Baseline(config.DefaultBusMHz)
+	h := runOne(t, sys, []string{"mcf"}, 0.1).MPKI[0]
+	m := runOne(t, config.Baseline(config.DefaultBusMHz), []string{"bwaves"}, 0.1).MPKI[0]
+	if h < 10 {
+		t.Errorf("mcf MPKI = %.1f, want H class (>10)", h)
+	}
+	if m >= h {
+		t.Errorf("bwaves MPKI %.1f not below mcf %.1f", m, h)
+	}
+	if m < 0.5 {
+		t.Errorf("bwaves MPKI %.1f, want medium, not negligible", m)
+	}
+}
+
+// VSB with EWLR+RAP should not be slower than naive VSB, and ideal32
+// should be at least as good as baseline.
+func TestSchemeOrderingSanity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run comparison")
+	}
+	mix := []string{"mcf", "lbm", "omnetpp", "gemsFDTD"}
+	base := runOne(t, config.Baseline(config.DefaultBusMHz), mix, 0.1)
+	ideal := runOne(t, config.Ideal32(config.DefaultBusMHz), mix, 0.1)
+	if ideal.BusCycles > base.BusCycles*105/100 {
+		t.Errorf("ideal32 (%d cycles) slower than baseline (%d)", ideal.BusCycles, base.BusCycles)
+	}
+	eruca := runOne(t, config.VSB(4, true, true, true, config.DefaultBusMHz), mix, 0.1)
+	naive := runOne(t, config.VSB(4, false, false, false, config.DefaultBusMHz), mix, 0.1)
+	if eruca.DRAM.PlaneConfPre > naive.DRAM.PlaneConfPre {
+		t.Errorf("EWLR+RAP has more plane-conflict precharges (%d) than naive (%d)",
+			eruca.DRAM.PlaneConfPre, naive.DRAM.PlaneConfPre)
+	}
+}
+
+func TestCaptureHook(t *testing.T) {
+	var recs []trace.Record
+	sys := config.Baseline(config.DefaultBusMHz)
+	_, err := Run(Options{
+		Sys: sys, Benches: []string{"mcf"}, Instrs: 20_000, Frag: 0.1, Seed: 1,
+		Capture: func(r trace.Record) { recs = append(recs, r) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no records captured")
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].NS < recs[i-1].NS {
+			t.Fatal("capture not time-ordered")
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	sys := config.Baseline(config.DefaultBusMHz)
+	if _, err := Run(Options{Sys: sys, Benches: nil, Instrs: 10}); err == nil {
+		t.Error("no workloads accepted")
+	}
+	if _, err := Run(Options{Sys: sys, Benches: []string{"a", "b", "c", "d", "e"}, Instrs: 10}); err == nil {
+		t.Error("5 workloads on 4 cores accepted")
+	}
+	if _, err := Run(Options{Sys: sys, Benches: []string{"nope"}, Instrs: 10}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := Run(Options{Sys: sys, Benches: []string{"mcf"}, Instrs: 0}); err == nil {
+		t.Error("zero instructions accepted")
+	}
+}

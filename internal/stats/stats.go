@@ -1,0 +1,127 @@
+// Package stats provides the small statistics toolkit used across the
+// simulator: streaming samplers with quantiles (for the Fig. 16a read
+// queueing latency distribution), weighted speedup (Snavely-Tullsen, as
+// in Fig. 12), and geometric means.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sampler accumulates float64 samples and reports summary statistics.
+// The zero value is ready to use. Samples are retained, so memory is
+// O(n); the simulator produces at most a few hundred thousand samples
+// per run.
+type Sampler struct {
+	vals   []float64
+	sum    float64
+	sorted bool
+}
+
+// Add records a sample.
+func (s *Sampler) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sum += v
+	s.sorted = false
+}
+
+// N reports the sample count.
+func (s *Sampler) N() int { return len(s.vals) }
+
+// Mean reports the arithmetic mean (0 for an empty sampler).
+func (s *Sampler) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.vals))
+}
+
+// Quantile reports the q-quantile (0 <= q <= 1) by nearest-rank on the
+// sorted samples.
+func (s *Sampler) Quantile(q float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+	idx := int(q*float64(len(s.vals)-1) + 0.5)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s.vals) {
+		idx = len(s.vals) - 1
+	}
+	return s.vals[idx]
+}
+
+// Quartiles reports the 25th, 50th and 75th percentiles (the Fig. 16a
+// box parameters).
+func (s *Sampler) Quartiles() (q1, median, q3 float64) {
+	return s.Quantile(0.25), s.Quantile(0.5), s.Quantile(0.75)
+}
+
+// Max reports the largest sample.
+func (s *Sampler) Max() float64 { return s.Quantile(1) }
+
+// Values exposes the raw samples (possibly reordered). Callers must not
+// modify the returned slice.
+func (s *Sampler) Values() []float64 { return s.vals }
+
+// Merge adds every sample of other, scaled by the given factor — used to
+// combine per-channel cycle samplers into one nanosecond distribution.
+func (s *Sampler) Merge(other *Sampler, scale float64) {
+	for _, v := range other.vals {
+		s.Add(v * scale)
+	}
+}
+
+// String implements fmt.Stringer.
+func (s *Sampler) String() string {
+	q1, med, q3 := s.Quartiles()
+	return fmt.Sprintf("n=%d mean=%.1f q1=%.1f med=%.1f q3=%.1f", s.N(), s.Mean(), q1, med, q3)
+}
+
+// WeightedSpeedup computes the Snavely-Tullsen weighted speedup of a
+// multiprogrammed run: sum over cores of IPC_shared/IPC_alone. It panics
+// on mismatched lengths and skips cores with zero alone-IPC.
+func WeightedSpeedup(ipcShared, ipcAlone []float64) float64 {
+	if len(ipcShared) != len(ipcAlone) {
+		panic(fmt.Sprintf("stats: %d shared IPCs vs %d alone IPCs", len(ipcShared), len(ipcAlone)))
+	}
+	ws := 0.0
+	for i := range ipcShared {
+		if ipcAlone[i] > 0 {
+			ws += ipcShared[i] / ipcAlone[i]
+		}
+	}
+	return ws
+}
+
+// GeoMean reports the geometric mean of positive values; zero or
+// negative entries are skipped.
+func GeoMean(vals []float64) float64 {
+	sum, n := 0.0, 0
+	for _, v := range vals {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Ratio reports a/b, or 0 when b is 0 — a convenience for normalized
+// metrics.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

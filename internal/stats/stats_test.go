@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSamplerBasics(t *testing.T) {
+	var s Sampler
+	if s.Mean() != 0 || s.N() != 0 || s.Quantile(0.5) != 0 {
+		t.Error("empty sampler not zero")
+	}
+	for _, v := range []float64{4, 1, 3, 2, 5} {
+		s.Add(v)
+	}
+	if s.N() != 5 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 3 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	q1, med, q3 := s.Quartiles()
+	if q1 != 2 || med != 3 || q3 != 4 {
+		t.Errorf("quartiles = %v %v %v", q1, med, q3)
+	}
+	if s.Max() != 5 {
+		t.Errorf("max = %v", s.Max())
+	}
+}
+
+func TestSamplerInterleavedAddQuantile(t *testing.T) {
+	var s Sampler
+	s.Add(10)
+	if s.Quantile(0.5) != 10 {
+		t.Error("single-sample median")
+	}
+	s.Add(20) // after a sort
+	if s.Max() != 20 {
+		t.Errorf("max after re-add = %v", s.Max())
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var s Sampler
+	for i := 0; i < 1000; i++ {
+		s.Add(r.NormFloat64() * 10)
+	}
+	f := func(a, b uint8) bool {
+		qa, qb := float64(a)/255, float64(b)/255
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return s.Quantile(qa) <= s.Quantile(qb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	ws := WeightedSpeedup([]float64{1, 2}, []float64{2, 2})
+	if ws != 1.5 {
+		t.Errorf("WS = %v, want 1.5", ws)
+	}
+	// Equal shared and alone IPC: WS = core count.
+	ws = WeightedSpeedup([]float64{1, 1, 1, 1}, []float64{1, 1, 1, 1})
+	if ws != 4 {
+		t.Errorf("WS = %v, want 4", ws)
+	}
+}
+
+func TestWeightedSpeedupMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on length mismatch")
+		}
+	}()
+	WeightedSpeedup([]float64{1}, []float64{1, 2})
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Errorf("geomean = %v, want 2", g)
+	}
+	if g := GeoMean([]float64{2, 0, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("geomean skipping zeros = %v, want 4", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean not 0")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(3, 2) != 1.5 || Ratio(1, 0) != 0 {
+		t.Error("ratio")
+	}
+}
+
+func TestMergeScales(t *testing.T) {
+	var a, b Sampler
+	for _, v := range []float64{1, 2, 3} {
+		a.Add(v)
+	}
+	b.Merge(&a, 10)
+	if b.N() != 3 || b.Mean() != 20 {
+		t.Errorf("merged: n=%d mean=%v", b.N(), b.Mean())
+	}
+	// Merging does not disturb the source.
+	if a.Mean() != 2 {
+		t.Errorf("source mean changed: %v", a.Mean())
+	}
+}
+
+func TestValuesExposeSamples(t *testing.T) {
+	var s Sampler
+	s.Add(5)
+	s.Add(1)
+	vals := s.Values()
+	if len(vals) != 2 {
+		t.Fatalf("values = %v", vals)
+	}
+	sum := vals[0] + vals[1]
+	if sum != 6 {
+		t.Errorf("values sum = %v", sum)
+	}
+}
+
+func TestSamplerString(t *testing.T) {
+	var s Sampler
+	s.Add(1)
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}

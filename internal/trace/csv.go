@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV serializes records as "ns,pa,write" rows with a header, the
+// format cmd/erucatrace dumps and external tools consume.
+func WriteCSV(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "ns,pa,write"); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		wr := 0
+		if r.Write {
+			wr = 1
+		}
+		if _, err := fmt.Fprintf(bw, "%.3f,%#x,%d\n", r.NS, r.PA, wr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses the WriteCSV format (the header row is optional).
+// Addresses accept decimal or 0x-prefixed hex.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if lineNo == 1 && strings.HasPrefix(line, "ns,") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("trace: line %d: want 3 fields, got %d", lineNo, len(parts))
+		}
+		ns, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad timestamp: %v", lineNo, err)
+		}
+		pa, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad address: %v", lineNo, err)
+		}
+		wr, err := strconv.ParseInt(strings.TrimSpace(parts[2]), 10, 8)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad write flag: %v", lineNo, err)
+		}
+		recs = append(recs, Record{NS: ns, PA: pa, Write: wr != 0})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %v", err)
+	}
+	return recs, nil
+}

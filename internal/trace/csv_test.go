@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	in := []Record{
+		{NS: 0, PA: 0x1000, Write: false},
+		{NS: 12.5, PA: 0xDEADBEEF, Write: true},
+		{NS: 100.125, PA: 42, Write: false},
+	}
+	var b strings.Builder
+	if err := WriteCSV(&b, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip: %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].PA != in[i].PA || out[i].Write != in[i].Write {
+			t.Errorf("record %d: %+v != %+v", i, out[i], in[i])
+		}
+		if diff := out[i].NS - in[i].NS; diff > 0.001 || diff < -0.001 {
+			t.Errorf("record %d timestamp drift %v", i, diff)
+		}
+	}
+}
+
+func TestReadCSVHeaderAndComments(t *testing.T) {
+	src := "ns,pa,write\n# comment\n\n1.0,0x40,1\n2.0,128,0\n"
+	recs, err := ReadCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].PA != 0x40 || !recs[0].Write || recs[1].PA != 128 {
+		t.Errorf("parsed %+v", recs)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	for _, bad := range []string{
+		"1.0,0x40\n",
+		"abc,0x40,1\n",
+		"1.0,zz,1\n",
+		"1.0,0x40,x\n",
+	} {
+		if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package trace captures and analyses memory-transaction traces. It
+// implements the paper's Fig. 4 methodology: for every DRAM transaction,
+// find transactions to the same bank within a tRC window and classify
+// whether serving them on the paired sub-bank would cause a plane
+// conflict, sweeping the plane count. It also computes the row-address
+// locality profile behind the "region 1 / region 2" discussion
+// (Sec. IV).
+package trace
+
+import "sort"
+
+// Record is one captured memory transaction.
+type Record struct {
+	NS    float64 // issue time
+	PA    uint64  // physical address
+	Write bool
+}
+
+// BankView decodes a physical address the way the sub-banked DRAM under
+// study would: a flattened bank identity (channel/rank/group/bank), the
+// sub-bank, and the per-sub-bank row address.
+type BankView func(pa uint64) (bankKey int, sub int, row uint32)
+
+// ConflictPoint is one x-position of Fig. 4.
+type ConflictPoint struct {
+	Planes          int
+	PlaneConflict   float64 // fraction of overlapping transactions conflicting
+	NoPlaneConflict float64 // fraction overlapping but conflict-free
+	Overlapping     float64 // fraction of transactions with any same-bank overlap
+}
+
+type event struct {
+	ns  float64
+	sub int
+	row uint32
+}
+
+// AnalyzePlaneConflicts implements Fig. 4. rowBits is the per-sub-bank
+// row width; tRCns is the overlap window; planeCounts are the swept
+// x-values (powers of two). Plane IDs are the row-address MSBs, i.e.
+// planes are contiguous row regions as in the paper's characterization.
+func AnalyzePlaneConflicts(recs []Record, view BankView, rowBits int, tRCns float64, planeCounts []int) []ConflictPoint {
+	byBank := make(map[int][]event)
+	for _, r := range recs {
+		bk, sub, row := view(r.PA)
+		byBank[bk] = append(byBank[bk], event{ns: r.NS, sub: sub, row: row})
+	}
+	banks := make([]int, 0, len(byBank))
+	for bk := range byBank {
+		sort.Slice(byBank[bk], func(i, j int) bool { return byBank[bk][i].ns < byBank[bk][j].ns })
+		banks = append(banks, bk)
+	}
+	sort.Ints(banks)
+
+	total := len(recs)
+	points := make([]ConflictPoint, 0, len(planeCounts))
+	for _, planes := range planeCounts {
+		shift := uint(rowBits - log2(planes))
+		var overlap, conflict int
+		for _, bk := range banks {
+			evs := byBank[bk]
+			lo := 0
+			for i := range evs {
+				for evs[i].ns-evs[lo].ns > tRCns {
+					lo++
+				}
+				hasOverlap, hasConflict := false, false
+				for j := lo; j < len(evs); j++ {
+					if evs[j].ns-evs[i].ns > tRCns {
+						break
+					}
+					if j == i {
+						continue
+					}
+					hasOverlap = true
+					// A conflict needs the paired sub-bank, the same
+					// plane, and a different row (two rows competing for
+					// one latch set).
+					if evs[j].sub != evs[i].sub &&
+						evs[j].row>>shift == evs[i].row>>shift &&
+						evs[j].row != evs[i].row {
+						hasConflict = true
+						break
+					}
+				}
+				if hasOverlap {
+					overlap++
+					if hasConflict {
+						conflict++
+					}
+				}
+			}
+		}
+		points = append(points, ConflictPoint{
+			Planes:          planes,
+			PlaneConflict:   frac(conflict, total),
+			NoPlaneConflict: frac(overlap-conflict, total),
+			Overlapping:     frac(overlap, total),
+		})
+	}
+	return points
+}
+
+// LocalityProfile reports, for each row-address bit, the probability
+// that two same-bank transactions within the window share that bit and
+// all bits above it — the measurement behind the two locality regions of
+// Fig. 4.
+func LocalityProfile(recs []Record, view BankView, rowBits int, tRCns float64) []float64 {
+	type ev struct {
+		ns  float64
+		row uint32
+	}
+	byBank := make(map[int][]ev)
+	for _, r := range recs {
+		bk, _, row := view(r.PA)
+		byBank[bk] = append(byBank[bk], ev{r.NS, row})
+	}
+	matches := make([]int, rowBits+1)
+	pairs := 0
+	for _, evs := range byBank {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].ns < evs[j].ns })
+		lo := 0
+		for i := range evs {
+			for evs[i].ns-evs[lo].ns > tRCns {
+				lo++
+			}
+			for j := lo; j < i; j++ {
+				pairs++
+				x := evs[i].row ^ evs[j].row
+				// Count how many MSBs match.
+				msb := 0
+				for b := rowBits - 1; b >= 0; b-- {
+					if x>>uint(b)&1 != 0 {
+						break
+					}
+					msb++
+				}
+				matches[msb]++
+			}
+		}
+	}
+	out := make([]float64, rowBits+1)
+	if pairs == 0 {
+		return out
+	}
+	// matches[m] counts pairs whose matching-MSB run is exactly m;
+	// P(top k MSBs all match) sums matches[m] for m >= k.
+	suffix := 0
+	for k := rowBits; k >= 0; k-- {
+		suffix += matches[k]
+		out[k] = float64(suffix) / float64(pairs)
+	}
+	return out
+}
+
+func frac(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+func log2(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// view decodes a synthetic PA: bank = bits[0:2], sub = bit 2, row = rest.
+func view(pa uint64) (int, int, uint32) {
+	return int(pa & 3), int(pa >> 2 & 1), uint32(pa >> 3)
+}
+
+func rec(ns float64, bank, sub int, row uint32) Record {
+	return Record{NS: ns, PA: uint64(bank&3) | uint64(sub&1)<<2 | uint64(row)<<3}
+}
+
+const rowBits = 16
+
+func TestNoOverlapNoConflict(t *testing.T) {
+	// Two transactions far apart in time: no overlap at all.
+	recs := []Record{rec(0, 0, 0, 0x10), rec(1e6, 0, 1, 0x11)}
+	pts := AnalyzePlaneConflicts(recs, view, rowBits, 45, []int{2})
+	if pts[0].Overlapping != 0 || pts[0].PlaneConflict != 0 {
+		t.Errorf("far-apart transactions overlap: %+v", pts[0])
+	}
+}
+
+func TestSamePlaneConflictDetected(t *testing.T) {
+	// Same bank, different sub-banks, same top bits, different rows,
+	// within tRC.
+	recs := []Record{rec(0, 0, 0, 0x0100), rec(10, 0, 1, 0x0180)}
+	pts := AnalyzePlaneConflicts(recs, view, rowBits, 45, []int{2, 1 << rowBits})
+	if pts[0].PlaneConflict != 1.0 {
+		t.Errorf("2 planes: conflict fraction = %v, want 1", pts[0].PlaneConflict)
+	}
+	// With one plane per row, the two distinct rows are in different
+	// planes: no conflict.
+	if pts[1].PlaneConflict != 0 {
+		t.Errorf("max planes: conflict fraction = %v, want 0", pts[1].PlaneConflict)
+	}
+	if pts[1].NoPlaneConflict != 1.0 {
+		t.Errorf("max planes: overlap without conflict = %v, want 1", pts[1].NoPlaneConflict)
+	}
+}
+
+func TestSameSubBankNeverPlaneConflicts(t *testing.T) {
+	recs := []Record{rec(0, 0, 0, 0x0100), rec(10, 0, 0, 0x0180)}
+	pts := AnalyzePlaneConflicts(recs, view, rowBits, 45, []int{2})
+	if pts[0].PlaneConflict != 0 {
+		t.Errorf("same-sub-bank pair flagged: %+v", pts[0])
+	}
+	if pts[0].Overlapping != 1 {
+		t.Errorf("same-bank pair not overlapping: %+v", pts[0])
+	}
+}
+
+func TestDifferentBanksIndependent(t *testing.T) {
+	recs := []Record{rec(0, 0, 0, 0x0100), rec(10, 1, 1, 0x0180)}
+	pts := AnalyzePlaneConflicts(recs, view, rowBits, 45, []int{2})
+	if pts[0].Overlapping != 0 {
+		t.Errorf("cross-bank transactions overlapped: %+v", pts[0])
+	}
+}
+
+// Conflict fraction is non-increasing in plane count (more latch sets
+// can only remove conflicts).
+func TestConflictMonotoneInPlanes(t *testing.T) {
+	var recs []Record
+	// A clustered pattern: alternating sub-banks, rows drawn from a
+	// small region plus scattered MSB changes.
+	for i := 0; i < 400; i++ {
+		row := uint32(i%37) | uint32(i%5)<<13
+		recs = append(recs, rec(float64(i*7), i%4, i%2, row))
+	}
+	counts := []int{2, 4, 8, 16, 64, 256, 1024, 1 << rowBits}
+	pts := AnalyzePlaneConflicts(recs, view, rowBits, 45, counts)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].PlaneConflict > pts[i-1].PlaneConflict+1e-12 {
+			t.Errorf("conflicts rose from %v to %v at %d planes",
+				pts[i-1].PlaneConflict, pts[i].PlaneConflict, pts[i].Planes)
+		}
+	}
+	// Overlap fraction does not depend on plane count.
+	for _, p := range pts[1:] {
+		if p.Overlapping != pts[0].Overlapping {
+			t.Errorf("overlap changed with planes: %+v", p)
+		}
+	}
+}
+
+// Identical rows on both sub-banks share the latch value: not a conflict.
+func TestIdenticalRowNotAConflict(t *testing.T) {
+	recs := []Record{rec(0, 0, 0, 0x0100), rec(10, 0, 1, 0x0100)}
+	pts := AnalyzePlaneConflicts(recs, view, rowBits, 45, []int{2})
+	if pts[0].PlaneConflict != 0 {
+		t.Errorf("identical rows flagged: %+v", pts[0])
+	}
+}
+
+func TestLocalityProfile(t *testing.T) {
+	// All pairs share the top 8 bits, differ below.
+	var recs []Record
+	for i := 0; i < 64; i++ {
+		row := uint32(0xAB00) | uint32(i*3%256)
+		recs = append(recs, rec(float64(i), 0, i%2, row))
+	}
+	prof := LocalityProfile(recs, view, rowBits, 1e9)
+	if math.Abs(prof[0]-1) > 1e-9 {
+		t.Errorf("P(0 MSBs match) = %v, want 1", prof[0])
+	}
+	if prof[8] < 0.99 {
+		t.Errorf("P(top 8 MSBs match) = %v, want ~1", prof[8])
+	}
+	if prof[rowBits] > 0.2 {
+		t.Errorf("P(all bits match) = %v, want small", prof[rowBits])
+	}
+	for k := 1; k <= rowBits; k++ {
+		if prof[k] > prof[k-1]+1e-12 {
+			t.Errorf("profile not non-increasing at %d", k)
+		}
+	}
+}
+
+func TestLocalityProfileEmpty(t *testing.T) {
+	prof := LocalityProfile(nil, view, rowBits, 45)
+	for _, v := range prof {
+		if v != 0 {
+			t.Fatal("empty profile nonzero")
+		}
+	}
+}

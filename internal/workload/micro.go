@@ -1,0 +1,66 @@
+package workload
+
+import "fmt"
+
+// Micro profiles are controlled single-pattern generators for targeted
+// studies and tests — pure versions of the building blocks the SPEC
+// profiles mix. They are addressable through ByName alongside the SPEC
+// names, prefixed "micro-".
+var microProfiles = map[string]Profile{
+	// micro-stream: one long unit-stride read/write stream, the pattern
+	// that maximizes row-buffer and bank-group pressure.
+	"micro-stream": {
+		Name: "micro-stream", Class: High, Footprint: 512 << 20,
+		Streams: 1, StrideBytes: 8, BurstLen: 1 << 20, ChaseFrac: 0, WriteFrac: 0.3,
+		MeanGap: 3, ReuseFrac: 0,
+	},
+	// micro-random: uniformly random cache-line touches, the pattern
+	// that maximizes bank conflicts and defeats every locality
+	// mechanism.
+	"micro-random": {
+		Name: "micro-random", Class: High, Footprint: 1024 << 20,
+		Streams: 0, StrideBytes: 0, ChaseFrac: 1, WriteFrac: 0.25,
+		MeanGap: 6, ReuseFrac: 0,
+	},
+	// micro-chase: dependent-load-like behaviour with modest reuse.
+	"micro-chase": {
+		Name: "micro-chase", Class: High, Footprint: 768 << 20,
+		Streams: 0, StrideBytes: 0, ChaseFrac: 0.7, WriteFrac: 0.1,
+		MeanGap: 8, ReuseFrac: 0.3,
+	},
+	// micro-hotrow: a tiny footprint that lives in a handful of DRAM
+	// rows — near-100% row-buffer hits once warm.
+	"micro-hotrow": {
+		Name: "micro-hotrow", Class: Medium, Footprint: 1 << 20,
+		Streams: 2, StrideBytes: 8, BurstLen: 512, ChaseFrac: 0.05, WriteFrac: 0.3,
+		MeanGap: 6, ReuseFrac: 0.2,
+	},
+	// micro-grouphot: 1KiB-strided streams that camp on one bank group
+	// each (the stride preserves the bank-group select bits), creating
+	// the group imbalance DDB is designed to absorb (Sec. V: "DDB
+	// contributes ... when a few bank groups are hot").
+	"micro-grouphot": {
+		Name: "micro-grouphot", Class: High, Footprint: 512 << 20,
+		Streams: 4, StrideBytes: 1024, BurstLen: 64, ChaseFrac: 0.02, WriteFrac: 0.25,
+		MeanGap: 4, ReuseFrac: 0.05, RestartEvery: 1 << 14,
+	},
+	// micro-neighbor: pure region-2 behaviour — every access lands near
+	// a recent one, stressing the EWLR mechanism specifically.
+	"micro-neighbor": {
+		Name: "micro-neighbor", Class: High, Footprint: 512 << 20,
+		Streams: 1, StrideBytes: 8, BurstLen: 64, ChaseFrac: 0.1, NearFrac: 0.5,
+		WriteFrac: 0.25, MeanGap: 6, ReuseFrac: 0.1,
+	},
+}
+
+// MicroNames lists the microbenchmark generators (stable order).
+func MicroNames() []string {
+	return []string{"micro-stream", "micro-random", "micro-chase", "micro-hotrow", "micro-neighbor", "micro-grouphot"}
+}
+
+func microByName(name string) (Profile, error) {
+	if p, ok := microProfiles[name]; ok {
+		return p, nil
+	}
+	return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}

@@ -1,0 +1,100 @@
+package workload
+
+import "testing"
+
+func TestMicroProfilesResolvable(t *testing.T) {
+	for _, n := range MicroNames() {
+		p, err := ByName(n)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		g := New(p, 3)
+		for i := 0; i < 1000; i++ {
+			op := g.Next()
+			if op.VA >= p.Footprint {
+				t.Fatalf("%s: VA out of footprint", n)
+			}
+		}
+	}
+}
+
+// micro-stream is strictly sequential within its (single) burst run.
+func TestMicroStreamSequential(t *testing.T) {
+	p, _ := ByName("micro-stream")
+	g := New(p, 3)
+	var prev uint64
+	seq := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		if i > 0 && op.VA == prev+p.StrideBytes {
+			seq++
+		}
+		prev = op.VA
+	}
+	if float64(seq)/n < 0.99 {
+		t.Errorf("micro-stream sequential fraction %.2f", float64(seq)/n)
+	}
+}
+
+// micro-random never repeats short-range patterns: the fraction of
+// strided successors is negligible.
+func TestMicroRandomIsRandom(t *testing.T) {
+	p, _ := ByName("micro-random")
+	g := New(p, 3)
+	var prev uint64
+	near := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		d := int64(op.VA) - int64(prev)
+		if d < 0 {
+			d = -d
+		}
+		if i > 0 && d < 4096 {
+			near++
+		}
+		prev = op.VA
+	}
+	if near > n/100 {
+		t.Errorf("micro-random near-successor count %d", near)
+	}
+}
+
+// micro-hotrow stays within its tiny footprint, giving near-total cache
+// or row locality.
+func TestMicroHotrowFootprint(t *testing.T) {
+	p, _ := ByName("micro-hotrow")
+	if p.Footprint > 2<<20 {
+		t.Fatalf("hotrow footprint %d too large", p.Footprint)
+	}
+}
+
+// micro-neighbor emits a large fraction of accesses within 1MiB of a
+// recent one.
+func TestMicroNeighborLocality(t *testing.T) {
+	p, _ := ByName("micro-neighbor")
+	g := New(p, 3)
+	recent := make([]uint64, 0, 64)
+	nearCount, n := 0, 5000
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		for _, r := range recent {
+			d := int64(op.VA) - int64(r)
+			if d < 0 {
+				d = -d
+			}
+			if d > 0 && d <= 1<<20 {
+				nearCount++
+				break
+			}
+		}
+		recent = append(recent, op.VA)
+		if len(recent) > 64 {
+			recent = recent[1:]
+		}
+	}
+	if float64(nearCount)/float64(n) < 0.3 {
+		t.Errorf("micro-neighbor near fraction %.2f", float64(nearCount)/float64(n))
+	}
+}

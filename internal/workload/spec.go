@@ -1,0 +1,106 @@
+package workload
+
+import "fmt"
+
+// Profiles mirrors the SPEC CPU2006 subset of Tab. III. The parameters
+// are synthetic but shaped after each benchmark's published memory
+// behaviour: mcf and omnetpp chase pointers over large heaps, lbm and
+// bwaves stream with heavy writes, gemsFDTD and cactusADM walk large
+// strided grids, milc/leslie3d/astar sit in the medium-intensity class.
+var profiles = map[string]Profile{
+	"mcf": {
+		Name: "mcf", Class: High, Footprint: 1536 << 20,
+		Streams: 4, StrideBytes: 8, BurstLen: 12, ChaseFrac: 0.40, NearFrac: 0.12, WriteFrac: 0.22,
+		MeanGap: 8, ReuseFrac: 0.30, RestartEvery: 4096,
+	},
+	"lbm": {
+		Name: "lbm", Class: High, Footprint: 832 << 20,
+		Streams: 16, StrideBytes: 8, BurstLen: 128, ChaseFrac: 0.02, NearFrac: 0.04, WriteFrac: 0.45,
+		MeanGap: 5, ReuseFrac: 0.10, RestartEvery: 1 << 18,
+	},
+	"gemsFDTD": {
+		Name: "gemsFDTD", Class: High, Footprint: 1024 << 20,
+		Streams: 12, StrideBytes: 24, BurstLen: 64, ChaseFrac: 0.05, NearFrac: 0.06, WriteFrac: 0.30,
+		MeanGap: 9, ReuseFrac: 0.15, RestartEvery: 1 << 16,
+	},
+	"omnetpp": {
+		Name: "omnetpp", Class: High, Footprint: 384 << 20,
+		Streams: 4, StrideBytes: 8, BurstLen: 12, ChaseFrac: 0.30, NearFrac: 0.12, WriteFrac: 0.30,
+		MeanGap: 9, ReuseFrac: 0.35, RestartEvery: 4096,
+	},
+	"soplex": {
+		Name: "soplex", Class: High, Footprint: 640 << 20,
+		Streams: 8, StrideBytes: 16, BurstLen: 32, ChaseFrac: 0.15, NearFrac: 0.08, WriteFrac: 0.22,
+		MeanGap: 10, ReuseFrac: 0.30, RestartEvery: 1 << 15,
+	},
+	"milc": {
+		Name: "milc", Class: Medium, Footprint: 704 << 20,
+		Streams: 8, StrideBytes: 16, BurstLen: 64, ChaseFrac: 0.04, NearFrac: 0.05, WriteFrac: 0.30,
+		MeanGap: 14, ReuseFrac: 0.35, RestartEvery: 1 << 15,
+	},
+	"bwaves": {
+		Name: "bwaves", Class: Medium, Footprint: 896 << 20,
+		Streams: 6, StrideBytes: 8, BurstLen: 128, ChaseFrac: 0.01, NearFrac: 0.04, WriteFrac: 0.26,
+		MeanGap: 14, ReuseFrac: 0.35, RestartEvery: 1 << 18,
+	},
+	"leslie3d": {
+		Name: "leslie3d", Class: Medium, Footprint: 512 << 20,
+		Streams: 10, StrideBytes: 8, BurstLen: 96, ChaseFrac: 0.02, NearFrac: 0.05, WriteFrac: 0.30,
+		MeanGap: 13, ReuseFrac: 0.40, RestartEvery: 1 << 17,
+	},
+	"astar": {
+		Name: "astar", Class: Medium, Footprint: 320 << 20,
+		Streams: 4, StrideBytes: 8, BurstLen: 12, ChaseFrac: 0.12, NearFrac: 0.10, WriteFrac: 0.25,
+		MeanGap: 15, ReuseFrac: 0.45, RestartEvery: 8192,
+	},
+	"cactusADM": {
+		Name: "cactusADM", Class: Medium, Footprint: 640 << 20,
+		Streams: 6, StrideBytes: 16, BurstLen: 64, ChaseFrac: 0.03, NearFrac: 0.05, WriteFrac: 0.30,
+		MeanGap: 14, ReuseFrac: 0.35, RestartEvery: 1 << 15,
+	},
+}
+
+// ByName returns the profile of a SPEC2006 benchmark or a "micro-*"
+// pattern generator.
+func ByName(name string) (Profile, error) {
+	if p, ok := profiles[name]; ok {
+		return p, nil
+	}
+	return microByName(name)
+}
+
+// Names lists the modeled benchmarks (stable order).
+func Names() []string {
+	return []string{"mcf", "lbm", "gemsFDTD", "omnetpp", "soplex", "milc", "bwaves", "leslie3d", "astar", "cactusADM"}
+}
+
+// Mix is one multiprogrammed workload of Tab. III.
+type Mix struct {
+	Name  string
+	Bench []string
+}
+
+// Mixes returns the nine 4-program mixes of Tab. III.
+func Mixes() []Mix {
+	return []Mix{
+		{"mix0", []string{"mcf", "lbm", "omnetpp", "gemsFDTD"}},
+		{"mix1", []string{"mcf", "lbm", "gemsFDTD", "soplex"}},
+		{"mix2", []string{"lbm", "omnetpp", "gemsFDTD", "soplex"}},
+		{"mix3", []string{"omnetpp", "gemsFDTD", "soplex", "milc"}},
+		{"mix4", []string{"gemsFDTD", "soplex", "milc", "bwaves"}},
+		{"mix5", []string{"soplex", "milc", "bwaves", "leslie3d"}},
+		{"mix6", []string{"milc", "bwaves", "astar", "leslie3d"}},
+		{"mix7", []string{"milc", "bwaves", "astar", "cactusADM"}},
+		{"mix8", []string{"bwaves", "leslie3d", "astar", "cactusADM"}},
+	}
+}
+
+// MixByName returns one of the Tab. III mixes.
+func MixByName(name string) (Mix, error) {
+	for _, m := range Mixes() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("workload: unknown mix %q", name)
+}

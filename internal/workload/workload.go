@@ -1,0 +1,161 @@
+// Package workload provides seeded synthetic memory-access generators
+// standing in for the SPEC CPU2006 applications of the paper's
+// evaluation (Tab. III). Each generator reproduces the properties the
+// ERUCA mechanisms are sensitive to:
+//
+//   - footprint and access pattern (streams, strides, pointer chasing)
+//     calibrated so the post-cache miss rate lands in the paper's H
+//     (high) or M (medium) MPKI class;
+//   - spatial locality in the low address bits (region 2 of Fig. 4);
+//   - temporal reuse, so caches filter realistically;
+//   - a read/write mix.
+//
+// Row-MSB locality (region 1 of Fig. 4) is not synthesized here: it
+// emerges from the osmem transparent-huge-page allocator, exactly as in
+// the paper's captured physical traces.
+package workload
+
+import "math/rand"
+
+// Op is one memory instruction and the non-memory work preceding it.
+type Op struct {
+	// Gap is the number of non-memory instructions retired before this
+	// operation.
+	Gap int
+	// Write marks a store.
+	Write bool
+	// VA is the virtual address accessed.
+	VA uint64
+}
+
+// Generator produces an unbounded instruction stream.
+type Generator interface {
+	Name() string
+	Next() Op
+}
+
+// Class is the paper's memory-intensity label.
+type Class byte
+
+const (
+	// High intensity (MPKI > 10 in SPEC2006 terms).
+	High Class = 'H'
+	// Medium intensity.
+	Medium Class = 'M'
+)
+
+// Profile parameterizes one synthetic benchmark.
+type Profile struct {
+	Name      string
+	Class     Class
+	Footprint uint64 // bytes of virtual address space touched
+
+	Streams      int     // concurrent sequential/strided cursors
+	StrideBytes  uint64  // step per stream advance
+	BurstLen     int     // consecutive ops on one stream before switching (inner-loop locality)
+	ChaseFrac    float64 // fraction of ops that jump to a random address
+	NearFrac     float64 // fraction of ops landing near a recent address (same-page spatial locality)
+	WriteFrac    float64
+	MeanGap      float64 // mean non-memory instructions between ops
+	ReuseFrac    float64 // fraction of ops replaying a recent address
+	RestartEvery int     // stream steps between random restarts (0 = never)
+}
+
+// New builds a deterministic generator from the profile and seed.
+func New(p Profile, seed int64) Generator {
+	g := &generator{p: p, rng: rand.New(rand.NewSource(seed))}
+	g.cursors = make([]uint64, p.Streams)
+	for i := range g.cursors {
+		g.cursors[i] = g.randAddr()
+	}
+	g.recent = make([]uint64, 64)
+	for i := range g.recent {
+		g.recent[i] = g.randAddr()
+	}
+	return g
+}
+
+type generator struct {
+	p       Profile
+	rng     *rand.Rand
+	cursors []uint64
+	steps   int
+	next    int // current stream index
+	burst   int // remaining ops in the current stream burst
+	recent  []uint64
+	ri      int
+}
+
+func (g *generator) Name() string { return g.p.Name }
+
+func (g *generator) randAddr() uint64 {
+	return uint64(g.rng.Int63n(int64(g.p.Footprint))) &^ 7
+}
+
+func (g *generator) Next() Op {
+	op := Op{
+		Gap:   g.gap(),
+		Write: g.rng.Float64() < g.p.WriteFrac,
+	}
+	r := g.rng.Float64()
+	switch {
+	case r < g.p.ReuseFrac:
+		op.VA = g.recent[g.rng.Intn(len(g.recent))]
+	case r < g.p.ReuseFrac+g.p.NearFrac:
+		// Spatial neighbour of a recent access: a different row in the
+		// same megabyte-scale region (heap clustering, adjacent arrays
+		// in one huge page). This is the region-2 row-address locality
+		// of Fig. 4 — nearby rows that can land in the paired sub-bank.
+		base := g.recent[g.rng.Intn(len(g.recent))]
+		off := g.rng.Int63n(1<<21) - 1<<20
+		va := int64(base) + off
+		if va < 0 {
+			va += 1 << 21
+		}
+		if uint64(va) >= g.p.Footprint {
+			va -= 1 << 21
+		}
+		op.VA = uint64(va) &^ 7
+	case r < g.p.ReuseFrac+g.p.NearFrac+g.p.ChaseFrac || g.p.Streams == 0:
+		op.VA = g.randAddr()
+	default:
+		// Streams advance in bursts: an inner loop works one array
+		// region for BurstLen accesses before the code moves to the
+		// next stream. Bursts are what produce back-to-back same-row
+		// DRAM accesses (row-buffer locality).
+		if g.burst == 0 {
+			g.next = (g.next + 1) % g.p.Streams
+			g.burst = g.p.BurstLen
+			if g.burst == 0 {
+				g.burst = 1
+			}
+		}
+		g.burst--
+		i := g.next
+		g.cursors[i] += g.p.StrideBytes
+		if g.cursors[i] >= g.p.Footprint {
+			g.cursors[i] -= g.p.Footprint
+		}
+		g.steps++
+		if g.p.RestartEvery > 0 && g.steps%g.p.RestartEvery == 0 {
+			g.cursors[i] = g.randAddr()
+		}
+		op.VA = g.cursors[i]
+	}
+	g.recent[g.ri] = op.VA
+	g.ri = (g.ri + 1) % len(g.recent)
+	return op
+}
+
+// gap draws a geometric-ish non-memory run length with the profile mean.
+func (g *generator) gap() int {
+	if g.p.MeanGap <= 0 {
+		return 0
+	}
+	// Exponential with the given mean, truncated.
+	v := int(g.rng.ExpFloat64() * g.p.MeanGap)
+	if v > 200 {
+		v = 200
+	}
+	return v
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	for _, n := range Names() {
+		p, err := ByName(n)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", n, err)
+		}
+		if p.Footprint == 0 || p.MeanGap <= 0 {
+			t.Errorf("%s: degenerate profile %+v", n, p)
+		}
+		if p.Class != High && p.Class != Medium {
+			t.Errorf("%s: class %c", n, p.Class)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestMixesMatchTable3(t *testing.T) {
+	mixes := Mixes()
+	if len(mixes) != 9 {
+		t.Fatalf("got %d mixes, want 9", len(mixes))
+	}
+	for _, m := range mixes {
+		if len(m.Bench) != 4 {
+			t.Errorf("%s: %d programs, want 4", m.Name, len(m.Bench))
+		}
+		for _, b := range m.Bench {
+			if _, err := ByName(b); err != nil {
+				t.Errorf("%s: %v", m.Name, err)
+			}
+		}
+	}
+	m0, err := MixByName("mix0")
+	if err != nil || m0.Bench[0] != "mcf" {
+		t.Errorf("mix0 = %+v, %v", m0, err)
+	}
+	if _, err := MixByName("mix99"); err == nil {
+		t.Error("unknown mix accepted")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p, _ := ByName("mcf")
+	a, b := New(p, 42), New(p, 42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("divergence at op %d with equal seeds", i)
+		}
+	}
+	c := New(p, 43)
+	same := 0
+	a2 := New(p, 42)
+	for i := 0; i < 1000; i++ {
+		if a2.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Errorf("different seeds produced %d/1000 identical ops", same)
+	}
+}
+
+func TestAddressesWithinFootprint(t *testing.T) {
+	for _, n := range Names() {
+		p, _ := ByName(n)
+		g := New(p, 7)
+		for i := 0; i < 5000; i++ {
+			op := g.Next()
+			if op.VA >= p.Footprint {
+				t.Fatalf("%s: VA %#x beyond footprint %#x", n, op.VA, p.Footprint)
+			}
+			if op.Gap < 0 {
+				t.Fatalf("%s: negative gap", n)
+			}
+		}
+	}
+}
+
+// The generator's raw memory-instruction rate must be consistent with
+// the profile's MeanGap, and write fraction near WriteFrac.
+func TestRatesMatchProfile(t *testing.T) {
+	for _, n := range Names() {
+		p, _ := ByName(n)
+		g := New(p, 7)
+		var gaps, writes, nops int
+		for i := 0; i < 20000; i++ {
+			op := g.Next()
+			gaps += op.Gap
+			if op.Write {
+				writes++
+			}
+			nops++
+		}
+		meanGap := float64(gaps) / float64(nops)
+		if meanGap < p.MeanGap*0.8 || meanGap > p.MeanGap*1.2 {
+			t.Errorf("%s: mean gap %.2f, profile %.2f", n, meanGap, p.MeanGap)
+		}
+		wf := float64(writes) / float64(nops)
+		if wf < p.WriteFrac-0.05 || wf > p.WriteFrac+0.05 {
+			t.Errorf("%s: write frac %.2f, profile %.2f", n, wf, p.WriteFrac)
+		}
+	}
+}
+
+// Streaming benchmarks show strong sequentiality; chasing ones do not.
+func TestPatternShape(t *testing.T) {
+	// An op is "sequential" when it sits exactly one stride after some
+	// recent op (streams are visited round-robin, so compare against a
+	// window rather than the immediate predecessor).
+	seq := func(name string) float64 {
+		p, _ := ByName(name)
+		g := New(p, 7)
+		recent := make(map[uint64]bool)
+		var window []uint64
+		sequential := 0
+		const n = 10000
+		for i := 0; i < n; i++ {
+			op := g.Next()
+			if recent[op.VA-p.StrideBytes] {
+				sequential++
+			}
+			window = append(window, op.VA)
+			recent[op.VA] = true
+			if len(window) > 64 {
+				delete(recent, window[0])
+				window = window[1:]
+			}
+		}
+		return float64(sequential) / n
+	}
+	lbm, mcf := seq("lbm"), seq("mcf")
+	if lbm < 0.5 {
+		t.Errorf("lbm sequentiality %.2f, want streaming-like (> 0.5)", lbm)
+	}
+	if lbm < mcf+0.2 {
+		t.Errorf("lbm (%.2f) not clearly more sequential than mcf (%.2f)", lbm, mcf)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
