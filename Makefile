@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: build vet test race verify bench bench-baseline clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Short -race smoke of the concurrency-sensitive paths: the parallel
+# experiment engine and the fast-forward/per-cycle equivalence.
+race:
+	$(GO) test -race -count=1 -run 'Parallel' ./internal/exp/
+	$(GO) test -race -count=1 -run 'FastForward' ./internal/sim/
+
+# verify is the tier-1 gate plus the race smoke.
+verify: vet build test race
+
+# Scaled-down figure + ablation + micro benchmarks.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Record simulator-throughput numbers (instrs/s, buscycles, allocs/op)
+# for PR-over-PR comparison.
+bench-baseline:
+	$(GO) test -run '^$$' -bench SimThroughput -benchtime 3x . \
+		| tee /tmp/eruca_simthroughput.txt
+	awk -f scripts/bench_json.awk /tmp/eruca_simthroughput.txt > BENCH_baseline.json
+	cat BENCH_baseline.json
+
+clean:
+	rm -f cpu.pprof mem.pprof

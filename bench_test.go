@@ -268,19 +268,48 @@ func BenchmarkWorkloadGen(b *testing.B) {
 	}
 }
 
-// BenchmarkSimThroughput reports simulated instructions per second of
-// the full stack on the baseline system.
+// BenchmarkSimThroughput reports simulated instructions per second and
+// allocations of the full stack across a system matrix (stock DDR4 vs
+// the full ERUCA configuration) in both run-loop modes, so the win from
+// event-driven cycle skipping is measured directly:
+//
+//	go test -bench SimThroughput -benchtime 3x
 func BenchmarkSimThroughput(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res, err := sim.Run(sim.Options{
-			Sys:     config.Baseline(config.DefaultBusMHz),
-			Benches: []string{"mcf", "lbm", "omnetpp", "gemsFDTD"},
-			Instrs:  50_000, Frag: benchFrag, Seed: 42,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(float64(res.BusCycles), "buscycles")
+	const simInstrs = 50_000
+	benches := []string{"mcf", "lbm", "omnetpp", "gemsFDTD"}
+	systems := []struct {
+		name string
+		sys  func() *config.System
+	}{
+		{"ddr4", func() *config.System { return config.Baseline(config.DefaultBusMHz) }},
+		{"vsb-ewlr-rap-ddb", func() *config.System { return config.VSB(4, true, true, true, config.DefaultBusMHz) }},
 	}
-	b.SetBytes(4 * 50_000)
+	modes := []struct {
+		name string
+		noFF bool
+	}{
+		{"fastforward", false},
+		{"percycle", true},
+	}
+	for _, s := range systems {
+		for _, m := range modes {
+			b.Run(s.name+"/"+m.name, func(b *testing.B) {
+				b.ReportAllocs()
+				var cycles float64
+				for i := 0; i < b.N; i++ {
+					res, err := sim.Run(sim.Options{
+						Sys: s.sys(), Benches: benches,
+						Instrs: simInstrs, Frag: benchFrag, Seed: 42,
+						NoFastForward: m.noFF,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = float64(res.BusCycles)
+				}
+				b.ReportMetric(cycles, "buscycles")
+				b.ReportMetric(float64(b.N)*float64(len(benches))*simInstrs/b.Elapsed().Seconds(), "instrs/s")
+			})
+		}
+	}
 }

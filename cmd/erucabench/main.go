@@ -5,14 +5,17 @@
 // Examples:
 //
 //	erucabench -exp fig12 -instrs 250000
-//	erucabench -exp all -frag 0.1
+//	erucabench -exp all -frag 0.1 -parallel 8
 //	erucabench -exp fig13a -frag 0.5 -mixes mix0,mix2,mix4,mix6
+//	erucabench -exp fig12 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -20,19 +23,57 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds the whole program so deferred profile writers execute even
+// on failure exits (os.Exit in main would skip them).
+func run() int {
 	var (
-		which  = flag.String("exp", "all", "experiment: tab1, tab2, tab3, fig4, fig11, fig12, fig13a, fig13b, fig14, fig15, fig16a, fig16b, locality, ablations, all")
-		instrs = flag.Int64("instrs", 250_000, "measured instructions per core")
-		warmup = flag.Int64("warmup", 0, "warmup instructions per core (default instrs/2)")
-		seed   = flag.Int64("seed", 42, "simulation seed")
-		frag   = flag.Float64("frag", 0.1, "memory fragmentation (FMFI)")
-		mixes  = flag.String("mixes", "", "comma-separated mix subset (default all nine)")
-		quiet  = flag.Bool("q", false, "suppress progress output")
-		chart  = flag.Bool("chart", false, "render numeric results as bar charts too")
+		which    = flag.String("exp", "all", "experiment: tab1, tab2, tab3, fig4, fig11, fig12, fig13a, fig13b, fig14, fig15, fig16a, fig16b, locality, ablations, all")
+		instrs   = flag.Int64("instrs", 250_000, "measured instructions per core")
+		warmup   = flag.Int64("warmup", 0, "warmup instructions per core (default instrs/2)")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		frag     = flag.Float64("frag", 0.1, "memory fragmentation (FMFI)")
+		mixes    = flag.String("mixes", "", "comma-separated mix subset (default all nine)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations (tables are identical at any setting)")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+		chart    = flag.Bool("chart", false, "render numeric results as bar charts too")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	p := exp.Params{Instrs: *instrs, Warmup: *warmup, Seed: *seed}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "erucabench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "erucabench:", err)
+			return 1
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprof == "" {
+			return
+		}
+		f, err := os.Create(*memprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "erucabench:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "erucabench:", err)
+		}
+	}()
+
+	p := exp.Params{Instrs: *instrs, Warmup: *warmup, Seed: *seed, Parallel: *parallel}
 	if *mixes != "" {
 		p.Mixes = strings.Split(*mixes, ",")
 	}
@@ -77,7 +118,7 @@ func main() {
 		}
 		if len(selected) == 0 {
 			fmt.Fprintf(os.Stderr, "erucabench: unknown experiment %q\n", *which)
-			os.Exit(2)
+			return 2
 		}
 	}
 
@@ -86,7 +127,7 @@ func main() {
 		t, err := e.run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "erucabench: %s: %v\n", e.name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(t.Format())
 		if *chart {
@@ -98,4 +139,5 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  [%s took %.1fs]\n", e.name, time.Since(start).Seconds())
 		}
 	}
+	return 0
 }

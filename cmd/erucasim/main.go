@@ -1,11 +1,15 @@
-// Command erucasim runs one ERUCA simulation: a DRAM configuration from
-// the preset registry against a SPEC2006-style mix or ad-hoc benchmark
-// list, printing performance, DRAM-event and energy summaries.
+// Command erucasim runs ERUCA simulations: one or more DRAM
+// configurations from the preset registry against a SPEC2006-style mix
+// or ad-hoc benchmark list, printing performance, DRAM-event and energy
+// summaries. With a comma-separated -system list the runs execute
+// concurrently (bounded by -parallel) and the reports print in the
+// order given, byte-identical to running them one at a time.
 //
 // Examples:
 //
 //	erucasim -system vsb-ewlr-rap-ddb -mix mix0 -instrs 500000
 //	erucasim -system ddr4 -bench mcf,lbm -frag 0.5
+//	erucasim -system ddr4,vsb-ewlr-rap-ddb,masa8-eruca -mix mix3 -parallel 3
 //	erucasim -list
 package main
 
@@ -13,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"eruca/internal/config"
@@ -22,15 +27,16 @@ import (
 
 func main() {
 	var (
-		system = flag.String("system", "ddr4", "system preset (see -list)")
-		mixN   = flag.String("mix", "", "Tab. III mix name (mix0..mix8)")
-		bench  = flag.String("bench", "", "comma-separated benchmarks (alternative to -mix)")
-		planes = flag.Int("planes", 4, "plane count for sub-banked systems")
-		bus    = flag.Float64("bus", config.DefaultBusMHz, "channel frequency (MHz)")
-		instrs = flag.Int64("instrs", 500_000, "instructions per core")
-		frag   = flag.Float64("frag", 0.1, "target memory fragmentation (FMFI)")
-		seed   = flag.Int64("seed", 42, "simulation seed")
-		list   = flag.Bool("list", false, "list systems, benchmarks and mixes")
+		system   = flag.String("system", "ddr4", "comma-separated system presets (see -list)")
+		mixN     = flag.String("mix", "", "Tab. III mix name (mix0..mix8)")
+		bench    = flag.String("bench", "", "comma-separated benchmarks (alternative to -mix)")
+		planes   = flag.Int("planes", 4, "plane count for sub-banked systems")
+		bus      = flag.Float64("bus", config.DefaultBusMHz, "channel frequency (MHz)")
+		instrs   = flag.Int64("instrs", 500_000, "instructions per core")
+		frag     = flag.Float64("frag", 0.1, "target memory fragmentation (FMFI)")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations for multi-system runs")
+		list     = flag.Bool("list", false, "list systems, benchmarks and mixes")
 	)
 	flag.Parse()
 
@@ -45,9 +51,13 @@ func main() {
 		return
 	}
 
-	sys, err := config.ByName(*system, *planes, *bus)
-	if err != nil {
-		fatal(err)
+	var systems []*config.System
+	for _, name := range strings.Split(*system, ",") {
+		sys, err := config.ByName(strings.TrimSpace(name), *planes, *bus)
+		if err != nil {
+			fatal(err)
+		}
+		systems = append(systems, sys)
 	}
 
 	var benches []string
@@ -65,13 +75,46 @@ func main() {
 		benches = m.Bench
 	}
 
-	res, err := sim.Run(sim.Options{
-		Sys: sys, Benches: benches, Instrs: *instrs, Frag: *frag, Seed: *seed,
-	})
-	if err != nil {
-		fatal(err)
+	// Run all systems concurrently, bounded by -parallel; each run is
+	// independent and fully deterministic, so reports print in flag
+	// order regardless of completion order.
+	if *parallel < 1 {
+		*parallel = 1
+	}
+	sem := make(chan struct{}, *parallel)
+	type outcome struct {
+		res *sim.Result
+		err error
+	}
+	outcomes := make([]outcome, len(systems))
+	done := make(chan int)
+	for i, sys := range systems {
+		go func(i int, sys *config.System) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := sim.Run(sim.Options{
+				Sys: sys, Benches: benches, Instrs: *instrs, Frag: *frag, Seed: *seed,
+			})
+			outcomes[i] = outcome{res, err}
+			done <- i
+		}(i, sys)
+	}
+	for range systems {
+		<-done
 	}
 
+	for i, sys := range systems {
+		if outcomes[i].err != nil {
+			fatal(outcomes[i].err)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		report(sys, benches, outcomes[i].res)
+	}
+}
+
+func report(sys *config.System, benches []string, res *sim.Result) {
 	fmt.Printf("system        %s (bus %.0fMHz, %d effective banks/rank)\n",
 		sys.Name, sys.Bus.FreqMHz(), sys.EffectiveBanksPerRank())
 	fmt.Printf("workloads     %s (FMFI %.2f, huge coverage %.0f%%)\n",

@@ -25,11 +25,18 @@ type MemSystem interface {
 	Access(core int, va uint64, write bool, done func()) (accept, pending bool, doneAt int64)
 }
 
-// read is one in-flight load occupying a ROB position.
+// read is one in-flight load occupying a ROB position. Records are
+// recycled through the core's free list together with their pre-bound
+// completion closures, so steady-state execution does not allocate per
+// load.
 type read struct {
 	pos     int64 // instruction index in program order
 	ready   bool  // completion signalled (memory) or timestamp known
 	readyAt int64 // completion cycle when ready by timestamp
+
+	// complete is the pre-bound completion callback handed to
+	// MemSystem.Access; allocated once per pooled record.
+	complete func()
 }
 
 // Core is one simulated core. Create with New; not safe for concurrent
@@ -46,7 +53,12 @@ type Core struct {
 	fetched int64
 	retired int64
 
-	reads    []*read // program order; head blocks retirement
+	// reads holds in-flight loads in program order as a sliding window:
+	// reads[readHead:] are live, the prefix has retired and is compacted
+	// away periodically. The head read blocks retirement.
+	reads    []*read
+	readHead int
+	free     []*read // recycled read records
 	inflight int     // LSQ occupancy: loads awaiting data
 
 	gap     int // remaining non-memory instructions before pendingOp
@@ -93,6 +105,90 @@ func (c *Core) IPC() float64 {
 	return float64(c.Target-c.Warmup) / float64(c.FinishedAt-c.WarmupAt)
 }
 
+// Progress returns a monotonically-increasing stamp of architectural
+// progress. An unchanged stamp across a window means the core neither
+// fetched nor retired anything during it.
+func (c *Core) Progress() int64 { return c.fetched + c.retired }
+
+// neverCPU marks "no self-driven progress possible".
+const neverCPU = int64(1) << 62
+
+// NextEventCycle reports a lower bound on the next CPU cycle (strictly
+// after now) at which this core could make progress without an external
+// memory-system event: the head read's already-known completion time,
+// now+1 when retirement or non-memory fetch work is available, or a far
+// future when the core is entirely blocked on the memory system (LSQ
+// full, queue backpressure, or a pending head load). The run
+// loop uses it, together with the memory-side bounds, to fast-forward
+// provably-idle windows.
+func (c *Core) NextEventCycle(now int64) int64 {
+	bound := neverCPU
+	if c.retired < c.fetched {
+		if c.readHead < len(c.reads) && c.reads[c.readHead].pos == c.retired {
+			if r := c.reads[c.readHead]; r.ready {
+				t := r.readyAt
+				if t <= now {
+					t = now + 1
+				}
+				if t < bound {
+					bound = t
+				}
+			}
+			// else: the head load awaits a memory completion, which is
+			// covered by the controller / event bounds.
+		} else {
+			return now + 1 // non-memory retirement available
+		}
+	}
+	if c.fetched-c.retired < c.rob {
+		if !c.hasOp || c.gap > 0 {
+			return now + 1 // non-memory fetch work available
+		}
+		// The pending memory op is blocked on LSQ space or queue
+		// acceptance — both resolve only through memory-system events.
+	}
+	return bound
+}
+
+// FastForward accounts for skipped quiescent CPU cycles: the core was
+// provably unable to fetch during the window, so each skipped cycle
+// would have counted as a stall in a per-cycle run.
+func (c *Core) FastForward(cpuCycles int64) { c.Stalled += uint64(cpuCycles) }
+
+// getRead takes a read record from the free list (or allocates one with
+// its completion closure) and stamps it for the given ROB position.
+func (c *Core) getRead(pos int64) *read {
+	var r *read
+	if n := len(c.free); n > 0 {
+		r = c.free[n-1]
+		c.free = c.free[:n-1]
+		r.ready, r.readyAt = false, 0
+	} else {
+		r = &read{}
+		r.complete = func() {
+			r.ready = true
+			c.inflight--
+		}
+	}
+	r.pos = pos
+	return r
+}
+
+// popRead retires the head read, recycling its record and compacting the
+// sliding window once the dead prefix dominates.
+func (c *Core) popRead() {
+	c.free = append(c.free, c.reads[c.readHead])
+	c.readHead++
+	if c.readHead == len(c.reads) {
+		c.reads = c.reads[:0]
+		c.readHead = 0
+	} else if c.readHead > 64 && c.readHead*2 >= len(c.reads) {
+		n := copy(c.reads, c.reads[c.readHead:])
+		c.reads = c.reads[:n]
+		c.readHead = 0
+	}
+}
+
 // Tick advances the core by one CPU cycle.
 func (c *Core) Tick(now int64) {
 	c.retire(now)
@@ -102,12 +198,12 @@ func (c *Core) Tick(now int64) {
 func (c *Core) retire(now int64) {
 	budget := c.width
 	for budget > 0 && c.retired < c.fetched {
-		if len(c.reads) > 0 && c.reads[0].pos == c.retired {
-			r := c.reads[0]
+		if c.readHead < len(c.reads) && c.reads[c.readHead].pos == c.retired {
+			r := c.reads[c.readHead]
 			if !r.ready || now < r.readyAt {
 				break
 			}
-			c.reads = c.reads[1:]
+			c.popRead()
 		}
 		c.retired++
 		budget--
@@ -158,12 +254,10 @@ func (c *Core) fetch(now int64) {
 			}
 			c.Stores++
 		} else {
-			r := &read{pos: pos}
-			accept, pending, doneAt := c.mem.Access(c.id, c.opVA, false, func() {
-				r.ready = true
-				c.inflight--
-			})
+			r := c.getRead(pos)
+			accept, pending, doneAt := c.mem.Access(c.id, c.opVA, false, r.complete)
 			if !accept {
+				c.free = append(c.free, r)
 				break
 			}
 			if !pending {

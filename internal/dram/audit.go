@@ -21,7 +21,7 @@ type Auditor struct {
 	sch  config.Scheme
 	geom config.Geometry
 
-	history    []auditEvent
+	history    []AuditedCommand
 	violations []string
 
 	// open tracks row state per (rank, group, bank, sub, slot).
@@ -36,9 +36,10 @@ type auditKey struct {
 	rank, group, bank, sub, slot int
 }
 
-type auditEvent struct {
-	cmd Command
-	at  clock.Cycle
+// AuditedCommand is one observed command with its issue cycle.
+type AuditedCommand struct {
+	Cmd Command
+	At  clock.Cycle
 }
 
 type auditRow struct {
@@ -79,6 +80,11 @@ func (a *Auditor) Violations() []string { return a.violations }
 // Commands reports how many commands were observed.
 func (a *Auditor) Commands() int { return len(a.history) }
 
+// Events exposes the full audited command stream in issue order. Tests
+// use it to assert that the fast-forwarding run loop issues a
+// cycle-identical command stream to the plain per-cycle loop.
+func (a *Auditor) Events() []AuditedCommand { return a.history }
+
 // Observe records and checks one issued command.
 func (a *Auditor) Observe(c Command, at clock.Cycle) {
 	if at < a.blockedUntil[c.Rank] && c.Kind != CmdREF {
@@ -93,11 +99,11 @@ func (a *Auditor) Observe(c Command, at clock.Cycle) {
 				st.preAt = at
 			}
 		}
-		a.history = append(a.history, auditEvent{c, at})
+		a.history = append(a.history, AuditedCommand{c, at})
 		return
 	case CmdREF:
 		a.blockedUntil[c.Rank] = at + a.ct.RFC
-		a.history = append(a.history, auditEvent{c, at})
+		a.history = append(a.history, AuditedCommand{c, at})
 		return
 	}
 	k := auditKey{c.Rank, c.Group, c.Bank, c.Sub, c.Slot}
@@ -153,7 +159,7 @@ func (a *Auditor) Observe(c Command, at clock.Cycle) {
 			st.lastWr = at
 		}
 	}
-	a.history = append(a.history, auditEvent{c, at})
+	a.history = append(a.history, AuditedCommand{c, at})
 }
 
 // checkActRate enforces tRRD and tFAW per rank over the history.
@@ -161,20 +167,20 @@ func (a *Auditor) checkActRate(c Command, at clock.Cycle) {
 	count := 0
 	for i := len(a.history) - 1; i >= 0; i-- {
 		ev := a.history[i]
-		if ev.cmd.Kind != CmdACT || ev.cmd.Rank != c.Rank {
+		if ev.Cmd.Kind != CmdACT || ev.Cmd.Rank != c.Rank {
 			continue
 		}
-		if count == 0 && at-ev.at < a.ct.RRD {
-			a.fail(at, "tRRD violation: ACT %d after ACT (need %d): %v", at-ev.at, a.ct.RRD, c)
+		if count == 0 && at-ev.At < a.ct.RRD {
+			a.fail(at, "tRRD violation: ACT %d after ACT (need %d): %v", at-ev.At, a.ct.RRD, c)
 		}
 		count++
 		if count == 4 {
-			if at-ev.at < a.ct.FAW {
-				a.fail(at, "tFAW violation: 5th ACT %d after 4-back (need %d): %v", at-ev.at, a.ct.FAW, c)
+			if at-ev.At < a.ct.FAW {
+				a.fail(at, "tFAW violation: 5th ACT %d after 4-back (need %d): %v", at-ev.At, a.ct.FAW, c)
 			}
 			return
 		}
-		if at-ev.at > a.ct.FAW {
+		if at-ev.At > a.ct.FAW {
 			return
 		}
 	}
@@ -187,18 +193,18 @@ func (a *Auditor) checkColumnSpacing(c Command, at clock.Cycle) {
 	sameGroupCount := 0
 	for i := len(a.history) - 1; i >= 0; i-- {
 		ev := a.history[i]
-		if at-ev.at > a.ct.TWTRW+a.ct.FAW {
+		if at-ev.At > a.ct.TWTRW+a.ct.FAW {
 			break
 		}
-		if ev.cmd.Kind != CmdRD && ev.cmd.Kind != CmdWR {
+		if ev.Cmd.Kind != CmdRD && ev.Cmd.Kind != CmdWR {
 			continue
 		}
-		gap := at - ev.at
+		gap := at - ev.At
 		if gap < a.ct.CCDS {
 			a.fail(at, "tCCD_S violation: column %d after column (need %d): %v", gap, a.ct.CCDS, c)
 		}
-		sameBank := ev.cmd.Rank == c.Rank && ev.cmd.Group == c.Group && ev.cmd.Bank == c.Bank
-		sameGroup := ev.cmd.Rank == c.Rank && ev.cmd.Group == c.Group
+		sameBank := ev.Cmd.Rank == c.Rank && ev.Cmd.Group == c.Group && ev.Cmd.Bank == c.Bank
+		sameGroup := ev.Cmd.Rank == c.Rank && ev.Cmd.Group == c.Group
 		if sameBank && gap < a.ct.CCDL {
 			a.fail(at, "tCCD_L(bank) violation: column %d after column (need %d): %v", gap, a.ct.CCDL, c)
 		}
@@ -208,15 +214,15 @@ func (a *Auditor) checkColumnSpacing(c Command, at clock.Cycle) {
 		// DDB two-command windows: at most two same-direction column
 		// commands per tTCW window within a bank group.
 		if sameGroup && a.sch.DDB && a.ct.TwoCommandWindowsOn &&
-			(ev.cmd.Kind == c.Kind) && gap < a.ct.TCW {
+			(ev.Cmd.Kind == c.Kind) && gap < a.ct.TCW {
 			sameGroupCount++
 			if sameGroupCount >= 2 {
 				a.fail(at, "tTCW violation: third same-direction column within %d: %v", a.ct.TCW, c)
 			}
 		}
 		// Write-to-read turnaround.
-		if read && ev.cmd.Kind == CmdWR {
-			dataEnd := ev.at + a.ct.CWL + a.ct.Burst
+		if read && ev.Cmd.Kind == CmdWR {
+			dataEnd := ev.At + a.ct.CWL + a.ct.Burst
 			if at-dataEnd < a.ct.WTRS && at > dataEnd-a.ct.WTRS {
 				a.fail(at, "tWTR_S violation: RD %d after WR data end: %v", at-dataEnd, c)
 			}
@@ -233,13 +239,13 @@ func (a *Auditor) checkDataBus(c Command, at clock.Cycle) {
 	start, end := a.dataWindow(c.Kind, at)
 	for i := len(a.history) - 1; i >= 0; i-- {
 		ev := a.history[i]
-		if at-ev.at > a.ct.CL+a.ct.Burst+a.ct.CWL {
+		if at-ev.At > a.ct.CL+a.ct.Burst+a.ct.CWL {
 			break
 		}
-		if ev.cmd.Kind != CmdRD && ev.cmd.Kind != CmdWR {
+		if ev.Cmd.Kind != CmdRD && ev.Cmd.Kind != CmdWR {
 			continue
 		}
-		s2, e2 := a.dataWindow(ev.cmd.Kind, ev.at)
+		s2, e2 := a.dataWindow(ev.Cmd.Kind, ev.At)
 		if start < e2 && s2 < end {
 			a.fail(at, "data bus overlap: [%d,%d) with [%d,%d): %v", start, end, s2, e2, c)
 		}

@@ -370,6 +370,65 @@ func (ch *Channel) MaintainRefresh(now clock.Cycle) {
 	}
 }
 
+// farFuture is a sentinel "no event" cycle bound, small enough to add
+// slack to without overflowing.
+const farFuture = clock.Cycle(1) << 60
+
+// NextRefreshEvent reports a lower bound (strictly after now) on the
+// next cycle at which MaintainRefresh would change rank state: a refresh
+// falling due, the pre-refresh PREA becoming legal, REF becoming legal
+// tRP after PREA, or a tRFC blackout ending. It mirrors the
+// MaintainRefresh decision tree without mutating state, so the run loop
+// can fast-forward quiescent windows without perturbing the refresh
+// command stream.
+func (ch *Channel) NextRefreshEvent(now clock.Cycle) clock.Cycle {
+	if !ch.sys.Ctrl.RefreshEnabled {
+		return farFuture
+	}
+	next := farFuture
+	upd := func(t clock.Cycle) {
+		if t <= now {
+			t = now + 1
+		}
+		if t < next {
+			next = t
+		}
+	}
+	for _, rk := range ch.ranks {
+		if now < rk.blockedUntil {
+			upd(rk.blockedUntil)
+			continue
+		}
+		if !rk.refPending {
+			upd(rk.nextRefresh)
+			continue
+		}
+		if rk.openSubs > 0 && rk.preaAt == never {
+			// Waiting for every open slot to become precharge-able.
+			ready := clock.Cycle(0)
+			for _, g := range rk.groups {
+				for _, b := range g.banks {
+					for _, s := range b.subs {
+						for i := range s.slots {
+							if s.slots[i].active {
+								ready = maxc(ready, s.slots[i].rdyPre)
+							}
+						}
+					}
+				}
+			}
+			upd(ready)
+			continue
+		}
+		refAt := clock.Cycle(0)
+		if rk.preaAt != never {
+			refAt = rk.preaAt + ch.ct.RP
+		}
+		upd(refAt)
+	}
+	return next
+}
+
 // Finish integrates background-energy accounting up to the given cycle.
 func (ch *Channel) Finish(now clock.Cycle) {
 	for _, rk := range ch.ranks {

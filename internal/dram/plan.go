@@ -148,23 +148,46 @@ func (ch *Channel) BankLoad() []uint64 {
 	return out
 }
 
-// IdleOpenRows visits every open slot that has not been used for at
-// least idleCK cycles, handing the caller a ready-to-build PRE command.
-// The controller uses it to implement the adaptive close-page timeout of
-// Tab. III.
-func (ch *Channel) IdleOpenRows(now, idleCK clock.Cycle, visit func(Command)) {
+// VisitOpenRows visits every open slot with a ready-to-issue PRE command
+// and the slot's last-use cycle. The controller uses it for the adaptive
+// close-page timeout and for bounding the next close-page event when
+// fast-forwarding idle windows.
+func (ch *Channel) VisitOpenRows(visit func(cmd Command, lastUse clock.Cycle)) {
 	for r, rk := range ch.ranks {
 		for g, grp := range rk.groups {
 			for b, bk := range grp.banks {
 				for s, sb := range bk.subs {
 					for sl := range sb.slots {
 						st := &sb.slots[sl]
-						if st.active && now-st.lastUse >= idleCK {
-							visit(Command{Kind: CmdPRE, Rank: r, Group: g, Bank: b, Sub: s, Slot: sl, Row: st.row})
+						if st.active {
+							visit(Command{Kind: CmdPRE, Rank: r, Group: g, Bank: b, Sub: s, Slot: sl, Row: st.row}, st.lastUse)
 						}
 					}
 				}
 			}
 		}
 	}
+}
+
+// AnyOpenRows reports whether any slot in the channel holds an open
+// row, using the per-rank open-sub-bank counters (O(ranks)).
+func (ch *Channel) AnyOpenRows() bool {
+	for _, rk := range ch.ranks {
+		if rk.openSubs > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IdleOpenRows visits every open slot that has not been used for at
+// least idleCK cycles, handing the caller a ready-to-build PRE command.
+// The controller uses it to implement the adaptive close-page timeout of
+// Tab. III.
+func (ch *Channel) IdleOpenRows(now, idleCK clock.Cycle, visit func(Command)) {
+	ch.VisitOpenRows(func(cmd Command, lastUse clock.Cycle) {
+		if now-lastUse >= idleCK {
+			visit(cmd)
+		}
+	})
 }

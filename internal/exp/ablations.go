@@ -45,13 +45,23 @@ func (r *Runner) Ablations(frag float64) (*Table, error) {
 	add("scheduler", "FR-FCFS (default)", nil)
 	add("scheduler", "FCFS", func(s *config.System) { s.Ctrl.HitFirstDisabled = true })
 
+	// Rename before warming: the cache keys must already carry the
+	// variant tag, and the warm pass must not race the renames.
+	for i := range variants {
+		v := &variants[i]
+		v.sys.Name = fmt.Sprintf("%s[%s/%d]", v.sys.Name, v.group, i)
+	}
+	grid := make([]*config.System, len(variants))
+	for i, v := range variants {
+		grid[i] = v.sys
+	}
+	r.warmNormWS(grid, frag)
+
 	t := &Table{
 		Title:  fmt.Sprintf("Ablations: GMEAN normalized WS of VSB(EWLR+RAP)+DDB variants (FMFI %.0f%%)", frag*100),
 		Header: []string{"choice", "variant", "norm WS"},
 	}
-	for i, v := range variants {
-		// Distinguish otherwise identically-named systems in the cache.
-		v.sys.Name = fmt.Sprintf("%s[%s/%d]", v.sys.Name, v.group, i)
+	for _, v := range variants {
 		var vals []float64
 		for _, mix := range r.Mixes() {
 			ws, err := r.NormWS(v.sys, mix, frag)

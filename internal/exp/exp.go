@@ -3,6 +3,14 @@
 // which caches simulation results and alone-run IPCs so that figures
 // sharing configurations do not re-simulate.
 //
+// The Runner executes independent simulations in parallel: each figure
+// expands its sweep into a grid of (system, mix) jobs whose dependencies
+// (shared run, per-benchmark alone runs, baseline run) deduplicate
+// through singleflight caches, and a worker semaphore bounds the number
+// of simulations in flight (Params.Parallel, default GOMAXPROCS). The
+// table-building pass itself stays serial and reads only the warmed
+// caches, so output is byte-identical at every parallelism level.
+//
 // Metrics follow the paper: multiprogrammed performance is weighted
 // speedup (sum of IPC_shared / IPC_alone, with IPC_alone measured on the
 // baseline DDR4 system), normalized to baseline DDR4 at the same channel
@@ -11,7 +19,10 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"eruca/internal/config"
 	"eruca/internal/sim"
@@ -31,8 +42,13 @@ type Params struct {
 	Seed int64
 	// Mixes restricts the workload mixes (nil = all nine of Tab. III).
 	Mixes []string
-	// Log receives progress lines (nil = silent).
+	// Log receives progress lines (nil = silent). The Runner serializes
+	// calls, so the callback needs no locking of its own.
 	Log func(string)
+	// Parallel bounds the number of concurrently running simulations
+	// (0 = GOMAXPROCS). Every table is byte-identical at any setting;
+	// only wall-clock time and the order of progress lines change.
+	Parallel int
 }
 
 // DefaultParams returns the harness defaults.
@@ -40,11 +56,34 @@ func DefaultParams() Params {
 	return Params{Instrs: 250_000, Seed: 42}
 }
 
-// Runner executes and caches simulations.
+// flight is one singleflight cache entry: the first caller of a key
+// becomes the leader and runs the simulation; everyone else blocks on
+// done and shares the result. Entries are never removed, so the filled
+// flight doubles as the cache record.
+type flight[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// Runner executes and caches simulations. All methods are safe for
+// concurrent use: results are deduplicated through singleflight caches
+// (one in-flight simulation per key, late arrivals block and share),
+// and a semaphore bounds the number of simulations running at once.
 type Runner struct {
-	p     Params
-	cache map[string]*sim.Result
-	alone map[string]float64
+	p        Params
+	parallel int
+	// sem is the worker pool: a slot is held only while sim.Run
+	// executes, never while waiting on another flight, so dependency
+	// chains (weighted speedup needs alone-IPC runs) cannot deadlock.
+	sem chan struct{}
+
+	mu    sync.Mutex // guards cache and alone
+	cache map[string]*flight[*sim.Result]
+	alone map[string]*flight[float64]
+
+	jobs  atomic.Int64 // log-prefix sequence for launched simulations
+	logMu sync.Mutex
 }
 
 // NewRunner builds a Runner.
@@ -52,13 +91,89 @@ func NewRunner(p Params) *Runner {
 	if p.Instrs <= 0 {
 		p.Instrs = DefaultParams().Instrs
 	}
-	return &Runner{p: p, cache: make(map[string]*sim.Result), alone: make(map[string]float64)}
+	par := p.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		p:        p,
+		parallel: par,
+		sem:      make(chan struct{}, par),
+		cache:    make(map[string]*flight[*sim.Result]),
+		alone:    make(map[string]*flight[float64]),
+	}
 }
 
+// Parallel reports the configured worker-pool width.
+func (r *Runner) Parallel() int { return r.parallel }
+
 func (r *Runner) logf(format string, args ...any) {
-	if r.p.Log != nil {
-		r.p.Log(fmt.Sprintf(format, args...))
+	if r.p.Log == nil {
+		return
 	}
+	msg := fmt.Sprintf(format, args...)
+	r.logMu.Lock()
+	defer r.logMu.Unlock()
+	r.p.Log(msg)
+}
+
+// logJob emits one progress line for a newly launched simulation with a
+// stable per-job sequence prefix, so interleaved parallel output stays
+// attributable.
+func (r *Runner) logJob(format string, args ...any) {
+	if r.p.Log == nil {
+		return
+	}
+	n := r.jobs.Add(1)
+	r.logf("[%3d] %s", n, fmt.Sprintf(format, args...))
+}
+
+// warm evaluates the given cache-warming thunks concurrently (bounded
+// by the worker semaphore inside Result/AloneIPC) and waits for all of
+// them. Errors are deliberately dropped here: the serial table-building
+// pass re-reads the same cache entries and reports the first failure in
+// deterministic order. With Parallel <= 1 it is a no-op — the serial
+// pass does all the work, exactly as before.
+func (r *Runner) warm(fns []func()) {
+	if r.parallel <= 1 || len(fns) < 2 {
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for _, fn := range fns {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(fn)
+	}
+	wg.Wait()
+}
+
+// warmNormWS pre-computes NormWS for every (system, mix) pair of the
+// grid in parallel — the expansion step of the figure DAG: each thunk
+// pulls in the shared run, the per-benchmark alone runs and the
+// baseline run through the singleflight caches.
+func (r *Runner) warmNormWS(systems []*config.System, frag float64) {
+	var fns []func()
+	for _, sys := range systems {
+		for _, mix := range r.Mixes() {
+			sys, mix := sys, mix
+			fns = append(fns, func() { _, _ = r.NormWS(sys, mix, frag) })
+		}
+	}
+	r.warm(fns)
+}
+
+// warmResults pre-computes raw Results for every (system, mix) pair.
+func (r *Runner) warmResults(systems []*config.System, frag float64) {
+	var fns []func()
+	for _, sys := range systems {
+		for _, mix := range r.Mixes() {
+			sys, mix := sys, mix
+			fns = append(fns, func() { _, _ = r.Result(sys, mix, frag) })
+		}
+	}
+	r.warm(fns)
 }
 
 // Mixes returns the configured workload mixes.
@@ -83,41 +198,60 @@ func sysKey(sys *config.System) string {
 }
 
 // Result runs (or recalls) one mix on one system at one fragmentation.
+// Concurrent callers with the same key share a single simulation.
 func (r *Runner) Result(sys *config.System, mix workload.Mix, frag float64) (*sim.Result, error) {
 	key := fmt.Sprintf("%s|%s|%.2f", sysKey(sys), mix.Name, frag)
-	if res, ok := r.cache[key]; ok {
-		return res, nil
+	r.mu.Lock()
+	if f, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		<-f.done
+		return f.val, f.err
 	}
-	r.logf("run %-34s %s frag=%.1f", sysKey(sys), mix.Name, frag)
-	res, err := sim.Run(sim.Options{
+	f := &flight[*sim.Result]{done: make(chan struct{})}
+	r.cache[key] = f
+	r.mu.Unlock()
+	defer close(f.done)
+
+	r.sem <- struct{}{}
+	defer func() { <-r.sem }()
+	r.logJob("run %-34s %s frag=%.1f", sysKey(sys), mix.Name, frag)
+	f.val, f.err = sim.Run(sim.Options{
 		Sys: sys, Benches: mix.Bench, Instrs: r.p.Instrs, Warmup: r.p.Warmup,
 		Frag: frag, Seed: r.p.Seed,
 	})
-	if err != nil {
-		return nil, err
-	}
-	r.cache[key] = res
-	return res, nil
+	return f.val, f.err
 }
 
 // AloneIPC measures a benchmark's IPC running alone on baseline DDR4 at
 // the given channel frequency and fragmentation (the weighted-speedup
-// denominator).
+// denominator). Concurrent callers with the same key share a single
+// simulation.
 func (r *Runner) AloneIPC(bench string, frag, busMHz float64) (float64, error) {
 	key := fmt.Sprintf("%s|%.2f|%.0f", bench, frag, busMHz)
-	if v, ok := r.alone[key]; ok {
-		return v, nil
+	r.mu.Lock()
+	if f, ok := r.alone[key]; ok {
+		r.mu.Unlock()
+		<-f.done
+		return f.val, f.err
 	}
-	r.logf("alone %-12s frag=%.1f bus=%.0f", bench, frag, busMHz)
+	f := &flight[float64]{done: make(chan struct{})}
+	r.alone[key] = f
+	r.mu.Unlock()
+	defer close(f.done)
+
+	r.sem <- struct{}{}
+	defer func() { <-r.sem }()
+	r.logJob("alone %-12s frag=%.1f bus=%.0f", bench, frag, busMHz)
 	res, err := sim.Run(sim.Options{
 		Sys: config.Baseline(busMHz), Benches: []string{bench},
 		Instrs: r.p.Instrs, Warmup: r.p.Warmup, Frag: frag, Seed: r.p.Seed,
 	})
 	if err != nil {
+		f.err = err
 		return 0, err
 	}
-	r.alone[key] = res.IPC[0]
-	return res.IPC[0], nil
+	f.val = res.IPC[0]
+	return f.val, nil
 }
 
 // WS computes the weighted speedup of one mix on one system.
@@ -154,6 +288,7 @@ func (r *Runner) NormWS(sys *config.System, mix workload.Mix, frag float64) (flo
 // GMeanNormWS is the geometric mean of NormWS across the configured
 // mixes — the GMEAN bars of Figs. 12-15.
 func (r *Runner) GMeanNormWS(sys *config.System, frag float64) (float64, error) {
+	r.warmNormWS([]*config.System{sys}, frag)
 	var vals []float64
 	for _, mix := range r.Mixes() {
 		v, err := r.NormWS(sys, mix, frag)

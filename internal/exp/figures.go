@@ -12,6 +12,7 @@ import (
 // at the given fragmentation level (the paper plots 10% and 50%).
 func (r *Runner) Fig12(frag float64) (*Table, error) {
 	systems := config.Fig12Systems()
+	r.warmNormWS(systems, frag)
 	t := &Table{
 		Title:  fmt.Sprintf("Fig. 12: normalized weighted speedup over DDR4 (FMFI %.0f%%)", frag*100),
 		Header: []string{"mix"},
@@ -56,9 +57,19 @@ func fig13Systems(planes int) []*config.System {
 
 var fig13PlaneCounts = []int{2, 4, 8, 16}
 
+// fig13Grid flattens the full Fig. 13 sweep for parallel warming.
+func fig13Grid() []*config.System {
+	var out []*config.System
+	for _, planes := range fig13PlaneCounts {
+		out = append(out, fig13Systems(planes)...)
+	}
+	return out
+}
+
 // Fig13a reproduces the plane-count sensitivity of weighted speedup at
 // one fragmentation level.
 func (r *Runner) Fig13a(frag float64) (*Table, error) {
+	r.warmNormWS(append(fig13Grid(), config.Ideal32(config.DefaultBusMHz)), frag)
 	t := &Table{
 		Title:  fmt.Sprintf("Fig. 13a: plane-count sensitivity, GMEAN normalized WS (FMFI %.0f%%, all +DDB)", frag*100),
 		Header: []string{"planes", "VSB(naive)", "VSB(EWLR)", "VSB(RAP)", "VSB(EWLR+RAP)"},
@@ -88,6 +99,7 @@ func (r *Runner) Fig13a(frag float64) (*Table, error) {
 // Fig13b reproduces the fraction of precharges caused by plane
 // conflicts over the same grid.
 func (r *Runner) Fig13b(frag float64) (*Table, error) {
+	r.warmResults(fig13Grid(), frag)
 	t := &Table{
 		Title:  fmt.Sprintf("Fig. 13b: precharges from plane conflicts (FMFI %.0f%%, all +DDB)", frag*100),
 		Header: []string{"planes", "VSB(naive)", "VSB(EWLR)", "VSB(RAP)", "VSB(EWLR+RAP)"},
@@ -116,17 +128,26 @@ func (r *Runner) Fig13b(frag float64) (*Table, error) {
 // VSB(EWLR+RAP) with the bank-group bus vs. DDB, plus the 32-bank
 // references, normalized to DDR4 at each frequency.
 func (r *Runner) Fig14(frag float64) (*Table, error) {
-	t := &Table{
-		Title:  fmt.Sprintf("Fig. 14: DDB speedup vs channel frequency (FMFI %.0f%%)", frag*100),
-		Header: []string{"busMHz", "VSB(EWLR+RAP)+BG", "VSB(EWLR+RAP)+DDB", "BG32", "Ideal32"},
-	}
-	for _, mhz := range config.Fig14Frequencies() {
-		systems := []*config.System{
+	fig14Systems := func(mhz float64) []*config.System {
+		return []*config.System{
 			config.VSB(4, true, true, false, mhz),
 			config.VSB(4, true, true, true, mhz),
 			config.BG32(mhz),
 			config.Ideal32(mhz),
 		}
+	}
+	var grid []*config.System
+	for _, mhz := range config.Fig14Frequencies() {
+		grid = append(grid, fig14Systems(mhz)...)
+	}
+	r.warmNormWS(grid, frag)
+
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 14: DDB speedup vs channel frequency (FMFI %.0f%%)", frag*100),
+		Header: []string{"busMHz", "VSB(EWLR+RAP)+BG", "VSB(EWLR+RAP)+DDB", "BG32", "Ideal32"},
+	}
+	for _, mhz := range config.Fig14Frequencies() {
+		systems := fig14Systems(mhz)
 		row := []string{fmt.Sprintf("%.0f", mhz)}
 		for _, sys := range systems {
 			v, err := r.GMeanNormWS(sys, frag)
@@ -145,6 +166,7 @@ func (r *Runner) Fig14(frag float64) (*Table, error) {
 
 // Fig15 reproduces the prior-work comparison (GMEAN normalized WS).
 func (r *Runner) Fig15(frag float64) (*Table, error) {
+	r.warmNormWS(config.Fig15Systems(), frag)
 	t := &Table{
 		Title:  fmt.Sprintf("Fig. 15: comparison to prior sub-banking schemes (FMFI %.0f%%)", frag*100),
 		Header: []string{"system", "norm WS", "area overhead"},
@@ -174,6 +196,7 @@ func (r *Runner) Fig16a(frag float64) (*Table, error) {
 		config.VSB(4, true, true, true, config.DefaultBusMHz),
 		config.Ideal32(config.DefaultBusMHz),
 	}
+	r.warmResults(systems, frag)
 	t := &Table{
 		Title:  fmt.Sprintf("Fig. 16a: read queueing latency, ns (FMFI %.0f%%)", frag*100),
 		Header: []string{"system", "mean", "q1", "median", "q3"},
@@ -203,6 +226,7 @@ func (r *Runner) Fig16b(frag float64) (*Table, error) {
 		config.VSB(4, true, true, true, config.DefaultBusMHz),
 		config.Ideal32(config.DefaultBusMHz),
 	}
+	r.warmResults(append([]*config.System{base}, systems...), frag)
 	type tot struct{ bg, act, all float64 }
 	sum := func(sys *config.System) (tot, error) {
 		var s tot

@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// parallelParams builds a scaled-down sweep big enough to exercise the
+// worker pool and the singleflight dedup paths.
+func parallelParams(parallel int) Params {
+	return Params{Instrs: 6_000, Seed: 7, Mixes: []string{"mix0", "mix6"}, Parallel: parallel}
+}
+
+// TestParallelEquivalence is the tentpole guarantee: every table is
+// byte-identical whether the sweep runs on one worker or eight.
+func TestParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	type figure struct {
+		name string
+		run  func(*Runner) (*Table, error)
+	}
+	figures := []figure{
+		{"fig12", func(r *Runner) (*Table, error) { return r.Fig12(0.1) }},
+		{"fig13a", func(r *Runner) (*Table, error) { return r.Fig13a(0.1) }},
+		{"fig13b", func(r *Runner) (*Table, error) { return r.Fig13b(0.1) }},
+	}
+	render := func(parallel int) map[string]string {
+		r := NewRunner(parallelParams(parallel))
+		if got := r.Parallel(); got != parallel {
+			t.Fatalf("Parallel() = %d, want %d", got, parallel)
+		}
+		out := make(map[string]string)
+		for _, f := range figures {
+			tbl, err := f.run(r)
+			if err != nil {
+				t.Fatalf("parallel=%d %s: %v", parallel, f.name, err)
+			}
+			out[f.name] = tbl.Format()
+		}
+		return out
+	}
+	seq := render(1)
+	par := render(8)
+	for _, f := range figures {
+		if seq[f.name] != par[f.name] {
+			t.Errorf("%s differs between -parallel 1 and 8:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				f.name, seq[f.name], par[f.name])
+		}
+	}
+}
+
+// TestParallelSingleflight hammers one key from many goroutines: the
+// simulation must run exactly once and everyone must see the same
+// *sim.Result pointer.
+func TestParallelSingleflight(t *testing.T) {
+	logged := 0
+	p := parallelParams(4)
+	p.Log = func(string) { logged++ } // serialized by the Runner
+	r := NewRunner(p)
+	sys := fig13Systems(4)[3]
+	mix := r.Mixes()[0]
+
+	const callers = 16
+	results := make([]any, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.Result(sys, mix, 0.1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	if logged != 1 {
+		t.Errorf("simulation launched %d times, want 1", logged)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Errorf("caller %d got a different result object", i)
+		}
+	}
+}
+
+// TestParallelLogPrefixes checks the thread-safe progress logging: every
+// launched-simulation line carries a job-sequence prefix and lines are
+// delivered one at a time.
+func TestParallelLogPrefixes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	var lines []string
+	p := parallelParams(8)
+	p.Log = func(s string) { lines = append(lines, s) } // serialized by the Runner
+	r := NewRunner(p)
+	if _, err := r.Fig12(0.1); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("no progress lines")
+	}
+	seen := make(map[string]bool)
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "[") {
+			t.Errorf("line without job prefix: %q", l)
+		}
+		if seen[l] {
+			t.Errorf("duplicate progress line (re-simulated?): %q", l)
+		}
+		seen[l] = true
+	}
+}

@@ -80,6 +80,13 @@ type Controller struct {
 
 	lastCloseScan clock.Cycle
 
+	// scanBound accumulates, during a Tick whose scans issued nothing,
+	// the minimum EarliestIssue over every policy-eligible candidate the
+	// scans evaluated. On quiescent cycles NextEventCycle reuses it
+	// instead of re-walking the queues, making the fast-forward bound
+	// almost free.
+	scanBound clock.Cycle
+
 	Stats Stats
 }
 
@@ -124,11 +131,14 @@ func (c *Controller) Pending() int { return len(c.readQ) + len(c.writeQ) }
 
 // Tick runs one bus cycle: refresh maintenance, then at most one DRAM
 // command chosen FR-FCFS with hits first, oldest first, reads prioritized
-// outside write-drain episodes.
-func (c *Controller) Tick(now clock.Cycle) {
+// outside write-drain episodes. It reports whether a command was issued
+// this cycle (the run loop uses this to detect quiescent windows it can
+// fast-forward).
+func (c *Controller) Tick(now clock.Cycle) bool {
 	c.Stats.Ticks++
 	c.Stats.ReadOccSum += uint64(len(c.readQ))
 	c.Stats.WriteOccSum += uint64(len(c.writeQ))
+	c.scanBound = farFuture
 	c.ch.MaintainRefresh(now)
 
 	// Write-drain hysteresis.
@@ -141,59 +151,162 @@ func (c *Controller) Tick(now clock.Cycle) {
 	}
 
 	// FR-FCFS serves row hits first; with the hit-first pass disabled
-	// the controller degrades to age-ordered FCFS (ablation knob).
+	// the controller degrades to age-ordered FCFS (ablation knob). Each
+	// queue is scanned once per cycle: tryQueue folds the hit-first and
+	// age-order passes into a single walk that evaluates NextStep and
+	// EarliestIssue once per candidate.
 	hf := !c.sys.Ctrl.HitFirstDisabled
 	if c.draining {
-		if (hf && c.tryQueue(now, c.writeQ, true, true)) || c.tryQueue(now, c.writeQ, true, false) ||
-			(hf && c.tryQueue(now, c.readQ, false, true)) {
-			return
+		if c.tryQueue(now, c.writeQ, true, true, hf) ||
+			c.tryQueue(now, c.readQ, false, false, hf) {
+			return true
 		}
 	} else {
-		if (hf && c.tryQueue(now, c.readQ, false, true)) || c.tryQueue(now, c.readQ, false, false) ||
-			(hf && c.tryQueue(now, c.writeQ, true, true)) {
-			return
-		}
-		if len(c.readQ) == 0 && c.tryQueue(now, c.writeQ, true, false) {
-			return
+		if c.tryQueue(now, c.readQ, false, true, hf) ||
+			c.tryQueue(now, c.writeQ, true, len(c.readQ) == 0, hf) {
+			return true
 		}
 	}
 
-	c.maybeClosePage(now)
+	return c.maybeClosePage(now)
 }
 
-// tryQueue scans up to ScanLimit transactions oldest-first and issues the
-// first issuable step. hitsOnly restricts the pass to transactions whose
-// row is already open (FR of FR-FCFS).
-func (c *Controller) tryQueue(now clock.Cycle, q []*Transaction, write, hitsOnly bool) bool {
+// NextEventCycle reports a lower bound (strictly after now) on the next
+// bus cycle at which this controller could act: the earliest legal
+// issue over the candidates the cycle's failed FR-FCFS scans evaluated
+// (scanBound — the scans mirror the policy exactly: unavailable ranks,
+// the starvation guard, and the read-priority / write-drain pass
+// structure, so on a cycle where Tick issued nothing the bound is
+// strictly in the future), the next refresh-state transition, or the
+// next close-page scan. Only valid immediately after a Tick that issued
+// nothing — precisely when the run loop consults it. The bound is
+// conservative (policy state can only become more restrictive inside a
+// quiescent window: starvation never ends while the head is stuck, rank
+// availability changes only via bounded refresh transitions, so
+// resuming early and finding nothing issuable is safe) but never later
+// than the controller's next actual command, which is what makes
+// fast-forwarded runs command-stream-identical to per-cycle runs.
+func (c *Controller) NextEventCycle(now clock.Cycle) clock.Cycle {
+	next := c.ch.NextRefreshEvent(now)
+	if c.scanBound < next {
+		next = c.scanBound
+	}
+	if e := c.nextClosePage(now); e < next {
+		next = e
+	}
+	if next <= now {
+		next = now + 1
+	}
+	return next
+}
+
+// FastForward accounts for the idle bus cycles in (now, target) that the
+// run loop is about to skip: it integrates the queue-occupancy stats the
+// skipped Ticks would have accumulated (queue contents are provably
+// unchanged across the window) and replays the close-page scan schedule
+// so future scans land on the same cycles as in a per-cycle run.
+func (c *Controller) FastForward(now, target clock.Cycle) {
+	d := uint64(target - now - 1)
+	c.Stats.Ticks += d
+	c.Stats.ReadOccSum += d * uint64(len(c.readQ))
+	c.Stats.WriteOccSum += d * uint64(len(c.writeQ))
+	if c.sys.Ctrl.ClosePageIdleCK != 0 {
+		// In a quiescent window maybeClosePage runs every cycle, scanning
+		// (and re-arming lastCloseScan) every 64 cycles: scans land on
+		// s0, s0+64, ... with s0 = max(now+1, lastCloseScan+64).
+		s0 := c.lastCloseScan + 64
+		if s0 < now+1 {
+			s0 = now + 1
+		}
+		if s0 <= target-1 {
+			c.lastCloseScan = s0 + (target-1-s0)/64*64
+		}
+	}
+}
+
+// nextClosePage reports the next cycle at which the close-page timeout
+// could act: the next 64-cycle scan-grid cycle, provided the channel
+// has any open row to consider. The run loop resumes there and lets
+// maybeClosePage decide for real — deliberately cheap (O(ranks)) so the
+// bound can be computed on every quiescent cycle, at the cost of
+// capping individual skips at one scan period.
+func (c *Controller) nextClosePage(now clock.Cycle) clock.Cycle {
+	if c.sys.Ctrl.ClosePageIdleCK == 0 || !c.ch.AnyOpenRows() {
+		return farFuture
+	}
+	s := c.lastCloseScan + 64
+	if s <= now {
+		s = now + 1
+	}
+	return s
+}
+
+// farFuture mirrors dram's "no event" sentinel.
+const farFuture = clock.Cycle(1) << 60
+
+// tryQueue scans up to ScanLimit transactions oldest-first and issues
+// one step, folding FR-FCFS's two passes into a single walk: the first
+// issuable row hit wins (when preferHits); otherwise the first issuable
+// transaction of any kind is taken, but only when the age-order pass
+// applies to this queue (allowAll). With preferHits off the scan
+// degrades to pure age order and stops at the first issuable candidate.
+func (c *Controller) tryQueue(now clock.Cycle, q []*Transaction, write, allowAll, preferHits bool) bool {
+	if !allowAll && !preferHits {
+		return false
+	}
 	limit := c.sys.Ctrl.ScanLimit
 	if limit > len(q) {
 		limit = len(q)
 	}
+	if limit == 0 {
+		return false
+	}
 	// Starvation guard: once the queue head has waited too long, only it
 	// (and row hits that cost nothing) may issue preparatory commands.
-	starved := limit > 0 && now-q[0].Arrive > c.starveCK
+	starved := now-q[0].Arrive > c.starveCK
+	first := -1
+	var firstStep dram.Step
 	for i := 0; i < limit; i++ {
 		t := q[i]
 		if !c.ch.Available(t.Loc.Rank, now) {
 			continue
 		}
 		step := c.ch.NextStep(t.target(), t.Write)
-		if hitsOnly && !step.Hit {
+		if !step.Hit {
+			if !allowAll || (starved && i > 0) || first >= 0 {
+				continue
+			}
+		}
+		if e := c.ch.EarliestIssue(step.Cmd); e > now {
+			if e < c.scanBound {
+				c.scanBound = e
+			}
 			continue
 		}
-		if starved && i > 0 && !step.Hit {
-			continue
+		if step.Hit && preferHits {
+			// First issuable row hit: exactly what the hit-first pass
+			// would have picked.
+			c.ch.Issue(step.Cmd, now)
+			if step.Column {
+				c.complete(t, now, q, i, write)
+			}
+			return true
 		}
-		if c.ch.EarliestIssue(step.Cmd) > now {
-			continue
+		if first < 0 {
+			first, firstStep = i, step
+			if !preferHits {
+				break // pure age order: the first issuable wins
+			}
 		}
-		c.ch.Issue(step.Cmd, now)
-		if step.Column {
-			c.complete(t, now, q, i, write)
-		}
-		return true
 	}
-	return false
+	if first < 0 || !allowAll {
+		return false
+	}
+	c.ch.Issue(firstStep.Cmd, now)
+	if firstStep.Column {
+		c.complete(q[first], now, q, first, write)
+	}
+	return true
 }
 
 func (c *Controller) complete(t *Transaction, now clock.Cycle, q []*Transaction, idx int, write bool) {
@@ -215,11 +328,12 @@ func (c *Controller) complete(t *Transaction, now clock.Cycle, q []*Transaction,
 }
 
 // maybeClosePage implements the adaptive open-page timeout: periodically
-// precharge rows that have been idle with no queued requester.
-func (c *Controller) maybeClosePage(now clock.Cycle) {
+// precharge rows that have been idle with no queued requester. It
+// reports whether a precharge was issued.
+func (c *Controller) maybeClosePage(now clock.Cycle) bool {
 	idle := clock.Cycle(c.sys.Ctrl.ClosePageIdleCK)
 	if idle == 0 || now-c.lastCloseScan < 64 {
-		return
+		return false
 	}
 	c.lastCloseScan = now
 	var chosen *dram.Command
@@ -237,7 +351,9 @@ func (c *Controller) maybeClosePage(now clock.Cycle) {
 	})
 	if chosen != nil {
 		c.ch.Issue(*chosen, now)
+		return true
 	}
+	return false
 }
 
 // hasQueuedFor reports whether any queued transaction targets the open

@@ -31,8 +31,12 @@ const (
 type Memory struct {
 	frames uint32
 	free   [MaxOrder + 1][]uint32 // stacks of free block start frames
-	// inFree tracks which (start,order) blocks are free, for coalescing.
-	inFree     map[uint64]bool
+	// inFree tracks which (start,order) blocks are free, for coalescing:
+	// one bitset per order indexed by start>>order. Bitsets replace the
+	// map the allocator first shipped with — the fragmenter's mass
+	// free/coalesce cycles made map hashing the single hottest setup
+	// path of every simulation run.
+	inFree     [MaxOrder + 1][]uint64
 	freeFrames uint32
 	rng        *rand.Rand
 }
@@ -44,8 +48,10 @@ func NewMemory(totalBytes uint64, seed int64) *Memory {
 	blocks := uint32(totalBytes / HugeBytes)
 	m := &Memory{
 		frames: blocks << MaxOrder,
-		inFree: make(map[uint64]bool),
 		rng:    rand.New(rand.NewSource(seed)),
+	}
+	for o := 0; o <= MaxOrder; o++ {
+		m.inFree[o] = make([]uint64, (uint64(m.frames>>uint(o))+63)/64)
 	}
 	m.freeFrames = m.frames
 	// Push in descending address order so allocation proceeds from low
@@ -53,12 +59,25 @@ func NewMemory(totalBytes uint64, seed int64) *Memory {
 	for b := int(blocks) - 1; b >= 0; b-- {
 		start := uint32(b) << MaxOrder
 		m.free[MaxOrder] = append(m.free[MaxOrder], start)
-		m.inFree[key(start, MaxOrder)] = true
+		m.setFree(start, MaxOrder)
 	}
 	return m
 }
 
-func key(start uint32, order int) uint64 { return uint64(start)<<8 | uint64(order) }
+func (m *Memory) isFree(start uint32, order int) bool {
+	i := start >> uint(order)
+	return m.inFree[order][i>>6]&(1<<(i&63)) != 0
+}
+
+func (m *Memory) setFree(start uint32, order int) {
+	i := start >> uint(order)
+	m.inFree[order][i>>6] |= 1 << (i & 63)
+}
+
+func (m *Memory) clearFree(start uint32, order int) {
+	i := start >> uint(order)
+	m.inFree[order][i>>6] &^= 1 << (i & 63)
+}
 
 // FreeBytes reports the free physical memory.
 func (m *Memory) FreeBytes() uint64 { return uint64(m.freeFrames) * FrameBytes }
@@ -76,14 +95,14 @@ func (m *Memory) Alloc(order int) (start uint32, ok bool) {
 		}
 		blk := m.free[o][n-1]
 		m.free[o] = m.free[o][:n-1]
-		delete(m.inFree, key(blk, o))
+		m.clearFree(blk, o)
 		// Split down, pushing upper halves so the lower half is served
 		// first (keeps consecutive allocations contiguous).
 		for o > order {
 			o--
 			upper := blk + 1<<uint(o)
 			m.free[o] = append(m.free[o], upper)
-			m.inFree[key(upper, o)] = true
+			m.setFree(upper, o)
 		}
 		m.freeFrames -= 1 << uint(order)
 		return blk, true
@@ -99,11 +118,11 @@ func (m *Memory) Free(start uint32, order int) {
 	m.freeFrames += 1 << uint(order)
 	for order < MaxOrder {
 		buddy := start ^ 1<<uint(order)
-		if !m.inFree[key(buddy, order)] {
+		if !m.isFree(buddy, order) {
 			break
 		}
 		// Remove the buddy from its free list and merge.
-		delete(m.inFree, key(buddy, order))
+		m.clearFree(buddy, order)
 		m.removeFromList(buddy, order)
 		if buddy < start {
 			start = buddy
@@ -111,7 +130,7 @@ func (m *Memory) Free(start uint32, order int) {
 		order++
 	}
 	m.free[order] = append(m.free[order], start)
-	m.inFree[key(start, order)] = true
+	m.setFree(start, order)
 }
 
 func (m *Memory) removeFromList(start uint32, order int) {
@@ -154,7 +173,7 @@ func (m *Memory) Fragment(target float64) float64 {
 		blk := m.free[MaxOrder][idx]
 		m.free[MaxOrder][idx] = m.free[MaxOrder][n-1]
 		m.free[MaxOrder] = m.free[MaxOrder][:n-1]
-		delete(m.inFree, key(blk, MaxOrder))
+		m.clearFree(blk, MaxOrder)
 		victim := blk + uint32(m.rng.Intn(1<<MaxOrder))
 		// Re-free every frame except the victim; coalescing rebuilds the
 		// largest possible sub-blocks around it.

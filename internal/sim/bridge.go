@@ -31,8 +31,13 @@ type bridge struct {
 	ratio  int64
 	busNS  float64
 
-	// events defers completions to their data-return bus cycle.
-	events map[clock.Cycle][]func()
+	// events defers line-fill completions to their data-return bus
+	// cycle: a min-heap ordered by (cycle, insertion sequence) so that
+	// same-cycle fills fire in insertion order, exactly like the previous
+	// per-cycle slice map, while exposing an O(1) next-event bound for
+	// the fast-forwarding run loop.
+	events   []busEvent
+	eventSeq uint64
 
 	// mshr coalesces outstanding line fetches: line address -> waiting
 	// load completions.
@@ -41,6 +46,11 @@ type bridge struct {
 	// spill buffers dirty writebacks that did not fit in a write queue.
 	spill []uint64
 
+	// txnFree recycles controller transactions together with their
+	// pre-bound Done closures, eliminating the two per-transaction
+	// allocations on the DRAM path.
+	txnFree []*pooledTxn
+
 	capture func(trace.Record)
 
 	lineShift uint
@@ -48,6 +58,19 @@ type bridge struct {
 	// Per-core demand misses reaching DRAM (for MPKI).
 	misses          []uint64
 	stalledForSpill uint64
+}
+
+// busEvent is one deferred line fill.
+type busEvent struct {
+	at   clock.Cycle
+	seq  uint64
+	line uint64
+}
+
+// pooledTxn owns one recyclable controller transaction.
+type pooledTxn struct {
+	t    memctrl.Transaction
+	line uint64
 }
 
 const spillLimit = 64
@@ -66,7 +89,6 @@ func newBridge(sys *config.System, mapper *addrmap.Mapper, procs []*osmem.Proces
 		ctls:      ctls,
 		ratio:     int64(sys.CPU.ClockRatio),
 		busNS:     sys.Bus.PeriodNS(),
-		events:    make(map[clock.Cycle][]func()),
 		mshr:      make(map[uint64][]func()),
 		capture:   capture,
 		lineShift: ls,
@@ -123,6 +145,31 @@ func (b *bridge) Access(core int, va uint64, write bool, done func()) (accept, p
 	return true, !write, 0
 }
 
+// getTxn takes a transaction from the pool or allocates one with its
+// Done closure pre-bound.
+func (b *bridge) getTxn() *pooledTxn {
+	if n := len(b.txnFree); n > 0 {
+		pt := b.txnFree[n-1]
+		b.txnFree = b.txnFree[:n-1]
+		return pt
+	}
+	pt := &pooledTxn{}
+	pt.t.Done = func(dataAt clock.Cycle) { b.txnDone(pt, dataAt) }
+	return pt
+}
+
+// txnDone completes one pooled transaction: reads schedule their line
+// fill at the data-return cycle, then the record is recycled.
+func (b *bridge) txnDone(pt *pooledTxn, dataAt clock.Cycle) {
+	if !pt.t.Write {
+		if dataAt <= b.busNow {
+			dataAt = b.busNow + 1
+		}
+		b.pushEvent(dataAt, pt.line)
+	}
+	b.txnFree = append(b.txnFree, pt)
+}
+
 // enqueue submits a line transaction to its channel controller. The
 // caller has verified capacity for reads; writes come from the spill
 // buffer which retries.
@@ -130,17 +177,12 @@ func (b *bridge) enqueue(line uint64, write bool) {
 	pa := line << b.lineShift
 	loc := b.mapper.Map(pa)
 	ctl := b.ctls[loc.Channel]
-	t := &memctrl.Transaction{Write: write, Loc: loc, Arrive: b.busNow}
-	if !write {
-		ln := line
-		t.Done = func(dataAt clock.Cycle) {
-			if dataAt <= b.busNow {
-				dataAt = b.busNow + 1
-			}
-			b.events[dataAt] = append(b.events[dataAt], func() { b.fill(ln) })
-		}
-	}
-	ctl.Enqueue(t)
+	pt := b.getTxn()
+	pt.line = line
+	pt.t.Write = write
+	pt.t.Loc = loc
+	pt.t.Arrive = b.busNow
+	ctl.Enqueue(&pt.t)
 	if b.capture != nil {
 		b.capture(trace.Record{NS: float64(b.busNow) * b.busNS, PA: pa, Write: write})
 	}
@@ -155,25 +197,88 @@ func (b *bridge) fill(line uint64) {
 	}
 }
 
-// drainSpill pushes buffered writebacks into their write queues.
-func (b *bridge) drainSpill() {
+// drainSpill pushes buffered writebacks into their write queues,
+// reporting how many it moved.
+func (b *bridge) drainSpill() int {
+	moved := 0
 	kept := b.spill[:0]
 	for _, wb := range b.spill {
 		if b.ctlFor(wb).CanAccept(true) {
 			b.enqueue(wb, true)
+			moved++
 		} else {
 			kept = append(kept, wb)
 		}
 	}
 	b.spill = kept
+	return moved
 }
 
-// fireEvents runs completions scheduled for the current bus cycle.
-func (b *bridge) fireEvents() {
-	if fs, ok := b.events[b.busNow]; ok {
-		delete(b.events, b.busNow)
-		for _, f := range fs {
-			f()
+// pushEvent schedules a line fill; same-cycle fills preserve insertion
+// order via the sequence number.
+func (b *bridge) pushEvent(at clock.Cycle, line uint64) {
+	b.eventSeq++
+	b.events = append(b.events, busEvent{at: at, seq: b.eventSeq, line: line})
+	// Sift up.
+	i := len(b.events) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(b.events[i], b.events[p]) {
+			break
 		}
+		b.events[i], b.events[p] = b.events[p], b.events[i]
+		i = p
 	}
+}
+
+func eventLess(a, c busEvent) bool {
+	if a.at != c.at {
+		return a.at < c.at
+	}
+	return a.seq < c.seq
+}
+
+// popEvent removes and returns the earliest event's line.
+func (b *bridge) popEvent() uint64 {
+	top := b.events[0]
+	last := len(b.events) - 1
+	b.events[0] = b.events[last]
+	b.events = b.events[:last]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < len(b.events) && eventLess(b.events[l], b.events[s]) {
+			s = l
+		}
+		if r < len(b.events) && eventLess(b.events[r], b.events[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		b.events[i], b.events[s] = b.events[s], b.events[i]
+		i = s
+	}
+	return top.line
+}
+
+// nextEventAt reports the earliest scheduled fill cycle, if any.
+func (b *bridge) nextEventAt() (clock.Cycle, bool) {
+	if len(b.events) == 0 {
+		return 0, false
+	}
+	return b.events[0].at, true
+}
+
+// fireEvents runs completions scheduled for the current bus cycle,
+// reporting how many fired.
+func (b *bridge) fireEvents() int {
+	n := 0
+	for len(b.events) > 0 && b.events[0].at <= b.busNow {
+		b.fill(b.popEvent())
+		n++
+	}
+	return n
 }

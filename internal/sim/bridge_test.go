@@ -121,7 +121,11 @@ func TestSpillBackpressure(t *testing.T) {
 func TestEventFiring(t *testing.T) {
 	br, _ := testBridge(t)
 	fired := 0
-	br.events[5] = append(br.events[5], func() { fired++ })
+	br.mshr[0x42] = append(br.mshr[0x42], func() { fired++ })
+	br.pushEvent(5, 0x42)
+	if at, ok := br.nextEventAt(); !ok || at != 5 {
+		t.Fatalf("nextEventAt = %d,%v, want 5,true", at, ok)
+	}
 	for br.busNow = 0; br.busNow < 10; br.busNow++ {
 		br.fireEvents()
 	}
@@ -129,6 +133,26 @@ func TestEventFiring(t *testing.T) {
 		t.Errorf("event fired %d times", fired)
 	}
 	if len(br.events) != 0 {
-		t.Error("event map not drained")
+		t.Error("event heap not drained")
+	}
+}
+
+// Same-cycle events fire in insertion order and the heap orders across
+// cycles.
+func TestEventOrdering(t *testing.T) {
+	br, _ := testBridge(t)
+	var order []uint64
+	for _, ln := range []uint64{10, 11, 12} {
+		l := ln
+		br.mshr[l] = append(br.mshr[l], func() { order = append(order, l) })
+	}
+	br.pushEvent(7, 11)
+	br.pushEvent(3, 10)
+	br.pushEvent(7, 12)
+	for br.busNow = 0; br.busNow < 10; br.busNow++ {
+		br.fireEvents()
+	}
+	if len(order) != 3 || order[0] != 10 || order[1] != 11 || order[2] != 12 {
+		t.Errorf("fill order = %v, want [10 11 12]", order)
 	}
 }

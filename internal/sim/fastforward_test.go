@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"testing"
+
+	"eruca/internal/config"
+)
+
+// ffOptions builds one audited run configuration.
+func ffOptions(sys *config.System, benches []string, noFF bool) Options {
+	return Options{
+		Sys: sys, Benches: benches, Instrs: 30_000, Frag: 0.1, Seed: 7,
+		Audit: true, NoFastForward: noFF,
+	}
+}
+
+// compareRuns asserts that a fast-forwarding run is indistinguishable
+// from the per-cycle run: identical audited command stream (same
+// commands at the same cycles on every channel) and identical results.
+func compareRuns(t *testing.T, sys func() *config.System, benches []string) {
+	t.Helper()
+	plain, err := Run(ffOptions(sys(), benches, true))
+	if err != nil {
+		t.Fatalf("per-cycle run: %v", err)
+	}
+	fast, err := Run(ffOptions(sys(), benches, false))
+	if err != nil {
+		t.Fatalf("fast-forward run: %v", err)
+	}
+
+	if len(plain.AuditCommands) != len(fast.AuditCommands) {
+		t.Fatalf("channel count differs: %d vs %d", len(plain.AuditCommands), len(fast.AuditCommands))
+	}
+	for ch := range plain.AuditCommands {
+		p, f := plain.AuditCommands[ch], fast.AuditCommands[ch]
+		if len(p) != len(f) {
+			t.Fatalf("channel %d: command count differs: per-cycle %d vs fast-forward %d", ch, len(p), len(f))
+		}
+		for i := range p {
+			if p[i] != f[i] {
+				t.Fatalf("channel %d: command %d differs:\nper-cycle:    %+v at %d\nfast-forward: %+v at %d",
+					ch, i, p[i].Cmd, p[i].At, f[i].Cmd, f[i].At)
+			}
+		}
+	}
+
+	if plain.BusCycles != fast.BusCycles {
+		t.Errorf("BusCycles differ: %d vs %d", plain.BusCycles, fast.BusCycles)
+	}
+	for i := range plain.IPC {
+		if plain.IPC[i] != fast.IPC[i] {
+			t.Errorf("core %d IPC differs: %v vs %v", i, plain.IPC[i], fast.IPC[i])
+		}
+		if plain.MPKI[i] != fast.MPKI[i] {
+			t.Errorf("core %d MPKI differs: %v vs %v", i, plain.MPKI[i], fast.MPKI[i])
+		}
+	}
+	if plain.DRAM != fast.DRAM {
+		t.Errorf("DRAM stats differ:\nper-cycle:    %+v\nfast-forward: %+v", plain.DRAM, fast.DRAM)
+	}
+	if plain.Energy != fast.Energy {
+		t.Errorf("energy differs:\nper-cycle:    %+v\nfast-forward: %+v", plain.Energy, fast.Energy)
+	}
+	if plain.AvgReadQueueDepth != fast.AvgReadQueueDepth {
+		t.Errorf("read-queue depth differs: %v vs %v", plain.AvgReadQueueDepth, fast.AvgReadQueueDepth)
+	}
+	if plain.AvgWriteQueueDepth != fast.AvgWriteQueueDepth {
+		t.Errorf("write-queue depth differs: %v vs %v", plain.AvgWriteQueueDepth, fast.AvgWriteQueueDepth)
+	}
+	if plain.QueueLat.N() != fast.QueueLat.N() || plain.QueueLat.Mean() != fast.QueueLat.Mean() {
+		t.Errorf("queue-latency distribution differs: n=%d mean=%v vs n=%d mean=%v",
+			plain.QueueLat.N(), plain.QueueLat.Mean(), fast.QueueLat.N(), fast.QueueLat.Mean())
+	}
+}
+
+// TestFastForwardEquivalenceBaseline checks the baseline DDR4 preset
+// under a single-core high-MPKI load (long all-blocked windows, the case
+// the fast-forward is built for).
+func TestFastForwardEquivalenceBaseline(t *testing.T) {
+	compareRuns(t, func() *config.System { return config.Baseline(config.DefaultBusMHz) },
+		[]string{"mcf"})
+}
+
+// TestFastForwardEquivalenceMix checks a four-core mix on the full ERUCA
+// configuration (VSB EWLR+RAP with DDB), where refresh, plane conflicts
+// and close-page timeouts all interleave with skips.
+func TestFastForwardEquivalenceMix(t *testing.T) {
+	compareRuns(t, func() *config.System { return config.VSB(4, true, true, true, config.DefaultBusMHz) },
+		[]string{"mcf", "lbm", "omnetpp", "gemsFDTD"})
+}
+
+// TestFastForwardEquivalenceMASA covers the stacked MASA+ERUCA variant
+// whose slot planes take a different NextStep path.
+func TestFastForwardEquivalenceMASA(t *testing.T) {
+	compareRuns(t, func() *config.System { return config.MASAERUCA(4, 4, true, config.DefaultBusMHz) },
+		[]string{"lbm", "milc"})
+}

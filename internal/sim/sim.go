@@ -40,8 +40,14 @@ type Options struct {
 	// MaxBusCycles caps the run as a deadlock guard (0 = automatic).
 	MaxBusCycles int64
 	// Audit attaches an independent protocol checker to every channel;
-	// detected violations are returned as an error.
+	// detected violations are returned as an error and the audited
+	// command streams are exposed through Result.AuditCommands.
 	Audit bool
+	// NoFastForward disables the event-driven cycle skipping and runs
+	// the plain per-cycle loop. Both modes produce identical results and
+	// identical DRAM command streams; the flag exists for equivalence
+	// tests and debugging.
+	NoFastForward bool
 }
 
 // Result is the outcome of one run.
@@ -70,6 +76,11 @@ type Result struct {
 	// queue occupancies across channels.
 	AvgReadQueueDepth  float64
 	AvgWriteQueueDepth float64
+
+	// AuditCommands holds, per channel, the full audited command stream
+	// (command + issue cycle) when Options.Audit was set. Equivalence
+	// tests compare it across fast-forwarding and per-cycle runs.
+	AuditCommands [][]dram.AuditedCommand
 }
 
 // PlaneConflictPreFrac reports the fraction of precharges triggered by
@@ -158,12 +169,14 @@ func Run(opt Options) (*Result, error) {
 	var bus, busAtWarm clock.Cycle
 	cpuCycle := int64(0)
 	warmed := warmup == 0
+	ratio := int64(sys.CPU.ClockRatio)
+	prevProg := int64(-1)
 	for bus = 0; ; bus++ {
 		if bus > maxBus {
 			return nil, fmt.Errorf("sim: %s did not finish within %d bus cycles", sys.Name, maxBus)
 		}
 		br.busNow = bus
-		br.fireEvents()
+		fired := br.fireEvents()
 		for r := 0; r < sys.CPU.ClockRatio; r++ {
 			cpuCycle++
 			br.cpuNow = cpuCycle
@@ -171,10 +184,13 @@ func Run(opt Options) (*Result, error) {
 				c.Tick(cpuCycle)
 			}
 		}
+		issued := false
 		for _, ctl := range ctls {
-			ctl.Tick(bus)
+			if ctl.Tick(bus) {
+				issued = true
+			}
 		}
-		br.drainSpill()
+		drained := br.drainSpill()
 
 		if !warmed {
 			warmed = true
@@ -196,19 +212,78 @@ func Run(opt Options) (*Result, error) {
 					br.misses[i] = 0
 				}
 			}
-			continue
-		}
-
-		done := true
-		for _, c := range cores {
-			if !c.Done() {
-				done = false
+		} else {
+			done := true
+			for _, c := range cores {
+				if !c.Done() {
+					done = false
+					break
+				}
+			}
+			if done {
 				break
 			}
 		}
-		if done {
-			break
+
+		if opt.NoFastForward {
+			continue
 		}
+
+		// Quiescence check: nothing happened this bus cycle — no line
+		// fill fired, no controller command (refresh transitions are
+		// bounded separately below), no writeback moved, and no core made
+		// architectural progress. The whole system state is then frozen:
+		// cores retry the exact same blocked Access (acceptance depends
+		// only on queue/spill occupancy, which only controller issues and
+		// spill drains can change), so every subsequent cycle is
+		// identical until the earliest scheduled event.
+		curProg := int64(0)
+		for _, c := range cores {
+			curProg += c.Progress()
+		}
+		quiet := fired == 0 && !issued && drained == 0 && curProg == prevProg
+		prevProg = curProg
+		if !quiet {
+			continue
+		}
+
+		// Conservative lower bound on the next cycle anything can happen:
+		// the earliest pending line-fill event, each controller's next
+		// possible action (legal issue, refresh transition, close-page
+		// scan), and each core's self-driven progress opportunity
+		// (already-known read completion), converted CPU->bus. Resuming
+		// early is safe — the loop just finds another quiet cycle.
+		next := maxBus + 1
+		if at, ok := br.nextEventAt(); ok && at < next {
+			next = at
+		}
+		for _, ctl := range ctls {
+			if e := ctl.NextEventCycle(bus); e < next {
+				next = e
+			}
+		}
+		for _, c := range cores {
+			// CPU cycle e is processed during bus cycle (e-1)/ratio.
+			if eb := clock.Cycle((c.NextEventCycle(cpuCycle) - 1) / ratio); eb < next {
+				next = eb
+			}
+		}
+		if next <= bus+1 {
+			continue
+		}
+
+		// Jump: account the skipped controller ticks (occupancy stats,
+		// close-page scan grid) and core stall cycles, then land so the
+		// loop increment resumes exactly at the event cycle.
+		for _, ctl := range ctls {
+			ctl.FastForward(bus, next)
+		}
+		skipped := int64(next-bus-1) * ratio
+		for _, c := range cores {
+			c.FastForward(skipped)
+		}
+		cpuCycle += skipped
+		bus = next - 1
 	}
 
 	res := &Result{
@@ -249,6 +324,7 @@ func Run(opt Options) (*Result, error) {
 			return nil, fmt.Errorf("sim: %s: channel %d protocol violations (%d commands audited): %v",
 				sys.Name, i, a.Commands(), v[0])
 		}
+		res.AuditCommands = append(res.AuditCommands, a.Events())
 	}
 
 	var mappedHuge, mapped uint64

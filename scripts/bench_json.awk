@@ -1,0 +1,18 @@
+# Converts `go test -bench` output lines into a JSON array of
+# {name, iters, metrics:{unit: value}} records, one per benchmark line.
+# Used by `make bench-baseline` to snapshot BenchmarkSimThroughput
+# numbers into BENCH_baseline.json.
+BEGIN { print "["; n = 0 }
+/^Benchmark/ {
+	if (n++) printf ",\n"
+	printf "  {\"name\": \"%s\", \"iters\": %s, \"metrics\": {", $1, $2
+	sep = ""
+	for (i = 3; i < NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/\//, "_per_", unit)
+		printf "%s\"%s\": %s", sep, unit, $i
+		sep = ", "
+	}
+	printf "}}"
+}
+END { print "\n]" }
