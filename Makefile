@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify bench bench-baseline clean
+.PHONY: build vet test race chaos fuzz-smoke verify bench bench-baseline clean
 
 build:
 	$(GO) build ./...
@@ -12,13 +12,25 @@ test:
 	$(GO) test ./...
 
 # Short -race smoke of the concurrency-sensitive paths: the parallel
-# experiment engine and the fast-forward/per-cycle equivalence.
+# experiment engine, the fast-forward/per-cycle equivalence, and the
+# chaos harness (fault injection + checker + watchdog under -race).
 race:
-	$(GO) test -race -count=1 -run 'Parallel' ./internal/exp/
-	$(GO) test -race -count=1 -run 'FastForward' ./internal/sim/
+	$(GO) test -race -count=1 -run 'Parallel|Sweep|LogMode' ./internal/exp/
+	$(GO) test -race -count=1 -run 'FastForward|Chaos' ./internal/sim/
 
-# verify is the tier-1 gate plus the race smoke.
-verify: vet build test race
+# Full chaos-harness pass: every seeded fault kind must be caught by the
+# protocol checker or the watchdog, and benign perturbations must stay
+# protocol-legal.
+chaos:
+	$(GO) test -count=1 -v -run 'Chaos|RunOOM' ./internal/sim/
+
+# Short fuzz of the fault-plan parser (corpus under
+# internal/faults/testdata/fuzz/ keeps regressions pinned).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzFaultPlan' -fuzztime 10s ./internal/faults/
+
+# verify is the tier-1 gate plus the race and chaos smokes.
+verify: vet build test race chaos
 
 # Scaled-down figure + ablation + micro benchmarks.
 bench:

@@ -251,7 +251,7 @@ func BenchmarkPlaneDecide(b *testing.B) {
 }
 
 func BenchmarkCacheAccess(b *testing.B) {
-	h := cache.New(cache.Config{
+	h := cache.MustNew(cache.Config{
 		Cores: 4, L1Bytes: 32 << 10, L1Ways: 8,
 		LLCBytes: 4 << 20, LLCWays: 16, LineBytes: 64,
 	})

@@ -19,6 +19,8 @@ import (
 	"strings"
 	"time"
 
+	"eruca/internal/check"
+	"eruca/internal/cli"
 	"eruca/internal/exp"
 )
 
@@ -42,7 +44,15 @@ func run() int {
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
+	var rb cli.Robust
+	rb.Register()
 	flag.Parse()
+
+	copts, wd, plan, err := rb.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "erucabench:", err)
+		return cli.ExitUsage
+	}
 
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
@@ -73,7 +83,11 @@ func run() int {
 		}
 	}()
 
-	p := exp.Params{Instrs: *instrs, Warmup: *warmup, Seed: *seed, Parallel: *parallel}
+	p := exp.Params{Instrs: *instrs, Warmup: *warmup, Seed: *seed, Parallel: *parallel,
+		Watchdog: wd, Faults: plan}
+	if copts != nil {
+		p.Check = copts.Mode
+	}
 	if *mixes != "" {
 		p.Mixes = strings.Split(*mixes, ",")
 	}
@@ -122,22 +136,47 @@ func run() int {
 		}
 	}
 
+	// Experiments run to completion even when jobs fail: a *exp.SweepError
+	// still carries an annotated table (ERR cells), so it prints, the
+	// remaining experiments still run, and the process exits non-zero with
+	// the first failure's classified code.
+	exit := cli.ExitOK
+	var firstErr error
 	for _, e := range selected {
 		start := time.Now()
 		t, err := e.run()
+		if t != nil {
+			fmt.Println(t.Format())
+			if *chart {
+				if c := t.Chart(); c != "" {
+					fmt.Println(c)
+				}
+			}
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "erucabench: %s: %v\n", e.name, err)
-			return 1
-		}
-		fmt.Println(t.Format())
-		if *chart {
-			if c := t.Chart(); c != "" {
-				fmt.Println(c)
+			if firstErr == nil {
+				firstErr = err
+				exit = cli.ExitCode(err)
 			}
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "  [%s took %.1fs]\n", e.name, time.Since(start).Seconds())
 		}
 	}
-	return 0
+	// Log-mode checker feed: every violation recorded across the cached
+	// results, for the run log and the crash dump.
+	if lines := r.Protocol(); len(lines) > 0 {
+		fmt.Fprintf(os.Stderr, "erucabench: %d protocol violation(s) logged:\n", len(lines))
+		for _, l := range lines {
+			fmt.Fprintln(os.Stderr, "  "+l)
+		}
+		if firstErr == nil && p.Check == check.Fail {
+			exit = cli.ExitProtocol
+		}
+	}
+	if firstErr != nil {
+		cli.WriteCrashDump(rb.CrashDump, firstErr, nil)
+	}
+	return exit
 }

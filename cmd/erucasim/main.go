@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"strings"
 
+	"eruca/internal/cli"
 	"eruca/internal/config"
 	"eruca/internal/sim"
 	"eruca/internal/workload"
@@ -38,7 +39,15 @@ func main() {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations for multi-system runs")
 		list     = flag.Bool("list", false, "list systems, benchmarks and mixes")
 	)
+	var rb cli.Robust
+	rb.Register()
 	flag.Parse()
+
+	copts, wd, plan, err := rb.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "erucasim:", err)
+		os.Exit(cli.ExitUsage)
+	}
 
 	if *list {
 		fmt.Println("systems:   ", strings.Join(config.RegistryNames(), " "))
@@ -94,6 +103,7 @@ func main() {
 			defer func() { <-sem }()
 			res, err := sim.Run(sim.Options{
 				Sys: sys, Benches: benches, Instrs: *instrs, Frag: *frag, Seed: *seed,
+				Check: copts, Watchdog: wd, Faults: plan,
 			})
 			outcomes[i] = outcome{res, err}
 			done <- i
@@ -104,19 +114,27 @@ func main() {
 	}
 
 	for i, sys := range systems {
-		if outcomes[i].err != nil {
-			fatal(outcomes[i].err)
-		}
 		if i > 0 {
 			fmt.Println()
 		}
-		report(sys, benches, outcomes[i].res)
+		if outcomes[i].res != nil {
+			report(sys, benches, outcomes[i].res)
+		}
+		if outcomes[i].err != nil {
+			// A failed run still reports its partial stats above; the
+			// first failure ends the process with a classified exit
+			// code and, with -crashdump, the full diagnostic payload.
+			rb.Exit("erucasim", outcomes[i].err, outcomes[i].res)
+		}
 	}
 }
 
 func report(sys *config.System, benches []string, res *sim.Result) {
 	fmt.Printf("system        %s (bus %.0fMHz, %d effective banks/rank)\n",
 		sys.Name, sys.Bus.FreqMHz(), sys.EffectiveBanksPerRank())
+	if res.Partial {
+		fmt.Printf("NOTE          run ended early; statistics below are partial\n")
+	}
 	fmt.Printf("workloads     %s (FMFI %.2f, huge coverage %.0f%%)\n",
 		strings.Join(benches, ","), res.AchievedFMFI, res.HugeCoverage*100)
 	fmt.Printf("bus cycles    %d (%.1f us)\n", res.BusCycles, res.ElapsedNS/1000)
@@ -134,6 +152,12 @@ func report(sys *config.System, benches []string, res *sim.Result) {
 	e := res.Energy
 	fmt.Printf("energy (uJ)   background %.1f  act %.1f  rd/wr %.1f  refresh %.1f  total %.1f\n",
 		e.BackgroundNJ/1000, e.ActNJ/1000, e.RdWrNJ/1000, e.RefreshNJ/1000, e.TotalNJ()/1000)
+	if res.FaultsInjected > 0 {
+		fmt.Printf("faults        %d injected\n", res.FaultsInjected)
+	}
+	if n := len(res.Protocol); n > 0 {
+		fmt.Printf("protocol      %d logged violation(s); first: %v\n", n, res.Protocol[0])
+	}
 }
 
 func fatal(err error) {

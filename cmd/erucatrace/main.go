@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"eruca/internal/addrmap"
+	"eruca/internal/cli"
 	"eruca/internal/config"
 	"eruca/internal/sim"
 	"eruca/internal/trace"
@@ -34,7 +35,15 @@ func main() {
 		dump    = flag.String("dump", "", "write the raw trace as CSV to this file")
 		load    = flag.String("load", "", "analyze an existing CSV trace instead of simulating")
 	)
+	var rb cli.Robust
+	rb.Register()
 	flag.Parse()
+
+	copts, wd, plan, err := rb.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "erucatrace:", err)
+		os.Exit(cli.ExitUsage)
+	}
 
 	var recs []trace.Record
 	if *load != "" {
@@ -57,13 +66,14 @@ func main() {
 			}
 			benches = m.Bench
 		}
-		_, err := sim.Run(sim.Options{
+		res, err := sim.Run(sim.Options{
 			Sys: config.Baseline(config.DefaultBusMHz), Benches: benches,
 			Instrs: *instrs, Frag: *frag, Seed: *seed,
+			Check: copts, Watchdog: wd, Faults: plan,
 			Capture: func(r trace.Record) { recs = append(recs, r) },
 		})
 		if err != nil {
-			fatal(err)
+			rb.Exit("erucatrace", err, res)
 		}
 		fmt.Fprintf(os.Stderr, "captured %d transactions from %s\n", len(recs), strings.Join(benches, ","))
 	}

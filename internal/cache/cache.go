@@ -6,6 +6,8 @@
 // memory reads and writes.
 package cache
 
+import "fmt"
+
 // Level reports where an access was served.
 type Level int
 
@@ -52,10 +54,14 @@ type setAssoc struct {
 	hits, misses uint64
 }
 
-func newSetAssoc(bytes, ways, lineBytes int) *setAssoc {
+func newSetAssoc(bytes, ways, lineBytes int) (*setAssoc, error) {
+	if ways <= 0 || lineBytes <= 0 {
+		return nil, fmt.Errorf("cache: non-positive geometry (%d bytes, %d ways, %d-byte lines)", bytes, ways, lineBytes)
+	}
 	nsets := bytes / (ways * lineBytes)
 	if nsets == 0 || nsets&(nsets-1) != 0 {
-		panic("cache: set count must be a positive power of two")
+		return nil, fmt.Errorf("cache: set count %d (from %d bytes, %d ways, %d-byte lines) must be a positive power of two",
+			nsets, bytes, ways, lineBytes)
 	}
 	c := &setAssoc{setMask: uint64(nsets - 1)}
 	c.sets = make([][]line, nsets)
@@ -63,7 +69,7 @@ func newSetAssoc(bytes, ways, lineBytes int) *setAssoc {
 	for i := range c.sets {
 		c.sets[i], store = store[:ways], store[ways:]
 	}
-	return c
+	return c, nil
 }
 
 // lookup probes for the line; on hit it refreshes LRU and optionally
@@ -154,11 +160,29 @@ type Config struct {
 	LineBytes       int
 }
 
-// New builds the hierarchy.
-func New(cfg Config) *Hierarchy {
-	h := &Hierarchy{llc: newSetAssoc(cfg.LLCBytes, cfg.LLCWays, cfg.LineBytes), lineBytes: cfg.LineBytes}
+// New builds the hierarchy, validating each level's geometry.
+func New(cfg Config) (*Hierarchy, error) {
+	llc, err := newSetAssoc(cfg.LLCBytes, cfg.LLCWays, cfg.LineBytes)
+	if err != nil {
+		return nil, fmt.Errorf("LLC: %w", err)
+	}
+	h := &Hierarchy{llc: llc, lineBytes: cfg.LineBytes}
 	for i := 0; i < cfg.Cores; i++ {
-		h.l1 = append(h.l1, newSetAssoc(cfg.L1Bytes, cfg.L1Ways, cfg.LineBytes))
+		l1, err := newSetAssoc(cfg.L1Bytes, cfg.L1Ways, cfg.LineBytes)
+		if err != nil {
+			return nil, fmt.Errorf("L1[%d]: %w", i, err)
+		}
+		h.l1 = append(h.l1, l1)
+	}
+	return h, nil
+}
+
+// MustNew is New for statically sized configurations; it panics on a
+// bad geometry.
+func MustNew(cfg Config) *Hierarchy {
+	h, err := New(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return h
 }

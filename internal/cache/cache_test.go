@@ -6,7 +6,7 @@ import (
 )
 
 func small() *Hierarchy {
-	return New(Config{
+	return MustNew(Config{
 		Cores:   2,
 		L1Bytes: 1 << 10, L1Ways: 2, // 8 sets of 2
 		LLCBytes: 4 << 10, LLCWays: 4,
@@ -126,11 +126,24 @@ func TestSmallWorkingSetStaysL1(t *testing.T) {
 	}
 }
 
-func TestBadGeometryPanics(t *testing.T) {
+func TestBadGeometryReturnsError(t *testing.T) {
+	cases := []Config{
+		{Cores: 1, L1Bytes: 3 << 10, L1Ways: 2, LLCBytes: 4 << 10, LLCWays: 4, LineBytes: 64},
+		{Cores: 1, L1Bytes: 1 << 10, L1Ways: 2, LLCBytes: 3 << 10, LLCWays: 4, LineBytes: 64},
+		{Cores: 1, L1Bytes: 1 << 10, L1Ways: 0, LLCBytes: 4 << 10, LLCWays: 4, LineBytes: 64},
+		{Cores: 1, L1Bytes: 1 << 10, L1Ways: 2, LLCBytes: 4 << 10, LLCWays: 4, LineBytes: 0},
+	}
+	for i, cfg := range cases {
+		if h, err := New(cfg); err == nil {
+			t.Errorf("case %d: bad geometry %+v accepted (got %v)", i, cfg, h)
+		}
+	}
+
+	// MustNew converts the error into a panic for static configs.
 	defer func() {
 		if recover() == nil {
-			t.Error("non-power-of-two set count accepted")
+			t.Error("MustNew did not panic on bad geometry")
 		}
 	}()
-	New(Config{Cores: 1, L1Bytes: 3 << 10, L1Ways: 2, LLCBytes: 4 << 10, LLCWays: 4, LineBytes: 64})
+	MustNew(cases[0])
 }

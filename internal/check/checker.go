@@ -1,0 +1,184 @@
+package check
+
+import (
+	"fmt"
+	"io"
+
+	"eruca/internal/clock"
+	"eruca/internal/config"
+	"eruca/internal/dram"
+)
+
+// errCap bounds how many violations Log mode retains so a badly broken
+// run cannot balloon memory.
+const errCap = 64
+
+// Options configures one Checker.
+type Options struct {
+	// Mode selects the reaction policy (Off, Log, Fail, Panic).
+	Mode Mode
+	// Depth is the per-rank flight-recorder depth (DefaultDepth when 0).
+	Depth int
+	// Reference is the configuration the audit re-checks commands
+	// against. When nil the running system's own configuration is used;
+	// supplying a pristine reference catches a corrupted or deliberately
+	// broken running configuration.
+	Reference *config.System
+	// Logf, when set and Mode is Log, receives a one-line summary of
+	// each recorded violation.
+	Logf func(format string, args ...any)
+}
+
+// Checker is the composed protocol checker for one channel: an
+// independent Auditor re-verifying the command stream, a FlightRecorder
+// capturing per-rank history, and a mode-driven reaction policy. It
+// implements dram.Observer, so it attaches with Channel.Attach, and its
+// HandleViolation method plugs into Channel.OnViolation to capture the
+// timing engine's own detections.
+type Checker struct {
+	opts Options
+	aud  *dram.Auditor
+	rec  *FlightRecorder
+
+	// consumed is the prefix of aud.Structured() already drained.
+	consumed int
+	// lastRank is the rank of the most recently observed command, used
+	// to attribute audit violations (which are detected synchronously
+	// inside Observe) to a rank for the snapshot.
+	lastRank int
+	lastCmd  string
+
+	errs   []*ProtocolError
+	failed bool
+}
+
+// New builds a Checker for the running system. The audit reference
+// defaults to the running configuration itself unless Options.Reference
+// supplies an independent one.
+func New(running *config.System, opts Options) *Checker {
+	ref := opts.Reference
+	if ref == nil {
+		ref = running
+	}
+	return &Checker{
+		opts: opts,
+		aud:  dram.NewAuditor(ref),
+		rec:  NewFlightRecorder(running.Geom.Ranks, opts.Depth),
+	}
+}
+
+// Mode reports the configured reaction mode.
+func (c *Checker) Mode() Mode { return c.opts.Mode }
+
+// Recorder exposes the flight recorder for crash dumps.
+func (c *Checker) Recorder() *FlightRecorder { return c.rec }
+
+// Commands reports how many commands the audit has observed.
+func (c *Checker) Commands() int { return c.aud.Commands() }
+
+// Observe implements dram.Observer: it records the command in the
+// flight recorder, feeds the independent audit, and drains any
+// violations the audit detected for this command.
+func (c *Checker) Observe(cmd dram.Command, at clock.Cycle) {
+	if c.opts.Mode == Off {
+		return
+	}
+	c.rec.Record(cmd.Rank, cmd, at)
+	c.lastRank = cmd.Rank
+	c.lastCmd = fmt.Sprintf("%v", cmd)
+	c.aud.Observe(cmd, at)
+	c.drain("audit")
+}
+
+// HandleViolation receives a violation the timing engine itself
+// detected (via Channel.OnViolation) and reacts per the mode. In Panic
+// mode it panics with the *ProtocolError, reproducing the historical
+// stop-the-world behavior but with the flight recorder attached.
+func (c *Checker) HandleViolation(v dram.Violation) {
+	if c.opts.Mode == Off {
+		return
+	}
+	rank := v.Cmd.Rank
+	pe := &ProtocolError{
+		Rule:   v.Rule,
+		Cycle:  v.At,
+		Cmd:    fmt.Sprintf("%v", v.Cmd),
+		Detail: v.Msg,
+		Recent: c.rec.Snapshot(rank),
+		Source: "engine",
+	}
+	c.react(pe)
+}
+
+// drain converts newly appended audit violations into ProtocolErrors
+// and reacts to each.
+func (c *Checker) drain(source string) {
+	vs := c.aud.Structured()
+	for ; c.consumed < len(vs); c.consumed++ {
+		v := vs[c.consumed]
+		pe := &ProtocolError{
+			Rule:   v.Rule,
+			Cycle:  v.At,
+			Cmd:    c.lastCmd,
+			Detail: v.Msg,
+			Recent: c.rec.Snapshot(c.lastRank),
+			Source: source,
+		}
+		c.react(pe)
+	}
+}
+
+func (c *Checker) react(pe *ProtocolError) {
+	switch c.opts.Mode {
+	case Panic:
+		panic(pe)
+	case Fail:
+		if !c.failed {
+			c.errs = append(c.errs, pe)
+			c.failed = true
+		}
+	case Log:
+		if len(c.errs) < errCap {
+			c.errs = append(c.errs, pe)
+		}
+		if c.opts.Logf != nil {
+			c.opts.Logf("%s", pe.Error())
+		}
+	}
+}
+
+// Finish runs the audit's end-of-stream checks (refresh starvation) and
+// drains any violations they raise. Finish-time violations are not tied
+// to a single command, so Cmd is cleared.
+func (c *Checker) Finish(end clock.Cycle) {
+	if c.opts.Mode == Off {
+		return
+	}
+	c.lastCmd = ""
+	c.aud.Finish(end)
+	c.drain("audit")
+}
+
+// Failed reports whether Fail mode has latched a violation.
+func (c *Checker) Failed() bool { return c.failed }
+
+// Err returns the first recorded violation, or nil.
+func (c *Checker) Err() error {
+	if len(c.errs) == 0 {
+		return nil
+	}
+	return c.errs[0]
+}
+
+// Errors returns every recorded violation (bounded by errCap in Log
+// mode, exactly one in Fail mode).
+func (c *Checker) Errors() []*ProtocolError { return c.errs }
+
+// Dump writes every recorded violation with its history to w, followed
+// by the full flight-recorder state — the crash-dump payload.
+func (c *Checker) Dump(w io.Writer) {
+	for i, pe := range c.errs {
+		fmt.Fprintf(w, "--- violation %d/%d ---\n%s", i+1, len(c.errs), pe.Dump())
+	}
+	fmt.Fprint(w, c.rec.Dump())
+}

@@ -1,0 +1,147 @@
+package check
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"eruca/internal/config"
+	"eruca/internal/dram"
+)
+
+// driveViolation feeds the checker a command stream that is illegal under
+// the baseline DDR4 timing: two ACTs to the same bank with no PRE and no
+// tRC spacing in between. The independent audit must flag it regardless
+// of what a (possibly corrupted) running configuration would claim.
+func driveViolation(c *Checker) {
+	c.Observe(dram.Command{Kind: dram.CmdACT, Row: 1}, 0)
+	c.Observe(dram.Command{Kind: dram.CmdACT, Row: 2}, 1)
+}
+
+func TestCheckerLogMode(t *testing.T) {
+	var logged []string
+	c := New(config.Baseline(config.DefaultBusMHz), Options{
+		Mode: Log,
+		Logf: func(format string, args ...any) { logged = append(logged, format) },
+	})
+	driveViolation(c)
+	c.Finish(1000)
+
+	if c.Failed() {
+		t.Error("Log mode must not latch failure")
+	}
+	errs := c.Errors()
+	if len(errs) == 0 {
+		t.Fatal("expected at least one recorded violation")
+	}
+	if c.Err() == nil {
+		t.Error("Err() should surface the first violation")
+	}
+	if len(logged) != len(errs) {
+		t.Errorf("Logf called %d times, %d violations recorded", len(logged), len(errs))
+	}
+	pe := errs[0]
+	if pe.Rule == "" || pe.Detail == "" || pe.Source != "audit" {
+		t.Errorf("malformed ProtocolError: %+v", pe)
+	}
+	if len(pe.Recent) == 0 {
+		t.Error("violation should carry a flight-recorder snapshot")
+	}
+	var buf bytes.Buffer
+	c.Dump(&buf)
+	if !strings.Contains(buf.String(), "violation 1/") {
+		t.Errorf("Dump missing violation header:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "flight recorder") {
+		t.Errorf("Dump missing flight-recorder state:\n%s", buf.String())
+	}
+}
+
+func TestCheckerFailModeLatchesFirst(t *testing.T) {
+	c := New(config.Baseline(config.DefaultBusMHz), Options{Mode: Fail})
+	driveViolation(c)
+	driveViolation(c) // more violations after the latch
+	c.Finish(1000)
+
+	if !c.Failed() {
+		t.Fatal("Fail mode should latch after a violation")
+	}
+	if n := len(c.Errors()); n != 1 {
+		t.Fatalf("Fail mode recorded %d violations, want exactly 1", n)
+	}
+	var pe *ProtocolError
+	if !errors.As(c.Err(), &pe) {
+		t.Fatalf("Err() = %T, want *ProtocolError", c.Err())
+	}
+}
+
+func TestCheckerPanicMode(t *testing.T) {
+	c := New(config.Baseline(config.DefaultBusMHz), Options{Mode: Panic})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Panic mode should panic on a violation")
+		}
+		if _, ok := r.(*ProtocolError); !ok {
+			t.Fatalf("panicked with %T, want *ProtocolError", r)
+		}
+	}()
+	driveViolation(c)
+}
+
+func TestCheckerOffMode(t *testing.T) {
+	c := New(config.Baseline(config.DefaultBusMHz), Options{Mode: Off})
+	driveViolation(c)
+	c.Finish(1000)
+	if c.Commands() != 0 || len(c.Errors()) != 0 || c.Failed() {
+		t.Errorf("Off mode must be inert: commands=%d errs=%d failed=%v",
+			c.Commands(), len(c.Errors()), c.Failed())
+	}
+}
+
+func TestCheckerEngineViolation(t *testing.T) {
+	c := New(config.Baseline(config.DefaultBusMHz), Options{Mode: Log})
+	c.Observe(dram.Command{Kind: dram.CmdACT, Row: 1}, 0)
+	c.HandleViolation(dram.Violation{
+		At: 5, Rule: "tRCD",
+		Cmd: dram.Command{Kind: dram.CmdRD, Row: 1},
+		Msg: "RD 3 cycles before tRCD",
+	})
+	errs := c.Errors()
+	if len(errs) == 0 {
+		t.Fatal("engine violation not recorded")
+	}
+	pe := errs[len(errs)-1]
+	if pe.Source != "engine" || pe.Rule != "tRCD" {
+		t.Errorf("got source %q rule %q, want engine/tRCD", pe.Source, pe.Rule)
+	}
+	if len(pe.Recent) == 0 {
+		t.Error("engine violation should carry the rank's history")
+	}
+}
+
+// TestCheckerPristineReference verifies that the audit checks against the
+// supplied reference configuration, not the (possibly corrupted) running
+// one: a stream that is illegal under pristine DDR4 timing is caught even
+// when the running system claims otherwise.
+func TestCheckerPristineReference(t *testing.T) {
+	running := config.Baseline(config.DefaultBusMHz)
+	pristine := config.Baseline(config.DefaultBusMHz)
+	// Corrupt the running system's timing so its own numbers would accept
+	// back-to-back ACTs; the pristine reference must still reject them.
+	running.CT.RC = 0
+	running.CT.RAS = 0
+	running.CT.RP = 0
+
+	c := New(running, Options{Mode: Log, Reference: pristine})
+	// ACT, PRE immediately (violates pristine tRAS), ACT again (tRP/tRC).
+	c.Observe(dram.Command{Kind: dram.CmdACT, Row: 1}, 0)
+	c.Observe(dram.Command{Kind: dram.CmdPRE}, 1)
+	c.Observe(dram.Command{Kind: dram.CmdACT, Row: 2}, 2)
+	c.Finish(1000)
+
+	if len(c.Errors()) == 0 {
+		t.Fatal("pristine reference failed to catch a stream the corrupted running config allows")
+	}
+}

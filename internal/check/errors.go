@@ -1,0 +1,54 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"eruca/internal/clock"
+)
+
+// ProtocolError is one structured protocol violation: the rule broken,
+// the cycle, the offending command (when tied to one), and a flight
+// recorder snapshot of the last commands issued to the same rank.
+type ProtocolError struct {
+	// Rule is the JEDEC/ERUCA rule tag ("tRP", "tFAW", "ACT-on-open",
+	// "plane-invariant", "tREFI", ...).
+	Rule string
+	// Cycle is the bus cycle of the violation.
+	Cycle clock.Cycle
+	// Cmd is the offending command's rendering ("" when the violation is
+	// not tied to a single command, e.g. refresh starvation at finish).
+	Cmd string
+	// Detail is the full human-readable description.
+	Detail string
+	// Recent is the per-rank flight recorder snapshot at detection time,
+	// oldest-first.
+	Recent []Entry
+	// Source tells which implementation detected the violation: "engine"
+	// (the timing engine's own state checks) or "audit" (the independent
+	// re-check over the command stream).
+	Source string
+}
+
+// Error implements error with a one-line summary.
+func (e *ProtocolError) Error() string {
+	return fmt.Sprintf("protocol violation [%s] at cycle %d: %s", e.Rule, e.Cycle, e.Detail)
+}
+
+// Dump renders the violation with its flight-recorder history attached —
+// the payload crash-dump files carry.
+func (e *ProtocolError) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", e.Error())
+	if e.Cmd != "" {
+		fmt.Fprintf(&b, "offending command: %s\n", e.Cmd)
+	}
+	fmt.Fprintf(&b, "detected by: %s\n", e.Source)
+	if len(e.Recent) > 0 {
+		fmt.Fprintf(&b, "last %d commands on the rank:\n", len(e.Recent))
+		for _, en := range e.Recent {
+			fmt.Fprintf(&b, "  @%-10d %v\n", en.At, en.Cmd)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,63 @@
+// Package check is the configurable JEDEC+ERUCA protocol-checker
+// subsystem. It promotes the timing engine's ad-hoc panics and the
+// post-hoc audit machinery into a structured invariant checker that
+//
+//   - independently re-verifies every issued DRAM command (timing
+//     windows, ACT-on-open, column-to-closed-row, the ERUCA
+//     plane/EWLR/RAP rules, the DDB tTCW/tTWTRW windows, tFAW and
+//     refresh-interval accounting) against a reference configuration;
+//   - records violations as structured ProtocolErrors carrying a flight
+//     recorder — a ring buffer of the last N issued commands per rank —
+//     so a violation ships with the command history that produced it;
+//   - runs in one of three modes: Panic (stop the world, the historical
+//     behavior), Fail (record the first violation and end the run as an
+//     error), or Log (record everything, finish the run, and guarantee
+//     zero behavioral perturbation — sweep tables are byte-identical
+//     with the checker on or off).
+package check
+
+import "fmt"
+
+// Mode selects how the checker reacts to a detected violation.
+type Mode int
+
+const (
+	// Off disables checking entirely.
+	Off Mode = iota
+	// Log records violations (bounded) and lets the run complete.
+	Log
+	// Fail records the first violation and fails the run with it.
+	Fail
+	// Panic panics with the *ProtocolError — the historical behavior.
+	Panic
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Off:
+		return "off"
+	case Log:
+		return "log"
+	case Fail:
+		return "fail"
+	case Panic:
+		return "panic"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode parses a -check flag value.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "off", "":
+		return Off, nil
+	case "log":
+		return Log, nil
+	case "fail":
+		return Fail, nil
+	case "panic":
+		return Panic, nil
+	}
+	return Off, fmt.Errorf("check: unknown mode %q (want off, log, fail or panic)", s)
+}

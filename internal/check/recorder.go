@@ -1,0 +1,111 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"eruca/internal/clock"
+	"eruca/internal/dram"
+)
+
+// DefaultDepth is the per-rank flight-recorder depth when Options.Depth
+// is zero.
+const DefaultDepth = 32
+
+// Entry is one recorded command with its issue cycle.
+type Entry struct {
+	At  clock.Cycle
+	Cmd dram.Command
+}
+
+// FlightRecorder keeps a ring buffer of the last N issued commands per
+// rank — the "black box" attached to every ProtocolError and deadlock
+// report. It is cheap enough to run always-on: Record is two stores and
+// an increment.
+type FlightRecorder struct {
+	depth int
+	buf   [][]Entry // per rank, capacity depth
+	next  []int     // per rank, next write position
+	count []uint64  // per rank, total commands ever recorded
+}
+
+// NewFlightRecorder builds a recorder for `ranks` ranks keeping the last
+// `depth` commands each (DefaultDepth when depth <= 0).
+func NewFlightRecorder(ranks, depth int) *FlightRecorder {
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	if ranks < 1 {
+		ranks = 1
+	}
+	f := &FlightRecorder{
+		depth: depth,
+		buf:   make([][]Entry, ranks),
+		next:  make([]int, ranks),
+		count: make([]uint64, ranks),
+	}
+	for i := range f.buf {
+		f.buf[i] = make([]Entry, 0, depth)
+	}
+	return f
+}
+
+// Depth reports the configured per-rank capacity.
+func (f *FlightRecorder) Depth() int { return f.depth }
+
+// Ranks reports how many rank rings the recorder holds.
+func (f *FlightRecorder) Ranks() int { return len(f.buf) }
+
+// Recorded reports the total number of commands ever recorded for a
+// rank (not capped by the ring depth).
+func (f *FlightRecorder) Recorded(rank int) uint64 {
+	if rank < 0 || rank >= len(f.count) {
+		return 0
+	}
+	return f.count[rank]
+}
+
+// Record appends one command to its rank's ring. Out-of-range ranks are
+// clamped into the ring set so a corrupted command still gets recorded
+// somewhere rather than dropped.
+func (f *FlightRecorder) Record(rank int, cmd dram.Command, at clock.Cycle) {
+	if rank < 0 || rank >= len(f.buf) {
+		rank = 0
+	}
+	f.count[rank]++
+	if len(f.buf[rank]) < f.depth {
+		f.buf[rank] = append(f.buf[rank], Entry{At: at, Cmd: cmd})
+		return
+	}
+	f.buf[rank][f.next[rank]] = Entry{At: at, Cmd: cmd}
+	f.next[rank] = (f.next[rank] + 1) % f.depth
+}
+
+// Snapshot returns the rank's recorded commands oldest-first. The slice
+// is a copy; mutating it does not disturb the recorder.
+func (f *FlightRecorder) Snapshot(rank int) []Entry {
+	if rank < 0 || rank >= len(f.buf) {
+		return nil
+	}
+	ring := f.buf[rank]
+	out := make([]Entry, 0, len(ring))
+	if len(ring) < f.depth {
+		return append(out, ring...)
+	}
+	out = append(out, ring[f.next[rank]:]...)
+	return append(out, ring[:f.next[rank]]...)
+}
+
+// Dump renders every rank's recent history, oldest-first, for crash
+// dumps and deadlock reports.
+func (f *FlightRecorder) Dump() string {
+	var b strings.Builder
+	for r := range f.buf {
+		snap := f.Snapshot(r)
+		fmt.Fprintf(&b, "rank %d flight recorder (%d total, last %d):\n", r, f.count[r], len(snap))
+		for _, e := range snap {
+			fmt.Fprintf(&b, "  @%-10d %v\n", e.At, e.Cmd)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,183 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"eruca/internal/clock"
+	"eruca/internal/dram"
+)
+
+func mkCmd(kind dram.CmdKind, rank int, row uint32) dram.Command {
+	return dram.Command{Kind: kind, Rank: rank, Row: row}
+}
+
+func TestFlightRecorderWrap(t *testing.T) {
+	const depth = 4
+	f := NewFlightRecorder(2, depth)
+	if f.Depth() != depth || f.Ranks() != 2 {
+		t.Fatalf("got depth=%d ranks=%d, want %d/2", f.Depth(), f.Ranks(), depth)
+	}
+	for i := 0; i < 10; i++ {
+		f.Record(0, mkCmd(dram.CmdACT, 0, uint32(i)), clock.Cycle(100+i))
+	}
+	if got := f.Recorded(0); got != 10 {
+		t.Fatalf("Recorded(0) = %d, want 10", got)
+	}
+	snap := f.Snapshot(0)
+	if len(snap) != depth {
+		t.Fatalf("snapshot length %d, want %d", len(snap), depth)
+	}
+	// Oldest-first: rows 6,7,8,9 at cycles 106..109.
+	for i, e := range snap {
+		wantRow := uint32(6 + i)
+		wantAt := clock.Cycle(106 + i)
+		if e.Cmd.Row != wantRow || e.At != wantAt {
+			t.Errorf("snap[%d] = row %#x at %d, want row %#x at %d", i, e.Cmd.Row, e.At, wantRow, wantAt)
+		}
+	}
+	// The untouched rank stays empty.
+	if got := f.Snapshot(1); len(got) != 0 {
+		t.Errorf("rank 1 snapshot = %d entries, want 0", len(got))
+	}
+}
+
+func TestFlightRecorderPartialFill(t *testing.T) {
+	f := NewFlightRecorder(1, 8)
+	for i := 0; i < 3; i++ {
+		f.Record(0, mkCmd(dram.CmdRD, 0, uint32(i)), clock.Cycle(i))
+	}
+	snap := f.Snapshot(0)
+	if len(snap) != 3 {
+		t.Fatalf("snapshot length %d, want 3", len(snap))
+	}
+	for i, e := range snap {
+		if e.Cmd.Row != uint32(i) {
+			t.Errorf("snap[%d].Row = %#x, want %#x", i, e.Cmd.Row, i)
+		}
+	}
+}
+
+func TestFlightRecorderClamping(t *testing.T) {
+	f := NewFlightRecorder(2, 4)
+	// Out-of-range ranks are clamped into ring 0 rather than dropped.
+	f.Record(-1, mkCmd(dram.CmdACT, -1, 1), 10)
+	f.Record(99, mkCmd(dram.CmdACT, 99, 2), 20)
+	if got := f.Recorded(0); got != 2 {
+		t.Fatalf("Recorded(0) = %d, want 2 (clamped records)", got)
+	}
+	if got := len(f.Snapshot(0)); got != 2 {
+		t.Fatalf("Snapshot(0) has %d entries, want 2", got)
+	}
+	// Out-of-range queries are safe.
+	if f.Snapshot(-1) != nil || f.Snapshot(7) != nil {
+		t.Error("out-of-range Snapshot should return nil")
+	}
+	if f.Recorded(-1) != 0 || f.Recorded(7) != 0 {
+		t.Error("out-of-range Recorded should return 0")
+	}
+}
+
+func TestFlightRecorderDefaults(t *testing.T) {
+	f := NewFlightRecorder(0, 0)
+	if f.Ranks() != 1 {
+		t.Errorf("Ranks() = %d, want 1 (clamped)", f.Ranks())
+	}
+	if f.Depth() != DefaultDepth {
+		t.Errorf("Depth() = %d, want DefaultDepth %d", f.Depth(), DefaultDepth)
+	}
+}
+
+func TestFlightRecorderDump(t *testing.T) {
+	f := NewFlightRecorder(2, 4)
+	f.Record(1, mkCmd(dram.CmdPRE, 1, 0x42), 777)
+	d := f.Dump()
+	for _, want := range []string{"rank 0 flight recorder", "rank 1 flight recorder", "@777", "PRE"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Dump missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestProtocolErrorFormat(t *testing.T) {
+	recent := []Entry{
+		{At: 10, Cmd: mkCmd(dram.CmdACT, 0, 0x7)},
+		{At: 25, Cmd: mkCmd(dram.CmdRD, 0, 0x7)},
+	}
+	tests := []struct {
+		name      string
+		pe        *ProtocolError
+		wantError string
+		wantDump  []string
+		notInDump []string
+	}{
+		{
+			name: "engine violation with command and history",
+			pe: &ProtocolError{
+				Rule: "tRP", Cycle: 123, Cmd: "ACT rk0 bg0 bk0 sb0 slot0 row 0x7",
+				Detail: "ACT 5 cycles early", Recent: recent, Source: "engine",
+			},
+			wantError: "protocol violation [tRP] at cycle 123: ACT 5 cycles early",
+			wantDump: []string{
+				"protocol violation [tRP] at cycle 123",
+				"offending command: ACT rk0 bg0 bk0 sb0 slot0 row 0x7",
+				"detected by: engine",
+				"last 2 commands on the rank:",
+				"@10",
+				"@25",
+			},
+		},
+		{
+			name: "finish-time violation without a command",
+			pe: &ProtocolError{
+				Rule: "tREFI", Cycle: 99999,
+				Detail: "rank 0 went 40000 cycles without refresh", Source: "audit",
+			},
+			wantError: "protocol violation [tREFI] at cycle 99999: rank 0 went 40000 cycles without refresh",
+			wantDump:  []string{"detected by: audit"},
+			notInDump: []string{"offending command", "commands on the rank"},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.pe.Error(); got != tc.wantError {
+				t.Errorf("Error() = %q, want %q", got, tc.wantError)
+			}
+			d := tc.pe.Dump()
+			for _, want := range tc.wantDump {
+				if !strings.Contains(d, want) {
+					t.Errorf("Dump missing %q:\n%s", want, d)
+				}
+			}
+			for _, bad := range tc.notInDump {
+				if strings.Contains(d, bad) {
+					t.Errorf("Dump should not contain %q:\n%s", bad, d)
+				}
+			}
+		})
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Mode
+		wantErr bool
+	}{
+		{"off", Off, false}, {"", Off, false}, {"log", Log, false},
+		{"fail", Fail, false}, {"panic", Panic, false},
+		{"bogus", Off, true}, {"LOG", Off, true},
+	}
+	for _, tc := range tests {
+		got, err := ParseMode(tc.in)
+		if (err != nil) != tc.wantErr || got != tc.want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v, err=%v", tc.in, got, err, tc.want, tc.wantErr)
+		}
+	}
+	for _, m := range []Mode{Off, Log, Fail, Panic} {
+		back, err := ParseMode(m.String())
+		if err != nil || back != m {
+			t.Errorf("round-trip %v -> %q -> %v, err %v", m, m.String(), back, err)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package cli holds the robustness plumbing shared by the erucasim,
+// erucabench and erucatrace binaries: the -check/-watchdog/-latency/
+// -faults/-crashdump flag cluster, the error-to-exit-code mapping, and
+// crash-dump file writing.
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"eruca/internal/check"
+	"eruca/internal/clock"
+	"eruca/internal/faults"
+	"eruca/internal/osmem"
+	"eruca/internal/sim"
+)
+
+// Exit codes, so scripts can tell a protocol violation from a hang
+// from a sizing problem.
+const (
+	// ExitOK: clean run.
+	ExitOK = 0
+	// ExitError: generic failure (bad workload name, I/O, ...).
+	ExitError = 1
+	// ExitUsage: bad flag syntax.
+	ExitUsage = 2
+	// ExitProtocol: a protocol checker violation ended the run.
+	ExitProtocol = 3
+	// ExitDeadlock: the forward-progress or latency watchdog tripped.
+	ExitDeadlock = 4
+	// ExitOOM: simulated physical memory was exhausted.
+	ExitOOM = 5
+)
+
+// Robust is the flag cluster every binary shares.
+type Robust struct {
+	CheckMode      string
+	WatchdogBudget int64
+	LatencyCeiling int64
+	FaultSpec      string
+	CrashDump      string
+}
+
+// Register installs the flags on the default flag set.
+func (r *Robust) Register() {
+	flag.StringVar(&r.CheckMode, "check", "off", "protocol checker mode: off, log, fail or panic")
+	flag.Int64Var(&r.WatchdogBudget, "watchdog", 0,
+		"forward-progress watchdog budget in bus cycles (0 = off, <0 = default budget)")
+	flag.Int64Var(&r.LatencyCeiling, "latency", 0, "read-latency ceiling in bus cycles (0 = off; implies the watchdog)")
+	flag.StringVar(&r.FaultSpec, "faults", "",
+		"fault-injection plan, e.g. seed=7;n=6;kinds=refresh+forcepre+timing;drop=0.1 (chaos runs)")
+	flag.StringVar(&r.CrashDump, "crashdump", "", "write flight-recorder/deadlock dumps to this file on failure")
+}
+
+// Build resolves the flag values into simulator options. A nil return
+// for each component means "disabled".
+func (r *Robust) Build() (*check.Options, *sim.Watchdog, *faults.Plan, error) {
+	var copts *check.Options
+	mode, err := check.ParseMode(r.CheckMode)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if mode != check.Off {
+		copts = &check.Options{Mode: mode}
+	}
+	var wd *sim.Watchdog
+	if r.WatchdogBudget != 0 || r.LatencyCeiling > 0 {
+		budget := clock.Cycle(r.WatchdogBudget)
+		if budget < 0 {
+			budget = 0 // sim applies DefaultProgressBudget
+		}
+		wd = &sim.Watchdog{ProgressBudget: budget, LatencyCeiling: clock.Cycle(r.LatencyCeiling)}
+	}
+	plan, err := faults.Parse(r.FaultSpec)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return copts, wd, plan, nil
+}
+
+// ExitCode classifies an error into the exit-code table above.
+func ExitCode(err error) int {
+	if err == nil {
+		return ExitOK
+	}
+	var pe *check.ProtocolError
+	if errors.As(err, &pe) {
+		return ExitProtocol
+	}
+	var de *sim.DeadlockError
+	if errors.As(err, &de) {
+		return ExitDeadlock
+	}
+	if errors.Is(err, osmem.ErrOOM) {
+		return ExitOOM
+	}
+	return ExitError
+}
+
+// Dump renders the diagnostic payload of an error: the flight-recorder
+// dump of a protocol violation, the system snapshot of a deadlock, or
+// the plain error text.
+func Dump(err error, res *sim.Result) string {
+	var b strings.Builder
+	var pe *check.ProtocolError
+	var de *sim.DeadlockError
+	switch {
+	case errors.As(err, &pe):
+		b.WriteString(pe.Dump())
+	case errors.As(err, &de):
+		fmt.Fprintf(&b, "%s\n%s", de.Error(), de.Report)
+	case err != nil:
+		fmt.Fprintf(&b, "%v\n", err)
+	}
+	if res != nil {
+		for i, v := range res.Protocol {
+			fmt.Fprintf(&b, "--- logged violation %d/%d ---\n%s", i+1, len(res.Protocol), v.Dump())
+		}
+		if res.FaultsInjected > 0 {
+			fmt.Fprintf(&b, "faults injected: %d\n", res.FaultsInjected)
+		}
+	}
+	return b.String()
+}
+
+// WriteCrashDump writes the diagnostic payload to path (no-op when
+// path is empty), reporting where it wrote on stderr.
+func WriteCrashDump(path string, err error, res *sim.Result) {
+	if path == "" {
+		return
+	}
+	payload := Dump(err, res)
+	if payload == "" {
+		return
+	}
+	if werr := os.WriteFile(path, []byte(payload), 0o644); werr != nil {
+		fmt.Fprintf(os.Stderr, "crash dump: %v\n", werr)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "crash dump written to %s\n", path)
+}
+
+// Exit prints err and terminates with its classified exit code,
+// writing the crash dump first.
+func (r *Robust) Exit(name string, err error, res *sim.Result) {
+	WriteCrashDump(r.CrashDump, err, res)
+	fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	os.Exit(ExitCode(err))
+}

@@ -1,0 +1,87 @@
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"eruca/internal/check"
+	"eruca/internal/osmem"
+	"eruca/internal/sim"
+)
+
+func TestExitCodeClassification(t *testing.T) {
+	tests := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, ExitOK},
+		{"generic", errors.New("boom"), ExitError},
+		{"protocol", &check.ProtocolError{Rule: "tRP", Detail: "x"}, ExitProtocol},
+		{"wrapped protocol", fmt.Errorf("job: %w", &check.ProtocolError{Rule: "tRP"}), ExitProtocol},
+		{"deadlock", &sim.DeadlockError{Kind: "no-progress"}, ExitDeadlock},
+		{"oom", fmt.Errorf("translate: %w", osmem.ErrOOM), ExitOOM},
+	}
+	for _, tc := range tests {
+		if got := ExitCode(tc.err); got != tc.want {
+			t.Errorf("%s: ExitCode = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestBuildRejectsBadFlags(t *testing.T) {
+	for _, r := range []Robust{
+		{CheckMode: "bogus"},
+		{CheckMode: "off", FaultSpec: "drop=7"},
+	} {
+		if _, _, _, err := r.Build(); err == nil {
+			t.Errorf("Build(%+v) should fail", r)
+		}
+	}
+	r := Robust{CheckMode: "log", WatchdogBudget: -1, LatencyCeiling: 100, FaultSpec: "n=2"}
+	copts, wd, plan, err := r.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copts == nil || copts.Mode != check.Log {
+		t.Errorf("check options = %+v, want Log", copts)
+	}
+	if wd == nil || wd.ProgressBudget != 0 || wd.LatencyCeiling != 100 {
+		t.Errorf("watchdog = %+v, want default budget + ceiling 100", wd)
+	}
+	if plan == nil || len(plan.Events()) != 2 {
+		t.Errorf("plan = %v, want 2 events", plan)
+	}
+}
+
+func TestDumpAndCrashDump(t *testing.T) {
+	pe := &check.ProtocolError{Rule: "tFAW", Cycle: 9, Detail: "five ACTs", Source: "audit"}
+	res := &sim.Result{Protocol: []*check.ProtocolError{pe}, FaultsInjected: 3}
+	out := Dump(fmt.Errorf("wrap: %w", pe), res)
+	for _, want := range []string{"tFAW", "logged violation 1/1", "faults injected: 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Dump missing %q:\n%s", want, out)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "crash.txt")
+	WriteCrashDump(path, pe, nil)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "tFAW") {
+		t.Errorf("crash dump missing payload:\n%s", b)
+	}
+	// Empty path and empty payload are both no-ops.
+	WriteCrashDump("", pe, nil)
+	unwritten := filepath.Join(t.TempDir(), "empty.txt")
+	WriteCrashDump(unwritten, nil, nil)
+	if _, err := os.Stat(unwritten); !os.IsNotExist(err) {
+		t.Error("empty payload should not create a crash-dump file")
+	}
+}

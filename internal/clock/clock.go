@@ -6,7 +6,11 @@
 // nanoseconds (tRCD, tRP, ...) can be applied at any bus frequency.
 package clock
 
-import "fmt"
+import (
+	"fmt"
+
+	"eruca/internal/diag"
+)
 
 // Cycle is a point in time or a duration measured in cycles of some
 // Domain. The simulator's master Cycle counts DRAM bus clocks.
@@ -20,10 +24,10 @@ type Domain struct {
 }
 
 // MHz returns a clock domain running at the given frequency in MHz.
+// A non-positive frequency is a programmer error (config.NewSystem
+// validates user-supplied frequencies before reaching here).
 func MHz(name string, mhz float64) Domain {
-	if mhz <= 0 {
-		panic(fmt.Sprintf("clock: non-positive frequency %vMHz for domain %q", mhz, name))
-	}
+	diag.Invariant(mhz > 0, "clock: non-positive frequency %vMHz for domain %q", mhz, name)
 	return Domain{name: name, periodPS: int64(1e6/mhz + 0.5)}
 }
 

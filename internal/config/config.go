@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"eruca/internal/clock"
+	"eruca/internal/diag"
 )
 
 // SubBankMode selects the sub-banking organization of a physical bank.
@@ -446,6 +447,15 @@ func NewSystem(name string, geom Geometry, sch Scheme, tm Timing, busMHz float64
 	if err := sch.Validate(); err != nil {
 		return nil, err
 	}
+	if busMHz <= 0 {
+		return nil, fmt.Errorf("config: %s: non-positive bus frequency %vMHz", name, busMHz)
+	}
+	if cpu.Cores < 1 {
+		return nil, fmt.Errorf("config: %s: CPU.Cores = %d (want >= 1)", name, cpu.Cores)
+	}
+	if geom.Channels < 1 || geom.Ranks < 1 {
+		return nil, fmt.Errorf("config: %s: geometry needs >= 1 channel and rank (got %d, %d)", name, geom.Channels, geom.Ranks)
+	}
 	bus := clock.MHz("bus", busMHz)
 	sys := &System{
 		Name:   name,
@@ -475,12 +485,12 @@ func NewSystem(name string, geom Geometry, sch Scheme, tm Timing, busMHz float64
 }
 
 // MustSystem is NewSystem that panics on error; used by the preset
-// constructors, whose parameters are static.
+// constructors, whose parameters are static — a failure here is a bug
+// in a preset, so it is routed through diag as a typed invariant panic
+// that sweep workers can recover and attribute.
 func MustSystem(name string, geom Geometry, sch Scheme, tm Timing, busMHz float64, ctrl Controller, cpu CPU) *System {
 	sys, err := NewSystem(name, geom, sch, tm, busMHz, ctrl, cpu)
-	if err != nil {
-		panic(err)
-	}
+	diag.Check(err, "config: MustSystem(%s)", name)
 	return sys
 }
 

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"eruca/internal/config"
+	"eruca/internal/diag"
 )
 
 // PlaneLogic derives plane IDs, latch (MWL) addresses and EWLR hits
@@ -55,7 +56,7 @@ type PlaneLogic struct {
 // scheme has no planes; call only when Scheme.HasPlanes().
 func NewPlaneLogic(sch config.Scheme, rowBits int) *PlaneLogic {
 	if !sch.HasPlanes() {
-		panic("core: NewPlaneLogic on a scheme without planes")
+		diag.Invariantf("core: NewPlaneLogic on a scheme without planes")
 	}
 	p := &PlaneLogic{
 		planes:   sch.Planes,

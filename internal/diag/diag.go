@@ -1,0 +1,87 @@
+// Package diag holds the simulator's structured-error plumbing: typed
+// invariant panics for programmer errors, and panic capture for the
+// sweep workers that must survive a misbehaving configuration.
+//
+// The rule enforced across the tree is: conditions a caller can act on
+// (bad user configuration, exhausted resources, protocol violations
+// under a Log/Fail checker) are returned as errors; conditions that can
+// only mean a bug in this repository (mis-sized static tables, impossible
+// enum values) panic — but always through Invariantf, so that recovery
+// sites can tell a programmer-error panic from a runtime fault and
+// report it with its stack attached.
+package diag
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// InvariantError is the panic value raised by Invariantf: a programmer
+// error, never a property of the simulated workload or configuration.
+type InvariantError struct {
+	Msg string
+	// Err is the underlying error when the invariant wrapped one (via
+	// Check); nil otherwise.
+	Err error
+}
+
+// Error implements error.
+func (e *InvariantError) Error() string { return "invariant violated: " + e.Msg }
+
+// Unwrap exposes the wrapped error for errors.Is/As.
+func (e *InvariantError) Unwrap() error { return e.Err }
+
+// Invariantf panics with a typed *InvariantError. Use it for conditions
+// that can only arise from a bug in this repository.
+func Invariantf(format string, args ...any) {
+	panic(&InvariantError{Msg: fmt.Sprintf(format, args...)})
+}
+
+// Invariant panics via Invariantf when cond is false.
+func Invariant(cond bool, format string, args ...any) {
+	if !cond {
+		Invariantf(format, args...)
+	}
+}
+
+// Check panics with a typed *InvariantError wrapping err when err is
+// non-nil — the Must-constructor helper for static configurations whose
+// parameters cannot legitimately fail.
+func Check(err error, format string, args ...any) {
+	if err != nil {
+		panic(&InvariantError{Msg: fmt.Sprintf(format, args...) + ": " + err.Error(), Err: err})
+	}
+}
+
+// PanicError wraps a recovered panic as an error, preserving the panic
+// value and the goroutine stack at recovery time.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v", e.Value)
+}
+
+// Unwrap exposes a wrapped error panic value (errors.Is/As pass through
+// to the original error when a function panicked with one).
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// CapturePanic converts a recover() value into an error carrying the
+// current stack. It returns nil for a nil recover value, so it can be
+// called unconditionally:
+//
+//	defer func() { if e := diag.CapturePanic(recover()); e != nil { err = e } }()
+func CapturePanic(r any) error {
+	if r == nil {
+		return nil
+	}
+	return &PanicError{Value: r, Stack: debug.Stack()}
+}

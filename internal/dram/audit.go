@@ -22,12 +22,16 @@ type Auditor struct {
 	geom config.Geometry
 
 	history    []AuditedCommand
-	violations []string
+	violations []Violation
 
 	// open tracks row state per (rank, group, bank, sub, slot).
 	open map[auditKey]*auditRow
 	// blockedUntil tracks per-rank refresh blackouts.
 	blockedUntil map[int]clock.Cycle
+	// lastRef tracks the last REF per rank for the refresh-interval
+	// accounting; refreshOn gates the check.
+	lastRef   map[int]clock.Cycle
+	refreshOn bool
 
 	planes *core.PlaneLogic
 }
@@ -57,6 +61,8 @@ func NewAuditor(sys *config.System) *Auditor {
 		ct: sys.CT, sch: sys.Scheme, geom: sys.Geom,
 		open:         make(map[auditKey]*auditRow),
 		blockedUntil: make(map[int]clock.Cycle),
+		lastRef:      make(map[int]clock.Cycle),
+		refreshOn:    sys.Ctrl.RefreshEnabled,
 	}
 	if sys.Scheme.HasPlanes() && sys.Scheme.Mode != config.SubBankMASA {
 		rowBits := sys.Geom.RowBits
@@ -68,14 +74,43 @@ func NewAuditor(sys *config.System) *Auditor {
 	return a
 }
 
-func (a *Auditor) fail(at clock.Cycle, format string, args ...any) {
+func (a *Auditor) fail(at clock.Cycle, rule, format string, args ...any) {
 	if len(a.violations) < 32 {
-		a.violations = append(a.violations, fmt.Sprintf("cycle %d: %s", at, fmt.Sprintf(format, args...)))
+		a.violations = append(a.violations, Violation{
+			At: at, Rule: rule, Msg: fmt.Sprintf(format, args...),
+		})
 	}
 }
 
-// Violations reports every detected protocol violation.
-func (a *Auditor) Violations() []string { return a.violations }
+// Violations reports every detected protocol violation as formatted
+// strings (the historical interface; Structured exposes the full record).
+func (a *Auditor) Violations() []string {
+	var out []string
+	for _, v := range a.violations {
+		out = append(out, v.Error())
+	}
+	return out
+}
+
+// Structured reports every detected protocol violation with its rule tag
+// and cycle. The slice is append-only: callers may track a consumed
+// prefix to drain new violations incrementally.
+func (a *Auditor) Structured() []Violation { return a.violations }
+
+// Finish runs the end-of-stream checks: the refresh-interval accounting
+// flags a rank whose last REF (or, for a run long enough to need one,
+// whose first REF) is more than twice tREFI in the past — the signature
+// of a lost or indefinitely delayed refresh.
+func (a *Auditor) Finish(end clock.Cycle) {
+	if !a.refreshOn || a.ct.REFI <= 0 {
+		return
+	}
+	for r := 0; r < a.geom.Ranks; r++ {
+		if gap := end - a.lastRef[r]; gap > 2*a.ct.REFI {
+			a.fail(end, "tREFI", "refresh starvation: rank %d last REF %d cycles ago (tREFI %d)", r, gap, a.ct.REFI)
+		}
+	}
+}
 
 // Commands reports how many commands were observed.
 func (a *Auditor) Commands() int { return len(a.history) }
@@ -88,7 +123,7 @@ func (a *Auditor) Events() []AuditedCommand { return a.history }
 // Observe records and checks one issued command.
 func (a *Auditor) Observe(c Command, at clock.Cycle) {
 	if at < a.blockedUntil[c.Rank] && c.Kind != CmdREF {
-		a.fail(at, "command during tRFC blackout (until %d): %v", a.blockedUntil[c.Rank], c)
+		a.fail(at, "tRFC", "command during tRFC blackout (until %d): %v", a.blockedUntil[c.Rank], c)
 	}
 	switch c.Kind {
 	case CmdPREA:
@@ -102,6 +137,15 @@ func (a *Auditor) Observe(c Command, at clock.Cycle) {
 		a.history = append(a.history, AuditedCommand{c, at})
 		return
 	case CmdREF:
+		// Refresh-interval accounting: consecutive REFs to one rank must
+		// stay within tREFI plus scheduling slack (the controller may defer
+		// a refresh behind open-row draining, but never a whole interval).
+		if a.refreshOn && a.ct.REFI > 0 {
+			if gap := at - a.lastRef[c.Rank]; gap > 2*a.ct.REFI {
+				a.fail(at, "tREFI", "refresh interval overrun: rank %d REF %d cycles after previous (tREFI %d)", c.Rank, gap, a.ct.REFI)
+			}
+		}
+		a.lastRef[c.Rank] = at
 		a.blockedUntil[c.Rank] = at + a.ct.RFC
 		a.history = append(a.history, AuditedCommand{c, at})
 		return
@@ -116,13 +160,13 @@ func (a *Auditor) Observe(c Command, at clock.Cycle) {
 	switch c.Kind {
 	case CmdACT:
 		if st.active {
-			a.fail(at, "ACT to open slot %v", c)
+			a.fail(at, "ACT-on-open", "ACT to open slot %v", c)
 		}
 		if st.preAt != never && at-st.preAt < a.ct.RP {
-			a.fail(at, "tRP violation: ACT %d after PRE (need %d): %v", at-st.preAt, a.ct.RP, c)
+			a.fail(at, "tRP", "tRP violation: ACT %d after PRE (need %d): %v", at-st.preAt, a.ct.RP, c)
 		}
 		if st.actAt != never && at-st.actAt < a.ct.RC {
-			a.fail(at, "tRC violation: ACT %d after ACT (need %d): %v", at-st.actAt, a.ct.RC, c)
+			a.fail(at, "tRC", "tRC violation: ACT %d after ACT (need %d): %v", at-st.actAt, a.ct.RC, c)
 		}
 		a.checkActRate(c, at)
 		a.checkPlaneInvariant(c, at)
@@ -131,25 +175,25 @@ func (a *Auditor) Observe(c Command, at clock.Cycle) {
 		st.actAt = at
 	case CmdPRE:
 		if !st.active {
-			a.fail(at, "PRE to closed slot %v", c)
+			a.fail(at, "PRE-on-closed", "PRE to closed slot %v", c)
 		}
 		if st.actAt != never && at-st.actAt < a.ct.RAS {
-			a.fail(at, "tRAS violation: PRE %d after ACT (need %d): %v", at-st.actAt, a.ct.RAS, c)
+			a.fail(at, "tRAS", "tRAS violation: PRE %d after ACT (need %d): %v", at-st.actAt, a.ct.RAS, c)
 		}
 		if st.lastRd != never && at-st.lastRd < a.ct.RTP {
-			a.fail(at, "tRTP violation: PRE %d after RD (need %d): %v", at-st.lastRd, a.ct.RTP, c)
+			a.fail(at, "tRTP", "tRTP violation: PRE %d after RD (need %d): %v", at-st.lastRd, a.ct.RTP, c)
 		}
 		if st.lastWr != never && at-st.lastWr < a.ct.CWL+a.ct.Burst+a.ct.WR {
-			a.fail(at, "tWR violation: PRE %d after WR: %v", at-st.lastWr, c)
+			a.fail(at, "tWR", "tWR violation: PRE %d after WR: %v", at-st.lastWr, c)
 		}
 		st.active = false
 		st.preAt = at
 	case CmdRD, CmdWR:
 		if !st.active || st.row != c.Row {
-			a.fail(at, "column command to closed/mismatched row: %v", c)
+			a.fail(at, "row-mismatch", "column command to closed/mismatched row: %v", c)
 		}
 		if st.actAt != never && at-st.actAt < a.ct.RCD {
-			a.fail(at, "tRCD violation: column %d after ACT (need %d): %v", at-st.actAt, a.ct.RCD, c)
+			a.fail(at, "tRCD", "tRCD violation: column %d after ACT (need %d): %v", at-st.actAt, a.ct.RCD, c)
 		}
 		a.checkColumnSpacing(c, at)
 		a.checkDataBus(c, at)
@@ -171,12 +215,12 @@ func (a *Auditor) checkActRate(c Command, at clock.Cycle) {
 			continue
 		}
 		if count == 0 && at-ev.At < a.ct.RRD {
-			a.fail(at, "tRRD violation: ACT %d after ACT (need %d): %v", at-ev.At, a.ct.RRD, c)
+			a.fail(at, "tRRD", "tRRD violation: ACT %d after ACT (need %d): %v", at-ev.At, a.ct.RRD, c)
 		}
 		count++
 		if count == 4 {
 			if at-ev.At < a.ct.FAW {
-				a.fail(at, "tFAW violation: 5th ACT %d after 4-back (need %d): %v", at-ev.At, a.ct.FAW, c)
+				a.fail(at, "tFAW", "tFAW violation: 5th ACT %d after 4-back (need %d): %v", at-ev.At, a.ct.FAW, c)
 			}
 			return
 		}
@@ -201,15 +245,15 @@ func (a *Auditor) checkColumnSpacing(c Command, at clock.Cycle) {
 		}
 		gap := at - ev.At
 		if gap < a.ct.CCDS {
-			a.fail(at, "tCCD_S violation: column %d after column (need %d): %v", gap, a.ct.CCDS, c)
+			a.fail(at, "tCCD_S", "tCCD_S violation: column %d after column (need %d): %v", gap, a.ct.CCDS, c)
 		}
 		sameBank := ev.Cmd.Rank == c.Rank && ev.Cmd.Group == c.Group && ev.Cmd.Bank == c.Bank
 		sameGroup := ev.Cmd.Rank == c.Rank && ev.Cmd.Group == c.Group
 		if sameBank && gap < a.ct.CCDL {
-			a.fail(at, "tCCD_L(bank) violation: column %d after column (need %d): %v", gap, a.ct.CCDL, c)
+			a.fail(at, "tCCD_L", "tCCD_L(bank) violation: column %d after column (need %d): %v", gap, a.ct.CCDL, c)
 		}
 		if sameGroup && !a.sch.DDB && a.sch.BankGrouping && gap < a.ct.CCDL {
-			a.fail(at, "tCCD_L(group) violation: column %d after column (need %d): %v", gap, a.ct.CCDL, c)
+			a.fail(at, "tCCD_L", "tCCD_L(group) violation: column %d after column (need %d): %v", gap, a.ct.CCDL, c)
 		}
 		// DDB two-command windows: at most two same-direction column
 		// commands per tTCW window within a bank group.
@@ -217,17 +261,17 @@ func (a *Auditor) checkColumnSpacing(c Command, at clock.Cycle) {
 			(ev.Cmd.Kind == c.Kind) && gap < a.ct.TCW {
 			sameGroupCount++
 			if sameGroupCount >= 2 {
-				a.fail(at, "tTCW violation: third same-direction column within %d: %v", a.ct.TCW, c)
+				a.fail(at, "tTCW", "tTCW violation: third same-direction column within %d: %v", a.ct.TCW, c)
 			}
 		}
 		// Write-to-read turnaround.
 		if read && ev.Cmd.Kind == CmdWR {
 			dataEnd := ev.At + a.ct.CWL + a.ct.Burst
 			if at-dataEnd < a.ct.WTRS && at > dataEnd-a.ct.WTRS {
-				a.fail(at, "tWTR_S violation: RD %d after WR data end: %v", at-dataEnd, c)
+				a.fail(at, "tWTR_S", "tWTR_S violation: RD %d after WR data end: %v", at-dataEnd, c)
 			}
 			if sameBank && at < dataEnd+a.ct.WTRL {
-				a.fail(at, "tWTR_L violation: RD %d after same-bank WR data end: %v", at-dataEnd, c)
+				a.fail(at, "tWTR_L", "tWTR_L violation: RD %d after same-bank WR data end: %v", at-dataEnd, c)
 			}
 		}
 	}
@@ -247,7 +291,7 @@ func (a *Auditor) checkDataBus(c Command, at clock.Cycle) {
 		}
 		s2, e2 := a.dataWindow(ev.Cmd.Kind, ev.At)
 		if start < e2 && s2 < end {
-			a.fail(at, "data bus overlap: [%d,%d) with [%d,%d): %v", start, end, s2, e2, c)
+			a.fail(at, "bus-overlap", "data bus overlap: [%d,%d) with [%d,%d): %v", start, end, s2, e2, c)
 		}
 	}
 }
@@ -279,7 +323,7 @@ func (a *Auditor) checkPlaneInvariant(c Command, at clock.Cycle) {
 	pl := a.planes
 	if pl.PlaneID(c.Row, c.Sub) == pl.PlaneID(other.row, 1-c.Sub) &&
 		pl.Latch(c.Row) != pl.Latch(other.row) {
-		a.fail(at, "plane invariant violation: ACT %#x in sub %d while sub %d holds %#x in the same plane",
+		a.fail(at, "plane-invariant", "plane invariant violation: ACT %#x in sub %d while sub %d holds %#x in the same plane",
 			c.Row, c.Sub, 1-c.Sub, other.row)
 	}
 }

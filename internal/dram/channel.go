@@ -6,6 +6,7 @@ import (
 	"eruca/internal/clock"
 	"eruca/internal/config"
 	"eruca/internal/core"
+	"eruca/internal/diag"
 )
 
 // Channel is the timing engine for one DRAM channel.
@@ -28,15 +29,48 @@ type Channel struct {
 	slotsPerSub int
 	subsPerBank int
 	banksPerGrp int
+	rowBits     int
 
-	audit *Auditor
+	obs []Observer
+
+	// onViolation, when set, receives protocol violations (a controller
+	// bug or injected fault) instead of the default panic, letting a
+	// checker in Fail/Log mode keep the process alive.
+	onViolation func(Violation)
 
 	Stats Stats
 }
 
-// Attach registers a protocol auditor that independently re-checks every
-// issued command (including the internal refresh sequence).
-func (ch *Channel) Attach(a *Auditor) { ch.audit = a }
+// Attach registers an observer (protocol auditor / checker) that sees
+// every issued command, including the internal refresh sequence.
+// Multiple observers may be attached; they are notified in order.
+func (ch *Channel) Attach(o Observer) { ch.obs = append(ch.obs, o) }
+
+// OnViolation installs a handler for protocol violations detected by the
+// timing engine itself. Without a handler the engine panics — the
+// historical behavior, appropriate when any violation is a simulator
+// bug. With a handler installed the engine reports the violation and
+// continues best-effort, which is what the Fail/Log checker modes and
+// the fault-injection harness rely on.
+func (ch *Channel) OnViolation(h func(Violation)) { ch.onViolation = h }
+
+// violate raises one protocol violation through the configured handler,
+// or panics with the structured Violation when none is installed.
+func (ch *Channel) violate(at clock.Cycle, rule string, c Command, format string, args ...any) {
+	v := Violation{At: at, Rule: rule, Cmd: c, Msg: fmt.Sprintf(format, args...)}
+	if ch.onViolation != nil {
+		ch.onViolation(v)
+		return
+	}
+	panic(v)
+}
+
+// observe fans one issued command out to every attached observer.
+func (ch *Channel) observe(c Command, at clock.Cycle) {
+	for _, o := range ch.obs {
+		o.Observe(c, at)
+	}
+}
 
 // NewChannel builds a channel for the system configuration. rowBits is
 // the per-sub-bank row width produced by the address mapper.
@@ -49,6 +83,7 @@ func NewChannel(sys *config.System, rowBits int) *Channel {
 		subsPerBank: sch.SubBanksPerBank(),
 		banksPerGrp: sys.Geom.BanksPerGroup,
 		slotsPerSub: 1,
+		rowBits:     rowBits,
 	}
 	if sch.Mode == config.SubBankMASA {
 		ch.hasMASA = true
@@ -192,23 +227,27 @@ func (ch *Channel) EarliestIssue(c Command) clock.Cycle {
 	return e
 }
 
-// Issue commits a command at the given cycle. It panics if the command
-// violates a timing constraint: that is a controller bug.
+// Issue commits a command at the given cycle. A command that violates a
+// timing constraint is a controller bug: without an OnViolation handler
+// the engine panics with the structured Violation; with one it reports
+// the violation and applies the command best-effort so a Log/Fail
+// checker can keep the run alive.
 func (ch *Channel) Issue(c Command, now clock.Cycle) {
 	if e := ch.EarliestIssue(c); now < e {
-		panic(fmt.Sprintf("dram: %v issued at %d, earliest legal %d", c, now, e))
+		ch.violate(now, "timing", c, "dram: %v issued at %d, earliest legal %d", c, now, e)
 	}
 	rk, grp, bk, sb := ch.sub(c)
 	slot := &sb.slots[c.Slot]
 	rk.observe(now, &ch.Stats)
-	if ch.audit != nil {
-		ch.audit.Observe(c, now)
-	}
+	ch.observe(c, now)
 
 	switch c.Kind {
 	case CmdACT:
 		if slot.active {
-			panic(fmt.Sprintf("dram: ACT on open slot: %v", c))
+			ch.violate(now, "ACT-on-open", c, "dram: ACT on open slot: %v", c)
+			// Best-effort continue: re-open the slot with the new row.
+			sb.openCount--
+			rk.openSubs--
 		}
 		slot.active = true
 		slot.row = c.Row
@@ -227,7 +266,10 @@ func (ch *Channel) Issue(c Command, now clock.Cycle) {
 		}
 	case CmdPRE:
 		if !slot.active {
-			panic(fmt.Sprintf("dram: PRE on closed slot: %v", c))
+			ch.violate(now, "PRE-on-closed", c, "dram: PRE on closed slot: %v", c)
+			// Best-effort continue: account the spurious PRE as a no-op.
+			sb.openCount++
+			rk.openSubs++
 		}
 		slot.active = false
 		slot.rdyAct = maxc(slot.rdyAct, now+ch.ct.RP)
@@ -245,7 +287,7 @@ func (ch *Channel) Issue(c Command, now clock.Cycle) {
 	case CmdRD, CmdWR:
 		read := c.Kind == CmdRD
 		if !slot.active || slot.row != c.Row {
-			panic(fmt.Sprintf("dram: column command to closed/mismatched row: %v (open=%v row=%#x)", c, slot.active, slot.row))
+			ch.violate(now, "row-mismatch", c, "dram: column command to closed/mismatched row: %v (open=%v row=%#x)", c, slot.active, slot.row)
 		}
 		bk.lastCol = now
 		bk.colCount++
@@ -269,7 +311,7 @@ func (ch *Channel) Issue(c Command, now clock.Cycle) {
 		}
 		ch.busLastRead = read
 	default:
-		panic(fmt.Sprintf("dram: Issue of managed command %v", c))
+		diag.Invariantf("dram: Issue of managed command %v", c)
 	}
 }
 
@@ -346,9 +388,7 @@ func (ch *Channel) MaintainRefresh(now clock.Cycle) {
 			rk.openSubs = 0
 			ch.Stats.PreAlls++
 			rk.preaAt = now
-			if ch.audit != nil {
-				ch.audit.Observe(Command{Kind: CmdPREA, Rank: rankIndex(ch, rk)}, now)
-			}
+			ch.observe(Command{Kind: CmdPREA, Rank: rankIndex(ch, rk)}, now)
 			continue
 		}
 		// All closed: REF once tRP from PREA has elapsed.
@@ -363,9 +403,7 @@ func (ch *Channel) MaintainRefresh(now clock.Cycle) {
 			rk.refPending = false
 			rk.preaAt = never
 			ch.Stats.Refreshes++
-			if ch.audit != nil {
-				ch.audit.Observe(Command{Kind: CmdREF, Rank: rankIndex(ch, rk)}, now)
-			}
+			ch.observe(Command{Kind: CmdREF, Rank: rankIndex(ch, rk)}, now)
 		}
 	}
 }

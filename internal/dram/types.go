@@ -112,3 +112,25 @@ func (s *Stats) RowHits() uint64 {
 }
 
 const never = clock.Cycle(-1) << 60
+
+// Violation is one structured protocol violation: a timing or state rule
+// broken at a cycle, tagged with the JEDEC/ERUCA rule name ("tRP",
+// "ACT-on-open", "plane-invariant", ...). The timing engine raises them
+// for controller bugs; the Auditor records them when re-checking an
+// observed command stream.
+type Violation struct {
+	At   clock.Cycle
+	Rule string
+	Cmd  Command // zero when the violation is not tied to one command
+	Msg  string
+}
+
+// Error implements error, matching the auditor's historical formatting.
+func (v Violation) Error() string { return fmt.Sprintf("cycle %d: %s", v.At, v.Msg) }
+
+// Observer receives every command the channel issues (including the
+// internally managed PREA/REF refresh sequence), in issue order. The
+// Auditor and the protocol checker both implement it.
+type Observer interface {
+	Observe(c Command, at clock.Cycle)
+}

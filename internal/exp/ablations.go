@@ -61,20 +61,23 @@ func (r *Runner) Ablations(frag float64) (*Table, error) {
 		Title:  fmt.Sprintf("Ablations: GMEAN normalized WS of VSB(EWLR+RAP)+DDB variants (FMFI %.0f%%)", frag*100),
 		Header: []string{"choice", "variant", "norm WS"},
 	}
+	c := &collector{}
 	for _, v := range variants {
 		var vals []float64
+		var cellErr error
 		for _, mix := range r.Mixes() {
 			ws, err := r.NormWS(v.sys, mix, frag)
 			if err != nil {
-				return nil, err
+				cellErr = err
+				break
 			}
 			vals = append(vals, ws)
 		}
-		t.Rows = append(t.Rows, []string{v.group, v.name, f3(stats.GeoMean(vals))})
+		t.Rows = append(t.Rows, []string{v.group, v.name, c.cell(f3(stats.GeoMean(vals)), sysKey(v.sys), cellErr)})
 	}
 	t.Notes = append(t.Notes,
 		"Each group varies one knob of the full ERUCA configuration; DESIGN.md lists the rationale.")
-	return t, nil
+	return c.finish(t)
 }
 
 // aloneSanity is referenced by tests: every benchmark's alone IPC must

@@ -24,7 +24,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"eruca/internal/check"
 	"eruca/internal/config"
+	"eruca/internal/faults"
 	"eruca/internal/sim"
 	"eruca/internal/stats"
 	"eruca/internal/workload"
@@ -49,6 +51,16 @@ type Params struct {
 	// (0 = GOMAXPROCS). Every table is byte-identical at any setting;
 	// only wall-clock time and the order of progress lines change.
 	Parallel int
+	// Check selects the protocol-checker mode applied to every
+	// simulation (Off by default; Log is guaranteed not to perturb the
+	// tables).
+	Check check.Mode
+	// Watchdog, when non-nil, arms the liveness monitors on every
+	// simulation.
+	Watchdog *sim.Watchdog
+	// Faults, when non-nil, schedules fault injection in every
+	// simulation (chaos sweeps; each run clones the plan).
+	Faults *faults.Plan
 }
 
 // DefaultParams returns the harness defaults.
@@ -215,7 +227,7 @@ func (r *Runner) Result(sys *config.System, mix workload.Mix, frag float64) (*si
 	r.sem <- struct{}{}
 	defer func() { <-r.sem }()
 	r.logJob("run %-34s %s frag=%.1f", sysKey(sys), mix.Name, frag)
-	f.val, f.err = sim.Run(sim.Options{
+	f.val, f.err = r.run(sim.Options{
 		Sys: sys, Benches: mix.Bench, Instrs: r.p.Instrs, Warmup: r.p.Warmup,
 		Frag: frag, Seed: r.p.Seed,
 	})
@@ -242,7 +254,7 @@ func (r *Runner) AloneIPC(bench string, frag, busMHz float64) (float64, error) {
 	r.sem <- struct{}{}
 	defer func() { <-r.sem }()
 	r.logJob("alone %-12s frag=%.1f bus=%.0f", bench, frag, busMHz)
-	res, err := sim.Run(sim.Options{
+	res, err := r.run(sim.Options{
 		Sys: config.Baseline(busMHz), Benches: []string{bench},
 		Instrs: r.p.Instrs, Warmup: r.p.Warmup, Frag: frag, Seed: r.p.Seed,
 	})

@@ -20,28 +20,32 @@ func (r *Runner) Fig12(frag float64) (*Table, error) {
 	for _, sys := range systems {
 		t.Header = append(t.Header, sys.Name)
 	}
+	c := &collector{}
 	perSys := make([][]float64, len(systems))
 	for _, mix := range r.Mixes() {
 		row := []string{mix.Name}
 		for i, sys := range systems {
 			v, err := r.NormWS(sys, mix, frag)
-			if err != nil {
-				return nil, err
+			if err == nil {
+				perSys[i] = append(perSys[i], v)
 			}
-			perSys[i] = append(perSys[i], v)
-			row = append(row, f3(v))
+			row = append(row, c.cell(f3(v), sysKey(sys)+"/"+mix.Name, err))
 		}
 		t.Rows = append(t.Rows, row)
 	}
 	g := []string{"GMEAN"}
 	for i := range systems {
+		if len(perSys[i]) == 0 {
+			g = append(g, "ERR")
+			continue
+		}
 		g = append(g, f3(stats.GeoMean(perSys[i])))
 	}
 	t.Rows = append(t.Rows, g)
 	t.Notes = append(t.Notes,
 		"Paper (GMEAN, 200M instrs): VSB(naive)+BG ~1.10, VSB(naive)+DDB ~1.12, VSB(EWLR+RAP)+DDB ~1.15,",
 		"Ideal32 ~1.17, Paired-bank(EWLR+RAP) ~0.98 (+DDB ~0.99). 4 planes throughout.")
-	return t, nil
+	return c.finish(t)
 }
 
 // fig13Systems returns the plane-count sensitivity grid of Fig. 13:
@@ -74,26 +78,21 @@ func (r *Runner) Fig13a(frag float64) (*Table, error) {
 		Title:  fmt.Sprintf("Fig. 13a: plane-count sensitivity, GMEAN normalized WS (FMFI %.0f%%, all +DDB)", frag*100),
 		Header: []string{"planes", "VSB(naive)", "VSB(EWLR)", "VSB(RAP)", "VSB(EWLR+RAP)"},
 	}
+	c := &collector{}
 	for _, planes := range fig13PlaneCounts {
 		row := []string{fmt.Sprint(planes)}
 		for _, sys := range fig13Systems(planes) {
 			v, err := r.GMeanNormWS(sys, frag)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, f3(v))
+			row = append(row, c.cell(f3(v), sysKey(sys), err))
 		}
 		t.Rows = append(t.Rows, row)
 	}
 	ideal, err := r.GMeanNormWS(config.Ideal32(config.DefaultBusMHz), frag)
-	if err != nil {
-		return nil, err
-	}
 	t.Notes = append(t.Notes,
-		fmt.Sprintf("Ideal32 reference: %.3f.", ideal),
+		fmt.Sprintf("Ideal32 reference: %s.", c.cell(f3(ideal), "Ideal32", err)),
 		"Paper: EWLR+RAP varies <4% between 2 and 16 planes and reaches within ~4% of ideal with",
 		"2 planes; naive VSB needs many planes and still trails at 16.")
-	return t, nil
+	return c.finish(t)
 }
 
 // Fig13b reproduces the fraction of precharges caused by plane
@@ -104,24 +103,27 @@ func (r *Runner) Fig13b(frag float64) (*Table, error) {
 		Title:  fmt.Sprintf("Fig. 13b: precharges from plane conflicts (FMFI %.0f%%, all +DDB)", frag*100),
 		Header: []string{"planes", "VSB(naive)", "VSB(EWLR)", "VSB(RAP)", "VSB(EWLR+RAP)"},
 	}
+	c := &collector{}
 	for _, planes := range fig13PlaneCounts {
 		row := []string{fmt.Sprint(planes)}
 		for _, sys := range fig13Systems(planes) {
 			var confPre, pres uint64
+			var cellErr error
 			for _, mix := range r.Mixes() {
 				res, err := r.Result(sys, mix, frag)
 				if err != nil {
-					return nil, err
+					cellErr = err
+					break
 				}
 				confPre += res.DRAM.PlaneConfPre
 				pres += res.DRAM.Pres
 			}
-			row = append(row, pct(stats.Ratio(float64(confPre), float64(pres))))
+			row = append(row, c.cell(pct(stats.Ratio(float64(confPre), float64(pres))), sysKey(sys), cellErr))
 		}
 		t.Rows = append(t.Rows, row)
 	}
 	t.Notes = append(t.Notes, "Paper: highly correlated with Fig. 13a; EWLR+RAP suppresses conflicts at low plane counts.")
-	return t, nil
+	return c.finish(t)
 }
 
 // Fig14 reproduces the channel-frequency sweep: GMEAN normalized WS of
@@ -146,22 +148,20 @@ func (r *Runner) Fig14(frag float64) (*Table, error) {
 		Title:  fmt.Sprintf("Fig. 14: DDB speedup vs channel frequency (FMFI %.0f%%)", frag*100),
 		Header: []string{"busMHz", "VSB(EWLR+RAP)+BG", "VSB(EWLR+RAP)+DDB", "BG32", "Ideal32"},
 	}
+	c := &collector{}
 	for _, mhz := range config.Fig14Frequencies() {
 		systems := fig14Systems(mhz)
 		row := []string{fmt.Sprintf("%.0f", mhz)}
 		for _, sys := range systems {
 			v, err := r.GMeanNormWS(sys, frag)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, f3(v))
+			row = append(row, c.cell(f3(v), sysKey(sys), err))
 		}
 		t.Rows = append(t.Rows, row)
 	}
 	t.Notes = append(t.Notes,
 		"Paper: bank-grouped configurations saturate with frequency while VSB+DDB tracks the ideal",
 		"growth trend, reaching ~5% over VSB+BG at 2.4GHz.")
-	return t, nil
+	return c.finish(t)
 }
 
 // Fig15 reproduces the prior-work comparison (GMEAN normalized WS).
@@ -171,22 +171,20 @@ func (r *Runner) Fig15(frag float64) (*Table, error) {
 		Title:  fmt.Sprintf("Fig. 15: comparison to prior sub-banking schemes (FMFI %.0f%%)", frag*100),
 		Header: []string{"system", "norm WS", "area overhead"},
 	}
+	c := &collector{}
 	for _, sys := range config.Fig15Systems() {
 		v, err := r.GMeanNormWS(sys, frag)
-		if err != nil {
-			return nil, err
-		}
 		ov := area.Overhead(sys.Scheme, sys.Geom.Banks())
 		ovs := pct(ov)
 		if sys.Scheme.Mode == config.SubBankNone {
 			ovs = pct(area.FullBanks32)
 		}
-		t.Rows = append(t.Rows, []string{sys.Name, f3(v), ovs})
+		t.Rows = append(t.Rows, []string{sys.Name, c.cell(f3(v), sysKey(sys), err), ovs})
 	}
 	t.Notes = append(t.Notes,
 		"Paper: Half-DRAM ~1.08, VSB(EWLR+RAP) ~1.13 (+DDB 1.15), MASA4/MASA8 above VSB at medium",
 		"intensity, MASA8+ERUCA ~1.26 (no DDB) and ~1.29 (DDB), Ideal32 ~1.17.")
-	return t, nil
+	return c.finish(t)
 }
 
 // Fig16a reproduces the read queueing-latency comparison.
@@ -201,22 +199,29 @@ func (r *Runner) Fig16a(frag float64) (*Table, error) {
 		Title:  fmt.Sprintf("Fig. 16a: read queueing latency, ns (FMFI %.0f%%)", frag*100),
 		Header: []string{"system", "mean", "q1", "median", "q3"},
 	}
+	c := &collector{}
 	for _, sys := range systems {
 		agg := &stats.Sampler{}
+		var cellErr error
 		for _, mix := range r.Mixes() {
 			res, err := r.Result(sys, mix, frag)
 			if err != nil {
-				return nil, err
+				cellErr = err
+				break
 			}
 			agg.Merge(res.QueueLat, 1)
 		}
 		q1, med, q3 := agg.Quartiles()
-		t.Rows = append(t.Rows, []string{sys.Name, f1(agg.Mean()), f1(q1), f1(med), f1(q3)})
+		t.Rows = append(t.Rows, []string{sys.Name,
+			c.cell(f1(agg.Mean()), sysKey(sys), cellErr),
+			c.cell(f1(q1), sysKey(sys), cellErr),
+			c.cell(f1(med), sysKey(sys), cellErr),
+			c.cell(f1(q3), sysKey(sys), cellErr)})
 	}
 	t.Notes = append(t.Notes,
 		"Paper: mean drops ~15% from DDR4 (61.2ns) with ERUCA (51.8ns), within 1% of ideal (51.7ns);",
 		"ERUCA's third quartile stays above ideal due to residual plane conflicts.")
-	return t, nil
+	return c.finish(t)
 }
 
 // Fig16b reproduces the energy comparison, normalized to DDR4.
@@ -241,9 +246,10 @@ func (r *Runner) Fig16b(frag float64) (*Table, error) {
 		}
 		return s, nil
 	}
-	bsum, err := sum(base)
-	if err != nil {
-		return nil, err
+	c := &collector{}
+	bsum, baseErr := sum(base)
+	if baseErr != nil {
+		c.cell("", sysKey(base), baseErr)
 	}
 	t := &Table{
 		Title:  fmt.Sprintf("Fig. 16b: energy normalized to DDR4 (FMFI %.0f%%)", frag*100),
@@ -251,16 +257,16 @@ func (r *Runner) Fig16b(frag float64) (*Table, error) {
 	}
 	for _, sys := range systems {
 		s, err := sum(sys)
-		if err != nil {
-			return nil, err
+		if err == nil {
+			err = baseErr
 		}
 		t.Rows = append(t.Rows, []string{sys.Name,
-			pct(stats.Ratio(s.bg, bsum.bg)),
-			pct(stats.Ratio(s.act, bsum.act)),
-			pct(stats.Ratio(s.all, bsum.all))})
+			c.cell(pct(stats.Ratio(s.bg, bsum.bg)), sysKey(sys), err),
+			c.cell(pct(stats.Ratio(s.act, bsum.act)), sysKey(sys), err),
+			c.cell(pct(stats.Ratio(s.all, bsum.all)), sysKey(sys), err)})
 	}
 	t.Notes = append(t.Notes,
 		"Paper: ERUCA cuts activation energy ~6% (more page-locality reuse + EWLR hits) and background",
 		"energy through shorter execution, landing within 1% of the ideal configuration.")
-	return t, nil
+	return c.finish(t)
 }

@@ -1,0 +1,180 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"eruca/internal/check"
+	"eruca/internal/config"
+	"eruca/internal/diag"
+	"eruca/internal/sim"
+)
+
+// runSim is the simulation entry point, indirected so tests can
+// substitute a misbehaving implementation and prove the harness
+// survives it.
+var runSim = sim.Run
+
+// safeRun executes one simulation with panic isolation: a panicking
+// run (a broken configuration tripping an invariant, a bug) becomes an
+// ordinary per-job error instead of killing the whole sweep.
+func safeRun(opt sim.Options) (res *sim.Result, err error) {
+	defer func() {
+		if e := diag.CapturePanic(recover()); e != nil {
+			res, err = nil, e
+		}
+	}()
+	return runSim(opt)
+}
+
+// run applies the Params-level robustness options (checker mode,
+// watchdog, fault plan) and executes through the panic barrier.
+func (r *Runner) run(opt sim.Options) (*sim.Result, error) {
+	if r.p.Check != check.Off {
+		opt.Check = &check.Options{Mode: r.p.Check}
+	}
+	if opt.Watchdog == nil {
+		opt.Watchdog = r.p.Watchdog
+	}
+	if opt.Faults == nil {
+		opt.Faults = r.p.Faults
+	}
+	return safeRun(opt)
+}
+
+// JobFailure names one failed sweep job.
+type JobFailure struct {
+	// Key identifies the job ("system/mix" or similar).
+	Key string
+	// Err is the job's error (possibly a *diag.PanicError or
+	// *check.ProtocolError).
+	Err error
+}
+
+// SweepError aggregates the failed jobs of a sweep whose remaining
+// jobs completed; the accompanying Table renders failed cells as ERR.
+type SweepError struct {
+	Failures []JobFailure
+}
+
+// Error implements error with a bounded multi-line summary.
+func (e *SweepError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d sweep job(s) failed:", len(e.Failures))
+	for i, f := range e.Failures {
+		if i == 8 {
+			fmt.Fprintf(&b, "\n  ... and %d more", len(e.Failures)-i)
+			break
+		}
+		fmt.Fprintf(&b, "\n  %s: %v", f.Key, f.Err)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the first failure for errors.Is/As.
+func (e *SweepError) Unwrap() error {
+	if len(e.Failures) == 0 {
+		return nil
+	}
+	return e.Failures[0].Err
+}
+
+// collector accumulates per-cell failures while a table is built, so
+// one bad configuration costs one ERR cell instead of the whole sweep.
+type collector struct {
+	failures []JobFailure
+	seen     map[string]bool
+}
+
+// cell returns val, or "ERR" while recording the failure (deduplicated
+// by key — one job can back several cells).
+func (c *collector) cell(val, key string, err error) string {
+	if err == nil {
+		return val
+	}
+	if c.seen == nil {
+		c.seen = make(map[string]bool)
+	}
+	if !c.seen[key] {
+		c.seen[key] = true
+		c.failures = append(c.failures, JobFailure{Key: key, Err: err})
+	}
+	return "ERR"
+}
+
+// finish returns the table unchanged on a clean sweep (keeping output
+// byte-identical to the pre-checker harness), or annotates it and
+// returns a *SweepError listing every failed job.
+func (c *collector) finish(t *Table) (*Table, error) {
+	if len(c.failures) == 0 {
+		return t, nil
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("%d job(s) failed (ERR cells); run with -v for details.", len(c.failures)))
+	return t, &SweepError{Failures: c.failures}
+}
+
+// Sweep runs every (system, mix) pair and tabulates the aggregate IPC
+// (sum over cores). It is the generic robustness-first sweep: a job
+// that fails — invalid configuration, Fail-mode protocol violation,
+// watchdog trip, even a panicking simulator — costs one ERR cell, and
+// every other job still completes. The returned error, when non-nil,
+// is a *SweepError naming each failed job.
+func (r *Runner) Sweep(systems []*config.System, frag float64) (*Table, error) {
+	r.warmResults(systems, frag)
+	c := &collector{}
+	t := &Table{
+		Title:  fmt.Sprintf("Sweep: aggregate IPC (FMFI %.0f%%)", frag*100),
+		Header: []string{"mix"},
+	}
+	for _, sys := range systems {
+		t.Header = append(t.Header, sys.Name)
+	}
+	for _, mix := range r.Mixes() {
+		row := []string{mix.Name}
+		for _, sys := range systems {
+			res, err := r.Result(sys, mix, frag)
+			val := ""
+			if err == nil {
+				sum := 0.0
+				for _, ipc := range res.IPC {
+					sum += ipc
+				}
+				val = f3(sum)
+			}
+			row = append(row, c.cell(val, sysKey(sys)+"/"+mix.Name, err))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return c.finish(t)
+}
+
+// Protocol reports every Log-mode checker violation recorded across
+// the cached results, sorted by key — the sweep-level crash-dump feed.
+func (r *Runner) Protocol() []string {
+	r.mu.Lock()
+	keys := make([]string, 0, len(r.cache))
+	for k := range r.cache {
+		keys = append(keys, k)
+	}
+	r.mu.Unlock()
+	sort.Strings(keys)
+	var out []string
+	for _, k := range keys {
+		r.mu.Lock()
+		f := r.cache[k]
+		r.mu.Unlock()
+		select {
+		case <-f.done:
+		default:
+			continue // still running; skip rather than block
+		}
+		if f.val == nil {
+			continue
+		}
+		for _, pe := range f.val.Protocol {
+			out = append(out, fmt.Sprintf("%s: %s", k, pe.Error()))
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package exp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"eruca/internal/check"
+	"eruca/internal/config"
+	"eruca/internal/diag"
+	"eruca/internal/sim"
+)
+
+func testParams() Params {
+	return Params{Instrs: 20_000, Seed: 7, Mixes: []string{"mix0"}, Parallel: 2}
+}
+
+// TestSweepSurvivesPanickingSimulator proves the panic barrier: a
+// simulator implementation that panics on one system costs exactly one
+// ERR cell, every other job completes, and the failure surfaces as a
+// *SweepError wrapping a *diag.PanicError.
+func TestSweepSurvivesPanickingSimulator(t *testing.T) {
+	old := runSim
+	defer func() { runSim = old }()
+	runSim = func(opt sim.Options) (*sim.Result, error) {
+		if opt.Sys.Name == "boom" {
+			panic("simulated simulator bug")
+		}
+		return sim.Run(opt)
+	}
+
+	good := config.Baseline(config.DefaultBusMHz)
+	bad := config.Baseline(config.DefaultBusMHz)
+	bad.Name = "boom"
+
+	r := NewRunner(testParams())
+	tab, err := r.Sweep([]*config.System{good, bad}, 0.1)
+	if tab == nil {
+		t.Fatal("sweep must still produce a table")
+	}
+	var se *SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SweepError", err)
+	}
+	if len(se.Failures) != 1 {
+		t.Fatalf("got %d failures, want 1: %v", len(se.Failures), se)
+	}
+	var pe *diag.PanicError
+	if !errors.As(se.Failures[0].Err, &pe) {
+		t.Fatalf("failure = %v, want *diag.PanicError", se.Failures[0].Err)
+	}
+	if !strings.Contains(se.Failures[0].Key, "boom") {
+		t.Errorf("failure key %q should name the broken system", se.Failures[0].Key)
+	}
+
+	// The table renders the good cell normally and the bad cell as ERR.
+	row := tab.Rows[0]
+	if row[1] == "ERR" || row[1] == "" {
+		t.Errorf("healthy system cell = %q, want a number", row[1])
+	}
+	if row[2] != "ERR" {
+		t.Errorf("broken system cell = %q, want ERR", row[2])
+	}
+	if len(tab.Notes) == 0 || !strings.Contains(tab.Notes[len(tab.Notes)-1], "failed") {
+		t.Errorf("table should note the failures: %v", tab.Notes)
+	}
+}
+
+// TestSweepSurvivesBrokenConfiguration proves an invalid configuration
+// (here: a geometry whose physical capacity cannot back the workload)
+// degrades to a per-job error instead of killing the sweep.
+func TestSweepSurvivesBrokenConfiguration(t *testing.T) {
+	good := config.Baseline(config.DefaultBusMHz)
+	bad := config.Baseline(config.DefaultBusMHz)
+	bad.Name = "tiny-mem"
+	bad.Geom.RowBits = 6 // ~exhausts physical memory immediately
+
+	r := NewRunner(testParams())
+	tab, err := r.Sweep([]*config.System{good, bad}, 0.1)
+	if tab == nil {
+		t.Fatal("sweep must still produce a table")
+	}
+	var se *SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SweepError", err)
+	}
+	row := tab.Rows[0]
+	if row[1] == "ERR" {
+		t.Error("healthy system should not be poisoned by the broken one")
+	}
+	if row[2] != "ERR" {
+		t.Errorf("broken system cell = %q, want ERR", row[2])
+	}
+}
+
+// TestSweepErrorFormatting pins the bounded multi-line rendering.
+func TestSweepErrorFormatting(t *testing.T) {
+	var se SweepError
+	for i := 0; i < 12; i++ {
+		se.Failures = append(se.Failures, JobFailure{
+			Key: "sysX/mix0", Err: errors.New("kaput"),
+		})
+	}
+	msg := se.Error()
+	if !strings.HasPrefix(msg, "12 sweep job(s) failed:") {
+		t.Errorf("unexpected header: %q", msg)
+	}
+	if !strings.Contains(msg, "and 4 more") {
+		t.Errorf("long failure list should be elided: %q", msg)
+	}
+	if se.Unwrap() == nil {
+		t.Error("Unwrap should expose the first failure")
+	}
+	if (&SweepError{}).Unwrap() != nil {
+		t.Error("empty SweepError unwraps to nil")
+	}
+}
+
+// TestLogModeSweepByteIdentical is the non-perturbation guarantee: the
+// same sweep with the Log-mode checker enabled renders byte-identical
+// tables to the unchecked run.
+func TestLogModeSweepByteIdentical(t *testing.T) {
+	systems := func() []*config.System {
+		return []*config.System{
+			config.Baseline(config.DefaultBusMHz),
+			config.VSB(4, true, true, true, config.DefaultBusMHz),
+		}
+	}
+	run := func(mode check.Mode) string {
+		p := testParams()
+		p.Check = mode
+		tab, err := NewRunner(p).Sweep(systems(), 0.1)
+		if err != nil {
+			t.Fatalf("sweep with check=%v: %v", mode, err)
+		}
+		return tab.Format()
+	}
+	plain := run(check.Off)
+	logged := run(check.Log)
+	if plain != logged {
+		t.Errorf("Log-mode checker perturbed the table:\n--- off ---\n%s--- log ---\n%s", plain, logged)
+	}
+}
+
+// TestProtocolFeedCollectsLoggedViolations proves the sweep-level
+// crash-dump feed: Log-mode violations recorded by any cached run are
+// reported, keyed and sorted.
+func TestProtocolFeedCollectsLoggedViolations(t *testing.T) {
+	old := runSim
+	defer func() { runSim = old }()
+	runSim = func(opt sim.Options) (*sim.Result, error) {
+		res, err := sim.Run(opt)
+		if err == nil && opt.Check != nil && opt.Check.Mode == check.Log {
+			res.Protocol = append(res.Protocol, &check.ProtocolError{
+				Rule: "tFAW", Cycle: 42, Detail: "synthetic", Source: "audit",
+			})
+		}
+		return res, err
+	}
+	p := testParams()
+	p.Check = check.Log
+	r := NewRunner(p)
+	if _, err := r.Sweep([]*config.System{config.Baseline(config.DefaultBusMHz)}, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	feed := r.Protocol()
+	if len(feed) == 0 {
+		t.Fatal("Protocol() returned nothing")
+	}
+	for _, line := range feed {
+		if !strings.Contains(line, "tFAW") {
+			t.Errorf("feed line missing rule tag: %q", line)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+// Package faults is the deterministic fault-injection harness for
+// chaos-testing the simulator's protocol checker and watchdogs. A Plan
+// is a seed-derived, pre-sorted schedule of fault events; the run loop
+// calls Apply once per bus cycle (cheap: one comparison when no event
+// is due) and NextAt when fast-forwarding so injected faults land on
+// their exact cycle even across skipped quiescent windows.
+//
+// The package deliberately knows nothing about the simulator's
+// concrete types: injection goes through the Target interface, which
+// internal/sim implements over its channels and controllers. This
+// keeps the dependency arrow pointing the right way (sim -> faults)
+// and lets tests drive plans against a mock target.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"eruca/internal/clock"
+)
+
+// farFuture mirrors the simulator's "no event" sentinel.
+const farFuture = clock.Cycle(1) << 60
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// RefreshDelay postpones a rank's next refresh far beyond tREFI —
+	// the "lost refresh" fault; caught by the checker's tREFI
+	// accounting.
+	RefreshDelay Kind = iota
+	// ForcePrecharge silently closes an open row behind the
+	// controller's back; the controller's next reuse of the slot
+	// surfaces as an ACT-on-open or row-state divergence in the audit.
+	ForcePrecharge
+	// TimingReset wipes the channel's spacing state so commands issue
+	// back-to-back; caught as tCCD/tRRD/tFAW/bus-overlap violations.
+	TimingReset
+	// RowCorruption flips a row-address bit in open plane latches;
+	// caught as plane-invariant or row-mismatch violations.
+	RowCorruption
+	// Blackout wedges a controller's scheduler (refresh keeps running)
+	// for Arg cycles, or forever when Arg is 0 — the seeded livelock
+	// the forward-progress watchdog must detect.
+	Blackout
+	numKinds
+)
+
+// String implements fmt.Stringer with the names Parse accepts.
+func (k Kind) String() string {
+	switch k {
+	case RefreshDelay:
+		return "refresh"
+	case ForcePrecharge:
+		return "forcepre"
+	case TimingReset:
+		return "timing"
+	case RowCorruption:
+		return "row"
+	case Blackout:
+		return "blackout"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+func parseKind(s string) (Kind, error) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("faults: unknown kind %q (want refresh, forcepre, timing, row or blackout)", s)
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	Kind  Kind
+	AtBus clock.Cycle
+	// Channel and Rank are raw non-negative selectors; the Target maps
+	// them into range (mod its channel/rank counts).
+	Channel int
+	Rank    int
+	// Arg is kind-specific: refresh-delay delta, or blackout duration
+	// (0 = permanent).
+	Arg clock.Cycle
+}
+
+// Target is the injection surface the simulator exposes to a Plan.
+type Target interface {
+	// Channels reports how many channels the target drives (>= 1).
+	Channels() int
+	// DelayRefresh postpones rank's next refresh on channel ch.
+	DelayRefresh(ch, rank int, delta clock.Cycle) bool
+	// ForcePrecharge silently closes one open row on channel ch.
+	ForcePrecharge(ch int) bool
+	// CorruptTiming wipes channel ch's command-spacing state.
+	CorruptTiming(ch int) bool
+	// CorruptRow flips a row bit in channel ch's open rows.
+	CorruptRow(ch int) bool
+	// Blackout wedges channel ch's scheduler until the given cycle.
+	Blackout(ch int, until clock.Cycle)
+	// SetDropRate installs the probabilistic scheduling-drop stream on
+	// every channel.
+	SetDropRate(rate float64, seed int64)
+}
+
+// Plan is a deterministic, pre-sorted fault schedule plus an optional
+// continuous drop-rate perturbation.
+type Plan struct {
+	// Seed reproduces the plan (and seeds the drop stream).
+	Seed int64
+	// DropRate, when positive, makes controllers skip scheduling
+	// opportunities with this probability.
+	DropRate float64
+
+	events  []Event
+	applied int
+	hits    int
+}
+
+// NewPlan derives a schedule of n events of the given kinds, spread
+// deterministically over (horizon/8, horizon). A nil/empty kinds slice
+// draws from every kind.
+func NewPlan(seed int64, n int, kinds []Kind, horizon clock.Cycle) *Plan {
+	if horizon < 16 {
+		horizon = 16
+	}
+	if len(kinds) == 0 {
+		for k := Kind(0); k < numKinds; k++ {
+			kinds = append(kinds, k)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := &Plan{Seed: seed}
+	lo := horizon / 8
+	span := horizon - lo
+	if span < 1 {
+		span = 1
+	}
+	for i := 0; i < n; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		ev := Event{
+			Kind:    k,
+			AtBus:   lo + clock.Cycle(rng.Int63n(int64(span))),
+			Channel: rng.Intn(1 << 16),
+			Rank:    rng.Intn(1 << 16),
+		}
+		switch k {
+		case RefreshDelay:
+			// Far beyond any tREFI so detection is guaranteed.
+			ev.Arg = clock.Cycle(1 << 20)
+		case Blackout:
+			ev.Arg = clock.Cycle(1<<14 + rng.Int63n(1<<14))
+		}
+		p.events = append(p.events, ev)
+	}
+	p.sortEvents()
+	return p
+}
+
+// NewPlanEvents builds a plan from explicit events (tests and the
+// chaos harness use this for precise placement).
+func NewPlanEvents(seed int64, events ...Event) *Plan {
+	p := &Plan{Seed: seed, events: append([]Event(nil), events...)}
+	p.sortEvents()
+	return p
+}
+
+func (p *Plan) sortEvents() {
+	sort.SliceStable(p.events, func(i, j int) bool { return p.events[i].AtBus < p.events[j].AtBus })
+}
+
+// Parse builds a Plan from a flag spec: semicolon-separated key=value
+// pairs. Keys: seed, n, horizon, kinds (plus-joined kind names), drop.
+//
+//	seed=7;n=6;horizon=100000;kinds=refresh+forcepre+timing;drop=0.25
+//
+// An empty spec yields a nil plan (no faults).
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var (
+		seed    int64 = 1
+		n             = 4
+		horizon       = clock.Cycle(200_000)
+		kinds   []Kind
+		drop    float64
+	)
+	for _, field := range strings.Split(spec, ";") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: bad field %q (want key=value)", field)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "seed":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed %q: %v", val, err)
+			}
+			seed = v
+		case "n":
+			v, err := strconv.Atoi(val)
+			if err != nil || v < 0 || v > 1<<16 {
+				return nil, fmt.Errorf("faults: bad n %q", val)
+			}
+			n = v
+		case "horizon":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("faults: bad horizon %q", val)
+			}
+			horizon = clock.Cycle(v)
+		case "kinds":
+			for _, ks := range strings.Split(val, "+") {
+				k, err := parseKind(strings.TrimSpace(ks))
+				if err != nil {
+					return nil, err
+				}
+				kinds = append(kinds, k)
+			}
+		case "drop":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil || v < 0 || v > 1 {
+				return nil, fmt.Errorf("faults: bad drop %q (want 0..1)", val)
+			}
+			drop = v
+		default:
+			return nil, fmt.Errorf("faults: unknown key %q", key)
+		}
+	}
+	p := NewPlan(seed, n, kinds, horizon)
+	p.DropRate = drop
+	return p, nil
+}
+
+// String renders the plan compactly (for logs and reports).
+func (p *Plan) String() string {
+	if p == nil {
+		return "none"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d drop=%g events=%d", p.Seed, p.DropRate, len(p.events))
+	for _, e := range p.events {
+		fmt.Fprintf(&b, " [%s@%d ch%d rk%d arg=%d]", e.Kind, e.AtBus, e.Channel, e.Rank, e.Arg)
+	}
+	return b.String()
+}
+
+// Events exposes the schedule (sorted by cycle).
+func (p *Plan) Events() []Event {
+	if p == nil {
+		return nil
+	}
+	return p.events
+}
+
+// Injected reports how many events have been applied successfully.
+func (p *Plan) Injected() int {
+	if p == nil {
+		return 0
+	}
+	return p.hits
+}
+
+// Arm installs the plan's continuous perturbations (the drop stream)
+// on the target. Call once before the run loop starts.
+func (p *Plan) Arm(tgt Target) {
+	if p == nil || p.DropRate <= 0 {
+		return
+	}
+	tgt.SetDropRate(p.DropRate, p.Seed^0x5eed_caf3)
+}
+
+// NextAt reports the cycle of the next unapplied event (farFuture when
+// exhausted) so fast-forward windows never jump over an injection.
+func (p *Plan) NextAt() clock.Cycle {
+	if p == nil || p.applied >= len(p.events) {
+		return farFuture
+	}
+	return p.events[p.applied].AtBus
+}
+
+// Apply injects every event due at or before now and reports how many
+// landed (an event whose precondition fails — e.g. no open row to
+// force-precharge — is consumed but not counted).
+func (p *Plan) Apply(now clock.Cycle, tgt Target) int {
+	if p == nil {
+		return 0
+	}
+	landed := 0
+	for p.applied < len(p.events) && p.events[p.applied].AtBus <= now {
+		e := p.events[p.applied]
+		p.applied++
+		ch := 0
+		if nch := tgt.Channels(); nch > 0 {
+			ch = e.Channel % nch
+		}
+		ok := false
+		switch e.Kind {
+		case RefreshDelay:
+			ok = tgt.DelayRefresh(ch, e.Rank, e.Arg)
+		case ForcePrecharge:
+			ok = tgt.ForcePrecharge(ch)
+		case TimingReset:
+			ok = tgt.CorruptTiming(ch)
+		case RowCorruption:
+			ok = tgt.CorruptRow(ch)
+		case Blackout:
+			until := farFuture
+			if e.Arg > 0 {
+				until = now + e.Arg
+			}
+			tgt.Blackout(ch, until)
+			ok = true
+		}
+		if ok {
+			landed++
+			p.hits++
+		}
+	}
+	return landed
+}
+
+// Clone returns an unapplied copy of the plan, so one Plan value can
+// parameterize many sweep jobs without shared mutable state.
+func (p *Plan) Clone() *Plan {
+	if p == nil {
+		return nil
+	}
+	return &Plan{
+		Seed:     p.Seed,
+		DropRate: p.DropRate,
+		events:   append([]Event(nil), p.events...),
+	}
+}

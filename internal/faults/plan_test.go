@@ -1,0 +1,268 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"eruca/internal/clock"
+)
+
+// mockTarget records every injection call and lets tests control which
+// preconditions hold.
+type mockTarget struct {
+	nch      int
+	openRows bool // whether ForcePrecharge/CorruptRow find anything
+	calls    []string
+	dropRate float64
+	dropSeed int64
+	blackout map[int]clock.Cycle
+}
+
+func newMock(nch int) *mockTarget {
+	return &mockTarget{nch: nch, openRows: true, blackout: map[int]clock.Cycle{}}
+}
+
+func (m *mockTarget) Channels() int { return m.nch }
+func (m *mockTarget) DelayRefresh(ch, rank int, delta clock.Cycle) bool {
+	m.calls = append(m.calls, fmt.Sprintf("refresh ch%d rk%d +%d", ch, rank, delta))
+	return true
+}
+func (m *mockTarget) ForcePrecharge(ch int) bool {
+	m.calls = append(m.calls, fmt.Sprintf("forcepre ch%d", ch))
+	return m.openRows
+}
+func (m *mockTarget) CorruptTiming(ch int) bool {
+	m.calls = append(m.calls, fmt.Sprintf("timing ch%d", ch))
+	return true
+}
+func (m *mockTarget) CorruptRow(ch int) bool {
+	m.calls = append(m.calls, fmt.Sprintf("row ch%d", ch))
+	return m.openRows
+}
+func (m *mockTarget) Blackout(ch int, until clock.Cycle) {
+	m.calls = append(m.calls, fmt.Sprintf("blackout ch%d", ch))
+	m.blackout[ch] = until
+}
+func (m *mockTarget) SetDropRate(rate float64, seed int64) {
+	m.dropRate, m.dropSeed = rate, seed
+}
+
+func TestParseEmptyAndNil(t *testing.T) {
+	for _, spec := range []string{"", "   "} {
+		p, err := Parse(spec)
+		if err != nil || p != nil {
+			t.Errorf("Parse(%q) = %v, %v; want nil, nil", spec, p, err)
+		}
+	}
+	// Every method must be nil-receiver safe.
+	var p *Plan
+	if p.String() != "none" {
+		t.Errorf("nil String() = %q", p.String())
+	}
+	if p.Events() != nil || p.Injected() != 0 || p.Clone() != nil {
+		t.Error("nil plan accessors should be inert")
+	}
+	if p.NextAt() != farFuture {
+		t.Errorf("nil NextAt() = %d, want farFuture", p.NextAt())
+	}
+	if got := p.Apply(100, newMock(1)); got != 0 {
+		t.Errorf("nil Apply = %d, want 0", got)
+	}
+	p.Arm(newMock(1)) // must not panic
+}
+
+func TestParseFull(t *testing.T) {
+	p, err := Parse("seed=7;n=6;horizon=100000;kinds=refresh+forcepre+timing;drop=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || p.DropRate != 0.25 || len(p.Events()) != 6 {
+		t.Fatalf("got seed=%d drop=%v events=%d", p.Seed, p.DropRate, len(p.Events()))
+	}
+	for _, e := range p.Events() {
+		if e.Kind != RefreshDelay && e.Kind != ForcePrecharge && e.Kind != TimingReset {
+			t.Errorf("event kind %v not in the requested set", e.Kind)
+		}
+		if e.AtBus < 100000/8 || e.AtBus >= 100000 {
+			t.Errorf("event at %d outside (horizon/8, horizon)", e.AtBus)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"seed",               // missing =
+		"seed=x",             // bad int
+		"n=-1",               // negative
+		"n=999999999",        // over cap
+		"horizon=-5",         // negative
+		"kinds=nope",         // unknown kind
+		"drop=1.5",           // out of range
+		"drop=x",             // bad float
+		"frobnicate=1",       // unknown key
+		"seed=1;kinds=row+z", // partial kinds list with a bad tail
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) should fail", spec)
+		}
+	}
+}
+
+func TestNewPlanDeterministicAndSorted(t *testing.T) {
+	a := NewPlan(42, 16, nil, 50_000)
+	b := NewPlan(42, 16, nil, 50_000)
+	if a.String() != b.String() {
+		t.Fatalf("same seed produced different plans:\n%s\n%s", a, b)
+	}
+	evs := a.Events()
+	if !sort.SliceIsSorted(evs, func(i, j int) bool { return evs[i].AtBus < evs[j].AtBus }) {
+		t.Error("events not sorted by cycle")
+	}
+	if c := NewPlan(43, 16, nil, 50_000); c.String() == a.String() {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+func TestApplyConsumesDueEventsInOrder(t *testing.T) {
+	p := NewPlanEvents(1,
+		Event{Kind: TimingReset, AtBus: 300, Channel: 5},
+		Event{Kind: RefreshDelay, AtBus: 100, Rank: 1, Arg: 500},
+		Event{Kind: Blackout, AtBus: 200, Arg: 0},
+	)
+	m := newMock(2)
+	if got := p.NextAt(); got != 100 {
+		t.Fatalf("NextAt = %d, want 100 (earliest after sorting)", got)
+	}
+	if n := p.Apply(50, m); n != 0 || len(m.calls) != 0 {
+		t.Fatalf("nothing due at 50, got %d landed, calls %v", n, m.calls)
+	}
+	if n := p.Apply(250, m); n != 2 {
+		t.Fatalf("Apply(250) landed %d, want 2", n)
+	}
+	want := []string{"refresh ch0 rk1 +500", "blackout ch0"}
+	if strings.Join(m.calls, ";") != strings.Join(want, ";") {
+		t.Fatalf("calls %v, want %v", m.calls, want)
+	}
+	// Arg=0 blackout is permanent (farFuture).
+	if until := m.blackout[0]; until != farFuture {
+		t.Errorf("permanent blackout until %d, want farFuture", until)
+	}
+	if got := p.NextAt(); got != 300 {
+		t.Fatalf("NextAt after partial apply = %d, want 300", got)
+	}
+	if n := p.Apply(300, m); n != 1 {
+		t.Fatalf("Apply(300) landed %d, want 1", n)
+	}
+	// Channel selector wraps into range: ch 5 % 2 = 1.
+	if m.calls[2] != "timing ch1" {
+		t.Errorf("call %q, want timing ch1", m.calls[2])
+	}
+	if p.NextAt() != farFuture || p.Injected() != 3 {
+		t.Errorf("exhausted plan: NextAt=%d Injected=%d", p.NextAt(), p.Injected())
+	}
+}
+
+func TestApplyFailedPreconditionConsumedNotCounted(t *testing.T) {
+	p := NewPlanEvents(1,
+		Event{Kind: ForcePrecharge, AtBus: 10},
+		Event{Kind: RowCorruption, AtBus: 20},
+	)
+	m := newMock(1)
+	m.openRows = false // nothing open: both injections fizzle
+	if n := p.Apply(100, m); n != 0 {
+		t.Fatalf("landed %d, want 0 (no open rows)", n)
+	}
+	if p.Injected() != 0 {
+		t.Errorf("Injected = %d, want 0", p.Injected())
+	}
+	if p.NextAt() != farFuture {
+		t.Error("fizzled events must still be consumed")
+	}
+}
+
+func TestArmInstallsDropStream(t *testing.T) {
+	p := NewPlanEvents(9)
+	p.DropRate = 0.5
+	m := newMock(1)
+	p.Arm(m)
+	if m.dropRate != 0.5 {
+		t.Fatalf("drop rate %v, want 0.5", m.dropRate)
+	}
+	if m.dropSeed == 9 {
+		t.Error("drop seed should be decorrelated from the plan seed")
+	}
+	// Zero rate: no installation.
+	m2 := newMock(1)
+	NewPlanEvents(9).Arm(m2)
+	if m2.dropRate != 0 {
+		t.Error("Arm with zero drop rate should not install")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := NewPlanEvents(1, Event{Kind: TimingReset, AtBus: 10})
+	c := p.Clone()
+	m := newMock(1)
+	p.Apply(100, m)
+	if p.NextAt() != farFuture {
+		t.Fatal("original should be exhausted")
+	}
+	if c.NextAt() != 10 {
+		t.Errorf("clone NextAt = %d, want 10 (unapplied)", c.NextAt())
+	}
+	if c.Injected() != 0 {
+		t.Errorf("clone Injected = %d, want 0", c.Injected())
+	}
+}
+
+// FuzzFaultPlan proves Parse never panics and that any plan it accepts
+// is well-formed: sorted schedule, in-range drop rate, and a String()
+// rendering that reflects the event count.
+func FuzzFaultPlan(f *testing.F) {
+	f.Add("seed=7;n=6;horizon=100000;kinds=refresh+forcepre+timing;drop=0.25")
+	f.Add("")
+	f.Add("n=0")
+	f.Add("kinds=blackout;horizon=16")
+	f.Add("seed=-1;drop=1")
+	f.Add("seed=9223372036854775807;n=65536")
+	f.Add(";;seed=1;;")
+	f.Add("kinds=row+row+row")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil {
+			if p != nil {
+				t.Fatal("non-nil plan alongside an error")
+			}
+			return
+		}
+		if p == nil {
+			return // empty spec
+		}
+		evs := p.Events()
+		if !sort.SliceIsSorted(evs, func(i, j int) bool { return evs[i].AtBus < evs[j].AtBus }) {
+			t.Fatalf("unsorted schedule from %q", spec)
+		}
+		if p.DropRate < 0 || p.DropRate > 1 {
+			t.Fatalf("drop rate %v out of range from %q", p.DropRate, spec)
+		}
+		for _, e := range evs {
+			if e.AtBus < 0 || e.Channel < 0 || e.Rank < 0 {
+				t.Fatalf("negative selector in %+v from %q", e, spec)
+			}
+		}
+		if !strings.Contains(p.String(), fmt.Sprintf("events=%d", len(evs))) {
+			t.Fatalf("String() %q does not reflect %d events", p.String(), len(evs))
+		}
+		// A clone applies the same schedule against a mock without panics.
+		m := newMock(3)
+		c := p.Clone()
+		c.Arm(m)
+		c.Apply(1<<40, m)
+		if c.Injected() > len(evs) {
+			t.Fatalf("injected %d > %d events", c.Injected(), len(evs))
+		}
+	})
+}

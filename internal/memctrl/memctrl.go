@@ -6,6 +6,8 @@
 package memctrl
 
 import (
+	"math/rand"
+
 	"eruca/internal/addrmap"
 	"eruca/internal/clock"
 	"eruca/internal/config"
@@ -80,6 +82,13 @@ type Controller struct {
 
 	lastCloseScan clock.Cycle
 
+	// Fault-injection state (hooks.go): scheduling blackout horizon and
+	// the probabilistic drop-rate stream. Zero-valued in normal runs.
+	blackoutUntil clock.Cycle
+	dropRate      float64
+	dropRNG       *rand.Rand
+	faultDrops    uint64
+
 	// scanBound accumulates, during a Tick whose scans issued nothing,
 	// the minimum EarliestIssue over every policy-eligible candidate the
 	// scans evaluated. On quiescent cycles NextEventCycle reuses it
@@ -140,6 +149,12 @@ func (c *Controller) Tick(now clock.Cycle) bool {
 	c.Stats.WriteOccSum += uint64(len(c.writeQ))
 	c.scanBound = farFuture
 	c.ch.MaintainRefresh(now)
+
+	// Injected scheduling perturbations (chaos runs only; faultGate is
+	// a pair of zero-compares in normal runs).
+	if (c.blackoutUntil > 0 || c.dropRate > 0) && c.faultGate(now) {
+		return false
+	}
 
 	// Write-drain hysteresis.
 	if !c.draining && len(c.writeQ) >= c.sys.Ctrl.WriteDrainHi {

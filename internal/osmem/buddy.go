@@ -12,8 +12,9 @@
 package osmem
 
 import (
-	"fmt"
 	"math/rand"
+
+	"eruca/internal/diag"
 )
 
 const (
@@ -112,9 +113,8 @@ func (m *Memory) Alloc(order int) (start uint32, ok bool) {
 
 // Free returns a block to the allocator, coalescing with free buddies.
 func (m *Memory) Free(start uint32, order int) {
-	if start&(1<<uint(order)-1) != 0 {
-		panic(fmt.Sprintf("osmem: Free of misaligned block %d order %d", start, order))
-	}
+	diag.Invariant(start&(1<<uint(order)-1) == 0,
+		"osmem: Free of misaligned block %d order %d", start, order)
 	m.freeFrames += 1 << uint(order)
 	for order < MaxOrder {
 		buddy := start ^ 1<<uint(order)
@@ -142,7 +142,7 @@ func (m *Memory) removeFromList(start uint32, order int) {
 			return
 		}
 	}
-	panic(fmt.Sprintf("osmem: free block %d order %d not on list", start, order))
+	diag.Invariantf("osmem: free block %d order %d not on list", start, order)
 }
 
 // FMFI reports the free-memory fragmentation index at huge-page

@@ -114,10 +114,10 @@ func TestTranslateStable(t *testing.T) {
 	addrs := []uint64{0, 4096, 1 << 21, 123456789, 5 << 20}
 	first := make([]uint64, len(addrs))
 	for i, va := range addrs {
-		first[i] = p.Translate(va)
+		first[i] = p.MustTranslate(va)
 	}
 	for i, va := range addrs {
-		if got := p.Translate(va); got != first[i] {
+		if got := p.MustTranslate(va); got != first[i] {
 			t.Errorf("Translate(%#x) changed: %#x -> %#x", va, first[i], got)
 		}
 	}
@@ -128,12 +128,12 @@ func TestTranslateStable(t *testing.T) {
 func TestTranslateContiguityUnderTHP(t *testing.T) {
 	m := NewMemory(256<<20, 1)
 	p := m.NewProcess(true, 2)
-	base := p.Translate(0)
+	base := p.MustTranslate(0)
 	if p.HugeMapped != 1 {
 		t.Fatalf("first touch on pristine memory mapped %d huge pages, want 1", p.HugeMapped)
 	}
 	for off := uint64(0); off < HugeBytes; off += 4096 * 37 {
-		if got := p.Translate(off); got != base+off {
+		if got := p.MustTranslate(off); got != base+off {
 			t.Fatalf("huge region not contiguous at %#x: %#x != %#x", off, got, base+off)
 		}
 	}
@@ -144,7 +144,7 @@ func TestNoTHP(t *testing.T) {
 	m := NewMemory(64<<20, 1)
 	p := m.NewProcess(false, 2)
 	for va := uint64(0); va < 4<<20; va += FrameBytes {
-		p.Translate(va)
+		p.MustTranslate(va)
 	}
 	if p.HugeMapped != 0 {
 		t.Errorf("huge pages mapped with THP off: %d", p.HugeMapped)
@@ -164,7 +164,7 @@ func TestFragmentationReducesHugeCoverage(t *testing.T) {
 	touch := func(m *Memory) (huge, base uint64) {
 		p := m.NewProcess(true, 9)
 		for va := uint64(0); va < 128<<20; va += FrameBytes {
-			p.Translate(va)
+			p.MustTranslate(va)
 		}
 		return p.HugeMapped, p.BaseMapped
 	}
@@ -186,15 +186,15 @@ func TestRegionDecisionSticky(t *testing.T) {
 	p := m.NewProcess(true, 9)
 	for i := 0; i < 200; i++ {
 		region := uint64(i) << 21
-		a := p.Translate(region)
+		a := p.MustTranslate(region)
 		wasHuge := p.HugeMapped
 		for off := uint64(0); off < 1<<21; off += 4096 * 61 {
-			p.Translate(region + off)
+			p.MustTranslate(region + off)
 		}
 		if p.HugeMapped != wasHuge {
 			t.Fatalf("region %d flipped to huge after base-page fault", i)
 		}
-		if got := p.Translate(region); got != a {
+		if got := p.MustTranslate(region); got != a {
 			t.Fatalf("region %d first page moved", i)
 		}
 	}

@@ -1,6 +1,7 @@
 package osmem
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -14,7 +15,7 @@ func TestNoFrameDoubleAllocation(t *testing.T) {
 	owner := make(map[uint64]int) // pfn -> process index
 	for pi, p := range procs {
 		for va := uint64(0); va < 64<<20; va += FrameBytes {
-			pfn := p.Translate(va) / FrameBytes
+			pfn := p.MustTranslate(va) / FrameBytes
 			if prev, taken := owner[pfn]; taken && prev != pi {
 				t.Fatalf("frame %d owned by process %d and %d", pfn, prev, pi)
 			}
@@ -36,19 +37,38 @@ func TestFMFIMonotone(t *testing.T) {
 	}
 }
 
-// Exhausting physical memory panics with a clear message (a sizing bug,
-// not a recoverable state).
-func TestExhaustionPanics(t *testing.T) {
+// Exhausting physical memory returns the typed ErrOOM (so the sim ends
+// gracefully with partial stats), and MustTranslate panics with it.
+func TestExhaustionReturnsErrOOM(t *testing.T) {
 	m := NewMemory(8<<20, 1) // 2048 frames
 	p := m.NewProcess(false, 1)
+	var got error
+	for va := uint64(0); va < 64<<20; va += FrameBytes {
+		if _, err := p.Translate(va); err != nil {
+			got = err
+			break
+		}
+	}
+	if got == nil {
+		t.Fatal("no error after touching 8x physical memory")
+	}
+	if !errors.Is(got, ErrOOM) {
+		t.Errorf("exhaustion error = %v, want errors.Is(..., ErrOOM)", got)
+	}
+
+	// MustTranslate converts the error into a panic for sized callers.
 	defer func() {
-		if recover() == nil {
-			t.Error("no panic on exhaustion")
+		r := recover()
+		if r == nil {
+			t.Error("MustTranslate did not panic on exhaustion")
+			return
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrOOM) {
+			t.Errorf("MustTranslate panicked with %v, want ErrOOM", r)
 		}
 	}()
-	for va := uint64(0); ; va += FrameBytes {
-		p.Translate(va)
-	}
+	p.MustTranslate(1 << 40)
 }
 
 // Alloc fails gracefully (ok=false) when no block of the order exists,
@@ -102,7 +122,7 @@ func TestTranslationsWithinCapacity(t *testing.T) {
 	m := NewMemory(256<<20, 2)
 	p := m.NewProcess(true, 4)
 	for va := uint64(0); va < 128<<20; va += 1 << 20 {
-		pa := p.Translate(va)
+		pa := p.MustTranslate(va)
 		if pa >= m.TotalBytes() {
 			t.Fatalf("PA %#x beyond capacity %#x", pa, m.TotalBytes())
 		}
@@ -113,7 +133,7 @@ func TestTranslationsWithinCapacity(t *testing.T) {
 func TestMappedBytes(t *testing.T) {
 	m := NewMemory(64<<20, 2)
 	p := m.NewProcess(true, 4)
-	p.Translate(0) // huge (pristine memory)
+	p.MustTranslate(0) // huge (pristine memory)
 	if p.MappedBytes() != HugeBytes {
 		t.Errorf("mapped = %d, want one huge page", p.MappedBytes())
 	}

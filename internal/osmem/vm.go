@@ -1,6 +1,16 @@
 package osmem
 
-import "math/rand"
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrOOM is the typed error returned when physical memory is exhausted
+// — a workload sizing problem. Callers (the sim bridge) end the run
+// gracefully with partial statistics instead of crashing; test for it
+// with errors.Is.
+var ErrOOM = errors.New("osmem: physical memory exhausted")
 
 // Process is one simulated address space with demand paging and
 // transparent huge pages. Translation is fault-on-first-touch: the
@@ -46,17 +56,18 @@ func (m *Memory) NewProcess(thp bool, seed int64) *Process {
 const framesPerHuge = 1 << MaxOrder
 
 // Translate maps a virtual address to a physical address, faulting in
-// memory on first touch. It panics when physical memory is exhausted —
-// a workload sizing bug in this simulator, not a recoverable condition.
-func (p *Process) Translate(va uint64) uint64 {
+// memory on first touch. When physical memory is exhausted it returns
+// an error wrapping ErrOOM so the simulation can end gracefully with
+// partial statistics (a workload sizing problem, not a crash).
+func (p *Process) Translate(va uint64) (uint64, error) {
 	vpn := uint32(va / FrameBytes)
 	region := vpn / framesPerHuge
 
 	if start, ok := p.huge[region]; ok {
-		return (uint64(start)+uint64(vpn%framesPerHuge))*FrameBytes + va%FrameBytes
+		return (uint64(start)+uint64(vpn%framesPerHuge))*FrameBytes + va%FrameBytes, nil
 	}
 	if pfn, ok := p.pages[vpn]; ok {
-		return uint64(pfn)*FrameBytes + va%FrameBytes
+		return uint64(pfn)*FrameBytes + va%FrameBytes, nil
 	}
 
 	// Fault. Try a huge page on the region's first touch; the decision
@@ -66,18 +77,28 @@ func (p *Process) Translate(va uint64) uint64 {
 			if start, ok := p.mem.Alloc(MaxOrder); ok {
 				p.huge[region] = start
 				p.HugeMapped++
-				return (uint64(start)+uint64(vpn%framesPerHuge))*FrameBytes + va%FrameBytes
+				return (uint64(start)+uint64(vpn%framesPerHuge))*FrameBytes + va%FrameBytes, nil
 			}
 		}
 		p.noHuge[region] = true
 	}
 	pfn, ok := p.mem.Alloc(0)
 	if !ok {
-		panic("osmem: physical memory exhausted")
+		return 0, fmt.Errorf("translate va %#x (resident %d bytes): %w", va, p.MappedBytes(), ErrOOM)
 	}
 	p.pages[vpn] = pfn
 	p.BaseMapped++
-	return uint64(pfn)*FrameBytes + va%FrameBytes
+	return uint64(pfn)*FrameBytes + va%FrameBytes, nil
+}
+
+// MustTranslate is Translate for callers whose working set provably
+// fits (tests, trace preparation); it panics on exhaustion.
+func (p *Process) MustTranslate(va uint64) uint64 {
+	pa, err := p.Translate(va)
+	if err != nil {
+		panic(err)
+	}
+	return pa
 }
 
 // MappedBytes reports the resident set size.

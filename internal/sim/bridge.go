@@ -58,6 +58,11 @@ type bridge struct {
 	// Per-core demand misses reaching DRAM (for MPKI).
 	misses          []uint64
 	stalledForSpill uint64
+
+	// fatal latches the first unrecoverable bridge-side error (OOM from
+	// the OS memory model). The run loop polls it and ends the run
+	// gracefully with partial statistics.
+	fatal error
 }
 
 // busEvent is one deferred line fill.
@@ -103,7 +108,16 @@ func (b *bridge) ctlFor(line uint64) *memctrl.Controller {
 // Access implements cpu.MemSystem.
 func (b *bridge) Access(core int, va uint64, write bool, done func()) (accept, pending bool, doneAt int64) {
 	// Give each core a disjoint virtual address space.
-	pa := b.procs[core].Translate(va)
+	pa, err := b.procs[core].Translate(va)
+	if err != nil {
+		// Physical memory exhausted: latch the error and refuse the
+		// access. The core treats this as backpressure and retries; the
+		// run loop notices fatal and ends the run with partial stats.
+		if b.fatal == nil {
+			b.fatal = err
+		}
+		return false, false, 0
+	}
 	line := pa >> b.lineShift
 
 	// Backpressure: a miss may need a read-queue slot and produce

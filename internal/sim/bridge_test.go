@@ -20,7 +20,7 @@ func testBridge(t *testing.T) (*bridge, []*memctrl.Controller) {
 	mapper := addrmap.New(sys)
 	mem := osmem.NewMemory(1<<30, 1)
 	procs := []*osmem.Process{mem.NewProcess(true, 1)}
-	caches := cache.New(cache.Config{
+	caches := cache.MustNew(cache.Config{
 		Cores: 1, L1Bytes: sys.CPU.L1Bytes, L1Ways: sys.CPU.L1Ways,
 		LLCBytes: sys.CPU.LLCBytesPerCore, LLCWays: sys.CPU.LLCWays,
 		LineBytes: sys.Geom.LineBytes,

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"eruca/internal/check"
+	"eruca/internal/clock"
+	"eruca/internal/config"
+	"eruca/internal/faults"
+	"eruca/internal/osmem"
+)
+
+// chaosOptions builds a Log-mode checked run of the full ERUCA system
+// under the given fault plan.
+func chaosOptions(plan *faults.Plan, wd *Watchdog) Options {
+	return Options{
+		Sys:     config.VSB(4, true, true, true, config.DefaultBusMHz),
+		Benches: []string{"mcf"}, Instrs: 100_000, Frag: 0.1, Seed: 7,
+		Check: &check.Options{Mode: check.Log}, Watchdog: wd, Faults: plan,
+	}
+}
+
+// burst schedules n events of one kind spread over [at, at+spacing*n).
+func burst(kind faults.Kind, at, spacing clock.Cycle, n int, arg clock.Cycle) *faults.Plan {
+	var evs []faults.Event
+	for i := 0; i < n; i++ {
+		evs = append(evs, faults.Event{Kind: kind, AtBus: at + clock.Cycle(i)*spacing, Arg: arg})
+	}
+	return faults.NewPlanEvents(1, evs...)
+}
+
+// rules collects the rule tags of every recorded violation.
+func rules(res *Result) map[string]int {
+	m := map[string]int{}
+	for _, pe := range res.Protocol {
+		m[pe.Rule]++
+	}
+	return m
+}
+
+// TestChaosCleanRunIsQuiet establishes the control: with no faults the
+// Log-mode checker records nothing on either detection path.
+func TestChaosCleanRunIsQuiet(t *testing.T) {
+	res, err := Run(chaosOptions(nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Protocol) != 0 {
+		t.Fatalf("clean run recorded %d violations: %v", len(res.Protocol), res.Protocol[0])
+	}
+	if res.FaultsInjected != 0 || res.Partial {
+		t.Errorf("clean run: injected=%d partial=%v", res.FaultsInjected, res.Partial)
+	}
+}
+
+// TestChaosRefreshDelayCaught proves a seeded lost refresh surfaces as a
+// refresh-interval violation.
+func TestChaosRefreshDelayCaught(t *testing.T) {
+	res, err := Run(chaosOptions(burst(faults.RefreshDelay, 2_000, 500, 2, 1<<20), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultsInjected == 0 {
+		t.Fatal("no refresh-delay fault landed")
+	}
+	if rules(res)["tREFI"] == 0 {
+		t.Fatalf("lost refresh not caught; recorded rules: %v", rules(res))
+	}
+}
+
+// TestChaosForcePrechargeCaught proves a silently dropped row surfaces
+// through the audit's row-state tracking.
+func TestChaosForcePrechargeCaught(t *testing.T) {
+	res, err := Run(chaosOptions(burst(faults.ForcePrecharge, 2_000, 400, 8, 0), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultsInjected == 0 {
+		t.Fatal("no force-precharge fault landed (no open rows?)")
+	}
+	if len(res.Protocol) == 0 {
+		t.Fatal("force-precharge corruption went undetected")
+	}
+}
+
+// TestChaosTimingResetCaught proves wiped spacing state surfaces as
+// timing-window violations.
+func TestChaosTimingResetCaught(t *testing.T) {
+	res, err := Run(chaosOptions(burst(faults.TimingReset, 2_000, 400, 8, 0), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultsInjected == 0 {
+		t.Fatal("no timing-reset fault landed")
+	}
+	if len(res.Protocol) == 0 {
+		t.Fatal("timing-state corruption went undetected")
+	}
+}
+
+// TestChaosRowCorruptionCaught proves flipped plane-latch rows surface as
+// row-state divergence.
+func TestChaosRowCorruptionCaught(t *testing.T) {
+	res, err := Run(chaosOptions(burst(faults.RowCorruption, 2_000, 400, 8, 0), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultsInjected == 0 {
+		t.Fatal("no row-corruption fault landed (no open rows?)")
+	}
+	if len(res.Protocol) == 0 {
+		t.Fatal("row corruption went undetected")
+	}
+}
+
+// TestChaosBlackoutTripsWatchdog proves a permanently wedged scheduler is
+// detected by the forward-progress watchdog with a usable report, while
+// the run still returns its partial statistics.
+func TestChaosBlackoutTripsWatchdog(t *testing.T) {
+	plan := burst(faults.Blackout, 3_000, 1, 1, 0) // Arg 0 = permanent
+	res, err := Run(chaosOptions(plan, &Watchdog{ProgressBudget: 8_000}))
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DeadlockError", err)
+	}
+	if de.Kind != "no-progress" {
+		t.Errorf("deadlock kind %q, want no-progress", de.Kind)
+	}
+	for _, want := range []string{"BLACKOUT", "flight recorder", "fault plan"} {
+		if !strings.Contains(de.Report, want) {
+			t.Errorf("deadlock report missing %q:\n%s", want, de.Report)
+		}
+	}
+	if res == nil || !res.Partial {
+		t.Fatal("watchdog trip should still return partial statistics")
+	}
+	if res.FaultsInjected == 0 {
+		t.Error("blackout not counted as injected")
+	}
+}
+
+// TestChaosTransientBlackoutRecovers proves a bounded blackout does not
+// trip a watchdog whose budget exceeds it, and the run completes.
+func TestChaosTransientBlackoutRecovers(t *testing.T) {
+	plan := burst(faults.Blackout, 3_000, 1, 1, 2_000) // 2k-cycle wedge
+	res, err := Run(chaosOptions(plan, &Watchdog{ProgressBudget: 50_000}))
+	if err != nil {
+		t.Fatalf("transient blackout should recover: %v", err)
+	}
+	if res.Partial {
+		t.Error("recovered run should not be partial")
+	}
+	if res.FaultsInjected == 0 {
+		t.Error("blackout not counted as injected")
+	}
+}
+
+// TestChaosDropRateIsProtocolLegal proves the dropped-scheduling-slot
+// perturbation degrades performance without ever breaking protocol: the
+// checker stays quiet and the watchdog does not trip.
+func TestChaosDropRateIsProtocolLegal(t *testing.T) {
+	plan := faults.NewPlanEvents(11)
+	plan.DropRate = 0.3
+	res, err := Run(chaosOptions(plan, &Watchdog{ProgressBudget: 100_000}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Protocol) != 0 {
+		t.Fatalf("drop-rate run recorded %d violations; drops must be protocol-legal: %v",
+			len(res.Protocol), res.Protocol[0])
+	}
+}
+
+// TestChaosFailModeEndsRun proves Fail mode converts a detected
+// violation into the run's error while still returning partial stats.
+func TestChaosFailModeEndsRun(t *testing.T) {
+	opt := chaosOptions(burst(faults.TimingReset, 2_000, 400, 8, 0), nil)
+	opt.Check = &check.Options{Mode: check.Fail}
+	res, err := Run(opt)
+	var pe *check.ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *ProtocolError", err)
+	}
+	if res == nil || !res.Partial {
+		t.Fatal("Fail-mode stop should still return partial statistics")
+	}
+}
+
+// TestRunOOMReturnsTypedError proves exhausting simulated physical
+// memory ends the run gracefully with a typed error and partial stats
+// instead of a panic.
+func TestRunOOMReturnsTypedError(t *testing.T) {
+	sys := config.Baseline(config.DefaultBusMHz)
+	// Shrink physical capacity below the benchmark footprint.
+	sys.Geom.RowBits = 6
+	res, err := Run(Options{
+		Sys: sys, Benches: []string{"mcf"}, Instrs: 200_000, Frag: 0.1, Seed: 7,
+	})
+	if !errors.Is(err, osmem.ErrOOM) {
+		t.Fatalf("err = %v, want ErrOOM", err)
+	}
+	if res == nil || !res.Partial {
+		t.Fatal("OOM should still return partial statistics")
+	}
+}

@@ -3,7 +3,9 @@ package sim
 import (
 	"testing"
 
+	"eruca/internal/check"
 	"eruca/internal/config"
+	"eruca/internal/faults"
 )
 
 // ffOptions builds one audited run configuration.
@@ -94,4 +96,84 @@ func TestFastForwardEquivalenceMix(t *testing.T) {
 func TestFastForwardEquivalenceMASA(t *testing.T) {
 	compareRuns(t, func() *config.System { return config.MASAERUCA(4, 4, true, config.DefaultBusMHz) },
 		[]string{"lbm", "milc"})
+}
+
+// TestFastForwardWatchdogComposition proves the liveness monitors
+// compose with event-driven cycle skipping: an armed watchdog (with a
+// tight-but-legal budget and a latency ceiling) never false-trips in
+// either run mode, and fast-forward results remain identical to the
+// per-cycle run because the skip window is bounded by the watchdog
+// deadline.
+func TestFastForwardWatchdogComposition(t *testing.T) {
+	mk := func(noFF bool) Options {
+		o := ffOptions(config.VSB(4, true, true, true, config.DefaultBusMHz),
+			[]string{"mcf", "lbm"}, noFF)
+		o.Watchdog = &Watchdog{ProgressBudget: 20_000, LatencyCeiling: 200_000}
+		o.Check = &check.Options{Mode: check.Log}
+		return o
+	}
+	plain, err := Run(mk(true))
+	if err != nil {
+		t.Fatalf("per-cycle run with watchdog: %v", err)
+	}
+	fast, err := Run(mk(false))
+	if err != nil {
+		t.Fatalf("fast-forward run with watchdog: %v", err)
+	}
+	if plain.Partial || fast.Partial {
+		t.Fatal("watchdog must not truncate a healthy run")
+	}
+	if len(plain.Protocol)+len(fast.Protocol) != 0 {
+		t.Fatalf("checker flagged a healthy run: %d/%d violations",
+			len(plain.Protocol), len(fast.Protocol))
+	}
+	if plain.BusCycles != fast.BusCycles {
+		t.Errorf("BusCycles differ under watchdog: %d vs %d", plain.BusCycles, fast.BusCycles)
+	}
+	if plain.DRAM != fast.DRAM {
+		t.Errorf("DRAM stats differ under watchdog:\nper-cycle:    %+v\nfast-forward: %+v",
+			plain.DRAM, fast.DRAM)
+	}
+	for i := range plain.IPC {
+		if plain.IPC[i] != fast.IPC[i] {
+			t.Errorf("core %d IPC differs under watchdog: %v vs %v", i, plain.IPC[i], fast.IPC[i])
+		}
+	}
+}
+
+// TestFastForwardFaultComposition proves injections land on their exact
+// cycle even when event-driven skipping is active: both run modes
+// observe the same fault and record the same violation count.
+func TestFastForwardFaultComposition(t *testing.T) {
+	mk := func(noFF bool) Options {
+		o := ffOptions(config.VSB(4, true, true, true, config.DefaultBusMHz),
+			[]string{"mcf"}, noFF)
+		// The legacy strict audit would fail the whole run on the seeded
+		// violations; the Log-mode checker is the recording path here.
+		o.Audit = false
+		o.Check = &check.Options{Mode: check.Log}
+		o.Faults = burst(faults.TimingReset, 5_000, 500, 4, 0)
+		return o
+	}
+	plain, err := Run(mk(true))
+	if err != nil {
+		t.Fatalf("per-cycle chaos run: %v", err)
+	}
+	fast, err := Run(mk(false))
+	if err != nil {
+		t.Fatalf("fast-forward chaos run: %v", err)
+	}
+	if plain.FaultsInjected != fast.FaultsInjected {
+		t.Errorf("injected fault counts differ: %d vs %d", plain.FaultsInjected, fast.FaultsInjected)
+	}
+	if plain.FaultsInjected == 0 {
+		t.Fatal("no fault landed in either mode")
+	}
+	if len(plain.Protocol) != len(fast.Protocol) {
+		t.Errorf("violation counts differ: per-cycle %d vs fast-forward %d",
+			len(plain.Protocol), len(fast.Protocol))
+	}
+	if len(plain.Protocol) == 0 {
+		t.Fatal("seeded corruption went undetected")
+	}
 }

@@ -9,11 +9,13 @@ import (
 
 	"eruca/internal/addrmap"
 	"eruca/internal/cache"
+	"eruca/internal/check"
 	"eruca/internal/clock"
 	"eruca/internal/config"
 	"eruca/internal/cpu"
 	"eruca/internal/dram"
 	"eruca/internal/energy"
+	"eruca/internal/faults"
 	"eruca/internal/memctrl"
 	"eruca/internal/osmem"
 	"eruca/internal/stats"
@@ -48,6 +50,21 @@ type Options struct {
 	// identical DRAM command streams; the flag exists for equivalence
 	// tests and debugging.
 	NoFastForward bool
+	// Check, when non-nil with Mode != Off, attaches the structured
+	// protocol checker to every channel. Fail mode ends the run at the
+	// first violation (returned as a *check.ProtocolError); Log mode
+	// records violations into Result.Protocol without perturbing the
+	// run; Panic mode reproduces the historical stop-the-world behavior
+	// but with the flight recorder attached to the panic value.
+	Check *check.Options
+	// Watchdog, when non-nil, arms the forward-progress and
+	// read-latency monitors; a trip ends the run with a
+	// *DeadlockError carrying a full system snapshot.
+	Watchdog *Watchdog
+	// Faults, when non-nil, schedules deliberate state corruption and
+	// scheduling perturbations (chaos runs). The plan is cloned, so one
+	// plan value may parameterize many runs.
+	Faults *faults.Plan
 }
 
 // Result is the outcome of one run.
@@ -81,6 +98,16 @@ type Result struct {
 	// (command + issue cycle) when Options.Audit was set. Equivalence
 	// tests compare it across fast-forwarding and per-cycle runs.
 	AuditCommands [][]dram.AuditedCommand
+
+	// Protocol holds the violations the Log-mode checker recorded (at
+	// most a bounded number per channel); empty on clean runs.
+	Protocol []*check.ProtocolError
+	// FaultsInjected counts the fault-plan events that landed.
+	FaultsInjected int
+	// Partial marks a result whose run ended early (OOM, Fail-mode
+	// violation, watchdog); the statistics cover only the completed
+	// portion.
+	Partial bool
 }
 
 // PlaneConflictPreFrac reports the fraction of precharges triggered by
@@ -127,7 +154,7 @@ func Run(opt Options) (*Result, error) {
 		gens = append(gens, workload.New(p, opt.Seed*7919+int64(i)))
 	}
 
-	caches := cache.New(cache.Config{
+	caches, err := cache.New(cache.Config{
 		Cores:     len(opt.Benches),
 		L1Bytes:   sys.CPU.L1Bytes,
 		L1Ways:    sys.CPU.L1Ways,
@@ -135,9 +162,13 @@ func Run(opt Options) (*Result, error) {
 		LLCWays:   sys.CPU.LLCWays,
 		LineBytes: sys.Geom.LineBytes,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", sys.Name, err)
+	}
 
 	var ctls []*memctrl.Controller
 	var auditors []*dram.Auditor
+	var checkers []*check.Checker
 	for c := 0; c < sys.Geom.Channels; c++ {
 		ch := dram.NewChannel(sys, mapper.RowBits())
 		if opt.Audit {
@@ -145,7 +176,24 @@ func Run(opt Options) (*Result, error) {
 			ch.Attach(a)
 			auditors = append(auditors, a)
 		}
+		if opt.Check != nil && opt.Check.Mode != check.Off {
+			ck := check.New(sys, *opt.Check)
+			ch.Attach(ck)
+			ch.OnViolation(ck.HandleViolation)
+			checkers = append(checkers, ck)
+		}
 		ctls = append(ctls, memctrl.New(sys, ch))
+	}
+
+	// Chaos harness: clone the fault plan (so one plan parameterizes
+	// many runs) and arm its continuous perturbations.
+	plan := opt.Faults.Clone()
+	tgt := injectTarget{ctls: ctls, ranks: sys.Geom.Ranks}
+	plan.Arm(tgt)
+
+	var wd *watchdogState
+	if opt.Watchdog != nil {
+		wd = newWatchdogState(opt.Watchdog)
 	}
 
 	br := newBridge(sys, mapper, procs, caches, ctls, opt.Capture)
@@ -167,6 +215,7 @@ func Run(opt Options) (*Result, error) {
 	}
 
 	var bus, busAtWarm clock.Cycle
+	var stopErr error
 	cpuCycle := int64(0)
 	warmed := warmup == 0
 	ratio := int64(sys.CPU.ClockRatio)
@@ -176,6 +225,9 @@ func Run(opt Options) (*Result, error) {
 			return nil, fmt.Errorf("sim: %s did not finish within %d bus cycles", sys.Name, maxBus)
 		}
 		br.busNow = bus
+		if plan != nil {
+			plan.Apply(bus, tgt)
+		}
 		fired := br.fireEvents()
 		for r := 0; r < sys.CPU.ClockRatio; r++ {
 			cpuCycle++
@@ -191,6 +243,32 @@ func Run(opt Options) (*Result, error) {
 			}
 		}
 		drained := br.drainSpill()
+
+		// Graceful-degradation checks: a latched bridge fatal (OOM), a
+		// Fail-mode protocol violation, or a tripped watchdog ends the
+		// run here; partial statistics are still assembled below.
+		if br.fatal != nil {
+			stopErr = fmt.Errorf("sim: %s: %w", sys.Name, br.fatal)
+			break
+		}
+		if len(checkers) > 0 {
+			for _, ck := range checkers {
+				if ck.Failed() {
+					stopErr = ck.Err()
+					break
+				}
+			}
+			if stopErr != nil {
+				break
+			}
+		}
+		if wd != nil {
+			if kind, idle := wd.check(bus, fired, drained, cores, ctls); kind != "" {
+				stopErr = &DeadlockError{Kind: kind, Bus: bus, Idle: idle,
+					Report: buildDeadlockReport(kind, bus, idle, cores, ctls, checkers, plan)}
+				break
+			}
+		}
 
 		if !warmed {
 			warmed = true
@@ -268,6 +346,18 @@ func Run(opt Options) (*Result, error) {
 				next = eb
 			}
 		}
+		// Never skip over a scheduled fault injection or the watchdog's
+		// firing point: both must land on their exact cycle.
+		if plan != nil {
+			if e := plan.NextAt(); e < next {
+				next = e
+			}
+		}
+		if wd != nil {
+			if e := wd.deadline(bus, ctls); e < next {
+				next = e
+			}
+		}
 		if next <= bus+1 {
 			continue
 		}
@@ -327,6 +417,18 @@ func Run(opt Options) (*Result, error) {
 		res.AuditCommands = append(res.AuditCommands, a.Events())
 	}
 
+	// End-of-stream checker pass (refresh starvation) and violation
+	// harvest. In Panic mode Finish panics on a detection, matching the
+	// in-stream semantics.
+	for _, ck := range checkers {
+		ck.Finish(bus)
+		res.Protocol = append(res.Protocol, ck.Errors()...)
+		if stopErr == nil && ck.Failed() {
+			stopErr = ck.Err()
+		}
+	}
+	res.FaultsInjected = plan.Injected()
+
 	var mappedHuge, mapped uint64
 	for i, c := range cores {
 		res.IPC = append(res.IPC, c.IPC())
@@ -337,7 +439,47 @@ func Run(opt Options) (*Result, error) {
 	if mapped > 0 {
 		res.HugeCoverage = float64(mappedHuge) / float64(mapped)
 	}
+	if stopErr != nil {
+		// Graceful degradation: the statistics cover the completed
+		// portion of the run; the caller gets both.
+		res.Partial = true
+		return res, stopErr
+	}
 	return res, nil
+}
+
+// injectTarget adapts the run's controllers to faults.Target.
+type injectTarget struct {
+	ctls  []*memctrl.Controller
+	ranks int
+}
+
+func (t injectTarget) Channels() int { return len(t.ctls) }
+
+func (t injectTarget) DelayRefresh(ch, rank int, delta clock.Cycle) bool {
+	return t.ctls[ch].Channel().InjectRefreshDelay(rank%t.ranks, delta)
+}
+
+func (t injectTarget) ForcePrecharge(ch int) bool {
+	return t.ctls[ch].Channel().InjectForcePrecharge()
+}
+
+func (t injectTarget) CorruptTiming(ch int) bool {
+	return t.ctls[ch].Channel().InjectTimingReset()
+}
+
+func (t injectTarget) CorruptRow(ch int) bool {
+	return t.ctls[ch].Channel().InjectRowCorruption()
+}
+
+func (t injectTarget) Blackout(ch int, until clock.Cycle) {
+	t.ctls[ch].InjectBlackout(until)
+}
+
+func (t injectTarget) SetDropRate(rate float64, seed int64) {
+	for i, ctl := range t.ctls {
+		ctl.InjectDropRate(rate, seed+int64(i))
+	}
 }
 
 // source adapts a workload.Generator to cpu.Source.

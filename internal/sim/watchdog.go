@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"eruca/internal/check"
+	"eruca/internal/clock"
+	"eruca/internal/cpu"
+	"eruca/internal/faults"
+	"eruca/internal/memctrl"
+)
+
+// DefaultProgressBudget is the forward-progress watchdog's default: how
+// many bus cycles the system may go without a single retired
+// instruction or completed memory transaction before the run is
+// declared wedged. The longest legitimate stall is a refresh blackout
+// (tRFC, hundreds of cycles) behind a full write drain — four orders of
+// magnitude below this, so false positives require a genuinely
+// pathological configuration.
+const DefaultProgressBudget clock.Cycle = 200_000
+
+// Watchdog configures the run loop's liveness monitors.
+type Watchdog struct {
+	// ProgressBudget is the no-progress cycle budget (0 selects
+	// DefaultProgressBudget).
+	ProgressBudget clock.Cycle
+	// LatencyCeiling, when positive, bounds the age of the oldest
+	// queued read; exceeding it ends the run with a starvation report
+	// even while the rest of the system makes progress.
+	LatencyCeiling clock.Cycle
+}
+
+func (w *Watchdog) budget() clock.Cycle {
+	if w == nil || w.ProgressBudget <= 0 {
+		return DefaultProgressBudget
+	}
+	return w.ProgressBudget
+}
+
+// DeadlockError is the watchdog's structured report: what tripped
+// (no-progress or latency-ceiling), when, and a full system snapshot —
+// queue occupancies, oldest-transaction ages, per-bank open-row state,
+// per-core progress, and the flight recorders when a checker was
+// attached.
+type DeadlockError struct {
+	// Kind is "no-progress" or "latency-ceiling".
+	Kind string
+	// Bus is the bus cycle at detection.
+	Bus clock.Cycle
+	// Idle is the cycles since the last observed progress
+	// (no-progress) or the offending read's age (latency-ceiling).
+	Idle clock.Cycle
+	// Report is the rendered system snapshot.
+	Report string
+}
+
+// Error implements error with a one-line summary.
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: watchdog: %s at bus cycle %d after %d cycles without progress", e.Kind, e.Bus, e.Idle)
+}
+
+// watchdogState is the run loop's liveness bookkeeping.
+type watchdogState struct {
+	cfg          *Watchdog
+	lastProgress clock.Cycle
+	prevRetired  int64
+	prevDone     uint64
+}
+
+func newWatchdogState(cfg *Watchdog) *watchdogState {
+	return &watchdogState{cfg: cfg, prevRetired: -1}
+}
+
+// check updates the progress clock and reports a DeadlockError when a
+// budget is exhausted. fired/drained are the bus events of this cycle;
+// retirement and transaction completion are sampled from the cores and
+// controllers.
+func (w *watchdogState) check(bus clock.Cycle, fired, drained int, cores []*cpu.Core, ctls []*memctrl.Controller) (string, clock.Cycle) {
+	retired := int64(0)
+	for _, c := range cores {
+		retired += c.Progress()
+	}
+	done := uint64(0)
+	for _, ctl := range ctls {
+		done += ctl.Stats.ReadsDone + ctl.Stats.WritesDone
+	}
+	if fired > 0 || drained > 0 || retired != w.prevRetired || done != w.prevDone {
+		w.prevRetired, w.prevDone = retired, done
+		w.lastProgress = bus
+	} else if idle := bus - w.lastProgress; idle > w.cfg.budget() {
+		return "no-progress", idle
+	}
+	if ceil := w.cfg.LatencyCeiling; ceil > 0 {
+		for _, ctl := range ctls {
+			if age := ctl.OldestReadAge(bus); age > ceil {
+				return "latency-ceiling", age
+			}
+		}
+	}
+	return "", 0
+}
+
+// deadline reports the bus cycle at which the watchdog would fire with
+// no further progress — the fast-forward bound that keeps skipped
+// windows from jumping over a detection point.
+func (w *watchdogState) deadline(bus clock.Cycle, ctls []*memctrl.Controller) clock.Cycle {
+	d := w.lastProgress + w.cfg.budget() + 1
+	if ceil := w.cfg.LatencyCeiling; ceil > 0 {
+		for _, ctl := range ctls {
+			if age := ctl.OldestReadAge(bus); age > 0 {
+				if e := bus - age + ceil + 1; e < d {
+					d = e
+				}
+			}
+		}
+	}
+	return d
+}
+
+// buildDeadlockReport renders the full system snapshot attached to a
+// DeadlockError.
+func buildDeadlockReport(kind string, bus clock.Cycle, idle clock.Cycle,
+	cores []*cpu.Core, ctls []*memctrl.Controller, checkers []*check.Checker, plan *faults.Plan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "watchdog %s: bus cycle %d, %d cycles since last progress\n", kind, bus, idle)
+	fmt.Fprintf(&b, "fault plan: %s\n", plan.String())
+	for i, c := range cores {
+		fmt.Fprintf(&b, "core %d: progress=%d warmed=%v done=%v\n", i, c.Progress(), c.Warmed(), c.Done())
+	}
+	for i, ctl := range ctls {
+		r, wq := ctl.QueueDepths()
+		fmt.Fprintf(&b, "channel %d: readQ=%d writeQ=%d oldestRead=%d oldestWrite=%d reads=%d writes=%d",
+			i, r, wq, ctl.OldestReadAge(bus), ctl.OldestWriteAge(bus), ctl.Stats.ReadsDone, ctl.Stats.WritesDone)
+		if until := ctl.BlackoutUntil(); until > bus {
+			fmt.Fprintf(&b, " BLACKOUT until %d", until)
+		}
+		if d := ctl.DroppedTicks(); d > 0 {
+			fmt.Fprintf(&b, " dropped=%d", d)
+		}
+		fmt.Fprintf(&b, "\n%s", ctl.Channel().DescribeState(bus))
+	}
+	for i, ck := range checkers {
+		fmt.Fprintf(&b, "channel %d %s", i, ck.Recorder().Dump())
+	}
+	return b.String()
+}

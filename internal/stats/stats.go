@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"eruca/internal/diag"
 )
 
 // Sampler accumulates float64 samples and reports summary statistics.
@@ -89,9 +91,8 @@ func (s *Sampler) String() string {
 // multiprogrammed run: sum over cores of IPC_shared/IPC_alone. It panics
 // on mismatched lengths and skips cores with zero alone-IPC.
 func WeightedSpeedup(ipcShared, ipcAlone []float64) float64 {
-	if len(ipcShared) != len(ipcAlone) {
-		panic(fmt.Sprintf("stats: %d shared IPCs vs %d alone IPCs", len(ipcShared), len(ipcAlone)))
-	}
+	diag.Invariant(len(ipcShared) == len(ipcAlone),
+		"stats: %d shared IPCs vs %d alone IPCs", len(ipcShared), len(ipcAlone))
 	ws := 0.0
 	for i := range ipcShared {
 		if ipcAlone[i] > 0 {
