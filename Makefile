@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race chaos fuzz-smoke verify bench bench-baseline clean
+.PHONY: build vet test race chaos fuzz-smoke verify bench bench-baseline bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -15,8 +15,10 @@ test:
 # experiment engine, the fast-forward/per-cycle equivalence, and the
 # chaos harness (fault injection + checker + watchdog under -race).
 race:
-	$(GO) test -race -count=1 -run 'Parallel|Sweep|LogMode' ./internal/exp/
+	$(GO) test -race -count=1 -run 'Parallel|Sweep|LogMode|Cancel|SharedFlight' ./internal/exp/
 	$(GO) test -race -count=1 -run 'FastForward|Chaos' ./internal/sim/
+	$(GO) test -race -count=1 -run 'Concurrency' ./internal/stats/
+	$(GO) test -race -count=1 ./internal/server/
 
 # Full chaos-harness pass: every seeded fault kind must be caught by the
 # protocol checker or the watchdog, and benign perturbations must stay
@@ -43,6 +45,16 @@ bench-baseline:
 		| tee /tmp/eruca_simthroughput.txt
 	awk -f scripts/bench_json.awk /tmp/eruca_simthroughput.txt > BENCH_baseline.json
 	cat BENCH_baseline.json
+
+# Re-run the throughput benchmarks and diff against BENCH_baseline.json,
+# failing on regressions beyond BENCH_TOLERANCE percent (default 10) or
+# on any simulated bus-cycle drift.
+BENCH_TOLERANCE ?= 10
+bench-compare:
+	$(GO) test -run '^$$' -bench SimThroughput -benchtime 3x . \
+		| tee /tmp/eruca_simthroughput_fresh.txt
+	awk -v tol=$(BENCH_TOLERANCE) -f scripts/bench_delta.awk \
+		BENCH_baseline.json /tmp/eruca_simthroughput_fresh.txt
 
 clean:
 	rm -f cpu.pprof mem.pprof

@@ -16,7 +16,6 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strings"
 	"time"
 
 	"eruca/internal/check"
@@ -88,8 +87,10 @@ func run() int {
 	if copts != nil {
 		p.Check = copts.Mode
 	}
-	if *mixes != "" {
-		p.Mixes = strings.Split(*mixes, ",")
+	p.Mixes, err = cli.ParseMixes(*mixes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "erucabench:", err)
+		return cli.ExitUsage
 	}
 	if !*quiet {
 		p.Log = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }

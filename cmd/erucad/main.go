@@ -1,0 +1,94 @@
+// Command erucad serves ERUCA simulations over HTTP: submit JSON job
+// specs (single runs or full paper sweeps), poll for results, stream
+// live progress over SSE, and scrape Prometheus metrics. Concurrent
+// duplicate submissions collapse to one simulation through the shared
+// singleflight runner, completed specs are served from a
+// content-addressed result cache, and SIGTERM drains gracefully —
+// admission stops, in-flight and queued jobs finish, and the cache is
+// flushed to disk for the next boot.
+//
+// Examples:
+//
+//	erucad -addr :8080 -cache eruca-cache.json
+//	curl -XPOST localhost:8080/v1/jobs -d '{"kind":"sim","system":"ddr4","mix":"mix0","frag":0.1}'
+//	curl localhost:8080/v1/jobs/job-000001
+//	curl -N localhost:8080/v1/jobs/job-000001/events
+//	curl -XDELETE localhost:8080/v1/jobs/job-000001
+//	curl localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"eruca/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		workers  = flag.Int("workers", 4, "job worker-pool width")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations per runner group")
+		queueMax = flag.Int("queue", 64, "job queue bound (admission control)")
+		cacheMax = flag.Int("cache-entries", 256, "in-memory result cache entries")
+		cache    = flag.String("cache", "", "persist the result cache to this file across restarts")
+		drainFor = flag.Duration("drain", 60*time.Second, "graceful drain deadline on SIGTERM/SIGINT")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "erucad: ", log.LstdFlags)
+	srv, err := server.New(server.Config{
+		Workers: *workers, SimParallel: *parallel,
+		QueueMax: *queueMax, CacheMax: *cacheMax, CachePath: *cache,
+		Logf: logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	srv.Start()
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		logger.Printf("%v: draining (deadline %s)", sig, *drainFor)
+	case err := <-errc:
+		logger.Fatal(err)
+	}
+
+	// Graceful shutdown: stop admitting, finish queued + in-flight
+	// jobs, flush the cache, then close the listener. A second signal
+	// hard-cancels immediately.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	go func() {
+		<-sigc
+		logger.Printf("second signal: hard stop")
+		cancel()
+	}()
+	if err := srv.Drain(ctx); err != nil {
+		logger.Printf("drain: %v", err)
+	}
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("shutdown: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "erucad: bye")
+}

@@ -29,8 +29,6 @@ import (
 func main() {
 	var (
 		system   = flag.String("system", "ddr4", "comma-separated system presets (see -list)")
-		mixN     = flag.String("mix", "", "Tab. III mix name (mix0..mix8)")
-		bench    = flag.String("bench", "", "comma-separated benchmarks (alternative to -mix)")
 		planes   = flag.Int("planes", 4, "plane count for sub-banked systems")
 		bus      = flag.Float64("bus", config.DefaultBusMHz, "channel frequency (MHz)")
 		instrs   = flag.Int64("instrs", 500_000, "instructions per core")
@@ -39,6 +37,8 @@ func main() {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations for multi-system runs")
 		list     = flag.Bool("list", false, "list systems, benchmarks and mixes")
 	)
+	var wl cli.Workload
+	wl.Register("")
 	var rb cli.Robust
 	rb.Register()
 	flag.Parse()
@@ -60,28 +60,13 @@ func main() {
 		return
 	}
 
-	var systems []*config.System
-	for _, name := range strings.Split(*system, ",") {
-		sys, err := config.ByName(strings.TrimSpace(name), *planes, *bus)
-		if err != nil {
-			fatal(err)
-		}
-		systems = append(systems, sys)
+	systems, err := cli.ParseSystems(*system, *planes, *bus)
+	if err != nil {
+		fatal(err)
 	}
-
-	var benches []string
-	switch {
-	case *bench != "":
-		benches = strings.Split(*bench, ",")
-	case *mixN != "":
-		m, err := workload.MixByName(*mixN)
-		if err != nil {
-			fatal(err)
-		}
-		benches = m.Bench
-	default:
-		m, _ := workload.MixByName("mix0")
-		benches = m.Bench
+	benches, err := wl.Benches("mix0")
+	if err != nil {
+		fatal(err)
 	}
 
 	// Run all systems concurrently, bounded by -parallel; each run is

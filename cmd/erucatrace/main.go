@@ -21,13 +21,10 @@ import (
 	"eruca/internal/config"
 	"eruca/internal/sim"
 	"eruca/internal/trace"
-	"eruca/internal/workload"
 )
 
 func main() {
 	var (
-		mixN    = flag.String("mix", "", "Tab. III mix name")
-		bench   = flag.String("bench", "mcf", "comma-separated benchmarks")
 		instrs  = flag.Int64("instrs", 150_000, "instructions per core")
 		frag    = flag.Float64("frag", 0.1, "memory fragmentation (FMFI)")
 		seed    = flag.Int64("seed", 42, "simulation seed")
@@ -35,6 +32,8 @@ func main() {
 		dump    = flag.String("dump", "", "write the raw trace as CSV to this file")
 		load    = flag.String("load", "", "analyze an existing CSV trace instead of simulating")
 	)
+	var wl cli.Workload
+	wl.Register("mcf")
 	var rb cli.Robust
 	rb.Register()
 	flag.Parse()
@@ -58,13 +57,9 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "loaded %d transactions from %s\n", len(recs), *load)
 	} else {
-		benches := strings.Split(*bench, ",")
-		if *mixN != "" {
-			m, err := workload.MixByName(*mixN)
-			if err != nil {
-				fatal(err)
-			}
-			benches = m.Bench
+		benches, err := wl.Benches("")
+		if err != nil {
+			fatal(err)
 		}
 		res, err := sim.Run(sim.Options{
 			Sys: config.Baseline(config.DefaultBusMHz), Benches: benches,

@@ -1,0 +1,166 @@
+// Serve drives the erucad HTTP API end to end: it submits the paper's
+// plane-count trade-off (Sec. IV / Fig. 13) as a batch of simulation
+// jobs, follows one job's live progress over SSE, then polls the rest
+// and prints the same table as examples/planesweep — except every row
+// came back over HTTP, deduplicated and cached by the daemon.
+//
+// By default it self-hosts an in-process server on a loopback port so
+// `go run ./examples/serve` works with nothing else running; point
+// -addr at a real daemon (e.g. -addr localhost:8080) to use one.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"eruca/internal/server"
+)
+
+// jobView mirrors the daemon's job JSON — the fields a wire client
+// actually needs.
+type jobView struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	CacheHit bool   `json:"cache_hit"`
+	Result   string `json:"result"`
+	Error    *struct {
+		Message  string `json:"message"`
+		Class    string `json:"class"`
+		ExitCode int    `json:"exit_code"`
+	} `json:"error"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "daemon address (empty = self-host in process)")
+	instrs := flag.Int64("instrs", 120_000, "instructions per core")
+	flag.Parse()
+	log.SetFlags(0)
+
+	base := "http://" + *addr
+	if *addr == "" {
+		base = selfHost()
+	}
+
+	benches := []string{"mcf", "lbm", "soplex", "milc"}
+	submit := func(system string, planes int) string {
+		spec := server.JobSpec{Kind: "sim", System: system, Benches: benches,
+			Planes: planes, Instrs: *instrs, Frag: 0.1}
+		b, _ := json.Marshal(spec)
+		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(string(b)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var v jobView
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil || resp.StatusCode != http.StatusAccepted {
+			log.Fatalf("submit %s/p%d: status %d (%v)", system, planes, resp.StatusCode, err)
+		}
+		return v.ID
+	}
+
+	// The batch: baseline DDR4 plus naive VSB and ERUCA (EWLR+RAP) at
+	// each plane count.
+	type row struct {
+		planes int
+		system string
+		id     string
+	}
+	baseID := submit("ddr4", 0)
+	var rows []row
+	for _, planes := range []int{2, 4, 8, 16} {
+		for _, preset := range []string{"vsb-naive-ddb", "vsb-ewlr-rap-ddb"} {
+			rows = append(rows, row{planes, preset, submit(preset, planes)})
+		}
+	}
+	fmt.Fprintf(os.Stderr, "submitted %d jobs to %s\n", len(rows)+1, base)
+
+	// Follow the baseline job's progress live over SSE.
+	stream(base, baseID)
+
+	// Collect results (polling; the SSE stream above already rode out
+	// most of the queue).
+	wait := func(id string) server.SimSummary {
+		for {
+			resp, err := http.Get(base + "/v1/jobs/" + id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var v jobView
+			err = json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			switch v.State {
+			case "done":
+				var s server.SimSummary
+				if err := json.Unmarshal([]byte(v.Result), &s); err != nil {
+					log.Fatalf("job %s result: %v", id, err)
+				}
+				return s
+			case "failed", "canceled":
+				log.Fatalf("job %s %s: %+v", id, v.State, v.Error)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	baseRes := wait(baseID)
+	fmt.Printf("%-8s %-28s %12s %16s\n", "planes", "scheme", "speedup", "plane-conf PREs")
+	for _, r := range rows {
+		res := wait(r.id)
+		fmt.Printf("%-8d %-28s %+10.1f%% %15.1f%%\n",
+			r.planes, res.System,
+			(float64(baseRes.BusCycles)/float64(res.BusCycles)-1)*100,
+			res.PlaneConfPre*100)
+	}
+}
+
+// stream prints one job's SSE event stream until its terminal "done"
+// frame.
+func stream(base, id string) {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	done := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: done"):
+			done = true
+		case strings.HasPrefix(line, "data: ") && len(line) > 6:
+			if done {
+				fmt.Fprintf(os.Stderr, "job %s finished: %s\n", id, line[6:])
+				return
+			}
+			fmt.Fprintf(os.Stderr, "  %s\n", line[6:])
+		}
+	}
+}
+
+// selfHost starts an in-process daemon on a loopback port and returns
+// its base URL.
+func selfHost() string {
+	srv, err := server.New(server.Config{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(ln, srv.Handler()) }()
+	return "http://" + ln.Addr().String()
+}

@@ -1,0 +1,105 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"eruca/internal/config"
+	"eruca/internal/workload"
+)
+
+// Workload is the -mix/-bench flag pair shared by erucasim, erucatrace
+// and (as JSON fields) the erucad job spec. Before this cluster existed
+// each binary re-wired the two flags with subtly different precedence;
+// Benches is now the single resolution rule.
+type Workload struct {
+	Mix   string
+	Bench string
+}
+
+// Register installs the flags on the default flag set. defBench seeds
+// the -bench default ("" means the binary falls back to defMix inside
+// Benches).
+func (w *Workload) Register(defBench string) {
+	flag.StringVar(&w.Mix, "mix", "", "Tab. III mix name (mix0..mix8)")
+	flag.StringVar(&w.Bench, "bench", defBench, "comma-separated benchmarks (alternative to -mix)")
+}
+
+// Benches resolves the pair into a benchmark list. Precedence: an
+// explicit -mix wins, then -bench, then defMix (empty = error). Every
+// named benchmark and mix is validated here, so binaries fail at flag
+// time instead of deep inside a simulation.
+func (w Workload) Benches(defMix string) ([]string, error) {
+	name := w.Mix
+	if name == "" && w.Bench == "" {
+		name = defMix
+	}
+	if name != "" {
+		m, err := workload.MixByName(name)
+		if err != nil {
+			return nil, err
+		}
+		return m.Bench, nil
+	}
+	if w.Bench == "" {
+		return nil, fmt.Errorf("cli: no -mix or -bench given")
+	}
+	var benches []string
+	for _, b := range strings.Split(w.Bench, ",") {
+		b = strings.TrimSpace(b)
+		if b == "" {
+			continue
+		}
+		if _, err := workload.ByName(b); err != nil {
+			return nil, err
+		}
+		benches = append(benches, b)
+	}
+	if len(benches) == 0 {
+		return nil, fmt.Errorf("cli: empty -bench list")
+	}
+	return benches, nil
+}
+
+// ParseMixes validates a comma-separated mix subset (the -mixes flag of
+// erucabench and the erucad sweep spec). Empty input means "all mixes"
+// and returns nil.
+func ParseMixes(csv string) ([]string, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, nil
+	}
+	var mixes []string
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, err := workload.MixByName(name); err != nil {
+			return nil, err
+		}
+		mixes = append(mixes, name)
+	}
+	return mixes, nil
+}
+
+// ParseSystems resolves a comma-separated preset list (the -system flag
+// and the erucad job-spec "systems" field) into built configurations.
+func ParseSystems(csv string, planes int, busMHz float64) ([]*config.System, error) {
+	var systems []*config.System
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		sys, err := config.ByName(name, planes, busMHz)
+		if err != nil {
+			return nil, err
+		}
+		systems = append(systems, sys)
+	}
+	if len(systems) == 0 {
+		return nil, fmt.Errorf("cli: empty system list")
+	}
+	return systems, nil
+}

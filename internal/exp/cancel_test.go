@@ -1,0 +1,129 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"eruca/internal/config"
+	"eruca/internal/workload"
+)
+
+func mix0(t *testing.T) workload.Mix {
+	t.Helper()
+	m, err := workload.MixByName("mix0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestResultCancelEvicts proves the cancellation contract of the
+// singleflight cache: a canceled run returns promptly with a context
+// error, the poisoned entry is evicted, and a later call re-runs and
+// succeeds.
+func TestResultCancelEvicts(t *testing.T) {
+	// 1M instructions: far more than 50ms of simulation, small enough
+	// that the post-eviction rerun stays quick.
+	r := NewRunner(Params{Instrs: 1_000_000, Seed: 1, Parallel: 2})
+	sys := config.Baseline(config.DefaultBusMHz)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := r.WithContext(ctx).Result(sys, mix0(t), 0.1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Errorf("cancellation took %s, want prompt", took)
+	}
+
+	// The canceled entry must not poison the cache: the same call on
+	// the same runner re-runs and succeeds.
+	if _, err := r.Result(sys, mix0(t), 0.1); err != nil {
+		t.Fatalf("rerun after cancel: %v", err)
+	}
+	launched, _ := r.Counters()
+	if launched != 2 {
+		t.Errorf("launched = %d, want 2 (canceled + rerun)", launched)
+	}
+}
+
+// TestSharedFlightSurvivesOneCancel proves the waiter refcount: two
+// callers share one flight; canceling one leaves the simulation running
+// for the other, and exactly one simulation executes.
+func TestSharedFlightSurvivesOneCancel(t *testing.T) {
+	r := NewRunner(Params{Instrs: 60_000, Seed: 1, Parallel: 2})
+	sys := config.Baseline(config.DefaultBusMHz)
+	m := mix0(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	type out struct {
+		ok  bool
+		err error
+	}
+	impatient := make(chan out, 1)
+	patient := make(chan out, 1)
+	go func() {
+		res, err := r.WithContext(ctx).Result(sys, m, 0.1)
+		impatient <- out{res != nil, err}
+	}()
+	// Give the first caller a head start so it becomes the leader, then
+	// join with an uncancelable caller and cancel the first.
+	time.Sleep(20 * time.Millisecond)
+	go func() {
+		res, err := r.Result(sys, m, 0.1)
+		patient <- out{res != nil, err}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+
+	po := <-patient
+	if po.err != nil || !po.ok {
+		t.Fatalf("patient caller: ok=%v err=%v, want a result", po.ok, po.err)
+	}
+	io := <-impatient
+	// The impatient caller either got the shared result before its
+	// cancel landed or a context error — both are legal; a different
+	// error is not.
+	if io.err != nil && !errors.Is(io.err, context.Canceled) {
+		t.Fatalf("impatient caller: %v", io.err)
+	}
+	launched, joined := r.Counters()
+	if launched != 1 {
+		t.Errorf("launched = %d, want 1", launched)
+	}
+	if joined != 1 {
+		t.Errorf("joined = %d, want 1", joined)
+	}
+}
+
+// TestWithLogAttribution: log lines go to the view that launched the
+// simulation; a joiner's sink stays silent.
+func TestWithLogAttribution(t *testing.T) {
+	r := NewRunner(Params{Instrs: 10_000, Seed: 1})
+	sys := config.Baseline(config.DefaultBusMHz)
+	var a, b []string
+	ra := r.WithLog(func(s string) { a = append(a, s) })
+	rb := r.WithLog(func(s string) { b = append(b, s) })
+	if _, err := ra.Result(sys, mix0(t), 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rb.Result(sys, mix0(t), 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Error("launcher view logged nothing")
+	}
+	if len(b) != 0 {
+		t.Errorf("joiner view logged %d lines, want 0 (cache hit)", len(b))
+	}
+	launched, joined := r.Counters()
+	if launched != 1 || joined != 1 {
+		t.Errorf("counters launched=%d joined=%d, want 1/1", launched, joined)
+	}
+}

@@ -18,6 +18,8 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -70,20 +72,121 @@ func DefaultParams() Params {
 
 // flight is one singleflight cache entry: the first caller of a key
 // becomes the leader and runs the simulation; everyone else blocks on
-// done and shares the result. Entries are never removed, so the filled
-// flight doubles as the cache record.
+// done and shares the result. Completed entries stay in the map, so the
+// filled flight doubles as the cache record — except canceled flights,
+// which the leader evicts before publishing so later callers re-run
+// instead of inheriting a stale cancellation.
+//
+// Each waiter (the leader and every context-carrying joiner) holds one
+// reference; a waiter whose context fires releases its reference, and
+// when the last reference drops the in-flight simulation itself is
+// canceled. Callers without a context never release, so a plain
+// library-style call keeps the run alive no matter how many impatient
+// joiners abandon it.
 type flight[T any] struct {
 	done chan struct{}
 	val  T
 	err  error
+
+	mu      sync.Mutex
+	waiters int
+	cancel  context.CancelFunc
 }
 
-// Runner executes and caches simulations. All methods are safe for
-// concurrent use: results are deduplicated through singleflight caches
-// (one in-flight simulation per key, late arrivals block and share),
-// and a semaphore bounds the number of simulations running at once.
-type Runner struct {
-	p        Params
+// join registers one more waiter.
+func (f *flight[T]) join() {
+	f.mu.Lock()
+	f.waiters++
+	f.mu.Unlock()
+}
+
+// leave drops one waiter; the last one out cancels the run.
+func (f *flight[T]) leave() {
+	f.mu.Lock()
+	f.waiters--
+	if f.waiters == 0 && f.cancel != nil {
+		f.cancel()
+	}
+	f.mu.Unlock()
+}
+
+// await blocks until the flight completes or ctx fires. A nil ctx waits
+// unconditionally (the pre-context behavior, bit for bit).
+func (f *flight[T]) await(ctx context.Context) (T, error) {
+	if ctx == nil {
+		// A permanent reference: a nil-ctx caller can never abandon the
+		// flight, so the run stays alive however many context-carrying
+		// joiners give up.
+		f.join()
+		<-f.done
+		return f.val, f.err
+	}
+	select {
+	case <-f.done:
+		return f.val, f.err
+	default:
+	}
+	f.join()
+	stop := context.AfterFunc(ctx, f.leave)
+	select {
+	case <-f.done:
+		stop() // if the AfterFunc already ran, leave() was already paid
+		return f.val, f.err
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	}
+}
+
+// canceled reports whether err is a context cancellation or deadline.
+func canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// lead runs fn as the flight's leader: it takes a worker slot, executes
+// under a context that fires only when every waiter has left, publishes
+// the outcome and wakes the joiners. evict removes the flight from its
+// cache map; it is invoked (before done closes) when the run ends
+// canceled.
+func lead[T any](r *Runner, f *flight[T], evict func(), fn func(ctx context.Context) (T, error)) (T, error) {
+	defer close(f.done)
+	runCtx, runCancel := context.WithCancel(context.Background())
+	defer runCancel()
+	f.mu.Lock()
+	f.cancel = runCancel
+	f.mu.Unlock()
+	var stop func() bool
+	if r.ctx != nil {
+		stop = context.AfterFunc(r.ctx, f.leave)
+		defer stop()
+	}
+
+	// Take a worker slot, abandoning the queue position if every waiter
+	// (including this leader) gives up first.
+	select {
+	case r.sh.sem <- struct{}{}:
+	case <-runCtx.Done():
+		evict()
+		f.err = context.Cause(runCtx)
+		if f.err == nil {
+			f.err = context.Canceled
+		}
+		return f.val, f.err
+	}
+	defer func() { <-r.sh.sem }()
+
+	r.sh.launched.Add(1)
+	f.val, f.err = fn(runCtx)
+	if f.err != nil && canceled(f.err) {
+		evict()
+	}
+	return f.val, f.err
+}
+
+// shared is the state common to a Runner and every derived view
+// (WithContext/WithLog): the worker semaphore, both singleflight
+// caches, and the instrumentation counters.
+type shared struct {
 	parallel int
 	// sem is the worker pool: a slot is held only while sim.Run
 	// executes, never while waiting on another flight, so dependency
@@ -96,6 +199,25 @@ type Runner struct {
 
 	jobs  atomic.Int64 // log-prefix sequence for launched simulations
 	logMu sync.Mutex
+
+	launched atomic.Int64 // simulations actually executed
+	joined   atomic.Int64 // calls served by an existing flight (dedup)
+}
+
+// Runner executes and caches simulations. All methods are safe for
+// concurrent use: results are deduplicated through singleflight caches
+// (one in-flight simulation per key, late arrivals block and share),
+// and a semaphore bounds the number of simulations running at once.
+//
+// A Runner value is a view onto shared state: WithContext and WithLog
+// return derived Runners that reuse the same caches, worker pool and
+// counters, so a long-lived daemon can hand every request its own
+// cancellation scope and progress sink while concurrent duplicate
+// requests still collapse to one simulation.
+type Runner struct {
+	p   Params
+	ctx context.Context // nil = not cancelable
+	sh  *shared
 }
 
 // NewRunner builds a Runner.
@@ -108,24 +230,53 @@ func NewRunner(p Params) *Runner {
 		par = runtime.GOMAXPROCS(0)
 	}
 	return &Runner{
-		p:        p,
-		parallel: par,
-		sem:      make(chan struct{}, par),
-		cache:    make(map[string]*flight[*sim.Result]),
-		alone:    make(map[string]*flight[float64]),
+		p: p,
+		sh: &shared{
+			parallel: par,
+			sem:      make(chan struct{}, par),
+			cache:    make(map[string]*flight[*sim.Result]),
+			alone:    make(map[string]*flight[float64]),
+		},
 	}
 }
 
+// WithContext returns a view of the Runner whose simulations are bounded
+// by ctx: cancellation stops the caller's wait immediately and stops the
+// underlying simulation once no other caller still wants it. The view
+// shares the caches, worker pool and counters of its parent.
+func (r *Runner) WithContext(ctx context.Context) *Runner {
+	nr := *r
+	nr.ctx = ctx
+	return &nr
+}
+
+// WithLog returns a view of the Runner with its own progress sink. Log
+// lines for a simulation go to the sink of the view that actually
+// launched it (joiners of an in-flight run stay silent), so a daemon
+// gets per-request attribution without forking the caches.
+func (r *Runner) WithLog(fn func(string)) *Runner {
+	nr := *r
+	nr.p.Log = fn
+	return &nr
+}
+
 // Parallel reports the configured worker-pool width.
-func (r *Runner) Parallel() int { return r.parallel }
+func (r *Runner) Parallel() int { return r.sh.parallel }
+
+// Counters reports how many simulations were actually executed and how
+// many calls were served by an existing flight (in-flight join or cache
+// hit) instead — the dedup evidence a service exports as metrics.
+func (r *Runner) Counters() (launched, joined int64) {
+	return r.sh.launched.Load(), r.sh.joined.Load()
+}
 
 func (r *Runner) logf(format string, args ...any) {
 	if r.p.Log == nil {
 		return
 	}
 	msg := fmt.Sprintf(format, args...)
-	r.logMu.Lock()
-	defer r.logMu.Unlock()
+	r.sh.logMu.Lock()
+	defer r.sh.logMu.Unlock()
 	r.p.Log(msg)
 }
 
@@ -136,7 +287,7 @@ func (r *Runner) logJob(format string, args ...any) {
 	if r.p.Log == nil {
 		return
 	}
-	n := r.jobs.Add(1)
+	n := r.sh.jobs.Add(1)
 	r.logf("[%3d] %s", n, fmt.Sprintf(format, args...))
 }
 
@@ -147,7 +298,7 @@ func (r *Runner) logJob(format string, args ...any) {
 // deterministic order. With Parallel <= 1 it is a no-op — the serial
 // pass does all the work, exactly as before.
 func (r *Runner) warm(fns []func()) {
-	if r.parallel <= 1 || len(fns) < 2 {
+	if r.sh.parallel <= 1 || len(fns) < 2 {
 		return
 	}
 	var wg sync.WaitGroup
@@ -210,28 +361,37 @@ func sysKey(sys *config.System) string {
 }
 
 // Result runs (or recalls) one mix on one system at one fragmentation.
-// Concurrent callers with the same key share a single simulation.
+// Concurrent callers with the same key share a single simulation. A
+// Runner derived through WithContext stops waiting when its context
+// fires; the simulation itself is canceled once every interested caller
+// has left, and the canceled entry is evicted so later callers retry.
 func (r *Runner) Result(sys *config.System, mix workload.Mix, frag float64) (*sim.Result, error) {
 	key := fmt.Sprintf("%s|%s|%.2f", sysKey(sys), mix.Name, frag)
-	r.mu.Lock()
-	if f, ok := r.cache[key]; ok {
-		r.mu.Unlock()
-		<-f.done
-		return f.val, f.err
+	sh := r.sh
+	sh.mu.Lock()
+	if f, ok := sh.cache[key]; ok {
+		sh.mu.Unlock()
+		sh.joined.Add(1)
+		return f.await(r.ctx)
 	}
-	f := &flight[*sim.Result]{done: make(chan struct{})}
-	r.cache[key] = f
-	r.mu.Unlock()
-	defer close(f.done)
+	f := &flight[*sim.Result]{done: make(chan struct{}), waiters: 1}
+	sh.cache[key] = f
+	sh.mu.Unlock()
 
-	r.sem <- struct{}{}
-	defer func() { <-r.sem }()
-	r.logJob("run %-34s %s frag=%.1f", sysKey(sys), mix.Name, frag)
-	f.val, f.err = r.run(sim.Options{
-		Sys: sys, Benches: mix.Bench, Instrs: r.p.Instrs, Warmup: r.p.Warmup,
-		Frag: frag, Seed: r.p.Seed,
+	evict := func() {
+		sh.mu.Lock()
+		if sh.cache[key] == f {
+			delete(sh.cache, key)
+		}
+		sh.mu.Unlock()
+	}
+	return lead(r, f, evict, func(ctx context.Context) (*sim.Result, error) {
+		r.logJob("run %-34s %s frag=%.1f", sysKey(sys), mix.Name, frag)
+		return r.run(sim.Options{
+			Ctx: ctx, Sys: sys, Benches: mix.Bench, Instrs: r.p.Instrs, Warmup: r.p.Warmup,
+			Frag: frag, Seed: r.p.Seed,
+		})
 	})
-	return f.val, f.err
 }
 
 // AloneIPC measures a benchmark's IPC running alone on baseline DDR4 at
@@ -240,30 +400,35 @@ func (r *Runner) Result(sys *config.System, mix workload.Mix, frag float64) (*si
 // simulation.
 func (r *Runner) AloneIPC(bench string, frag, busMHz float64) (float64, error) {
 	key := fmt.Sprintf("%s|%.2f|%.0f", bench, frag, busMHz)
-	r.mu.Lock()
-	if f, ok := r.alone[key]; ok {
-		r.mu.Unlock()
-		<-f.done
-		return f.val, f.err
+	sh := r.sh
+	sh.mu.Lock()
+	if f, ok := sh.alone[key]; ok {
+		sh.mu.Unlock()
+		sh.joined.Add(1)
+		return f.await(r.ctx)
 	}
-	f := &flight[float64]{done: make(chan struct{})}
-	r.alone[key] = f
-	r.mu.Unlock()
-	defer close(f.done)
+	f := &flight[float64]{done: make(chan struct{}), waiters: 1}
+	sh.alone[key] = f
+	sh.mu.Unlock()
 
-	r.sem <- struct{}{}
-	defer func() { <-r.sem }()
-	r.logJob("alone %-12s frag=%.1f bus=%.0f", bench, frag, busMHz)
-	res, err := r.run(sim.Options{
-		Sys: config.Baseline(busMHz), Benches: []string{bench},
-		Instrs: r.p.Instrs, Warmup: r.p.Warmup, Frag: frag, Seed: r.p.Seed,
-	})
-	if err != nil {
-		f.err = err
-		return 0, err
+	evict := func() {
+		sh.mu.Lock()
+		if sh.alone[key] == f {
+			delete(sh.alone, key)
+		}
+		sh.mu.Unlock()
 	}
-	f.val = res.IPC[0]
-	return f.val, nil
+	return lead(r, f, evict, func(ctx context.Context) (float64, error) {
+		r.logJob("alone %-12s frag=%.1f bus=%.0f", bench, frag, busMHz)
+		res, err := r.run(sim.Options{
+			Ctx: ctx, Sys: config.Baseline(busMHz), Benches: []string{bench},
+			Instrs: r.p.Instrs, Warmup: r.p.Warmup, Frag: frag, Seed: r.p.Seed,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.IPC[0], nil
+	})
 }
 
 // WS computes the weighted speedup of one mix on one system.

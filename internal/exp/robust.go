@@ -152,18 +152,22 @@ func (r *Runner) Sweep(systems []*config.System, frag float64) (*Table, error) {
 // Protocol reports every Log-mode checker violation recorded across
 // the cached results, sorted by key — the sweep-level crash-dump feed.
 func (r *Runner) Protocol() []string {
-	r.mu.Lock()
-	keys := make([]string, 0, len(r.cache))
-	for k := range r.cache {
+	sh := r.sh
+	sh.mu.Lock()
+	keys := make([]string, 0, len(sh.cache))
+	for k := range sh.cache {
 		keys = append(keys, k)
 	}
-	r.mu.Unlock()
+	sh.mu.Unlock()
 	sort.Strings(keys)
 	var out []string
 	for _, k := range keys {
-		r.mu.Lock()
-		f := r.cache[k]
-		r.mu.Unlock()
+		sh.mu.Lock()
+		f := sh.cache[k]
+		sh.mu.Unlock()
+		if f == nil {
+			continue // evicted (canceled) since the key snapshot
+		}
 		select {
 		case <-f.done:
 		default:

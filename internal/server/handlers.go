@@ -1,0 +1,196 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/jobs             submit a JobSpec          -> 202 job view
+//	GET    /v1/jobs             list jobs                 -> 200 [views]
+//	GET    /v1/jobs/{id}        status + result           -> 200 view
+//	DELETE /v1/jobs/{id}        cancel                    -> 202 view
+//	GET    /v1/jobs/{id}/events live progress (SSE)
+//	GET    /healthz             liveness + drain state
+//	GET    /metrics             Prometheus text
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON emits v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError emits the typed error body shared with job records.
+func writeError(w http.ResponseWriter, status int, err error) {
+	class, code := classify(err)
+	writeJSON(w, status, map[string]any{
+		"error": errorBody{Message: err.Error(), Class: class, ExitCode: code},
+	})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		s.metrics.rejectedInvalid.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+		return
+	}
+	job, err := s.Submit(spec)
+	switch {
+	case err == nil:
+		w.Header().Set("Location", "/v1/jobs/"+job.ID)
+		writeJSON(w, http.StatusAccepted, job.view(false))
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrQueueClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	views := make([]view, 0, len(jobs))
+	for _, j := range jobs {
+		views = append(views, j.view(false))
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view(true))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	if !j.Cancel() {
+		// Already terminal: report the final state, idempotently.
+		writeJSON(w, http.StatusConflict, j.view(false))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.view(false))
+}
+
+// handleEvents streams the job's progress log as Server-Sent Events:
+// the full replay buffer first, then live lines, then one terminal
+// "event: done" frame carrying the final state. A client disconnect
+// just unsubscribes — it never cancels the job (DELETE does that).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("streaming unsupported by this connection"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(event, data string) {
+		if event != "" {
+			fmt.Fprintf(w, "event: %s\n", event)
+		}
+		for _, line := range strings.Split(data, "\n") {
+			fmt.Fprintf(w, "data: %s\n", line)
+		}
+		fmt.Fprint(w, "\n")
+		fl.Flush()
+	}
+
+	history, live, unsub := j.events.Subscribe()
+	defer unsub()
+	for _, line := range history {
+		send("", line)
+	}
+	for {
+		select {
+		case line, ok := <-live:
+			if !ok {
+				// Log closed: the job is terminal (or closing); emit the
+				// final state and end the stream.
+				send("done", string(j.State()))
+				return
+			}
+			send("", line)
+		case <-r.Context().Done():
+			return
+		case <-j.Done():
+			// Drain whatever is still buffered, then finish.
+			for {
+				line, ok := <-live
+				if !ok {
+					send("done", string(j.State()))
+					return
+				}
+				send("", line)
+			}
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := http.StatusOK
+	state := "ok"
+	if s.Draining() {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":      state,
+		"queue_depth": s.queue.Len(),
+		"inflight":    s.metrics.inflight.Load(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	launched, joined, pools := s.runnerCounters()
+	g := gauges{
+		queueDepth:  s.queue.Len(),
+		inflight:    s.metrics.inflight.Load(),
+		cacheSize:   s.cache.Len(),
+		simLaunched: launched,
+		simJoined:   joined,
+		runnerPools: pools,
+	}
+	if s.Draining() {
+		g.draining = 1
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, g)
+}

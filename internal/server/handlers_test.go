@@ -1,0 +1,338 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newHTTPServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := newTestServer(t, cfg)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return s, hs
+}
+
+func postJob(t *testing.T, base string, spec JobSpec) (int, view) {
+	t.Helper()
+	b, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v view
+	_ = json.NewDecoder(resp.Body).Decode(&v)
+	return resp.StatusCode, v
+}
+
+func getJob(t *testing.T, base, id string) view {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v view
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func waitDone(t *testing.T, base, id string, within time.Duration) view {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		v := getJob(t, base, id)
+		if v.State.Terminal() {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %s", id, v.State, within)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestHTTPEndToEnd drives the full client flow over real HTTP: N
+// concurrent duplicate submissions, polling, metrics proving the dedup,
+// and a 404 for an unknown job.
+func TestHTTPEndToEnd(t *testing.T) {
+	_, hs := newHTTPServer(t, Config{Workers: 4})
+	spec := testSpec()
+
+	const n = 4
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, v := postJob(t, hs.URL, spec)
+			if code != http.StatusAccepted {
+				t.Errorf("POST %d: status %d", i, code)
+				return
+			}
+			if v.ID == "" || v.Hash == "" {
+				t.Errorf("POST %d: incomplete view %+v", i, v)
+			}
+			ids[i] = v.ID
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	var outputs []string
+	for _, id := range ids {
+		v := waitDone(t, hs.URL, id, 60*time.Second)
+		if v.State != StateDone {
+			t.Fatalf("job %s state %s (error %+v)", id, v.State, v.Error)
+		}
+		outputs = append(outputs, v.Result)
+	}
+	for _, out := range outputs[1:] {
+		if out != outputs[0] {
+			t.Error("duplicate submissions produced different results")
+		}
+	}
+
+	// /metrics proves exactly one simulation ran.
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	if !strings.Contains(text, "eruca_sim_runs_total 1\n") {
+		t.Errorf("metrics do not show exactly one simulation:\n%s", grepMetrics(text, "eruca_sim"))
+	}
+	if !strings.Contains(text, `eruca_jobs_completed_total{class="ok"} 4`) {
+		t.Errorf("metrics missing 4 ok completions:\n%s", grepMetrics(text, "completed"))
+	}
+
+	// Unknown job -> 404 with a typed error body.
+	r404, err := http.Get(hs.URL + "/v1/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r404.Body.Close()
+	if r404.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status %d", r404.StatusCode)
+	}
+}
+
+func grepMetrics(text, substr string) string {
+	var out []string
+	for _, l := range strings.Split(text, "\n") {
+		if strings.Contains(l, substr) && !strings.HasPrefix(l, "#") {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestHTTPCancelAndSSE starts a long job, watches its event stream, and
+// cancels it over HTTP; the stream must end with a "done" frame naming
+// the canceled state.
+func TestHTTPCancelAndSSE(t *testing.T) {
+	_, hs := newHTTPServer(t, Config{Workers: 1})
+	code, v := postJob(t, hs.URL, JobSpec{Kind: "sim", System: "ddr4", Mix: "mix0", Instrs: 50_000_000, Frag: 0.1})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status %d", code)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", hs.URL+"/v1/jobs/"+v.ID+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content-type %q", ct)
+	}
+
+	// Read frames in the background, recording whether a done frame
+	// with the canceled state arrives.
+	frames := make(chan string, 64)
+	go func() {
+		defer close(frames)
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			frames <- sc.Text()
+		}
+	}()
+
+	// Give the job a moment to start, then cancel over HTTP.
+	deadline := time.Now().Add(10 * time.Second)
+	for getJob(t, hs.URL, v.ID).State != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	req, _ = http.NewRequest("DELETE", hs.URL+"/v1/jobs/"+v.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE status %d", dresp.StatusCode)
+	}
+
+	var sawDone, sawCanceled bool
+	for line := range frames {
+		if strings.HasPrefix(line, "event: done") {
+			sawDone = true
+		}
+		if sawDone && strings.Contains(line, string(StateCanceled)) {
+			sawCanceled = true
+		}
+	}
+	if !sawDone || !sawCanceled {
+		t.Errorf("SSE stream missing done/canceled frame (done=%v canceled=%v)", sawDone, sawCanceled)
+	}
+	if st := waitDone(t, hs.URL, v.ID, 5*time.Second).State; st != StateCanceled {
+		t.Errorf("final state %s, want canceled", st)
+	}
+
+	// DELETE on a terminal job is a conflict, not a crash.
+	req, _ = http.NewRequest("DELETE", hs.URL+"/v1/jobs/"+v.ID, nil)
+	dresp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp2.Body.Close()
+	if dresp2.StatusCode != http.StatusConflict {
+		t.Errorf("second DELETE status %d, want 409", dresp2.StatusCode)
+	}
+}
+
+// TestHTTPAdmissionAndDrain exercises the load-shedding responses: 429
+// with Retry-After when the queue is full, 503 plus failing health
+// checks while draining.
+func TestHTTPAdmissionAndDrain(t *testing.T) {
+	s, hs := newHTTPServer(t, Config{Workers: 1, QueueMax: 1})
+	long := func(mix string) JobSpec {
+		return JobSpec{Kind: "sim", System: "ddr4", Mix: mix, Instrs: 50_000_000, Frag: 0.1}
+	}
+	code, first := postJob(t, hs.URL, long("mix0"))
+	if code != http.StatusAccepted {
+		t.Fatalf("first POST: %d", code)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for getJob(t, hs.URL, first.ID).State != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code, _ := postJob(t, hs.URL, long("mix1")); code != http.StatusAccepted {
+		t.Fatalf("second POST: %d", code)
+	}
+	b, _ := json.Marshal(long("mix2"))
+	resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third POST: %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After")
+	}
+	var eb struct {
+		Error errorBody `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error.Message == "" {
+		t.Errorf("429 body not a typed error: %+v (%v)", eb, err)
+	}
+	resp.Body.Close()
+
+	// Bad specs are rejected with 400 before costing a queue slot.
+	r400, err := http.Post(hs.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"sim","system":"not-a-system"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r400.Body.Close()
+	if r400.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid spec status %d, want 400", r400.StatusCode)
+	}
+	runknown, err := http.Post(hs.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"sim","surprise":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runknown.Body.Close()
+	if runknown.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field status %d, want 400", runknown.StatusCode)
+	}
+
+	// Cancel the backlog, then drain: health flips to 503 and new
+	// submissions are refused with 503.
+	for _, j := range s.Jobs() {
+		j.Cancel()
+	}
+	ctx, cancelDrain := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancelDrain()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	hresp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz during drain: %d, want 503", hresp.StatusCode)
+	}
+	if code, _ := postJob(t, hs.URL, testSpec()); code != http.StatusServiceUnavailable {
+		t.Errorf("POST during drain: %d, want 503", code)
+	}
+}
+
+// TestHTTPJobList covers GET /v1/jobs.
+func TestHTTPJobList(t *testing.T) {
+	_, hs := newHTTPServer(t, Config{Workers: 2})
+	for i := 0; i < 3; i++ {
+		spec := testSpec()
+		spec.Seed = int64(100 + i)
+		if code, _ := postJob(t, hs.URL, spec); code != http.StatusAccepted {
+			t.Fatalf("POST %d failed", i)
+		}
+	}
+	resp, err := http.Get(hs.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var views []view
+	if err := json.NewDecoder(resp.Body).Decode(&views); err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 3 {
+		t.Fatalf("listed %d jobs, want 3", len(views))
+	}
+	for i, v := range views {
+		if want := fmt.Sprintf("job-%06d", i+1); v.ID != want {
+			t.Errorf("job %d id %s, want %s", i, v.ID, want)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// metrics is a dependency-free Prometheus-text exporter: fixed counters
+// for the admission path, per-exit-class completion counters, cache
+// hit/miss counters, and a job-latency histogram. Gauges (queue depth,
+// in-flight, runner dedup counters) are sampled at scrape time by the
+// server, not stored here.
+type metrics struct {
+	submitted        atomic.Int64
+	rejectedFull     atomic.Int64
+	rejectedDraining atomic.Int64
+	rejectedInvalid  atomic.Int64
+	cacheHits        atomic.Int64
+	cacheMisses      atomic.Int64
+	inflight         atomic.Int64
+
+	mu        sync.Mutex
+	completed map[string]int64 // exit class -> count
+	hist      histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		completed: make(map[string]int64),
+		hist:      histogram{bounds: []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}},
+	}
+}
+
+// jobDone records one completed job: its exit class and wall latency.
+func (m *metrics) jobDone(class string, seconds float64) {
+	m.mu.Lock()
+	m.completed[class]++
+	m.hist.observe(seconds)
+	m.mu.Unlock()
+}
+
+// histogram is a fixed-bucket cumulative histogram.
+type histogram struct {
+	bounds []float64
+	counts []int64
+	sum    float64
+	n      int64
+}
+
+func (h *histogram) observe(v float64) {
+	if h.counts == nil {
+		h.counts = make([]int64, len(h.bounds))
+	}
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+		}
+	}
+	h.sum += v
+	h.n++
+}
+
+// gauges are the point-in-time values the server samples at scrape.
+type gauges struct {
+	queueDepth  int
+	inflight    int64
+	cacheSize   int
+	draining    int
+	simLaunched int64
+	simJoined   int64
+	runnerPools int
+}
+
+// write renders the exposition text.
+func (m *metrics) write(w io.Writer, g gauges) {
+	c := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gg := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	c("eruca_jobs_submitted_total", "Jobs accepted into the queue.", m.submitted.Load())
+	c("eruca_jobs_rejected_full_total", "Jobs rejected with 429 because the queue was full.", m.rejectedFull.Load())
+	c("eruca_jobs_rejected_draining_total", "Jobs rejected with 503 during drain.", m.rejectedDraining.Load())
+	c("eruca_jobs_rejected_invalid_total", "Jobs rejected with 400 at validation.", m.rejectedInvalid.Load())
+	c("eruca_result_cache_hits_total", "Jobs served from the content-addressed result cache.", m.cacheHits.Load())
+	c("eruca_result_cache_misses_total", "Jobs that had to execute.", m.cacheMisses.Load())
+	c("eruca_sim_runs_total", "Simulations actually executed by the shared runners.", g.simLaunched)
+	c("eruca_sim_dedup_total", "Simulation requests served by an existing singleflight flight.", g.simJoined)
+
+	m.mu.Lock()
+	classes := make([]string, 0, len(m.completed))
+	for cl := range m.completed {
+		classes = append(classes, cl)
+	}
+	sort.Strings(classes)
+	fmt.Fprintf(w, "# HELP eruca_jobs_completed_total Jobs finished, by exit class (same 3/4/5 taxonomy as the CLI exit codes).\n")
+	fmt.Fprintf(w, "# TYPE eruca_jobs_completed_total counter\n")
+	for _, cl := range classes {
+		fmt.Fprintf(w, "eruca_jobs_completed_total{class=%q} %d\n", cl, m.completed[cl])
+	}
+	fmt.Fprintf(w, "# HELP eruca_job_duration_seconds Wall latency of completed jobs.\n")
+	fmt.Fprintf(w, "# TYPE eruca_job_duration_seconds histogram\n")
+	for i, b := range m.hist.bounds {
+		var n int64
+		if m.hist.counts != nil {
+			n = m.hist.counts[i]
+		}
+		fmt.Fprintf(w, "eruca_job_duration_seconds_bucket{le=%q} %d\n", fmt.Sprintf("%g", b), n)
+	}
+	fmt.Fprintf(w, "eruca_job_duration_seconds_bucket{le=\"+Inf\"} %d\n", m.hist.n)
+	fmt.Fprintf(w, "eruca_job_duration_seconds_sum %g\n", m.hist.sum)
+	fmt.Fprintf(w, "eruca_job_duration_seconds_count %d\n", m.hist.n)
+	m.mu.Unlock()
+
+	gg("eruca_queue_depth", "Jobs waiting in the priority queue.", int64(g.queueDepth))
+	gg("eruca_jobs_inflight", "Jobs currently executing.", g.inflight)
+	gg("eruca_result_cache_entries", "Resident result-cache entries.", int64(g.cacheSize))
+	gg("eruca_runner_pools", "Distinct exp.Runner parameter groups alive.", int64(g.runnerPools))
+	gg("eruca_draining", "1 while the daemon is draining.", int64(g.draining))
+}

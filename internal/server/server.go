@@ -1,0 +1,329 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eruca/internal/cli"
+	"eruca/internal/exp"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// Workers is the job worker-pool width (default 4). Workers that
+	// join an in-flight duplicate simulation block cheaply, so Workers
+	// may exceed SimParallel without oversubscribing the CPU.
+	Workers int
+	// SimParallel bounds concurrent simulations inside each runner
+	// group (default GOMAXPROCS).
+	SimParallel int
+	// QueueMax is the admission-control bound (default 64); beyond it
+	// POST /v1/jobs returns 429 with Retry-After.
+	QueueMax int
+	// CacheMax bounds the in-memory result cache entries (default 256).
+	CacheMax int
+	// CachePath, when non-empty, persists the result cache across
+	// restarts (loaded at New, flushed on drain).
+	CachePath string
+	// RetryAfter is the hint returned with 429 (default 2s).
+	RetryAfter time.Duration
+	// Logf, when non-nil, receives daemon lifecycle lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.SimParallel <= 0 {
+		c.SimParallel = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueMax <= 0 {
+		c.QueueMax = 64
+	}
+	if c.CacheMax <= 0 {
+		c.CacheMax = 256
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 2 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the simulation service: queue, workers, runners, caches.
+// Create with New, serve its Handler, stop with Drain (graceful) or
+// Close (hard).
+type Server struct {
+	cfg     Config
+	metrics *metrics
+	queue   *queue
+	cache   *resultCache
+	jobs    *registry
+
+	baseCtx  context.Context // parent of every job context
+	baseStop context.CancelFunc
+
+	runnerMu sync.Mutex
+	runners  map[string]*exp.Runner // groupKey -> shared singleflight runner
+
+	draining atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// New builds a Server and loads the persisted result cache, if any.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		metrics: newMetrics(),
+		queue:   newQueue(cfg.QueueMax),
+		cache:   newResultCache(cfg.CacheMax),
+		jobs:    newRegistry(),
+		runners: make(map[string]*exp.Runner),
+	}
+	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
+	if err := s.cache.Load(cfg.CachePath); err != nil {
+		return nil, err
+	}
+	if n := s.cache.Len(); n > 0 {
+		cfg.Logf("result cache: %d entr%s loaded from %s", n, plural(n, "y", "ies"), cfg.CachePath)
+	}
+	return s, nil
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				job, ok := s.queue.Pop()
+				if !ok {
+					return
+				}
+				s.runJob(job)
+			}
+		}()
+	}
+	s.cfg.Logf("serving with %d workers, sim parallelism %d, queue bound %d",
+		s.cfg.Workers, s.cfg.SimParallel, s.cfg.QueueMax)
+}
+
+// Submit validates and enqueues a spec. The returned error is one of
+// ErrQueueFull, ErrQueueClosed, or a validation error.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if s.draining.Load() {
+		s.metrics.rejectedDraining.Add(1)
+		return nil, ErrQueueClosed
+	}
+	if err := spec.Validate(); err != nil {
+		s.metrics.rejectedInvalid.Add(1)
+		return nil, err
+	}
+	job := s.jobs.add(spec, s.baseCtx)
+	if err := s.queue.Push(job); err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			s.metrics.rejectedFull.Add(1)
+		case errors.Is(err, ErrQueueClosed):
+			s.metrics.rejectedDraining.Add(1)
+		}
+		job.finish(StateFailed, "", err)
+		return nil, err
+	}
+	s.metrics.submitted.Add(1)
+	job.events.Append(fmt.Sprintf("queued as %s (hash %.12s)", job.ID, job.Hash))
+	return job, nil
+}
+
+// Job returns a job by ID, or nil.
+func (s *Server) Job(id string) *Job { return s.jobs.get(id) }
+
+// Jobs lists every known job in submission order.
+func (s *Server) Jobs() []*Job { return s.jobs.list() }
+
+// Cancel cancels a job by ID; false when unknown or already terminal.
+func (s *Server) Cancel(id string) bool {
+	j := s.jobs.get(id)
+	return j != nil && j.Cancel()
+}
+
+// runnerFor returns (building on demand) the shared singleflight runner
+// of the spec's parameter group. Specs with identical scaling and
+// robustness knobs land on the same runner, so their simulations dedup
+// even across different figures and job kinds.
+func (s *Server) runnerFor(spec JobSpec) (*exp.Runner, error) {
+	key := spec.groupKey()
+	s.runnerMu.Lock()
+	defer s.runnerMu.Unlock()
+	if r, ok := s.runners[key]; ok {
+		return r, nil
+	}
+	p, err := spec.params()
+	if err != nil {
+		return nil, err
+	}
+	p.Parallel = s.cfg.SimParallel
+	r := exp.NewRunner(p)
+	s.runners[key] = r
+	return r, nil
+}
+
+// runnerCounters sums the dedup evidence across runner groups.
+func (s *Server) runnerCounters() (launched, joined int64, pools int) {
+	s.runnerMu.Lock()
+	defer s.runnerMu.Unlock()
+	for _, r := range s.runners {
+		l, j := r.Counters()
+		launched += l
+		joined += j
+	}
+	return launched, joined, len(s.runners)
+}
+
+// runJob executes one popped job to its terminal state.
+func (s *Server) runJob(job *Job) {
+	if err := job.ctx.Err(); err != nil {
+		// Canceled (or deadline-expired) while queued.
+		job.finish(StateCanceled, "", err)
+		s.metrics.jobDone("canceled", time.Since(job.created).Seconds())
+		return
+	}
+	if !job.start() {
+		return // lost a race with Cancel; finish already recorded
+	}
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
+	start := time.Now()
+
+	// Content-addressed fast path: an identical completed spec is
+	// served from the cache without touching a runner.
+	if e, ok := s.cache.Get(job.Hash); ok {
+		s.metrics.cacheHits.Add(1)
+		job.mu.Lock()
+		job.cacheHit = true
+		job.mu.Unlock()
+		job.events.Append("result cache hit")
+		job.finish(StateDone, e.Output, nil)
+		s.metrics.jobDone("ok", time.Since(start).Seconds())
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	runner, err := s.runnerFor(job.Spec)
+	if err != nil {
+		job.finish(StateFailed, "", err)
+		class, _ := classify(err)
+		s.metrics.jobDone(class, time.Since(start).Seconds())
+		return
+	}
+	view := runner.WithContext(job.ctx).WithLog(job.events.Append)
+	out, err := execute(job.ctx, view, job.Spec)
+
+	switch {
+	case err == nil:
+		s.cache.Put(cacheEntry{Hash: job.Hash, Kind: job.Spec.normalized().Kind, Output: out})
+		job.finish(StateDone, out, nil)
+		s.metrics.jobDone("ok", time.Since(start).Seconds())
+	case isCanceled(err) || job.ctx.Err() != nil:
+		job.finish(StateCanceled, out, err)
+		s.metrics.jobDone("canceled", time.Since(start).Seconds())
+	default:
+		job.finish(StateFailed, out, err)
+		class, _ := classify(err)
+		s.metrics.jobDone(class, time.Since(start).Seconds())
+	}
+}
+
+// isCanceled reports whether err stems from context cancellation.
+func isCanceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// classify maps an error to its exit class and the CLI exit code of the
+// same taxonomy, so HTTP clients and shell scripts agree on what went
+// wrong.
+func classify(err error) (class string, code int) {
+	if err == nil {
+		return "ok", cli.ExitOK
+	}
+	if isCanceled(err) {
+		return "canceled", cli.ExitError
+	}
+	switch code := cli.ExitCode(err); code {
+	case cli.ExitProtocol:
+		return "protocol", code
+	case cli.ExitDeadlock:
+		return "deadlock", code
+	case cli.ExitOOM:
+		return "oom", code
+	default:
+		return "error", code
+	}
+}
+
+// Draining reports whether the daemon has stopped admitting jobs.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain is the graceful shutdown: stop admitting (new submissions get
+// 503), let the workers finish both queued and in-flight jobs, then
+// flush the result cache to disk. If ctx expires first, every remaining
+// job is canceled (the context plumbing reaches into the simulation
+// loops, so this is prompt) and Drain waits for the workers to notice.
+func (s *Server) Drain(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.cfg.Logf("draining: admission closed, %d queued, %d in flight",
+		s.queue.Len(), s.metrics.inflight.Load())
+	s.queue.Close()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.cfg.Logf("drain deadline hit; canceling remaining jobs")
+		s.baseStop() // cancels every job context
+		<-done
+		drainErr = ctx.Err()
+	}
+	s.baseStop()
+	if err := s.cache.Save(s.cfg.CachePath); err != nil {
+		s.cfg.Logf("cache flush failed: %v", err)
+		if drainErr == nil {
+			drainErr = err
+		}
+	} else if s.cfg.CachePath != "" {
+		s.cfg.Logf("result cache: %d entries flushed to %s", s.cache.Len(), s.cfg.CachePath)
+	}
+	return drainErr
+}
+
+// Close is the hard stop: cancel everything, then drain bookkeeping.
+func (s *Server) Close() error {
+	s.baseStop()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.Drain(ctx)
+}

@@ -1,0 +1,407 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job is one submitted spec moving through the queue. All fields behind
+// mu; Done closes when the job reaches a terminal state.
+type Job struct {
+	ID   string
+	Hash string
+	Spec JobSpec
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	events *eventLog
+	done   chan struct{}
+
+	mu       sync.Mutex
+	state    State
+	output   string
+	errMsg   string
+	errClass string
+	exitCode int
+	cacheHit bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// Done closes when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State reports the current lifecycle position.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Output returns the rendered result (empty until done).
+func (j *Job) Output() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.output
+}
+
+// Cancel requests cancellation: a queued job finishes immediately, a
+// running one has its context canceled and finishes as soon as the
+// simulation notices (the worker marks it canceled). Canceling a
+// terminal job is a no-op and returns false.
+func (j *Job) Cancel() bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	queuedStill := j.state == StateQueued
+	j.mu.Unlock()
+	j.cancel()
+	if queuedStill {
+		// The worker will observe the canceled context when it pops the
+		// job, but the client deserves the terminal state right away.
+		j.finish(StateCanceled, "", context.Canceled)
+	}
+	return true
+}
+
+// start transitions queued -> running; false when the job was canceled
+// while waiting (the worker then skips it).
+func (j *Job) start() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish records the terminal state exactly once.
+func (j *Job) finish(state State, output string, err error) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.output = output
+	j.finished = time.Now()
+	if err != nil {
+		j.errMsg = err.Error()
+		j.errClass, j.exitCode = classify(err)
+	}
+	j.mu.Unlock()
+	j.events.Close()
+	close(j.done)
+}
+
+// view is the JSON rendering of a job for the HTTP API.
+type view struct {
+	ID       string     `json:"id"`
+	Hash     string     `json:"hash"`
+	State    State      `json:"state"`
+	Kind     string     `json:"kind"`
+	Spec     JobSpec    `json:"spec"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	CacheHit bool       `json:"cache_hit,omitempty"`
+	Result   string     `json:"result,omitempty"`
+	Error    *errorBody `json:"error,omitempty"`
+}
+
+// errorBody is the typed JSON error: Class and ExitCode carry the same
+// 3/4/5 classification the CLI binaries exit with, so scripted clients
+// can tell a protocol violation from a deadlock from an OOM without
+// parsing prose.
+type errorBody struct {
+	Message  string `json:"message"`
+	Class    string `json:"class"`
+	ExitCode int    `json:"exit_code"`
+}
+
+func (j *Job) view(withResult bool) view {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := view{
+		ID: j.ID, Hash: j.Hash, State: j.state, Kind: j.Spec.normalized().Kind,
+		Spec: j.Spec, Created: j.created, CacheHit: j.cacheHit,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if withResult {
+		v.Result = j.output
+	}
+	if j.errMsg != "" {
+		v.Error = &errorBody{Message: j.errMsg, Class: j.errClass, ExitCode: j.exitCode}
+	}
+	return v
+}
+
+// eventLog is a job's progress feed: a bounded replay buffer plus live
+// subscribers, fed from exp.Params.Log through the job-scoped runner
+// view. Slow consumers never block the simulation — a full subscriber
+// channel drops the line for that subscriber only.
+type eventLog struct {
+	mu     sync.Mutex
+	lines  []string
+	closed bool
+	subs   map[chan string]struct{}
+}
+
+const eventBacklog = 1024
+
+func newEventLog() *eventLog {
+	return &eventLog{subs: make(map[chan string]struct{})}
+}
+
+// Append records one progress line and fans it out.
+func (l *eventLog) Append(line string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	if len(l.lines) < eventBacklog {
+		l.lines = append(l.lines, line)
+	}
+	for ch := range l.subs {
+		select {
+		case ch <- line:
+		default: // slow consumer: drop rather than stall the simulation
+		}
+	}
+}
+
+// Subscribe returns the replay history and a live channel; cancel
+// unregisters. The channel is closed when the log closes.
+func (l *eventLog) Subscribe() (history []string, ch chan string, cancel func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	history = append([]string(nil), l.lines...)
+	ch = make(chan string, 64)
+	if l.closed {
+		close(ch)
+		return history, ch, func() {}
+	}
+	l.subs[ch] = struct{}{}
+	return history, ch, func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if _, ok := l.subs[ch]; ok {
+			delete(l.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// Close ends the feed: subscribers' channels close after the backlog.
+func (l *eventLog) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	for ch := range l.subs {
+		delete(l.subs, ch)
+		close(ch)
+	}
+}
+
+// registry indexes jobs by ID.
+type registry struct {
+	mu   sync.Mutex
+	jobs map[string]*Job
+	seq  int64
+}
+
+func newRegistry() *registry {
+	return &registry{jobs: make(map[string]*Job)}
+}
+
+func (r *registry) add(spec JobSpec, base context.Context) *Job {
+	r.mu.Lock()
+	r.seq++
+	id := fmt.Sprintf("job-%06d", r.seq)
+	r.mu.Unlock()
+
+	var (
+		ctx    context.Context
+		cancel context.CancelFunc
+	)
+	if spec.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(base, time.Duration(spec.TimeoutMS)*time.Millisecond)
+	} else {
+		ctx, cancel = context.WithCancel(base)
+	}
+	j := &Job{
+		ID: id, Hash: spec.Hash(), Spec: spec,
+		ctx: ctx, cancel: cancel,
+		events: newEventLog(), done: make(chan struct{}),
+		state: StateQueued, created: time.Now(),
+	}
+	r.mu.Lock()
+	r.jobs[id] = j
+	r.mu.Unlock()
+	return j
+}
+
+func (r *registry) get(id string) *Job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.jobs[id]
+}
+
+func (r *registry) list() []*Job {
+	r.mu.Lock()
+	out := make([]*Job, 0, len(r.jobs))
+	for _, j := range r.jobs {
+		out = append(out, j)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// cacheEntry is one persisted result: the content hash and the rendered
+// output. Only successful results are cached — failures must re-run.
+type cacheEntry struct {
+	Hash   string `json:"hash"`
+	Kind   string `json:"kind"`
+	Output string `json:"output"`
+}
+
+// resultCache is the content-addressed result store: an in-memory LRU
+// keyed by spec hash, optionally persisted to disk so a restarted
+// daemon serves warm results immediately.
+type resultCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recent
+	m   map[string]*list.Element
+}
+
+func newResultCache(max int) *resultCache {
+	if max <= 0 {
+		max = 256
+	}
+	return &resultCache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// Get returns the cached output for hash, refreshing its recency.
+func (c *resultCache) Get(hash string) (cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[hash]
+	if !ok {
+		return cacheEntry{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(cacheEntry), true
+}
+
+// Put stores an entry, evicting the least recently used beyond max.
+func (c *resultCache) Put(e cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[e.Hash]; ok {
+		c.ll.MoveToFront(el)
+		el.Value = e
+		return
+	}
+	c.m[e.Hash] = c.ll.PushFront(e)
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(cacheEntry).Hash)
+	}
+}
+
+// Len reports the resident entry count.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Save writes the cache to path as JSON, most recent first (atomic via
+// rename). A no-op for an empty path.
+func (c *resultCache) Save(path string) error {
+	if path == "" {
+		return nil
+	}
+	c.mu.Lock()
+	entries := make([]cacheEntry, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		entries = append(entries, el.Value.(cacheEntry))
+	}
+	c.mu.Unlock()
+	b, err := json.MarshalIndent(entries, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a Save file; a missing file is not an error (first boot).
+func (c *resultCache) Load(path string) error {
+	if path == "" {
+		return nil
+	}
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var entries []cacheEntry
+	if err := json.Unmarshal(b, &entries); err != nil {
+		return fmt.Errorf("server: corrupt cache file %s: %w", path, err)
+	}
+	// Insert in reverse so the file's most-recent entry ends up most
+	// recent in the LRU too.
+	for i := len(entries) - 1; i >= 0; i-- {
+		if entries[i].Hash != "" {
+			c.Put(entries[i])
+		}
+	}
+	return nil
+}

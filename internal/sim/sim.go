@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"eruca/internal/addrmap"
@@ -25,6 +26,12 @@ import (
 
 // Options configures one simulation run.
 type Options struct {
+	// Ctx, when non-nil, bounds the run: cancellation (or deadline
+	// expiry) ends the simulation promptly at a bus-cycle boundary and
+	// Run returns the partial statistics together with an error wrapping
+	// ctx.Err(). A nil Ctx means the run cannot be interrupted.
+	Ctx context.Context
+
 	Sys *config.System
 	// Benches names one workload per active core (1 to Sys.CPU.Cores).
 	Benches []string
@@ -214,15 +221,36 @@ func Run(opt Options) (*Result, error) {
 		maxBus = (warmup+opt.Instrs)*300 + 1_000_000
 	}
 
+	// Cancellation plumbing: a nil Done channel never fires, so runs
+	// without a context pay only a dead branch. The check runs every 64
+	// loop iterations (not bus cycles — fast-forward jumps would skip
+	// fixed cycle marks), bounding the reaction latency to microseconds
+	// of wall time.
+	var done <-chan struct{}
+	if opt.Ctx != nil {
+		done = opt.Ctx.Done()
+	}
+
 	var bus, busAtWarm clock.Cycle
 	var stopErr error
 	cpuCycle := int64(0)
 	warmed := warmup == 0
 	ratio := int64(sys.CPU.ClockRatio)
 	prevProg := int64(-1)
+	iter := 0
 	for bus = 0; ; bus++ {
 		if bus > maxBus {
 			return nil, fmt.Errorf("sim: %s did not finish within %d bus cycles", sys.Name, maxBus)
+		}
+		if iter++; done != nil && iter&63 == 0 {
+			select {
+			case <-done:
+				stopErr = fmt.Errorf("sim: %s: run canceled: %w", sys.Name, opt.Ctx.Err())
+			default:
+			}
+			if stopErr != nil {
+				break
+			}
 		}
 		br.busNow = bus
 		if plan != nil {

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestMergeUnderConcurrency pins down the Sampler concurrency contract
+// the parallel experiment engine relies on: a Sampler is NOT
+// goroutine-safe, so each worker accumulates into its own private
+// Sampler and the results are merged serially afterwards. Run under
+// -race (make race / CI) this proves the shard-then-merge pattern is
+// race-free, and the assertions prove the merged statistics equal a
+// serial accumulation of the same samples regardless of worker
+// interleaving.
+func TestMergeUnderConcurrency(t *testing.T) {
+	const (
+		workers    = 8
+		perWorker  = 10_000
+		scale      = 2.5
+		quantEps   = 1e-9
+		totalCount = workers * perWorker
+	)
+
+	// Per-worker sample sets, deterministic per worker so the serial
+	// reference sees exactly the same values.
+	sets := make([][]float64, workers)
+	for w := range sets {
+		rng := rand.New(rand.NewSource(int64(1000 + w)))
+		vals := make([]float64, perWorker)
+		for i := range vals {
+			vals[i] = rng.Float64() * 100
+		}
+		sets[w] = vals
+	}
+
+	// Parallel phase: each worker owns its shard. Quantile is called
+	// mid-stream too — it sorts in place, and that must stay private to
+	// the shard.
+	shards := make([]Sampler, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, v := range sets[w] {
+				shards[w].Add(v)
+				if i == perWorker/2 {
+					_ = shards[w].Quantile(0.5)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Serial merge into one distribution, with the same scale the
+	// simulator uses to convert per-channel cycles to nanoseconds.
+	var merged Sampler
+	for w := range shards {
+		merged.Merge(&shards[w], scale)
+	}
+
+	// Serial reference over the identical multiset of samples.
+	var ref Sampler
+	for _, vals := range sets {
+		for _, v := range vals {
+			ref.Add(v * scale)
+		}
+	}
+
+	if merged.N() != totalCount || ref.N() != totalCount {
+		t.Fatalf("N: merged=%d ref=%d, want %d", merged.N(), ref.N(), totalCount)
+	}
+	if d := merged.Mean() - ref.Mean(); d > 1e-6 || d < -1e-6 {
+		t.Errorf("mean drift %v (merged %v, ref %v)", d, merged.Mean(), ref.Mean())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.99, 1} {
+		m, r := merged.Quantile(q), ref.Quantile(q)
+		if d := m - r; d > quantEps || d < -quantEps {
+			t.Errorf("q%.2f: merged %v != ref %v", q, m, r)
+		}
+	}
+}
+
+// TestMergeEmptyShards: merging empty samplers is a no-op, and merging
+// into an empty sampler copies the source — degenerate shard splits
+// (more workers than work) must not corrupt the distribution.
+func TestMergeEmptyShards(t *testing.T) {
+	var empty, dst Sampler
+	dst.Add(1)
+	dst.Merge(&empty, 10)
+	if dst.N() != 1 || dst.Mean() != 1 {
+		t.Errorf("merge of empty shard changed dst: %v", dst.String())
+	}
+	var fresh Sampler
+	src := Sampler{}
+	src.Add(3)
+	fresh.Merge(&src, 2)
+	if fresh.N() != 1 || fresh.Mean() != 6 {
+		t.Errorf("merge into empty sampler: %v", fresh.String())
+	}
+}

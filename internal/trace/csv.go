@@ -27,8 +27,26 @@ func WriteCSV(w io.Writer, recs []Record) error {
 	return bw.Flush()
 }
 
-// ReadCSV parses the WriteCSV format (the header row is optional).
-// Addresses accept decimal or 0x-prefixed hex.
+// ParseError reports a malformed trace row: the 1-based line number,
+// which field was bad, and the underlying cause. ReadCSV returns it for
+// every row-level problem, so callers can distinguish "this file is not
+// a trace" from I/O failures and point the user at the exact line.
+type ParseError struct {
+	Line  int    // 1-based line number in the input
+	Field string // "row", "timestamp", "address", or "write flag"
+	Err   error  // underlying cause
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("trace: line %d: bad %s: %v", e.Line, e.Field, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// ReadCSV parses the WriteCSV format (the header row is optional,
+// blank lines and #-comments are skipped, and CRLF line endings are
+// accepted). Addresses accept decimal or 0x-prefixed hex. Malformed
+// rows yield a *ParseError naming the line and field.
 func ReadCSV(r io.Reader) ([]Record, error) {
 	var recs []Record
 	sc := bufio.NewScanner(r)
@@ -45,19 +63,20 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 		}
 		parts := strings.Split(line, ",")
 		if len(parts) != 3 {
-			return nil, fmt.Errorf("trace: line %d: want 3 fields, got %d", lineNo, len(parts))
+			return nil, &ParseError{Line: lineNo, Field: "row",
+				Err: fmt.Errorf("want 3 fields, got %d", len(parts))}
 		}
 		ns, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad timestamp: %v", lineNo, err)
+			return nil, &ParseError{Line: lineNo, Field: "timestamp", Err: err}
 		}
 		pa, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 0, 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad address: %v", lineNo, err)
+			return nil, &ParseError{Line: lineNo, Field: "address", Err: err}
 		}
 		wr, err := strconv.ParseInt(strings.TrimSpace(parts[2]), 10, 8)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad write flag: %v", lineNo, err)
+			return nil, &ParseError{Line: lineNo, Field: "write flag", Err: err}
 		}
 		recs = append(recs, Record{NS: ns, PA: pa, Write: wr != 0})
 	}

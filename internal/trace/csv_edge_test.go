@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestCSVEmptyTrace: a zero-record trace round-trips to a header-only
+// file and back to zero records, with no error on either side.
+func TestCSVEmptyTrace(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != "ns,pa,write\n" {
+		t.Errorf("empty trace serialized as %q", got)
+	}
+	recs, err := ReadCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("empty trace parsed to %d records", len(recs))
+	}
+	// A completely empty reader is also a valid empty trace.
+	recs, err = ReadCSV(strings.NewReader(""))
+	if err != nil || len(recs) != 0 {
+		t.Errorf("empty input: recs=%v err=%v", recs, err)
+	}
+}
+
+// TestCSVCRLF: traces produced on Windows (CRLF line endings, possibly
+// with a trailing newline missing) parse identically to LF traces.
+func TestCSVCRLF(t *testing.T) {
+	src := "ns,pa,write\r\n1.0,0x40,1\r\n2.5,128,0\r\n3.0,0x80,1"
+	recs, err := ReadCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("parsed %d records, want 3", len(recs))
+	}
+	if recs[0].PA != 0x40 || !recs[0].Write || recs[1].PA != 128 || recs[1].Write {
+		t.Errorf("parsed %+v", recs)
+	}
+	if recs[2].NS != 3.0 || recs[2].PA != 0x80 {
+		t.Errorf("last record (no trailing newline): %+v", recs[2])
+	}
+}
+
+// TestCSVMalformedRowTyped: every malformed row yields a *ParseError
+// naming the offending line and field — never a panic, never an
+// untyped error.
+func TestCSVMalformedRowTyped(t *testing.T) {
+	cases := []struct {
+		name, src string
+		line      int
+		field     string
+	}{
+		{"too few fields", "1.0,0x40\n", 1, "row"},
+		{"too many fields", "1.0,0x40,1,extra\n", 1, "row"},
+		{"bad timestamp", "ns,pa,write\nabc,0x40,1\n", 2, "timestamp"},
+		{"bad address", "1.0,zz,1\n", 1, "address"},
+		{"bad write flag", "1.0,0x40,maybe\n", 1, "write flag"},
+		{"error after good rows", "1.0,0x40,1\n2.0,0x80,0\n3.0,,1\n", 3, "address"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadCSV(strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatalf("accepted %q", tc.src)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v (%T) is not a *ParseError", err, err)
+			}
+			if pe.Line != tc.line || pe.Field != tc.field {
+				t.Errorf("ParseError line=%d field=%q, want line=%d field=%q",
+					pe.Line, pe.Field, tc.line, tc.field)
+			}
+			if pe.Unwrap() == nil {
+				t.Error("ParseError has no underlying cause")
+			}
+		})
+	}
+}

@@ -1,0 +1,76 @@
+# Compares a fresh `go test -bench` run against BENCH_baseline.json and
+# flags regressions beyond a tolerance.
+#
+# Usage:
+#   go test -run '^$' -bench SimThroughput -benchtime 3x . > fresh.txt
+#   awk -v tol=10 -f scripts/bench_delta.awk BENCH_baseline.json fresh.txt
+#
+# The first file must be the JSON snapshot written by `make
+# bench-baseline` (scripts/bench_json.awk); the second is raw benchmark
+# text. Exit status is 1 when any benchmark regresses by more than tol
+# percent (default 10): slower ns/op, lower instrs/s, or more B/op or
+# allocs/op. Simulated bus-cycle counts are deterministic, so ANY
+# buscycles drift is flagged regardless of tolerance — it means the
+# simulation result changed, not just its speed.
+BEGIN {
+	if (tol == "") tol = 10
+	bad = 0
+}
+
+# --- pass 1: the JSON baseline (one benchmark object per line) ---
+FNR == NR {
+	if (match($0, /"name": "[^"]+"/)) {
+		name = substr($0, RSTART + 9, RLENGTH - 10)
+		rest = substr($0, RSTART + RLENGTH)
+		while (match(rest, /"[A-Za-z_]+": [0-9.]+/)) {
+			pair = substr(rest, RSTART + 1, RLENGTH - 1)
+			sep = index(pair, "\": ")
+			base[name, substr(pair, 1, sep - 1)] = substr(pair, sep + 3)
+			rest = substr(rest, RSTART + RLENGTH)
+		}
+		known[name] = 1
+	}
+	next
+}
+
+# --- pass 2: the fresh benchmark text ---
+/^Benchmark/ {
+	name = $1
+	if (!(name in known)) {
+		printf "NEW      %-50s (no baseline)\n", name
+		next
+	}
+	seen[name] = 1
+	for (i = 3; i < NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/\//, "_per_", unit)
+		b = base[name, unit]
+		if (b == "") continue
+		v = $i
+		delta = (b == 0) ? 0 : 100 * (v - b) / b
+		# Higher-is-better metrics regress downward.
+		worse = (unit == "instrs_per_s") ? -delta : delta
+		if (unit == "buscycles" && v != b) {
+			printf "DRIFT    %-50s %-13s %s -> %s (simulated cycles changed)\n", name, unit, b, v
+			bad = 1
+		} else if (unit != "buscycles" && worse > tol) {
+			printf "REGRESS  %-50s %-13s %s -> %s (%+.1f%%)\n", name, unit, b, v, delta
+			bad = 1
+		} else if (unit != "buscycles") {
+			printf "ok       %-50s %-13s %s -> %s (%+.1f%%)\n", name, unit, b, v, delta
+		}
+	}
+}
+
+END {
+	for (name in known)
+		if (!(name in seen)) {
+			printf "MISSING  %-50s (in baseline, not in fresh run)\n", name
+			bad = 1
+		}
+	if (bad) {
+		print "bench-compare: FAIL (tolerance " tol "%)"
+		exit 1
+	}
+	print "bench-compare: ok (tolerance " tol "%)"
+}
