@@ -12,12 +12,14 @@ test:
 	$(GO) test ./...
 
 # Short -race smoke of the concurrency-sensitive paths: the parallel
-# experiment engine, the fast-forward/per-cycle equivalence, and the
-# chaos harness (fault injection + checker + watchdog under -race).
+# experiment engine, the fast-forward/per-cycle equivalence, the chaos
+# harness (fault injection + checker + watchdog under -race), and the
+# telemetry rings shared across concurrent runs and snapshot readers.
 race:
 	$(GO) test -race -count=1 -run 'Parallel|Sweep|LogMode|Cancel|SharedFlight' ./internal/exp/
-	$(GO) test -race -count=1 -run 'FastForward|Chaos' ./internal/sim/
+	$(GO) test -race -count=1 -run 'FastForward|Chaos|TelemetryShared' ./internal/sim/
 	$(GO) test -race -count=1 -run 'Concurrency' ./internal/stats/
+	$(GO) test -race -count=1 ./internal/telemetry/
 	$(GO) test -race -count=1 ./internal/server/
 
 # Full chaos-harness pass: every seeded fault kind must be caught by the

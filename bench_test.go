@@ -274,6 +274,13 @@ func BenchmarkWorkloadGen(b *testing.B) {
 // event-driven cycle skipping is measured directly:
 //
 //	go test -bench SimThroughput -benchtime 3x
+//
+// Alongside the throughput numbers it reports the deterministic
+// mechanism counters of the measured run (plane-conflict precharges,
+// EWLR hits, RAP redirects, DDB bus cycles saved). Like buscycles,
+// these are simulation *results*, not speeds: `make bench-compare`
+// (scripts/bench_delta.awk) fails on ANY drift in them regardless of
+// the throughput tolerance, pinning mechanism behavior PR over PR.
 func BenchmarkSimThroughput(b *testing.B) {
 	const simInstrs = 50_000
 	benches := []string{"mcf", "lbm", "omnetpp", "gemsFDTD"}
@@ -296,6 +303,7 @@ func BenchmarkSimThroughput(b *testing.B) {
 			b.Run(s.name+"/"+m.name, func(b *testing.B) {
 				b.ReportAllocs()
 				var cycles float64
+				var mech [4]float64
 				for i := 0; i < b.N; i++ {
 					res, err := sim.Run(sim.Options{
 						Sys: s.sys(), Benches: benches,
@@ -306,8 +314,17 @@ func BenchmarkSimThroughput(b *testing.B) {
 						b.Fatal(err)
 					}
 					cycles = float64(res.BusCycles)
+					d := &res.DRAM
+					mech = [4]float64{
+						float64(d.PlaneConfPre), float64(d.ActsEWLRHit),
+						float64(d.RAPRedirects), float64(d.DDBSavedCK),
+					}
 				}
 				b.ReportMetric(cycles, "buscycles")
+				b.ReportMetric(mech[0], "planeconf")
+				b.ReportMetric(mech[1], "ewlrhits")
+				b.ReportMetric(mech[2], "rapredir")
+				b.ReportMetric(mech[3], "ddbsavedck")
 				b.ReportMetric(float64(b.N)*float64(len(benches))*simInstrs/b.Elapsed().Seconds(), "instrs/s")
 			})
 		}

@@ -31,7 +31,8 @@ func main() {
 // on failure exits (os.Exit in main would skip them).
 func run() int {
 	var (
-		which    = flag.String("exp", "all", "experiment: tab1, tab2, tab3, fig4, fig11, fig12, fig13a, fig13b, fig14, fig15, fig16a, fig16b, locality, ablations, all")
+		which    = flag.String("exp", "all", "experiment: tab1, tab2, tab3, fig4, fig11, fig12, fig13a, fig13b, fig14, fig15, fig16a, fig16b, locality, ablations, attribution, all")
+		planes   = flag.Int("planes", 4, "plane count for the attribution ladder")
 		instrs   = flag.Int64("instrs", 250_000, "measured instructions per core")
 		warmup   = flag.Int64("warmup", 0, "warmup instructions per core (default instrs/2)")
 		seed     = flag.Int64("seed", 42, "simulation seed")
@@ -45,6 +46,8 @@ func run() int {
 	)
 	var rb cli.Robust
 	rb.Register()
+	var tr cli.Trace
+	tr.Register()
 	flag.Parse()
 
 	copts, wd, plan, err := rb.Build()
@@ -52,6 +55,16 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "erucabench:", err)
 		return cli.ExitUsage
 	}
+	tel, err := tr.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "erucabench:", err)
+		return cli.ExitUsage
+	}
+	defer func() {
+		if err := tr.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, "erucabench:", err)
+		}
+	}()
 
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
@@ -83,7 +96,7 @@ func run() int {
 	}()
 
 	p := exp.Params{Instrs: *instrs, Warmup: *warmup, Seed: *seed, Parallel: *parallel,
-		Watchdog: wd, Faults: plan}
+		Watchdog: wd, Faults: plan, Telemetry: tel}
 	if copts != nil {
 		p.Check = copts.Mode
 	}
@@ -119,6 +132,7 @@ func run() int {
 		{"fig16a", func() (*exp.Table, error) { return r.Fig16a(*frag) }},
 		{"fig16b", func() (*exp.Table, error) { return r.Fig16b(*frag) }},
 		{"ablations", func() (*exp.Table, error) { return r.Ablations(*frag) }},
+		{"attribution", func() (*exp.Table, error) { return r.Attribution(*planes, *frag) }},
 		{"repair", static(exp.Repair())},
 		{"gddr5", func() (*exp.Table, error) { return r.GDDR5(*frag) }},
 	}

@@ -13,6 +13,8 @@
 //	curl -XPOST localhost:8080/v1/jobs -d '{"kind":"sim","system":"ddr4","mix":"mix0","frag":0.1}'
 //	curl localhost:8080/v1/jobs/job-000001
 //	curl -N localhost:8080/v1/jobs/job-000001/events
+//	curl localhost:8080/v1/jobs/job-000001/telemetry
+//	curl -N 'localhost:8080/v1/jobs/job-000001/telemetry?sse=1'
 //	curl -XDELETE localhost:8080/v1/jobs/job-000001
 //	curl localhost:8080/metrics
 package main
@@ -42,6 +44,7 @@ func main() {
 		cacheMax = flag.Int("cache-entries", 256, "in-memory result cache entries")
 		cache    = flag.String("cache", "", "persist the result cache to this file across restarts")
 		drainFor = flag.Duration("drain", 60*time.Second, "graceful drain deadline on SIGTERM/SIGINT")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -49,7 +52,8 @@ func main() {
 	srv, err := server.New(server.Config{
 		Workers: *workers, SimParallel: *parallel,
 		QueueMax: *queueMax, CacheMax: *cacheMax, CachePath: *cache,
-		Logf: logger.Printf,
+		Pprof: *pprofOn,
+		Logf:  logger.Printf,
 	})
 	if err != nil {
 		logger.Fatal(err)

@@ -41,9 +41,16 @@ func main() {
 	wl.Register("")
 	var rb cli.Robust
 	rb.Register()
+	var tr cli.Trace
+	tr.Register()
 	flag.Parse()
 
 	copts, wd, plan, err := rb.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "erucasim:", err)
+		os.Exit(cli.ExitUsage)
+	}
+	tel, err := tr.Build()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "erucasim:", err)
 		os.Exit(cli.ExitUsage)
@@ -88,7 +95,7 @@ func main() {
 			defer func() { <-sem }()
 			res, err := sim.Run(sim.Options{
 				Sys: sys, Benches: benches, Instrs: *instrs, Frag: *frag, Seed: *seed,
-				Check: copts, Watchdog: wd, Faults: plan,
+				Check: copts, Watchdog: wd, Faults: plan, Telemetry: tel,
 			})
 			outcomes[i] = outcome{res, err}
 			done <- i
@@ -106,11 +113,19 @@ func main() {
 			report(sys, benches, outcomes[i].res)
 		}
 		if outcomes[i].err != nil {
-			// A failed run still reports its partial stats above; the
-			// first failure ends the process with a classified exit
-			// code and, with -crashdump, the full diagnostic payload.
+			// A failed run still reports its partial stats above (and
+			// still flushes the trace — the events up to the failure are
+			// exactly what a crash investigation wants); the first
+			// failure ends the process with a classified exit code and,
+			// with -crashdump, the full diagnostic payload.
+			if ferr := tr.Finish(); ferr != nil {
+				fmt.Fprintln(os.Stderr, "erucasim:", ferr)
+			}
 			rb.Exit("erucasim", outcomes[i].err, outcomes[i].res)
 		}
+	}
+	if err := tr.Finish(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -36,9 +36,16 @@ func main() {
 	wl.Register("mcf")
 	var rb cli.Robust
 	rb.Register()
+	var tr cli.Trace
+	tr.Register()
 	flag.Parse()
 
 	copts, wd, plan, err := rb.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "erucatrace:", err)
+		os.Exit(cli.ExitUsage)
+	}
+	tel, err := tr.Build()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "erucatrace:", err)
 		os.Exit(cli.ExitUsage)
@@ -64,9 +71,12 @@ func main() {
 		res, err := sim.Run(sim.Options{
 			Sys: config.Baseline(config.DefaultBusMHz), Benches: benches,
 			Instrs: *instrs, Frag: *frag, Seed: *seed,
-			Check: copts, Watchdog: wd, Faults: plan,
+			Check: copts, Watchdog: wd, Faults: plan, Telemetry: tel,
 			Capture: func(r trace.Record) { recs = append(recs, r) },
 		})
+		if ferr := tr.Finish(); ferr != nil && err == nil {
+			fatal(ferr)
+		}
 		if err != nil {
 			rb.Exit("erucatrace", err, res)
 		}

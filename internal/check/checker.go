@@ -7,6 +7,7 @@ import (
 	"eruca/internal/clock"
 	"eruca/internal/config"
 	"eruca/internal/dram"
+	"eruca/internal/telemetry"
 )
 
 // errCap bounds how many violations Log mode retains so a badly broken
@@ -27,7 +28,17 @@ type Options struct {
 	// Logf, when set and Mode is Log, receives a one-line summary of
 	// each recorded violation.
 	Logf func(format string, args ...any)
+	// Telemetry, when non-nil, lets crash reports embed the last
+	// TraceTail telemetry events of the violating rank — a far wider
+	// window than the 32-command flight recorder, including mechanism
+	// events (EWLR hits, plane conflicts, DDB grants, fast-forward
+	// skips). Chan identifies this checker's channel in the Set.
+	Telemetry *telemetry.Set
+	Chan      int
 }
+
+// TraceTail is how many telemetry events a ProtocolError embeds.
+const TraceTail = 256
 
 // Checker is the composed protocol checker for one channel: an
 // independent Auditor re-verifying the command stream, a FlightRecorder
@@ -105,6 +116,7 @@ func (c *Checker) HandleViolation(v dram.Violation) {
 		Cmd:    fmt.Sprintf("%v", v.Cmd),
 		Detail: v.Msg,
 		Recent: c.rec.Snapshot(rank),
+		Trace:  c.telTail(rank),
 		Source: "engine",
 	}
 	c.react(pe)
@@ -122,10 +134,17 @@ func (c *Checker) drain(source string) {
 			Cmd:    c.lastCmd,
 			Detail: v.Msg,
 			Recent: c.rec.Snapshot(c.lastRank),
+			Trace:  c.telTail(c.lastRank),
 			Source: source,
 		}
 		c.react(pe)
 	}
+}
+
+// telTail snapshots the last TraceTail telemetry events of the given
+// rank on this checker's channel; nil without an attached Set.
+func (c *Checker) telTail(rank int) []telemetry.Event {
+	return c.opts.Telemetry.Recent(c.opts.Chan, rank, TraceTail)
 }
 
 func (c *Checker) react(pe *ProtocolError) {

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"eruca/internal/clock"
+	"eruca/internal/telemetry"
 )
 
 // ProtocolError is one structured protocol violation: the rule broken,
@@ -24,6 +25,12 @@ type ProtocolError struct {
 	// Recent is the per-rank flight recorder snapshot at detection time,
 	// oldest-first.
 	Recent []Entry
+	// Trace is the per-rank telemetry-event tail (up to TraceTail events,
+	// oldest-first) captured at detection time when a telemetry.Set was
+	// attached — a wider window than Recent that also carries the ERUCA
+	// mechanism events (EWLR hits, plane-conflict precharges, RAP
+	// remaps, DDB grants, fast-forward skips).
+	Trace []telemetry.Event
 	// Source tells which implementation detected the violation: "engine"
 	// (the timing engine's own state checks) or "audit" (the independent
 	// re-check over the command stream).
@@ -48,6 +55,12 @@ func (e *ProtocolError) Dump() string {
 		fmt.Fprintf(&b, "last %d commands on the rank:\n", len(e.Recent))
 		for _, en := range e.Recent {
 			fmt.Fprintf(&b, "  @%-10d %v\n", en.At, en.Cmd)
+		}
+	}
+	if len(e.Trace) > 0 {
+		fmt.Fprintf(&b, "last %d telemetry events on the rank:\n", len(e.Trace))
+		for _, ev := range e.Trace {
+			fmt.Fprintf(&b, "  %s\n", ev)
 		}
 	}
 	return b.String()

@@ -174,6 +174,12 @@ type Decision struct {
 	// hold rows within the same EWLR: the precharge must not deactivate
 	// the shared MWL (Sec. VI-A "partial precharge").
 	PartialPrecharge bool
+	// RAPRedirect is set on ActionActivate when the two rows' raw plane
+	// bits collide but RAP's per-sub-bank inversion (Fig. 3d) sent them
+	// to different latch sets — the activation would have been a plane
+	// conflict without RAP. This is the attribution counter behind the
+	// Fig. 13b delta between the +RAP and -RAP configurations.
+	RAPRedirect bool
 }
 
 // SubState is the view of one sub-bank Decide needs.
@@ -208,7 +214,7 @@ func (p *PlaneLogic) Decide(row uint32, sub int, self, other SubState) Decision 
 	planeSelf := p.PlaneID(row, sub)
 	planeOther := p.PlaneID(other.Row, 1-sub)
 	if planeSelf != planeOther {
-		return Decision{Action: ActionActivate}
+		return Decision{Action: ActionActivate, RAPRedirect: p.rapRedirected(row, other.Row)}
 	}
 	// Same plane: shared latches. An exact latch match lets both
 	// sub-banks coexist; under EWLR that is an MWL match (an EWLR hit),
@@ -217,4 +223,15 @@ func (p *PlaneLogic) Decide(row uint32, sub int, self, other SubState) Decision 
 		return Decision{Action: ActionActivate, EWLRHit: p.ewlr}
 	}
 	return Decision{Action: ActionPrechargeOther, PlaneConflict: true}
+}
+
+// rapRedirected reports whether RAP is the reason two rows land in
+// different planes: their raw (un-inverted) plane bits are equal, so a
+// scheme without RAP would have seen a latch collision.
+func (p *PlaneLogic) rapRedirected(row, otherRow uint32) bool {
+	if !p.rap || p.planes == 1 {
+		return false
+	}
+	raw := func(r uint32) uint32 { return r >> p.planeShift & uint32(p.planes-1) }
+	return raw(row) == raw(otherRow)
 }

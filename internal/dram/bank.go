@@ -16,6 +16,7 @@ type rowSlot struct {
 	rdyPre clock.Cycle // earliest PRE (tRAS after ACT, tRTP after RD, data+tWR after WR)
 
 	lastUse clock.Cycle // last ACT or column command, for the close-page timeout
+	actAt   clock.Cycle // cycle of the opening ACT, for the row-open-lifetime histogram
 }
 
 // subBank is one independently activatable sub-bank (a full bank when the

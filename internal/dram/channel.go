@@ -7,6 +7,7 @@ import (
 	"eruca/internal/config"
 	"eruca/internal/core"
 	"eruca/internal/diag"
+	"eruca/internal/telemetry"
 )
 
 // Channel is the timing engine for one DRAM channel.
@@ -38,7 +39,23 @@ type Channel struct {
 	// checker in Fail/Log mode keep the process alive.
 	onViolation func(Violation)
 
+	// tel, when set, receives a typed telemetry event and mechanism
+	// counter update per issued command. Purely observational: no timing
+	// decision reads it, so attaching telemetry can never change the
+	// command stream. nil costs one comparison per Issue.
+	tel    *telemetry.Set
+	chanID uint8
+	telRun uint16
+
 	Stats Stats
+}
+
+// SetTelemetry attaches a telemetry Set; events are tagged with chanID
+// and the run index from telemetry.Set.BeginRun. Pass nil to detach.
+func (ch *Channel) SetTelemetry(t *telemetry.Set, chanID int, run uint16) {
+	ch.tel = t
+	ch.chanID = uint8(chanID)
+	ch.telRun = run
 }
 
 // Attach registers an observer (protocol auditor / checker) that sees
@@ -249,12 +266,14 @@ func (ch *Channel) Issue(c Command, now clock.Cycle) {
 			sb.openCount--
 			rk.openSubs--
 		}
+		prevAct := rk.lastAct
 		slot.active = true
 		slot.row = c.Row
 		slot.rdyCol = now + ch.ct.RCD
 		slot.rdyPre = now + ch.ct.RAS
 		slot.rdyAct = now + ch.ct.RC
 		slot.lastUse = now
+		slot.actAt = now
 		rk.lastAct = now
 		rk.faw[rk.fawIdx] = now
 		rk.fawIdx = (rk.fawIdx + 1) % len(rk.faw)
@@ -264,7 +283,14 @@ func (ch *Channel) Issue(c Command, now clock.Cycle) {
 		if c.EWLRHit {
 			ch.Stats.ActsEWLRHit++
 		}
+		if c.RAPRedirect {
+			ch.Stats.RAPRedirects++
+		}
+		if ch.tel != nil {
+			ch.telACT(c, now, prevAct)
+		}
 	case CmdPRE:
+		wasActive := slot.active
 		if !slot.active {
 			ch.violate(now, "PRE-on-closed", c, "dram: PRE on closed slot: %v", c)
 			// Best-effort continue: account the spurious PRE as a no-op.
@@ -284,10 +310,27 @@ func (ch *Channel) Issue(c Command, now clock.Cycle) {
 		if c.PlaneConflict {
 			ch.Stats.PlaneConfPre++
 		}
+		if ch.tel != nil {
+			ch.telPRE(c, now, wasActive, slot.actAt)
+		}
 	case CmdRD, CmdWR:
 		read := c.Kind == CmdRD
 		if !slot.active || slot.row != c.Row {
 			ch.violate(now, "row-mismatch", c, "dram: column command to closed/mismatched row: %v (open=%v row=%#x)", c, slot.active, slot.row)
+		}
+		// DDB attribution: how many bus cycles later would the single
+		// shared bank-group bus (tCCD_L, and tWTR_L before a read) have
+		// forced this column command? Computed against pre-issue state —
+		// purely observational, never feeds a timing decision.
+		var ddbSaved clock.Cycle
+		if ch.sys.Scheme.DDB {
+			bound := grp.lastCol + ch.ct.CCDL
+			if read {
+				bound = maxc(bound, grp.lastWrData+ch.ct.WTRL)
+			}
+			if bound > now {
+				ddbSaved = bound - now
+			}
 		}
 		bk.lastCol = now
 		bk.colCount++
@@ -310,6 +353,10 @@ func (ch *Channel) Issue(c Command, now clock.Cycle) {
 			ch.Stats.Writes++
 		}
 		ch.busLastRead = read
+		ch.Stats.DDBSavedCK += uint64(ddbSaved)
+		if ch.tel != nil {
+			ch.telCol(c, now, read, ddbSaved)
+		}
 	default:
 		diag.Invariantf("dram: Issue of managed command %v", c)
 	}
@@ -380,6 +427,10 @@ func (ch *Channel) MaintainRefresh(now clock.Cycle) {
 								s.slots[i].rdyPre = never
 								s.openCount = 0
 								ch.Stats.Pres++
+								if ch.tel != nil {
+									ch.tel.C.Pres.Add(1)
+									ch.tel.C.RowOpen.Observe(now - s.slots[i].actAt)
+								}
 							}
 						}
 					}
@@ -388,7 +439,12 @@ func (ch *Channel) MaintainRefresh(now clock.Cycle) {
 			rk.openSubs = 0
 			ch.Stats.PreAlls++
 			rk.preaAt = now
-			ch.observe(Command{Kind: CmdPREA, Rank: rankIndex(ch, rk)}, now)
+			rkID := rankIndex(ch, rk)
+			ch.observe(Command{Kind: CmdPREA, Rank: rkID}, now)
+			if ch.tel != nil {
+				ch.tel.C.PreAlls.Add(1)
+				ch.tel.Emit(telemetry.Event{At: now, Run: ch.telRun, Kind: telemetry.EvPREA, Chan: ch.chanID, Rank: uint8(rkID)})
+			}
 			continue
 		}
 		// All closed: REF once tRP from PREA has elapsed.
@@ -403,7 +459,12 @@ func (ch *Channel) MaintainRefresh(now clock.Cycle) {
 			rk.refPending = false
 			rk.preaAt = never
 			ch.Stats.Refreshes++
-			ch.observe(Command{Kind: CmdREF, Rank: rankIndex(ch, rk)}, now)
+			rkID := rankIndex(ch, rk)
+			ch.observe(Command{Kind: CmdREF, Rank: rkID}, now)
+			if ch.tel != nil {
+				ch.tel.C.Refreshes.Add(1)
+				ch.tel.Emit(telemetry.Event{At: now, Run: ch.telRun, Kind: telemetry.EvREF, Chan: ch.chanID, Rank: uint8(rkID)})
+			}
 		}
 	}
 }

@@ -89,6 +89,7 @@ func (ch *Channel) NextStep(t Target, write bool) Step {
 			c := base
 			c.Kind = CmdACT
 			c.EWLRHit = d.EWLRHit
+			c.RAPRedirect = d.RAPRedirect
 			return Step{Cmd: c}
 		case core.ActionPrechargeSelf:
 			c := base

@@ -1,0 +1,103 @@
+package dram
+
+import (
+	"eruca/internal/clock"
+	"eruca/internal/telemetry"
+)
+
+// Telemetry emission helpers. All are called only when ch.tel != nil and
+// strictly after the timing engine committed the command, so they can
+// never perturb scheduling. Counters are driven from here (not from the
+// sampled event trace) so attribution totals stay exact under any
+// SampleEvery/window setting.
+
+// telEvent translates a Command into a telemetry Event; the first six
+// telemetry Kinds mirror CmdKind one-to-one.
+func (ch *Channel) telEvent(c Command, at clock.Cycle) telemetry.Event {
+	return telemetry.Event{
+		At:   at,
+		Row:  c.Row,
+		Run:  ch.telRun,
+		Kind: telemetry.Kind(c.Kind),
+		Chan: ch.chanID,
+		Rank: uint8(c.Rank),
+		Grp:  uint8(c.Group),
+		Bank: uint8(c.Bank),
+		Sub:  uint8(c.Sub),
+		Slot: uint8(c.Slot),
+	}
+}
+
+// telACT records an activation: counters, the inter-ACT gap histogram
+// (per rank, prevAct is the rank's previous ACT cycle or the `never`
+// sentinel), and the traced event with EWLR/RAP flags.
+func (ch *Channel) telACT(c Command, now, prevAct clock.Cycle) {
+	t := ch.tel
+	t.C.Acts.Add(1)
+	e := ch.telEvent(c, now)
+	ewlrScheme := ch.planes != nil && ch.planes.EWLR()
+	switch {
+	case c.EWLRHit:
+		t.C.EWLRHits.Add(1)
+		e.Flag |= telemetry.FlagEWLRHit
+	case ewlrScheme:
+		t.C.EWLRMisses.Add(1)
+		e.Flag |= telemetry.FlagEWLRMiss
+	}
+	if c.RAPRedirect {
+		t.C.RAPRedirects.Add(1)
+		e.Flag |= telemetry.FlagRAPRemap
+	}
+	if prevAct != never {
+		t.C.InterACT.Observe(now - prevAct)
+	}
+	t.Emit(e)
+	if c.RAPRedirect {
+		r := e
+		r.Kind = telemetry.EvRAPRemap
+		t.Emit(r)
+	}
+}
+
+// telPRE records a precharge: counters, the row-open-lifetime histogram
+// (actAt is the closed slot's opening ACT cycle; skipped for the
+// spurious PRE-on-closed best-effort path), and the traced event with
+// partial/plane-conflict flags.
+func (ch *Channel) telPRE(c Command, now clock.Cycle, wasActive bool, actAt clock.Cycle) {
+	t := ch.tel
+	t.C.Pres.Add(1)
+	e := ch.telEvent(c, now)
+	if c.Partial {
+		t.C.PartialPres.Add(1)
+		e.Flag |= telemetry.FlagPartial
+	}
+	if c.PlaneConflict {
+		t.C.PlaneConflicts.Add(1)
+		e.Flag |= telemetry.FlagPlaneConflict
+	}
+	if wasActive {
+		t.C.RowOpen.Observe(now - actAt)
+	}
+	t.Emit(e)
+}
+
+// telCol records a column command and, when the dual data bus pulled its
+// issue cycle in versus the single-bus tCCD_L/tWTR_L bound, the DDB
+// grant event with the saved cycles.
+func (ch *Channel) telCol(c Command, now clock.Cycle, read bool, ddbSaved clock.Cycle) {
+	t := ch.tel
+	if read {
+		t.C.Reads.Add(1)
+	} else {
+		t.C.Writes.Add(1)
+	}
+	t.Emit(ch.telEvent(c, now))
+	if ddbSaved > 0 {
+		t.C.DDBSavedCK.Add(uint64(ddbSaved))
+		g := ch.telEvent(c, now)
+		g.Kind = telemetry.EvDDBGrant
+		g.Arg = uint32(ddbSaved)
+		g.Row = 0
+		t.Emit(g)
+	}
+}

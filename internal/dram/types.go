@@ -75,6 +75,10 @@ type Command struct {
 	// paired sub-bank needed the target plane's latches) — the Fig. 13b
 	// metric.
 	PlaneConflict bool
+	// RAPRedirect marks an ACT whose plane ID was inverted by RAP so that
+	// a raw-plane-bit collision with the paired sub-bank's open row did
+	// not become a plane conflict (attribution; Sec. V-B).
+	RAPRedirect bool
 }
 
 // String implements fmt.Stringer.
@@ -91,6 +95,8 @@ type Stats struct {
 	Pres         uint64
 	PartialPres  uint64 // subset of Pres that kept the MWL driven
 	PlaneConfPre uint64 // Pres issued to resolve a plane conflict (Fig. 13b)
+	RAPRedirects uint64 // ACTs whose RAP inversion dodged a raw plane-bit collision
+	DDBSavedCK   uint64 // bus cycles of single-bus tCCD_L/tWTR_L the dual data bus recovered
 	Refreshes    uint64
 	PreAlls      uint64
 

@@ -31,6 +31,7 @@ import (
 	"eruca/internal/faults"
 	"eruca/internal/sim"
 	"eruca/internal/stats"
+	"eruca/internal/telemetry"
 	"eruca/internal/workload"
 )
 
@@ -63,6 +64,12 @@ type Params struct {
 	// Faults, when non-nil, schedules fault injection in every
 	// simulation (chaos sweeps; each run clones the plan).
 	Faults *faults.Plan
+	// Telemetry, when non-nil, attaches the event tracer and mechanism
+	// counter registry to every simulation the Runner launches. Purely
+	// observational: tables stay byte-identical with it on or off. Note
+	// that cached or deduplicated results contribute no fresh events —
+	// the Set sees only simulations that actually execute.
+	Telemetry *telemetry.Set
 }
 
 // DefaultParams returns the harness defaults.
@@ -257,6 +264,16 @@ func (r *Runner) WithContext(ctx context.Context) *Runner {
 func (r *Runner) WithLog(fn func(string)) *Runner {
 	nr := *r
 	nr.p.Log = fn
+	return &nr
+}
+
+// WithTelemetry returns a view of the Runner whose simulations feed the
+// given telemetry Set. Like WithLog, the Set of the view that actually
+// launches a simulation wins; joiners of an in-flight or cached run see
+// its result but contribute no fresh events or counter increments.
+func (r *Runner) WithTelemetry(t *telemetry.Set) *Runner {
+	nr := *r
+	nr.p.Telemetry = t
 	return &nr
 }
 

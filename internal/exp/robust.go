@@ -40,6 +40,9 @@ func (r *Runner) run(opt sim.Options) (*sim.Result, error) {
 	if opt.Faults == nil {
 		opt.Faults = r.p.Faults
 	}
+	if opt.Telemetry == nil {
+		opt.Telemetry = r.p.Telemetry
+	}
 	return safeRun(opt)
 }
 

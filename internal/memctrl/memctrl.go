@@ -13,6 +13,7 @@ import (
 	"eruca/internal/config"
 	"eruca/internal/dram"
 	"eruca/internal/stats"
+	"eruca/internal/telemetry"
 )
 
 // Transaction is one cache-line memory request.
@@ -96,13 +97,46 @@ type Controller struct {
 	// almost free.
 	scanBound clock.Cycle
 
+	// tel, when set, receives per-read latency histogram observations
+	// (queue age and arrival-to-data). Purely observational.
+	tel *telemetry.Set
+
 	Stats Stats
 }
 
+// LatencyReservoir bounds the per-controller latency samplers: quantile
+// queries run over at most this many retained samples while counts and
+// means stay exact (stats.Sampler reservoir mode).
+const LatencyReservoir = 8192
+
+// latencySeed seeds the deterministic reservoir PRNGs; a fixed constant
+// keeps sweep tables byte-identical at any parallelism (the sampler is
+// only ever fed from its own single-threaded controller).
+const latencySeed = 0x43a7_90e5
+
 // New builds a controller driving the given channel.
 func New(sys *config.System, ch *dram.Channel) *Controller {
-	return &Controller{sys: sys, ch: ch, starveCK: 1500}
+	c := &Controller{sys: sys, ch: ch, starveCK: 1500}
+	c.armSamplers()
+	return c
 }
+
+// armSamplers puts the latency samplers in bounded reservoir mode.
+func (c *Controller) armSamplers() {
+	c.Stats.QueueLatency.Reservoir(LatencyReservoir, latencySeed)
+	c.Stats.TotalLatency.Reservoir(LatencyReservoir, latencySeed+1)
+}
+
+// ResetStats clears the controller statistics (the warmup boundary) and
+// re-arms the bounded latency samplers.
+func (c *Controller) ResetStats() {
+	c.Stats = Stats{}
+	c.armSamplers()
+}
+
+// SetTelemetry attaches a telemetry Set for the read-latency histograms;
+// nil detaches.
+func (c *Controller) SetTelemetry(t *telemetry.Set) { c.tel = t }
 
 // Channel exposes the underlying DRAM channel (for stats readout).
 func (c *Controller) Channel() *dram.Channel { return c.ch }
@@ -335,6 +369,10 @@ func (c *Controller) complete(t *Transaction, now clock.Cycle, q []*Transaction,
 		c.Stats.ReadsDone++
 		c.Stats.QueueLatency.Add(float64(now - t.Arrive))
 		c.Stats.TotalLatency.Add(float64(dataAt - t.Arrive))
+		if c.tel != nil {
+			c.tel.C.QueueAge.Observe(now - t.Arrive)
+			c.tel.C.ReadLatency.Observe(dataAt - t.Arrive)
+		}
 		c.readQ = append(q[:idx], q[idx+1:]...)
 	}
 	if t.Done != nil {

@@ -5,19 +5,25 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
+	"time"
+
+	"eruca/internal/telemetry"
 )
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST   /v1/jobs             submit a JobSpec          -> 202 job view
-//	GET    /v1/jobs             list jobs                 -> 200 [views]
-//	GET    /v1/jobs/{id}        status + result           -> 200 view
-//	DELETE /v1/jobs/{id}        cancel                    -> 202 view
-//	GET    /v1/jobs/{id}/events live progress (SSE)
-//	GET    /healthz             liveness + drain state
-//	GET    /metrics             Prometheus text
+//	POST   /v1/jobs                submit a JobSpec          -> 202 job view
+//	GET    /v1/jobs                list jobs                 -> 200 [views]
+//	GET    /v1/jobs/{id}           status + result           -> 200 view
+//	DELETE /v1/jobs/{id}           cancel                    -> 202 view
+//	GET    /v1/jobs/{id}/events    live progress (SSE)
+//	GET    /v1/jobs/{id}/telemetry live counters/trace snapshot (JSON; ?sse=1 streams deltas)
+//	GET    /healthz                liveness + drain state
+//	GET    /metrics                Prometheus text (service + simulator metrics)
+//	GET    /debug/pprof/           Go profiling (only with Config.Pprof)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -25,8 +31,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/telemetry", s.handleTelemetry)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.Pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -164,6 +178,64 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleTelemetry serves the job-scoped simulator telemetry: mechanism
+// counters, log2 latency histograms, and the most-recent traced events.
+// The default is one JSON snapshot (works mid-run: the counters are
+// lock-free and the rings copy under their own mutex); with ?sse=1 it
+// streams a snapshot every ?interval_ms (default 500, floor 50) until
+// the job reaches a terminal state, then sends one final snapshot in an
+// "event: done" frame. ?recent=N bounds the embedded event tail
+// (default 32, max 1024).
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	recent := 32
+	if v, err := strconv.Atoi(r.URL.Query().Get("recent")); err == nil && v >= 0 {
+		recent = min(v, 1024)
+	}
+	if r.URL.Query().Get("sse") == "" {
+		writeJSON(w, http.StatusOK, j.Telemetry().Snapshot(recent))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("streaming unsupported by this connection"))
+		return
+	}
+	interval := 500 * time.Millisecond
+	if v, err := strconv.Atoi(r.URL.Query().Get("interval_ms")); err == nil && v >= 50 {
+		interval = time.Duration(v) * time.Millisecond
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	send := func(event string) {
+		if event != "" {
+			fmt.Fprintf(w, "event: %s\n", event)
+		}
+		b, _ := json.Marshal(j.Telemetry().Snapshot(recent))
+		fmt.Fprintf(w, "data: %s\n\n", b)
+		fl.Flush()
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	send("")
+	for {
+		select {
+		case <-tick.C:
+			send("")
+		case <-j.Done():
+			send("done")
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
 	state := "ok"
@@ -193,4 +265,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.write(w, g)
+	// Simulator-level telemetry, aggregated across every job's set:
+	// eruca_sim_* mechanism counters and log2 latency histograms.
+	writeTelemetry(w, s.telemetrySets())
+}
+
+// telemetrySets snapshots every job's telemetry set for /metrics.
+func (s *Server) telemetrySets() []*telemetry.Set {
+	jobs := s.Jobs()
+	sets := make([]*telemetry.Set, 0, len(jobs))
+	for _, j := range jobs {
+		sets = append(sets, j.Telemetry())
+	}
+	return sets
 }

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"eruca/internal/telemetry"
 )
 
 // metrics is a dependency-free Prometheus-text exporter: fixed counters
@@ -121,4 +123,89 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	gg("eruca_result_cache_entries", "Resident result-cache entries.", int64(g.cacheSize))
 	gg("eruca_runner_pools", "Distinct exp.Runner parameter groups alive.", int64(g.runnerPools))
 	gg("eruca_draining", "1 while the daemon is draining.", int64(g.draining))
+}
+
+// telemetryHelp documents the simulator-level counters on /metrics.
+var telemetryHelp = map[string]string{
+	"acts":              "DRAM ACT commands issued.",
+	"pres":              "DRAM PRE commands issued.",
+	"reads":             "DRAM column reads issued.",
+	"writes":            "DRAM column writes issued.",
+	"refreshes":         "DRAM REF commands issued.",
+	"prealls":           "DRAM PREA (precharge-all) commands issued.",
+	"ewlr_hits":         "ACTs that reused an already-driven MWL (EWLR hits).",
+	"ewlr_misses":       "ACTs under an EWLR scheme that had to drive the MWL.",
+	"partial_pres":      "PREs that left the shared MWL driven (partial precharge).",
+	"plane_conflicts":   "PREs forced by plane-latch conflicts (Fig. 13b).",
+	"rap_redirects":     "ACTs whose plane ID was RAP-inverted to dodge a collision.",
+	"ddb_saved_ck":      "Bus cycles of tCCD_L/tWTR_L recovered by the dual data bus.",
+	"ff_cycles_skipped": "Bus cycles jumped by the event-driven run loop.",
+	"vpp_acts_saved":    "VPP wordline activations saved (= EWLR hits).",
+	"trace_dropped":     "Trace events dropped beyond the capture cap.",
+}
+
+// writeTelemetry renders the simulator-level metrics: every mechanism
+// counter summed across the given telemetry sets as
+// eruca_sim_<name>_total, and every log2 histogram merged into a
+// Prometheus histogram eruca_sim_<name> whose bucket bounds are the
+// Hist power-of-two upper edges (only populated buckets are emitted to
+// keep the exposition small).
+func writeTelemetry(w io.Writer, sets []*telemetry.Set) {
+	counters := map[string]uint64{}
+	type hist struct {
+		buckets [telemetry.HistBuckets]uint64
+		sum     int64
+		n       uint64
+	}
+	hists := map[string]*hist{}
+	for _, s := range sets {
+		s.C.Each(func(name string, v uint64) { counters[name] += v })
+		s.C.Hists(func(name string, h *telemetry.Hist) {
+			m := hists[name]
+			if m == nil {
+				m = &hist{}
+				hists[name] = m
+			}
+			b := h.Buckets()
+			for i, c := range b {
+				m.buckets[i] += c
+			}
+			m.sum += h.Sum()
+			m.n += h.N()
+		})
+	}
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		metric := "eruca_sim_" + name + "_total"
+		help := telemetryHelp[name]
+		if help == "" {
+			help = "Simulator counter " + name + "."
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", metric, help, metric, metric, counters[name])
+	}
+	hnames := make([]string, 0, len(hists))
+	for name := range hists {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := hists[name]
+		metric := "eruca_sim_" + name
+		fmt.Fprintf(w, "# HELP %s Simulator log2 histogram (%s), bus cycles.\n# TYPE %s histogram\n", metric, name, metric)
+		var cum uint64
+		for i, c := range h.buckets {
+			cum += c
+			if c == 0 {
+				continue // sparse: only populated bucket edges
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", metric, telemetry.BucketUpper(i), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", metric, h.n)
+		fmt.Fprintf(w, "%s_sum %d\n", metric, h.sum)
+		fmt.Fprintf(w, "%s_count %d\n", metric, h.n)
+	}
 }

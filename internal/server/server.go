@@ -32,6 +32,9 @@ type Config struct {
 	CachePath string
 	// RetryAfter is the hint returned with 429 (default 2s).
 	RetryAfter time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/ when true. Off by
+	// default: the profiling surface stays opt-in on shared daemons.
+	Pprof bool
 	// Logf, when non-nil, receives daemon lifecycle lines.
 	Logf func(format string, args ...any)
 }
@@ -233,7 +236,7 @@ func (s *Server) runJob(job *Job) {
 		s.metrics.jobDone(class, time.Since(start).Seconds())
 		return
 	}
-	view := runner.WithContext(job.ctx).WithLog(job.events.Append)
+	view := runner.WithContext(job.ctx).WithLog(job.events.Append).WithTelemetry(job.tel)
 	out, err := execute(job.ctx, view, job.Spec)
 
 	switch {

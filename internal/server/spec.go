@@ -42,9 +42,11 @@ type JobSpec struct {
 	Benches []string `json:"benches,omitempty"`
 
 	// Sweep jobs: a named experiment (fig4, locality, fig12, fig13a,
-	// fig13b, fig14, fig15, fig16a, fig16b, ablations, gddr5, tab1,
-	// tab2, tab3, fig11, repair, sweep). Exp "sweep" tabulates the
-	// Systems list; Mixes restricts the workload mixes of any sweep.
+	// fig13b, fig14, fig15, fig16a, fig16b, ablations, attribution,
+	// gddr5, tab1, tab2, tab3, fig11, repair, sweep). Exp "sweep"
+	// tabulates the Systems list; "attribution" walks the mechanism
+	// ladder with Planes planes; Mixes restricts the workload mixes of
+	// any sweep.
 	Exp     string   `json:"exp,omitempty"`
 	Systems []string `json:"systems,omitempty"`
 	Mixes   []string `json:"mixes,omitempty"`
@@ -190,7 +192,7 @@ func (s JobSpec) Validate() error {
 			return err
 		}
 	case "sweep":
-		if _, ok := sweeps[n.Exp]; !ok && n.Exp != "sweep" {
+		if _, ok := sweeps[n.Exp]; !ok && n.Exp != "sweep" && n.Exp != "attribution" {
 			return fmt.Errorf("server: unknown experiment %q", n.Exp)
 		}
 		if n.Exp == "sweep" {
@@ -289,14 +291,18 @@ func execute(ctx context.Context, r *exp.Runner, spec JobSpec) (string, error) {
 			t   *exp.Table
 			err error
 		)
-		if n.Exp == "sweep" {
+		switch n.Exp {
+		case "sweep":
 			var systems []*config.System
 			systems, err = cli.ParseSystems(strings.Join(n.Systems, ","), n.Planes, n.BusMHz)
 			if err != nil {
 				return "", err
 			}
 			t, err = r.Sweep(systems, n.Frag)
-		} else {
+		case "attribution":
+			// Per-mechanism speedup attribution; Planes sizes the ladder.
+			t, err = r.Attribution(n.Planes, n.Frag)
+		default:
 			t, err = sweeps[n.Exp](r, n.Frag)
 		}
 		// A canceled sweep must not be served from a half-built table;

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"eruca/internal/telemetry"
 )
 
 // State is a job's lifecycle position.
@@ -37,6 +39,7 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	events *eventLog
+	tel    *telemetry.Set
 	done   chan struct{}
 
 	mu       sync.Mutex
@@ -53,6 +56,13 @@ type Job struct {
 
 // Done closes when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Telemetry is the job-scoped counter/trace set: simulations launched on
+// behalf of this job feed it live, so GET /v1/jobs/{id}/telemetry
+// introspects an in-flight run. Results served from the result cache or
+// joined onto another job's in-flight simulation contribute no fresh
+// events (the counters then reflect only what this job itself executed).
+func (j *Job) Telemetry() *telemetry.Set { return j.tel }
 
 // State reports the current lifecycle position.
 func (j *Job) State() State {
@@ -270,7 +280,11 @@ func (r *registry) add(spec JobSpec, base context.Context) *Job {
 	j := &Job{
 		ID: id, Hash: spec.Hash(), Spec: spec,
 		ctx: ctx, cancel: cancel,
-		events: newEventLog(), done: make(chan struct{}),
+		events: newEventLog(),
+		// Rings + counters only: full event capture is a CLI concern
+		// (-trace-out); the daemon keeps the always-on cheap layer.
+		tel:   telemetry.NewSet(telemetry.Options{}),
+		done:  make(chan struct{}),
 		state: StateQueued, created: time.Now(),
 	}
 	r.mu.Lock()

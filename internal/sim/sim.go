@@ -20,6 +20,7 @@ import (
 	"eruca/internal/memctrl"
 	"eruca/internal/osmem"
 	"eruca/internal/stats"
+	"eruca/internal/telemetry"
 	"eruca/internal/trace"
 	"eruca/internal/workload"
 )
@@ -72,6 +73,14 @@ type Options struct {
 	// scheduling perturbations (chaos runs). The plan is cloned, so one
 	// plan value may parameterize many runs.
 	Faults *faults.Plan
+	// Telemetry, when non-nil, attaches the event tracer and mechanism
+	// counter registry to every channel and controller. Purely
+	// observational: the command stream, bus cycle count and every Result
+	// field are identical with and without it (proven by
+	// TestTelemetryNonPerturbing). One Set may be shared across
+	// concurrent runs; counters then aggregate and events are tagged
+	// with per-run indices from BeginRun.
+	Telemetry *telemetry.Set
 }
 
 // Result is the outcome of one run.
@@ -173,23 +182,37 @@ func Run(opt Options) (*Result, error) {
 		return nil, fmt.Errorf("sim: %s: %w", sys.Name, err)
 	}
 
+	// Telemetry: register this run and size the rings. One Set may serve
+	// many concurrent runs; events are tagged with the run index.
+	tel := opt.Telemetry
+	var telRun uint16
+	if tel != nil {
+		tel.Configure(sys.Geom.Channels, sys.Geom.Ranks)
+		telRun = tel.BeginRun(fmt.Sprintf("%s %v frag=%g", sys.Name, opt.Benches, opt.Frag))
+	}
+
 	var ctls []*memctrl.Controller
 	var auditors []*dram.Auditor
 	var checkers []*check.Checker
 	for c := 0; c < sys.Geom.Channels; c++ {
 		ch := dram.NewChannel(sys, mapper.RowBits())
+		ch.SetTelemetry(tel, c, telRun)
 		if opt.Audit {
 			a := dram.NewAuditor(sys)
 			ch.Attach(a)
 			auditors = append(auditors, a)
 		}
 		if opt.Check != nil && opt.Check.Mode != check.Off {
-			ck := check.New(sys, *opt.Check)
+			co := *opt.Check
+			co.Telemetry, co.Chan = tel, c
+			ck := check.New(sys, co)
 			ch.Attach(ck)
 			ch.OnViolation(ck.HandleViolation)
 			checkers = append(checkers, ck)
 		}
-		ctls = append(ctls, memctrl.New(sys, ch))
+		ctl := memctrl.New(sys, ch)
+		ctl.SetTelemetry(tel)
+		ctls = append(ctls, ctl)
 	}
 
 	// Chaos harness: clone the fault plan (so one plan parameterizes
@@ -293,7 +316,7 @@ func Run(opt Options) (*Result, error) {
 		if wd != nil {
 			if kind, idle := wd.check(bus, fired, drained, cores, ctls); kind != "" {
 				stopErr = &DeadlockError{Kind: kind, Bus: bus, Idle: idle,
-					Report: buildDeadlockReport(kind, bus, idle, cores, ctls, checkers, plan)}
+					Report: buildDeadlockReport(kind, bus, idle, cores, ctls, checkers, plan, tel)}
 				break
 			}
 		}
@@ -312,7 +335,7 @@ func Run(opt Options) (*Result, error) {
 				for _, ctl := range ctls {
 					ctl.Channel().Finish(bus)
 					ctl.Channel().Stats = dram.Stats{}
-					ctl.Stats = memctrl.Stats{}
+					ctl.ResetStats()
 				}
 				for i := range br.misses {
 					br.misses[i] = 0
@@ -396,6 +419,15 @@ func Run(opt Options) (*Result, error) {
 		for _, ctl := range ctls {
 			ctl.FastForward(bus, next)
 		}
+		if tel != nil {
+			skip := uint64(next - bus - 1)
+			tel.C.FFCyclesSkipped.Add(skip)
+			arg := skip
+			if arg > 1<<32-1 {
+				arg = 1<<32 - 1
+			}
+			tel.Emit(telemetry.Event{At: bus + 1, Run: telRun, Kind: telemetry.EvFFSkip, Arg: uint32(arg)})
+		}
 		skipped := int64(next-bus-1) * ratio
 		for _, c := range cores {
 			c.FastForward(skipped)
@@ -425,6 +457,8 @@ func Run(opt Options) (*Result, error) {
 		res.DRAM.Pres += s.Pres
 		res.DRAM.PartialPres += s.PartialPres
 		res.DRAM.PlaneConfPre += s.PlaneConfPre
+		res.DRAM.RAPRedirects += s.RAPRedirects
+		res.DRAM.DDBSavedCK += s.DDBSavedCK
 		res.DRAM.Refreshes += s.Refreshes
 		res.DRAM.PreAlls += s.PreAlls
 		res.DRAM.ActiveCycles += s.ActiveCycles

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"eruca/internal/config"
+	"eruca/internal/telemetry"
+)
+
+// compareTelemetry asserts a run with a live telemetry Set is
+// indistinguishable from the bare run: identical audited command stream
+// and identical results. This is the design contract of the telemetry
+// package — purely observational, never a timing input.
+func compareTelemetry(t *testing.T, sys func() *config.System, benches []string) *telemetry.Set {
+	t.Helper()
+	bare, err := Run(ffOptions(sys(), benches, false))
+	if err != nil {
+		t.Fatalf("bare run: %v", err)
+	}
+	tel := telemetry.New()
+	opt := ffOptions(sys(), benches, false)
+	opt.Telemetry = tel
+	traced, err := Run(opt)
+	if err != nil {
+		t.Fatalf("traced run: %v", err)
+	}
+
+	if len(bare.AuditCommands) != len(traced.AuditCommands) {
+		t.Fatalf("channel count differs: %d vs %d", len(bare.AuditCommands), len(traced.AuditCommands))
+	}
+	for ch := range bare.AuditCommands {
+		b, tr := bare.AuditCommands[ch], traced.AuditCommands[ch]
+		if len(b) != len(tr) {
+			t.Fatalf("channel %d: command count differs: bare %d vs traced %d", ch, len(b), len(tr))
+		}
+		for i := range b {
+			if b[i] != tr[i] {
+				t.Fatalf("channel %d: command %d differs:\nbare:   %+v at %d\ntraced: %+v at %d",
+					ch, i, b[i].Cmd, b[i].At, tr[i].Cmd, tr[i].At)
+			}
+		}
+	}
+	if bare.BusCycles != traced.BusCycles {
+		t.Errorf("BusCycles differ: %d vs %d", bare.BusCycles, traced.BusCycles)
+	}
+	if bare.DRAM != traced.DRAM {
+		t.Errorf("DRAM stats differ:\nbare:   %+v\ntraced: %+v", bare.DRAM, traced.DRAM)
+	}
+	if bare.Energy != traced.Energy {
+		t.Errorf("energy differs:\nbare:   %+v\ntraced: %+v", bare.Energy, traced.Energy)
+	}
+	for i := range bare.IPC {
+		if bare.IPC[i] != traced.IPC[i] {
+			t.Errorf("core %d IPC differs: %v vs %v", i, bare.IPC[i], traced.IPC[i])
+		}
+	}
+	if bare.QueueLat.N() != traced.QueueLat.N() || bare.QueueLat.Mean() != traced.QueueLat.Mean() {
+		t.Errorf("queue-latency distribution differs")
+	}
+
+	// Counters cover the whole run including warmup, so they bound the
+	// post-warmup dram.Stats from above.
+	if acts := tel.C.Acts.Load(); acts < traced.DRAM.Acts || acts == 0 {
+		t.Errorf("telemetry acts = %d, want >= measured %d and > 0", acts, traced.DRAM.Acts)
+	}
+	if pres := tel.C.Pres.Load(); pres < traced.DRAM.Pres {
+		t.Errorf("telemetry pres = %d < measured %d", pres, traced.DRAM.Pres)
+	}
+	if rd := tel.C.Reads.Load(); rd < traced.DRAM.Reads {
+		t.Errorf("telemetry reads = %d < measured %d", rd, traced.DRAM.Reads)
+	}
+	if tel.C.ReadLatency.N() == 0 || tel.C.RowOpen.N() == 0 || tel.C.InterACT.N() == 0 {
+		t.Error("latency histograms not fed")
+	}
+	return tel
+}
+
+// TestTelemetryNonPerturbingBaseline pins the contract on plain DDR4.
+func TestTelemetryNonPerturbingBaseline(t *testing.T) {
+	tel := compareTelemetry(t, func() *config.System { return config.Baseline(config.DefaultBusMHz) },
+		[]string{"mcf"})
+	if tel.C.EWLRHits.Load()+tel.C.PlaneConflicts.Load()+tel.C.RAPRedirects.Load() != 0 {
+		t.Error("baseline DDR4 must not report ERUCA mechanism events")
+	}
+	if tel.C.FFCyclesSkipped.Load() == 0 {
+		t.Error("fast-forward run skipped no cycles")
+	}
+}
+
+// TestTelemetryNonPerturbingERUCA pins the contract on the full ERUCA
+// configuration and proves the mechanism counters actually fire there:
+// plane-latch conflicts, partial precharges, DDB savings and the
+// EWLR hit/miss split all observe real events.
+func TestTelemetryNonPerturbingERUCA(t *testing.T) {
+	tel := compareTelemetry(t, func() *config.System { return config.VSB(4, true, true, true, config.DefaultBusMHz) },
+		[]string{"mcf", "lbm", "omnetpp", "gemsFDTD"})
+	if tel.C.PlaneConflicts.Load() == 0 {
+		t.Error("no plane conflicts observed on the 4-plane VSB config")
+	}
+	if tel.C.EWLRHits.Load()+tel.C.EWLRMisses.Load() == 0 {
+		t.Error("EWLR hit/miss counters untouched under an EWLR scheme")
+	}
+	if tel.C.DDBSavedCK.Load() == 0 {
+		t.Error("DDB saved no bus cycles on a dual-data-bus config")
+	}
+	if len(tel.Events()) == 0 {
+		t.Error("no events captured")
+	}
+	// Every captured DRAM event carries valid coordinates.
+	for _, e := range tel.Events() {
+		if e.Kind <= telemetry.EvREF && int(e.Chan) >= 8 {
+			t.Fatalf("implausible channel in %v", e)
+		}
+	}
+}
+
+// TestTelemetrySharedAcrossConcurrentRuns proves one Set can serve
+// several simulations at once (the erucabench/erucad sharing pattern):
+// run-id stamping happens at the emitter, the rings stay race-clean,
+// and the counters sum both runs.
+func TestTelemetrySharedAcrossConcurrentRuns(t *testing.T) {
+	tel := telemetry.New()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			opt := Options{
+				Sys: config.VSB(4, true, true, true, config.DefaultBusMHz),
+				Benches: []string{"mcf"}, Instrs: 10_000, Frag: 0.1, Seed: int64(7 + i),
+				Telemetry: tel,
+			}
+			_, errs[i] = Run(opt)
+		}(i)
+	}
+	// Concurrent reader: the live-introspection path.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = tel.Snapshot(32)
+			_ = tel.Recent(-1, -1, 64)
+		}
+	}()
+	wg.Wait()
+	<-done
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	if got := len(tel.Runs()); got != 2 {
+		t.Fatalf("registered runs = %d, want 2", got)
+	}
+	runsSeen := map[uint16]bool{}
+	for _, e := range tel.Events() {
+		runsSeen[e.Run] = true
+	}
+	if len(runsSeen) != 2 {
+		t.Fatalf("captured events tag %d distinct runs, want 2", len(runsSeen))
+	}
+}
+
+// TestTelemetryFFSkipAccounting proves the skip counter equals the
+// cycles the event-driven loop jumped: bare per-cycle and fast-forward
+// runs agree on bus cycles, so the skipped total must be consistent
+// between the modes (zero when fast-forward is off).
+func TestTelemetryFFSkipAccounting(t *testing.T) {
+	mk := func(noFF bool) (*Result, *telemetry.Set) {
+		tel := telemetry.New()
+		opt := ffOptions(config.Baseline(config.DefaultBusMHz), []string{"mcf"}, noFF)
+		opt.Telemetry = tel
+		res, err := Run(opt)
+		if err != nil {
+			t.Fatalf("run(noFF=%v): %v", noFF, err)
+		}
+		return res, tel
+	}
+	_, plainTel := mk(true)
+	if got := plainTel.C.FFCyclesSkipped.Load(); got != 0 {
+		t.Errorf("per-cycle run reports %d skipped cycles", got)
+	}
+	fastRes, fastTel := mk(false)
+	skipped := fastTel.C.FFCyclesSkipped.Load()
+	if skipped == 0 {
+		t.Fatal("fast-forward run skipped nothing")
+	}
+	if skipped >= uint64(fastRes.BusCycles) {
+		t.Errorf("skipped %d >= total bus cycles %d", skipped, fastRes.BusCycles)
+	}
+}

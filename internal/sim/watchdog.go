@@ -9,6 +9,7 @@ import (
 	"eruca/internal/cpu"
 	"eruca/internal/faults"
 	"eruca/internal/memctrl"
+	"eruca/internal/telemetry"
 )
 
 // DefaultProgressBudget is the forward-progress watchdog's default: how
@@ -121,7 +122,8 @@ func (w *watchdogState) deadline(bus clock.Cycle, ctls []*memctrl.Controller) cl
 // buildDeadlockReport renders the full system snapshot attached to a
 // DeadlockError.
 func buildDeadlockReport(kind string, bus clock.Cycle, idle clock.Cycle,
-	cores []*cpu.Core, ctls []*memctrl.Controller, checkers []*check.Checker, plan *faults.Plan) string {
+	cores []*cpu.Core, ctls []*memctrl.Controller, checkers []*check.Checker, plan *faults.Plan,
+	tel *telemetry.Set) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "watchdog %s: bus cycle %d, %d cycles since last progress\n", kind, bus, idle)
 	fmt.Fprintf(&b, "fault plan: %s\n", plan.String())
@@ -142,6 +144,12 @@ func buildDeadlockReport(kind string, bus clock.Cycle, idle clock.Cycle,
 	}
 	for i, ck := range checkers {
 		fmt.Fprintf(&b, "channel %d %s", i, ck.Recorder().Dump())
+	}
+	if tail := tel.Recent(-1, -1, check.TraceTail); len(tail) > 0 {
+		fmt.Fprintf(&b, "last %d telemetry events:\n", len(tail))
+		for _, ev := range tail {
+			fmt.Fprintf(&b, "  %s\n", ev)
+		}
 	}
 	return b.String()
 }

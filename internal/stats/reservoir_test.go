@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestReservoirExactUnderCapacity proves the bounded sampler degrades
+// to the exact sampler while the stream fits in the reservoir.
+func TestReservoirExactUnderCapacity(t *testing.T) {
+	var exact, bounded Sampler
+	bounded.Reservoir(100, 1)
+	for i := 0; i < 100; i++ {
+		v := float64(i * 3)
+		exact.Add(v)
+		bounded.Add(v)
+	}
+	if exact.Mean() != bounded.Mean() {
+		t.Errorf("mean %v != %v", exact.Mean(), bounded.Mean())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.99, 1} {
+		if exact.Quantile(q) != bounded.Quantile(q) {
+			t.Errorf("q%.2f: %v != %v", q, exact.Quantile(q), bounded.Quantile(q))
+		}
+	}
+	if bounded.Retained() != 100 || bounded.N() != 100 {
+		t.Errorf("retained/n = %d/%d", bounded.Retained(), bounded.N())
+	}
+}
+
+// TestReservoirEquivalence is the Fig16a-path satellite check: a
+// bounded reservoir over a long stream keeps Mean and N exact and its
+// quantiles within tight error bounds of the full-sample quantiles.
+// The stream is adversarially non-stationary (drifting lognormal) so a
+// windowed or biased sampler would fail.
+func TestReservoirEquivalence(t *testing.T) {
+	const (
+		n = 200_000
+		k = 8192
+	)
+	rng := rand.New(rand.NewSource(99))
+	var exact, bounded Sampler
+	bounded.Reservoir(k, 0x43a7_90e5)
+	var sum float64
+	for i := 0; i < n; i++ {
+		drift := 1 + float64(i)/float64(n) // latencies grow as queues fill
+		v := math.Exp(rng.NormFloat64()*0.5) * 100 * drift
+		sum += v
+		exact.Add(v)
+		bounded.Add(v)
+	}
+	if bounded.N() != n {
+		t.Fatalf("N = %d, want %d (exact through sampling)", bounded.N(), n)
+	}
+	if bounded.Retained() != k {
+		t.Fatalf("retained = %d, want %d", bounded.Retained(), k)
+	}
+	if got, want := bounded.Mean(), sum/n; math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("mean = %v, want exact %v", got, want)
+	}
+	// Quantile error bound: for a uniform k-reservoir the rank error is
+	// O(1/sqrt(k)); with k=8192 a 5% relative tolerance on mid quantiles
+	// is conservative by an order of magnitude.
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.9, 0.99} {
+		e, b := exact.Quantile(q), bounded.Quantile(q)
+		if rel := math.Abs(e-b) / e; rel > 0.05 {
+			t.Errorf("q%.2f: exact %v vs reservoir %v (rel err %.3f > 0.05)", q, e, b, rel)
+		}
+	}
+}
+
+// TestReservoirDeterministic proves the fixed-seed reservoir is
+// reproducible — the property that keeps sweep tables byte-identical
+// at any parallelism.
+func TestReservoirDeterministic(t *testing.T) {
+	run := func() []float64 {
+		var s Sampler
+		s.Reservoir(64, 7)
+		for i := 0; i < 10_000; i++ {
+			s.Add(float64(i%977) + 0.25)
+		}
+		out := append([]float64(nil), s.Values()...)
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("retained sample %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestReservoirMergeKeepsExactMoments proves Merge keeps N and Mean
+// exact even when the other sampler dropped samples to its reservoir.
+func TestReservoirMergeKeepsExactMoments(t *testing.T) {
+	var a Sampler
+	a.Add(10)
+	a.Add(20)
+	var b Sampler
+	b.Reservoir(8, 3)
+	var bsum float64
+	for i := 0; i < 1000; i++ {
+		v := float64(i)
+		b.Add(v)
+		bsum += v
+	}
+	a.Merge(&b, 1)
+	if got, want := a.N(), 1002; got != want {
+		t.Fatalf("merged N = %d, want %d", got, want)
+	}
+	wantMean := (10 + 20 + bsum) / 1002
+	if got := a.Mean(); math.Abs(got-wantMean) > 1e-9 {
+		t.Fatalf("merged mean = %v, want %v", got, wantMean)
+	}
+}

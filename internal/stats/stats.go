@@ -7,37 +7,75 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 
 	"eruca/internal/diag"
 )
 
 // Sampler accumulates float64 samples and reports summary statistics.
-// The zero value is ready to use. Samples are retained, so memory is
-// O(n); the simulator produces at most a few hundred thousand samples
-// per run.
+// The zero value is ready to use and retains every sample (O(n) memory).
+// Reservoir arms a bounded streaming mode that keeps a uniform random
+// subset of fixed size for quantiles while the count and sum — hence N
+// and Mean — stay exact.
 type Sampler struct {
 	vals   []float64
 	sum    float64
 	sorted bool
+
+	n   int        // total samples observed (== len(vals) when unbounded)
+	cap int        // reservoir capacity; 0 = retain everything
+	rng *rand.Rand // replacement PRNG (reservoir mode only)
 }
+
+// Reservoir bounds the sampler to k retained samples using Vitter's
+// Algorithm R with a deterministic PRNG: each observed sample has
+// probability k/n of being retained, so nearest-rank quantiles over the
+// retained set converge to the true quantiles with error O(1/sqrt(k)).
+// The same seed always retains the same subset for the same input
+// stream, keeping sweep tables byte-identical at any parallelism. Must
+// be called before the first Add.
+func (s *Sampler) Reservoir(k int, seed int64) {
+	diag.Invariant(len(s.vals) == 0, "stats: Reservoir armed on a non-empty sampler (n=%d)", len(s.vals))
+	diag.Invariant(k > 0, "stats: non-positive reservoir capacity %d", k)
+	s.cap = k
+	s.rng = rand.New(rand.NewSource(seed))
+}
+
+// Bounded reports whether the sampler is in reservoir mode.
+func (s *Sampler) Bounded() bool { return s.cap > 0 }
 
 // Add records a sample.
 func (s *Sampler) Add(v float64) {
-	s.vals = append(s.vals, v)
+	s.n++
 	s.sum += v
+	if s.cap > 0 && len(s.vals) >= s.cap {
+		// Algorithm R: the new sample displaces a uniformly random
+		// retained one with probability cap/n. The retained set stays an
+		// exchangeable uniform subset even though Quantile sorts in place.
+		if j := s.rng.Intn(s.n); j < s.cap {
+			s.vals[j] = v
+			s.sorted = false
+		}
+		return
+	}
+	s.vals = append(s.vals, v)
 	s.sorted = false
 }
 
-// N reports the sample count.
-func (s *Sampler) N() int { return len(s.vals) }
+// N reports the total number of samples observed (exact in both modes).
+func (s *Sampler) N() int { return s.n }
 
-// Mean reports the arithmetic mean (0 for an empty sampler).
+// Retained reports how many samples are resident for quantile queries.
+func (s *Sampler) Retained() int { return len(s.vals) }
+
+// Mean reports the arithmetic mean over every observed sample (exact in
+// both modes; 0 for an empty sampler).
 func (s *Sampler) Mean() float64 {
-	if len(s.vals) == 0 {
+	if s.n == 0 {
 		return 0
 	}
-	return s.sum / float64(len(s.vals))
+	return s.sum / float64(s.n)
 }
 
 // Quantile reports the q-quantile (0 <= q <= 1) by nearest-rank on the
@@ -73,11 +111,20 @@ func (s *Sampler) Max() float64 { return s.Quantile(1) }
 // modify the returned slice.
 func (s *Sampler) Values() []float64 { return s.vals }
 
-// Merge adds every sample of other, scaled by the given factor — used to
-// combine per-channel cycle samplers into one nanosecond distribution.
+// Merge adds every retained sample of other, scaled by the given factor
+// — used to combine per-channel cycle samplers into one nanosecond
+// distribution. When other is a bounded reservoir, the samples its
+// reservoir dropped still contribute to the merged count and sum, so N
+// and Mean stay exact end to end.
 func (s *Sampler) Merge(other *Sampler, scale float64) {
+	var retained float64
 	for _, v := range other.vals {
 		s.Add(v * scale)
+		retained += v
+	}
+	if extra := other.n - len(other.vals); extra > 0 {
+		s.n += extra
+		s.sum += (other.sum - retained) * scale
 	}
 }
 

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Compact binary spill format for >10M-event runs, where JSON would be
+// 10× larger and slower to write on the hot path.
+//
+// Layout (little-endian):
+//
+//	header:  8-byte magic "ERUCATL1"
+//	records: 32 bytes each —
+//	  [0:8]   At   int64
+//	  [8:12]  Row  uint32
+//	  [12:16] Arg  uint32
+//	  [16:18] Run  uint16
+//	  [18]    Kind
+//	  [19]    Flag
+//	  [20]    Chan
+//	  [21]    Rank
+//	  [22]    Grp
+//	  [23]    Bank
+//	  [24]    Sub
+//	  [25]    Slot
+//	  [26:32] reserved (zero)
+
+// Magic identifies a binary telemetry spill file.
+const Magic = "ERUCATL1"
+
+const recordSize = 32
+
+// WriteBinaryHeader writes the spill-file magic.
+func WriteBinaryHeader(w io.Writer) error {
+	_, err := io.WriteString(w, Magic)
+	return err
+}
+
+func marshalEvent(e Event, b *[recordSize]byte) {
+	binary.LittleEndian.PutUint64(b[0:], uint64(e.At))
+	binary.LittleEndian.PutUint32(b[8:], e.Row)
+	binary.LittleEndian.PutUint32(b[12:], e.Arg)
+	binary.LittleEndian.PutUint16(b[16:], e.Run)
+	b[18] = byte(e.Kind)
+	b[19] = byte(e.Flag)
+	b[20] = e.Chan
+	b[21] = e.Rank
+	b[22] = e.Grp
+	b[23] = e.Bank
+	b[24] = e.Sub
+	b[25] = e.Slot
+	for i := 26; i < recordSize; i++ {
+		b[i] = 0
+	}
+}
+
+func writeBinaryEvent(w io.Writer, e Event) error {
+	var b [recordSize]byte
+	marshalEvent(e, &b)
+	_, err := w.Write(b[:])
+	return err
+}
+
+// WriteBinary writes a complete spill file: header plus every event.
+func WriteBinary(w io.Writer, events []Event) error {
+	if err := WriteBinaryHeader(w); err != nil {
+		return err
+	}
+	var b [recordSize]byte
+	for _, e := range events {
+		marshalEvent(e, &b)
+		if _, err := w.Write(b[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBinary parses a spill file produced by WriteBinary or the Set's
+// spill path. It validates the magic and requires whole records.
+func ReadBinary(r io.Reader) ([]Event, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("telemetry: reading magic: %w", err)
+	}
+	if string(magic[:]) != Magic {
+		return nil, fmt.Errorf("telemetry: bad magic %q (want %q)", magic[:], Magic)
+	}
+	var out []Event
+	var b [recordSize]byte
+	for {
+		_, err := io.ReadFull(r, b[:])
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: truncated record %d: %w", len(out), err)
+		}
+		out = append(out, Event{
+			At:   int64(binary.LittleEndian.Uint64(b[0:])),
+			Row:  binary.LittleEndian.Uint32(b[8:]),
+			Arg:  binary.LittleEndian.Uint32(b[12:]),
+			Run:  binary.LittleEndian.Uint16(b[16:]),
+			Kind: Kind(b[18]),
+			Flag: Flag(b[19]),
+			Chan: b[20],
+			Rank: b[21],
+			Grp:  b[22],
+			Bank: b[23],
+			Sub:  b[24],
+			Slot: b[25],
+		})
+	}
+}

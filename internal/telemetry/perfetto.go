@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Perfetto / Chrome trace-event JSON exporter.
+//
+// Layout: one trace-event "process" per run (pid = run index, named by
+// BeginRun), one "thread" per bank (tid encodes chan/rank/group/bank, so
+// each bank gets its own track). Row open lifetimes are async spans
+// ("b"/"e") from ACT to the matching PRE, with the sub-bank and MASA slot
+// in the async id so concurrent sub-bank rows render as parallel span
+// rows under the bank track. Column commands, refreshes and the ERUCA
+// mechanism events render as instants ("i"). Timestamps are bus cycles
+// reported as microseconds (1 cycle == 1 µs in the viewer; the absolute
+// scale is irrelevant, relative spacing is exact).
+//
+// Output is deterministic for a given event slice: metadata records are
+// emitted in first-appearance order and events in emit order, so the
+// golden-file test can compare bytes.
+
+// tid packs the bank coordinates into a stable track id.
+func tid(e Event) uint64 {
+	return uint64(e.Chan)<<24 | uint64(e.Rank)<<16 | uint64(e.Grp)<<8 | uint64(e.Bank)
+}
+
+// spanID packs the sub-bank/slot into the async span id namespace so each
+// (bank, sub, slot) has its own open-row span lane.
+func spanID(e Event) uint64 {
+	return tid(e)<<16 | uint64(e.Sub)<<8 | uint64(e.Slot)
+}
+
+// WriteTrace renders events as Chrome trace-event JSON ("traceEvents"
+// array form) loadable by Perfetto and chrome://tracing. runs supplies
+// the process names (index = Event.Run); a missing name falls back to
+// "run N".
+func WriteTrace(w io.Writer, events []Event, runs []string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"traceEvents\":[\n")
+	first := true
+	emit := func(format string, args ...interface{}) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+
+	runName := func(run uint16) string {
+		if int(run) < len(runs) {
+			return runs[run]
+		}
+		return fmt.Sprintf("run %d", run)
+	}
+
+	// Metadata in first-appearance order.
+	seenProc := map[uint16]bool{}
+	seenThread := map[uint64]bool{}
+	meta := func(e Event) {
+		if !seenProc[e.Run] {
+			seenProc[e.Run] = true
+			emit(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":%q}}`, e.Run, runName(e.Run))
+		}
+		if e.Kind == EvFFSkip {
+			return // FFSkip renders on a per-run pseudo-track below
+		}
+		t := tid(e)
+		key := uint64(e.Run)<<32 | t
+		if !seenThread[key] {
+			seenThread[key] = true
+			emit(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"ch%d rk%d bg%d bk%d"}}`,
+				e.Run, t, e.Chan, e.Rank, e.Grp, e.Bank)
+		}
+	}
+
+	// open tracks currently open row spans so PRE can close the right
+	// one; PREA closes every open span of its rank.
+	type openKey struct {
+		run uint16
+		id  uint64
+	}
+	open := map[openKey]Event{}
+
+	closeSpan := func(act Event, at int64, e Event) {
+		name := fmt.Sprintf("row %#x", act.Row)
+		extra := ""
+		if e.Flag&FlagPlaneConflict != 0 {
+			extra = `,"args":{"plane_conflict":true}`
+		} else if e.Flag&FlagPartial != 0 {
+			extra = `,"args":{"partial":true}`
+		}
+		emit(`{"ph":"b","cat":"row","id":%d,"pid":%d,"tid":%d,"ts":%d,"name":%q%s}`,
+			spanID(act), act.Run, tid(act), act.At, name, actArgs(act))
+		emit(`{"ph":"e","cat":"row","id":%d,"pid":%d,"tid":%d,"ts":%d,"name":%q%s}`,
+			spanID(act), act.Run, tid(act), at, name, extra)
+	}
+
+	for _, e := range events {
+		meta(e)
+		switch e.Kind {
+		case EvACT:
+			k := openKey{e.Run, spanID(e)}
+			if prev, ok := open[k]; ok {
+				// Missing PRE in the captured window — close at the new ACT.
+				closeSpan(prev, e.At, Event{})
+			}
+			open[k] = e
+		case EvPRE:
+			k := openKey{e.Run, spanID(e)}
+			if act, ok := open[k]; ok {
+				closeSpan(act, e.At, e)
+				delete(open, k)
+			} else {
+				emit(`{"ph":"i","s":"t","cat":"cmd","pid":%d,"tid":%d,"ts":%d,"name":"PRE"}`,
+					e.Run, tid(e), e.At)
+			}
+		case EvPREA:
+			// Deterministic close order: map iteration is randomized, so
+			// collect and sort the matching span ids first.
+			var ids []uint64
+			for k, act := range open {
+				if k.run == e.Run && act.Chan == e.Chan && act.Rank == e.Rank {
+					ids = append(ids, k.id)
+				}
+			}
+			sortIDs(ids)
+			for _, id := range ids {
+				k := openKey{e.Run, id}
+				closeSpan(open[k], e.At, e)
+				delete(open, k)
+			}
+			emit(`{"ph":"i","s":"t","cat":"cmd","pid":%d,"tid":%d,"ts":%d,"name":"PREA"}`,
+				e.Run, tid(e), e.At)
+		case EvRD, EvWR, EvREF:
+			emit(`{"ph":"i","s":"t","cat":"cmd","pid":%d,"tid":%d,"ts":%d,"name":%q}`,
+				e.Run, tid(e), e.At, e.Kind.String())
+		case EvRAPRemap:
+			emit(`{"ph":"i","s":"t","cat":"eruca","pid":%d,"tid":%d,"ts":%d,"name":"RAP remap","args":{"row":%d,"sub":%d}}`,
+				e.Run, tid(e), e.At, e.Row, e.Sub)
+		case EvDDBGrant:
+			emit(`{"ph":"i","s":"t","cat":"eruca","pid":%d,"tid":%d,"ts":%d,"name":"DDB grant","args":{"saved_ck":%d}}`,
+				e.Run, tid(e), e.At, e.Arg)
+		case EvFFSkip:
+			emit(`{"ph":"X","cat":"runloop","pid":%d,"tid":4294967295,"ts":%d,"dur":%d,"name":"fast-forward"}`,
+				e.Run, e.At, e.Arg)
+		}
+	}
+
+	// Close dangling spans at their own ACT cycle + 1 so partial windows
+	// still load (deterministic order: iterate events again).
+	for _, e := range events {
+		if e.Kind != EvACT {
+			continue
+		}
+		k := openKey{e.Run, spanID(e)}
+		if act, ok := open[k]; ok && act == e {
+			closeSpan(act, act.At+1, Event{})
+			delete(open, k)
+		}
+	}
+
+	fmt.Fprintf(bw, "\n],\"displayTimeUnit\":\"ns\"}\n")
+	return bw.Flush()
+}
+
+// sortIDs orders span ids ascending (insertion sort; PREA closes at
+// most a rank's worth of spans).
+func sortIDs(ids []uint64) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// actArgs renders the ACT's mechanism annotations as a trace-event args
+// object (empty string when there is nothing to say).
+func actArgs(act Event) string {
+	switch {
+	case act.Flag&FlagEWLRHit != 0 && act.Flag&FlagRAPRemap != 0:
+		return `,"args":{"ewlr":"hit","rap":true}`
+	case act.Flag&FlagEWLRHit != 0:
+		return `,"args":{"ewlr":"hit"}`
+	case act.Flag&FlagRAPRemap != 0 && act.Flag&FlagEWLRMiss != 0:
+		return `,"args":{"ewlr":"miss","rap":true}`
+	case act.Flag&FlagRAPRemap != 0:
+		return `,"args":{"rap":true}`
+	case act.Flag&FlagEWLRMiss != 0:
+		return `,"args":{"ewlr":"miss"}`
+	}
+	return ""
+}
+
+// WriteTraceFromSet is the convenience used by the -trace-out flag: dump
+// the Set's capture buffer with its run names.
+func WriteTraceFromSet(w io.Writer, s *Set) error {
+	return WriteTrace(w, s.Events(), s.Runs())
+}

@@ -9,12 +9,19 @@
 # bench-baseline` (scripts/bench_json.awk); the second is raw benchmark
 # text. Exit status is 1 when any benchmark regresses by more than tol
 # percent (default 10): slower ns/op, lower instrs/s, or more B/op or
-# allocs/op. Simulated bus-cycle counts are deterministic, so ANY
-# buscycles drift is flagged regardless of tolerance — it means the
+# allocs/op. Simulated bus-cycle counts and the mechanism counters
+# (planeconf, ewlrhits, rapredir, ddbsavedck) are deterministic, so ANY
+# drift in them is flagged regardless of tolerance — it means the
 # simulation result changed, not just its speed.
 BEGIN {
 	if (tol == "") tol = 10
 	bad = 0
+	# Units that are simulation results, not speeds: exact match required.
+	det["buscycles"] = 1
+	det["planeconf"] = 1
+	det["ewlrhits"] = 1
+	det["rapredir"] = 1
+	det["ddbsavedck"] = 1
 }
 
 # --- pass 1: the JSON baseline (one benchmark object per line) ---
@@ -50,13 +57,13 @@ FNR == NR {
 		delta = (b == 0) ? 0 : 100 * (v - b) / b
 		# Higher-is-better metrics regress downward.
 		worse = (unit == "instrs_per_s") ? -delta : delta
-		if (unit == "buscycles" && v != b) {
-			printf "DRIFT    %-50s %-13s %s -> %s (simulated cycles changed)\n", name, unit, b, v
+		if ((unit in det) && v != b) {
+			printf "DRIFT    %-50s %-13s %s -> %s (simulation result changed)\n", name, unit, b, v
 			bad = 1
-		} else if (unit != "buscycles" && worse > tol) {
+		} else if (!(unit in det) && worse > tol) {
 			printf "REGRESS  %-50s %-13s %s -> %s (%+.1f%%)\n", name, unit, b, v, delta
 			bad = 1
-		} else if (unit != "buscycles") {
+		} else if (!(unit in det)) {
 			printf "ok       %-50s %-13s %s -> %s (%+.1f%%)\n", name, unit, b, v, delta
 		}
 	}
