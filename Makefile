@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race chaos fuzz-smoke verify bench bench-baseline bench-compare clean
+.PHONY: build vet test race chaos chaos-restart fuzz-smoke verify bench bench-baseline bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -28,10 +28,20 @@ race:
 chaos:
 	$(GO) test -count=1 -v -run 'Chaos|RunOOM' ./internal/sim/
 
-# Short fuzz of the fault-plan parser (corpus under
-# internal/faults/testdata/fuzz/ keeps regressions pinned).
+# Kill-restart chaos harness against the real erucad binary: SIGKILL
+# mid-sweep, restart on the same WAL directory, and require every job to
+# complete with results byte-identical to an uninterrupted daemon.
+chaos-restart:
+	ERUCA_CHAOS_RESTART=1 $(GO) test -count=1 -v -timeout 15m \
+		-run 'ChaosKillRestart' ./cmd/erucad/
+
+# Short fuzz of the hostile-input decoders: the fault-plan parser
+# (corpus under internal/faults/testdata/fuzz/ keeps regressions pinned)
+# and the snapshot container decoder (must reject corruption with typed
+# errors, never panic or over-allocate).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzFaultPlan' -fuzztime 10s ./internal/faults/
+	$(GO) test -run '^$$' -fuzz 'FuzzDecode' -fuzztime 10s ./internal/snapshot/
 
 # verify is the tier-1 gate plus the race and chaos smokes.
 verify: vet build test race chaos

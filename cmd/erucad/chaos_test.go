@@ -1,0 +1,298 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestChaosKillRestart is the end-to-end crash-safety proof, run
+// against the real binary: a daemon is SIGKILLed mid-sweep (no drain,
+// no warning — exactly what a crash looks like), restarted on the same
+// WAL directory, and must then (a) re-run every unfinished job to
+// completion, resuming from the checkpoint blobs instead of cycle zero,
+// (b) keep already-finished results fetchable, (c) answer an
+// Idempotency-Key retry with the original job, and (d) produce results
+// byte-identical to an uninterrupted daemon running the same specs.
+//
+// Multi-process and multi-second, so it only runs when asked:
+//
+//	ERUCA_CHAOS_RESTART=1 go test ./cmd/erucad/ -run ChaosKillRestart
+//
+// (`make chaos-restart` and the CI chaos-restart job set this.)
+func TestChaosKillRestart(t *testing.T) {
+	if os.Getenv("ERUCA_CHAOS_RESTART") == "" {
+		t.Skip("set ERUCA_CHAOS_RESTART=1 to run the kill-restart chaos harness")
+	}
+
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "erucad")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build erucad: %v\n%s", err, out)
+	}
+
+	addr := freeAddr(t)
+	base := "http://" + addr
+	walDir := filepath.Join(tmp, "wal")
+	start := func(logName string) *exec.Cmd {
+		logf, err := os.Create(filepath.Join(tmp, logName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command(bin,
+			"-addr", addr, "-wal", walDir,
+			"-workers", "2", "-checkpoint-cycles", "100000",
+			"-drain-timeout", "5s")
+		cmd.Stdout, cmd.Stderr = logf, logf
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		waitHealthy(t, base)
+		return cmd
+	}
+
+	// The mid-sized sweep: long enough that the kill lands mid-run, on a
+	// mix of systems so recovery crosses runner groups.
+	specs := []map[string]any{
+		{"kind": "sim", "system": "ddr4", "mix": "mix0", "instrs": 2_000_000, "frag": 0.1},
+		{"kind": "sim", "system": "vsb-ewlr-rap-ddb", "mix": "mix0", "instrs": 2_000_000, "frag": 0.1},
+		{"kind": "sim", "system": "ddr4", "mix": "mix1", "instrs": 2_000_000, "frag": 0.1},
+		{"kind": "sim", "system": "vsb-naive-ddb", "mix": "mix1", "instrs": 2_000_000, "frag": 0.1},
+	}
+	key := func(i int) string { return fmt.Sprintf("chaos-%d", i) }
+
+	daemon := start("daemon1.log")
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		id, code := postJob(t, base, spec, key(i))
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d", i, code)
+		}
+		ids[i] = id
+	}
+
+	// Kill only after checkpoint blobs exist (so the restart actually
+	// has something to resume from) — a SIGKILL, not a drain.
+	ckptDir := filepath.Join(walDir, "checkpoints")
+	deadline := time.Now().Add(120 * time.Second)
+	for countCkpts(ckptDir) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint blob appeared before the kill window")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := daemon.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_ = daemon.Wait()
+
+	// Restart on the same WAL directory.
+	daemon2 := start("daemon2.log")
+	defer func() {
+		_ = daemon2.Process.Signal(syscall.SIGKILL)
+		_ = daemon2.Wait()
+	}()
+
+	// (a) Every journaled job must come back and reach done.
+	results := make(map[string]string, len(ids))
+	deadline = time.Now().Add(300 * time.Second)
+	for _, id := range ids {
+		for {
+			v := getJob(t, base, id)
+			if v.State == "done" {
+				results[id] = v.Result
+				break
+			}
+			if v.State == "failed" || v.State == "canceled" {
+				t.Fatalf("recovered job %s ended %s: %+v", id, v.State, v.Error)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("recovered job %s still %s", id, v.State)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	// (b/resume) At least one job's progress log must show a checkpoint
+	// resume — proof the recovery did not restart everything from zero.
+	resumed := false
+	for _, id := range ids {
+		if strings.Contains(eventLog(t, base, id), "resuming") {
+			resumed = true
+			break
+		}
+	}
+	if !resumed {
+		t.Error("no recovered job resumed from a checkpoint")
+	}
+
+	// (c) An Idempotency-Key retry of the first spec returns the
+	// original job (200, same ID) — the crash did not eat the key.
+	id, code := postJob(t, base, specs[0], key(0))
+	if code != http.StatusOK || id != ids[0] {
+		t.Errorf("idempotent retry after crash: status %d id %s, want 200 %s", code, id, ids[0])
+	}
+
+	// (d) Byte-identical to an uninterrupted daemon.
+	_ = daemon2.Process.Signal(syscall.SIGKILL)
+	_ = daemon2.Wait()
+	refWal := filepath.Join(tmp, "wal-ref")
+	refCmd := exec.Command(bin, "-addr", addr, "-wal", refWal, "-workers", "2")
+	refLog, err := os.Create(filepath.Join(tmp, "ref.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCmd.Stdout, refCmd.Stderr = refLog, refLog
+	if err := refCmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = refCmd.Process.Signal(syscall.SIGKILL)
+		_ = refCmd.Wait()
+	}()
+	waitHealthy(t, base)
+	for i, spec := range specs {
+		rid, code := postJob(t, base, spec, key(i))
+		if code != http.StatusAccepted {
+			t.Fatalf("reference submit %d: status %d", i, code)
+		}
+		for {
+			v := getJob(t, base, rid)
+			if v.State == "done" {
+				if v.Result != results[ids[i]] {
+					t.Errorf("spec %d: recovered result differs from uninterrupted reference", i)
+				}
+				break
+			}
+			if v.State == "failed" || v.State == "canceled" {
+				t.Fatalf("reference job %s ended %s", rid, v.State)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("reference job %s still %s", rid, v.State)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+}
+
+// freeAddr reserves a loopback port and releases it for the daemon.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// waitHealthy polls /healthz until the daemon answers.
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// jobView is the wire-level subset of the daemon's job JSON.
+type jobView struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Result string `json:"result"`
+	Error  *struct {
+		Message string `json:"message"`
+		Class   string `json:"class"`
+	} `json:"error"`
+}
+
+func postJob(t *testing.T, base string, spec map[string]any, idemKey string) (id string, code int) {
+	t.Helper()
+	b, _ := json.Marshal(spec)
+	req, err := http.NewRequest("POST", base+"/v1/jobs", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", idemKey)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v jobView
+	_ = json.NewDecoder(resp.Body).Decode(&v)
+	return v.ID, resp.StatusCode
+}
+
+func getJob(t *testing.T, base, id string) jobView {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// eventLog collects a terminal job's SSE replay buffer as one string.
+func eventLog(t *testing.T, base, id string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: done") {
+			break
+		}
+		if strings.HasPrefix(line, "data: ") {
+			b.WriteString(line[6:])
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// countCkpts counts checkpoint blobs under dir.
+func countCkpts(dir string) int {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".ckpt" {
+			n++
+		}
+	}
+	return n
+}

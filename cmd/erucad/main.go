@@ -5,11 +5,20 @@
 // singleflight runner, completed specs are served from a
 // content-addressed result cache, and SIGTERM drains gracefully —
 // admission stops, in-flight and queued jobs finish, and the cache is
-// flushed to disk for the next boot.
+// flushed to disk for the next boot. When the drain deadline passes
+// first, remaining jobs are journaled as interrupted and canceled
+// rather than hanging the shutdown.
+//
+// With -wal the daemon is crash-safe: submissions are journaled before
+// they are acknowledged, in-flight simulations checkpoint periodically,
+// and a restarted daemon replays the journal — finished jobs keep their
+// results, unfinished jobs re-run from their last checkpoint, and
+// Idempotency-Key retries land on the original jobs.
 //
 // Examples:
 //
 //	erucad -addr :8080 -cache eruca-cache.json
+//	erucad -addr :8080 -wal /var/lib/eruca/wal -drain-timeout 30s
 //	curl -XPOST localhost:8080/v1/jobs -d '{"kind":"sim","system":"ddr4","mix":"mix0","frag":0.1}'
 //	curl localhost:8080/v1/jobs/job-000001
 //	curl -N localhost:8080/v1/jobs/job-000001/events
@@ -43,7 +52,9 @@ func main() {
 		queueMax = flag.Int("queue", 64, "job queue bound (admission control)")
 		cacheMax = flag.Int("cache-entries", 256, "in-memory result cache entries")
 		cache    = flag.String("cache", "", "persist the result cache to this file across restarts")
-		drainFor = flag.Duration("drain", 60*time.Second, "graceful drain deadline on SIGTERM/SIGINT")
+		walDir   = flag.String("wal", "", "crash-safety directory: job journal + simulation checkpoints")
+		ckptEach = flag.Int64("checkpoint-cycles", 50_000, "simulation checkpoint cadence in bus cycles (with -wal)")
+		drainFor = flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM/SIGINT; past it, remaining jobs are journaled as interrupted and canceled")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
@@ -52,6 +63,7 @@ func main() {
 	srv, err := server.New(server.Config{
 		Workers: *workers, SimParallel: *parallel,
 		QueueMax: *queueMax, CacheMax: *cacheMax, CachePath: *cache,
+		WALDir: *walDir, CheckpointCycles: *ckptEach,
 		Pprof: *pprofOn,
 		Logf:  logger.Printf,
 	})

@@ -4,6 +4,14 @@
 // and prints the same table as examples/planesweep — except every row
 // came back over HTTP, deduplicated and cached by the daemon.
 //
+// The client is written the way a production consumer of the API should
+// be: submissions carry an Idempotency-Key (a retry after a lost
+// response lands on the original job, not a duplicate), 429/503
+// rejections back off exponentially with jitter while honoring the
+// daemon's Retry-After hint, and the SSE progress stream reconnects
+// with Last-Event-ID so a dropped connection resumes exactly where it
+// left off instead of replaying (or losing) lines.
+//
 // By default it self-hosts an in-process server on a loopback port so
 // `go run ./examples/serve` works with nothing else running; point
 // -addr at a real daemon (e.g. -addr localhost:8080) to use one.
@@ -14,10 +22,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -53,17 +64,10 @@ func main() {
 	submit := func(system string, planes int) string {
 		spec := server.JobSpec{Kind: "sim", System: system, Benches: benches,
 			Planes: planes, Instrs: *instrs, Frag: 0.1}
-		b, _ := json.Marshal(spec)
-		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(string(b)))
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer resp.Body.Close()
-		var v jobView
-		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil || resp.StatusCode != http.StatusAccepted {
-			log.Fatalf("submit %s/p%d: status %d (%v)", system, planes, resp.StatusCode, err)
-		}
-		return v.ID
+		// One deterministic key per logical job: a retried POST (lost
+		// response, daemon restart) returns the original job.
+		key := fmt.Sprintf("planesweep|%s|p%d|%d", system, planes, *instrs)
+		return submitWithRetry(base, spec, key)
 	}
 
 	// The batch: baseline DDR4 plus naive VSB and ERUCA (EWLR+RAP) at
@@ -124,28 +128,118 @@ func main() {
 	}
 }
 
-// stream prints one job's SSE event stream until its terminal "done"
-// frame.
-func stream(base, id string) {
-	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	sc := bufio.NewScanner(resp.Body)
-	done := false
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "event: done"):
-			done = true
-		case strings.HasPrefix(line, "data: ") && len(line) > 6:
-			if done {
-				fmt.Fprintf(os.Stderr, "job %s finished: %s\n", id, line[6:])
-				return
-			}
-			fmt.Fprintf(os.Stderr, "  %s\n", line[6:])
+// submitWithRetry POSTs the spec until the daemon accepts it. 429 (queue
+// full) and 503 (draining / restarting) are retried with exponential
+// backoff plus jitter, using the daemon's Retry-After hint as the floor
+// when present; every attempt carries the same Idempotency-Key, so a
+// retry after a dropped response returns the original job (200) instead
+// of enqueueing a duplicate.
+func submitWithRetry(base string, spec server.JobSpec, key string) string {
+	b, _ := json.Marshal(spec)
+	backoff := 250 * time.Millisecond
+	const backoffMax = 30 * time.Second
+	for attempt := 1; ; attempt++ {
+		req, err := http.NewRequest("POST", base+"/v1/jobs", strings.NewReader(string(b)))
+		if err != nil {
+			log.Fatal(err)
 		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Idempotency-Key", key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			// Connection-level failure (daemon restarting): same backoff.
+			fmt.Fprintf(os.Stderr, "submit attempt %d: %v; retrying\n", attempt, err)
+			backoff = sleepBackoff(backoff, backoffMax, 0)
+			continue
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted, http.StatusOK: // 200 = idempotent replay
+			var v jobView
+			err := json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+			if err != nil || v.ID == "" {
+				log.Fatalf("submit: bad response (%v)", err)
+			}
+			return v.ID
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			hint, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			fmt.Fprintf(os.Stderr, "submit attempt %d: %d (Retry-After %ds); backing off\n",
+				attempt, resp.StatusCode, hint)
+			backoff = sleepBackoff(backoff, backoffMax, time.Duration(hint)*time.Second)
+		default:
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			log.Fatalf("submit: status %d: %s", resp.StatusCode, body)
+		}
+	}
+}
+
+// sleepBackoff sleeps max(backoff, hint) with ±25% jitter and returns
+// the doubled (capped) backoff for the next attempt. The jitter keeps a
+// herd of rejected clients from retrying in lockstep.
+func sleepBackoff(backoff, limit, hint time.Duration) time.Duration {
+	d := backoff
+	if hint > d {
+		d = hint
+	}
+	jittered := time.Duration(float64(d) * (0.75 + 0.5*rand.Float64()))
+	time.Sleep(jittered)
+	if backoff *= 2; backoff > limit {
+		backoff = limit
+	}
+	return backoff
+}
+
+// stream prints one job's SSE event stream until its terminal "done"
+// frame, reconnecting with Last-Event-ID when the connection drops so
+// the progress log continues exactly where it left off.
+func stream(base, id string) {
+	lastID := -1
+	backoff := 250 * time.Millisecond
+	for {
+		req, err := http.NewRequest("GET", base+"/v1/jobs/"+id+"/events", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if lastID >= 0 {
+			req.Header.Set("Last-Event-ID", strconv.Itoa(lastID))
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			if resp != nil {
+				resp.Body.Close()
+			}
+			fmt.Fprintf(os.Stderr, "events: reconnecting (%v)\n", err)
+			backoff = sleepBackoff(backoff, 10*time.Second, 0)
+			continue
+		}
+		sc := bufio.NewScanner(resp.Body)
+		done := false
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: done"):
+				done = true
+			case strings.HasPrefix(line, "id: "):
+				if n, err := strconv.Atoi(line[4:]); err == nil {
+					lastID = n
+				}
+			case strings.HasPrefix(line, "data: ") && len(line) > 6:
+				if done {
+					fmt.Fprintf(os.Stderr, "job %s finished: %s\n", id, line[6:])
+					resp.Body.Close()
+					return
+				}
+				fmt.Fprintf(os.Stderr, "  %s\n", line[6:])
+			}
+		}
+		// Stream ended without a done frame: the connection dropped (or
+		// the daemon restarted). Resume from the last id seen.
+		resp.Body.Close()
+		fmt.Fprintf(os.Stderr, "events: stream dropped after id %d; reconnecting\n", lastID)
+		backoff = sleepBackoff(backoff, 10*time.Second, 0)
 	}
 }
 

@@ -1,0 +1,79 @@
+package cache
+
+import (
+	"fmt"
+
+	"eruca/internal/snapshot"
+)
+
+func (c *setAssoc) snapshot(e *snapshot.Encoder) {
+	e.U64(c.tick)
+	e.U64(c.hits)
+	e.U64(c.misses)
+	e.Int(len(c.sets))
+	if len(c.sets) > 0 {
+		e.Int(len(c.sets[0]))
+	} else {
+		e.Int(0)
+	}
+	for _, set := range c.sets {
+		for i := range set {
+			e.U64(set[i].tag)
+			e.Bool(set[i].valid)
+			e.Bool(set[i].dirty)
+			e.U64(set[i].used)
+		}
+	}
+}
+
+func (c *setAssoc) restore(d *snapshot.Decoder) error {
+	c.tick = d.U64()
+	c.hits = d.U64()
+	c.misses = d.U64()
+	nsets := d.Int()
+	ways := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if nsets != len(c.sets) || (nsets > 0 && ways != len(c.sets[0])) {
+		return fmt.Errorf("cache: snapshot geometry %dx%d does not match configured %dx%d",
+			nsets, ways, len(c.sets), len(c.sets[0]))
+	}
+	for _, set := range c.sets {
+		for i := range set {
+			set[i].tag = d.U64()
+			set[i].valid = d.Bool()
+			set[i].dirty = d.Bool()
+			set[i].used = d.U64()
+		}
+	}
+	return d.Err()
+}
+
+// Snapshot serializes the full hierarchy state: every line's tag,
+// valid/dirty bits and LRU timestamp, plus per-level hit/miss counters.
+func (h *Hierarchy) Snapshot(e *snapshot.Encoder) {
+	e.Int(len(h.l1))
+	for _, l1 := range h.l1 {
+		l1.snapshot(e)
+	}
+	h.llc.snapshot(e)
+}
+
+// Restore rebuilds the hierarchy state from a Snapshot stream into an
+// identically configured hierarchy.
+func (h *Hierarchy) Restore(d *snapshot.Decoder) error {
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n != len(h.l1) {
+		return fmt.Errorf("cache: snapshot has %d L1s, hierarchy has %d", n, len(h.l1))
+	}
+	for _, l1 := range h.l1 {
+		if err := l1.restore(d); err != nil {
+			return err
+		}
+	}
+	return h.llc.restore(d)
+}

@@ -1,0 +1,24 @@
+package core
+
+import (
+	"eruca/internal/clock"
+	"eruca/internal/snapshot"
+)
+
+// Snapshot serializes the window's mutable command history (the
+// configuration — enabled/tcw/twtrw — is rebuilt from the system
+// config on restore and is deliberately not stored).
+func (w *DDBWindow) Snapshot(e *snapshot.Encoder) {
+	e.I64(int64(w.lastRd[0]))
+	e.I64(int64(w.lastRd[1]))
+	e.I64(int64(w.lastWr[0]))
+	e.I64(int64(w.lastWr[1]))
+}
+
+// Restore rewinds the window's command history from a Snapshot stream.
+func (w *DDBWindow) Restore(d *snapshot.Decoder) {
+	w.lastRd[0] = clock.Cycle(d.I64())
+	w.lastRd[1] = clock.Cycle(d.I64())
+	w.lastWr[0] = clock.Cycle(d.I64())
+	w.lastWr[1] = clock.Cycle(d.I64())
+}

@@ -1,0 +1,173 @@
+package dram
+
+import (
+	"sort"
+
+	"eruca/internal/clock"
+	"eruca/internal/snapshot"
+)
+
+func snapshotCommand(e *snapshot.Encoder, c Command) {
+	e.U8(uint8(c.Kind))
+	e.Int(c.Rank)
+	e.Int(c.Group)
+	e.Int(c.Bank)
+	e.Int(c.Sub)
+	e.U32(c.Row)
+	e.Int(c.Slot)
+	e.Bool(c.EWLRHit)
+	e.Bool(c.Partial)
+	e.Bool(c.PlaneConflict)
+	e.Bool(c.RAPRedirect)
+}
+
+func restoreCommand(d *snapshot.Decoder) Command {
+	var c Command
+	c.Kind = CmdKind(d.U8())
+	c.Rank = d.Int()
+	c.Group = d.Int()
+	c.Bank = d.Int()
+	c.Sub = d.Int()
+	c.Row = d.U32()
+	c.Slot = d.Int()
+	c.EWLRHit = d.Bool()
+	c.Partial = d.Bool()
+	c.PlaneConflict = d.Bool()
+	c.RAPRedirect = d.Bool()
+	return c
+}
+
+// Snapshot serializes the auditor's full state: the complete observed
+// command history (so a resumed run's Result.AuditCommands spans the
+// whole run, enabling direct byte-for-byte comparison against an
+// uninterrupted reference), recorded violations, per-slot row tracking
+// and per-rank refresh accounting. Maps are written in sorted key order
+// for deterministic bytes.
+func (a *Auditor) Snapshot(e *snapshot.Encoder) {
+	e.Int(len(a.history))
+	for _, ev := range a.history {
+		snapshotCommand(e, ev.Cmd)
+		e.I64(int64(ev.At))
+	}
+	e.Int(len(a.violations))
+	for _, v := range a.violations {
+		e.I64(int64(v.At))
+		e.Str(v.Rule)
+		snapshotCommand(e, v.Cmd)
+		e.Str(v.Msg)
+	}
+
+	keys := make([]auditKey, 0, len(a.open))
+	for k := range a.open {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ki, kj := keys[i], keys[j]
+		if ki.rank != kj.rank {
+			return ki.rank < kj.rank
+		}
+		if ki.group != kj.group {
+			return ki.group < kj.group
+		}
+		if ki.bank != kj.bank {
+			return ki.bank < kj.bank
+		}
+		if ki.sub != kj.sub {
+			return ki.sub < kj.sub
+		}
+		return ki.slot < kj.slot
+	})
+	e.Int(len(keys))
+	for _, k := range keys {
+		st := a.open[k]
+		e.Int(k.rank)
+		e.Int(k.group)
+		e.Int(k.bank)
+		e.Int(k.sub)
+		e.Int(k.slot)
+		e.U32(st.row)
+		e.I64(int64(st.actAt))
+		e.I64(int64(st.lastRd))
+		e.I64(int64(st.lastWr))
+		e.I64(int64(st.preAt))
+		e.Bool(st.active)
+	}
+
+	snapshotIntCycleMap(e, a.blockedUntil)
+	snapshotIntCycleMap(e, a.lastRef)
+}
+
+func snapshotIntCycleMap(e *snapshot.Encoder, m map[int]clock.Cycle) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	e.Int(len(keys))
+	for _, k := range keys {
+		e.Int(k)
+		e.I64(int64(m[k]))
+	}
+}
+
+func restoreIntCycleMap(d *snapshot.Decoder) map[int]clock.Cycle {
+	n := d.Count(16)
+	m := make(map[int]clock.Cycle, n)
+	for i := 0; i < n; i++ {
+		k := d.Int()
+		m[k] = clock.Cycle(d.I64())
+	}
+	return m
+}
+
+// Restore rebuilds the auditor from a Snapshot stream. The auditor must
+// have been constructed with NewAuditor over the same configuration.
+func (a *Auditor) Restore(d *snapshot.Decoder) error {
+	nh := d.Count(20)
+	a.history = a.history[:0]
+	for i := 0; i < nh; i++ {
+		c := restoreCommand(d)
+		at := clock.Cycle(d.I64())
+		if d.Err() != nil {
+			return d.Err()
+		}
+		a.history = append(a.history, AuditedCommand{c, at})
+	}
+	nv := d.Count(20)
+	a.violations = a.violations[:0]
+	for i := 0; i < nv; i++ {
+		var v Violation
+		v.At = clock.Cycle(d.I64())
+		v.Rule = d.Str()
+		v.Cmd = restoreCommand(d)
+		v.Msg = d.Str()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		a.violations = append(a.violations, v)
+	}
+	no := d.Count(40)
+	a.open = make(map[auditKey]*auditRow, no)
+	for i := 0; i < no; i++ {
+		var k auditKey
+		k.rank = d.Int()
+		k.group = d.Int()
+		k.bank = d.Int()
+		k.sub = d.Int()
+		k.slot = d.Int()
+		st := &auditRow{}
+		st.row = d.U32()
+		st.actAt = clock.Cycle(d.I64())
+		st.lastRd = clock.Cycle(d.I64())
+		st.lastWr = clock.Cycle(d.I64())
+		st.preAt = clock.Cycle(d.I64())
+		st.active = d.Bool()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		a.open[k] = st
+	}
+	a.blockedUntil = restoreIntCycleMap(d)
+	a.lastRef = restoreIntCycleMap(d)
+	return d.Err()
+}

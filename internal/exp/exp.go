@@ -70,6 +70,14 @@ type Params struct {
 	// that cached or deduplicated results contribute no fresh events —
 	// the Set sees only simulations that actually execute.
 	Telemetry *telemetry.Set
+	// Ckpt, when non-nil, makes every launched simulation crash-safe:
+	// periodic state checkpoints flow to Ckpt.Save keyed by the
+	// simulation's cache key, and each launch first offers Ckpt.Load a
+	// chance to resume from a previous checkpoint. Tables stay
+	// byte-identical with the policy on or off (checkpoints never
+	// perturb a run, and a resumed run reproduces the uninterrupted
+	// one exactly).
+	Ckpt *CheckpointPolicy
 }
 
 // DefaultParams returns the harness defaults.
@@ -277,6 +285,16 @@ func (r *Runner) WithTelemetry(t *telemetry.Set) *Runner {
 	return &nr
 }
 
+// WithCheckpoint returns a view of the Runner whose simulations run
+// under the given checkpoint policy (see Params.Ckpt). Like WithLog,
+// the policy of the view that actually launches a simulation wins;
+// joiners of an in-flight or cached run trigger no checkpoint traffic.
+func (r *Runner) WithCheckpoint(p *CheckpointPolicy) *Runner {
+	nr := *r
+	nr.p.Ckpt = p
+	return &nr
+}
+
 // Parallel reports the configured worker-pool width.
 func (r *Runner) Parallel() int { return r.sh.parallel }
 
@@ -404,7 +422,7 @@ func (r *Runner) Result(sys *config.System, mix workload.Mix, frag float64) (*si
 	}
 	return lead(r, f, evict, func(ctx context.Context) (*sim.Result, error) {
 		r.logJob("run %-34s %s frag=%.1f", sysKey(sys), mix.Name, frag)
-		return r.run(sim.Options{
+		return r.runKeyed(key, sim.Options{
 			Ctx: ctx, Sys: sys, Benches: mix.Bench, Instrs: r.p.Instrs, Warmup: r.p.Warmup,
 			Frag: frag, Seed: r.p.Seed,
 		})
@@ -437,7 +455,7 @@ func (r *Runner) AloneIPC(bench string, frag, busMHz float64) (float64, error) {
 	}
 	return lead(r, f, evict, func(ctx context.Context) (float64, error) {
 		r.logJob("alone %-12s frag=%.1f bus=%.0f", bench, frag, busMHz)
-		res, err := r.run(sim.Options{
+		res, err := r.runKeyed("alone|"+key, sim.Options{
 			Ctx: ctx, Sys: config.Baseline(busMHz), Benches: []string{bench},
 			Instrs: r.p.Instrs, Warmup: r.p.Warmup, Frag: frag, Seed: r.p.Seed,
 		})

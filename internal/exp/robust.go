@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"eruca/internal/check"
+	"eruca/internal/clock"
 	"eruca/internal/config"
 	"eruca/internal/diag"
 	"eruca/internal/sim"
@@ -15,6 +16,10 @@ import (
 // substitute a misbehaving implementation and prove the harness
 // survives it.
 var runSim = sim.Run
+
+// runResume is the checkpoint-resume entry point, indirected for the
+// same reason.
+var runResume = sim.Resume
 
 // safeRun executes one simulation with panic isolation: a panicking
 // run (a broken configuration tripping an invariant, a bug) becomes an
@@ -28,9 +33,40 @@ func safeRun(opt sim.Options) (res *sim.Result, err error) {
 	return runSim(opt)
 }
 
-// run applies the Params-level robustness options (checker mode,
-// watchdog, fault plan) and executes through the panic barrier.
-func (r *Runner) run(opt sim.Options) (*sim.Result, error) {
+// safeResume is safeRun for checkpoint resumption.
+func safeResume(opt sim.Options, blob []byte) (res *sim.Result, err error) {
+	defer func() {
+		if e := diag.CapturePanic(recover()); e != nil {
+			res, err = nil, e
+		}
+	}()
+	return runResume(opt, blob)
+}
+
+// CheckpointPolicy makes the simulations a Runner launches crash-safe.
+// Every launched run emits a full-state checkpoint roughly every Every
+// bus cycles, handed to Save under the simulation's cache key; before
+// launching, the Runner offers Load a chance to supply a previous
+// checkpoint for that key, and resumes from it instead of starting at
+// cycle zero. A blob Load supplies that turns out to be unusable
+// (corrupt, or from a different configuration) is not fatal — the run
+// falls back to a fresh start, so a stale checkpoint store can only
+// cost time, never correctness.
+type CheckpointPolicy struct {
+	// Every is the checkpoint cadence in bus cycles (must be > 0).
+	Every clock.Cycle
+	// Save receives each checkpoint synchronously on the simulation
+	// goroutine; implementations should copy or persist promptly. May
+	// be called concurrently for distinct simulations.
+	Save func(key string, cp sim.Checkpoint)
+	// Load returns the checkpoint blob to resume key from, or nil to
+	// start fresh. May be nil (checkpoint-only policy).
+	Load func(key string) []byte
+}
+
+// applyRobust fills in the Params-level robustness options (checker
+// mode, watchdog, fault plan, telemetry).
+func (r *Runner) applyRobust(opt sim.Options) sim.Options {
 	if r.p.Check != check.Off {
 		opt.Check = &check.Options{Mode: r.p.Check}
 	}
@@ -43,7 +79,40 @@ func (r *Runner) run(opt sim.Options) (*sim.Result, error) {
 	if opt.Telemetry == nil {
 		opt.Telemetry = r.p.Telemetry
 	}
-	return safeRun(opt)
+	return opt
+}
+
+// run applies the Params-level robustness options and executes through
+// the panic barrier.
+func (r *Runner) run(opt sim.Options) (*sim.Result, error) {
+	return safeRun(r.applyRobust(opt))
+}
+
+// runKeyed is run with the checkpoint policy applied: the simulation
+// checkpoints under key, and resumes from a stored checkpoint when the
+// policy supplies one.
+func (r *Runner) runKeyed(key string, opt sim.Options) (*sim.Result, error) {
+	ck := r.p.Ckpt
+	if ck == nil {
+		return r.run(opt)
+	}
+	opt.CheckpointEvery = ck.Every
+	if ck.Save != nil {
+		opt.CheckpointSink = func(cp sim.Checkpoint) { ck.Save(key, cp) }
+	}
+	if ck.Load != nil {
+		if blob := ck.Load(key); blob != nil {
+			r.logf("checkpoint found for %s; resuming", key)
+			res, err := safeResume(r.applyRobust(opt), blob)
+			if res != nil || err == nil || canceled(err) {
+				return res, err
+			}
+			// Unusable checkpoint (corrupt, stale, wrong config):
+			// restarting from cycle zero costs time, never correctness.
+			r.logf("resume %s failed (%v); restarting from cycle 0", key, err)
+		}
+	}
+	return r.run(opt)
 }
 
 // JobFailure names one failed sweep job.

@@ -1,0 +1,55 @@
+package faults
+
+import (
+	"fmt"
+
+	"eruca/internal/snapshot"
+)
+
+// Snapshot serializes the plan's cursor — which events have been
+// applied and how many landed. The schedule itself is reproduced from
+// the plan spec (seed + events) at restore time, so only the cursor
+// travels in the checkpoint.
+func (p *Plan) Snapshot(e *snapshot.Encoder) {
+	if p == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	e.Int(len(p.events))
+	e.Int(p.applied)
+	e.Int(p.hits)
+}
+
+// Restore rewinds the plan cursor from a Snapshot stream. The plan must
+// carry the same event schedule as the one snapshotted.
+func (p *Plan) Restore(d *snapshot.Decoder) error {
+	present := d.Bool()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if !present {
+		if p != nil {
+			return fmt.Errorf("faults: snapshot has no plan but restore target does")
+		}
+		return nil
+	}
+	if p == nil {
+		return fmt.Errorf("faults: snapshot has a plan but restore target is nil")
+	}
+	n := d.Int()
+	applied := d.Int()
+	hits := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n != len(p.events) {
+		return fmt.Errorf("faults: snapshot plan has %d events, target has %d", n, len(p.events))
+	}
+	if applied < 0 || applied > len(p.events) || hits < 0 || hits > applied {
+		return fmt.Errorf("faults: snapshot cursor out of range (applied=%d hits=%d of %d)", applied, hits, n)
+	}
+	p.applied = applied
+	p.hits = hits
+	return nil
+}

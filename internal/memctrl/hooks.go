@@ -1,9 +1,8 @@
 package memctrl
 
 import (
-	"math/rand"
-
 	"eruca/internal/clock"
+	"eruca/internal/rng"
 )
 
 // This file holds the fault-injection hooks the chaos harness
@@ -32,14 +31,14 @@ func (c *Controller) BlackoutUntil() clock.Cycle { return c.blackoutUntil }
 // command.
 func (c *Controller) InjectDropRate(rate float64, seed int64) {
 	if rate <= 0 {
-		c.dropRate, c.dropRNG = 0, nil
+		c.dropRate, c.dropRNG, c.dropSrc = 0, nil, nil
 		return
 	}
 	if rate > 1 {
 		rate = 1
 	}
 	c.dropRate = rate
-	c.dropRNG = rand.New(rand.NewSource(seed))
+	c.dropRNG, c.dropSrc = rng.New(seed)
 }
 
 // DroppedTicks reports how many scheduling opportunities the drop-rate

@@ -12,6 +12,7 @@ import (
 	"eruca/internal/clock"
 	"eruca/internal/config"
 	"eruca/internal/dram"
+	"eruca/internal/rng"
 	"eruca/internal/stats"
 	"eruca/internal/telemetry"
 )
@@ -21,8 +22,14 @@ type Transaction struct {
 	Write  bool
 	Loc    addrmap.Loc
 	Arrive clock.Cycle
+	// Tag is an opaque caller identifier (the sim bridge stores the line
+	// address). It travels through checkpoints so the caller can rebind
+	// the Done closure of a restored in-flight transaction.
+	Tag uint64
 	// Done, if non-nil, is called once with the cycle at which the data
 	// transfer completes (read data available / write data absorbed).
+	// Closures cannot be serialized: checkpoint restore rebuilds them
+	// structurally via Controller.RestoreQueues' newTxn callback.
 	Done func(dataAt clock.Cycle)
 }
 
@@ -88,6 +95,7 @@ type Controller struct {
 	blackoutUntil clock.Cycle
 	dropRate      float64
 	dropRNG       *rand.Rand
+	dropSrc       *rng.Source // counting source behind dropRNG, for checkpoints
 	faultDrops    uint64
 
 	// scanBound accumulates, during a Tick whose scans issued nothing,

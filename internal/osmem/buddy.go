@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"eruca/internal/diag"
+	"eruca/internal/rng"
 )
 
 const (
@@ -40,6 +41,7 @@ type Memory struct {
 	inFree     [MaxOrder + 1][]uint64
 	freeFrames uint32
 	rng        *rand.Rand
+	src        *rng.Source // counting source behind rng, for checkpoint/restore
 }
 
 // NewMemory builds an allocator over totalBytes of physical memory
@@ -47,10 +49,8 @@ type Memory struct {
 // the fragmenter.
 func NewMemory(totalBytes uint64, seed int64) *Memory {
 	blocks := uint32(totalBytes / HugeBytes)
-	m := &Memory{
-		frames: blocks << MaxOrder,
-		rng:    rand.New(rand.NewSource(seed)),
-	}
+	m := &Memory{frames: blocks << MaxOrder}
+	m.rng, m.src = rng.New(seed)
 	for o := 0; o <= MaxOrder; o++ {
 		m.inFree[o] = make([]uint64, (uint64(m.frames>>uint(o))+63)/64)
 	}

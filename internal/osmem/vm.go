@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+
+	"eruca/internal/rng"
 )
 
 // ErrOOM is the typed error returned when physical memory is exhausted
@@ -32,6 +34,7 @@ type Process struct {
 	huge   map[uint32]uint32 // 2MiB region number -> start frame
 	noHuge map[uint32]bool   // regions that already fell back to base pages
 	rng    *rand.Rand
+	src    *rng.Source // counting source behind rng, for checkpoint/restore
 
 	// Stats.
 	HugeMapped uint64
@@ -42,15 +45,16 @@ type Process struct {
 // enabled, 2MiB-aligned regions are backed by huge pages when
 // fragmentation permits.
 func (m *Memory) NewProcess(thp bool, seed int64) *Process {
-	return &Process{
+	p := &Process{
 		mem:      m,
 		thp:      thp,
 		hugeLuck: 1 - m.FMFI(),
 		pages:    make(map[uint32]uint32),
 		huge:     make(map[uint32]uint32),
 		noHuge:   make(map[uint32]bool),
-		rng:      rand.New(rand.NewSource(seed)),
 	}
+	p.rng, p.src = rng.New(seed)
+	return p
 }
 
 const framesPerHuge = 1 << MaxOrder

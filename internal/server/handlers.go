@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -61,6 +62,22 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	})
 }
 
+// retryAfterHint computes the backoff hint (whole seconds, minimum 1)
+// returned with 429/503: the base scales with queue pressure — a full
+// queue takes longer to drain than a briefly contended one — and each
+// response carries up to ±25% jitter so a thundering herd of rejected
+// clients spreads out instead of resynchronizing on the same retry
+// instant.
+func (s *Server) retryAfterHint() int {
+	base := s.cfg.RetryAfter.Seconds()
+	if s.cfg.QueueMax > 0 {
+		pressure := float64(s.queue.Len()) / float64(s.cfg.QueueMax)
+		base *= 1 + pressure // full queue => double the base hint
+	}
+	jittered := base * (0.75 + 0.5*rand.Float64())
+	return max(int(jittered+0.5), 1)
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -70,15 +87,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
 		return
 	}
-	job, err := s.Submit(spec)
+	job, replayed, err := s.SubmitWithKey(spec, r.Header.Get("Idempotency-Key"))
 	switch {
+	case replayed:
+		// The key was already accepted: return the original job instead
+		// of enqueueing a duplicate. 200 (not 202) signals the replay.
+		w.Header().Set("Location", "/v1/jobs/"+job.ID)
+		writeJSON(w, http.StatusOK, job.view(false))
 	case err == nil:
 		w.Header().Set("Location", "/v1/jobs/"+job.ID)
 		writeJSON(w, http.StatusAccepted, job.view(false))
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterHint()))
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrQueueClosed):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterHint()))
 		writeError(w, http.StatusServiceUnavailable, err)
 	default:
 		writeError(w, http.StatusBadRequest, err)
@@ -118,9 +141,13 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleEvents streams the job's progress log as Server-Sent Events:
-// the full replay buffer first, then live lines, then one terminal
-// "event: done" frame carrying the final state. A client disconnect
-// just unsubscribes — it never cancels the job (DELETE does that).
+// the replay buffer first, then live lines, then one terminal
+// "event: done" frame carrying the final state. Every progress frame
+// carries an `id:` field (the line's stable sequence number); a client
+// that reconnects with Last-Event-ID receives exactly the lines it
+// missed — a gapless continuation instead of a full replay. A client
+// disconnect just unsubscribes — it never cancels the job (DELETE does
+// that).
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.Job(r.PathValue("id"))
 	if j == nil {
@@ -132,13 +159,20 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotImplemented, fmt.Errorf("streaming unsupported by this connection"))
 		return
 	}
+	after := -1
+	if v, err := strconv.Atoi(r.Header.Get("Last-Event-ID")); err == nil && v >= 0 {
+		after = v
+	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
-	send := func(event, data string) {
+	send := func(event string, id int, data string) {
 		if event != "" {
 			fmt.Fprintf(w, "event: %s\n", event)
+		}
+		if id >= 0 {
+			fmt.Fprintf(w, "id: %d\n", id)
 		}
 		for _, line := range strings.Split(data, "\n") {
 			fmt.Fprintf(w, "data: %s\n", line)
@@ -147,32 +181,32 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		fl.Flush()
 	}
 
-	history, live, unsub := j.events.Subscribe()
+	history, live, unsub := j.events.SubscribeFrom(after)
 	defer unsub()
-	for _, line := range history {
-		send("", line)
+	for _, ll := range history {
+		send("", ll.N, ll.Text)
 	}
 	for {
 		select {
-		case line, ok := <-live:
+		case ll, ok := <-live:
 			if !ok {
 				// Log closed: the job is terminal (or closing); emit the
 				// final state and end the stream.
-				send("done", string(j.State()))
+				send("done", -1, string(j.State()))
 				return
 			}
-			send("", line)
+			send("", ll.N, ll.Text)
 		case <-r.Context().Done():
 			return
 		case <-j.Done():
 			// Drain whatever is still buffered, then finish.
 			for {
-				line, ok := <-live
+				ll, ok := <-live
 				if !ok {
-					send("done", string(j.State()))
+					send("done", -1, string(j.State()))
 					return
 				}
-				send("", line)
+				send("", ll.N, ll.Text)
 			}
 		}
 	}

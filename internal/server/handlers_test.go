@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -335,4 +336,147 @@ func TestHTTPJobList(t *testing.T) {
 			t.Errorf("job %d id %s, want %s", i, v.ID, want)
 		}
 	}
+}
+
+// TestHTTPIdempotencyKey proves the wire half of idempotent submission:
+// the second POST with the same Idempotency-Key returns 200 (not 202)
+// and the original job.
+func TestHTTPIdempotencyKey(t *testing.T) {
+	_, hs := newHTTPServer(t, Config{Workers: 2})
+	post := func(key string) (int, view) {
+		b, _ := json.Marshal(testSpec())
+		req, _ := http.NewRequest("POST", hs.URL+"/v1/jobs", bytes.NewReader(b))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Idempotency-Key", key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var v view
+		_ = json.NewDecoder(resp.Body).Decode(&v)
+		return resp.StatusCode, v
+	}
+	code1, v1 := post("same-key")
+	if code1 != http.StatusAccepted {
+		t.Fatalf("first POST: %d, want 202", code1)
+	}
+	code2, v2 := post("same-key")
+	if code2 != http.StatusOK {
+		t.Fatalf("replayed POST: %d, want 200", code2)
+	}
+	if v1.ID != v2.ID {
+		t.Errorf("replayed POST returned a different job: %s vs %s", v1.ID, v2.ID)
+	}
+	code3, v3 := post("other-key")
+	if code3 != http.StatusAccepted || v3.ID == v1.ID {
+		t.Errorf("distinct key: status %d job %s (original %s)", code3, v3.ID, v1.ID)
+	}
+	waitDone(t, hs.URL, v1.ID, 60*time.Second)
+	waitDone(t, hs.URL, v3.ID, 60*time.Second)
+}
+
+// sseFrame is one parsed SSE frame: its id (-1 when absent) and data.
+type sseFrame struct {
+	id   int
+	data string
+}
+
+// readFrames consumes SSE frames from r until fn returns false.
+func readFrames(r io.Reader, fn func(sseFrame) bool) {
+	sc := bufio.NewScanner(r)
+	cur := sseFrame{id: -1}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			fmt.Sscanf(line, "id: %d", &cur.id)
+		case strings.HasPrefix(line, "data: "):
+			cur.data = line[6:]
+		case line == "":
+			if !fn(cur) {
+				return
+			}
+			cur = sseFrame{id: -1}
+		}
+	}
+}
+
+// TestHTTPSSEGaplessReconnect is the Last-Event-ID contract: a client
+// that drops mid-stream and reconnects with the last id it saw receives
+// exactly the lines it missed — no duplicates, no gaps.
+func TestHTTPSSEGaplessReconnect(t *testing.T) {
+	s, hs := newHTTPServer(t, Config{Workers: 1})
+	// Occupy the only worker so the observed job stays queued — its
+	// event log is then driven entirely by this test.
+	_, blocker := postJob(t, hs.URL, JobSpec{Kind: "sim", System: "ddr4", Mix: "mix0", Instrs: 50_000_000, Frag: 0.1})
+	code, v := postJob(t, hs.URL, JobSpec{Kind: "sim", System: "ddr4", Mix: "mix1", Instrs: 50_000_000, Frag: 0.1})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status %d", code)
+	}
+	j := s.Job(v.ID)
+	for _, line := range []string{"alpha", "beta", "gamma"} {
+		j.events.Append(line)
+	}
+
+	// First connection: read a few frames, then drop mid-stream.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "GET", hs.URL+"/v1/jobs/"+v.ID+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var firstSeen []sseFrame
+	readFrames(resp.Body, func(f sseFrame) bool {
+		firstSeen = append(firstSeen, f)
+		return len(firstSeen) < 3 // disconnect after three frames
+	})
+	cancel()
+	resp.Body.Close()
+	lastID := firstSeen[len(firstSeen)-1].id
+	if lastID < 0 {
+		t.Fatalf("frames carried no ids: %+v", firstSeen)
+	}
+
+	// Lines appended while disconnected must not be lost.
+	for _, line := range []string{"delta", "epsilon"} {
+		j.events.Append(line)
+	}
+
+	// Reconnect with Last-Event-ID: the continuation must start exactly
+	// one past lastID with consecutive ids — gapless, duplicate-free.
+	req2, _ := http.NewRequest("GET", hs.URL+"/v1/jobs/"+v.ID+"/events", nil)
+	req2.Header.Set("Last-Event-ID", strconv.Itoa(lastID))
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	resp2, err := http.DefaultClient.Do(req2.WithContext(ctx2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var resumed []sseFrame
+	j.events.mu.Lock()
+	wantLast := j.events.total - 1
+	j.events.mu.Unlock()
+	readFrames(resp2.Body, func(f sseFrame) bool {
+		resumed = append(resumed, f)
+		return f.id < wantLast
+	})
+	for i, f := range resumed {
+		if want := lastID + 1 + i; f.id != want {
+			t.Fatalf("frame %d id %d, want %d (frames %+v)", i, f.id, want, resumed)
+		}
+	}
+	var texts []string
+	for _, f := range resumed {
+		texts = append(texts, f.data)
+	}
+	joined := strings.Join(texts, " ")
+	if !strings.HasSuffix(joined, "delta epsilon") {
+		t.Errorf("continuation missing appended lines: %q", joined)
+	}
+
+	// Cleanup: cancel both jobs so the worker frees up.
+	s.Cancel(blocker.ID)
+	s.Cancel(v.ID)
 }

@@ -22,6 +22,8 @@ type metrics struct {
 	rejectedInvalid  atomic.Int64
 	cacheHits        atomic.Int64
 	cacheMisses      atomic.Int64
+	idemReplayed     atomic.Int64
+	recovered        atomic.Int64
 	inflight         atomic.Int64
 
 	mu        sync.Mutex
@@ -90,6 +92,8 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	c("eruca_jobs_rejected_invalid_total", "Jobs rejected with 400 at validation.", m.rejectedInvalid.Load())
 	c("eruca_result_cache_hits_total", "Jobs served from the content-addressed result cache.", m.cacheHits.Load())
 	c("eruca_result_cache_misses_total", "Jobs that had to execute.", m.cacheMisses.Load())
+	c("eruca_jobs_idem_replayed_total", "Submissions answered with an existing job via Idempotency-Key.", m.idemReplayed.Load())
+	c("eruca_jobs_recovered_total", "Jobs re-enqueued from the journal at boot.", m.recovered.Load())
 	c("eruca_sim_runs_total", "Simulations actually executed by the shared runners.", g.simLaunched)
 	c("eruca_sim_dedup_total", "Simulation requests served by an existing singleflight flight.", g.simJoined)
 

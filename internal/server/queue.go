@@ -66,6 +66,20 @@ func (q *queue) Pop() (j *Job, ok bool) {
 	return it.job, true
 }
 
+// pushRecovered enqueues a replayed job, bypassing the admission bound:
+// recovery must never shed work the daemon already acknowledged with a
+// 202. Only used during boot, before the HTTP listener is up.
+func (q *queue) pushRecovered(j *Job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.seq++
+	heap.Push(&q.items, queued{job: j, prio: j.Spec.Priority, seq: q.seq})
+	q.cond.Signal()
+}
+
 // Len reports the current depth (the queue_depth gauge).
 func (q *queue) Len() int {
 	q.mu.Lock()

@@ -1,0 +1,9 @@
+//go:build race
+
+package server
+
+// raceEnabled reports that this test binary was built with -race; the
+// multi-second end-to-end resume test skips itself there (simulations
+// run ~10x slower under the race detector, and the concurrency it
+// exercises is covered by the faster tests).
+const raceEnabled = true

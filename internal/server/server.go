@@ -4,13 +4,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"eruca/internal/cli"
+	"eruca/internal/clock"
 	"eruca/internal/exp"
+	"eruca/internal/sim"
 )
 
 // Config sizes the daemon.
@@ -30,8 +34,21 @@ type Config struct {
 	// CachePath, when non-empty, persists the result cache across
 	// restarts (loaded at New, flushed on drain).
 	CachePath string
-	// RetryAfter is the hint returned with 429 (default 2s).
+	// RetryAfter is the base backoff hint returned with 429/503; the
+	// actual hint scales with queue pressure and carries jitter so a
+	// thundering herd of rejected clients does not resynchronize
+	// (default 2s).
 	RetryAfter time.Duration
+	// WALDir, when non-empty, enables crash-safe durability: an
+	// append-only journal of job lifecycle records plus a checkpoint
+	// blob store live under it. On New the journal is replayed —
+	// terminal jobs come back with their results, unfinished jobs are
+	// re-enqueued and their simulations resume from the last stored
+	// checkpoint instead of cycle zero.
+	WALDir string
+	// CheckpointCycles is the simulation checkpoint cadence in bus
+	// cycles when WALDir is set (default 50_000).
+	CheckpointCycles int64
 	// Pprof mounts net/http/pprof under /debug/pprof/ when true. Off by
 	// default: the profiling surface stays opt-in on shared daemons.
 	Pprof bool
@@ -55,6 +72,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = 2 * time.Second
 	}
+	if c.CheckpointCycles <= 0 {
+		c.CheckpointCycles = 50_000
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -77,11 +97,23 @@ type Server struct {
 	runnerMu sync.Mutex
 	runners  map[string]*exp.Runner // groupKey -> shared singleflight runner
 
+	// Durability (nil / empty when Config.WALDir is unset).
+	wal   *wal
+	ckpts *ckptStore
+
+	idemMu sync.Mutex
+	idem   map[string]string // Idempotency-Key -> job ID
+
 	draining atomic.Bool
 	wg       sync.WaitGroup
 }
 
-// New builds a Server and loads the persisted result cache, if any.
+// New builds a Server, loads the persisted result cache, and — when
+// Config.WALDir is set — replays the journal: terminal jobs come back
+// with their results, unfinished jobs are re-enqueued (bypassing the
+// admission bound: they were already acknowledged with a 202 before the
+// crash), and idempotency keys are reinstalled so client retries land
+// on the original jobs.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -91,6 +123,7 @@ func New(cfg Config) (*Server, error) {
 		cache:   newResultCache(cfg.CacheMax),
 		jobs:    newRegistry(),
 		runners: make(map[string]*exp.Runner),
+		idem:    make(map[string]string),
 	}
 	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
 	if err := s.cache.Load(cfg.CachePath); err != nil {
@@ -99,7 +132,73 @@ func New(cfg Config) (*Server, error) {
 	if n := s.cache.Len(); n > 0 {
 		cfg.Logf("result cache: %d entr%s loaded from %s", n, plural(n, "y", "ies"), cfg.CachePath)
 	}
+	if cfg.WALDir != "" {
+		if err := s.openDurability(cfg.WALDir); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// openDurability opens the journal and checkpoint store under dir and
+// replays the journal into the registry and queue.
+func (s *Server) openDurability(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("server: wal dir: %w", err)
+	}
+	ckpts, err := newCkptStore(filepath.Join(dir, "checkpoints"))
+	if err != nil {
+		return fmt.Errorf("server: checkpoint store: %w", err)
+	}
+	w, recs, err := openWAL(filepath.Join(dir, "journal.wal"))
+	if err != nil {
+		return fmt.Errorf("server: wal open: %w", err)
+	}
+	s.wal, s.ckpts = w, ckpts
+	jobs, _ := replay(recs)
+	var terminal, requeued int
+	for _, rj := range jobs {
+		j := s.jobs.addRecovered(rj, s.baseCtx)
+		j.onTerminal = s.journalFinish
+		if rj.idem != "" {
+			s.idem[rj.idem] = j.ID
+		}
+		if rj.state.Terminal() {
+			terminal++
+			continue
+		}
+		j.events.Append(fmt.Sprintf("recovered from journal as %s (hash %.12s)", j.ID, j.Hash))
+		s.queue.pushRecovered(j)
+		s.metrics.recovered.Add(1)
+		requeued++
+	}
+	if len(jobs) > 0 || s.ckpts.Len() > 0 {
+		s.cfg.Logf("wal replay: %d job%s restored (%d terminal, %d re-enqueued), %d checkpoint blob%s on disk",
+			len(jobs), plural(len(jobs), "", "s"), terminal, requeued,
+			s.ckpts.Len(), plural(s.ckpts.Len(), "", "s"))
+	}
+	return nil
+}
+
+// journalFinish is the Job.onTerminal hook: it records the terminal
+// transition in the journal. Jobs interrupted by a forced shutdown are
+// deliberately NOT journaled as finished — withholding the record is
+// what makes a restarted daemon re-run them.
+func (s *Server) journalFinish(j *Job) {
+	j.mu.Lock()
+	state, output, errMsg, interrupted := j.state, j.output, j.errMsg, j.interrupted
+	j.mu.Unlock()
+	if interrupted {
+		_ = s.wal.append(walRecord{Type: "interrupted", Job: j.ID, State: string(state)})
+		return
+	}
+	rec := walRecord{Type: "finish", Job: j.ID, State: string(state), Error: errMsg}
+	if state == StateDone {
+		rec.Output = output
+	}
+	if err := s.wal.append(rec); err != nil {
+		s.cfg.Logf("wal: finish record for %s failed: %v", j.ID, err)
+	}
 }
 
 func plural(n int, one, many string) string {
@@ -131,15 +230,47 @@ func (s *Server) Start() {
 // Submit validates and enqueues a spec. The returned error is one of
 // ErrQueueFull, ErrQueueClosed, or a validation error.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	job, _, err := s.SubmitWithKey(spec, "")
+	return job, err
+}
+
+// SubmitWithKey is Submit with an optional client idempotency key. A
+// resubmission carrying a key the daemon has already accepted returns
+// the original job (replayed=true) instead of enqueueing a duplicate —
+// across restarts too, when the WAL is enabled, so a client that lost
+// its 202 to a crash can retry the POST safely.
+func (s *Server) SubmitWithKey(spec JobSpec, idemKey string) (job *Job, replayed bool, err error) {
 	if s.draining.Load() {
 		s.metrics.rejectedDraining.Add(1)
-		return nil, ErrQueueClosed
+		return nil, false, ErrQueueClosed
 	}
 	if err := spec.Validate(); err != nil {
 		s.metrics.rejectedInvalid.Add(1)
-		return nil, err
+		return nil, false, err
 	}
-	job := s.jobs.add(spec, s.baseCtx)
+	if idemKey != "" {
+		s.idemMu.Lock()
+		if id, ok := s.idem[idemKey]; ok {
+			s.idemMu.Unlock()
+			if j := s.jobs.get(id); j != nil {
+				s.metrics.idemReplayed.Add(1)
+				return j, true, nil
+			}
+		} else {
+			s.idemMu.Unlock()
+		}
+	}
+	job = s.jobs.add(spec, s.baseCtx)
+	job.idemKey = idemKey
+	if s.wal != nil {
+		job.onTerminal = s.journalFinish
+		sp := spec
+		if err := s.wal.append(walRecord{Type: "submit", Job: job.ID, Idem: idemKey, Spec: &sp}); err != nil {
+			s.cfg.Logf("wal: submit record for %s failed: %v", job.ID, err)
+			job.finish(StateFailed, "", err)
+			return nil, false, err
+		}
+	}
 	if err := s.queue.Push(job); err != nil {
 		switch {
 		case errors.Is(err, ErrQueueFull):
@@ -148,11 +279,16 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 			s.metrics.rejectedDraining.Add(1)
 		}
 		job.finish(StateFailed, "", err)
-		return nil, err
+		return nil, false, err
+	}
+	if idemKey != "" {
+		s.idemMu.Lock()
+		s.idem[idemKey] = job.ID
+		s.idemMu.Unlock()
 	}
 	s.metrics.submitted.Add(1)
 	job.events.Append(fmt.Sprintf("queued as %s (hash %.12s)", job.ID, job.Hash))
-	return job, nil
+	return job, false, nil
 }
 
 // Job returns a job by ID, or nil.
@@ -200,6 +336,25 @@ func (s *Server) runnerCounters() (launched, joined int64, pools int) {
 	return launched, joined, len(s.runners)
 }
 
+// checkpointPolicy builds the per-job checkpoint plumbing: periodic
+// snapshots land in the blob store (keyed by simulation, so recovered
+// jobs and deduplicated twins share them) and leave an advisory
+// checkpoint record in the journal; on resume the runner loads the
+// latest blob and continues from its bus cycle instead of cycle zero.
+func (s *Server) checkpointPolicy(job *Job) *exp.CheckpointPolicy {
+	return &exp.CheckpointPolicy{
+		Every: clock.Cycle(s.cfg.CheckpointCycles),
+		Save: func(key string, cp sim.Checkpoint) {
+			if err := s.ckpts.Save(key, cp.Blob); err != nil {
+				s.cfg.Logf("checkpoint save %s: %v", key, err)
+				return
+			}
+			_ = s.wal.append(walRecord{Type: "checkpoint", Job: job.ID, Key: key, Bus: int64(cp.Bus)})
+		},
+		Load: s.ckpts.Load,
+	}
+}
+
 // runJob executes one popped job to its terminal state.
 func (s *Server) runJob(job *Job) {
 	if err := job.ctx.Err(); err != nil {
@@ -236,7 +391,13 @@ func (s *Server) runJob(job *Job) {
 		s.metrics.jobDone(class, time.Since(start).Seconds())
 		return
 	}
+	if s.wal != nil {
+		_ = s.wal.append(walRecord{Type: "start", Job: job.ID})
+	}
 	view := runner.WithContext(job.ctx).WithLog(job.events.Append).WithTelemetry(job.tel)
+	if s.ckpts != nil {
+		view = view.WithCheckpoint(s.checkpointPolicy(job))
+	}
 	out, err := execute(job.ctx, view, job.Spec)
 
 	switch {
@@ -306,7 +467,19 @@ func (s *Server) Drain(ctx context.Context) error {
 	select {
 	case <-done:
 	case <-ctx.Done():
-		s.cfg.Logf("drain deadline hit; canceling remaining jobs")
+		// Forced shutdown: mark every unfinished job interrupted BEFORE
+		// canceling its context — the interrupted flag withholds the
+		// terminal record from the journal, so a restarted daemon re-runs
+		// these jobs (resuming from their last checkpoint) instead of
+		// reporting them canceled.
+		interrupted := 0
+		for _, j := range s.Jobs() {
+			if j.markInterrupted() {
+				interrupted++
+			}
+		}
+		s.cfg.Logf("drain deadline hit; canceling %d remaining job%s (journaled as interrupted)",
+			interrupted, plural(interrupted, "", "s"))
 		s.baseStop() // cancels every job context
 		<-done
 		drainErr = ctx.Err()
@@ -319,6 +492,21 @@ func (s *Server) Drain(ctx context.Context) error {
 		}
 	} else if s.cfg.CachePath != "" {
 		s.cfg.Logf("result cache: %d entries flushed to %s", s.cache.Len(), s.cfg.CachePath)
+	}
+	if s.wal != nil {
+		// Rewrite the journal down to what still matters so it does not
+		// grow without bound across restarts. Interrupted jobs keep only
+		// their submit record: they must re-run on the next boot.
+		path := filepath.Join(s.cfg.WALDir, "journal.wal")
+		if err := compactWAL(path, s.Jobs()); err != nil {
+			s.cfg.Logf("wal compaction failed: %v", err)
+			if drainErr == nil {
+				drainErr = err
+			}
+		}
+		if err := s.wal.Close(); err != nil && drainErr == nil {
+			drainErr = err
+		}
 	}
 	return drainErr
 }

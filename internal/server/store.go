@@ -42,6 +42,14 @@ type Job struct {
 	tel    *telemetry.Set
 	done   chan struct{}
 
+	// idemKey is the client's Idempotency-Key (empty when none); a
+	// resubmission with the same key returns this job instead of a new
+	// one, across restarts when the WAL is enabled.
+	idemKey string
+	// onTerminal, when set, observes the terminal transition (the WAL
+	// journals it). Called outside mu, after done closes.
+	onTerminal func(*Job)
+
 	mu       sync.Mutex
 	state    State
 	output   string
@@ -49,9 +57,25 @@ type Job struct {
 	errClass string
 	exitCode int
 	cacheHit bool
-	created  time.Time
-	started  time.Time
-	finished time.Time
+	// interrupted marks a job killed by a forced shutdown (drain
+	// deadline); its terminal record is withheld from the journal so a
+	// restarted daemon re-runs it.
+	interrupted bool
+	recovered   bool
+	created     time.Time
+	started     time.Time
+	finished    time.Time
+}
+
+// markInterrupted flags the job as killed by a forced shutdown.
+func (j *Job) markInterrupted() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	j.interrupted = true
+	return true
 }
 
 // Done closes when the job reaches a terminal state.
@@ -129,21 +153,25 @@ func (j *Job) finish(state State, output string, err error) {
 	j.mu.Unlock()
 	j.events.Close()
 	close(j.done)
+	if j.onTerminal != nil {
+		j.onTerminal(j)
+	}
 }
 
 // view is the JSON rendering of a job for the HTTP API.
 type view struct {
-	ID       string     `json:"id"`
-	Hash     string     `json:"hash"`
-	State    State      `json:"state"`
-	Kind     string     `json:"kind"`
-	Spec     JobSpec    `json:"spec"`
-	Created  time.Time  `json:"created"`
-	Started  *time.Time `json:"started,omitempty"`
-	Finished *time.Time `json:"finished,omitempty"`
-	CacheHit bool       `json:"cache_hit,omitempty"`
-	Result   string     `json:"result,omitempty"`
-	Error    *errorBody `json:"error,omitempty"`
+	ID        string     `json:"id"`
+	Hash      string     `json:"hash"`
+	State     State      `json:"state"`
+	Kind      string     `json:"kind"`
+	Spec      JobSpec    `json:"spec"`
+	Created   time.Time  `json:"created"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	CacheHit  bool       `json:"cache_hit,omitempty"`
+	Recovered bool       `json:"recovered,omitempty"`
+	Result    string     `json:"result,omitempty"`
+	Error     *errorBody `json:"error,omitempty"`
 }
 
 // errorBody is the typed JSON error: Class and ExitCode carry the same
@@ -161,7 +189,7 @@ func (j *Job) view(withResult bool) view {
 	defer j.mu.Unlock()
 	v := view{
 		ID: j.ID, Hash: j.Hash, State: j.state, Kind: j.Spec.normalized().Kind,
-		Spec: j.Spec, Created: j.created, CacheHit: j.cacheHit,
+		Spec: j.Spec, Created: j.created, CacheHit: j.cacheHit, Recovered: j.recovered,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -180,21 +208,31 @@ func (j *Job) view(withResult bool) view {
 	return v
 }
 
+// logLine is one numbered progress line. N is the line's stable
+// sequence number (0-based over the job's lifetime), which the SSE
+// layer exposes as the event id so a reconnecting client can replay
+// exactly the lines it missed (Last-Event-ID).
+type logLine struct {
+	N    int
+	Text string
+}
+
 // eventLog is a job's progress feed: a bounded replay buffer plus live
 // subscribers, fed from exp.Params.Log through the job-scoped runner
 // view. Slow consumers never block the simulation — a full subscriber
 // channel drops the line for that subscriber only.
 type eventLog struct {
 	mu     sync.Mutex
-	lines  []string
+	lines  []logLine
+	total  int // lines ever appended (next sequence number)
 	closed bool
-	subs   map[chan string]struct{}
+	subs   map[chan logLine]struct{}
 }
 
 const eventBacklog = 1024
 
 func newEventLog() *eventLog {
-	return &eventLog{subs: make(map[chan string]struct{})}
+	return &eventLog{subs: make(map[chan logLine]struct{})}
 }
 
 // Append records one progress line and fans it out.
@@ -204,24 +242,37 @@ func (l *eventLog) Append(line string) {
 	if l.closed {
 		return
 	}
+	ll := logLine{N: l.total, Text: line}
+	l.total++
 	if len(l.lines) < eventBacklog {
-		l.lines = append(l.lines, line)
+		l.lines = append(l.lines, ll)
 	}
 	for ch := range l.subs {
 		select {
-		case ch <- line:
+		case ch <- ll:
 		default: // slow consumer: drop rather than stall the simulation
 		}
 	}
 }
 
-// Subscribe returns the replay history and a live channel; cancel
-// unregisters. The channel is closed when the log closes.
-func (l *eventLog) Subscribe() (history []string, ch chan string, cancel func()) {
+// Subscribe returns the full replay history and a live channel.
+func (l *eventLog) Subscribe() (history []logLine, ch chan logLine, cancel func()) {
+	return l.SubscribeFrom(-1)
+}
+
+// SubscribeFrom returns the retained history after sequence number
+// `after` (-1 = everything) and a live channel; cancel unregisters. The
+// channel is closed when the log closes. A reconnecting SSE client
+// passes its Last-Event-ID here and receives a gapless continuation.
+func (l *eventLog) SubscribeFrom(after int) (history []logLine, ch chan logLine, cancel func()) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	history = append([]string(nil), l.lines...)
-	ch = make(chan string, 64)
+	for _, ll := range l.lines {
+		if ll.N > after {
+			history = append(history, ll)
+		}
+	}
+	ch = make(chan logLine, 64)
 	if l.closed {
 		close(ch)
 		return history, ch, func() {}
@@ -267,7 +318,15 @@ func (r *registry) add(spec JobSpec, base context.Context) *Job {
 	r.seq++
 	id := fmt.Sprintf("job-%06d", r.seq)
 	r.mu.Unlock()
+	j := newJob(id, spec, base)
+	r.mu.Lock()
+	r.jobs[id] = j
+	r.mu.Unlock()
+	return j
+}
 
+// newJob builds one queued job record.
+func newJob(id string, spec JobSpec, base context.Context) *Job {
 	var (
 		ctx    context.Context
 		cancel context.CancelFunc
@@ -277,7 +336,7 @@ func (r *registry) add(spec JobSpec, base context.Context) *Job {
 	} else {
 		ctx, cancel = context.WithCancel(base)
 	}
-	j := &Job{
+	return &Job{
 		ID: id, Hash: spec.Hash(), Spec: spec,
 		ctx: ctx, cancel: cancel,
 		events: newEventLog(),
@@ -287,8 +346,38 @@ func (r *registry) add(spec JobSpec, base context.Context) *Job {
 		done:  make(chan struct{}),
 		state: StateQueued, created: time.Now(),
 	}
+}
+
+// addRecovered reinstalls a journaled job under its original ID after a
+// restart. Terminal jobs come back finished (their results remain
+// fetchable); everything else comes back queued for re-execution. The
+// registry's sequence is advanced past every recovered ID so new
+// submissions never collide.
+func (r *registry) addRecovered(rj *recoveredJob, base context.Context) *Job {
+	j := newJob(rj.id, rj.spec, base)
+	j.idemKey = rj.idem
+	j.recovered = true
+	if rj.state.Terminal() {
+		j.state = rj.state
+		j.output = rj.output
+		j.finished = time.Now()
+		if rj.errMsg != "" {
+			j.errMsg = rj.errMsg
+			j.errClass, j.exitCode = "error", 1
+		}
+		j.events.Close()
+		close(j.done)
+		j.cancel()
+	}
+	var n int64
+	if _, err := fmt.Sscanf(rj.id, "job-%d", &n); err != nil {
+		n = 0
+	}
 	r.mu.Lock()
-	r.jobs[id] = j
+	if n > r.seq {
+		r.seq = n
+	}
+	r.jobs[j.ID] = j
 	r.mu.Unlock()
 	return j
 }

@@ -1,0 +1,309 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file is the daemon's durability layer: an append-only write-ahead
+// journal of job lifecycle records plus a checkpoint blob store. The
+// journal makes submissions survive a crash — on boot the daemon replays
+// it, restores terminal jobs (so clients can still GET their results),
+// re-enqueues everything that had not finished, and remembers
+// idempotency keys so a client that retries a POST after the crash gets
+// its original job back instead of a duplicate. The blob store holds the
+// latest simulation checkpoint per simulation key; a recovered job's
+// simulations resume from there instead of cycle zero (the resumed run
+// is cycle-accurate, see sim.Resume).
+//
+// Journal format: one JSON record per line. Every record carries a
+// strictly increasing LSN and a CRC32 over its own canonical encoding
+// (computed with the crc field empty). Replay stops at the first record
+// that fails to parse, fails its CRC, or regresses the LSN — everything
+// from there on is a torn tail from a crash mid-write, and the file is
+// truncated back to the last good record so the journal stays
+// append-clean.
+
+// walRecord is one journal line.
+type walRecord struct {
+	LSN  int64    `json:"lsn"`
+	Type string   `json:"type"` // submit | start | checkpoint | finish | interrupted
+	Job  string   `json:"job,omitempty"`
+	Idem string   `json:"idem,omitempty"`
+	Spec *JobSpec `json:"spec,omitempty"`
+	// finish fields: terminal state, rendered output (done only), error.
+	State  string `json:"state,omitempty"`
+	Output string `json:"output,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// checkpoint fields: the simulation cache key and the first
+	// unsimulated bus cycle of the stored blob.
+	Key string `json:"key,omitempty"`
+	Bus int64  `json:"bus,omitempty"`
+	At  string `json:"at,omitempty"`
+	CRC string `json:"crc"`
+}
+
+// seal computes the record's CRC over its encoding with CRC empty.
+func (r walRecord) seal() ([]byte, error) {
+	r.CRC = ""
+	body, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	r.CRC = fmt.Sprintf("%08x", crc32.ChecksumIEEE(body))
+	return json.Marshal(r)
+}
+
+// verify recomputes the CRC and compares.
+func (r walRecord) verify() bool {
+	want := r.CRC
+	r.CRC = ""
+	body, err := json.Marshal(r)
+	if err != nil {
+		return false
+	}
+	return want == fmt.Sprintf("%08x", crc32.ChecksumIEEE(body))
+}
+
+// wal is the open journal. Appends are serialized, CRC-sealed, and
+// synced to disk before they return, so an acknowledged submission is
+// on stable storage by the time the client sees 202.
+type wal struct {
+	mu   sync.Mutex
+	f    *os.File
+	lsn  int64
+	path string
+}
+
+// openWAL opens (creating if needed) the journal at path, replays every
+// valid record, truncates any torn tail, and returns the journal
+// positioned for appending plus the replayed records in order.
+func openWAL(path string) (*wal, []walRecord, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	var (
+		recs []walRecord
+		good int64 // byte offset after the last valid record
+		lsn  int64
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	off := int64(0)
+	for sc.Scan() {
+		line := sc.Bytes()
+		lineLen := int64(len(line)) + 1 // + newline
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break // torn or corrupt tail
+		}
+		if !rec.verify() || rec.LSN != lsn+1 {
+			break
+		}
+		lsn = rec.LSN
+		recs = append(recs, rec)
+		off += lineLen
+		good = off
+	}
+	// Scanner errors (e.g. an over-long garbage line) are treated like a
+	// torn tail: everything after the last good record is dropped.
+	if fi, err := f.Stat(); err == nil && fi.Size() > good {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("server: wal truncate: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &wal{f: f, lsn: lsn, path: path}, recs, nil
+}
+
+// append seals and writes one record, then syncs.
+func (w *wal) append(rec walRecord) error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.lsn++
+	rec.LSN = w.lsn
+	rec.At = time.Now().UTC().Format(time.RFC3339Nano)
+	line, err := rec.seal()
+	if err != nil {
+		w.lsn--
+		return err
+	}
+	if _, err := w.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Close closes the underlying file.
+func (w *wal) Close() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// recoveredJob is the replayed final knowledge about one journaled job.
+type recoveredJob struct {
+	id     string
+	spec   JobSpec
+	idem   string
+	state  State // "" while the job never reached a terminal record
+	output string
+	errMsg string
+}
+
+// replay folds the journal records into per-job outcomes, in submission
+// order, plus the idempotency-key index. Records that reference unknown
+// jobs (possible when the tail was torn between related appends) are
+// skipped rather than fatal — the journal is advisory history, and
+// recovery must always succeed.
+func replay(recs []walRecord) (jobs []*recoveredJob, byID map[string]*recoveredJob) {
+	byID = make(map[string]*recoveredJob)
+	for _, rec := range recs {
+		switch rec.Type {
+		case "submit":
+			if rec.Spec == nil || rec.Job == "" || byID[rec.Job] != nil {
+				continue
+			}
+			rj := &recoveredJob{id: rec.Job, spec: *rec.Spec, idem: rec.Idem}
+			byID[rec.Job] = rj
+			jobs = append(jobs, rj)
+		case "finish":
+			if rj := byID[rec.Job]; rj != nil {
+				rj.state = State(rec.State)
+				rj.output = rec.Output
+				rj.errMsg = rec.Error
+			}
+		case "start", "checkpoint", "interrupted":
+			// Progress markers: useful for audit, not needed to decide
+			// recovery (a non-terminal job re-runs either way, resuming
+			// from the blob store when a checkpoint is available).
+		}
+	}
+	return jobs, byID
+}
+
+// ckptStore holds the latest simulation checkpoint blob per simulation
+// key, one file per key (atomic via rename). Blobs are self-validating
+// (versioned, checksummed, configuration-matched by sim.Resume), so the
+// store needs no index of its own — which also makes it robust against
+// a journal whose tail was torn: a blob "newer" than the last journaled
+// checkpoint record is simply a better place to resume from.
+type ckptStore struct {
+	dir string
+}
+
+func newCkptStore(dir string) (*ckptStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &ckptStore{dir: dir}, nil
+}
+
+// file maps a simulation key to its blob path.
+func (c *ckptStore) file(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:12])+".ckpt")
+}
+
+// Save atomically replaces the blob for key.
+func (c *ckptStore) Save(key string, blob []byte) error {
+	path := c.file(key)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load returns the stored blob for key, or nil when there is none (or
+// it cannot be read — resume is an optimization, never a requirement).
+func (c *ckptStore) Load(key string) []byte {
+	b, err := os.ReadFile(c.file(key))
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// Len reports how many blobs the store holds (for logs and tests).
+func (c *ckptStore) Len() int {
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".ckpt" {
+			n++
+		}
+	}
+	return n
+}
+
+// compact rewrites the journal down to the records that still matter:
+// one submit (+ finish, when terminal) per job, in the original
+// submission order, with fresh consecutive LSNs. Called on graceful
+// drain so the journal does not grow without bound across restarts.
+func compactWAL(path string, jobs []*Job) error {
+	tmp := path + ".tmp"
+	var buf bytes.Buffer
+	lsn := int64(0)
+	write := func(rec walRecord) error {
+		lsn++
+		rec.LSN = lsn
+		line, err := rec.seal()
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+		return nil
+	}
+	sorted := append([]*Job(nil), jobs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	for _, j := range sorted {
+		spec := j.Spec
+		if err := write(walRecord{Type: "submit", Job: j.ID, Idem: j.idemKey, Spec: &spec}); err != nil {
+			return err
+		}
+		j.mu.Lock()
+		state, output, errMsg, interrupted := j.state, j.output, j.errMsg, j.interrupted
+		j.mu.Unlock()
+		// An interrupted job keeps only its submit record — withholding
+		// the terminal record is what makes the next boot re-run it.
+		if state.Terminal() && !interrupted {
+			rec := walRecord{Type: "finish", Job: j.ID, State: string(state), Error: errMsg}
+			if state == StateDone {
+				rec.Output = output
+			}
+			if err := write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

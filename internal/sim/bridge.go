@@ -40,8 +40,12 @@ type bridge struct {
 	eventSeq uint64
 
 	// mshr coalesces outstanding line fetches: line address -> waiting
-	// load completions.
-	mshr map[uint64][]func()
+	// load completions. Waiters carry their core and a global
+	// registration sequence so checkpoints can re-link them to the
+	// owning core's in-flight reads on restore (closures themselves
+	// cannot serialize).
+	mshr      map[uint64][]waiter
+	waiterSeq uint64
 
 	// spill buffers dirty writebacks that did not fit in a write queue.
 	spill []uint64
@@ -72,6 +76,16 @@ type busEvent struct {
 	line uint64
 }
 
+// waiter is one coalesced load awaiting a line fill. core and seq are
+// the serializable identity of the closure: the k-th unready read of a
+// core (program order) is the core's k-th registered waiter
+// (registration order), which is how restore rebinds fn.
+type waiter struct {
+	core int
+	seq  uint64
+	fn   func()
+}
+
 // pooledTxn owns one recyclable controller transaction.
 type pooledTxn struct {
 	t    memctrl.Transaction
@@ -94,7 +108,7 @@ func newBridge(sys *config.System, mapper *addrmap.Mapper, procs []*osmem.Proces
 		ctls:      ctls,
 		ratio:     int64(sys.CPU.ClockRatio),
 		busNS:     sys.Bus.PeriodNS(),
-		mshr:      make(map[uint64][]func()),
+		mshr:      make(map[uint64][]waiter),
 		capture:   capture,
 		lineShift: ls,
 		misses:    make([]uint64, sys.CPU.Cores),
@@ -138,7 +152,8 @@ func (b *bridge) Access(core int, va uint64, write bool, done func()) (accept, p
 		if write {
 			return true, false, 0
 		}
-		b.mshr[line] = append(waiters, done)
+		b.waiterSeq++
+		b.mshr[line] = append(waiters, waiter{core: core, seq: b.waiterSeq, fn: done})
 		return true, true, 0
 	}
 
@@ -153,7 +168,8 @@ func (b *bridge) Access(core int, va uint64, write bool, done func()) (accept, p
 	b.misses[core]++
 	b.mshr[line] = nil
 	if !write && done != nil {
-		b.mshr[line] = append(b.mshr[line], done)
+		b.waiterSeq++
+		b.mshr[line] = append(b.mshr[line], waiter{core: core, seq: b.waiterSeq, fn: done})
 	}
 	b.enqueue(line, false)
 	return true, !write, 0
@@ -196,6 +212,7 @@ func (b *bridge) enqueue(line uint64, write bool) {
 	pt.t.Write = write
 	pt.t.Loc = loc
 	pt.t.Arrive = b.busNow
+	pt.t.Tag = line
 	ctl.Enqueue(&pt.t)
 	if b.capture != nil {
 		b.capture(trace.Record{NS: float64(b.busNow) * b.busNS, PA: pa, Write: write})
@@ -207,7 +224,7 @@ func (b *bridge) fill(line uint64) {
 	waiters := b.mshr[line]
 	delete(b.mshr, line)
 	for _, w := range waiters {
-		w()
+		w.fn()
 	}
 }
 

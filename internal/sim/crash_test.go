@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"eruca/internal/clock"
+	"eruca/internal/config"
+	"eruca/internal/faults"
+)
+
+// crashOptions builds one audited run configuration for the
+// checkpoint/restore proofs.
+func crashOptions(sys *config.System, benches []string) Options {
+	return Options{
+		Sys: sys, Benches: benches, Instrs: 30_000, Frag: 0.1, Seed: 7,
+		Audit: true,
+	}
+}
+
+// collectCheckpoints runs opt with periodic checkpointing and returns
+// the result plus every emitted checkpoint.
+func collectCheckpoints(t *testing.T, opt Options, every clock.Cycle) (*Result, []Checkpoint) {
+	t.Helper()
+	var cps []Checkpoint
+	opt.CheckpointEvery = every
+	opt.CheckpointSink = func(cp Checkpoint) {
+		blob := make([]byte, len(cp.Blob))
+		copy(blob, cp.Blob)
+		cps = append(cps, Checkpoint{Bus: cp.Bus, Blob: blob})
+	}
+	res, err := Run(opt)
+	if err != nil {
+		t.Fatalf("checkpointing run: %v", err)
+	}
+	return res, cps
+}
+
+// assertRunsEqual compares two runs down to the audited command stream:
+// same commands at the same cycles on every channel, and identical
+// statistics.
+func assertRunsEqual(t *testing.T, label string, ref, got *Result) {
+	t.Helper()
+	if len(ref.AuditCommands) != len(got.AuditCommands) {
+		t.Fatalf("%s: channel count differs: %d vs %d", label, len(ref.AuditCommands), len(got.AuditCommands))
+	}
+	for ch := range ref.AuditCommands {
+		r, g := ref.AuditCommands[ch], got.AuditCommands[ch]
+		if len(r) != len(g) {
+			t.Fatalf("%s: channel %d: command count differs: %d vs %d", label, ch, len(r), len(g))
+		}
+		for i := range r {
+			if r[i] != g[i] {
+				t.Fatalf("%s: channel %d: command %d differs:\nreference: %+v at %d\nresumed:   %+v at %d",
+					label, ch, i, r[i].Cmd, r[i].At, g[i].Cmd, g[i].At)
+			}
+		}
+	}
+	if ref.BusCycles != got.BusCycles {
+		t.Errorf("%s: BusCycles differ: %d vs %d", label, ref.BusCycles, got.BusCycles)
+	}
+	for i := range ref.IPC {
+		if ref.IPC[i] != got.IPC[i] {
+			t.Errorf("%s: core %d IPC differs: %v vs %v", label, i, ref.IPC[i], got.IPC[i])
+		}
+		if ref.MPKI[i] != got.MPKI[i] {
+			t.Errorf("%s: core %d MPKI differs: %v vs %v", label, i, ref.MPKI[i], got.MPKI[i])
+		}
+	}
+	if ref.DRAM != got.DRAM {
+		t.Errorf("%s: DRAM stats differ:\nreference: %+v\nresumed:   %+v", label, ref.DRAM, got.DRAM)
+	}
+	if ref.Energy != got.Energy {
+		t.Errorf("%s: energy differs", label)
+	}
+	if ref.AvgReadQueueDepth != got.AvgReadQueueDepth || ref.AvgWriteQueueDepth != got.AvgWriteQueueDepth {
+		t.Errorf("%s: queue depths differ: %v/%v vs %v/%v", label,
+			ref.AvgReadQueueDepth, ref.AvgWriteQueueDepth, got.AvgReadQueueDepth, got.AvgWriteQueueDepth)
+	}
+	if ref.QueueLat.N() != got.QueueLat.N() || ref.QueueLat.Mean() != got.QueueLat.Mean() {
+		t.Errorf("%s: queue-latency distribution differs", label)
+	}
+	if ref.HugeCoverage != got.HugeCoverage || ref.AchievedFMFI != got.AchievedFMFI {
+		t.Errorf("%s: memory metrics differ: huge %v/%v fmfi %v/%v", label,
+			ref.HugeCoverage, got.HugeCoverage, ref.AchievedFMFI, got.AchievedFMFI)
+	}
+	if ref.FaultsInjected != got.FaultsInjected {
+		t.Errorf("%s: FaultsInjected differ: %d vs %d", label, ref.FaultsInjected, got.FaultsInjected)
+	}
+}
+
+// TestResumeByteIdentical is the tentpole proof: a run resumed from a
+// mid-flight checkpoint produces the same audited command stream and
+// the same statistics, byte for byte, as the uninterrupted run — and
+// checkpoint emission itself does not perturb the run.
+func TestResumeByteIdentical(t *testing.T) {
+	mkOpt := func() Options {
+		return crashOptions(config.VSB(4, true, true, true, config.DefaultBusMHz),
+			[]string{"mcf", "lbm"})
+	}
+	ref, err := Run(mkOpt())
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	ck, cps := collectCheckpoints(t, mkOpt(), 10_000)
+	assertRunsEqual(t, "checkpointing-vs-plain", ref, ck)
+	if len(cps) < 2 {
+		t.Fatalf("expected at least 2 checkpoints, got %d", len(cps))
+	}
+
+	// Resume from an early, a middle and the final checkpoint.
+	for _, idx := range []int{0, len(cps) / 2, len(cps) - 1} {
+		cp := cps[idx]
+		res, err := Resume(mkOpt(), cp.Blob)
+		if err != nil {
+			t.Fatalf("resume from checkpoint %d (bus %d): %v", idx, cp.Bus, err)
+		}
+		assertRunsEqual(t, "resumed", ref, res)
+	}
+}
+
+// TestResumeWithFaultPlan proves the fault-plan cursor travels through
+// a checkpoint: a resumed chaos run lands the same injections and
+// matches the uninterrupted run exactly.
+func TestResumeWithFaultPlan(t *testing.T) {
+	mkOpt := func() Options {
+		opt := crashOptions(config.Baseline(config.DefaultBusMHz), []string{"mcf"})
+		// Scheduling-only perturbations (wedge windows), so the run stays
+		// protocol-legal and auditable.
+		var evs []faults.Event
+		for i := 0; i < 4; i++ {
+			evs = append(evs, faults.Event{Kind: faults.Blackout, AtBus: 2_000 + clock.Cycle(i)*3_000, Arg: 500})
+		}
+		opt.Faults = faults.NewPlanEvents(1, evs...)
+		return opt
+	}
+	ref, err := Run(mkOpt())
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if ref.FaultsInjected == 0 {
+		t.Fatal("reference run injected no faults")
+	}
+	_, cps := collectCheckpoints(t, mkOpt(), 2_500)
+	if len(cps) < 2 {
+		t.Fatalf("expected at least 2 checkpoints, got %d", len(cps))
+	}
+	res, err := Resume(mkOpt(), cps[len(cps)/2].Blob)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	assertRunsEqual(t, "resumed-chaos", ref, res)
+}
+
+// TestCheckpointDeterministic asserts checkpointing is reproducible:
+// two identical runs emit byte-identical blobs at the same cycles.
+func TestCheckpointDeterministic(t *testing.T) {
+	mkOpt := func() Options {
+		return crashOptions(config.Baseline(config.DefaultBusMHz), []string{"lbm"})
+	}
+	_, a := collectCheckpoints(t, mkOpt(), 10_000)
+	_, b := collectCheckpoints(t, mkOpt(), 10_000)
+	if len(a) != len(b) {
+		t.Fatalf("checkpoint count differs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Bus != b[i].Bus {
+			t.Errorf("checkpoint %d at different cycles: %d vs %d", i, a[i].Bus, b[i].Bus)
+		}
+		if !bytes.Equal(a[i].Blob, b[i].Blob) {
+			t.Errorf("checkpoint %d blobs differ (%d vs %d bytes)", i, len(a[i].Blob), len(b[i].Blob))
+		}
+	}
+}
+
+// TestResumeRejectsMismatch asserts a checkpoint cannot silently resume
+// under a different run configuration.
+func TestResumeRejectsMismatch(t *testing.T) {
+	mkOpt := func() Options {
+		return crashOptions(config.Baseline(config.DefaultBusMHz), []string{"lbm"})
+	}
+	_, cps := collectCheckpoints(t, mkOpt(), 10_000)
+	if len(cps) == 0 {
+		t.Fatal("no checkpoints emitted")
+	}
+	blob := cps[0].Blob
+
+	cases := []struct {
+		name   string
+		mutate func(*Options)
+	}{
+		{"seed", func(o *Options) { o.Seed = 8 }},
+		{"bench", func(o *Options) { o.Benches = []string{"mcf"} }},
+		{"instrs", func(o *Options) { o.Instrs = 40_000 }},
+		{"frag", func(o *Options) { o.Frag = 0.5 }},
+		{"system", func(o *Options) { o.Sys = config.VSB(4, true, true, true, config.DefaultBusMHz) }},
+		{"audit", func(o *Options) { o.Audit = false }},
+	}
+	for _, tc := range cases {
+		opt := mkOpt()
+		tc.mutate(&opt)
+		if _, err := Resume(opt, blob); err == nil {
+			t.Errorf("%s mismatch: resume succeeded, want error", tc.name)
+		}
+	}
+
+	// A corrupted blob is refused by the container checksum.
+	bad := make([]byte, len(blob))
+	copy(bad, blob)
+	bad[len(bad)/2] ^= 0x40
+	if _, err := Resume(mkOpt(), bad); err == nil {
+		t.Error("corrupt blob: resume succeeded, want error")
+	}
+	// A truncated blob is refused, never a panic.
+	if _, err := Resume(mkOpt(), blob[:len(blob)/3]); err == nil {
+		t.Error("truncated blob: resume succeeded, want error")
+	}
+}

@@ -81,6 +81,28 @@ type Options struct {
 	// concurrent runs; counters then aggregate and events are tagged
 	// with per-run indices from BeginRun.
 	Telemetry *telemetry.Set
+	// CheckpointEvery, together with CheckpointSink, emits a serialized
+	// full-state checkpoint at the first loop iteration at least
+	// CheckpointEvery bus cycles after the previous one (fast-forward
+	// jumps may push an emission a little later; the state captured is
+	// always exact for the cycle it reports). Zero disables
+	// checkpointing. Checkpoints are taken between bus cycles, so a run
+	// resumed from one is cycle-accurate: it produces the same audited
+	// command stream and statistics as the uninterrupted run (proven by
+	// TestResumeByteIdentical).
+	CheckpointEvery clock.Cycle
+	// CheckpointSink receives each emitted checkpoint synchronously on
+	// the simulation goroutine; copy or persist the blob and return.
+	CheckpointSink func(Checkpoint)
+}
+
+// Checkpoint is one serialized simulation state, emitted through
+// Options.CheckpointSink and accepted by Resume. Bus is the first bus
+// cycle NOT yet simulated; Blob is the versioned, checksummed state
+// (see internal/snapshot).
+type Checkpoint struct {
+	Bus  clock.Cycle
+	Blob []byte
 }
 
 // Result is the outcome of one run.
@@ -146,6 +168,86 @@ func (r *Result) RowHitRate() float64 {
 
 // Run executes one simulation.
 func Run(opt Options) (*Result, error) {
+	rs, err := newRunState(opt)
+	if err != nil {
+		return nil, err
+	}
+	v := loopVars{warmed: rs.warmup == 0, prevProg: -1}
+	v, stopErr, hardErr := rs.loop(v)
+	if hardErr != nil {
+		return nil, hardErr
+	}
+	return rs.finish(v, stopErr)
+}
+
+// Resume reconstructs a run from a checkpoint blob and carries it to
+// completion. opt must describe the same run that produced the blob
+// (system, workloads, budget, seed, fragmentation — all validated
+// against the serialized header); observational options (Capture,
+// Telemetry, CheckpointSink) may differ. The resumed run is
+// cycle-accurate: statistics, the audited command stream and the final
+// Result match the uninterrupted run byte for byte. Two components
+// restart fresh rather than resuming: the watchdog (it re-arms its
+// progress deadline from the resume point) and the protocol checker
+// (which may need a few commands of stream context before its checks
+// are meaningful again). Neither perturbs the simulated machine.
+func Resume(opt Options, blob []byte) (*Result, error) {
+	rs, err := newRunState(opt)
+	if err != nil {
+		return nil, err
+	}
+	v, err := rs.restore(blob)
+	if err != nil {
+		return nil, fmt.Errorf("sim: resume: %w", err)
+	}
+	v, stopErr, hardErr := rs.loop(v)
+	if hardErr != nil {
+		return nil, hardErr
+	}
+	return rs.finish(v, stopErr)
+}
+
+// runState is the fully constructed simulated machine plus the harness
+// around it (auditors, checkers, fault plan, watchdog, telemetry). Run
+// and Resume build it identically from Options; Resume then overwrites
+// the mutable state from the checkpoint blob before entering the loop.
+type runState struct {
+	opt      Options
+	sys      *config.System
+	mapper   *addrmap.Mapper
+	mem      *osmem.Memory
+	achieved float64
+	procs    []*osmem.Process
+	gens     []workload.Generator
+	caches   *cache.Hierarchy
+	tel      *telemetry.Set
+	telRun   uint16
+	ctls     []*memctrl.Controller
+	auditors []*dram.Auditor
+	checkers []*check.Checker
+	plan     *faults.Plan
+	tgt      injectTarget
+	wd       *watchdogState
+	br       *bridge
+	cores    []*cpu.Core
+	warmup   int64
+	maxBus   clock.Cycle
+	ratio    int64
+}
+
+// loopVars is the loop-carried state of the simulation: everything the
+// run loop itself mutates between bus cycles. It is the part of a
+// checkpoint that is not owned by a subsystem.
+type loopVars struct {
+	bus       clock.Cycle
+	busAtWarm clock.Cycle
+	cpuCycle  int64
+	warmed    bool
+	prevProg  int64
+	lastCkpt  clock.Cycle
+}
+
+func newRunState(opt Options) (*runState, error) {
 	sys := opt.Sys
 	if len(opt.Benches) == 0 || len(opt.Benches) > sys.CPU.Cores {
 		return nil, fmt.Errorf("sim: %d workloads for %d cores", len(opt.Benches), sys.CPU.Cores)
@@ -244,6 +346,42 @@ func Run(opt Options) (*Result, error) {
 		maxBus = (warmup+opt.Instrs)*300 + 1_000_000
 	}
 
+	return &runState{
+		opt:      opt,
+		sys:      sys,
+		mapper:   mapper,
+		mem:      mem,
+		achieved: achieved,
+		procs:    procs,
+		gens:     gens,
+		caches:   caches,
+		tel:      tel,
+		telRun:   telRun,
+		ctls:     ctls,
+		auditors: auditors,
+		checkers: checkers,
+		plan:     plan,
+		tgt:      tgt,
+		wd:       wd,
+		br:       br,
+		cores:    cores,
+		warmup:   warmup,
+		maxBus:   maxBus,
+		ratio:    int64(sys.CPU.ClockRatio),
+	}, nil
+}
+
+// loop advances the simulation from v until completion or a graceful
+// stop. It returns the final loop-carried state, the stop error (nil on
+// a clean finish; OOM / protocol violation / watchdog / cancellation
+// otherwise — partial statistics are still assembled), and a hard error
+// (bus-cycle budget overrun) that yields no Result at all.
+func (rs *runState) loop(v loopVars) (loopVars, error, error) {
+	opt, sys := rs.opt, rs.sys
+	br, plan, tgt, wd, tel := rs.br, rs.plan, rs.tgt, rs.wd, rs.tel
+	cores, ctls, checkers := rs.cores, rs.ctls, rs.checkers
+	ratio, maxBus := rs.ratio, rs.maxBus
+
 	// Cancellation plumbing: a nil Done channel never fires, so runs
 	// without a context pay only a dead branch. The check runs every 64
 	// loop iterations (not bus cycles — fast-forward jumps would skip
@@ -254,16 +392,35 @@ func Run(opt Options) (*Result, error) {
 		done = opt.Ctx.Done()
 	}
 
+	ckptEvery := opt.CheckpointEvery
+	if opt.CheckpointSink == nil {
+		ckptEvery = 0
+	}
+
 	var bus, busAtWarm clock.Cycle
 	var stopErr error
-	cpuCycle := int64(0)
-	warmed := warmup == 0
-	ratio := int64(sys.CPU.ClockRatio)
-	prevProg := int64(-1)
+	bus, busAtWarm = v.bus, v.busAtWarm
+	cpuCycle := v.cpuCycle
+	warmed := v.warmed
+	prevProg := v.prevProg
+	lastCkpt := v.lastCkpt
+	sync := func() loopVars {
+		return loopVars{bus: bus, busAtWarm: busAtWarm, cpuCycle: cpuCycle,
+			warmed: warmed, prevProg: prevProg, lastCkpt: lastCkpt}
+	}
 	iter := 0
-	for bus = 0; ; bus++ {
+	for ; ; bus++ {
 		if bus > maxBus {
-			return nil, fmt.Errorf("sim: %s did not finish within %d bus cycles", sys.Name, maxBus)
+			return sync(), nil, fmt.Errorf("sim: %s did not finish within %d bus cycles", sys.Name, maxBus)
+		}
+		// Checkpoint emission point: every cycle below bus is fully
+		// simulated and no cycle-local work for bus has started, so the
+		// machine state is exactly "about to simulate bus". The snapshot
+		// only reads state (in particular, it never draws from any RNG),
+		// so emitting one cannot perturb the run.
+		if ckptEvery > 0 && bus > 0 && bus-lastCkpt >= ckptEvery {
+			lastCkpt = bus
+			opt.CheckpointSink(Checkpoint{Bus: bus, Blob: rs.snapshot(sync())})
 		}
 		if iter++; done != nil && iter&63 == 0 {
 			select {
@@ -426,7 +583,7 @@ func Run(opt Options) (*Result, error) {
 			if arg > 1<<32-1 {
 				arg = 1<<32 - 1
 			}
-			tel.Emit(telemetry.Event{At: bus + 1, Run: telRun, Kind: telemetry.EvFFSkip, Arg: uint32(arg)})
+			tel.Emit(telemetry.Event{At: bus + 1, Run: rs.telRun, Kind: telemetry.EvFFSkip, Arg: uint32(arg)})
 		}
 		skipped := int64(next-bus-1) * ratio
 		for _, c := range cores {
@@ -436,6 +593,14 @@ func Run(opt Options) (*Result, error) {
 		bus = next - 1
 	}
 
+	return sync(), stopErr, nil
+}
+
+// finish assembles the Result from the machine state after the loop
+// ended (cleanly or on a graceful stop at v.bus).
+func (rs *runState) finish(v loopVars, stopErr error) (*Result, error) {
+	opt, sys := rs.opt, rs.sys
+	bus, busAtWarm := v.bus, v.busAtWarm
 	res := &Result{
 		System:       sys.Name,
 		Benches:      opt.Benches,
@@ -443,9 +608,10 @@ func Run(opt Options) (*Result, error) {
 		ElapsedNS:    sys.Bus.NS(bus - busAtWarm),
 		QueueLat:     &stats.Sampler{},
 		TotalLat:     &stats.Sampler{},
-		AchievedFMFI: achieved,
+		AchievedFMFI: rs.achieved,
 	}
 	busNS := sys.Bus.PeriodNS()
+	ctls := rs.ctls
 	for _, ctl := range ctls {
 		ch := ctl.Channel()
 		ch.Finish(bus)
@@ -471,7 +637,7 @@ func Run(opt Options) (*Result, error) {
 	}
 	res.Energy = energy.Default().Compute(res.DRAM, busNS)
 
-	for i, a := range auditors {
+	for i, a := range rs.auditors {
 		if v := a.Violations(); len(v) > 0 {
 			return nil, fmt.Errorf("sim: %s: channel %d protocol violations (%d commands audited): %v",
 				sys.Name, i, a.Commands(), v[0])
@@ -482,21 +648,21 @@ func Run(opt Options) (*Result, error) {
 	// End-of-stream checker pass (refresh starvation) and violation
 	// harvest. In Panic mode Finish panics on a detection, matching the
 	// in-stream semantics.
-	for _, ck := range checkers {
+	for _, ck := range rs.checkers {
 		ck.Finish(bus)
 		res.Protocol = append(res.Protocol, ck.Errors()...)
 		if stopErr == nil && ck.Failed() {
 			stopErr = ck.Err()
 		}
 	}
-	res.FaultsInjected = plan.Injected()
+	res.FaultsInjected = rs.plan.Injected()
 
 	var mappedHuge, mapped uint64
-	for i, c := range cores {
+	for i, c := range rs.cores {
 		res.IPC = append(res.IPC, c.IPC())
-		res.MPKI = append(res.MPKI, 1000*float64(br.misses[i])/float64(opt.Instrs))
-		mappedHuge += procs[i].HugeMapped * osmem.HugeBytes
-		mapped += procs[i].MappedBytes()
+		res.MPKI = append(res.MPKI, 1000*float64(rs.br.misses[i])/float64(opt.Instrs))
+		mappedHuge += rs.procs[i].HugeMapped * osmem.HugeBytes
+		mapped += rs.procs[i].MappedBytes()
 	}
 	if mapped > 0 {
 		res.HugeCoverage = float64(mappedHuge) / float64(mapped)

@@ -1,0 +1,65 @@
+package snapshot
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes through the container validator and
+// a representative field-read sequence. The invariant: decoding hostile
+// input must either succeed or fail with a typed *DecodeError — it may
+// never panic, index out of range, or allocate absurdly.
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: a valid blob, plus truncations and bit flips.
+	var e Encoder
+	e.U8(3)
+	e.Bool(true)
+	e.U64(777)
+	e.Str("seed")
+	e.Bytes([]byte{9, 9})
+	e.Int(2)
+	e.F64(1.5)
+	valid := e.Seal()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add(valid[:16])
+	f.Add([]byte{})
+	flipped := append([]byte(nil), valid...)
+	flipped[20] ^= 0x80
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Open(data)
+		if err != nil {
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("Open returned non-typed error %T: %v", err, err)
+			}
+			return
+		}
+		// Exercise every field reader against whatever payload survived
+		// container validation.
+		d.U8()
+		d.Bool()
+		d.U64()
+		d.Str()
+		d.BytesField()
+		n := d.Count(8)
+		if n > d.Remaining() {
+			t.Fatalf("Count returned %d with only %d bytes remaining", n, d.Remaining())
+		}
+		for i := 0; i < n; i++ {
+			d.U64()
+		}
+		d.F64()
+		d.U32()
+		d.I64()
+		if err := d.Err(); err != nil {
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("Decoder surfaced non-typed error %T: %v", err, err)
+			}
+		}
+		_ = d.Close()
+	})
+}

@@ -1,0 +1,179 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var e Encoder
+	e.U8(7)
+	e.Bool(true)
+	e.Bool(false)
+	e.U32(0xdeadbeef)
+	e.U64(1 << 62)
+	e.I64(-12345)
+	e.Int(42)
+	e.F64(3.14159)
+	e.Str("hello, dram")
+	e.Str("")
+	e.Bytes([]byte{1, 2, 3})
+	e.Bytes(nil)
+	blob := e.Seal()
+
+	d, err := Open(blob)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if got := d.U8(); got != 7 {
+		t.Fatalf("U8 = %d", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("Bool mismatch")
+	}
+	if got := d.U32(); got != 0xdeadbeef {
+		t.Fatalf("U32 = %x", got)
+	}
+	if got := d.U64(); got != 1<<62 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := d.I64(); got != -12345 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := d.Int(); got != 42 {
+		t.Fatalf("Int = %d", got)
+	}
+	if got := d.F64(); got != 3.14159 {
+		t.Fatalf("F64 = %v", got)
+	}
+	if got := d.Str(); got != "hello, dram" {
+		t.Fatalf("Str = %q", got)
+	}
+	if got := d.Str(); got != "" {
+		t.Fatalf("empty Str = %q", got)
+	}
+	if got := d.BytesField(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("Bytes = %v", got)
+	}
+	if got := d.BytesField(); len(got) != 0 {
+		t.Fatalf("nil Bytes = %v", got)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func mustDecodeError(t *testing.T, err error, substr string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("want DecodeError containing %q, got nil", substr)
+	}
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("want *DecodeError, got %T: %v", err, err)
+	}
+	if !strings.Contains(de.Error(), substr) {
+		t.Fatalf("error %q does not mention %q", de.Error(), substr)
+	}
+}
+
+func TestOpenRejectsTruncated(t *testing.T) {
+	var e Encoder
+	e.U64(99)
+	blob := e.Seal()
+	for cut := 0; cut < len(blob); cut++ {
+		if _, err := Open(blob[:cut]); err == nil {
+			t.Fatalf("Open accepted blob truncated to %d bytes", cut)
+		} else {
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("truncation to %d: got %T, want *DecodeError", cut, err)
+			}
+		}
+	}
+}
+
+func TestOpenRejectsBadMagic(t *testing.T) {
+	var e Encoder
+	blob := e.Seal()
+	blob[0] ^= 0xff
+	_, err := Open(blob)
+	mustDecodeError(t, err, "magic")
+}
+
+func TestOpenRejectsVersionSkew(t *testing.T) {
+	var e Encoder
+	e.U32(1)
+	blob := e.Seal()
+	binary.BigEndian.PutUint32(blob[8:], Version+1)
+	_, err := Open(blob)
+	mustDecodeError(t, err, "version")
+}
+
+func TestOpenRejectsCorruptPayload(t *testing.T) {
+	var e Encoder
+	e.Str("payload that will be flipped")
+	blob := e.Seal()
+	blob[len(blob)-40] ^= 0x01 // inside payload, before checksum
+	_, err := Open(blob)
+	mustDecodeError(t, err, "checksum")
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	var e Encoder
+	e.U32(5)
+	blob := e.Seal()
+	d, err := Open(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.U32()
+	d.U64() // past end
+	mustDecodeError(t, d.Err(), "remain")
+	// Subsequent reads stay safe and keep the first error.
+	d.Str()
+	d.BytesField()
+	d.I64()
+	mustDecodeError(t, d.Err(), "remain")
+	if err := d.Close(); err == nil {
+		t.Fatal("Close should report the sticky error")
+	}
+}
+
+func TestCloseRejectsTrailingBytes(t *testing.T) {
+	var e Encoder
+	e.U32(1)
+	e.U32(2)
+	blob := e.Seal()
+	d, err := Open(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.U32()
+	mustDecodeError(t, d.Close(), "trailing")
+}
+
+func TestCountGuardsHostileLengths(t *testing.T) {
+	var e Encoder
+	e.Int(1 << 40) // absurd element count
+	blob := e.Seal()
+	d, err := Open(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := d.Count(8); n != 0 {
+		t.Fatalf("Count = %d, want 0", n)
+	}
+	mustDecodeError(t, d.Err(), "count")
+
+	var e2 Encoder
+	e2.Int(-3)
+	d2, err := Open(e2.Seal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.Count(1)
+	mustDecodeError(t, d2.Err(), "negative")
+}

@@ -1,0 +1,52 @@
+package stats
+
+import (
+	"eruca/internal/rng"
+	"eruca/internal/snapshot"
+)
+
+// Snapshot serializes the sampler's full mutable state — counts, sum,
+// retained values, and (in reservoir mode) the replacement PRNG cursor
+// — so a restored sampler continues the exact retained-subset stream.
+func (s *Sampler) Snapshot(e *snapshot.Encoder) {
+	e.Int(s.n)
+	e.Int(s.cap)
+	e.F64(s.sum)
+	e.Bool(s.sorted)
+	e.Int(len(s.vals))
+	for _, v := range s.vals {
+		e.F64(v)
+	}
+	if s.cap > 0 {
+		seed, draws := s.src.State()
+		e.I64(seed)
+		e.U64(draws)
+	}
+}
+
+// Restore rebuilds the sampler from a Snapshot stream. It may be called
+// on a zero sampler or one already armed via Reservoir; the snapshot's
+// mode wins either way.
+func (s *Sampler) Restore(d *snapshot.Decoder) {
+	s.n = d.Int()
+	s.cap = d.Int()
+	s.sum = d.F64()
+	s.sorted = d.Bool()
+	k := d.Count(8)
+	s.vals = s.vals[:0]
+	for i := 0; i < k; i++ {
+		s.vals = append(s.vals, d.F64())
+	}
+	if s.cap > 0 {
+		seed := d.I64()
+		draws := d.U64()
+		if d.Err() == nil {
+			if s.src == nil {
+				s.rng, s.src = rng.New(seed)
+			}
+			s.src.Restore(seed, draws)
+		}
+	} else {
+		s.rng, s.src = nil, nil
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"eruca/internal/diag"
+	"eruca/internal/rng"
 )
 
 // Sampler accumulates float64 samples and reports summary statistics.
@@ -23,9 +24,10 @@ type Sampler struct {
 	sum    float64
 	sorted bool
 
-	n   int        // total samples observed (== len(vals) when unbounded)
-	cap int        // reservoir capacity; 0 = retain everything
-	rng *rand.Rand // replacement PRNG (reservoir mode only)
+	n   int         // total samples observed (== len(vals) when unbounded)
+	cap int         // reservoir capacity; 0 = retain everything
+	rng *rand.Rand  // replacement PRNG (reservoir mode only)
+	src *rng.Source // counting source behind rng, for checkpoint/restore
 }
 
 // Reservoir bounds the sampler to k retained samples using Vitter's
@@ -39,7 +41,7 @@ func (s *Sampler) Reservoir(k int, seed int64) {
 	diag.Invariant(len(s.vals) == 0, "stats: Reservoir armed on a non-empty sampler (n=%d)", len(s.vals))
 	diag.Invariant(k > 0, "stats: non-positive reservoir capacity %d", k)
 	s.cap = k
-	s.rng = rand.New(rand.NewSource(seed))
+	s.rng, s.src = rng.New(seed)
 }
 
 // Bounded reports whether the sampler is in reservoir mode.

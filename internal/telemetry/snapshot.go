@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"sync/atomic"
+
+	"eruca/internal/snapshot"
+)
+
+// counterField aliases the raw atomic so fields() can return addressable
+// references to every physical counter.
+type counterField = atomic.Uint64
+
+// SnapshotState serializes every scalar counter and histogram for a
+// crash-safe checkpoint. Trace rings are deliberately not serialized:
+// after a resume the trace restarts empty (checkpoints would otherwise
+// balloon by megabytes), while the counters — the attribution source of
+// truth — carry over exactly.
+func (c *Counters) SnapshotState(e *snapshot.Encoder) {
+	for _, f := range c.fields() {
+		e.U64(f.Load())
+	}
+	c.Hists(func(_ string, h *Hist) { h.snapshotState(e) })
+}
+
+// RestoreState rewinds every counter and histogram from a
+// SnapshotState stream.
+func (c *Counters) RestoreState(d *snapshot.Decoder) error {
+	for _, f := range c.fields() {
+		f.Store(d.U64())
+	}
+	var err error
+	c.Hists(func(_ string, h *Hist) {
+		if e := h.restoreState(d); e != nil && err == nil {
+			err = e
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return d.Err()
+}
+
+// fields lists the raw counter fields in canonical order. Unlike Each
+// this excludes derived values (vpp_acts_saved aliases ewlr_hits), so
+// snapshot/restore round-trips exactly once per physical counter.
+func (c *Counters) fields() []*counterField {
+	return []*counterField{
+		&c.Acts, &c.Pres, &c.Reads, &c.Writes, &c.Refreshes, &c.PreAlls,
+		&c.EWLRHits, &c.EWLRMisses, &c.PartialPres, &c.PlaneConflicts,
+		&c.RAPRedirects, &c.DDBSavedCK, &c.FFCyclesSkipped, &c.TraceDropped,
+	}
+}
+
+func (h *Hist) snapshotState(e *snapshot.Encoder) {
+	e.U64(h.n.Load())
+	e.I64(h.sum.Load())
+	for i := range h.buckets {
+		e.U64(h.buckets[i].Load())
+	}
+}
+
+func (h *Hist) restoreState(d *snapshot.Decoder) error {
+	h.n.Store(d.U64())
+	h.sum.Store(d.I64())
+	for i := range h.buckets {
+		h.buckets[i].Store(d.U64())
+	}
+	return d.Err()
+}

@@ -1,0 +1,63 @@
+package workload
+
+import "eruca/internal/snapshot"
+
+// Stateful is the optional extension a Generator implements to support
+// crash-safe checkpoints. The built-in synthetic generators implement
+// it; a hypothetical trace-replay generator would serialize its file
+// cursor instead.
+type Stateful interface {
+	Generator
+	Snapshot(e *snapshot.Encoder)
+	Restore(d *snapshot.Decoder) error
+}
+
+// Snapshot serializes the generator's stream position: PRNG cursor,
+// stream cursors, burst/step counters and the recent-address window.
+// The Profile is rebuilt from the benchmark name on restore.
+func (g *generator) Snapshot(e *snapshot.Encoder) {
+	seed, draws := g.src.State()
+	e.I64(seed)
+	e.U64(draws)
+	e.Int(len(g.cursors))
+	for _, c := range g.cursors {
+		e.U64(c)
+	}
+	e.Int(g.steps)
+	e.Int(g.next)
+	e.Int(g.burst)
+	e.Int(len(g.recent))
+	for _, r := range g.recent {
+		e.U64(r)
+	}
+	e.Int(g.ri)
+}
+
+// Restore rewinds the generator to a Snapshot position. The generator
+// must have been built from the same profile and seed.
+func (g *generator) Restore(d *snapshot.Decoder) error {
+	seed := d.I64()
+	draws := d.U64()
+	nc := d.Count(8)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	g.src.Restore(seed, draws)
+	g.cursors = g.cursors[:0]
+	for i := 0; i < nc; i++ {
+		g.cursors = append(g.cursors, d.U64())
+	}
+	g.steps = d.Int()
+	g.next = d.Int()
+	g.burst = d.Int()
+	nr := d.Count(8)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	g.recent = g.recent[:0]
+	for i := 0; i < nr; i++ {
+		g.recent = append(g.recent, d.U64())
+	}
+	g.ri = d.Int()
+	return d.Err()
+}

@@ -15,7 +15,11 @@
 // the paper's captured physical traces.
 package workload
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"eruca/internal/rng"
+)
 
 // Op is one memory instruction and the non-memory work preceding it.
 type Op struct {
@@ -63,7 +67,8 @@ type Profile struct {
 
 // New builds a deterministic generator from the profile and seed.
 func New(p Profile, seed int64) Generator {
-	g := &generator{p: p, rng: rand.New(rand.NewSource(seed))}
+	g := &generator{p: p}
+	g.rng, g.src = rng.New(seed)
 	g.cursors = make([]uint64, p.Streams)
 	for i := range g.cursors {
 		g.cursors[i] = g.randAddr()
@@ -78,6 +83,7 @@ func New(p Profile, seed int64) Generator {
 type generator struct {
 	p       Profile
 	rng     *rand.Rand
+	src     *rng.Source // counting source behind rng, for checkpoint/restore
 	cursors []uint64
 	steps   int
 	next    int // current stream index
