@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race chaos chaos-restart fuzz-smoke verify bench bench-baseline bench-compare clean
+.PHONY: build vet test race chaos chaos-restart chaos-cluster fuzz-smoke verify bench bench-baseline bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,16 @@ chaos:
 chaos-restart:
 	ERUCA_CHAOS_RESTART=1 $(GO) test -count=1 -v -timeout 15m \
 		-run 'ChaosKillRestart' ./cmd/erucad/
+
+# Cluster chaos harness against real erucad binaries: a 3-node cluster
+# takes a sweep, a random worker is SIGKILLed mid-run, and the cluster
+# must evict it on lease expiry, re-enqueue its jobs on survivors, and
+# finish with results byte-identical to an uninterrupted single-node
+# daemon. Set ERUCA_CHAOS_CLUSTER_DIR to keep per-node WALs and logs.
+chaos-cluster:
+	ERUCA_CHAOS_CLUSTER=1 ERUCA_CHAOS_CLUSTER_DIR=$(ERUCA_CHAOS_CLUSTER_DIR) \
+		$(GO) test -count=1 -v -timeout 15m \
+		-run 'ChaosCluster' ./cmd/erucad/
 
 # Short fuzz of the hostile-input decoders: the fault-plan parser
 # (corpus under internal/faults/testdata/fuzz/ keeps regressions pinned)

@@ -1,0 +1,284 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestChaosClusterKillMembers is the cluster-wide fault-tolerance
+// proof, run against real erucad processes: a 3-node cluster (one
+// coordinator, two workers) takes a sweep of jobs placed across the
+// ring, a randomly chosen worker is SIGKILLed mid-sweep — after its
+// checkpoint blobs have replicated, no drain, no leave — and the
+// cluster must then (a) evict the dead member on lease expiry and
+// re-enqueue its jobs on survivors (visible as
+// eruca_cluster_nodes_evicted >= 1 and eruca_cluster_jobs_migrated >=
+// 1), (b) keep every original job ID answering through the
+// coordinator's alias table, from the coordinator AND the surviving
+// worker, and (c) finish the whole sweep with results byte-identical
+// to an uninterrupted single-node daemon running the same specs.
+//
+// Multi-process and multi-second, so it only runs when asked:
+//
+//	ERUCA_CHAOS_CLUSTER=1 go test ./cmd/erucad/ -run ChaosCluster
+//
+// (`make chaos-cluster` and the CI chaos-cluster job set this; CI
+// points ERUCA_CHAOS_CLUSTER_DIR at a workspace path so per-node WALs
+// and logs survive as artifacts when the run fails.)
+func TestChaosClusterKillMembers(t *testing.T) {
+	if os.Getenv("ERUCA_CHAOS_CLUSTER") == "" {
+		t.Skip("set ERUCA_CHAOS_CLUSTER=1 to run the cluster chaos harness")
+	}
+
+	tmp := os.Getenv("ERUCA_CHAOS_CLUSTER_DIR")
+	if tmp == "" {
+		tmp = t.TempDir()
+	} else if err := os.MkdirAll(tmp, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(tmp, "erucad")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build erucad: %v\n%s", err, out)
+	}
+
+	type member struct {
+		id   string
+		addr string // public API
+		peer string // peer protocol
+		wal  string
+		cmd  *exec.Cmd
+	}
+	var coordPeer string
+	startMember := func(id string, logName string) *member {
+		m := &member{id: id, addr: freeAddr(t), peer: freeAddr(t), wal: filepath.Join(tmp, "wal-"+id)}
+		args := []string{
+			"-node", id, "-addr", m.addr, "-listen-peer", m.peer,
+			"-wal", m.wal, "-workers", "2", "-checkpoint-cycles", "100000",
+			"-lease", "1s", "-drain-timeout", "5s",
+		}
+		if id != "c" {
+			args = append(args, "-join", "http://"+coordPeer)
+		}
+		logf, err := os.Create(filepath.Join(tmp, logName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.cmd = exec.Command(bin, args...)
+		m.cmd.Stdout, m.cmd.Stderr = logf, logf
+		if err := m.cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		waitHealthy(t, "http://"+m.addr)
+		return m
+	}
+
+	coord := startMember("c", "node-c.log") // no -join: the coordinator
+	coordPeer = coord.peer
+	workers := []*member{startMember("w1", "node-w1.log"), startMember("w2", "node-w2.log")}
+	members := append([]*member{coord}, workers...)
+	defer func() {
+		for _, m := range members {
+			if m.cmd.ProcessState == nil {
+				_ = m.cmd.Process.Signal(syscall.SIGKILL)
+				_ = m.cmd.Wait()
+			}
+		}
+	}()
+	base := "http://" + coord.addr
+
+	// All three members must be in the ring before the sweep starts.
+	waitMembers(t, base, 3)
+
+	// The sweep: eight mid-sized jobs across mixes and systems, placed
+	// over the ring by spec hash.
+	var specs []map[string]any
+	for _, mix := range []string{"mix0", "mix1", "mix2", "mix3"} {
+		for _, system := range []string{"ddr4", "vsb-ewlr-rap-ddb"} {
+			specs = append(specs, map[string]any{
+				"kind": "sim", "system": system, "mix": mix,
+				"instrs": 2_000_000, "frag": 0.1,
+			})
+		}
+	}
+	key := func(i int) string { return fmt.Sprintf("chaos-cluster-%d", i) }
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		id, code := postJob(t, base, spec, key(i))
+		if code != http.StatusAccepted && code != http.StatusOK {
+			t.Fatalf("submit %d: status %d", i, code)
+		}
+		ids[i] = id
+	}
+
+	// Victim: a random worker that owns at least one job of the sweep
+	// (the ID prefix is the placement).
+	owns := func(m *member) bool {
+		for _, id := range ids {
+			if strings.HasPrefix(id, m.id+"-") {
+				return true
+			}
+		}
+		return false
+	}
+	var candidates []*member
+	for _, w := range workers {
+		if owns(w) {
+			candidates = append(candidates, w)
+		}
+	}
+	if len(candidates) == 0 {
+		t.Fatalf("no worker owns any job; placements: %v", ids)
+	}
+	victim := candidates[rand.Intn(len(candidates))]
+	t.Logf("victim: %s (placements: %v)", victim.id, ids)
+
+	// Kill only after the victim has written a checkpoint blob — so the
+	// migrated job genuinely has something to resume from — and with
+	// SIGKILL: no drain, no goodbye, exactly what a crashed member
+	// looks like.
+	deadline := time.Now().Add(120 * time.Second)
+	for countCkpts(filepath.Join(victim.wal, "checkpoints")) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("victim wrote no checkpoint blob before the kill window")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := victim.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_ = victim.cmd.Wait()
+
+	// (a) Lease expiry must evict the victim and migrate its jobs.
+	deadline = time.Now().Add(60 * time.Second)
+	for clusterMetric(t, base, "eruca_cluster_nodes_evicted") < 1 ||
+		clusterMetric(t, base, "eruca_cluster_jobs_migrated") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no eviction/migration after the kill: evicted=%d migrated=%d",
+				clusterMetric(t, base, "eruca_cluster_nodes_evicted"),
+				clusterMetric(t, base, "eruca_cluster_jobs_migrated"))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// (b) Every original job ID completes, reachable both through the
+	// coordinator and through the surviving worker (proxy + alias).
+	var survivor *member
+	for _, w := range workers {
+		if w != victim {
+			survivor = w
+		}
+	}
+	results := make(map[string]string, len(ids))
+	for _, id := range ids {
+		results[id] = pollDone(t, base, id, 300*time.Second)
+		if via := pollDone(t, "http://"+survivor.addr, id, 60*time.Second); via != results[id] {
+			t.Errorf("job %s: survivor %s returned a different result than the coordinator", id, survivor.id)
+		}
+	}
+
+	// (c) Byte-identical to an uninterrupted single-node daemon.
+	refAddr := freeAddr(t)
+	refLog, err := os.Create(filepath.Join(tmp, "ref.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := exec.Command(bin, "-addr", refAddr, "-wal", filepath.Join(tmp, "wal-ref"), "-workers", "2")
+	ref.Stdout, ref.Stderr = refLog, refLog
+	if err := ref.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = ref.Process.Signal(syscall.SIGKILL)
+		_ = ref.Wait()
+	}()
+	refBase := "http://" + refAddr
+	waitHealthy(t, refBase)
+	for i, spec := range specs {
+		rid, code := postJob(t, refBase, spec, key(i))
+		if code != http.StatusAccepted {
+			t.Fatalf("reference submit %d: status %d", i, code)
+		}
+		if got := pollDone(t, refBase, rid, 300*time.Second); got != results[ids[i]] {
+			t.Errorf("spec %d: cluster result differs from uninterrupted single-node reference", i)
+		}
+	}
+}
+
+// waitMembers polls the coordinator's cluster info until n members are
+// in the ring.
+func waitMembers(t *testing.T, base string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/cluster/info")
+		if err == nil {
+			var info struct {
+				Members []struct{ ID string } `json:"members"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&info)
+			resp.Body.Close()
+			if err == nil && len(info.Members) >= n {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never reached %d members", n)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// pollDone polls a job until done, tolerating transport errors and the
+// 503 window while an evicted member's jobs are re-homed.
+func pollDone(t *testing.T, base, id string, within time.Duration) string {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err == nil {
+			var v jobView
+			err = json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+			if err == nil && resp.StatusCode == http.StatusOK {
+				switch v.State {
+				case "done":
+					return v.Result
+				case "failed", "canceled":
+					t.Fatalf("job %s ended %s: %+v", id, v.State, v.Error)
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s not done within %s", id, within)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// clusterMetric scrapes one integer metric from a node's /metrics.
+func clusterMetric(t *testing.T, base, name string) int {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return -1
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var v int
+		if n, _ := fmt.Sscanf(sc.Text(), name+" %d", &v); n == 1 {
+			return v
+		}
+	}
+	return -1
+}

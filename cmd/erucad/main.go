@@ -15,10 +15,21 @@
 // results, unfinished jobs re-run from their last checkpoint, and
 // Idempotency-Key retries land on the original jobs.
 //
+// With -listen-peer the daemon becomes a cluster member: a node
+// started without -join is the coordinator, nodes started with
+// -join=http://coord-peer-addr register under heartbeat leases.
+// Submissions land on the spec hash's ring owner from any node, by-ID
+// requests (status, SSE events, cancel) proxy to wherever the job
+// lives, result-cache lookups read through to the hash's shard, and a
+// member that stops heartbeating is evicted — its jobs re-enqueued on
+// survivors from their replicated checkpoints.
+//
 // Examples:
 //
 //	erucad -addr :8080 -cache eruca-cache.json
 //	erucad -addr :8080 -wal /var/lib/eruca/wal -drain-timeout 30s
+//	erucad -node n1 -addr :8080 -listen-peer :9080 -wal /var/lib/eruca/n1
+//	erucad -node n2 -addr :8081 -listen-peer :9081 -join http://127.0.0.1:9080 -wal /var/lib/eruca/n2
 //	curl -XPOST localhost:8080/v1/jobs -d '{"kind":"sim","system":"ddr4","mix":"mix0","frag":0.1}'
 //	curl localhost:8080/v1/jobs/job-000001
 //	curl -N localhost:8080/v1/jobs/job-000001/events
@@ -34,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -41,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"eruca/internal/cluster"
 	"eruca/internal/server"
 )
 
@@ -56,24 +69,65 @@ func main() {
 		ckptEach = flag.Int64("checkpoint-cycles", 50_000, "simulation checkpoint cadence in bus cycles (with -wal)")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM/SIGINT; past it, remaining jobs are journaled as interrupted and canceled")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+
+		nodeID   = flag.String("node", "", "cluster node ID (job-ID prefix); required with -listen-peer")
+		peerAddr = flag.String("listen-peer", "", "peer-protocol listen address; enables cluster mode")
+		joinURL  = flag.String("join", "", "coordinator peer URL to join (empty with -listen-peer = be the coordinator)")
+		leaseTTL = flag.Duration("lease", 3*time.Second, "heartbeat lease TTL; a member silent this long is evicted and its jobs re-enqueued on survivors")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "erucad: ", log.LstdFlags)
-	srv, err := server.New(server.Config{
+	scfg := server.Config{
 		Workers: *workers, SimParallel: *parallel,
 		QueueMax: *queueMax, CacheMax: *cacheMax, CachePath: *cache,
 		WALDir: *walDir, CheckpointCycles: *ckptEach,
 		Pprof: *pprofOn,
 		Logf:  logger.Printf,
-	})
-	if err != nil {
-		logger.Fatal(err)
+	}
+
+	var (
+		srv     *server.Server
+		handler http.Handler
+		node    *cluster.Node
+		err     error
+	)
+	if *peerAddr != "" {
+		if *nodeID == "" {
+			logger.Fatal("-listen-peer requires -node")
+		}
+		node, err = cluster.New(cluster.Config{
+			NodeID:     *nodeID,
+			PublicAddr: advertised(*addr),
+			PeerAddr:   advertised(*peerAddr),
+			JoinURL:    *joinURL,
+			LeaseTTL:   *leaseTTL,
+			Logf:       logger.Printf,
+		}, scfg)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		srv, handler = node.Server(), node.Handler()
+	} else {
+		if srv, err = server.New(scfg); err != nil {
+			logger.Fatal(err)
+		}
+		handler = srv.Handler()
 	}
 	srv.Start()
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
+	var ps *http.Server
+	if node != nil {
+		ps = &http.Server{Addr: *peerAddr, Handler: node.PeerHandler()}
+		go func() {
+			logger.Printf("peer protocol on %s", *peerAddr)
+			errc <- ps.ListenAndServe()
+		}()
+		node.Start()
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		logger.Printf("listening on %s", *addr)
 		errc <- hs.ListenAndServe()
@@ -101,10 +155,34 @@ func main() {
 	if err := srv.Drain(ctx); err != nil {
 		logger.Printf("drain: %v", err)
 	}
+	if node != nil {
+		// After the drain (no jobs left to hand over): leave the cluster
+		// so the coordinator reclaims our ring shard immediately.
+		node.Stop()
+	}
 	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer shutCancel()
 	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Printf("shutdown: %v", err)
 	}
+	if ps != nil {
+		if err := ps.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Printf("peer shutdown: %v", err)
+		}
+	}
 	fmt.Fprintln(os.Stderr, "erucad: bye")
+}
+
+// advertised turns a listen address into a peer-reachable one: an
+// empty or wildcard host becomes 127.0.0.1 (single-machine clusters;
+// multi-host deployments pass explicit host:port listen addresses).
+func advertised(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
 }

@@ -19,12 +19,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
-	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -32,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"eruca/internal/retry"
 	"eruca/internal/server"
 )
 
@@ -129,15 +130,14 @@ func main() {
 }
 
 // submitWithRetry POSTs the spec until the daemon accepts it. 429 (queue
-// full) and 503 (draining / restarting) are retried with exponential
-// backoff plus jitter, using the daemon's Retry-After hint as the floor
-// when present; every attempt carries the same Idempotency-Key, so a
-// retry after a dropped response returns the original job (200) instead
-// of enqueueing a duplicate.
+// full) and 503 (draining / restarting) are retried through
+// retry.Backoff — exponential with jitter, flooring each sleep at the
+// daemon's Retry-After hint; every attempt carries the same
+// Idempotency-Key, so a retry after a dropped response returns the
+// original job (200) instead of enqueueing a duplicate.
 func submitWithRetry(base string, spec server.JobSpec, key string) string {
 	b, _ := json.Marshal(spec)
-	backoff := 250 * time.Millisecond
-	const backoffMax = 30 * time.Second
+	var backoff retry.Backoff // zero value: 250ms base, 30s cap, ±25% jitter
 	for attempt := 1; ; attempt++ {
 		req, err := http.NewRequest("POST", base+"/v1/jobs", strings.NewReader(string(b)))
 		if err != nil {
@@ -149,7 +149,7 @@ func submitWithRetry(base string, spec server.JobSpec, key string) string {
 		if err != nil {
 			// Connection-level failure (daemon restarting): same backoff.
 			fmt.Fprintf(os.Stderr, "submit attempt %d: %v; retrying\n", attempt, err)
-			backoff = sleepBackoff(backoff, backoffMax, 0)
+			backoff.Sleep(context.Background(), 0)
 			continue
 		}
 		switch resp.StatusCode {
@@ -167,7 +167,7 @@ func submitWithRetry(base string, spec server.JobSpec, key string) string {
 			resp.Body.Close()
 			fmt.Fprintf(os.Stderr, "submit attempt %d: %d (Retry-After %ds); backing off\n",
 				attempt, resp.StatusCode, hint)
-			backoff = sleepBackoff(backoff, backoffMax, time.Duration(hint)*time.Second)
+			backoff.Sleep(context.Background(), time.Duration(hint)*time.Second)
 		default:
 			body, _ := io.ReadAll(resp.Body)
 			resp.Body.Close()
@@ -176,28 +176,12 @@ func submitWithRetry(base string, spec server.JobSpec, key string) string {
 	}
 }
 
-// sleepBackoff sleeps max(backoff, hint) with ±25% jitter and returns
-// the doubled (capped) backoff for the next attempt. The jitter keeps a
-// herd of rejected clients from retrying in lockstep.
-func sleepBackoff(backoff, limit, hint time.Duration) time.Duration {
-	d := backoff
-	if hint > d {
-		d = hint
-	}
-	jittered := time.Duration(float64(d) * (0.75 + 0.5*rand.Float64()))
-	time.Sleep(jittered)
-	if backoff *= 2; backoff > limit {
-		backoff = limit
-	}
-	return backoff
-}
-
 // stream prints one job's SSE event stream until its terminal "done"
 // frame, reconnecting with Last-Event-ID when the connection drops so
 // the progress log continues exactly where it left off.
 func stream(base, id string) {
 	lastID := -1
-	backoff := 250 * time.Millisecond
+	backoff := retry.Backoff{Max: 10 * time.Second}
 	for {
 		req, err := http.NewRequest("GET", base+"/v1/jobs/"+id+"/events", nil)
 		if err != nil {
@@ -212,9 +196,10 @@ func stream(base, id string) {
 				resp.Body.Close()
 			}
 			fmt.Fprintf(os.Stderr, "events: reconnecting (%v)\n", err)
-			backoff = sleepBackoff(backoff, 10*time.Second, 0)
+			backoff.Sleep(context.Background(), 0)
 			continue
 		}
+		backoff.Reset() // connected: the next drop starts the schedule fresh
 		sc := bufio.NewScanner(resp.Body)
 		done := false
 		for sc.Scan() {
@@ -239,7 +224,7 @@ func stream(base, id string) {
 		// the daemon restarted). Resume from the last id seen.
 		resp.Body.Close()
 		fmt.Fprintf(os.Stderr, "events: stream dropped after id %d; reconnecting\n", lastID)
-		backoff = sleepBackoff(backoff, 10*time.Second, 0)
+		backoff.Sleep(context.Background(), 0)
 	}
 }
 

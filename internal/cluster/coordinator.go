@@ -1,0 +1,295 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"eruca/internal/server"
+)
+
+// coordinator is the cluster's control plane, embedded in exactly one
+// node. It grants and sweeps heartbeat leases, owns the authoritative
+// ring, tracks where every non-terminal job lives (placements), and —
+// the robustness headline — re-enqueues a dead member's jobs on
+// survivors, pointing them at the checkpoint blobs the member
+// replicated before dying. Every state change is journaled through the
+// host server's WAL, so a coordinator restart reconstructs membership,
+// placements, and migration aliases the same way the job layer replays
+// its queue.
+type coordinator struct {
+	node   *Node
+	leases *leaseTable
+
+	mu         sync.Mutex
+	placements map[string]*placement // cluster job ID -> where it lives
+	// pending are evicted-node jobs whose migration has not landed on a
+	// survivor yet (all candidates down or draining); retried each
+	// sweep tick until they stick.
+	pending []*placement
+}
+
+// placement is the coordinator's knowledge of one job.
+type placement struct {
+	Job  string // job ID on its (original) owner
+	Node string
+	Hash string
+	Idem string
+	Spec server.JobSpec
+	Done bool
+	// Migration alias: after eviction, the job continues as NewID on
+	// NewNode. Proxies resolve the old ID through this.
+	NewNode string
+	NewID   string
+}
+
+func newCoordinator(n *Node) *coordinator {
+	return &coordinator{
+		node:       n,
+		leases:     newLeaseTable(n.cfg.LeaseTTL),
+		placements: make(map[string]*placement),
+	}
+}
+
+// restore folds the journal's cluster records back into membership and
+// placement state. Members come back with a full fresh lease: a live
+// node will renew within one TTL, a node that died while the
+// coordinator was down will miss it and be evicted through the normal
+// sweep — no special recovery path.
+func (c *coordinator) restore(recs []server.ClusterRecord) {
+	for _, rec := range recs {
+		switch rec.Kind {
+		case "join":
+			c.leases.Join(rec.Node, rec.Addr, rec.Peer)
+			c.node.ring.Add(rec.Node)
+		case "evict":
+			c.leases.Drop(rec.Node)
+			c.node.ring.Remove(rec.Node)
+		case "place":
+			if rec.Spec == nil {
+				continue
+			}
+			c.mu.Lock()
+			c.placements[rec.Job] = &placement{Job: rec.Job, Node: rec.Node,
+				Hash: rec.Hash, Idem: rec.Idem, Spec: *rec.Spec}
+			c.mu.Unlock()
+		case "unplace":
+			c.mu.Lock()
+			if p := c.placements[rec.Job]; p != nil {
+				p.Done = true
+			}
+			c.mu.Unlock()
+		case "migrate":
+			c.mu.Lock()
+			if p := c.placements[rec.Job]; p != nil {
+				p.NewNode, p.NewID = rec.Node, rec.NewID
+			}
+			c.mu.Unlock()
+		}
+	}
+	if n := c.node.ring.Len(); n > 0 {
+		c.node.logf("coordinator: %d member%s and %d placement%s restored from journal",
+			n, plural(n), len(c.placements), plural(len(c.placements)))
+	}
+}
+
+// snapshot emits the current cluster state for WAL compaction: a join
+// per live member, a place per non-terminal placement, a migrate per
+// alias. Terminal placements are dropped — compaction is exactly the
+// moment to forget them.
+func (c *coordinator) snapshot() []server.ClusterRecord {
+	var recs []server.ClusterRecord
+	for _, l := range c.leases.Members() {
+		recs = append(recs, server.ClusterRecord{Kind: "join", Node: l.Node, Addr: l.Addr, Peer: l.Peer, Epoch: l.Epoch})
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range c.placements {
+		if p.Done {
+			continue
+		}
+		sp := p.Spec
+		recs = append(recs, server.ClusterRecord{Kind: "place", Node: p.Node, Job: p.Job,
+			Hash: p.Hash, Idem: p.Idem, Spec: &sp})
+		if p.NewID != "" {
+			recs = append(recs, server.ClusterRecord{Kind: "migrate", Node: p.NewNode, Job: p.Job, NewID: p.NewID})
+		}
+	}
+	return recs
+}
+
+// join grants (or re-grants) a lease and installs the member in the
+// ring.
+func (c *coordinator) join(req joinRequest) joinResponse {
+	l := c.leases.Join(req.Node, req.Addr, req.Peer)
+	c.node.ring.Add(req.Node)
+	_ = c.node.srv.JournalCluster(server.ClusterRecord{Kind: "join", Node: req.Node, Addr: req.Addr, Peer: req.Peer, Epoch: l.Epoch})
+	c.node.logf("cluster: %s joined (%s, peer %s, epoch %d)", req.Node, req.Addr, req.Peer, l.Epoch)
+	return joinResponse{Epoch: l.Epoch, TTLMS: c.node.cfg.LeaseTTL.Milliseconds(), Members: c.members()}
+}
+
+// heartbeat renews the lease and reconciles the member's job report
+// against the placement table.
+func (c *coordinator) heartbeat(req heartbeatRequest) (heartbeatResponse, error) {
+	if err := c.leases.Renew(req.Node, req.Epoch); err != nil {
+		return heartbeatResponse{}, err
+	}
+	c.node.metrics.heartbeats.Add(1)
+	c.place(req.Node, req.Jobs)
+	// Reconciliation: a placement on this node that no longer appears
+	// in its (exhaustive, non-terminal) report has finished.
+	reported := make(map[string]struct{}, len(req.Jobs))
+	for _, j := range req.Jobs {
+		reported[j.ID] = struct{}{}
+	}
+	c.mu.Lock()
+	var finished []string
+	for id, p := range c.placements {
+		if p.Node != req.Node || p.Done || p.NewID != "" {
+			continue
+		}
+		if _, ok := reported[id]; !ok {
+			p.Done = true
+			finished = append(finished, id)
+		}
+	}
+	c.mu.Unlock()
+	for _, id := range finished {
+		_ = c.node.srv.JournalCluster(server.ClusterRecord{Kind: "unplace", Job: id})
+	}
+	return heartbeatResponse{Members: c.members()}, nil
+}
+
+// place records job placements (from heartbeats or eager admit
+// notifications), journaling only new ones.
+func (c *coordinator) place(node string, jobs []jobReport) {
+	var fresh []jobReport
+	c.mu.Lock()
+	for _, j := range jobs {
+		if existing := c.placements[j.ID]; existing != nil {
+			continue
+		}
+		c.placements[j.ID] = &placement{Job: j.ID, Node: node, Hash: j.Hash, Idem: j.Idem, Spec: j.Spec}
+		fresh = append(fresh, j)
+	}
+	c.mu.Unlock()
+	for _, j := range fresh {
+		sp := j.Spec
+		_ = c.node.srv.JournalCluster(server.ClusterRecord{Kind: "place", Node: node, Job: j.ID,
+			Hash: j.Hash, Idem: j.Idem, Spec: &sp})
+	}
+}
+
+// members renders the lease table as the wire member list.
+func (c *coordinator) members() []Member {
+	ls := c.leases.Members()
+	out := make([]Member, len(ls))
+	for i, l := range ls {
+		out[i] = Member{ID: l.Node, Addr: l.Addr, Peer: l.Peer}
+	}
+	return out
+}
+
+// sweep is one lease-expiry pass plus a retry of pending migrations.
+// Called from the coordinator loop every TTL/4.
+func (c *coordinator) sweep() {
+	for _, l := range c.leases.Expired() {
+		c.evict(l, "lease expired")
+	}
+	c.mu.Lock()
+	pending := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	for _, p := range pending {
+		c.migrate(p)
+	}
+}
+
+// evict removes a dead (or departing) member and re-enqueues its
+// non-terminal jobs on survivors.
+func (c *coordinator) evict(l lease, why string) {
+	c.node.ring.Remove(l.Node)
+	c.node.metrics.nodesEvicted.Add(1)
+	_ = c.node.srv.JournalCluster(server.ClusterRecord{Kind: "evict", Node: l.Node})
+	c.node.logf("cluster: evicting %s (%s)", l.Node, why)
+	var orphans []*placement
+	c.mu.Lock()
+	for _, p := range c.placements {
+		if p.Node == l.Node && !p.Done && p.NewID == "" {
+			orphans = append(orphans, p)
+		}
+	}
+	c.mu.Unlock()
+	for _, p := range orphans {
+		c.migrate(p)
+	}
+}
+
+// migrate re-enqueues one orphaned job on the survivor the ring now
+// assigns its hash to, shedding along the successor list when that
+// survivor is unreachable. The request lands through SubmitMigrated on
+// the survivor — past its admission bound, because this work was
+// already acknowledged cluster-side — and the survivor's simulation
+// resumes from the blob the dead node replicated (read-through in the
+// server's checkpoint loader). Failure leaves the placement on the
+// pending list for the next sweep.
+func (c *coordinator) migrate(p *placement) {
+	req := migrateRequest{Job: p.Job, Hash: p.Hash, Idem: p.Idem, Spec: p.Spec, From: p.Node}
+	for _, target := range c.node.ring.Successors(p.Hash, c.node.ring.Len()) {
+		newID, err := c.node.sendMigrate(target, req)
+		if err != nil {
+			c.node.logf("cluster: migrate %s -> %s failed: %v", p.Job, target, err)
+			continue
+		}
+		c.mu.Lock()
+		p.NewNode, p.NewID = target, newID
+		c.mu.Unlock()
+		c.node.metrics.jobsMigrated.Add(1)
+		_ = c.node.srv.JournalCluster(server.ClusterRecord{Kind: "migrate", Node: target, Job: p.Job, NewID: newID})
+		c.node.logf("cluster: job %s re-enqueued on %s as %s", p.Job, target, newID)
+		return
+	}
+	c.node.logf("cluster: no survivor accepted %s; will retry", p.Job)
+	c.mu.Lock()
+	c.pending = append(c.pending, p)
+	c.mu.Unlock()
+}
+
+// resolve maps a job ID to the node currently holding it — through the
+// migration alias when its original owner was evicted.
+func (c *coordinator) resolve(id string) (resolveResponse, error) {
+	c.mu.Lock()
+	p := c.placements[id]
+	var alias placement
+	if p != nil {
+		alias = *p
+	}
+	c.mu.Unlock()
+	if p == nil {
+		return resolveResponse{}, fmt.Errorf("cluster: unknown job %q", id)
+	}
+	node, jid := alias.Node, alias.Job
+	if alias.NewID != "" {
+		node, jid = alias.NewNode, alias.NewID
+	}
+	l, ok := c.leases.Get(node)
+	if !ok {
+		return resolveResponse{}, fmt.Errorf("cluster: job %q owner %s not currently a member", id, node)
+	}
+	return resolveResponse{Addr: l.Addr, ID: jid}, nil
+}
+
+// leave is the graceful departure path: drop the lease and migrate
+// anything the member still had (normally nothing, because members
+// drain before leaving).
+func (c *coordinator) leave(req leaveRequest) {
+	if l, ok := c.leases.Drop(req.Node); ok {
+		c.evict(l, "graceful leave")
+	}
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a leaseTable deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newLeaseClock(ttl time.Duration) (*leaseTable, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	lt := newLeaseTable(ttl)
+	lt.now = clk.now
+	return lt, clk
+}
+
+func TestLeaseJoinRenewExpire(t *testing.T) {
+	lt, clk := newLeaseClock(time.Second)
+	l := lt.Join("n1", "a:1", "p:1")
+	if l.Epoch == 0 {
+		t.Fatal("join granted zero epoch")
+	}
+
+	// Renewal inside the TTL pushes the deadline out.
+	clk.advance(800 * time.Millisecond)
+	if err := lt.Renew("n1", l.Epoch); err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+	clk.advance(800 * time.Millisecond)
+	if exp := lt.Expired(); len(exp) != 0 {
+		t.Fatalf("lease expired despite renewal: %v", exp)
+	}
+
+	// Silence past the TTL expires (and removes) the lease.
+	clk.advance(300 * time.Millisecond)
+	exp := lt.Expired()
+	if len(exp) != 1 || exp[0].Node != "n1" {
+		t.Fatalf("want n1 expired, got %v", exp)
+	}
+	if _, ok := lt.Get("n1"); ok {
+		t.Error("expired lease still present")
+	}
+	// An expired member's late heartbeat is rejected: it must rejoin.
+	if err := lt.Renew("n1", l.Epoch); err != ErrLeaseEvicted {
+		t.Errorf("renew after expiry: %v, want ErrLeaseEvicted", err)
+	}
+}
+
+func TestLeaseEpochFencing(t *testing.T) {
+	lt, _ := newLeaseClock(time.Second)
+	old := lt.Join("n1", "a:1", "p:1")
+	fresh := lt.Join("n1", "a:1", "p:1") // rejoin mints a new epoch
+	if fresh.Epoch <= old.Epoch {
+		t.Fatalf("rejoin epoch %d not greater than %d", fresh.Epoch, old.Epoch)
+	}
+	// The zombie incarnation (old epoch) is fenced off...
+	if err := lt.Renew("n1", old.Epoch); err != ErrLeaseEvicted {
+		t.Errorf("stale-epoch renew: %v, want ErrLeaseEvicted", err)
+	}
+	// ...while the current one renews normally.
+	if err := lt.Renew("n1", fresh.Epoch); err != nil {
+		t.Errorf("current-epoch renew: %v", err)
+	}
+}
+
+func TestLeaseDropAndMembers(t *testing.T) {
+	lt, _ := newLeaseClock(time.Second)
+	lt.Join("n2", "a:2", "p:2")
+	lt.Join("n1", "a:1", "p:1")
+	ms := lt.Members()
+	if len(ms) != 2 || ms[0].Node != "n1" || ms[1].Node != "n2" {
+		t.Fatalf("members not sorted: %v", ms)
+	}
+	if _, ok := lt.Drop("n1"); !ok {
+		t.Fatal("drop of present member reported absent")
+	}
+	if _, ok := lt.Drop("n1"); ok {
+		t.Fatal("second drop reported present")
+	}
+	if ms := lt.Members(); len(ms) != 1 || ms[0].Node != "n2" {
+		t.Fatalf("after drop: %v", ms)
+	}
+}

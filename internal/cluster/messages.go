@@ -1,0 +1,83 @@
+package cluster
+
+import "eruca/internal/server"
+
+// Wire messages of the peer protocol (JSON over the peer listener).
+
+// Member is one cluster member as advertised to peers.
+type Member struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"` // public API host:port
+	Peer string `json:"peer"` // peer (cluster) host:port
+}
+
+// joinRequest registers a node with the coordinator.
+type joinRequest struct {
+	Node string `json:"node"`
+	Addr string `json:"addr"`
+	Peer string `json:"peer"`
+}
+
+// joinResponse grants a lease and ships the membership view.
+type joinResponse struct {
+	Epoch   int64    `json:"epoch"`
+	TTLMS   int64    `json:"ttl_ms"`
+	Members []Member `json:"members"`
+}
+
+// jobReport is one non-terminal job in a heartbeat: everything the
+// coordinator needs to re-enqueue it on a survivor if this node dies.
+type jobReport struct {
+	ID   string         `json:"id"`
+	Hash string         `json:"hash"`
+	Idem string         `json:"idem,omitempty"`
+	Spec server.JobSpec `json:"spec"`
+}
+
+// heartbeatRequest renews a lease and reports in-flight work.
+type heartbeatRequest struct {
+	Node  string      `json:"node"`
+	Epoch int64       `json:"epoch"`
+	Jobs  []jobReport `json:"jobs"`
+}
+
+// heartbeatResponse refreshes the member view.
+type heartbeatResponse struct {
+	Members []Member `json:"members"`
+}
+
+// placeRequest eagerly records placements at admission time (instead of
+// waiting for the next heartbeat, which a crash could preempt).
+type placeRequest struct {
+	Node string      `json:"node"`
+	Jobs []jobReport `json:"jobs"`
+}
+
+// migrateRequest re-homes one evicted job onto the receiving survivor.
+type migrateRequest struct {
+	Job  string         `json:"job"` // the original (dead-node) job ID
+	Hash string         `json:"hash"`
+	Idem string         `json:"idem,omitempty"`
+	Spec server.JobSpec `json:"spec"`
+	From string         `json:"from"` // the evicted node
+}
+
+// migrateResponse returns the survivor's job ID for the alias table.
+type migrateResponse struct {
+	ID string `json:"id"`
+}
+
+// resolveResponse maps a (possibly migrated) job ID to where it now
+// lives.
+type resolveResponse struct {
+	Addr string `json:"addr"` // public API address of the current owner
+	ID   string `json:"id"`   // the job ID on that owner
+}
+
+// leaveRequest is the graceful departure: the coordinator drops the
+// lease and migrates whatever the node still had (normally nothing —
+// the node drains first).
+type leaveRequest struct {
+	Node  string `json:"node"`
+	Epoch int64  `json:"epoch"`
+}

@@ -1,0 +1,43 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// writeMetrics appends the cluster-layer series to the /metrics
+// exposition. eruca_cluster_jobs_migrated and
+// eruca_cluster_nodes_evicted are the headline fault-tolerance
+// counters: nonzero values prove a lease expired and its work was
+// re-homed rather than lost.
+func (n *Node) writeMetrics(w io.Writer) {
+	role := 0
+	if n.coord != nil {
+		role = 1
+	}
+	fmt.Fprintf(w, "# TYPE eruca_cluster_members gauge\neruca_cluster_members %d\n", n.ring.Len())
+	fmt.Fprintf(w, "# TYPE eruca_cluster_is_coordinator gauge\neruca_cluster_is_coordinator %d\n", role)
+	fmt.Fprintf(w, "# TYPE eruca_cluster_jobs_migrated counter\neruca_cluster_jobs_migrated %d\n", n.metrics.jobsMigrated.Load())
+	fmt.Fprintf(w, "# TYPE eruca_cluster_nodes_evicted counter\neruca_cluster_nodes_evicted %d\n", n.metrics.nodesEvicted.Load())
+	fmt.Fprintf(w, "# TYPE eruca_cluster_heartbeats_total counter\neruca_cluster_heartbeats_total %d\n", n.metrics.heartbeats.Load())
+	fmt.Fprintf(w, "# TYPE eruca_cluster_rejoins_total counter\neruca_cluster_rejoins_total %d\n", n.metrics.rejoins.Load())
+	fmt.Fprintf(w, "# TYPE eruca_cluster_submits_forwarded_total counter\neruca_cluster_submits_forwarded_total %d\n", n.metrics.forwarded.Load())
+	fmt.Fprintf(w, "# TYPE eruca_cluster_requests_proxied_total counter\neruca_cluster_requests_proxied_total %d\n", n.metrics.proxied.Load())
+	fmt.Fprintf(w, "# TYPE eruca_cluster_submits_shed_local_total counter\neruca_cluster_submits_shed_local_total %d\n", n.metrics.shedLocal.Load())
+	fmt.Fprintf(w, "# TYPE eruca_cluster_breakers_open gauge\neruca_cluster_breakers_open %d\n", n.breakers.OpenCount())
+}
+
+var (
+	proxyOnce   sync.Once
+	proxyShared *http.Client
+)
+
+// proxyClient is the streaming HTTP client for by-ID proxying: unlike
+// n.client it has no overall timeout, because a proxied SSE stream
+// lives as long as the downstream client keeps the connection open.
+func (n *Node) proxyClient() *http.Client {
+	proxyOnce.Do(func() { proxyShared = &http.Client{} })
+	return proxyShared
+}

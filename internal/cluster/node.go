@@ -1,0 +1,515 @@
+// Package cluster turns a set of erucad daemons into one fault-tolerant
+// simulation service. The topology is coordinator/worker: every node
+// runs the full single-node stack (queue, workers, WAL, caches) from
+// internal/server, and the cluster layer adds
+//
+//   - placement: submissions are routed by spec content hash over a
+//     consistent-hash ring, so duplicate submissions land on the same
+//     node and collapse in its singleflight runner — cluster-wide dedup
+//     out of the single-node mechanism;
+//   - a sharded result cache: each node's content-addressed cache holds
+//     its ring shard, with read-through to the hash's owner on miss;
+//   - leases: workers prove liveness by heartbeat; a member that misses
+//     its lease deadline is evicted and its in-flight jobs re-enqueued
+//     on survivors, resuming from the checkpoint blobs it replicated to
+//     the coordinator (the PR 5 snapshot store as migration format);
+//   - durability: the coordinator journals membership, placements and
+//     migrations in its WAL, so a coordinator restart reconstructs the
+//     cluster exactly like the job layer replays its queue.
+//
+// Inter-node calls go through internal/retry: exponential backoff with
+// jitter honoring Retry-After, and a per-peer circuit breaker so a dead
+// member costs one connect timeout, not one per request, before traffic
+// sheds to the next ring member.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eruca/internal/retry"
+	"eruca/internal/server"
+)
+
+// Config describes one cluster member.
+type Config struct {
+	// NodeID names this member ("n1"); it prefixes job IDs so any peer
+	// can route an ID back to its owner. Required.
+	NodeID string
+	// PublicAddr is the advertised client API address (host:port).
+	PublicAddr string
+	// PeerAddr is the advertised peer-protocol address (host:port); the
+	// caller serves PeerHandler() there.
+	PeerAddr string
+	// JoinURL is the coordinator's peer base URL ("http://host:port").
+	// Empty makes this node the coordinator (it also works jobs,
+	// registering itself as member zero).
+	JoinURL string
+	// LeaseTTL is the heartbeat lease duration (default 3s); heartbeats
+	// fire every TTL/4, and a member that misses its deadline is
+	// evicted with its jobs re-enqueued on survivors.
+	LeaseTTL time.Duration
+	// Logf receives cluster lifecycle lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// Node is one cluster member wrapping a server.Server.
+type Node struct {
+	cfg  Config
+	srv  *server.Server
+	ring *ring
+
+	coord *coordinator // non-nil on the coordinator
+
+	client   *http.Client
+	breakers retry.Breakers
+	metrics  clusterMetrics
+
+	// Worker-side view of the cluster.
+	viewMu  sync.RWMutex
+	members map[string]Member
+	epoch   atomic.Int64
+	joined  atomic.Bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// clusterMetrics are the cluster-layer counters, exposed on /metrics.
+type clusterMetrics struct {
+	forwarded    atomic.Int64
+	proxied      atomic.Int64
+	shedLocal    atomic.Int64
+	heartbeats   atomic.Int64
+	rejoins      atomic.Int64
+	jobsMigrated atomic.Int64
+	nodesEvicted atomic.Int64
+}
+
+// New wires a cluster member around a server built from scfg: the
+// returned Node owns the server (Server() exposes it), with the
+// cluster's cache/checkpoint read-through, checkpoint replication,
+// placement notification, and WAL-snapshot hooks installed before the
+// server boots.
+func New(cfg Config, scfg server.Config) (*Node, error) {
+	if cfg.NodeID == "" {
+		return nil, fmt.Errorf("cluster: NodeID required")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 3 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	n := &Node{
+		cfg:     cfg,
+		ring:    newRing(),
+		members: make(map[string]Member),
+		client:  &http.Client{Timeout: 15 * time.Second},
+		stop:    make(chan struct{}),
+	}
+	n.breakers.Threshold = 3
+	n.breakers.Cooldown = cfg.LeaseTTL
+
+	scfg.NodeID = cfg.NodeID
+	scfg.CacheFetch = n.cacheFetch
+	scfg.CkptFetch = n.ckptFetch
+	scfg.CkptReplicate = n.ckptReplicate
+	scfg.OnAdmit = n.onAdmit
+	if cfg.JoinURL == "" {
+		scfg.ClusterSnapshot = func() []server.ClusterRecord {
+			if n.coord == nil {
+				return nil
+			}
+			return n.coord.snapshot()
+		}
+	}
+	srv, err := server.New(scfg)
+	if err != nil {
+		return nil, err
+	}
+	n.srv = srv
+	if cfg.JoinURL == "" {
+		n.coord = newCoordinator(n)
+		n.coord.restore(srv.ClusterReplay())
+	}
+	return n, nil
+}
+
+// Server exposes the wrapped single-node server (for Start/Drain).
+func (n *Node) Server() *server.Server { return n.srv }
+
+// IsCoordinator reports this member's role.
+func (n *Node) IsCoordinator() bool { return n.coord != nil }
+
+func (n *Node) logf(format string, args ...any) { n.cfg.Logf(format, args...) }
+
+// Start launches the cluster loops: the coordinator self-joins and
+// sweeps leases; workers join (retrying until the coordinator answers)
+// and heartbeat. Call after Server().Start().
+func (n *Node) Start() {
+	if n.coord != nil {
+		// The coordinator is also a worker: it occupies ring shards and
+		// heartbeats itself through direct calls (no HTTP loopback).
+		resp := n.coord.join(joinRequest{Node: n.cfg.NodeID, Addr: n.cfg.PublicAddr, Peer: n.cfg.PeerAddr})
+		n.epoch.Store(resp.Epoch)
+		n.adoptMembers(resp.Members)
+		n.joined.Store(true)
+		n.wg.Add(1)
+		go n.coordinatorLoop()
+	}
+	n.wg.Add(1)
+	go n.heartbeatLoop()
+}
+
+// Stop ends the loops and, on a worker, announces a graceful leave so
+// the coordinator reclaims the shard without waiting out the lease.
+func (n *Node) Stop() {
+	select {
+	case <-n.stop:
+	default:
+		close(n.stop)
+	}
+	n.wg.Wait()
+	if n.coord == nil && n.joined.Load() {
+		body, _ := json.Marshal(leaveRequest{Node: n.cfg.NodeID, Epoch: n.epoch.Load()})
+		req, err := http.NewRequest("POST", n.cfg.JoinURL+"/v1/cluster/leave", bytes.NewReader(body))
+		if err == nil {
+			if resp, err := n.client.Do(req); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}
+}
+
+// coordinatorLoop sweeps expired leases every TTL/4.
+func (n *Node) coordinatorLoop() {
+	defer n.wg.Done()
+	tick := time.NewTicker(n.cfg.LeaseTTL / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			n.coord.sweep()
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// heartbeatLoop renews this member's lease every TTL/4 and keeps the
+// membership view fresh. A worker that has not joined yet (or was
+// evicted — lease epoch rejected) joins first.
+func (n *Node) heartbeatLoop() {
+	defer n.wg.Done()
+	interval := n.cfg.LeaseTTL / 4
+	backoff := retry.Backoff{Base: interval / 2, Max: n.cfg.LeaseTTL}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+		case <-n.stop:
+			return
+		}
+		if n.coord != nil {
+			// Local coordinator: renew + reconcile directly.
+			resp, err := n.coord.heartbeat(heartbeatRequest{Node: n.cfg.NodeID, Epoch: n.epoch.Load(), Jobs: n.jobReports()})
+			if err == nil {
+				n.adoptMembers(resp.Members)
+			}
+			continue
+		}
+		if !n.joined.Load() {
+			if err := n.join(); err != nil {
+				n.logf("cluster: join: %v", err)
+				select {
+				case <-time.After(backoff.Next(0)):
+				case <-n.stop:
+					return
+				}
+			} else {
+				backoff.Reset()
+			}
+			continue
+		}
+		if err := n.sendHeartbeat(); err != nil {
+			n.logf("cluster: heartbeat: %v", err)
+			if err == errEvicted {
+				// The coordinator dropped us (partition healed after our
+				// lease expired): rejoin under a fresh epoch. Our jobs may
+				// already be re-homed; idempotency keys make the overlap
+				// harmless.
+				n.joined.Store(false)
+				n.metrics.rejoins.Add(1)
+			}
+		}
+	}
+}
+
+// errEvicted mirrors the coordinator's 410 on a stale-epoch heartbeat.
+var errEvicted = fmt.Errorf("cluster: evicted (stale epoch)")
+
+// join registers with the coordinator.
+func (n *Node) join() error {
+	body, _ := json.Marshal(joinRequest{Node: n.cfg.NodeID, Addr: n.cfg.PublicAddr, Peer: n.cfg.PeerAddr})
+	resp, err := n.client.Post(n.cfg.JoinURL+"/v1/cluster/join", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("join: status %d: %.200s", resp.StatusCode, b)
+	}
+	var jr joinResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		return err
+	}
+	n.epoch.Store(jr.Epoch)
+	n.adoptMembers(jr.Members)
+	n.joined.Store(true)
+	n.logf("cluster: joined %s as %s (epoch %d, %d members)", n.cfg.JoinURL, n.cfg.NodeID, jr.Epoch, len(jr.Members))
+	return nil
+}
+
+// sendHeartbeat renews the worker's lease, reporting non-terminal jobs.
+func (n *Node) sendHeartbeat() error {
+	body, _ := json.Marshal(heartbeatRequest{Node: n.cfg.NodeID, Epoch: n.epoch.Load(), Jobs: n.jobReports()})
+	resp, err := n.client.Post(n.cfg.JoinURL+"/v1/cluster/heartbeat", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var hr heartbeatResponse
+		if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+			return err
+		}
+		n.adoptMembers(hr.Members)
+		return nil
+	case http.StatusGone:
+		io.Copy(io.Discard, resp.Body)
+		return errEvicted
+	default:
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("heartbeat: status %d: %.200s", resp.StatusCode, b)
+	}
+}
+
+// jobReports renders this node's non-terminal jobs for the coordinator.
+func (n *Node) jobReports() []jobReport {
+	var out []jobReport
+	for _, j := range n.srv.Jobs() {
+		if j.State().Terminal() {
+			continue
+		}
+		out = append(out, jobReport{ID: j.ID, Hash: j.Hash, Idem: j.IdemKey(), Spec: j.Spec})
+	}
+	return out
+}
+
+// adoptMembers replaces the worker's membership view and ring.
+func (n *Node) adoptMembers(ms []Member) {
+	ids := make([]string, len(ms))
+	view := make(map[string]Member, len(ms))
+	for i, m := range ms {
+		ids[i] = m.ID
+		view[m.ID] = m
+	}
+	n.viewMu.Lock()
+	n.members = view
+	n.viewMu.Unlock()
+	n.ring.Reset(ids)
+}
+
+// member looks a node ID up in the current view.
+func (n *Node) member(id string) (Member, bool) {
+	n.viewMu.RLock()
+	defer n.viewMu.RUnlock()
+	m, ok := n.members[id]
+	return m, ok
+}
+
+// Members returns the current membership view.
+func (n *Node) Members() []Member {
+	n.viewMu.RLock()
+	defer n.viewMu.RUnlock()
+	out := make([]Member, 0, len(n.members))
+	for _, m := range n.members {
+		out = append(out, m)
+	}
+	return out
+}
+
+// onAdmit eagerly tells the coordinator where an accepted job lives.
+// Heartbeats would carry it within TTL/4 anyway; the eager notify
+// narrows the window in which a crash strands a freshly accepted job
+// to the in-flight HTTP call.
+func (n *Node) onAdmit(j *server.Job) {
+	report := []jobReport{{ID: j.ID, Hash: j.Hash, Idem: j.IdemKey(), Spec: j.Spec}}
+	if n.coord != nil {
+		n.coord.place(n.cfg.NodeID, report)
+		return
+	}
+	go func() {
+		body, _ := json.Marshal(placeRequest{Node: n.cfg.NodeID, Jobs: report})
+		resp, err := n.client.Post(n.cfg.JoinURL+"/v1/cluster/place", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return // best-effort; the next heartbeat carries it
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+}
+
+// sendMigrate asks target to adopt one evicted job; self-targets
+// short-circuit to the local server.
+func (n *Node) sendMigrate(target string, req migrateRequest) (newID string, err error) {
+	if target == n.cfg.NodeID {
+		j, _, err := n.srv.SubmitMigrated(req.Spec, req.Idem, req.From)
+		if err != nil {
+			return "", err
+		}
+		return j.ID, nil
+	}
+	m, ok := n.member(target)
+	if !ok {
+		return "", fmt.Errorf("cluster: unknown member %s", target)
+	}
+	br := n.breakers.For(m.Peer)
+	if !br.Allow() {
+		return "", fmt.Errorf("cluster: breaker open for %s", target)
+	}
+	body, _ := json.Marshal(req)
+	resp, err := n.client.Post("http://"+m.Peer+"/v1/cluster/migrate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		br.Failure()
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		br.Failure()
+		b, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("migrate: status %d: %.200s", resp.StatusCode, b)
+	}
+	br.Success()
+	var mr migrateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		return "", err
+	}
+	return mr.ID, nil
+}
+
+// cacheFetch is the sharded result cache's read-through: on a local
+// miss, ask the hash's ring owner.
+func (n *Node) cacheFetch(hash string) (string, bool) {
+	owner := n.ring.Owner(hash)
+	if owner == "" || owner == n.cfg.NodeID {
+		return "", false
+	}
+	m, ok := n.member(owner)
+	if !ok {
+		return "", false
+	}
+	br := n.breakers.For(m.Peer)
+	if !br.Allow() {
+		return "", false
+	}
+	resp, err := n.client.Get("http://" + m.Peer + "/v1/cluster/cache?hash=" + url.QueryEscape(hash))
+	if err != nil {
+		br.Failure()
+		return "", false
+	}
+	defer resp.Body.Close()
+	br.Success()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return "", false
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", false
+	}
+	return string(b), true
+}
+
+// ckptReplicate pushes a freshly saved checkpoint blob to the
+// coordinator, asynchronously and best-effort — replication is an
+// optimization of recovery time, never a correctness requirement (a
+// missing blob just means the migrated job restarts from cycle zero).
+func (n *Node) ckptReplicate(key string, blob []byte) {
+	if n.coord != nil {
+		return // the coordinator's local store IS the replica target
+	}
+	buf := append([]byte(nil), blob...)
+	go func() {
+		req, err := http.NewRequest("PUT", n.cfg.JoinURL+"/v1/cluster/ckpt?key="+url.QueryEscape(key), bytes.NewReader(buf))
+		if err != nil {
+			return
+		}
+		resp, err := n.client.Do(req)
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+}
+
+// ckptFetch pulls a checkpoint blob from the coordinator — the
+// migration read path on a survivor that never ran this simulation.
+func (n *Node) ckptFetch(key string) []byte {
+	if n.coord != nil {
+		return nil // coordinator already consulted its local store
+	}
+	resp, err := n.client.Get(n.cfg.JoinURL + "/v1/cluster/ckpt?key=" + url.QueryEscape(key))
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// resolveRemote asks the coordinator where a job ID lives now.
+func (n *Node) resolveRemote(ctx context.Context, id string) (resolveResponse, error) {
+	if n.coord != nil {
+		return n.coord.resolve(id)
+	}
+	req, err := http.NewRequestWithContext(ctx, "GET", n.cfg.JoinURL+"/v1/cluster/resolve?id="+url.QueryEscape(id), nil)
+	if err != nil {
+		return resolveResponse{}, err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return resolveResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return resolveResponse{}, fmt.Errorf("resolve %s: status %d: %.200s", id, resp.StatusCode, b)
+	}
+	var rr resolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return resolveResponse{}, err
+	}
+	return rr, nil
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ring is a consistent-hash ring over node IDs. Jobs are placed by
+// their content hash (the server's spec hash), so every node that
+// routes a given spec routes it to the same owner — which is what lets
+// the per-node singleflight dedup collapse duplicate submissions
+// cluster-wide — and membership changes move only the keys adjacent to
+// the changed node, not the whole keyspace (the result-cache shards
+// stay mostly warm through a join or an eviction).
+type ring struct {
+	mu      sync.RWMutex
+	vnodes  int
+	points  []ringPoint // sorted by h
+	members map[string]struct{}
+}
+
+type ringPoint struct {
+	h    uint64
+	node string
+}
+
+// ringVnodes is the virtual-node count per member: enough that three
+// nodes split the keyspace within a few percent of evenly.
+const ringVnodes = 64
+
+func newRing() *ring {
+	return &ring{vnodes: ringVnodes, members: make(map[string]struct{})}
+}
+
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a member (idempotent).
+func (r *ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[node]; ok {
+		return
+	}
+	r.members[node] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{h: ringHash(fmt.Sprintf("%s#%d", node, i)), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].h < r.points[j].h })
+}
+
+// Remove drops a member (idempotent).
+func (r *ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[node]; !ok {
+		return
+	}
+	delete(r.members, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Reset replaces the membership wholesale (a worker adopting the
+// coordinator's member list).
+func (r *ring) Reset(nodes []string) {
+	r.mu.Lock()
+	cur := make([]string, 0, len(r.members))
+	for n := range r.members {
+		cur = append(cur, n)
+	}
+	r.mu.Unlock()
+	want := make(map[string]struct{}, len(nodes))
+	for _, n := range nodes {
+		want[n] = struct{}{}
+	}
+	for _, n := range cur {
+		if _, ok := want[n]; !ok {
+			r.Remove(n)
+		}
+	}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+}
+
+// Owner returns the member owning key, or "" on an empty ring.
+func (r *ring) Owner(key string) string {
+	owners := r.Successors(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Successors returns up to n distinct members in ring order starting at
+// key's owner — the shed order when the owner is unreachable.
+func (r *ring) Successors(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	seen := make(map[string]struct{}, n)
+	out := make([]string, 0, n)
+	for k := 0; k < len(r.points) && len(out) < n; k++ {
+		p := r.points[(i+k)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out
+}
+
+// Members returns the current membership, sorted.
+func (r *ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for n := range r.members {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the member count.
+func (r *ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Has reports membership of node.
+func (r *ring) Has(node string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.members[node]
+	return ok
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("spec-hash-%04d", i)
+	}
+	return keys
+}
+
+func TestRingDeterministicOwnership(t *testing.T) {
+	a, b := newRing(), newRing()
+	for _, n := range []string{"n1", "n2", "n3"} {
+		a.Add(n)
+	}
+	// Insertion order must not matter: every router agrees on owners.
+	for _, n := range []string{"n3", "n1", "n2"} {
+		b.Add(n)
+	}
+	for _, k := range ringKeys(200) {
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("owner(%s): %s vs %s across insertion orders", k, ao, bo)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := newRing()
+	for _, n := range []string{"n1", "n2", "n3"} {
+		r.Add(n)
+	}
+	counts := map[string]int{}
+	keys := ringKeys(3000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for n, c := range counts {
+		frac := float64(c) / float64(len(keys))
+		if frac < 0.20 || frac > 0.47 {
+			t.Errorf("member %s owns %.1f%% of keys; want roughly a third", n, frac*100)
+		}
+	}
+}
+
+func TestRingRemovalMovesOnlyOrphanedKeys(t *testing.T) {
+	r := newRing()
+	for _, n := range []string{"n1", "n2", "n3"} {
+		r.Add(n)
+	}
+	keys := ringKeys(1000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+	r.Remove("n2")
+	for _, k := range keys {
+		after := r.Owner(k)
+		if after == "n2" {
+			t.Fatalf("key %s still owned by removed member", k)
+		}
+		// Consistency: keys not owned by the removed member keep their
+		// owner — the cache shards of survivors stay warm.
+		if before[k] != "n2" && after != before[k] {
+			t.Errorf("key %s moved %s -> %s though %s is still a member", k, before[k], after, before[k])
+		}
+	}
+}
+
+func TestRingSuccessorsDistinctAndStartAtOwner(t *testing.T) {
+	r := newRing()
+	for _, n := range []string{"n1", "n2", "n3"} {
+		r.Add(n)
+	}
+	for _, k := range ringKeys(50) {
+		succ := r.Successors(k, 3)
+		if len(succ) != 3 {
+			t.Fatalf("want 3 successors, got %v", succ)
+		}
+		if succ[0] != r.Owner(k) {
+			t.Fatalf("successor list %v does not start at owner %s", succ, r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("duplicate member in successors %v", succ)
+			}
+			seen[s] = true
+		}
+	}
+	if got := r.Successors("k", 10); len(got) != 3 {
+		t.Errorf("successors beyond membership: got %v, want all 3 members", got)
+	}
+}
+
+func TestRingReset(t *testing.T) {
+	r := newRing()
+	r.Add("n1")
+	r.Add("n2")
+	r.Reset([]string{"n2", "n3"})
+	if r.Has("n1") || !r.Has("n2") || !r.Has("n3") || r.Len() != 2 {
+		t.Fatalf("after Reset: members %v", r.Members())
+	}
+	// Reset to the same set is a no-op for ownership.
+	before := r.Owner("some-key")
+	r.Reset([]string{"n3", "n2"})
+	if got := r.Owner("some-key"); got != before {
+		t.Errorf("owner changed across identity Reset: %s -> %s", before, got)
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := newRing()
+	if o := r.Owner("k"); o != "" {
+		t.Errorf("empty ring owner = %q", o)
+	}
+	if s := r.Successors("k", 2); s != nil {
+		t.Errorf("empty ring successors = %v", s)
+	}
+}

@@ -1,0 +1,231 @@
+// Package retry is the one implementation of client-side resilience the
+// repo's HTTP callers share: exponential backoff with jitter that honors
+// a server's Retry-After hint as the floor, and a per-peer circuit
+// breaker that stops hammering a dead endpoint so callers can shed work
+// to an alternative instead of queueing behind timeouts.
+//
+// The package was extracted from examples/serve (which had grown two
+// private copies of the backoff dance) so the example client and the
+// cluster's inter-node calls retry the same way and are tested once.
+package retry
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff is exponential backoff with jitter. The zero value is usable:
+// it starts at DefaultBase, doubles per step, caps at DefaultMax, and
+// jitters each sleep by ±25%. A Backoff is single-goroutine state —
+// give each retry loop its own.
+type Backoff struct {
+	// Base is the first delay (default 250ms).
+	Base time.Duration
+	// Max caps the exponential growth (default 30s).
+	Max time.Duration
+	// Jitter is the ± fraction applied to every delay (default 0.25).
+	// Jitter keeps a herd of rejected clients from retrying in
+	// lockstep — the daemon's 429 hints carry jitter for the same
+	// reason, and the two compose.
+	Jitter float64
+	// Rand supplies the jitter draws (default math/rand global). Tests
+	// inject a seeded source for determinism.
+	Rand *rand.Rand
+
+	cur time.Duration
+}
+
+// DefaultBase, DefaultMax are the zero-value Backoff parameters.
+const (
+	DefaultBase = 250 * time.Millisecond
+	DefaultMax  = 30 * time.Second
+)
+
+func (b *Backoff) defaults() (base, limit time.Duration, jitter float64) {
+	base, limit, jitter = b.Base, b.Max, b.Jitter
+	if base <= 0 {
+		base = DefaultBase
+	}
+	if limit <= 0 {
+		limit = DefaultMax
+	}
+	if jitter <= 0 {
+		jitter = 0.25
+	}
+	return base, limit, jitter
+}
+
+func (b *Backoff) float64() float64 {
+	if b.Rand != nil {
+		return b.Rand.Float64()
+	}
+	return rand.Float64()
+}
+
+// Next returns the jittered delay to sleep before the next attempt and
+// advances the exponential schedule. hint is the server's Retry-After
+// (zero when none); it floors the un-jittered delay, so a client never
+// retries sooner than the server asked while still keeping its own
+// growth for repeated rejections.
+func (b *Backoff) Next(hint time.Duration) time.Duration {
+	base, limit, jitter := b.defaults()
+	if b.cur <= 0 {
+		b.cur = base
+	}
+	d := b.cur
+	if hint > d {
+		d = hint
+	}
+	jittered := time.Duration(float64(d) * (1 - jitter + 2*jitter*b.float64()))
+	if b.cur *= 2; b.cur > limit {
+		b.cur = limit
+	}
+	return jittered
+}
+
+// Sleep blocks for Next(hint), or returns early with ctx.Err() when the
+// context ends first.
+func (b *Backoff) Sleep(ctx context.Context, hint time.Duration) error {
+	t := time.NewTimer(b.Next(hint))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Reset returns the schedule to Base — call after a success so the next
+// failure starts cheap again.
+func (b *Backoff) Reset() { b.cur = 0 }
+
+// Breaker is a per-peer circuit breaker: Threshold consecutive failures
+// open the circuit, Allow then answers false (callers shed to another
+// peer) until Cooldown has passed, at which point exactly one probe is
+// let through (half-open). A probe success closes the circuit; a probe
+// failure re-opens it for another Cooldown.
+//
+// The breaker exists because a dead cluster member otherwise costs
+// every forwarded request a full connect timeout; with the circuit
+// open, the forwarder skips straight to the next ring member.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the
+	// circuit (default 3).
+	Threshold int
+	// Cooldown is how long the circuit stays open before the
+	// half-open probe (default 5s).
+	Cooldown time.Duration
+	// now is injectable for tests.
+	now func() time.Time
+
+	mu       sync.Mutex
+	failures int
+	openedAt time.Time
+	open     bool
+	probing  bool
+}
+
+func (b *Breaker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold > 0 {
+		return b.Threshold
+	}
+	return 3
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return 5 * time.Second
+}
+
+// Allow reports whether a call may proceed. While open it returns false
+// until Cooldown elapses, then lets exactly one caller probe.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if b.clock().Sub(b.openedAt) < b.cooldown() || b.probing {
+		return false
+	}
+	b.probing = true // half-open: this caller is the probe
+	return true
+}
+
+// Success records a successful call, closing the circuit.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.failures, b.open, b.probing = 0, false, false
+	b.mu.Unlock()
+}
+
+// Failure records a failed call; at Threshold consecutive failures the
+// circuit opens (and a failed half-open probe re-opens it immediately).
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.probing || b.failures >= b.threshold() {
+		b.open = true
+		b.probing = false
+		b.openedAt = b.clock()
+	}
+}
+
+// Open reports whether the circuit is currently open (for metrics).
+func (b *Breaker) Open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open && b.clock().Sub(b.openedAt) < b.cooldown()
+}
+
+// Breakers is a keyed set of circuit breakers, one per peer address,
+// created on first use with the set's Threshold/Cooldown.
+type Breakers struct {
+	// Threshold, Cooldown configure newly created breakers.
+	Threshold int
+	Cooldown  time.Duration
+
+	mu sync.Mutex
+	m  map[string]*Breaker
+}
+
+// For returns (creating if needed) the breaker for key.
+func (s *Breakers) For(key string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[string]*Breaker)
+	}
+	b := s.m[key]
+	if b == nil {
+		b = &Breaker{Threshold: s.Threshold, Cooldown: s.Cooldown}
+		s.m[key] = b
+	}
+	return b
+}
+
+// OpenCount reports how many breakers are currently open (for metrics).
+func (s *Breakers) OpenCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, b := range s.m {
+		if b.Open() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,152 @@
+package retry
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBackoffGrowth: the un-jittered schedule doubles from Base and
+// caps at Max; with a zero-jitter impossible (jitter defaults on), we
+// bound each sample inside the jitter envelope instead.
+func TestBackoffGrowth(t *testing.T) {
+	b := &Backoff{Base: 100 * time.Millisecond, Max: 800 * time.Millisecond,
+		Jitter: 0.25, Rand: rand.New(rand.NewSource(1))}
+	want := []time.Duration{100, 200, 400, 800, 800, 800} // ms, pre-jitter
+	for i, w := range want {
+		got := b.Next(0)
+		lo := time.Duration(float64(w*time.Millisecond) * 0.75)
+		hi := time.Duration(float64(w*time.Millisecond) * 1.25)
+		if got < lo || got > hi {
+			t.Fatalf("step %d: %v outside [%v,%v]", i, got, lo, hi)
+		}
+	}
+}
+
+// TestBackoffHintFloors: a Retry-After hint larger than the current
+// step floors the delay; a smaller hint leaves the schedule alone.
+func TestBackoffHintFloors(t *testing.T) {
+	b := &Backoff{Base: 100 * time.Millisecond, Max: time.Minute,
+		Jitter: 0.25, Rand: rand.New(rand.NewSource(2))}
+	got := b.Next(2 * time.Second)
+	if got < 1500*time.Millisecond || got > 2500*time.Millisecond {
+		t.Fatalf("hinted delay %v outside jittered [1.5s,2.5s]", got)
+	}
+	// Schedule still advanced from 100ms -> 200ms, not from the hint.
+	got = b.Next(0)
+	if got > 250*time.Millisecond {
+		t.Fatalf("post-hint delay %v; hint should not inflate the schedule", got)
+	}
+}
+
+func TestBackoffReset(t *testing.T) {
+	b := &Backoff{Base: 100 * time.Millisecond, Max: time.Minute,
+		Jitter: 0.25, Rand: rand.New(rand.NewSource(3))}
+	b.Next(0)
+	b.Next(0)
+	b.Reset()
+	if got := b.Next(0); got > 125*time.Millisecond {
+		t.Fatalf("after Reset, first delay %v > jittered Base", got)
+	}
+}
+
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	var b Backoff
+	b.Rand = rand.New(rand.NewSource(4))
+	got := b.Next(0)
+	lo := time.Duration(float64(DefaultBase) * 0.75)
+	hi := time.Duration(float64(DefaultBase) * 1.25)
+	if got < lo || got > hi {
+		t.Fatalf("zero-value first delay %v outside [%v,%v]", got, lo, hi)
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	b := &Backoff{Base: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := b.Sleep(ctx, 0); err == nil {
+		t.Fatal("Sleep returned nil on a canceled context")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep did not return promptly on cancellation")
+	}
+}
+
+// TestBreakerLifecycle walks the state machine: closed -> open at
+// Threshold consecutive failures -> half-open probe after Cooldown ->
+// closed on probe success (and re-open on probe failure).
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := &Breaker{Threshold: 3, Cooldown: 5 * time.Second, now: func() time.Time { return now }}
+
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker denied call %d", i)
+		}
+		b.Failure()
+	}
+	if !b.Allow() {
+		t.Fatal("breaker opened before Threshold")
+	}
+	b.Failure() // third consecutive failure: opens
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call")
+	}
+	if !b.Open() {
+		t.Fatal("Open() false while open")
+	}
+
+	now = now.Add(6 * time.Second) // past cooldown: half-open
+	if !b.Allow() {
+		t.Fatal("half-open breaker denied the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker allowed a second concurrent probe")
+	}
+	b.Failure() // probe failed: re-open immediately
+	if b.Allow() {
+		t.Fatal("breaker allowed a call right after a failed probe")
+	}
+
+	now = now.Add(6 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe denied")
+	}
+	b.Success()
+	if !b.Allow() || b.Open() {
+		t.Fatal("breaker did not close after a successful probe")
+	}
+}
+
+// TestBreakerSuccessResetsCount: non-consecutive failures never open.
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b := &Breaker{Threshold: 2}
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if !b.Allow() {
+		t.Fatal("breaker opened on non-consecutive failures")
+	}
+}
+
+func TestBreakersKeyedSet(t *testing.T) {
+	var s Breakers
+	s.Threshold = 1
+	a, b2 := s.For("a"), s.For("b")
+	if a == b2 {
+		t.Fatal("distinct keys share a breaker")
+	}
+	if s.For("a") != a {
+		t.Fatal("same key returned a different breaker")
+	}
+	a.Failure()
+	if s.OpenCount() != 1 {
+		t.Fatalf("OpenCount = %d, want 1", s.OpenCount())
+	}
+	if !b2.Allow() {
+		t.Fatal("peer b's breaker affected by peer a's failures")
+	}
+}

@@ -24,6 +24,8 @@ type metrics struct {
 	cacheMisses      atomic.Int64
 	idemReplayed     atomic.Int64
 	recovered        atomic.Int64
+	migratedIn       atomic.Int64
+	remoteCacheHits  atomic.Int64
 	inflight         atomic.Int64
 
 	mu        sync.Mutex
@@ -94,6 +96,8 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	c("eruca_result_cache_misses_total", "Jobs that had to execute.", m.cacheMisses.Load())
 	c("eruca_jobs_idem_replayed_total", "Submissions answered with an existing job via Idempotency-Key.", m.idemReplayed.Load())
 	c("eruca_jobs_recovered_total", "Jobs re-enqueued from the journal at boot.", m.recovered.Load())
+	c("eruca_jobs_migrated_in_total", "Jobs accepted past the admission bound after a peer's eviction.", m.migratedIn.Load())
+	c("eruca_result_cache_remote_hits_total", "Jobs served via the sharded cache's read-through to a peer.", m.remoteCacheHits.Load())
 	c("eruca_sim_runs_total", "Simulations actually executed by the shared runners.", g.simLaunched)
 	c("eruca_sim_dedup_total", "Simulation requests served by an existing singleflight flight.", g.simJoined)
 

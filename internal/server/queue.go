@@ -80,6 +80,23 @@ func (q *queue) pushRecovered(j *Job) {
 	q.cond.Signal()
 }
 
+// pushBypass enqueues past the admission bound at runtime — the
+// lease-expiry migration path: work a dead peer already acknowledged
+// must land on a survivor even when that survivor's queue is full.
+// Unlike pushRecovered it reports closure, because migrations race
+// drains and the coordinator must know to pick another survivor.
+func (q *queue) pushBypass(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	q.seq++
+	heap.Push(&q.items, queued{job: j, prio: j.Spec.Priority, seq: q.seq})
+	q.cond.Signal()
+	return nil
+}
+
 // Len reports the current depth (the queue_depth gauge).
 func (q *queue) Len() int {
 	q.mu.Lock()
@@ -112,8 +129,8 @@ func (h jobHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h jobHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *jobHeap) Push(x any)        { *h = append(*h, x.(queued)) }
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(queued)) }
 func (h *jobHeap) Pop() any {
 	old := *h
 	n := len(old)

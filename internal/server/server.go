@@ -54,6 +54,37 @@ type Config struct {
 	Pprof bool
 	// Logf, when non-nil, receives daemon lifecycle lines.
 	Logf func(format string, args ...any)
+
+	// NodeID, when non-empty, prefixes every job ID ("n2" makes
+	// "n2-job-000001") so a cluster peer can route any job ID back to
+	// the node that owns its record. Standalone daemons leave it empty
+	// and keep the plain "job-%06d" IDs.
+	NodeID string
+	// CacheFetch, when non-nil, is the sharded result cache's
+	// read-through: on a local cache miss the worker asks it (the
+	// cluster layer queries the hash's ring owner) before paying for a
+	// simulation. A fetched result is installed in the local cache too.
+	CacheFetch func(hash string) (output string, ok bool)
+	// CkptFetch, when non-nil, supplies checkpoint blobs the local
+	// store does not have — the migration read path: a job re-enqueued
+	// from a dead node resumes from the blob that node replicated to
+	// the coordinator before dying.
+	CkptFetch func(key string) []byte
+	// CkptReplicate, when non-nil, observes every locally saved
+	// checkpoint blob — the migration write path (the cluster layer
+	// pushes it to the coordinator, asynchronously and best-effort).
+	CkptReplicate func(key string, blob []byte)
+	// ClusterSnapshot, when non-nil, supplies the cluster-state records
+	// (membership, placements) that drain-time WAL compaction must
+	// preserve so a restarted coordinator still knows its cluster.
+	ClusterSnapshot func() []ClusterRecord
+	// OnAdmit, when non-nil, observes every accepted job right after it
+	// is enqueued (submission, idempotent or not, and migration). The
+	// cluster layer uses it to notify the coordinator of the placement
+	// eagerly instead of waiting for the next heartbeat — a node can
+	// die inside a heartbeat window, and placement knowledge is what
+	// makes its jobs recoverable.
+	OnAdmit func(j *Job)
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +131,9 @@ type Server struct {
 	// Durability (nil / empty when Config.WALDir is unset).
 	wal   *wal
 	ckpts *ckptStore
+	// clusterRecs are the cluster-state records replayed from the
+	// journal at boot, for the coordinator to reconstruct membership.
+	clusterRecs []ClusterRecord
 
 	idemMu sync.Mutex
 	idem   map[string]string // Idempotency-Key -> job ID
@@ -116,12 +150,16 @@ type Server struct {
 // on the original jobs.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	prefix := ""
+	if cfg.NodeID != "" {
+		prefix = cfg.NodeID + "-"
+	}
 	s := &Server{
 		cfg:     cfg,
 		metrics: newMetrics(),
 		queue:   newQueue(cfg.QueueMax),
 		cache:   newResultCache(cfg.CacheMax),
-		jobs:    newRegistry(),
+		jobs:    newRegistry(prefix),
 		runners: make(map[string]*exp.Runner),
 		idem:    make(map[string]string),
 	}
@@ -155,6 +193,11 @@ func (s *Server) openDurability(dir string) error {
 		return fmt.Errorf("server: wal open: %w", err)
 	}
 	s.wal, s.ckpts = w, ckpts
+	for _, rec := range recs {
+		if rec.Type == "cluster" && rec.Cluster != nil {
+			s.clusterRecs = append(s.clusterRecs, *rec.Cluster)
+		}
+	}
 	jobs, _ := replay(recs)
 	var terminal, requeued int
 	for _, rj := range jobs {
@@ -288,11 +331,114 @@ func (s *Server) SubmitWithKey(spec JobSpec, idemKey string) (job *Job, replayed
 	}
 	s.metrics.submitted.Add(1)
 	job.events.Append(fmt.Sprintf("queued as %s (hash %.12s)", job.ID, job.Hash))
+	if s.cfg.OnAdmit != nil {
+		s.cfg.OnAdmit(job)
+	}
+	return job, false, nil
+}
+
+// SubmitMigrated enqueues a job re-homed from an evicted cluster
+// member. It bypasses the admission bound the way boot-time recovery
+// does — the cluster already acknowledged this work with a 202 on the
+// dead node, and lease-expiry re-enqueue must never shed it just
+// because the survivor's queue is momentarily full. The idempotency key
+// still dedups: a retried migration (coordinator restart mid-eviction)
+// replays the first migrated job instead of enqueueing twins.
+func (s *Server) SubmitMigrated(spec JobSpec, idemKey, from string) (job *Job, replayed bool, err error) {
+	if s.draining.Load() {
+		s.metrics.rejectedDraining.Add(1)
+		return nil, false, ErrQueueClosed
+	}
+	if err := spec.Validate(); err != nil {
+		s.metrics.rejectedInvalid.Add(1)
+		return nil, false, err
+	}
+	if idemKey != "" {
+		s.idemMu.Lock()
+		if id, ok := s.idem[idemKey]; ok {
+			s.idemMu.Unlock()
+			if j := s.jobs.get(id); j != nil {
+				s.metrics.idemReplayed.Add(1)
+				return j, true, nil
+			}
+		} else {
+			s.idemMu.Unlock()
+		}
+	}
+	job = s.jobs.add(spec, s.baseCtx)
+	job.idemKey = idemKey
+	if s.wal != nil {
+		job.onTerminal = s.journalFinish
+		sp := spec
+		if err := s.wal.append(walRecord{Type: "submit", Job: job.ID, Idem: idemKey, Spec: &sp}); err != nil {
+			job.finish(StateFailed, "", err)
+			return nil, false, err
+		}
+	}
+	if err := s.queue.pushBypass(job); err != nil {
+		s.metrics.rejectedDraining.Add(1)
+		job.finish(StateFailed, "", err)
+		return nil, false, err
+	}
+	if idemKey != "" {
+		s.idemMu.Lock()
+		s.idem[idemKey] = job.ID
+		s.idemMu.Unlock()
+	}
+	s.metrics.submitted.Add(1)
+	s.metrics.migratedIn.Add(1)
+	job.events.Append(fmt.Sprintf("re-enqueued as %s after eviction of %s (hash %.12s)", job.ID, from, job.Hash))
+	if s.cfg.OnAdmit != nil {
+		s.cfg.OnAdmit(job)
+	}
 	return job, false, nil
 }
 
 // Job returns a job by ID, or nil.
 func (s *Server) Job(id string) *Job { return s.jobs.get(id) }
+
+// NodeID reports the configured cluster node ID ("" standalone).
+func (s *Server) NodeID() string { return s.cfg.NodeID }
+
+// CachedResult returns the content-addressed cached output for hash —
+// the cluster's result-shard read endpoint.
+func (s *Server) CachedResult(hash string) (string, bool) {
+	e, ok := s.cache.Get(hash)
+	return e.Output, ok
+}
+
+// CkptSave stores a replicated checkpoint blob; no-op (with an error)
+// unless the daemon runs with a WAL directory.
+func (s *Server) CkptSave(key string, blob []byte) error {
+	if s.ckpts == nil {
+		return fmt.Errorf("server: no checkpoint store (run with -wal)")
+	}
+	return s.ckpts.Save(key, blob)
+}
+
+// CkptLoad returns the locally stored checkpoint blob for key, or nil.
+func (s *Server) CkptLoad(key string) []byte {
+	if s.ckpts == nil {
+		return nil
+	}
+	return s.ckpts.Load(key)
+}
+
+// JournalCluster appends one cluster-state record to the journal; a
+// no-op without a WAL (an ephemeral coordinator just cannot survive a
+// restart).
+func (s *Server) JournalCluster(rec ClusterRecord) error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.append(walRecord{Type: "cluster", Cluster: &rec})
+}
+
+// ClusterReplay returns the cluster-state records replayed from the
+// journal at boot, in journal order — the coordinator's restart source.
+func (s *Server) ClusterReplay() []ClusterRecord {
+	return append([]ClusterRecord(nil), s.clusterRecs...)
+}
 
 // Jobs lists every known job in submission order.
 func (s *Server) Jobs() []*Job { return s.jobs.list() }
@@ -350,8 +496,31 @@ func (s *Server) checkpointPolicy(job *Job) *exp.CheckpointPolicy {
 				return
 			}
 			_ = s.wal.append(walRecord{Type: "checkpoint", Job: job.ID, Key: key, Bus: int64(cp.Bus)})
+			if s.cfg.CkptReplicate != nil {
+				// Cluster replication: the blob also lands on the
+				// coordinator so a survivor can resume this simulation
+				// if this node dies with it in flight.
+				s.cfg.CkptReplicate(key, cp.Blob)
+			}
 		},
-		Load: s.ckpts.Load,
+		Load: func(key string) []byte {
+			if b := s.ckpts.Load(key); b != nil {
+				return b
+			}
+			if s.cfg.CkptFetch == nil {
+				return nil
+			}
+			// Migration read path: a job re-homed from an evicted node
+			// has no local blob; fetch the one its old owner replicated.
+			b := s.cfg.CkptFetch(key)
+			if b != nil {
+				job.events.Append(fmt.Sprintf("checkpoint blob for %s fetched from cluster", key))
+				if err := s.ckpts.Save(key, b); err != nil {
+					s.cfg.Logf("checkpoint adopt %s: %v", key, err)
+				}
+			}
+			return b
+		},
 	}
 }
 
@@ -383,6 +552,23 @@ func (s *Server) runJob(job *Job) {
 		return
 	}
 	s.metrics.cacheMisses.Add(1)
+
+	// Sharded-cache read-through: before simulating, ask the hash's
+	// ring owner (the cluster layer) whether it already has the result
+	// — e.g. after a ring rebalance moved this hash onto us.
+	if s.cfg.CacheFetch != nil {
+		if out, ok := s.cfg.CacheFetch(job.Hash); ok {
+			s.cache.Put(cacheEntry{Hash: job.Hash, Kind: job.Spec.normalized().Kind, Output: out})
+			s.metrics.remoteCacheHits.Add(1)
+			job.mu.Lock()
+			job.cacheHit = true
+			job.mu.Unlock()
+			job.events.Append("result fetched from cluster cache shard")
+			job.finish(StateDone, out, nil)
+			s.metrics.jobDone("ok", time.Since(start).Seconds())
+			return
+		}
+	}
 
 	runner, err := s.runnerFor(job.Spec)
 	if err != nil {
@@ -498,7 +684,11 @@ func (s *Server) Drain(ctx context.Context) error {
 		// grow without bound across restarts. Interrupted jobs keep only
 		// their submit record: they must re-run on the next boot.
 		path := filepath.Join(s.cfg.WALDir, "journal.wal")
-		if err := compactWAL(path, s.Jobs()); err != nil {
+		var crecs []ClusterRecord
+		if s.cfg.ClusterSnapshot != nil {
+			crecs = s.cfg.ClusterSnapshot()
+		}
+		if err := compactWAL(path, s.Jobs(), crecs); err != nil {
 			s.cfg.Logf("wal compaction failed: %v", err)
 			if drainErr == nil {
 				drainErr = err

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -80,6 +81,11 @@ func (j *Job) markInterrupted() bool {
 
 // Done closes when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// IdemKey reports the client idempotency key the job was submitted
+// under ("" when none) — the cluster heartbeat carries it so a migrated
+// re-enqueue dedups against client retries.
+func (j *Job) IdemKey() string { return j.idemKey }
 
 // Telemetry is the job-scoped counter/trace set: simulations launched on
 // behalf of this job feed it live, so GET /v1/jobs/{id}/telemetry
@@ -302,21 +308,24 @@ func (l *eventLog) Close() {
 	}
 }
 
-// registry indexes jobs by ID.
+// registry indexes jobs by ID. prefix (the cluster node ID plus "-",
+// or empty standalone) namespaces IDs so peers can route them back to
+// the owning node.
 type registry struct {
-	mu   sync.Mutex
-	jobs map[string]*Job
-	seq  int64
+	prefix string
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	seq    int64
 }
 
-func newRegistry() *registry {
-	return &registry{jobs: make(map[string]*Job)}
+func newRegistry(prefix string) *registry {
+	return &registry{prefix: prefix, jobs: make(map[string]*Job)}
 }
 
 func (r *registry) add(spec JobSpec, base context.Context) *Job {
 	r.mu.Lock()
 	r.seq++
-	id := fmt.Sprintf("job-%06d", r.seq)
+	id := fmt.Sprintf("%sjob-%06d", r.prefix, r.seq)
 	r.mu.Unlock()
 	j := newJob(id, spec, base)
 	r.mu.Lock()
@@ -369,8 +378,15 @@ func (r *registry) addRecovered(rj *recoveredJob, base context.Context) *Job {
 		close(j.done)
 		j.cancel()
 	}
+	// Advance the sequence past the recovered ID's trailing counter so
+	// new submissions never collide — with or without a node prefix
+	// ("n2-job-000017" and "job-000017" both parse to 17).
 	var n int64
-	if _, err := fmt.Sscanf(rj.id, "job-%d", &n); err != nil {
+	tail := rj.id
+	if i := strings.LastIndex(tail, "job-"); i >= 0 {
+		tail = tail[i+len("job-"):]
+	}
+	if _, err := fmt.Sscanf(tail, "%d", &n); err != nil {
 		n = 0
 	}
 	r.mu.Lock()

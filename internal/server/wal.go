@@ -34,13 +34,33 @@ import (
 // truncated back to the last good record so the journal stays
 // append-clean.
 
+// ClusterRecord is one cluster-state journal entry: the coordinator
+// journals membership changes (join/evict), job placements learned from
+// heartbeats, and eviction-time migrations, so a restarted coordinator
+// reconstructs the ring, the lease table, and the in-flight placement
+// map from its own WAL — the same replay-on-boot contract jobs have.
+type ClusterRecord struct {
+	Kind  string   `json:"kind"` // join | evict | place | unplace | migrate
+	Node  string   `json:"node,omitempty"`
+	Addr  string   `json:"addr,omitempty"` // node's public API address
+	Peer  string   `json:"peer,omitempty"` // node's peer (cluster) address
+	Epoch int64    `json:"epoch,omitempty"`
+	Job   string   `json:"job,omitempty"`    // cluster-wide job ID (owner-prefixed)
+	NewID string   `json:"new_id,omitempty"` // migrate: the survivor's job ID
+	Hash  string   `json:"hash,omitempty"`
+	Idem  string   `json:"idem,omitempty"`
+	Spec  *JobSpec `json:"spec,omitempty"`
+}
+
 // walRecord is one journal line.
 type walRecord struct {
 	LSN  int64    `json:"lsn"`
-	Type string   `json:"type"` // submit | start | checkpoint | finish | interrupted
+	Type string   `json:"type"` // submit | start | checkpoint | finish | interrupted | cluster
 	Job  string   `json:"job,omitempty"`
 	Idem string   `json:"idem,omitempty"`
 	Spec *JobSpec `json:"spec,omitempty"`
+	// cluster payload (Type == "cluster").
+	Cluster *ClusterRecord `json:"cluster,omitempty"`
 	// finish fields: terminal state, rendered output (done only), error.
 	State  string `json:"state,omitempty"`
 	Output string `json:"output,omitempty"`
@@ -198,6 +218,9 @@ func replay(recs []walRecord) (jobs []*recoveredJob, byID map[string]*recoveredJ
 			// Progress markers: useful for audit, not needed to decide
 			// recovery (a non-terminal job re-runs either way, resuming
 			// from the blob store when a checkpoint is available).
+		case "cluster":
+			// Cluster-state records replay through Server.ClusterReplay,
+			// not the job path.
 		}
 	}
 	return jobs, byID
@@ -263,9 +286,10 @@ func (c *ckptStore) Len() int {
 
 // compact rewrites the journal down to the records that still matter:
 // one submit (+ finish, when terminal) per job, in the original
-// submission order, with fresh consecutive LSNs. Called on graceful
-// drain so the journal does not grow without bound across restarts.
-func compactWAL(path string, jobs []*Job) error {
+// submission order, then the current cluster-state snapshot, with fresh
+// consecutive LSNs. Called on graceful drain so the journal does not
+// grow without bound across restarts.
+func compactWAL(path string, jobs []*Job, clusterRecs []ClusterRecord) error {
 	tmp := path + ".tmp"
 	var buf bytes.Buffer
 	lsn := int64(0)
@@ -300,6 +324,11 @@ func compactWAL(path string, jobs []*Job) error {
 			if err := write(rec); err != nil {
 				return err
 			}
+		}
+	}
+	for i := range clusterRecs {
+		if err := write(walRecord{Type: "cluster", Cluster: &clusterRecs[i]}); err != nil {
+			return err
 		}
 	}
 	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
