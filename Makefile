@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race chaos chaos-restart chaos-cluster fuzz-smoke verify bench bench-baseline bench-compare clean
+.PHONY: build vet test race chaos chaos-restart chaos-cluster fuzz-smoke search-smoke verify bench bench-baseline bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,19 @@ chaos-cluster:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzFaultPlan' -fuzztime 10s ./internal/faults/
 	$(GO) test -run '^$$' -fuzz 'FuzzDecode' -fuzztime 10s ./internal/snapshot/
+
+# Determinism smoke of the autotuner: the same tiny 2-dim search
+# (successive halving over planes x ddb) run twice — once parallel,
+# once serial — must print byte-identical, non-empty Pareto frontiers.
+# Keep the artifacts on failure: they are the diff CI uploads.
+SEARCH_SMOKE_FLAGS = -exp search -search-dims 'planes=1,2;ddb' \
+	-search-rungs 2 -instrs 4000 -seed 7 -chart -q
+search-smoke:
+	$(GO) run ./cmd/erucabench $(SEARCH_SMOKE_FLAGS) > search-smoke-a.txt
+	$(GO) run ./cmd/erucabench $(SEARCH_SMOKE_FLAGS) -parallel 1 > search-smoke-b.txt
+	cmp search-smoke-a.txt search-smoke-b.txt
+	grep -q 'planes=' search-smoke-a.txt
+	rm -f search-smoke-a.txt search-smoke-b.txt
 
 # verify is the tier-1 gate plus the race and chaos smokes.
 verify: vet build test race chaos

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,8 @@ import (
 	"eruca/internal/check"
 	"eruca/internal/cli"
 	"eruca/internal/exp"
+	"eruca/internal/search"
+	"eruca/internal/workload"
 )
 
 func main() {
@@ -31,7 +34,7 @@ func main() {
 // on failure exits (os.Exit in main would skip them).
 func run() int {
 	var (
-		which    = flag.String("exp", "all", "experiment: tab1, tab2, tab3, fig4, fig11, fig12, fig13a, fig13b, fig14, fig15, fig16a, fig16b, locality, ablations, attribution, all")
+		which    = flag.String("exp", "all", "experiment: tab1, tab2, tab3, fig4, fig11, fig12, fig13a, fig13b, fig14, fig15, fig16a, fig16b, locality, ablations, attribution, search, all")
 		planes   = flag.Int("planes", 4, "plane count for the attribution ladder")
 		instrs   = flag.Int64("instrs", 250_000, "measured instructions per core")
 		warmup   = flag.Int64("warmup", 0, "warmup instructions per core (default instrs/2)")
@@ -48,6 +51,8 @@ func run() int {
 	rb.Register()
 	var tr cli.Trace
 	tr.Register()
+	var sr cli.Search
+	sr.Register()
 	flag.Parse()
 
 	copts, wd, plan, err := rb.Build()
@@ -108,6 +113,49 @@ func run() int {
 	if !*quiet {
 		p.Log = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
 	}
+	// -exp search is the autotuner entry: it explores the -search-dims
+	// space instead of replaying a fixed figure, printing the Pareto
+	// frontier table (and scatter with -chart). Deterministic in
+	// (-search-*, -seed): byte-identical output at any -parallel.
+	if *which == "search" {
+		mixName := "mix0"
+		if len(p.Mixes) > 0 {
+			mixName = p.Mixes[0]
+		}
+		spec, err := sr.Spec(mixName, *frag, 0, *seed, *instrs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "erucabench:", err)
+			return cli.ExitUsage
+		}
+		mix, err := workload.MixByName(mixName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "erucabench:", err)
+			return cli.ExitUsage
+		}
+		ev := search.NewRunnerEval(p, mix, *frag, 0)
+		start := time.Now()
+		res, err := search.Run(context.Background(), spec, search.Options{
+			Eval: ev, Parallel: *parallel, Log: p.Log,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "erucabench: search:", err)
+			cli.WriteCrashDump(rb.CrashDump, err, nil)
+			return cli.ExitCode(err)
+		}
+		fmt.Println(res.Table().Format())
+		if *chart {
+			if c := res.Chart(); c != "" {
+				fmt.Println(c)
+			}
+		}
+		if !*quiet {
+			launched, joined := ev.Counters()
+			fmt.Fprintf(os.Stderr, "  [search evaluated %d points: %d simulations, %d cache joins, %.1fs]\n",
+				res.PointsEvaluated, launched, joined, time.Since(start).Seconds())
+		}
+		return cli.ExitOK
+	}
+
 	r := exp.NewRunner(p)
 
 	type experiment struct {

@@ -1,0 +1,189 @@
+// Search drives the erucad autotuner end to end: it submits one
+// "search" job — a design-space exploration over the -search-dims
+// parameter ladders, seeded by -seed — then follows the incumbent
+// Pareto frontier live over the job's SSE stream and, when the search
+// completes, prints the final frontier table and ASCII Pareto scatter
+// (IPC vs energy, area in the labels).
+//
+// The submission carries a content-derived Idempotency-Key, so rerunning
+// the client against a daemon that already ran this exact search returns
+// the cached result instantly — the engine is deterministic in
+// (spec, seed), which is what makes that reuse sound. By default it
+// self-hosts an in-process daemon on a loopback port so
+// `go run ./examples/search` works with nothing else running; point
+// -addr at a real daemon (or any node of a cluster, which will fan the
+// point evaluations out across the ring) to use one.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"eruca/internal/cli"
+	"eruca/internal/search"
+	"eruca/internal/server"
+)
+
+type jobView struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	CacheHit bool   `json:"cache_hit"`
+	Result   string `json:"result"`
+	Error    *struct {
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "daemon address (empty = self-host in process)")
+	mix := flag.String("mix", "mix0", "workload mix the search optimizes for")
+	frag := flag.Float64("frag", 0.1, "address-space fragmentation")
+	seed := flag.Int64("seed", 1, "search seed (0 is rejected: every run must be replayable)")
+	instrs := flag.Int64("instrs", 40_000, "full-budget instructions per core (top halving rung)")
+	var sr cli.Search
+	sr.Register()
+	flag.Parse()
+	log.SetFlags(0)
+
+	spec, err := sr.Spec(*mix, *frag, 0, *seed, *instrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job := server.JobSpec{Kind: "search", Search: &spec, Seed: *seed}
+
+	base := "http://" + *addr
+	if *addr == "" {
+		base = selfHost()
+	}
+
+	// Content-derived idempotency: the same search resubmitted (a retry,
+	// or a rerun of this client) lands on the original job.
+	id := submit(base, job, "search-"+spec.Hash())
+	fmt.Fprintf(os.Stderr, "search %s submitted to %s (space %s, seed %d)\n",
+		id, base, spec.Hash()[:12], *seed)
+
+	stream(base, id)
+
+	v := await(base, id)
+	res, err := search.ParseResult([]byte(v.Result))
+	if err != nil {
+		log.Fatalf("unparsable search result: %v", err)
+	}
+	fmt.Println(res.Table().Format())
+	if c := res.Chart(); c != "" {
+		fmt.Println(c)
+	}
+	fmt.Fprintf(os.Stderr, "[%d points evaluated, frontier size %d, cache hit: %v]\n",
+		res.PointsEvaluated, len(res.Frontier), v.CacheHit)
+}
+
+// submit POSTs the job spec once; 200 means an idempotent replay of an
+// earlier submission and is as good as a fresh 202.
+func submit(base string, spec server.JobSpec, key string) string {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", base+"/v1/jobs", strings.NewReader(string(b)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("submit: status %d: %s", resp.StatusCode, e.Error)
+	}
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil || v.ID == "" {
+		log.Fatalf("submit: bad response (%v)", err)
+	}
+	return v.ID
+}
+
+// stream follows the job's SSE feed, printing the incumbent-frontier
+// lines as the search tightens them, until the terminal done frame.
+func stream(base, id string) {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		fmt.Fprintf(os.Stderr, "events unavailable (%v); polling instead\n", err)
+		return
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20) // frontier lines carry JSON
+	done := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: done"):
+			done = true
+		case strings.HasPrefix(line, "data: ") && len(line) > 6:
+			if done {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "  %s\n", line[6:])
+		}
+	}
+}
+
+func await(base, id string) jobView {
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var v jobView
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch v.State {
+		case "done":
+			return v
+		case "failed", "canceled":
+			msg := v.State
+			if v.Error != nil {
+				msg += ": " + v.Error.Message
+			}
+			log.Fatalf("search %s %s", id, msg)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// selfHost starts an in-process daemon on a loopback port and returns
+// its base URL.
+func selfHost() string {
+	srv, err := server.New(server.Config{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(ln, srv.Handler()) }()
+	return "http://" + ln.Addr().String()
+}

@@ -1,0 +1,95 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"eruca/internal/search"
+)
+
+// Search is the -search-* flag cluster shared by erucabench and the
+// examples/search client (the PR 3 flag-hoisting convention: one
+// registration, one parsing rule, no per-binary re-declaration). The
+// search seed itself rides the binaries' existing -seed flag — the
+// engine rejects a zero seed with search.ErrUnseeded.
+type Search struct {
+	Dims      string
+	Grid      int
+	Rungs     int
+	Scale     int64
+	Survive   float64
+	Rounds    int
+	Neighbors int
+}
+
+// Register installs the flags on the default flag set.
+func (s *Search) Register() {
+	flag.StringVar(&s.Dims, "search-dims", "planes",
+		"searched dimensions, ';'-separated, each 'name' (full ladder) or 'name=v1,v2,...' "+
+			"(known: planes, ewlr, ewlr_bits, rap, ddb, queue_depth, page_policy)")
+	flag.IntVar(&s.Grid, "search-grid", 0, "max coarse-grid seed points (default 32)")
+	flag.IntVar(&s.Rungs, "search-rungs", 0, "successive-halving rungs (default 3)")
+	flag.Int64Var(&s.Scale, "search-scale", 0, "instruction-budget scale between rungs (default 4)")
+	flag.Float64Var(&s.Survive, "search-survive", 0, "fraction promoted per rung (default 0.5)")
+	flag.IntVar(&s.Rounds, "search-rounds", 0, "neighborhood-refinement rounds (default 2, -1 disables)")
+	flag.IntVar(&s.Neighbors, "search-neighbors", 0, "max neighbors evaluated per refinement round (default 16)")
+}
+
+// ParseDims parses the -search-dims DSL: ';'-separated dimensions,
+// each either a bare name (full ladder) or name=v1,v2,... (a ladder
+// subset). Validation of names and values happens when the spec
+// compiles, so errors carry the engine's ladder diagnostics.
+func ParseDims(dsl string) ([]search.DimSpec, error) {
+	var dims []search.DimSpec
+	for _, part := range strings.Split(dsl, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, csv, has := strings.Cut(part, "=")
+		d := search.DimSpec{Name: strings.TrimSpace(name)}
+		if has {
+			for _, v := range strings.Split(csv, ",") {
+				if v = strings.TrimSpace(v); v != "" {
+					d.Values = append(d.Values, v)
+				}
+			}
+			if len(d.Values) == 0 {
+				return nil, fmt.Errorf("cli: -search-dims: dimension %q has an empty value list", d.Name)
+			}
+		}
+		dims = append(dims, d)
+	}
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("cli: -search-dims is empty")
+	}
+	return dims, nil
+}
+
+// Spec assembles and validates a search.Spec from the flag cluster
+// plus the binary's shared workload/budget flags.
+func (s Search) Spec(mix string, frag, busMHz float64, seed, instrs int64) (search.Spec, error) {
+	dims, err := ParseDims(s.Dims)
+	if err != nil {
+		return search.Spec{}, err
+	}
+	spec := search.Spec{
+		Dims:         dims,
+		Mix:          mix,
+		Frag:         frag,
+		BusMHz:       busMHz,
+		Seed:         seed,
+		Instrs:       instrs,
+		GridMax:      s.Grid,
+		Rungs:        s.Rungs,
+		RungScale:    s.Scale,
+		SurviveFrac:  s.Survive,
+		RefineRounds: s.Rounds,
+		NeighborMax:  s.Neighbors,
+	}
+	if _, err := spec.Validate(); err != nil {
+		return search.Spec{}, err
+	}
+	return spec, nil
+}

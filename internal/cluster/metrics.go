@@ -24,6 +24,7 @@ func (n *Node) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE eruca_cluster_heartbeats_total counter\neruca_cluster_heartbeats_total %d\n", n.metrics.heartbeats.Load())
 	fmt.Fprintf(w, "# TYPE eruca_cluster_rejoins_total counter\neruca_cluster_rejoins_total %d\n", n.metrics.rejoins.Load())
 	fmt.Fprintf(w, "# TYPE eruca_cluster_submits_forwarded_total counter\neruca_cluster_submits_forwarded_total %d\n", n.metrics.forwarded.Load())
+	fmt.Fprintf(w, "# TYPE eruca_cluster_search_evals_forwarded_total counter\neruca_cluster_search_evals_forwarded_total %d\n", n.metrics.evalsForwarded.Load())
 	fmt.Fprintf(w, "# TYPE eruca_cluster_requests_proxied_total counter\neruca_cluster_requests_proxied_total %d\n", n.metrics.proxied.Load())
 	fmt.Fprintf(w, "# TYPE eruca_cluster_submits_shed_local_total counter\neruca_cluster_submits_shed_local_total %d\n", n.metrics.shedLocal.Load())
 	fmt.Fprintf(w, "# TYPE eruca_cluster_breakers_open gauge\neruca_cluster_breakers_open %d\n", n.breakers.OpenCount())

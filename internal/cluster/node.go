@@ -85,13 +85,14 @@ type Node struct {
 
 // clusterMetrics are the cluster-layer counters, exposed on /metrics.
 type clusterMetrics struct {
-	forwarded    atomic.Int64
-	proxied      atomic.Int64
-	shedLocal    atomic.Int64
-	heartbeats   atomic.Int64
-	rejoins      atomic.Int64
-	jobsMigrated atomic.Int64
-	nodesEvicted atomic.Int64
+	forwarded      atomic.Int64
+	evalsForwarded atomic.Int64
+	proxied        atomic.Int64
+	shedLocal      atomic.Int64
+	heartbeats     atomic.Int64
+	rejoins        atomic.Int64
+	jobsMigrated   atomic.Int64
+	nodesEvicted   atomic.Int64
 }
 
 // New wires a cluster member around a server built from scfg: the
@@ -124,6 +125,7 @@ func New(cfg Config, scfg server.Config) (*Node, error) {
 	scfg.CkptFetch = n.ckptFetch
 	scfg.CkptReplicate = n.ckptReplicate
 	scfg.OnAdmit = n.onAdmit
+	scfg.EvalRemote = n.evalRemote
 	if cfg.JoinURL == "" {
 		scfg.ClusterSnapshot = func() []server.ClusterRecord {
 			if n.coord == nil {

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"eruca/internal/search"
+	"eruca/internal/server"
+)
+
+// TestClusterSearchFanout runs one autotuning search on a 3-node
+// cluster: the search job lands on its hash owner as usual, and the
+// design-point evals it spawns are routed by THEIR spec hashes to the
+// points' ring owners. The proof of the fan-out is the forwarded-evals
+// counter going nonzero somewhere — with eight points at two budgets
+// spread over three owners, at least one must live off the search node.
+func TestClusterSearchFanout(t *testing.T) {
+	nodes := startCluster(t, 3, 2*time.Second)
+	spec := server.JobSpec{
+		Kind: "search",
+		Search: &search.Spec{
+			Dims: []search.DimSpec{
+				{Name: "planes", Values: []string{"1", "2", "4", "8"}},
+				{Name: "ddb"},
+			},
+			Seed:   7,
+			Instrs: 4000,
+			Rungs:  2,
+		},
+	}
+
+	v, code := postSpec(t, nodes[0].base, spec, "", false)
+	if code != 200 && code != 202 {
+		t.Fatalf("search submit status %d", code)
+	}
+	done := awaitDone(t, nodes[0].base, v.ID, 120*time.Second)
+	res, err := search.ParseResult([]byte(done.Result))
+	if err != nil {
+		t.Fatalf("unparsable search result: %v\n%s", err, done.Result)
+	}
+	if len(res.Frontier) == 0 || res.PointsEvaluated == 0 {
+		t.Fatalf("degenerate search result: %+v", res)
+	}
+
+	forwarded := 0
+	for _, n := range nodes {
+		forwarded += scrapeMetric(t, n.base, "eruca_cluster_search_evals_forwarded_total")
+	}
+	if forwarded <= 0 {
+		t.Errorf("no evals forwarded across the cluster (counter sum %d)", forwarded)
+	}
+
+	// Every node answers for the search by proxying to its owner, and an
+	// identical resubmission through a different node routes to the same
+	// owner and is a pure result-cache hit — byte-identical frontier.
+	v2, _ := postSpec(t, nodes[2].base, spec, "", false)
+	got := awaitDone(t, nodes[1].base, v2.ID, 60*time.Second)
+	if got.Result != done.Result {
+		t.Errorf("resubmitted search result differs:\n%s\nvs\n%s", got.Result, done.Result)
+	}
+}

@@ -60,6 +60,90 @@ func (t *Table) Chart() string {
 	return b.String()
 }
 
+// ScatterPoint is one point of a ParetoScatter: an (X, Y) objective
+// pair, whether it sits on the Pareto frontier, and a label for the
+// legend.
+type ScatterPoint struct {
+	X, Y     float64
+	Frontier bool
+	Label    string
+}
+
+// ParetoScatter renders an ASCII scatter plot of the given points —
+// the autotuner's IPC-vs-energy view. Frontier points are drawn as
+// '*' and listed in a numbered legend; dominated points are '.'.
+// When two points land on the same cell the frontier glyph wins.
+// Output is deterministic: rows render top to bottom, the legend in
+// input order.
+func ParetoScatter(title, xlabel, ylabel string, pts []ScatterPoint) string {
+	if len(pts) == 0 {
+		return ""
+	}
+	const w, h = 56, 16
+	minX, maxX := pts[0].X, pts[0].X
+	minY, maxY := pts[0].Y, pts[0].Y
+	for _, p := range pts {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	cell := func(v, min, span float64, n int) int {
+		if span == 0 {
+			return 0
+		}
+		i := int((v - min) / span * float64(n-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		return i
+	}
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for _, p := range pts {
+		x := cell(p.X, minX, spanX, w)
+		y := cell(p.Y, minY, spanY, h)
+		c := byte('.')
+		if p.Frontier {
+			c = '*'
+		}
+		row := h - 1 - y // Y grows upward
+		if grid[row][x] != '*' {
+			grid[row][x] = c
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%s [%.4g .. %.4g] vs %s [%.4g .. %.4g]\n", ylabel, minY, maxY, xlabel, minX, maxX)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "  |%s|\n", row)
+	}
+	fmt.Fprintf(&b, "  +%s+\n", strings.Repeat("-", w))
+	for i, p := range pts {
+		if !p.Frontier || p.Label == "" {
+			continue
+		}
+		fmt.Fprintf(&b, "  * [%2d] %-44s %s=%.4g %s=%.4g\n", i+1, truncate(p.Label, 44), xlabel, p.X, ylabel, p.Y)
+	}
+	return b.String()
+}
+
 func parseNumeric(cell string) (float64, bool) {
 	s := strings.TrimSuffix(strings.TrimSpace(cell), "%")
 	v, err := strconv.ParseFloat(s, 64)

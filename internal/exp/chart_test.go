@@ -1,9 +1,15 @@
 package exp
 
 import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestChartRendersNumericColumns(t *testing.T) {
 	tbl := &Table{
@@ -45,6 +51,62 @@ func TestChartPercentCells(t *testing.T) {
 	}
 	if tbl.Chart() == "" {
 		t.Error("percent cells not charted")
+	}
+}
+
+// scatterFixture is a curated frontier-shaped point set: three
+// non-dominated configurations and two dominated ones.
+func scatterFixture() []ScatterPoint {
+	return []ScatterPoint{
+		{X: 120, Y: 2.1, Frontier: true, Label: "planes=8 ewlr=on rap=on"},
+		{X: 100, Y: 1.9, Frontier: true, Label: "planes=4 ewlr=on rap=on"},
+		{X: 90, Y: 1.4, Frontier: true, Label: "planes=2 ewlr=off rap=on"},
+		{X: 130, Y: 1.8, Frontier: false},
+		{X: 115, Y: 1.3, Frontier: false},
+	}
+}
+
+// TestParetoScatterGolden pins the exact rendering: the scatter is
+// consumed verbatim by the CLI and examples/search, so drift is an
+// interface change, not a cosmetic one.
+func TestParetoScatterGolden(t *testing.T) {
+	got := []byte(ParetoScatter("Pareto frontier: IPC vs energy", "energy (nJ)", "IPC", scatterFixture()))
+	path := filepath.Join("testdata", "pareto_golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Pareto scatter drifted from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestParetoScatterShape(t *testing.T) {
+	out := ParetoScatter("t", "x", "y", scatterFixture())
+	if strings.Count(out, "*") < 3+3 { // 3 plotted glyphs + 3 legend bullets
+		t.Errorf("frontier points not marked:\n%s", out)
+	}
+	if !strings.Contains(out, ".") {
+		t.Errorf("dominated points not plotted:\n%s", out)
+	}
+	if !strings.Contains(out, "planes=4 ewlr=on rap=on") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if ParetoScatter("t", "x", "y", nil) != "" {
+		t.Error("empty input rendered")
+	}
+	// A single point must not divide by a zero span.
+	one := ParetoScatter("t", "x", "y", []ScatterPoint{{X: 1, Y: 1, Frontier: true, Label: "only"}})
+	if !strings.Contains(one, "only") {
+		t.Errorf("single-point scatter broken:\n%s", one)
 	}
 }
 

@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"sync"
+	"testing"
+
+	"eruca/internal/config"
+	"eruca/internal/workload"
+)
+
+// TestCountersRevisitNeverResimulates pins the cache contract the
+// autotuner depends on: once a (system, mix, frag) key has been
+// simulated, every revisit — sequential or concurrent — joins the
+// existing flight instead of launching a new simulation. launched is
+// the miss counter, joined the hit counter; a revisited search point
+// must move only the latter.
+func TestCountersRevisitNeverResimulates(t *testing.T) {
+	r := NewRunner(Params{Instrs: 5000, Seed: 42, Parallel: 4})
+	mix, err := workload.MixByName("mix0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := config.Baseline(config.DefaultBusMHz)
+
+	if l, j := r.Counters(); l != 0 || j != 0 {
+		t.Fatalf("fresh runner counters = (%d, %d)", l, j)
+	}
+
+	// Miss: first visit launches exactly one simulation.
+	first, err := r.Result(sys, mix, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, j1 := r.Counters()
+	if l1 != 1 || j1 != 0 {
+		t.Fatalf("after first visit: launched=%d joined=%d, want 1, 0", l1, j1)
+	}
+
+	// Sequential revisits: all hits, zero new simulations, same result
+	// pointer (the cached flight's value, not a re-run).
+	for i := 0; i < 3; i++ {
+		res, err := r.Result(sys, mix, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != first {
+			t.Fatal("revisit returned a different result value")
+		}
+	}
+	l2, j2 := r.Counters()
+	if l2 != 1 {
+		t.Fatalf("sequential revisits re-simulated: launched=%d", l2)
+	}
+	if j2 != 3 {
+		t.Fatalf("sequential revisits joined=%d, want 3", j2)
+	}
+
+	// Concurrent duplicates of a NEW key: exactly one launch (the
+	// in-flight singleflight), everyone else joins.
+	sys2 := config.VSB(4, true, true, true, config.DefaultBusMHz)
+	const dup = 6
+	var wg sync.WaitGroup
+	for i := 0; i < dup; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.Result(sys2, mix, 0); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	l3, j3 := r.Counters()
+	if l3 != 2 {
+		t.Fatalf("concurrent duplicates launched %d simulations for one key", l3-l2)
+	}
+	if j3 != j2+dup-1 {
+		t.Fatalf("concurrent duplicates joined=%d, want %d", j3-j2, dup-1)
+	}
+
+	// A genuinely different fragmentation level is a different key: one
+	// more launch, no joins.
+	if _, err := r.Result(sys, mix, 0.10); err != nil {
+		t.Fatal(err)
+	}
+	if l4, j4 := r.Counters(); l4 != 3 || j4 != j3 {
+		t.Fatalf("distinct key counters = (%d, %d), want (3, %d)", l4, j4, j3)
+	}
+}

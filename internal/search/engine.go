@@ -1,0 +1,514 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"eruca/internal/rng"
+)
+
+// Progress is a live snapshot of a running search, delivered to
+// Options.OnProgress at every batch barrier and frontier change.
+// Evaluated counts the distinct (point, budget) evaluations the
+// strategy has requested so far; Fresh and CacheHits split them into
+// simulations actually performed this run versus results served from a
+// restored snapshot — runtime evidence only, never part of the result.
+type Progress struct {
+	Stage        string
+	Evaluated    int
+	Fresh        int64
+	CacheHits    int64
+	FrontierSize int
+	Frontier     []FrontierPoint
+}
+
+// Checkpoint persists search state across crashes. Load is called once
+// at startup (nil or invalid blobs start fresh); Save is called at
+// every batch barrier and on cancellation with a sealed ERUCASN1 blob.
+type Checkpoint struct {
+	Load func() []byte
+	Save func(blob []byte)
+}
+
+// Options configures a Run.
+type Options struct {
+	// Eval scores points (required).
+	Eval Evaluator
+	// Parallel bounds concurrent evaluations (0 = GOMAXPROCS). The
+	// result is byte-identical at every setting.
+	Parallel int
+	// Log receives progress lines (nil = silent).
+	Log func(string)
+	// OnProgress receives live progress (nil = none).
+	OnProgress func(Progress)
+	// Checkpoint, when non-nil, makes the search crash-safe.
+	Checkpoint *Checkpoint
+}
+
+// engine is one search execution. The strategy is a deterministic
+// replay: all decisions (grid subsampling, promotion, neighbor
+// selection) are functions of the spec, the seed and the metrics of
+// evaluations the replay itself requested — never of wall-clock,
+// completion order, or whatever extra entries a restored snapshot
+// happens to contain. The snapshot is purely an evaluation cache: it
+// lets the replay skip simulations, not skip decisions.
+type engine struct {
+	spec Spec
+	sp   *Space
+	hash string
+	opts Options
+
+	// cache is the crash-safe evaluation cache: restored from the
+	// checkpoint, grown by fresh evaluations, snapshotted at barriers.
+	// requested is the replay's own log — the subset of cache this
+	// run's strategy has actually asked for, keyed by evalKey.
+	mu        sync.Mutex
+	cache     map[string]evalRecord
+	requested map[string]evalRecord
+	points    map[string]Point // canonical key -> representative point
+	fresh     int64
+	hits      int64
+
+	frontier Frontier
+	stage    string
+}
+
+// Run executes a search to completion. The returned Result is a pure
+// function of (spec, seed): byte-identical across runs, parallelism
+// levels, and kill/resume cycles.
+func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
+	sp, err := spec.Validate()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Eval == nil {
+		return nil, errors.New("search: Options.Eval is required")
+	}
+	n := spec.Normalize()
+	e := &engine{
+		spec:      n,
+		sp:        sp,
+		hash:      n.Hash(),
+		opts:      opts,
+		cache:     make(map[string]evalRecord),
+		requested: make(map[string]evalRecord),
+		points:    make(map[string]Point),
+	}
+	if opts.Checkpoint != nil && opts.Checkpoint.Load != nil {
+		if blob := opts.Checkpoint.Load(); blob != nil {
+			restored, derr := decodeState(e.hash, blob)
+			if derr != nil {
+				e.logf("search: ignoring checkpoint: %v", derr)
+			} else {
+				e.cache = restored
+				e.logf("search: restored %d evaluated points from checkpoint", len(restored))
+			}
+		}
+	}
+	r, _ := rng.New(n.Seed)
+
+	// Stage 1: coarse grid seeding at the cheapest rung.
+	e.setStage("grid")
+	grid := e.coarseGrid()
+	if len(grid) > n.GridMax {
+		r.Shuffle(len(grid), func(i, j int) { grid[i], grid[j] = grid[j], grid[i] })
+		grid = grid[:n.GridMax]
+		sortKeys(grid)
+	}
+	e.logf("search: space %d points, grid seeds %d, rungs %d (budget %d..%d)",
+		e.sp.Size(), len(grid), n.Rungs, e.rungInstrs(0), n.Instrs)
+	if err := e.evalBatch(ctx, grid, e.rungInstrs(0)); err != nil {
+		return nil, err
+	}
+
+	// Stage 2: successive halving — promote the top SurviveFrac at each
+	// rung, re-evaluating survivors at the next (larger) budget.
+	pool := grid
+	for rung := 1; rung < n.Rungs; rung++ {
+		e.setStage(fmt.Sprintf("halving rung %d/%d", rung, n.Rungs-1))
+		pool = e.promote(pool, e.rungInstrs(rung-1))
+		if err := e.evalBatch(ctx, pool, e.rungInstrs(rung)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Every full-budget evaluation so far feeds the frontier.
+	e.absorbFrontier()
+
+	// Stage 3: neighborhood refinement — hill-climb around the frontier
+	// one ladder rung at a time, at full budget, until a round adds
+	// nothing or the round budget runs out.
+	for round := 1; round <= n.RefineRounds; round++ {
+		e.setStage(fmt.Sprintf("refine round %d/%d", round, n.RefineRounds))
+		cand := e.neighbors()
+		if len(cand) > n.NeighborMax {
+			r.Shuffle(len(cand), func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
+			cand = cand[:n.NeighborMax]
+			sortKeys(cand)
+		}
+		if len(cand) == 0 {
+			e.logf("search: refine round %d: no unexplored neighbors", round)
+			break
+		}
+		if err := e.evalBatch(ctx, cand, n.Instrs); err != nil {
+			return nil, err
+		}
+		if !e.absorbFrontier() {
+			e.logf("search: refine round %d: frontier stable, stopping", round)
+			break
+		}
+	}
+
+	e.setStage("done")
+	return e.result(), nil
+}
+
+func (e *engine) logf(format string, args ...any) {
+	if e.opts.Log != nil {
+		e.opts.Log(fmt.Sprintf(format, args...))
+	}
+}
+
+func (e *engine) setStage(s string) {
+	e.stage = s
+	e.progress()
+}
+
+func (e *engine) progress() {
+	if e.opts.OnProgress == nil {
+		return
+	}
+	e.mu.Lock()
+	p := Progress{
+		Stage:        e.stage,
+		Evaluated:    len(e.requested),
+		Fresh:        e.fresh,
+		CacheHits:    e.hits,
+		FrontierSize: e.frontier.Len(),
+		Frontier:     e.frontier.Points(),
+	}
+	e.mu.Unlock()
+	e.opts.OnProgress(p)
+}
+
+// rungInstrs is the instruction budget of rung r: the full budget
+// divided by RungScale per remaining rung, floored at 1000 so tiny
+// budgets stay meaningful.
+func (e *engine) rungInstrs(r int) int64 {
+	in := e.spec.Instrs
+	for i := r; i < e.spec.Rungs-1; i++ {
+		in /= e.spec.RungScale
+	}
+	if in < 1000 {
+		in = 1000
+	}
+	return in
+}
+
+// repPoint canonicalizes a point's representative: masked dimensions
+// (ewlr_bits under ewlr=off) are forced to their lowest searched value
+// so key -> point is a bijection and neighbor generation is a function
+// of the key alone.
+func (e *engine) repPoint(p Point) Point {
+	out := make(Point, len(p))
+	copy(out, p)
+	a := e.sp.assignment(out)
+	masked := Canonicalize(a)
+	for i, d := range e.sp.Dims {
+		if masked[d.Name] == "-" {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// record registers a point's representative under its canonical key
+// and returns the key.
+func (e *engine) record(p Point) string {
+	rp := e.repPoint(p)
+	key := e.sp.KeyFor(rp)
+	e.mu.Lock()
+	if _, ok := e.points[key]; !ok {
+		e.points[key] = rp
+	}
+	e.mu.Unlock()
+	return key
+}
+
+// coarseGrid builds the seeding grid: the cartesian product of up to
+// gridValuesPerDim values per dimension (first, middle, last of the
+// searched ladder), deduplicated by canonical key and sorted.
+func (e *engine) coarseGrid() []string {
+	picks := make([][]int, len(e.sp.Dims))
+	for i, d := range e.sp.Dims {
+		n := len(d.Values)
+		set := []int{0}
+		if n > 2 {
+			set = append(set, n/2)
+		}
+		if n > 1 {
+			set = append(set, n-1)
+		}
+		picks[i] = set
+	}
+	seen := make(map[string]bool)
+	var keys []string
+	p := make(Point, len(e.sp.Dims))
+	var walk func(int)
+	walk = func(dim int) {
+		if dim == len(picks) {
+			key := e.record(p)
+			if !seen[key] {
+				seen[key] = true
+				keys = append(keys, key)
+			}
+			return
+		}
+		for _, v := range picks[dim] {
+			p[dim] = v
+			walk(dim + 1)
+		}
+	}
+	walk(0)
+	sort.Strings(keys)
+	return keys
+}
+
+// neighbors returns the canonical keys one ladder step away from any
+// current frontier member, excluding points this replay has already
+// evaluated at full budget, sorted.
+func (e *engine) neighbors() []string {
+	seen := make(map[string]bool)
+	var keys []string
+	for _, member := range e.frontier.Members() {
+		e.mu.Lock()
+		base, ok := e.points[member]
+		e.mu.Unlock()
+		if !ok {
+			continue
+		}
+		for i := range e.sp.Dims {
+			for _, d := range []int{-1, 1} {
+				v := base[i] + d
+				if v < 0 || v >= len(e.sp.Dims[i].Values) {
+					continue
+				}
+				np := make(Point, len(base))
+				copy(np, base)
+				np[i] = v
+				key := e.record(np)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				e.mu.Lock()
+				_, done := e.requested[evalKey(key, e.spec.Instrs)]
+				e.mu.Unlock()
+				if !done {
+					keys = append(keys, key)
+				}
+			}
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// promote ranks the pool by its metrics at the given budget (IPC
+// descending, energy ascending, key ascending; failures last) and
+// keeps the top SurviveFrac (at least one).
+func (e *engine) promote(pool []string, instrs int64) []string {
+	type scored struct {
+		key string
+		rec evalRecord
+	}
+	var ok, failed []scored
+	e.mu.Lock()
+	for _, k := range pool {
+		rec := e.requested[evalKey(k, instrs)]
+		if rec.fail != "" {
+			failed = append(failed, scored{k, rec})
+		} else {
+			ok = append(ok, scored{k, rec})
+		}
+	}
+	e.mu.Unlock()
+	sort.Slice(ok, func(i, j int) bool {
+		a, b := ok[i], ok[j]
+		if a.rec.m.IPC != b.rec.m.IPC {
+			return a.rec.m.IPC > b.rec.m.IPC
+		}
+		if a.rec.m.EnergyNJ != b.rec.m.EnergyNJ {
+			return a.rec.m.EnergyNJ < b.rec.m.EnergyNJ
+		}
+		return a.key < b.key
+	})
+	keep := int(float64(len(pool))*e.spec.SurviveFrac + 0.999999)
+	if keep < 1 {
+		keep = 1
+	}
+	if keep > len(ok) {
+		keep = len(ok)
+	}
+	if keep == 0 {
+		// Every candidate failed: keep the deterministically-first
+		// failure so later stages still have a pool (and fail visibly).
+		sort.Slice(failed, func(i, j int) bool { return failed[i].key < failed[j].key })
+		if len(failed) > 1 {
+			failed = failed[:1]
+		}
+		out := make([]string, len(failed))
+		for i, s := range failed {
+			out[i] = s.key
+		}
+		return out
+	}
+	out := make([]string, keep)
+	for i := 0; i < keep; i++ {
+		out[i] = ok[i].key
+	}
+	sort.Strings(out)
+	return out
+}
+
+// evalBatch evaluates the given canonical keys at one budget, in
+// parallel, with a barrier at the end: no strategy decision sees a
+// partially evaluated batch. Deterministic evaluation failures are
+// recorded and replayed; cancellation is not (a canceled run
+// checkpoints and returns, and the resume re-evaluates).
+func (e *engine) evalBatch(ctx context.Context, keys []string, instrs int64) error {
+	var todo []string
+	e.mu.Lock()
+	for _, k := range keys {
+		ek := evalKey(k, instrs)
+		if _, ok := e.requested[ek]; ok {
+			continue // same batch listed a colliding point, or a prior stage did
+		}
+		if rec, ok := e.cache[ek]; ok {
+			e.requested[ek] = rec
+			e.hits++
+			continue
+		}
+		todo = append(todo, k)
+	}
+	e.mu.Unlock()
+
+	par := e.opts.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for _, k := range todo {
+		wg.Add(1)
+		go func(key string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
+			e.mu.Lock()
+			p := e.points[key]
+			e.mu.Unlock()
+			a := Canonicalize(e.sp.assignment(p))
+			m, err := e.opts.Eval.Eval(ctx, key, a, instrs)
+			rec := evalRecord{m: m}
+			if err != nil {
+				if canceled(ctx, err) {
+					return // not a deterministic outcome: do not record
+				}
+				rec = evalRecord{fail: err.Error()}
+			}
+			e.mu.Lock()
+			e.cache[evalKey(key, instrs)] = rec
+			e.requested[evalKey(key, instrs)] = rec
+			e.fresh++
+			e.mu.Unlock()
+		}(k)
+	}
+	wg.Wait()
+	e.save()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	e.progress()
+	return nil
+}
+
+func canceled(ctx context.Context, err error) bool {
+	return ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// save seals the evaluation cache through the checkpoint sink.
+func (e *engine) save() {
+	if e.opts.Checkpoint == nil || e.opts.Checkpoint.Save == nil {
+		return
+	}
+	e.mu.Lock()
+	blob := encodeState(e.hash, e.cache)
+	e.mu.Unlock()
+	e.opts.Checkpoint.Save(blob)
+}
+
+// absorbFrontier offers every full-budget evaluation the replay has
+// requested to the frontier, in sorted key order, and reports whether
+// the frontier changed. Failed evaluations never enter the frontier.
+func (e *engine) absorbFrontier() bool {
+	e.mu.Lock()
+	type cand struct {
+		key string
+		rec evalRecord
+	}
+	var cands []cand
+	suffix := fmt.Sprintf("@%d", e.spec.Instrs)
+	for ek, rec := range e.requested {
+		if rec.fail != "" {
+			continue
+		}
+		if len(ek) > len(suffix) && ek[len(ek)-len(suffix):] == suffix {
+			cands = append(cands, cand{ek[:len(ek)-len(suffix)], rec})
+		}
+	}
+	e.mu.Unlock()
+	sort.Slice(cands, func(i, j int) bool { return cands[i].key < cands[j].key })
+	changed := false
+	for _, c := range cands {
+		if e.frontier.Add(FrontierPoint{Point: c.key, IPC: c.rec.m.IPC, EnergyNJ: c.rec.m.EnergyNJ, AreaPct: c.rec.m.AreaPct}) {
+			changed = true
+		}
+	}
+	if changed {
+		e.progress()
+	}
+	return changed
+}
+
+func sortKeys(keys []string) { sort.Strings(keys) }
+
+func (e *engine) result() *Result {
+	e.mu.Lock()
+	evaluated := len(e.requested)
+	var failures int
+	for _, rec := range e.requested {
+		if rec.fail != "" {
+			failures++
+		}
+	}
+	e.mu.Unlock()
+	return &Result{
+		SpecHash:        e.hash,
+		Seed:            e.spec.Seed,
+		Space:           e.sp.Dims,
+		Mix:             e.spec.Mix,
+		Frag:            e.spec.Frag,
+		Instrs:          e.spec.Instrs,
+		PointsEvaluated: evaluated,
+		Failures:        failures,
+		Frontier:        e.frontier.Points(),
+	}
+}

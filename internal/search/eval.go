@@ -1,0 +1,115 @@
+package search
+
+import (
+	"context"
+	"sync"
+
+	"eruca/internal/area"
+	"eruca/internal/config"
+	"eruca/internal/exp"
+	"eruca/internal/sim"
+	"eruca/internal/workload"
+)
+
+// Evaluator scores one canonical point at one instruction budget. The
+// engine calls it from many goroutines; implementations must be safe
+// for concurrent use. key is the canonical point key (the simulation
+// identity), a the canonical assignment it was derived from.
+//
+// Results MUST be deterministic in (key, instrs): the engine's
+// replay-on-resume and any-parallelism guarantees hold only because
+// re-evaluating a point reproduces the same metrics bit for bit.
+type Evaluator interface {
+	Eval(ctx context.Context, key string, a map[string]string, instrs int64) (Metrics, error)
+}
+
+// RunnerEval evaluates points through exp.Runner — one Runner per
+// instruction budget (a Runner's budget is fixed at construction), all
+// sharing the base Params. Revisited points hit the Runner's
+// singleflight cache and never re-simulate; Counters exposes the
+// dedup evidence.
+type RunnerEval struct {
+	base   exp.Params
+	mix    workload.Mix
+	frag   float64
+	busMHz float64
+
+	mu      sync.Mutex
+	runners map[int64]*exp.Runner
+}
+
+// NewRunnerEval builds a local evaluator. base.Instrs is ignored (each
+// rung gets its own budget); base.Seed seeds the simulations, which is
+// independent of the search seed.
+func NewRunnerEval(base exp.Params, mix workload.Mix, frag, busMHz float64) *RunnerEval {
+	return &RunnerEval{
+		base:    base,
+		mix:     mix,
+		frag:    frag,
+		busMHz:  busMHz,
+		runners: make(map[int64]*exp.Runner),
+	}
+}
+
+func (e *RunnerEval) runner(instrs int64) *exp.Runner {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if r, ok := e.runners[instrs]; ok {
+		return r
+	}
+	p := e.base
+	p.Instrs = instrs
+	p.Warmup = 0 // default: Instrs/2, scales with the rung budget
+	r := exp.NewRunner(p)
+	e.runners[instrs] = r
+	return r
+}
+
+// Eval implements Evaluator.
+func (e *RunnerEval) Eval(ctx context.Context, key string, a map[string]string, instrs int64) (Metrics, error) {
+	sys, err := SystemFor(a, e.busMHz)
+	if err != nil {
+		return Metrics{}, err
+	}
+	res, err := e.runner(instrs).WithContext(ctx).Result(sys, e.mix, e.frag)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return MetricsFor(sys, res), nil
+}
+
+// MetricsFor derives the three autotuner objectives from one simulation
+// of sys: aggregate IPC (sum over cores), total energy in nJ, and the
+// die-area overhead of the scheme in percent. Every evaluator — local
+// RunnerEval and the daemon's eval-job path — must use this single
+// definition, or identical points would score differently depending on
+// where they were simulated.
+func MetricsFor(sys *config.System, res *sim.Result) Metrics {
+	return Metrics{
+		IPC:      sumIPC(res.IPC),
+		EnergyNJ: res.Energy.TotalNJ(),
+		AreaPct:  area.Overhead(sys.Scheme, sys.Geom.Banks()) * 100,
+	}
+}
+
+// Counters sums the launched/joined counters of every per-budget
+// Runner: launched is the number of simulations actually executed,
+// joined the calls served from an existing flight or cache entry.
+func (e *RunnerEval) Counters() (launched, joined int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, r := range e.runners {
+		l, j := r.Counters()
+		launched += l
+		joined += j
+	}
+	return
+}
+
+func sumIPC(ipc []float64) float64 {
+	var s float64
+	for _, v := range ipc {
+		s += v
+	}
+	return s
+}

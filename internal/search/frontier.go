@@ -1,0 +1,97 @@
+package search
+
+import "sort"
+
+// Metrics is one evaluation's objective vector. IPC is maximized;
+// energy and area are minimized. Area is a pure function of the scheme
+// (internal/area), computed without simulation; IPC and energy come
+// from the simulator.
+type Metrics struct {
+	IPC      float64 `json:"ipc"`
+	EnergyNJ float64 `json:"energy_nj"`
+	AreaPct  float64 `json:"area_pct"`
+}
+
+// FrontierPoint is one non-dominated configuration.
+type FrontierPoint struct {
+	Point    string  `json:"point"` // canonical assignment key
+	IPC      float64 `json:"ipc"`
+	EnergyNJ float64 `json:"energy_nj"`
+	AreaPct  float64 `json:"area_pct"`
+}
+
+// dominates reports whether a dominates b: no worse on every objective
+// and strictly better on at least one.
+func dominates(a, b FrontierPoint) bool {
+	if a.IPC < b.IPC || a.EnergyNJ > b.EnergyNJ || a.AreaPct > b.AreaPct {
+		return false
+	}
+	return a.IPC > b.IPC || a.EnergyNJ < b.EnergyNJ || a.AreaPct < b.AreaPct
+}
+
+// Frontier tracks the non-dominated set. Ties are deterministic: a
+// point with an objective vector identical to a member's is kept only
+// if its canonical key sorts earlier, so the frontier is a pure
+// function of the evaluated set regardless of insertion order.
+type Frontier struct {
+	pts []FrontierPoint // sorted by Point key
+}
+
+// Add offers a point; it reports whether the frontier changed.
+func (f *Frontier) Add(p FrontierPoint) bool {
+	for _, q := range f.pts {
+		if q.Point == p.Point {
+			return false // already a member (re-evaluation at same budget)
+		}
+		if dominates(q, p) {
+			return false
+		}
+		if q.IPC == p.IPC && q.EnergyNJ == p.EnergyNJ && q.AreaPct == p.AreaPct && q.Point < p.Point {
+			return false // exact tie: earlier key wins
+		}
+	}
+	kept := f.pts[:0]
+	for _, q := range f.pts {
+		if dominates(p, q) {
+			continue
+		}
+		if q.IPC == p.IPC && q.EnergyNJ == p.EnergyNJ && q.AreaPct == p.AreaPct && p.Point < q.Point {
+			continue // exact tie: p's earlier key evicts q
+		}
+		kept = append(kept, q)
+	}
+	f.pts = append(kept, p)
+	sort.Slice(f.pts, func(i, j int) bool { return f.pts[i].Point < f.pts[j].Point })
+	return true
+}
+
+// Len reports the frontier size.
+func (f *Frontier) Len() int { return len(f.pts) }
+
+// Points returns the frontier sorted for presentation: IPC descending,
+// then energy ascending, then key — a deterministic, human-meaningful
+// order (fastest first).
+func (f *Frontier) Points() []FrontierPoint {
+	out := make([]FrontierPoint, len(f.pts))
+	copy(out, f.pts)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.IPC != b.IPC {
+			return a.IPC > b.IPC
+		}
+		if a.EnergyNJ != b.EnergyNJ {
+			return a.EnergyNJ < b.EnergyNJ
+		}
+		return a.Point < b.Point
+	})
+	return out
+}
+
+// Members reports the canonical keys of the current frontier, sorted.
+func (f *Frontier) Members() []string {
+	out := make([]string, len(f.pts))
+	for i, p := range f.pts {
+		out[i] = p.Point
+	}
+	return out
+}

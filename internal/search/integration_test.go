@@ -1,0 +1,71 @@
+package search
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"eruca/internal/exp"
+	"eruca/internal/workload"
+)
+
+// TestRunnerEvalNoResimulation drives a real search through exp.Runner
+// twice on the same evaluator: the second pass revisits every point
+// and must perform zero additional simulations (the Runner's launched
+// counter stays flat while joined grows), with byte-identical output.
+func TestRunnerEvalNoResimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulations")
+	}
+	mix, err := workload.MixByName("mix0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewRunnerEval(exp.Params{Seed: 42}, mix, 0, 0)
+	spec := Spec{
+		Dims: []DimSpec{
+			{Name: "planes", Values: []string{"1", "2"}},
+			{Name: "ddb"},
+		},
+		Seed:   11,
+		Instrs: 4000,
+		Rungs:  2,
+	}
+	r1, err := Run(context.Background(), spec, Options{Eval: ev, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	launched1, _ := ev.Counters()
+	if launched1 == 0 {
+		t.Fatal("no simulations launched")
+	}
+
+	r2, err := Run(context.Background(), spec, Options{Eval: ev, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	launched2, joined2 := ev.Counters()
+	if launched2 != launched1 {
+		t.Fatalf("revisited search re-simulated: launched %d -> %d", launched1, launched2)
+	}
+	if joined2 == 0 {
+		t.Fatal("revisited search joined no cached flights")
+	}
+	if !bytes.Equal(r1.JSON(), r2.JSON()) {
+		t.Fatalf("revisited search diverged:\n%s\nvs\n%s", r1.JSON(), r2.JSON())
+	}
+
+	// Real metrics must be sane: positive IPC and energy, area within
+	// the die model's plausible band.
+	for _, p := range r1.Frontier {
+		if p.IPC <= 0 || p.EnergyNJ <= 0 {
+			t.Fatalf("implausible metrics for %s: %+v", p.Point, p)
+		}
+		if p.AreaPct < 0 || p.AreaPct > 20 {
+			t.Fatalf("implausible area for %s: %+v", p.Point, p)
+		}
+	}
+}

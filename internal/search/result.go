@@ -1,0 +1,80 @@
+package search
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"eruca/internal/exp"
+)
+
+// Result is the deterministic outcome of a search: a pure function of
+// (spec, seed). It deliberately excludes runtime accounting (fresh
+// simulations vs cache hits, wall-clock, parallelism) so that a killed
+// and resumed search marshals byte-identically to an uninterrupted
+// one; that accounting lives in Progress and the daemon's metrics.
+type Result struct {
+	SpecHash string  `json:"spec_hash"`
+	Seed     int64   `json:"seed"`
+	Space    []Dim   `json:"space"`
+	Mix      string  `json:"mix"`
+	Frag     float64 `json:"frag"`
+	Instrs   int64   `json:"instrs"`
+
+	// PointsEvaluated counts distinct (point, budget) evaluations the
+	// strategy requested; Failures the ones that ended in a
+	// deterministic simulator error.
+	PointsEvaluated int `json:"points_evaluated"`
+	Failures        int `json:"failures,omitempty"`
+
+	// Frontier is the Pareto-optimal set, fastest first.
+	Frontier []FrontierPoint `json:"frontier"`
+}
+
+// JSON renders the canonical wire form (indented, stable field order).
+func (r *Result) JSON() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic("search: result not marshalable: " + err.Error())
+	}
+	return append(b, '\n')
+}
+
+// ParseResult decodes a Result from its JSON form.
+func ParseResult(b []byte) (*Result, error) {
+	var r Result
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("search: bad result JSON: %w", err)
+	}
+	return &r, nil
+}
+
+// Table renders the frontier as an exp.Table.
+func (r *Result) Table() *exp.Table {
+	t := &exp.Table{
+		Title:  fmt.Sprintf("Pareto frontier (mix %s, FMFI %.0f%%, %d instrs, seed %d)", r.Mix, r.Frag*100, r.Instrs, r.Seed),
+		Header: []string{"point", "IPC", "energy (nJ)", "area (%)"},
+	}
+	for _, p := range r.Frontier {
+		t.Rows = append(t.Rows, []string{
+			p.Point,
+			fmt.Sprintf("%.4f", p.IPC),
+			fmt.Sprintf("%.1f", p.EnergyNJ),
+			fmt.Sprintf("%.2f", p.AreaPct),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d points evaluated, %d on the frontier (spec %.12s).", r.PointsEvaluated, len(r.Frontier), r.SpecHash))
+	if r.Failures > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("%d evaluations failed and were excluded.", r.Failures))
+	}
+	return t
+}
+
+// Chart renders the IPC-vs-energy Pareto scatter of the frontier.
+func (r *Result) Chart() string {
+	pts := make([]exp.ScatterPoint, len(r.Frontier))
+	for i, p := range r.Frontier {
+		pts[i] = exp.ScatterPoint{X: p.EnergyNJ, Y: p.IPC, Frontier: true, Label: p.Point}
+	}
+	return exp.ParetoScatter("Pareto frontier: IPC vs energy", "energy (nJ)", "IPC", pts)
+}

@@ -1,0 +1,485 @@
+package search
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fakeEval derives deterministic pseudo-metrics from the point key and
+// budget, and counts every call per eval key — the instrumentation the
+// determinism and no-re-simulation tests assert on.
+type fakeEval struct {
+	mu    sync.Mutex
+	calls map[string]int
+	fail  func(key string) bool // optional: deterministic failures
+	abort func() bool           // optional: trip mid-run cancellation
+}
+
+func newFakeEval() *fakeEval {
+	return &fakeEval{calls: map[string]int{}}
+}
+
+func (f *fakeEval) Eval(ctx context.Context, key string, a map[string]string, instrs int64) (Metrics, error) {
+	f.mu.Lock()
+	f.calls[evalKey(key, instrs)]++
+	abort := f.abort != nil && f.abort()
+	f.mu.Unlock()
+	if abort {
+		return Metrics{}, context.Canceled
+	}
+	if f.fail != nil && f.fail(key) {
+		return Metrics{}, errors.New("synthetic evaluation failure")
+	}
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s@%d", key, instrs)))
+	u := binary.BigEndian.Uint64(h[:8])
+	return Metrics{
+		IPC:      1 + float64(u%1000)/1000,
+		EnergyNJ: 100 + float64(u>>10%1000),
+		AreaPct:  float64(u >> 20 % 100),
+	}, nil
+}
+
+func (f *fakeEval) totalCalls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, c := range f.calls {
+		n += c
+	}
+	return n
+}
+
+func testSpec() Spec {
+	return Spec{
+		Dims: []DimSpec{
+			{Name: "planes", Values: []string{"1", "2", "4", "8"}},
+			{Name: "ddb"},
+			{Name: "ewlr"},
+		},
+		Seed:   7,
+		Instrs: 16000,
+		Rungs:  2,
+	}
+}
+
+func TestUnseededRejected(t *testing.T) {
+	s := testSpec()
+	s.Seed = 0
+	_, err := Run(context.Background(), s, Options{Eval: newFakeEval()})
+	if !errors.Is(err, ErrUnseeded) {
+		t.Fatalf("err = %v, want ErrUnseeded", err)
+	}
+	if _, err := s.Validate(); !errors.Is(err, ErrUnseeded) {
+		t.Fatalf("Validate err = %v, want ErrUnseeded", err)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	s := testSpec()
+	s.Dims = []DimSpec{{Name: "warp_drive"}}
+	if _, err := s.Validate(); err == nil || !strings.Contains(err.Error(), "unknown dimension") {
+		t.Fatalf("err = %v, want unknown dimension", err)
+	}
+	s = testSpec()
+	s.Dims = []DimSpec{{Name: "planes", Values: []string{"3"}}}
+	if _, err := s.Validate(); err == nil || !strings.Contains(err.Error(), "not in ladder") {
+		t.Fatalf("err = %v, want ladder error", err)
+	}
+	s = testSpec()
+	s.Dims = nil
+	if _, err := s.Validate(); err == nil {
+		t.Fatal("empty space accepted")
+	}
+}
+
+func TestSpecHashDefaultsExplicit(t *testing.T) {
+	a := testSpec()
+	b := testSpec()
+	b.Mix = "mix0"
+	b.GridMax = 32
+	b.RungScale = 4
+	b.SurviveFrac = 0.5
+	if a.Hash() != b.Hash() {
+		t.Fatal("spelled-out defaults changed the spec hash")
+	}
+	c := testSpec()
+	c.Seed = 8
+	if a.Hash() == c.Hash() {
+		t.Fatal("different seeds share a hash")
+	}
+}
+
+// TestDeterministicRerun: same spec + seed, run twice, byte-identical
+// result (acceptance criterion a).
+func TestDeterministicRerun(t *testing.T) {
+	r1, err := Run(context.Background(), testSpec(), Options{Eval: newFakeEval(), Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(context.Background(), testSpec(), Options{Eval: newFakeEval(), Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r1.JSON(), r2.JSON()) {
+		t.Fatalf("reruns differ:\n%s\nvs\n%s", r1.JSON(), r2.JSON())
+	}
+	if len(r1.Frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+}
+
+// TestDeterministicAcrossParallelism: byte-identical at every worker
+// count (acceptance criterion b).
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	var base []byte
+	for _, par := range []int{1, 2, 8} {
+		r, err := Run(context.Background(), testSpec(), Options{Eval: newFakeEval(), Parallel: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = r.JSON()
+		} else if !bytes.Equal(base, r.JSON()) {
+			t.Fatalf("parallel=%d diverged:\n%s\nvs\n%s", par, base, r.JSON())
+		}
+	}
+}
+
+// memCkpt is an in-memory checkpoint store.
+type memCkpt struct {
+	mu   sync.Mutex
+	blob []byte
+}
+
+func (m *memCkpt) policy() *Checkpoint {
+	return &Checkpoint{
+		Load: func() []byte {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return m.blob
+		},
+		Save: func(b []byte) {
+			m.mu.Lock()
+			m.blob = b
+			m.mu.Unlock()
+		},
+	}
+}
+
+// TestKillResume: a search canceled mid-run resumes from its snapshot,
+// re-simulates none of the snapshotted points, and produces the
+// byte-identical result of an uninterrupted run (acceptance criterion
+// c + the zero-re-simulation efficiency criterion).
+func TestKillResume(t *testing.T) {
+	uninterrupted, err := Run(context.Background(), testSpec(), Options{Eval: newFakeEval()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ck := &memCkpt{}
+	ctx, cancel := context.WithCancel(context.Background())
+	ev1 := newFakeEval()
+	var n int
+	ev1.abort = func() bool {
+		n++
+		if n == 5 { // die mid-grid
+			cancel()
+		}
+		return n >= 5
+	}
+	_, err = Run(ctx, testSpec(), Options{Eval: ev1, Checkpoint: ck.policy(), Parallel: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run err = %v, want context.Canceled", err)
+	}
+	if ck.blob == nil {
+		t.Fatal("no checkpoint saved before death")
+	}
+	snapshotted, err := decodeState(testSpec().Hash(), ck.blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snapshotted) == 0 {
+		t.Fatal("checkpoint holds no evaluated points")
+	}
+
+	ev2 := newFakeEval()
+	resumed, err := Run(context.Background(), testSpec(), Options{Eval: ev2, Checkpoint: ck.policy(), Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(uninterrupted.JSON(), resumed.JSON()) {
+		t.Fatalf("resumed result differs from uninterrupted:\n%s\nvs\n%s", uninterrupted.JSON(), resumed.JSON())
+	}
+	ev2.mu.Lock()
+	defer ev2.mu.Unlock()
+	for ek := range snapshotted {
+		if ev2.calls[ek] != 0 {
+			t.Errorf("snapshotted point %s was re-evaluated %d times", ek, ev2.calls[ek])
+		}
+	}
+}
+
+// TestSnapshotRejectsForeignSpec: a checkpoint from a different spec
+// is ignored, not half-applied.
+func TestSnapshotRejectsForeignSpec(t *testing.T) {
+	other := testSpec()
+	other.Seed = 99
+	blob := encodeState(other.Normalize().Hash(), map[string]evalRecord{"planes=4@1000": {m: Metrics{IPC: 1}}})
+	if _, err := decodeState(testSpec().Normalize().Hash(), blob); err == nil {
+		t.Fatal("foreign-spec snapshot accepted")
+	}
+	if _, err := decodeState(other.Normalize().Hash(), blob); err != nil {
+		t.Fatalf("own snapshot rejected: %v", err)
+	}
+	corrupt := append([]byte(nil), blob...)
+	corrupt[len(corrupt)-1] ^= 0xff
+	if _, err := decodeState(other.Normalize().Hash(), corrupt); err == nil {
+		t.Fatal("corrupted snapshot accepted")
+	}
+	// A fresh run with a foreign checkpoint must match a checkpoint-free
+	// run (the blob is ignored, with a log line).
+	ck := &Checkpoint{Load: func() []byte { return blob }, Save: func([]byte) {}}
+	r1, err := Run(context.Background(), testSpec(), Options{Eval: newFakeEval(), Checkpoint: ck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(context.Background(), testSpec(), Options{Eval: newFakeEval()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r1.JSON(), r2.JSON()) {
+		t.Fatal("foreign checkpoint perturbed the result")
+	}
+}
+
+// TestCanonicalCollapse: points differing only in a masked dimension
+// (ewlr_bits under ewlr=off) share one canonical key and one
+// evaluation.
+func TestCanonicalCollapse(t *testing.T) {
+	s := Spec{
+		Dims: []DimSpec{
+			{Name: "ewlr"},
+			{Name: "ewlr_bits", Values: []string{"1", "3"}},
+		},
+		Seed:   3,
+		Instrs: 16000,
+		Rungs:  1,
+	}
+	ev := newFakeEval()
+	r, err := Run(context.Background(), s, Options{Eval: ev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full cartesian grid is (off,on) x (1,3) = 4 points, but ewlr=off
+	// masks ewlr_bits: off/1 and off/3 collapse, leaving 3 canonical
+	// points.
+	if r.PointsEvaluated != 3 {
+		t.Fatalf("PointsEvaluated = %d, want 3 (masked dim must collapse)", r.PointsEvaluated)
+	}
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	for k, c := range ev.calls {
+		if c != 1 {
+			t.Errorf("key %s evaluated %d times", k, c)
+		}
+		if strings.Contains(k, "ewlr=off") && !strings.Contains(k, "ewlr_bits=-") {
+			t.Errorf("key %s not masked", k)
+		}
+	}
+}
+
+// TestDeterministicFailures: evaluation failures replay exactly — a
+// resumed run reproduces the uninterrupted result even when some
+// points fail.
+func TestDeterministicFailures(t *testing.T) {
+	failer := func(key string) bool { return strings.Contains(key, "planes=8") }
+	mk := func() *fakeEval { e := newFakeEval(); e.fail = failer; return e }
+	r1, err := Run(context.Background(), testSpec(), Options{Eval: mk()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Failures == 0 {
+		t.Fatal("expected failures recorded")
+	}
+	ck := &memCkpt{}
+	if _, err := Run(context.Background(), testSpec(), Options{Eval: mk(), Checkpoint: ck.policy()}); err != nil {
+		t.Fatal(err)
+	}
+	// Resume from a complete snapshot: zero evaluator calls, same bytes.
+	ev := mk()
+	r2, err := Run(context.Background(), testSpec(), Options{Eval: ev, Checkpoint: ck.policy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.totalCalls() != 0 {
+		t.Fatalf("complete snapshot still caused %d evaluations", ev.totalCalls())
+	}
+	if !bytes.Equal(r1.JSON(), r2.JSON()) {
+		t.Fatal("failure-bearing resume diverged")
+	}
+	for _, p := range r1.Frontier {
+		if strings.Contains(p.Point, "planes=8") {
+			t.Fatalf("failed point %s on frontier", p.Point)
+		}
+	}
+}
+
+func TestFrontierDominance(t *testing.T) {
+	var f Frontier
+	if !f.Add(FrontierPoint{Point: "a", IPC: 1, EnergyNJ: 10, AreaPct: 1}) {
+		t.Fatal("first add rejected")
+	}
+	// Dominated on all axes.
+	if f.Add(FrontierPoint{Point: "b", IPC: 0.5, EnergyNJ: 20, AreaPct: 2}) {
+		t.Fatal("dominated point accepted")
+	}
+	// Dominates: evicts a.
+	if !f.Add(FrontierPoint{Point: "c", IPC: 2, EnergyNJ: 5, AreaPct: 0.5}) {
+		t.Fatal("dominating point rejected")
+	}
+	if f.Len() != 1 || f.Members()[0] != "c" {
+		t.Fatalf("frontier = %v, want [c]", f.Members())
+	}
+	// Incomparable trade-off: joins.
+	if !f.Add(FrontierPoint{Point: "d", IPC: 3, EnergyNJ: 50, AreaPct: 0.5}) {
+		t.Fatal("trade-off point rejected")
+	}
+	if f.Len() != 2 {
+		t.Fatalf("len = %d, want 2", f.Len())
+	}
+	// Exact tie with c: later key loses, earlier key wins.
+	if f.Add(FrontierPoint{Point: "e", IPC: 2, EnergyNJ: 5, AreaPct: 0.5}) {
+		t.Fatal("tie with later key accepted")
+	}
+	if !f.Add(FrontierPoint{Point: "a", IPC: 2, EnergyNJ: 5, AreaPct: 0.5}) {
+		t.Fatal("tie with earlier key rejected")
+	}
+	members := f.Members()
+	if len(members) != 2 || members[0] != "a" || members[1] != "d" {
+		t.Fatalf("frontier = %v, want [a d]", members)
+	}
+}
+
+// TestFrontierOrderIndependence: the frontier is a pure function of
+// the point set, whatever the insertion order.
+func TestFrontierOrderIndependence(t *testing.T) {
+	pts := []FrontierPoint{
+		{Point: "p1", IPC: 1.0, EnergyNJ: 10, AreaPct: 5},
+		{Point: "p2", IPC: 1.5, EnergyNJ: 12, AreaPct: 5},
+		{Point: "p3", IPC: 1.5, EnergyNJ: 12, AreaPct: 5}, // tie with p2
+		{Point: "p4", IPC: 0.9, EnergyNJ: 8, AreaPct: 4},
+		{Point: "p5", IPC: 2.0, EnergyNJ: 30, AreaPct: 9},
+		{Point: "p6", IPC: 1.4, EnergyNJ: 13, AreaPct: 6}, // dominated by p2
+	}
+	var want []FrontierPoint
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		perm := r.Perm(len(pts))
+		var f Frontier
+		for _, i := range perm {
+			f.Add(pts[i])
+		}
+		got := f.Points()
+		if trial == 0 {
+			want = got
+			continue
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("order-dependent frontier: %v vs %v", got, want)
+		}
+	}
+	var f Frontier
+	for _, p := range pts {
+		f.Add(p)
+	}
+	for _, m := range f.Members() {
+		if m == "p3" || m == "p6" {
+			t.Fatalf("unexpected member %s", m)
+		}
+	}
+}
+
+// TestSpaceCompile: values are deduped and re-sorted into ladder
+// order, so differently-spelled specs compile identically.
+func TestSpaceCompile(t *testing.T) {
+	a, err := compileSpace([]DimSpec{{Name: "planes", Values: []string{"4", "1", "2", "4"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := compileSpace([]DimSpec{{Name: "planes", Values: []string{"1", "2", "4"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("spelling-dependent space: %v vs %v", a, b)
+	}
+	if _, err := compileSpace([]DimSpec{{Name: "planes"}, {Name: "planes"}}); err == nil {
+		t.Fatal("duplicate dimension accepted")
+	}
+}
+
+func TestParseAssignment(t *testing.T) {
+	a, err := ParseAssignment(map[string]string{"planes": "8", "ewlr": "off", "ewlr_bits": "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a["ewlr_bits"] != "-" {
+		t.Fatalf("ewlr_bits = %q, want masked", a["ewlr_bits"])
+	}
+	if a["queue_depth"] != "64" {
+		t.Fatalf("default queue_depth = %q", a["queue_depth"])
+	}
+	if _, err := ParseAssignment(map[string]string{"bogus": "1"}); err == nil {
+		t.Fatal("unknown dimension accepted")
+	}
+	if _, err := ParseAssignment(map[string]string{"planes": "3"}); err == nil {
+		t.Fatal("off-ladder value accepted")
+	}
+}
+
+// TestSystemFor: the mapped system carries the point key as its name
+// (the Runner cache identity) and honors every dimension.
+func TestSystemFor(t *testing.T) {
+	a, err := ParseAssignment(map[string]string{
+		"planes": "8", "ewlr": "on", "ewlr_bits": "2", "rap": "off",
+		"ddb": "off", "queue_depth": "32", "page_policy": "closed",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := SystemFor(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Name != Key(a) {
+		t.Fatalf("system name %q != point key %q", sys.Name, Key(a))
+	}
+	if sys.Scheme.Planes != 8 || !sys.Scheme.EWLR || sys.Scheme.EWLRBits != 2 || sys.Scheme.RAP || sys.Scheme.DDB {
+		t.Fatalf("scheme mismatch: %+v", sys.Scheme)
+	}
+	if sys.Ctrl.ReadQueueDepth != 32 || sys.Ctrl.WriteDrainHi != 20 || sys.Ctrl.WriteDrainLo != 8 {
+		t.Fatalf("controller mismatch: %+v", sys.Ctrl)
+	}
+	if sys.Ctrl.ClosePageIdleCK != 64 {
+		t.Fatalf("page policy mismatch: %d", sys.Ctrl.ClosePageIdleCK)
+	}
+	open, err := ParseAssignment(map[string]string{"page_policy": "open"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	osys, err := SystemFor(open, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if osys.Ctrl.ClosePageIdleCK != 0 {
+		t.Fatalf("open page policy ClosePageIdleCK = %d, want 0", osys.Ctrl.ClosePageIdleCK)
+	}
+}

@@ -1,0 +1,85 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+
+	"eruca/internal/snapshot"
+)
+
+// A search checkpoint is only the evaluated-point map. Everything else
+// — RNG position, strategy stage, survivor lists, frontier — is
+// reconstructed by replaying the deterministic strategy from scratch
+// over this map: points already present are served without
+// simulation, so a killed search resumes from where it died without
+// rerunning completed work, and produces the byte-identical result an
+// uninterrupted run would have.
+//
+// evalRecord captures one completed evaluation (or its deterministic
+// failure: a simulator error must replay as the same error, not a
+// retry, or resumed runs would diverge from uninterrupted ones).
+type evalRecord struct {
+	m    Metrics
+	fail string // non-empty: evaluation failed with this message
+}
+
+// evalKey identifies one (point, budget) evaluation.
+func evalKey(pointKey string, instrs int64) string {
+	return fmt.Sprintf("%s@%d", pointKey, instrs)
+}
+
+// encodeState seals the evaluated map into an ERUCASN1 blob guarded by
+// the spec hash: a blob from a different spec is rejected on restore.
+// Entries are written in sorted key order, so the blob for a given
+// evaluated set is byte-identical regardless of evaluation order.
+func encodeState(specHash string, evaluated map[string]evalRecord) []byte {
+	var e snapshot.Encoder
+	e.Str("search-state")
+	e.Str(specHash)
+	keys := make([]string, 0, len(evaluated))
+	for k := range evaluated {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.Int(len(keys))
+	for _, k := range keys {
+		rec := evaluated[k]
+		e.Str(k)
+		e.Str(rec.fail)
+		e.F64(rec.m.IPC)
+		e.F64(rec.m.EnergyNJ)
+		e.F64(rec.m.AreaPct)
+	}
+	return e.Seal()
+}
+
+// decodeState restores an evaluated map from a sealed blob. It returns
+// a typed error for corruption or for a spec-hash mismatch; callers
+// treat any error as "start fresh" (reject-don't-migrate, like every
+// other snapshot consumer).
+func decodeState(specHash string, blob []byte) (map[string]evalRecord, error) {
+	d, err := snapshot.Open(blob)
+	if err != nil {
+		return nil, err
+	}
+	if tag := d.Str(); tag != "search-state" {
+		return nil, fmt.Errorf("search: snapshot tag %q, want search-state", tag)
+	}
+	if h := d.Str(); h != specHash {
+		return nil, fmt.Errorf("search: snapshot is for spec %.12s, want %.12s", h, specHash)
+	}
+	n := d.Count(4 + 4 + 3*8) // minimum bytes per entry
+	out := make(map[string]evalRecord, n)
+	for i := 0; i < n; i++ {
+		k := d.Str()
+		rec := evalRecord{fail: d.Str()}
+		rec.m.IPC = d.F64()
+		rec.m.EnergyNJ = d.F64()
+		rec.m.AreaPct = d.F64()
+		out[k] = rec
+	}
+	if err := d.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

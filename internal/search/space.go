@@ -1,0 +1,306 @@
+// Package search is the design-space autotuner of ROADMAP item 5: it
+// explores the ERUCA configuration space (planes per bank, EWLR offset
+// width, RAP, DDB, queue depth, page policy) automatically instead of
+// by hand-picked sweeps, tracking a Pareto frontier over performance
+// (IPC), energy (internal/energy) and die area (internal/area).
+//
+// The engine is strictly deterministic: every random choice draws from
+// an internal/rng counting source keyed by an explicit seed (unseeded
+// specs are rejected with ErrUnseeded), parallel evaluation batches are
+// separated by barriers so strategy decisions never depend on
+// completion order, and frontier ties break on the canonical point key.
+// The same spec + seed therefore yields a byte-identical frontier at
+// any parallelism, and — because the strategy replays deterministically
+// over a snapshot of already-evaluated points — after a kill/resume.
+package search
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"eruca/internal/config"
+)
+
+// A dimension is ordinal: its values form a ladder (ordered list), and
+// the neighborhood-refinement stage moves one rung up or down. User
+// specs may restrict a dimension to a subset of its ladder; order and
+// identity always come from the ladder, never from the spec.
+type dimDef struct {
+	name   string
+	ladder []string
+}
+
+// dimDefs is the canonical dimension order. Point keys, snapshots and
+// frontier output all use this order, so it must never be reordered
+// (appending new dimensions is fine: absent dimensions pin their
+// default value and do not appear in keys).
+var dimDefs = []dimDef{
+	{"planes", []string{"1", "2", "4", "8", "16"}},
+	{"ewlr", []string{"off", "on"}},
+	{"ewlr_bits", []string{"1", "2", "3", "4", "5", "6"}},
+	{"rap", []string{"off", "on"}},
+	{"ddb", []string{"off", "on"}},
+	{"queue_depth", []string{"16", "32", "64", "128"}},
+	{"page_policy", []string{"open", "adaptive", "closed"}},
+}
+
+// defaults pins the value of every dimension a spec leaves out: the
+// paper's headline ERUCA configuration (VSB-4 EWLR(3b)+RAP+DDB with
+// the Tab. III controller).
+var defaults = map[string]string{
+	"planes":      "4",
+	"ewlr":        "on",
+	"ewlr_bits":   "3",
+	"rap":         "on",
+	"ddb":         "on",
+	"queue_depth": "64",
+	"page_policy": "adaptive",
+}
+
+func dimByName(name string) (dimDef, bool) {
+	for _, d := range dimDefs {
+		if d.name == name {
+			return d, true
+		}
+	}
+	return dimDef{}, false
+}
+
+// Dim is one searched dimension: a name and the (ordered, validated)
+// values the search may assign to it.
+type Dim struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
+}
+
+// Space is a compiled search space: the searched dimensions in
+// canonical order. Points are index vectors into the dimension values.
+type Space struct {
+	Dims []Dim
+}
+
+// compileSpace validates and orders the requested dimensions. Values
+// must come from the dimension's ladder; they are deduplicated and
+// re-sorted into ladder order so that a spec listing "4,1,2" and one
+// listing "1,2,4" compile to the same space.
+func compileSpace(dims []DimSpec) (*Space, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("search: empty space: at least one dimension required")
+	}
+	byName := make(map[string][]string, len(dims))
+	for _, ds := range dims {
+		def, ok := dimByName(ds.Name)
+		if !ok {
+			known := make([]string, len(dimDefs))
+			for i, d := range dimDefs {
+				known[i] = d.name
+			}
+			return nil, fmt.Errorf("search: unknown dimension %q (known: %s)", ds.Name, strings.Join(known, ", "))
+		}
+		if _, dup := byName[ds.Name]; dup {
+			return nil, fmt.Errorf("search: dimension %q listed twice", ds.Name)
+		}
+		vals := ds.Values
+		if len(vals) == 0 {
+			vals = def.ladder
+		}
+		idx := make(map[string]int, len(def.ladder))
+		for i, v := range def.ladder {
+			idx[v] = i
+		}
+		seen := make(map[string]bool, len(vals))
+		var ordered []int
+		for _, v := range vals {
+			i, ok := idx[v]
+			if !ok {
+				return nil, fmt.Errorf("search: dimension %q: value %q not in ladder %v", ds.Name, v, def.ladder)
+			}
+			if !seen[v] {
+				seen[v] = true
+				ordered = append(ordered, i)
+			}
+		}
+		sort.Ints(ordered)
+		out := make([]string, len(ordered))
+		for i, j := range ordered {
+			out[i] = def.ladder[j]
+		}
+		byName[ds.Name] = out
+	}
+	sp := &Space{}
+	for _, def := range dimDefs {
+		if vals, ok := byName[def.name]; ok {
+			sp.Dims = append(sp.Dims, Dim{Name: def.name, Values: vals})
+		}
+	}
+	return sp, nil
+}
+
+// Size reports the number of points in the full cartesian space.
+func (sp *Space) Size() int {
+	n := 1
+	for _, d := range sp.Dims {
+		n *= len(d.Values)
+	}
+	return n
+}
+
+// Point is one candidate configuration: a value index per dimension, in
+// the space's canonical dimension order.
+type Point []int
+
+// assignment materializes a point as dimension-name -> value, filling
+// unsearched dimensions with their defaults.
+func (sp *Space) assignment(p Point) map[string]string {
+	a := make(map[string]string, len(dimDefs))
+	for k, v := range defaults {
+		a[k] = v
+	}
+	for i, d := range sp.Dims {
+		a[d.Name] = d.Values[p[i]]
+	}
+	return a
+}
+
+// Canonicalize masks the dimensions a configuration does not actually
+// use, so points that differ only in irrelevant values collapse to one
+// simulation: with ewlr=off the EWLR offset width has no effect, so
+// ewlr_bits is forced to "-". The masked assignment is the simulation
+// identity — the cache key, the snapshot key and the frontier label.
+func Canonicalize(a map[string]string) map[string]string {
+	out := make(map[string]string, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	if out["ewlr"] == "off" {
+		out["ewlr_bits"] = "-"
+	}
+	return out
+}
+
+// Key renders a canonical assignment as the deterministic point key:
+// name=value pairs in canonical dimension order, space-separated.
+func Key(a map[string]string) string {
+	var b strings.Builder
+	for _, def := range dimDefs {
+		v, ok := a[def.name]
+		if !ok {
+			v = defaults[def.name]
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(def.name)
+		b.WriteByte('=')
+		b.WriteString(v)
+	}
+	return b.String()
+}
+
+// KeyFor is Canonicalize followed by Key.
+func (sp *Space) KeyFor(p Point) string {
+	return Key(Canonicalize(sp.assignment(p)))
+}
+
+// ParseAssignment validates a wire-format assignment (as carried by an
+// "eval" job spec): every key must be a known dimension and every value
+// must be on its ladder or the mask "-". Missing dimensions take their
+// defaults. The result is re-canonicalized, so a hand-built assignment
+// cannot smuggle in a non-canonical identity.
+func ParseAssignment(m map[string]string) (map[string]string, error) {
+	a := make(map[string]string, len(dimDefs))
+	for k, v := range defaults {
+		a[k] = v
+	}
+	for k, v := range m {
+		def, ok := dimByName(k)
+		if !ok {
+			return nil, fmt.Errorf("search: unknown dimension %q in assignment", k)
+		}
+		if v == "-" {
+			continue // masked: keep the default; Canonicalize re-masks
+		}
+		found := false
+		for _, lv := range def.ladder {
+			if lv == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("search: dimension %q: value %q not in ladder %v", k, v, def.ladder)
+		}
+		a[k] = v
+	}
+	return Canonicalize(a), nil
+}
+
+// SystemFor builds the config.System a canonical assignment describes.
+// The system name is the point key, which keeps exp.Runner cache keys
+// distinct per point (and identical for identical points). planes=1
+// still builds a VSB system — one plane per bank, the worst case for
+// latch conflicts — matching the Fig. 13 sweep's leftmost bar.
+func SystemFor(a map[string]string, busMHz float64) (*config.System, error) {
+	if busMHz == 0 {
+		busMHz = config.DefaultBusMHz
+	}
+	planes, err := strconv.Atoi(a["planes"])
+	if err != nil {
+		return nil, fmt.Errorf("search: bad planes %q: %v", a["planes"], err)
+	}
+	ewlr := a["ewlr"] == "on"
+	rap := a["rap"] == "on"
+	ddb := a["ddb"] == "on"
+	bits := 3
+	if ewlr {
+		if bits, err = strconv.Atoi(a["ewlr_bits"]); err != nil {
+			return nil, fmt.Errorf("search: bad ewlr_bits %q: %v", a["ewlr_bits"], err)
+		}
+	}
+	// Fig. 9 address-mapping rule (mirrors the VSB preset): RAP wants
+	// the plane ID in the row MSBs it permutes; EWLR alone draws it
+	// from the LSBs above the offset; naive VSB uses the MSBs.
+	pb := config.PlaneBitsHigh
+	if ewlr && !rap {
+		pb = config.PlaneBitsLow
+	}
+	key := Key(a)
+	sch := config.Scheme{
+		Name:         key,
+		Mode:         config.SubBankVSB,
+		Planes:       planes,
+		PlaneBits:    pb,
+		EWLR:         ewlr,
+		EWLRBits:     bits,
+		RAP:          rap,
+		DDB:          ddb,
+		BankGrouping: true,
+	}
+
+	ctrl := config.DefaultController()
+	qd, err := strconv.Atoi(a["queue_depth"])
+	if err != nil {
+		return nil, fmt.Errorf("search: bad queue_depth %q: %v", a["queue_depth"], err)
+	}
+	ctrl.ReadQueueDepth = qd
+	ctrl.WriteQueueDepth = qd
+	// Scale the drain watermarks and scan limit with the queue so the
+	// write-drain hysteresis keeps its default 5/8 - 1/4 shape.
+	ctrl.WriteDrainHi = qd * 5 / 8
+	ctrl.WriteDrainLo = qd / 4
+	ctrl.ScanLimit = qd / 2
+	switch a["page_policy"] {
+	case "open":
+		ctrl.ClosePageIdleCK = 0 // never close on idle
+	case "adaptive":
+		// keep the Tab. III default (1200 CK)
+	case "closed":
+		ctrl.ClosePageIdleCK = 64 // aggressive close
+	default:
+		return nil, fmt.Errorf("search: bad page_policy %q", a["page_policy"])
+	}
+
+	return config.NewSystem(key, config.DefaultGeometry(), sch, config.DDR4Timing(), busMHz, ctrl, config.DefaultCPU())
+}

@@ -1,0 +1,148 @@
+package search
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// ErrUnseeded is returned when a spec does not pin its random seed.
+// Every random choice the engine makes (grid subsampling, neighbor
+// shuffles) draws from an internal/rng counting source keyed by this
+// seed; an implicit time- or OS-derived seed would make searches
+// unreproducible and unresumable, so it is a typed error, not a
+// default.
+var ErrUnseeded = errors.New("search: spec has no seed; set an explicit -seed (searches must be reproducible)")
+
+// DimSpec selects one dimension for the search. Values restricts it to
+// a subset of its ladder; empty means the full ladder.
+type DimSpec struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values,omitempty"`
+}
+
+// Spec describes one search: the space, the objective workload, and
+// the strategy budgets. The zero value is invalid — Seed is mandatory.
+type Spec struct {
+	// Dims lists the searched dimensions (see Space); order and
+	// duplicate values are normalized away.
+	Dims []DimSpec `json:"dims"`
+
+	// Mix is the workload mix every point is evaluated on (default
+	// mix0). Frag is the FMFI fragmentation level, BusMHz the channel
+	// frequency (default Tab. III 1333).
+	Mix    string  `json:"mix,omitempty"`
+	Frag   float64 `json:"frag"`
+	BusMHz float64 `json:"bus_mhz,omitempty"`
+
+	// Seed keys every random draw. Mandatory: 0 is rejected with
+	// ErrUnseeded.
+	Seed int64 `json:"seed"`
+
+	// Instrs is the full-budget instruction count per core (default
+	// 250k, the exp harness default); Warmup defaults to Instrs/2
+	// inside the simulator. Only full-budget evaluations enter the
+	// frontier — cheaper rungs just rank candidates.
+	Instrs int64 `json:"instrs,omitempty"`
+
+	// GridMax caps the coarse seeding grid (default 32): when the
+	// cartesian grid of up to gridValuesPerDim values per dimension is
+	// larger, a seeded shuffle keeps GridMax points.
+	GridMax int `json:"grid_max,omitempty"`
+
+	// Rungs and RungScale shape successive halving: rung r runs at
+	// Instrs/RungScale^(Rungs-1-r) instructions, the last rung at the
+	// full budget. Rungs=1 evaluates the grid at full budget directly.
+	Rungs     int   `json:"rungs,omitempty"`
+	RungScale int64 `json:"rung_scale,omitempty"`
+
+	// SurviveFrac is the fraction of candidates promoted to the next
+	// rung (default 0.5, minimum one survivor).
+	SurviveFrac float64 `json:"survive_frac,omitempty"`
+
+	// RefineRounds bounds the neighborhood-refinement stage (default
+	// 2): each round evaluates the unexplored ladder neighbors of the
+	// current frontier at full budget, stopping early when a round
+	// leaves the frontier unchanged. NeighborMax caps each round's
+	// batch (default 16) via a seeded shuffle.
+	RefineRounds int `json:"refine_rounds,omitempty"`
+	NeighborMax  int `json:"neighbor_max,omitempty"`
+}
+
+// gridValuesPerDim bounds how many ladder values per dimension the
+// coarse seeding grid uses (first, middle, last).
+const gridValuesPerDim = 3
+
+// Normalize returns a copy with every default made explicit, so equal
+// searches hash equally regardless of which defaults were spelled out.
+func (s Spec) Normalize() Spec {
+	n := s
+	if n.Mix == "" {
+		n.Mix = "mix0"
+	}
+	if n.BusMHz == 0 {
+		n.BusMHz = 1333
+	}
+	if n.Instrs <= 0 {
+		n.Instrs = 250_000
+	}
+	if n.GridMax <= 0 {
+		n.GridMax = 32
+	}
+	if n.Rungs <= 0 {
+		n.Rungs = 3
+	}
+	if n.RungScale <= 1 {
+		n.RungScale = 4
+	}
+	if n.SurviveFrac <= 0 || n.SurviveFrac >= 1 {
+		n.SurviveFrac = 0.5
+	}
+	if n.RefineRounds < 0 {
+		n.RefineRounds = 0
+	} else if n.RefineRounds == 0 {
+		n.RefineRounds = 2
+	}
+	if n.NeighborMax <= 0 {
+		n.NeighborMax = 16
+	}
+	dims := make([]DimSpec, len(n.Dims))
+	copy(dims, n.Dims)
+	n.Dims = dims
+	return n
+}
+
+// Validate checks the spec and compiles its space. The seed check is
+// first: an unseeded spec is rejected before anything else.
+func (s Spec) Validate() (*Space, error) {
+	if s.Seed == 0 {
+		return nil, ErrUnseeded
+	}
+	n := s.Normalize()
+	sp, err := compileSpace(n.Dims)
+	if err != nil {
+		return nil, err
+	}
+	if n.Frag < 0 || n.Frag > 1 {
+		return nil, fmt.Errorf("search: frag %.2f out of [0,1]", n.Frag)
+	}
+	if n.Rungs > 8 {
+		return nil, fmt.Errorf("search: rungs %d out of [1,8]", n.Rungs)
+	}
+	return sp, nil
+}
+
+// Hash is the content address of the normalized spec: searches that
+// differ only in unspelled defaults collapse to the same hash. It
+// guards snapshots (a blob for a different spec is ignored) and keys
+// the search checkpoint in the daemon.
+func (s Spec) Hash() string {
+	b, err := json.Marshal(s.Normalize())
+	if err != nil {
+		panic("search: spec not marshalable: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

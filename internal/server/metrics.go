@@ -27,6 +27,9 @@ type metrics struct {
 	migratedIn       atomic.Int64
 	remoteCacheHits  atomic.Int64
 	inflight         atomic.Int64
+	searchPoints     atomic.Int64
+	searchCacheHits  atomic.Int64
+	searchFrontier   atomic.Int64 // gauge: latest reported frontier size
 
 	mu        sync.Mutex
 	completed map[string]int64 // exit class -> count
@@ -100,6 +103,8 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	c("eruca_result_cache_remote_hits_total", "Jobs served via the sharded cache's read-through to a peer.", m.remoteCacheHits.Load())
 	c("eruca_sim_runs_total", "Simulations actually executed by the shared runners.", g.simLaunched)
 	c("eruca_sim_dedup_total", "Simulation requests served by an existing singleflight flight.", g.simJoined)
+	c("eruca_search_points_total", "Design-point evaluations requested by search jobs.", m.searchPoints.Load())
+	c("eruca_search_cache_hits_total", "Search evaluations served without a new simulation (result cache, cluster shard, or search snapshot).", m.searchCacheHits.Load())
 
 	m.mu.Lock()
 	classes := make([]string, 0, len(m.completed))
@@ -130,6 +135,7 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	gg("eruca_jobs_inflight", "Jobs currently executing.", g.inflight)
 	gg("eruca_result_cache_entries", "Resident result-cache entries.", int64(g.cacheSize))
 	gg("eruca_runner_pools", "Distinct exp.Runner parameter groups alive.", int64(g.runnerPools))
+	gg("eruca_search_frontier_size", "Pareto-frontier size last reported by a search job.", m.searchFrontier.Load())
 	gg("eruca_draining", "1 while the daemon is draining.", int64(g.draining))
 }
 

@@ -85,6 +85,15 @@ type Config struct {
 	// die inside a heartbeat window, and placement knowledge is what
 	// makes its jobs recoverable.
 	OnAdmit func(j *Job)
+	// EvalRemote, when non-nil, lets one search job fan its design-point
+	// evaluations out across the cluster: called with each "eval"
+	// JobSpec before evaluating locally, it may route the point to the
+	// spec hash's ring owner and return that node's output.
+	// handled=false means "evaluate here" — the point hashes to this
+	// node, or the cluster is unreachable (transport failures must fall
+	// back, never surface: the engine records returned errors as
+	// deterministic outcomes of the point).
+	EvalRemote func(ctx context.Context, spec JobSpec) (output string, handled bool, err error)
 }
 
 func (c Config) withDefaults() Config {
@@ -570,21 +579,34 @@ func (s *Server) runJob(job *Job) {
 		}
 	}
 
-	runner, err := s.runnerFor(job.Spec)
-	if err != nil {
-		job.finish(StateFailed, "", err)
-		class, _ := classify(err)
-		s.metrics.jobDone(class, time.Since(start).Seconds())
-		return
+	var out string
+	var err error
+	if job.Spec.normalized().Kind == "search" {
+		// Search jobs drive the autotuner engine, which fans out into
+		// per-point "eval" executions against the server's own caches and
+		// (via Config.EvalRemote) the cluster — see search.go.
+		if s.wal != nil {
+			_ = s.wal.append(walRecord{Type: "start", Job: job.ID})
+		}
+		out, err = s.runSearch(job)
+	} else {
+		var runner *exp.Runner
+		runner, err = s.runnerFor(job.Spec)
+		if err != nil {
+			job.finish(StateFailed, "", err)
+			class, _ := classify(err)
+			s.metrics.jobDone(class, time.Since(start).Seconds())
+			return
+		}
+		if s.wal != nil {
+			_ = s.wal.append(walRecord{Type: "start", Job: job.ID})
+		}
+		view := runner.WithContext(job.ctx).WithLog(job.events.Append).WithTelemetry(job.tel)
+		if s.ckpts != nil {
+			view = view.WithCheckpoint(s.checkpointPolicy(job))
+		}
+		out, err = execute(job.ctx, view, job.Spec)
 	}
-	if s.wal != nil {
-		_ = s.wal.append(walRecord{Type: "start", Job: job.ID})
-	}
-	view := runner.WithContext(job.ctx).WithLog(job.events.Append).WithTelemetry(job.tel)
-	if s.ckpts != nil {
-		view = view.WithCheckpoint(s.checkpointPolicy(job))
-	}
-	out, err := execute(job.ctx, view, job.Spec)
 
 	switch {
 	case err == nil:

@@ -24,16 +24,18 @@ import (
 	"eruca/internal/cli"
 	"eruca/internal/config"
 	"eruca/internal/exp"
+	"eruca/internal/search"
 	"eruca/internal/sim"
 	"eruca/internal/workload"
 )
 
-// JobSpec is the wire format of POST /v1/jobs: one simulation ("sim")
-// or one experiment table ("sweep"). The zero values of the scaling
-// knobs inherit the daemon defaults, so a minimal spec is
-// {"kind":"sim","system":"ddr4","mix":"mix0"}.
+// JobSpec is the wire format of POST /v1/jobs: one simulation ("sim"),
+// one experiment table ("sweep"), one design-space autotuning run
+// ("search"), or one design-point evaluation ("eval", the unit a search
+// fans out). The zero values of the scaling knobs inherit the daemon
+// defaults, so a minimal spec is {"kind":"sim","system":"ddr4","mix":"mix0"}.
 type JobSpec struct {
-	// Kind selects the job type: "sim" or "sweep".
+	// Kind selects the job type: "sim", "sweep", "search", or "eval".
 	Kind string `json:"kind"`
 
 	// Sim jobs: one preset against a mix or ad-hoc benchmark list.
@@ -50,6 +52,16 @@ type JobSpec struct {
 	Exp     string   `json:"exp,omitempty"`
 	Systems []string `json:"systems,omitempty"`
 	Mixes   []string `json:"mixes,omitempty"`
+
+	// Search jobs: the autotuner spec (internal/search). The search seed
+	// lives inside it — the engine rejects an unseeded spec — while the
+	// shared Seed below still seeds the underlying simulations.
+	Search *search.Spec `json:"search,omitempty"`
+
+	// Eval jobs: one canonical design-point assignment (dimension name
+	// -> ladder value, "-" for masked dimensions), evaluated at Instrs
+	// on Mix/Frag. Searches submit these; clients can too.
+	Point map[string]string `json:"point,omitempty"`
 
 	// Shared scaling knobs (defaults: planes 4, stock bus, 250k instrs,
 	// warmup instrs/2, seed 42).
@@ -88,6 +100,16 @@ func (s JobSpec) normalized() JobSpec {
 	}
 	if n.Kind == "sweep" && n.Exp == "" {
 		n.Exp = "fig12"
+	}
+	if n.Kind == "eval" && n.Mix == "" {
+		n.Mix = "mix0"
+	}
+	if n.Kind == "search" && n.Search != nil {
+		// The search spec normalizes its own defaults so two specs that
+		// mean the same search hash identically (same rule as the job
+		// fields below).
+		ns := n.Search.Normalize()
+		n.Search = &ns
 	}
 	if n.Planes == 0 {
 		n.Planes = 4
@@ -203,8 +225,28 @@ func (s JobSpec) Validate() error {
 		if _, err := cli.ParseMixes(strings.Join(n.Mixes, ",")); err != nil {
 			return err
 		}
+	case "search":
+		if n.Search == nil {
+			return fmt.Errorf("server: search job missing the \"search\" spec")
+		}
+		if _, err := n.Search.Validate(); err != nil {
+			return err
+		}
+		if _, err := workload.MixByName(n.Search.Normalize().Mix); err != nil {
+			return err
+		}
+	case "eval":
+		if len(n.Point) == 0 {
+			return fmt.Errorf("server: eval job missing the design point")
+		}
+		if _, err := search.ParseAssignment(n.Point); err != nil {
+			return err
+		}
+		if _, err := workload.MixByName(n.Mix); err != nil {
+			return err
+		}
 	default:
-		return fmt.Errorf("server: unknown job kind %q (want sim or sweep)", n.Kind)
+		return fmt.Errorf("server: unknown job kind %q (want sim, sweep, search, or eval)", n.Kind)
 	}
 	if n.Frag < 0 || n.Frag > 1 {
 		return fmt.Errorf("server: frag %.2f out of range [0,1]", n.Frag)
@@ -259,14 +301,54 @@ func summarize(res *sim.Result) *SimSummary {
 	}
 }
 
+// EvalSummary is the deterministic JSON result of an "eval" job: the
+// three autotuner objectives of one canonical design point. The search
+// engine parses this to score points, so the encoding (like SimSummary)
+// is part of the wire contract.
+type EvalSummary struct {
+	Point    string  `json:"point"`
+	Instrs   int64   `json:"instrs"`
+	IPC      float64 `json:"ipc"`
+	EnergyNJ float64 `json:"energy_nj"`
+	AreaPct  float64 `json:"area_pct"`
+}
+
 // execute runs the spec on the given (context- and log-scoped) runner
-// view and returns the rendered result: canonical JSON for a sim job, a
-// formatted text table for a sweep. The output depends only on the
-// normalized spec, never on cache state or concurrency — the property
-// the content-addressed cache relies on.
+// view and returns the rendered result: canonical JSON for a sim or
+// eval job, a formatted text table for a sweep ("search" jobs never
+// reach here — Server.runSearch drives the engine, which fans out into
+// "eval" executions). The output depends only on the normalized spec,
+// never on cache state or concurrency — the property the
+// content-addressed cache relies on.
 func execute(ctx context.Context, r *exp.Runner, spec JobSpec) (string, error) {
 	n := spec.normalized()
 	switch n.Kind {
+	case "eval":
+		a, err := search.ParseAssignment(n.Point)
+		if err != nil {
+			return "", err
+		}
+		sys, err := search.SystemFor(a, n.BusMHz)
+		if err != nil {
+			return "", err
+		}
+		mix, err := workload.MixByName(n.Mix)
+		if err != nil {
+			return "", err
+		}
+		res, err := r.Result(sys, mix, n.Frag)
+		if err != nil {
+			return "", err
+		}
+		m := search.MetricsFor(sys, res)
+		b, err := json.MarshalIndent(EvalSummary{
+			Point: search.Key(a), Instrs: n.Instrs,
+			IPC: m.IPC, EnergyNJ: m.EnergyNJ, AreaPct: m.AreaPct,
+		}, "", "  ")
+		if err != nil {
+			return "", err
+		}
+		return string(b) + "\n", nil
 	case "sim":
 		sys, err := config.ByName(n.System, n.Planes, n.BusMHz)
 		if err != nil {
