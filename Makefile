@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race chaos chaos-restart chaos-cluster fuzz-smoke search-smoke verify bench bench-baseline bench-compare clean
+.PHONY: build vet test race zero-alloc chaos chaos-restart chaos-cluster fuzz-smoke search-smoke verify bench bench-baseline bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -13,14 +13,22 @@ test:
 
 # Short -race smoke of the concurrency-sensitive paths: the parallel
 # experiment engine, the fast-forward/per-cycle equivalence, the chaos
-# harness (fault injection + checker + watchdog under -race), and the
-# telemetry rings shared across concurrent runs and snapshot readers.
+# harness (fault injection + checker + watchdog under -race), the
+# telemetry rings shared across concurrent runs and snapshot readers,
+# and the span ring under concurrent writers and scrapers.
 race:
 	$(GO) test -race -count=1 -run 'Parallel|Sweep|LogMode|Cancel|SharedFlight' ./internal/exp/
 	$(GO) test -race -count=1 -run 'FastForward|Chaos|TelemetryShared' ./internal/sim/
 	$(GO) test -race -count=1 -run 'Concurrency' ./internal/stats/
 	$(GO) test -race -count=1 ./internal/telemetry/
+	$(GO) test -race -count=1 ./internal/obs/
 	$(GO) test -race -count=1 ./internal/server/
+	$(GO) test -race -count=1 -run 'Trace|Keepalive' ./internal/cluster/
+
+# Hard zero-cost gate for disabled tracing: every nil-tracer call path
+# must stay at exactly 0 allocs/op (the bench-guard CI step runs this).
+zero-alloc:
+	$(GO) test -count=1 -v -run 'DisabledTracerZeroAlloc' ./internal/obs/
 
 # Full chaos-harness pass: every seeded fault kind must be caught by the
 # protocol checker or the watchdog, and benign perturbations must stay
@@ -30,9 +38,11 @@ chaos:
 
 # Kill-restart chaos harness against the real erucad binary: SIGKILL
 # mid-sweep, restart on the same WAL directory, and require every job to
-# complete with results byte-identical to an uninterrupted daemon.
+# complete with results byte-identical to an uninterrupted daemon. Set
+# ERUCA_CHAOS_RESTART_DIR to keep the WAL, logs and trace dump.
 chaos-restart:
-	ERUCA_CHAOS_RESTART=1 $(GO) test -count=1 -v -timeout 15m \
+	ERUCA_CHAOS_RESTART=1 ERUCA_CHAOS_RESTART_DIR=$(ERUCA_CHAOS_RESTART_DIR) \
+		$(GO) test -count=1 -v -timeout 15m \
 		-run 'ChaosKillRestart' ./cmd/erucad/
 
 # Cluster chaos harness against real erucad binaries: a 3-node cluster
@@ -67,7 +77,7 @@ search-smoke:
 	rm -f search-smoke-a.txt search-smoke-b.txt
 
 # verify is the tier-1 gate plus the race and chaos smokes.
-verify: vet build test race chaos
+verify: vet build test race zero-alloc chaos
 
 # Scaled-down figure + ablation + micro benchmarks.
 bench:

@@ -53,8 +53,15 @@ func run() int {
 	tr.Register()
 	var sr cli.Search
 	sr.Register()
+	var lg cli.Log
+	lg.Register()
 	flag.Parse()
 
+	logger, err := lg.Build(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "erucabench:", err)
+		return cli.ExitUsage
+	}
 	copts, wd, plan, err := rb.Build()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "erucabench:", err)
@@ -111,7 +118,7 @@ func run() int {
 		return cli.ExitUsage
 	}
 	if !*quiet {
-		p.Log = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+		p.Log = func(s string) { logger.Info(s) }
 	}
 	// -exp search is the autotuner entry: it explores the -search-dims
 	// space instead of replaying a fixed figure, printing the Pareto

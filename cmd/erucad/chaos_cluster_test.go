@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"os"
@@ -91,6 +92,27 @@ func TestChaosClusterKillMembers(t *testing.T) {
 			if m.cmd.ProcessState == nil {
 				_ = m.cmd.Process.Signal(syscall.SIGKILL)
 				_ = m.cmd.Wait()
+			}
+		}
+	}()
+	// On failure, dump each surviving member's span ring next to the WALs
+	// and logs: the traces show the request-level story (placements,
+	// forwards, the eviction's migrations and re-admits) that the logs
+	// only hint at. Registered after the kill defer so it runs first,
+	// while the survivors still answer. CI uploads traces-*.json.
+	defer func() {
+		if !t.Failed() {
+			return
+		}
+		for _, m := range members {
+			resp, err := http.Get("http://" + m.addr + "/v1/traces")
+			if err != nil {
+				continue // the victim's ring died with it
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err := os.WriteFile(filepath.Join(tmp, "traces-"+m.id+".json"), body, 0o644); err != nil {
+				t.Logf("trace dump %s: %v", m.id, err)
 			}
 		}
 	}()

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -35,7 +36,12 @@ func TestChaosKillRestart(t *testing.T) {
 		t.Skip("set ERUCA_CHAOS_RESTART=1 to run the kill-restart chaos harness")
 	}
 
-	tmp := t.TempDir()
+	tmp := os.Getenv("ERUCA_CHAOS_RESTART_DIR")
+	if tmp == "" {
+		tmp = t.TempDir()
+	} else if err := os.MkdirAll(tmp, 0o755); err != nil {
+		t.Fatal(err)
+	}
 	bin := filepath.Join(tmp, "erucad")
 	build := exec.Command("go", "build", "-o", bin, ".")
 	if out, err := build.CombinedOutput(); err != nil {
@@ -102,6 +108,24 @@ func TestChaosKillRestart(t *testing.T) {
 	defer func() {
 		_ = daemon2.Process.Signal(syscall.SIGKILL)
 		_ = daemon2.Wait()
+	}()
+	// On failure, dump the restarted daemon's span ring next to the WAL
+	// and logs: the recovery trace (re-admits, checkpoint resumes) is the
+	// request-level post-mortem CI uploads as traces-daemon.json.
+	// Registered after the kill defer so it runs while the daemon is up.
+	defer func() {
+		if !t.Failed() {
+			return
+		}
+		resp, err := http.Get(base + "/v1/traces")
+		if err != nil {
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := os.WriteFile(filepath.Join(tmp, "traces-daemon.json"), body, 0o644); err != nil {
+			t.Logf("trace dump: %v", err)
+		}
 	}()
 
 	// (a) Every journaled job must come back and reach done.

@@ -44,7 +44,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -53,7 +52,9 @@ import (
 	"syscall"
 	"time"
 
+	"eruca/internal/cli"
 	"eruca/internal/cluster"
+	"eruca/internal/obs"
 	"eruca/internal/server"
 )
 
@@ -74,27 +75,45 @@ func main() {
 		peerAddr = flag.String("listen-peer", "", "peer-protocol listen address; enables cluster mode")
 		joinURL  = flag.String("join", "", "coordinator peer URL to join (empty with -listen-peer = be the coordinator)")
 		leaseTTL = flag.Duration("lease", 3*time.Second, "heartbeat lease TTL; a member silent this long is evicted and its jobs re-enqueued on survivors")
+
+		spans = flag.Int("spans", obs.DefaultRing, "trace span-ring capacity; 0 disables request tracing entirely")
+
+		logFlags cli.Log
 	)
+	logFlags.Register()
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "erucad: ", log.LstdFlags)
+	logger, err := logFlags.Build(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "erucad: %v\n", err)
+		os.Exit(cli.ExitUsage)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
+	var tracer *obs.Tracer
+	if *spans > 0 {
+		tracer = obs.NewTracer(*nodeID, *spans)
+	}
 	scfg := server.Config{
 		Workers: *workers, SimParallel: *parallel,
 		QueueMax: *queueMax, CacheMax: *cacheMax, CachePath: *cache,
 		WALDir: *walDir, CheckpointCycles: *ckptEach,
-		Pprof: *pprofOn,
-		Logf:  logger.Printf,
+		Pprof:  *pprofOn,
+		Log:    logger,
+		Tracer: tracer,
 	}
 
 	var (
 		srv     *server.Server
 		handler http.Handler
 		node    *cluster.Node
-		err     error
 	)
 	if *peerAddr != "" {
 		if *nodeID == "" {
-			logger.Fatal("-listen-peer requires -node")
+			fatal("-listen-peer requires -node")
 		}
 		node, err = cluster.New(cluster.Config{
 			NodeID:     *nodeID,
@@ -102,15 +121,15 @@ func main() {
 			PeerAddr:   advertised(*peerAddr),
 			JoinURL:    *joinURL,
 			LeaseTTL:   *leaseTTL,
-			Logf:       logger.Printf,
+			Log:        logger,
 		}, scfg)
 		if err != nil {
-			logger.Fatal(err)
+			fatal("cluster boot failed", "err", err)
 		}
 		srv, handler = node.Server(), node.Handler()
 	} else {
 		if srv, err = server.New(scfg); err != nil {
-			logger.Fatal(err)
+			fatal("server boot failed", "err", err)
 		}
 		handler = srv.Handler()
 	}
@@ -121,7 +140,7 @@ func main() {
 	if node != nil {
 		ps = &http.Server{Addr: *peerAddr, Handler: node.PeerHandler()}
 		go func() {
-			logger.Printf("peer protocol on %s", *peerAddr)
+			logger.Info("peer protocol listening", "addr", *peerAddr, "node", *nodeID)
 			errc <- ps.ListenAndServe()
 		}()
 		node.Start()
@@ -129,7 +148,7 @@ func main() {
 
 	hs := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
-		logger.Printf("listening on %s", *addr)
+		logger.Info("listening", "addr", *addr, "tracing", tracer != nil)
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -137,9 +156,9 @@ func main() {
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case sig := <-sigc:
-		logger.Printf("%v: draining (deadline %s)", sig, *drainFor)
+		logger.Info("draining on signal", "signal", sig.String(), "deadline", drainFor.String())
 	case err := <-errc:
-		logger.Fatal(err)
+		fatal("listener failed", "err", err)
 	}
 
 	// Graceful shutdown: stop admitting, finish queued + in-flight
@@ -149,11 +168,11 @@ func main() {
 	defer cancel()
 	go func() {
 		<-sigc
-		logger.Printf("second signal: hard stop")
+		logger.Warn("second signal: hard stop")
 		cancel()
 	}()
 	if err := srv.Drain(ctx); err != nil {
-		logger.Printf("drain: %v", err)
+		logger.Warn("drain incomplete", "err", err)
 	}
 	if node != nil {
 		// After the drain (no jobs left to hand over): leave the cluster
@@ -163,14 +182,14 @@ func main() {
 	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer shutCancel()
 	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logger.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "err", err)
 	}
 	if ps != nil {
 		if err := ps.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			logger.Printf("peer shutdown: %v", err)
+			logger.Warn("peer shutdown", "err", err)
 		}
 	}
-	fmt.Fprintln(os.Stderr, "erucad: bye")
+	logger.Info("bye")
 }
 
 // advertised turns a listen address into a peer-reachable one: an

@@ -43,8 +43,15 @@ func main() {
 	rb.Register()
 	var tr cli.Trace
 	tr.Register()
+	var lg cli.Log
+	lg.Register()
 	flag.Parse()
 
+	logger, err := lg.Build(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "erucasim:", err)
+		os.Exit(cli.ExitUsage)
+	}
 	copts, wd, plan, err := rb.Build()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "erucasim:", err)
@@ -82,6 +89,8 @@ func main() {
 	if *parallel < 1 {
 		*parallel = 1
 	}
+	logger.Debug("starting simulations", "systems", len(systems), "parallel", *parallel,
+		"instrs", *instrs, "seed", *seed)
 	sem := make(chan struct{}, *parallel)
 	type outcome struct {
 		res *sim.Result
@@ -93,6 +102,7 @@ func main() {
 		go func(i int, sys *config.System) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			logger.Debug("simulating", "system", sys.Name)
 			res, err := sim.Run(sim.Options{
 				Sys: sys, Benches: benches, Instrs: *instrs, Frag: *frag, Seed: *seed,
 				Check: copts, Watchdog: wd, Faults: plan, Telemetry: tel,

@@ -38,8 +38,15 @@ func main() {
 	rb.Register()
 	var tr cli.Trace
 	tr.Register()
+	var lg cli.Log
+	lg.Register()
 	flag.Parse()
 
+	logger, err := lg.Build(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "erucatrace:", err)
+		os.Exit(cli.ExitUsage)
+	}
 	copts, wd, plan, err := rb.Build()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "erucatrace:", err)
@@ -62,7 +69,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "loaded %d transactions from %s\n", len(recs), *load)
+		logger.Info("trace loaded", "transactions", len(recs), "file", *load)
 	} else {
 		benches, err := wl.Benches("")
 		if err != nil {
@@ -80,14 +87,14 @@ func main() {
 		if err != nil {
 			rb.Exit("erucatrace", err, res)
 		}
-		fmt.Fprintf(os.Stderr, "captured %d transactions from %s\n", len(recs), strings.Join(benches, ","))
+		logger.Info("trace captured", "transactions", len(recs), "benches", strings.Join(benches, ","))
 	}
 
 	if *dump != "" {
 		if err := dumpCSV(*dump, recs); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *dump)
+		logger.Info("trace dumped", "file", *dump)
 	}
 
 	vsb := config.VSB(4, false, false, false, config.DefaultBusMHz)

@@ -1,0 +1,27 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"log/slog"
+
+	"eruca/internal/obs"
+)
+
+// Log is the -log-format/-log-level flag pair shared by every binary,
+// resolving to a structured slog logger (internal/obs constructors).
+type Log struct {
+	Format string
+	Level  string
+}
+
+// Register installs the flags on the default flag set.
+func (l *Log) Register() {
+	flag.StringVar(&l.Format, "log-format", "text", "log output format: text or json")
+	flag.StringVar(&l.Level, "log-level", "info", "minimum log level: debug, info, warn or error")
+}
+
+// Build resolves the flag values into a logger writing to w.
+func (l Log) Build(w io.Writer) (*slog.Logger, error) {
+	return obs.NewLogger(w, l.Format, l.Level)
+}

@@ -27,7 +27,8 @@ type testNode struct {
 // startNode boots a full member: server + public and peer listeners +
 // cluster loops. started=false skips the loops (the member exists but
 // never joins or heartbeats — the raw material for eviction tests).
-func startNode(t *testing.T, id, joinURL string, ttl time.Duration, started bool) *testNode {
+// mods adjust the server config before boot (tracer, SSE cadence, ...).
+func startNode(t *testing.T, id, joinURL string, ttl time.Duration, started bool, mods ...func(id string, sc *server.Config)) *testNode {
 	t.Helper()
 	pubLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -37,16 +38,20 @@ func startNode(t *testing.T, id, joinURL string, ttl time.Duration, started bool
 	if err != nil {
 		t.Fatal(err)
 	}
+	scfg := server.Config{
+		Workers: 2, QueueMax: 16,
+		WALDir: filepath.Join(t.TempDir(), id),
+	}
+	for _, mod := range mods {
+		mod(id, &scfg)
+	}
 	n, err := New(Config{
 		NodeID:     id,
 		PublicAddr: pubLn.Addr().String(),
 		PeerAddr:   peerLn.Addr().String(),
 		JoinURL:    joinURL,
 		LeaseTTL:   ttl,
-	}, server.Config{
-		Workers: 2, QueueMax: 16,
-		WALDir: filepath.Join(t.TempDir(), id),
-	})
+	}, scfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,11 +74,11 @@ func startNode(t *testing.T, id, joinURL string, ttl time.Duration, started bool
 
 // startCluster boots a coordinator plus workers-1 worker members and
 // waits until every member sees the full ring.
-func startCluster(t *testing.T, members int, ttl time.Duration) []*testNode {
+func startCluster(t *testing.T, members int, ttl time.Duration, mods ...func(id string, sc *server.Config)) []*testNode {
 	t.Helper()
-	nodes := []*testNode{startNode(t, "c", "", ttl, true)}
+	nodes := []*testNode{startNode(t, "c", "", ttl, true, mods...)}
 	for i := 1; i < members; i++ {
-		nodes = append(nodes, startNode(t, fmt.Sprintf("w%d", i), nodes[0].peerBase, ttl, true))
+		nodes = append(nodes, startNode(t, fmt.Sprintf("w%d", i), nodes[0].peerBase, ttl, true, mods...))
 	}
 	deadline := time.Now().Add(10 * time.Second)
 	for _, n := range nodes {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"eruca/internal/obs"
 	"eruca/internal/server"
 )
 
@@ -30,12 +31,13 @@ type coordinator struct {
 
 // placement is the coordinator's knowledge of one job.
 type placement struct {
-	Job  string // job ID on its (original) owner
-	Node string
-	Hash string
-	Idem string
-	Spec server.JobSpec
-	Done bool
+	Job   string // job ID on its (original) owner
+	Node  string
+	Hash  string
+	Idem  string
+	Spec  server.JobSpec
+	Trace string // the job's traceparent, for migration continuity
+	Done  bool
 	// Migration alias: after eviction, the job continues as NewID on
 	// NewNode. Proxies resolve the old ID through this.
 	NewNode string
@@ -70,7 +72,7 @@ func (c *coordinator) restore(recs []server.ClusterRecord) {
 			}
 			c.mu.Lock()
 			c.placements[rec.Job] = &placement{Job: rec.Job, Node: rec.Node,
-				Hash: rec.Hash, Idem: rec.Idem, Spec: *rec.Spec}
+				Hash: rec.Hash, Idem: rec.Idem, Spec: *rec.Spec, Trace: rec.Trace}
 			c.mu.Unlock()
 		case "unplace":
 			c.mu.Lock()
@@ -87,8 +89,8 @@ func (c *coordinator) restore(recs []server.ClusterRecord) {
 		}
 	}
 	if n := c.node.ring.Len(); n > 0 {
-		c.node.logf("coordinator: %d member%s and %d placement%s restored from journal",
-			n, plural(n), len(c.placements), plural(len(c.placements)))
+		c.node.log().Info("coordinator state restored from journal",
+			"members", n, "placements", len(c.placements))
 	}
 }
 
@@ -109,7 +111,7 @@ func (c *coordinator) snapshot() []server.ClusterRecord {
 		}
 		sp := p.Spec
 		recs = append(recs, server.ClusterRecord{Kind: "place", Node: p.Node, Job: p.Job,
-			Hash: p.Hash, Idem: p.Idem, Spec: &sp})
+			Hash: p.Hash, Idem: p.Idem, Spec: &sp, Trace: p.Trace})
 		if p.NewID != "" {
 			recs = append(recs, server.ClusterRecord{Kind: "migrate", Node: p.NewNode, Job: p.Job, NewID: p.NewID})
 		}
@@ -123,7 +125,7 @@ func (c *coordinator) join(req joinRequest) joinResponse {
 	l := c.leases.Join(req.Node, req.Addr, req.Peer)
 	c.node.ring.Add(req.Node)
 	_ = c.node.srv.JournalCluster(server.ClusterRecord{Kind: "join", Node: req.Node, Addr: req.Addr, Peer: req.Peer, Epoch: l.Epoch})
-	c.node.logf("cluster: %s joined (%s, peer %s, epoch %d)", req.Node, req.Addr, req.Peer, l.Epoch)
+	c.node.log().Info("member joined", "member", req.Node, "addr", req.Addr, "peer", req.Peer, "epoch", l.Epoch)
 	return joinResponse{Epoch: l.Epoch, TTLMS: c.node.cfg.LeaseTTL.Milliseconds(), Members: c.members()}
 }
 
@@ -166,16 +168,20 @@ func (c *coordinator) place(node string, jobs []jobReport) {
 	c.mu.Lock()
 	for _, j := range jobs {
 		if existing := c.placements[j.ID]; existing != nil {
+			if existing.Trace == "" && j.Traceparent != "" {
+				existing.Trace = j.Traceparent // first traced report wins
+			}
 			continue
 		}
-		c.placements[j.ID] = &placement{Job: j.ID, Node: node, Hash: j.Hash, Idem: j.Idem, Spec: j.Spec}
+		c.placements[j.ID] = &placement{Job: j.ID, Node: node, Hash: j.Hash, Idem: j.Idem,
+			Spec: j.Spec, Trace: j.Traceparent}
 		fresh = append(fresh, j)
 	}
 	c.mu.Unlock()
 	for _, j := range fresh {
 		sp := j.Spec
 		_ = c.node.srv.JournalCluster(server.ClusterRecord{Kind: "place", Node: node, Job: j.ID,
-			Hash: j.Hash, Idem: j.Idem, Spec: &sp})
+			Hash: j.Hash, Idem: j.Idem, Spec: &sp, Trace: j.Traceparent})
 	}
 }
 
@@ -210,7 +216,7 @@ func (c *coordinator) evict(l lease, why string) {
 	c.node.ring.Remove(l.Node)
 	c.node.metrics.nodesEvicted.Add(1)
 	_ = c.node.srv.JournalCluster(server.ClusterRecord{Kind: "evict", Node: l.Node})
-	c.node.logf("cluster: evicting %s (%s)", l.Node, why)
+	c.node.log().Warn("member evicted", "member", l.Node, "reason", why, "epoch", l.Epoch)
 	var orphans []*placement
 	c.mu.Lock()
 	for _, p := range c.placements {
@@ -233,11 +239,19 @@ func (c *coordinator) evict(l lease, why string) {
 // server's checkpoint loader). Failure leaves the placement on the
 // pending list for the next sweep.
 func (c *coordinator) migrate(p *placement) {
-	req := migrateRequest{Job: p.Job, Hash: p.Hash, Idem: p.Idem, Spec: p.Spec, From: p.Node}
+	// The migrate span parents to the dead job's admit span (carried by
+	// heartbeats into the placement table), so the re-homed job stays on
+	// the original submission's trace.
+	ms := c.node.tracer.Start(obs.ParseTraceparent(p.Trace), obs.KindMigrate, "migrate")
+	ms.SetJob(p.Job)
+	ms.SetAttr("from", p.Node)
+	defer ms.End()
+	req := migrateRequest{Job: p.Job, Hash: p.Hash, Idem: p.Idem, Spec: p.Spec, From: p.Node,
+		Traceparent: ms.Context().Traceparent()}
 	for _, target := range c.node.ring.Successors(p.Hash, c.node.ring.Len()) {
 		newID, err := c.node.sendMigrate(target, req)
 		if err != nil {
-			c.node.logf("cluster: migrate %s -> %s failed: %v", p.Job, target, err)
+			c.node.log().Warn("migrate attempt failed", "job_id", p.Job, "target", target, "err", err)
 			continue
 		}
 		c.mu.Lock()
@@ -245,10 +259,13 @@ func (c *coordinator) migrate(p *placement) {
 		c.mu.Unlock()
 		c.node.metrics.jobsMigrated.Add(1)
 		_ = c.node.srv.JournalCluster(server.ClusterRecord{Kind: "migrate", Node: target, Job: p.Job, NewID: newID})
-		c.node.logf("cluster: job %s re-enqueued on %s as %s", p.Job, target, newID)
+		ms.SetAttr("to", target)
+		ms.SetAttr("new_id", newID)
+		c.node.log().Info("job migrated", "job_id", p.Job, "target", target, "new_id", newID)
 		return
 	}
-	c.node.logf("cluster: no survivor accepted %s; will retry", p.Job)
+	ms.SetError(fmt.Errorf("no survivor accepted the job"))
+	c.node.log().Warn("migration pending: no survivor accepted job", "job_id", p.Job)
 	c.mu.Lock()
 	c.pending = append(c.pending, p)
 	c.mu.Unlock()
@@ -285,11 +302,4 @@ func (c *coordinator) leave(req leaveRequest) {
 	if l, ok := c.leases.Drop(req.Node); ok {
 		c.evict(l, "graceful leave")
 	}
-}
-
-func plural(n int) string {
-	if n == 1 {
-		return ""
-	}
-	return "s"
 }

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"time"
 
+	"eruca/internal/obs"
 	"eruca/internal/server"
 )
 
@@ -61,13 +62,21 @@ func (n *Node) evalRemote(ctx context.Context, spec server.JobSpec) (string, boo
 	if err != nil {
 		return "", false, nil
 	}
+	// The fan-out span parents to the search's run span (carried on ctx)
+	// and is injected into the owner's submission, so the remote eval's
+	// admit/run spans join the search job's trace.
+	fs := n.tracer.Start(obs.FromContext(ctx), obs.KindEvalFanout, "eval fan-out")
+	fs.SetAttr("owner", owner)
+	defer fs.End()
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(forwardedHeader, n.cfg.NodeID)
+	obs.Inject(req.Header, fs.Context())
 	// Content-derived idempotency: concurrent searches (or a retry after
 	// a lost response) asking the owner for the same point share one job.
 	req.Header.Set("Idempotency-Key", "eval-"+hash)
 	resp, err := n.client.Do(req)
 	if err != nil {
+		fs.SetError(err)
 		br.Failure()
 		return "", false, nil
 	}
@@ -92,7 +101,9 @@ func (n *Node) evalRemote(ctx context.Context, spec server.JobSpec) (string, boo
 			if v.Error != nil {
 				msg = v.Error.Message
 			}
-			return "", true, errors.New(msg)
+			err := errors.New(msg)
+			fs.SetError(err)
+			return "", true, err
 		case server.StateCanceled:
 			return "", false, nil // remote drain/cancel: not our outcome
 		}

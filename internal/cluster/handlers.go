@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strings"
 
+	"eruca/internal/obs"
 	"eruca/internal/server"
 )
 
@@ -110,7 +111,7 @@ func (n *Node) handleMigrate(w http.ResponseWriter, r *http.Request) {
 	if !decodeInto(w, r, &req) {
 		return
 	}
-	j, _, err := n.srv.SubmitMigrated(req.Spec, req.Idem, req.From)
+	j, _, err := n.srv.SubmitMigrated(req.Spec, req.Idem, req.From, obs.ParseTraceparent(req.Traceparent))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
@@ -182,8 +183,14 @@ func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/cluster/info", n.handleInfo)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		inner.ServeHTTP(w, r) // text exposition, no Content-Length: appending is safe
-		n.writeMetrics(w)
+		// One buffer for every layer, so the exposition comes out in one
+		// deterministically sorted pass regardless of which layer owns
+		// which family.
+		buf := server.NewMetricsBuf()
+		n.srv.CollectMetrics(buf)
+		n.collectMetrics(buf)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		buf.Write(w)
 	})
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		n.routeSubmit(w, r, inner)
@@ -236,6 +243,13 @@ func (n *Node) routeSubmit(w http.ResponseWriter, r *http.Request, inner http.Ha
 		inner.ServeHTTP(w, r)
 		return
 	}
+	// The forward span parents to the client's traceparent (if any) and
+	// is injected into whatever the routing decides — the peer POST or
+	// the shed-local submission — so the remote admit continues one
+	// connected trace.
+	fs := n.tracer.Start(obs.Extract(r.Header), obs.KindForward, "forward submit")
+	fs.SetAttr("owner", owner)
+	defer fs.End()
 	// Try the owner, then its successors; every transport failure trips
 	// the peer's breaker so later submissions skip it immediately.
 	for _, target := range n.ring.Successors(hash, n.ring.Len()) {
@@ -256,20 +270,24 @@ func (n *Node) routeSubmit(w http.ResponseWriter, r *http.Request, inner http.Ha
 		}
 		req.Header = r.Header.Clone()
 		req.Header.Set(forwardedHeader, n.cfg.NodeID)
+		obs.Inject(req.Header, fs.Context())
 		resp, err := n.client.Do(req)
 		if err != nil {
 			br.Failure()
-			n.logf("cluster: forward to %s failed: %v", target, err)
+			n.log().Warn("submit forward failed", "target", target, "err", err)
 			continue
 		}
 		br.Success()
 		n.metrics.forwarded.Add(1)
+		fs.SetAttr("target", target)
 		// Relay whatever the owner said — including 429: the owner's
 		// admission decision is authoritative for its shard.
 		relay(w, resp)
 		return
 	}
 	n.metrics.shedLocal.Add(1)
+	fs.SetAttr("shed", "local")
+	obs.Inject(r.Header, fs.Context())
 	inner.ServeHTTP(w, r)
 }
 
@@ -336,18 +354,25 @@ func (n *Node) proxyTo(w http.ResponseWriter, r *http.Request, addr, oldID, newI
 	}
 	req.Header = r.Header.Clone()
 	req.Header.Set(forwardedHeader, n.cfg.NodeID)
+	ps := n.tracer.Start(obs.Extract(r.Header), obs.KindProxy, "proxy")
+	ps.SetJob(newID)
+	ps.SetAttr("addr", addr)
+	obs.Inject(req.Header, ps.Context())
 	// The proxy client has no overall timeout: SSE streams live as long
 	// as the client holds the connection (the request context cancels
 	// the upstream call when the client goes away).
 	resp, err := n.proxyClient().Do(req)
 	if err != nil {
+		ps.SetError(err)
+		ps.End()
 		br.Failure()
-		n.logf("cluster: proxy %s to %s failed: %v", oldID, addr, err)
+		n.log().Warn("proxy failed", "job_id", oldID, "addr", addr, "err", err)
 		return false
 	}
 	br.Success()
 	n.metrics.proxied.Add(1)
 	relay(w, resp)
+	ps.End()
 	return true
 }
 

@@ -27,11 +27,14 @@ type joinResponse struct {
 
 // jobReport is one non-terminal job in a heartbeat: everything the
 // coordinator needs to re-enqueue it on a survivor if this node dies.
+// Traceparent carries the job's admit-span context so a migration after
+// eviction continues the original submission's trace.
 type jobReport struct {
-	ID   string         `json:"id"`
-	Hash string         `json:"hash"`
-	Idem string         `json:"idem,omitempty"`
-	Spec server.JobSpec `json:"spec"`
+	ID          string         `json:"id"`
+	Hash        string         `json:"hash"`
+	Idem        string         `json:"idem,omitempty"`
+	Spec        server.JobSpec `json:"spec"`
+	Traceparent string         `json:"traceparent,omitempty"`
 }
 
 // heartbeatRequest renews a lease and reports in-flight work.
@@ -54,12 +57,16 @@ type placeRequest struct {
 }
 
 // migrateRequest re-homes one evicted job onto the receiving survivor.
+// Traceparent is the coordinator's migrate-span context: the survivor's
+// re-admit parents to it, keeping one connected trace across the
+// eviction.
 type migrateRequest struct {
-	Job  string         `json:"job"` // the original (dead-node) job ID
-	Hash string         `json:"hash"`
-	Idem string         `json:"idem,omitempty"`
-	Spec server.JobSpec `json:"spec"`
-	From string         `json:"from"` // the evicted node
+	Job         string         `json:"job"` // the original (dead-node) job ID
+	Hash        string         `json:"hash"`
+	Idem        string         `json:"idem,omitempty"`
+	Spec        server.JobSpec `json:"spec"`
+	From        string         `json:"from"` // the evicted node
+	Traceparent string         `json:"traceparent,omitempty"`
 }
 
 // migrateResponse returns the survivor's job ID for the alias table.

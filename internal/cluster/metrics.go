@@ -1,33 +1,33 @@
 package cluster
 
 import (
-	"fmt"
-	"io"
 	"net/http"
 	"sync"
+
+	"eruca/internal/server"
 )
 
-// writeMetrics appends the cluster-layer series to the /metrics
-// exposition. eruca_cluster_jobs_migrated and
-// eruca_cluster_nodes_evicted are the headline fault-tolerance
-// counters: nonzero values prove a lease expired and its work was
-// re-homed rather than lost.
-func (n *Node) writeMetrics(w io.Writer) {
-	role := 0
+// collectMetrics adds the cluster-layer families to the shared scrape
+// buffer. eruca_cluster_jobs_migrated and eruca_cluster_nodes_evicted
+// are the headline fault-tolerance counters: nonzero values prove a
+// lease expired and its work was re-homed rather than lost.
+func (n *Node) collectMetrics(buf *server.MetricsBuf) {
+	role := int64(0)
 	if n.coord != nil {
 		role = 1
 	}
-	fmt.Fprintf(w, "# TYPE eruca_cluster_members gauge\neruca_cluster_members %d\n", n.ring.Len())
-	fmt.Fprintf(w, "# TYPE eruca_cluster_is_coordinator gauge\neruca_cluster_is_coordinator %d\n", role)
-	fmt.Fprintf(w, "# TYPE eruca_cluster_jobs_migrated counter\neruca_cluster_jobs_migrated %d\n", n.metrics.jobsMigrated.Load())
-	fmt.Fprintf(w, "# TYPE eruca_cluster_nodes_evicted counter\neruca_cluster_nodes_evicted %d\n", n.metrics.nodesEvicted.Load())
-	fmt.Fprintf(w, "# TYPE eruca_cluster_heartbeats_total counter\neruca_cluster_heartbeats_total %d\n", n.metrics.heartbeats.Load())
-	fmt.Fprintf(w, "# TYPE eruca_cluster_rejoins_total counter\neruca_cluster_rejoins_total %d\n", n.metrics.rejoins.Load())
-	fmt.Fprintf(w, "# TYPE eruca_cluster_submits_forwarded_total counter\neruca_cluster_submits_forwarded_total %d\n", n.metrics.forwarded.Load())
-	fmt.Fprintf(w, "# TYPE eruca_cluster_search_evals_forwarded_total counter\neruca_cluster_search_evals_forwarded_total %d\n", n.metrics.evalsForwarded.Load())
-	fmt.Fprintf(w, "# TYPE eruca_cluster_requests_proxied_total counter\neruca_cluster_requests_proxied_total %d\n", n.metrics.proxied.Load())
-	fmt.Fprintf(w, "# TYPE eruca_cluster_submits_shed_local_total counter\neruca_cluster_submits_shed_local_total %d\n", n.metrics.shedLocal.Load())
-	fmt.Fprintf(w, "# TYPE eruca_cluster_breakers_open gauge\neruca_cluster_breakers_open %d\n", n.breakers.OpenCount())
+	buf.Gauge("eruca_cluster_members", "Live members in this node's ring view.", int64(n.ring.Len()))
+	buf.Gauge("eruca_cluster_is_coordinator", "1 on the coordinator, 0 on workers.", role)
+	buf.Counter("eruca_cluster_jobs_migrated", "Jobs re-homed onto survivors after an eviction.", n.metrics.jobsMigrated.Load())
+	buf.Counter("eruca_cluster_nodes_evicted", "Members evicted after missing their lease deadline.", n.metrics.nodesEvicted.Load())
+	buf.Counter("eruca_cluster_heartbeats_total", "Lease renewals processed by the coordinator.", n.metrics.heartbeats.Load())
+	buf.Counter("eruca_cluster_rejoins_total", "Times this member rejoined after an eviction (stale epoch).", n.metrics.rejoins.Load())
+	buf.Counter("eruca_cluster_submits_forwarded_total", "Submissions forwarded to their ring owner.", n.metrics.forwarded.Load())
+	buf.Counter("eruca_cluster_search_evals_forwarded_total", "Search design-point evals routed to their ring owner.", n.metrics.evalsForwarded.Load())
+	buf.Counter("eruca_cluster_requests_proxied_total", "By-ID requests proxied to the job's owner.", n.metrics.proxied.Load())
+	buf.Counter("eruca_cluster_submits_shed_local_total", "Submissions accepted locally because no peer was reachable.", n.metrics.shedLocal.Load())
+	buf.Gauge("eruca_cluster_breakers_open", "Peer circuit breakers currently open.", int64(n.breakers.OpenCount()))
+	n.metrics.collectHops(buf)
 }
 
 var (

@@ -29,12 +29,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"eruca/internal/obs"
 	"eruca/internal/retry"
 	"eruca/internal/server"
 )
@@ -57,15 +60,17 @@ type Config struct {
 	// fire every TTL/4, and a member that misses its deadline is
 	// evicted with its jobs re-enqueued on survivors.
 	LeaseTTL time.Duration
-	// Logf receives cluster lifecycle lines (default: discard).
-	Logf func(format string, args ...any)
+	// Log receives structured cluster lifecycle records (default:
+	// discard). Every record carries node=<NodeID>.
+	Log *slog.Logger
 }
 
 // Node is one cluster member wrapping a server.Server.
 type Node struct {
-	cfg  Config
-	srv  *server.Server
-	ring *ring
+	cfg    Config
+	srv    *server.Server
+	ring   *ring
+	tracer *obs.Tracer // the server's tracer (nil when tracing is off)
 
 	coord *coordinator // non-nil on the coordinator
 
@@ -83,7 +88,8 @@ type Node struct {
 	wg   sync.WaitGroup
 }
 
-// clusterMetrics are the cluster-layer counters, exposed on /metrics.
+// clusterMetrics are the cluster-layer counters and the span-derived
+// hop-latency histograms, exposed on /metrics.
 type clusterMetrics struct {
 	forwarded      atomic.Int64
 	evalsForwarded atomic.Int64
@@ -93,6 +99,48 @@ type clusterMetrics struct {
 	rejoins        atomic.Int64
 	jobsMigrated   atomic.Int64
 	nodesEvicted   atomic.Int64
+
+	// hops holds one histogram per inter-node span kind, all exposed
+	// under the single family eruca_cluster_hop_seconds{kind=...}. Fed
+	// by the tracer's Observe hook on span closure; empty when tracing
+	// is off.
+	hops map[obs.Kind]*server.SecondsHist
+}
+
+// hopKinds are the span kinds that count as inter-node hops.
+var hopKinds = []obs.Kind{obs.KindForward, obs.KindProxy, obs.KindMigrate, obs.KindEvalFanout, obs.KindCheckpointReplicate}
+
+func (cm *clusterMetrics) initHops() {
+	cm.hops = make(map[obs.Kind]*server.SecondsHist, len(hopKinds))
+	for _, k := range hopKinds {
+		cm.hops[k] = server.NewSecondsHist(spanHopBounds()...)
+	}
+}
+
+// spanHopBounds mirror the server's span-latency buckets.
+func spanHopBounds() []float64 {
+	return []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60}
+}
+
+// observeSpan is the tracer Observe hook: closures of hop-kind spans
+// drive the eruca_cluster_hop_seconds family.
+func (cm *clusterMetrics) observeSpan(sp obs.Span) {
+	if h := cm.hops[sp.Kind]; h != nil {
+		h.Observe(sp.Duration().Seconds())
+	}
+}
+
+// collectHops renders the shared hop family in deterministic kind order.
+func (cm *clusterMetrics) collectHops(buf *server.MetricsBuf) {
+	kinds := make([]string, 0, len(cm.hops))
+	for k := range cm.hops {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		cm.hops[obs.Kind(k)].Collect(buf, "eruca_cluster_hop_seconds",
+			"Inter-node hop latency from span closure, by span kind.", fmt.Sprintf("kind=%q", k))
+	}
 }
 
 // New wires a cluster member around a server built from scfg: the
@@ -107,18 +155,22 @@ func New(cfg Config, scfg server.Config) (*Node, error) {
 	if cfg.LeaseTTL <= 0 {
 		cfg.LeaseTTL = 3 * time.Second
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if cfg.Log == nil {
+		cfg.Log = obs.Discard()
 	}
+	cfg.Log = cfg.Log.With("node", cfg.NodeID)
 	n := &Node{
 		cfg:     cfg,
-		ring:    newRing(),
+		tracer:  scfg.Tracer,
 		members: make(map[string]Member),
+		ring:    newRing(),
 		client:  &http.Client{Timeout: 15 * time.Second},
 		stop:    make(chan struct{}),
 	}
 	n.breakers.Threshold = 3
 	n.breakers.Cooldown = cfg.LeaseTTL
+	n.metrics.initHops()
+	n.tracer.Observe(n.metrics.observeSpan)
 
 	scfg.NodeID = cfg.NodeID
 	scfg.CacheFetch = n.cacheFetch
@@ -152,7 +204,7 @@ func (n *Node) Server() *server.Server { return n.srv }
 // IsCoordinator reports this member's role.
 func (n *Node) IsCoordinator() bool { return n.coord != nil }
 
-func (n *Node) logf(format string, args ...any) { n.cfg.Logf(format, args...) }
+func (n *Node) log() *slog.Logger { return n.cfg.Log }
 
 // Start launches the cluster loops: the coordinator self-joins and
 // sweeps leases; workers join (retrying until the coordinator answers)
@@ -233,7 +285,7 @@ func (n *Node) heartbeatLoop() {
 		}
 		if !n.joined.Load() {
 			if err := n.join(); err != nil {
-				n.logf("cluster: join: %v", err)
+				n.log().Warn("cluster join failed", "err", err)
 				select {
 				case <-time.After(backoff.Next(0)):
 				case <-n.stop:
@@ -245,7 +297,7 @@ func (n *Node) heartbeatLoop() {
 			continue
 		}
 		if err := n.sendHeartbeat(); err != nil {
-			n.logf("cluster: heartbeat: %v", err)
+			n.log().Warn("cluster heartbeat failed", "epoch", n.epoch.Load(), "err", err)
 			if err == errEvicted {
 				// The coordinator dropped us (partition healed after our
 				// lease expired): rejoin under a fresh epoch. Our jobs may
@@ -280,7 +332,7 @@ func (n *Node) join() error {
 	n.epoch.Store(jr.Epoch)
 	n.adoptMembers(jr.Members)
 	n.joined.Store(true)
-	n.logf("cluster: joined %s as %s (epoch %d, %d members)", n.cfg.JoinURL, n.cfg.NodeID, jr.Epoch, len(jr.Members))
+	n.log().Info("cluster joined", "coordinator", n.cfg.JoinURL, "epoch", jr.Epoch, "members", len(jr.Members))
 	return nil
 }
 
@@ -316,7 +368,8 @@ func (n *Node) jobReports() []jobReport {
 		if j.State().Terminal() {
 			continue
 		}
-		out = append(out, jobReport{ID: j.ID, Hash: j.Hash, Idem: j.IdemKey(), Spec: j.Spec})
+		out = append(out, jobReport{ID: j.ID, Hash: j.Hash, Idem: j.IdemKey(), Spec: j.Spec,
+			Traceparent: j.TraceContext().Traceparent()})
 	}
 	return out
 }
@@ -359,7 +412,8 @@ func (n *Node) Members() []Member {
 // narrows the window in which a crash strands a freshly accepted job
 // to the in-flight HTTP call.
 func (n *Node) onAdmit(j *server.Job) {
-	report := []jobReport{{ID: j.ID, Hash: j.Hash, Idem: j.IdemKey(), Spec: j.Spec}}
+	report := []jobReport{{ID: j.ID, Hash: j.Hash, Idem: j.IdemKey(), Spec: j.Spec,
+		Traceparent: j.TraceContext().Traceparent()}}
 	if n.coord != nil {
 		n.coord.place(n.cfg.NodeID, report)
 		return
@@ -379,7 +433,7 @@ func (n *Node) onAdmit(j *server.Job) {
 // short-circuit to the local server.
 func (n *Node) sendMigrate(target string, req migrateRequest) (newID string, err error) {
 	if target == n.cfg.NodeID {
-		j, _, err := n.srv.SubmitMigrated(req.Spec, req.Idem, req.From)
+		j, _, err := n.srv.SubmitMigrated(req.Spec, req.Idem, req.From, obs.ParseTraceparent(req.Traceparent))
 		if err != nil {
 			return "", err
 		}
@@ -450,18 +504,27 @@ func (n *Node) cacheFetch(hash string) (string, bool) {
 // coordinator, asynchronously and best-effort — replication is an
 // optimization of recovery time, never a correctness requirement (a
 // missing blob just means the migrated job restarts from cycle zero).
-func (n *Node) ckptReplicate(key string, blob []byte) {
+// parent is the checkpoint_save span, so the replication hop stays on
+// the job's trace even though it outlives the save call.
+func (n *Node) ckptReplicate(key string, blob []byte, parent obs.SpanContext) {
 	if n.coord != nil {
 		return // the coordinator's local store IS the replica target
 	}
 	buf := append([]byte(nil), blob...)
 	go func() {
+		sp := n.tracer.Start(parent, obs.KindCheckpointReplicate, "replicate checkpoint")
+		sp.SetAttr("key", key)
+		defer sp.End()
 		req, err := http.NewRequest("PUT", n.cfg.JoinURL+"/v1/cluster/ckpt?key="+url.QueryEscape(key), bytes.NewReader(buf))
 		if err != nil {
+			sp.SetError(err)
 			return
 		}
+		obs.Inject(req.Header, sp.Context())
 		resp, err := n.client.Do(req)
 		if err != nil {
+			sp.SetError(err)
+			n.log().Warn("checkpoint replication failed", "key", key, "err", err)
 			return
 		}
 		io.Copy(io.Discard, resp.Body)

@@ -1,0 +1,299 @@
+// Package obs is the service-layer observability spine: request-scoped
+// distributed tracing (W3C traceparent propagation over the peer HTTP
+// protocol) plus structured slog-based logging shared by every binary.
+//
+// The tracer is deliberately nil-friendly: a nil *Tracer hands out nil
+// *ActiveSpan values, and every method on both is a no-op that performs
+// zero allocations. Callers thread spans through hot paths
+// unconditionally and the disabled daemon pays nothing — proven by an
+// allocation test, and gated in CI.
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Kind is the typed span vocabulary. Every span the service emits is one
+// of these, so dashboards and tests can switch on structure instead of
+// parsing names.
+type Kind string
+
+const (
+	// KindAdmit covers validation + enqueue of one submission.
+	KindAdmit Kind = "admit"
+	// KindQueueWait spans enqueue to worker pickup.
+	KindQueueWait Kind = "queue_wait"
+	// KindSchedule covers the worker's dispatch decision (cache probes,
+	// runner selection) between pickup and execution.
+	KindSchedule Kind = "schedule"
+	// KindRun covers the actual simulation / sweep / search execution.
+	KindRun Kind = "run"
+	// KindCheckpointSave covers one checkpoint blob save + journal note.
+	KindCheckpointSave Kind = "checkpoint_save"
+	// KindCheckpointReplicate covers pushing one checkpoint blob to the
+	// coordinator.
+	KindCheckpointReplicate Kind = "checkpoint_replicate"
+	// KindForward covers ring-placement forwarding of a submission to
+	// the spec hash's owner node.
+	KindForward Kind = "forward"
+	// KindProxy covers proxying a job-scoped request to the owner node.
+	KindProxy Kind = "proxy"
+	// KindMigrate covers re-homing one orphaned job after an eviction.
+	KindMigrate Kind = "migrate"
+	// KindEvalFanout covers routing one search eval to its ring owner.
+	KindEvalFanout Kind = "eval_fanout"
+	// KindCacheLookup covers the content-addressed result-cache probes.
+	KindCacheLookup Kind = "cache_lookup"
+	// KindWALAppend covers one journal append (fsync included).
+	KindWALAppend Kind = "wal_append"
+)
+
+// SpanContext identifies a position in a trace: the 32-hex trace ID
+// shared by every span of one submission, and the 16-hex span ID a child
+// names as its parent. The zero value is invalid and means "no trace".
+type SpanContext struct {
+	Trace string `json:"trace_id"`
+	Span  string `json:"span_id"`
+}
+
+// Valid reports whether sc names a real position (W3C field widths, not
+// all-zero).
+func (sc SpanContext) Valid() bool {
+	return len(sc.Trace) == 32 && len(sc.Span) == 16 &&
+		sc.Trace != zeroTrace && sc.Span != zeroSpan
+}
+
+const (
+	zeroTrace = "00000000000000000000000000000000"
+	zeroSpan  = "0000000000000000"
+)
+
+// Span is one finished span as stored in the ring and served by
+// GET /v1/traces.
+type Span struct {
+	Trace  string            `json:"trace_id"`
+	ID     string            `json:"span_id"`
+	Parent string            `json:"parent_id,omitempty"`
+	Kind   Kind              `json:"kind"`
+	Name   string            `json:"name"`
+	Node   string            `json:"node,omitempty"`
+	Job    string            `json:"job_id,omitempty"`
+	Start  time.Time         `json:"start"`
+	End    time.Time         `json:"end"`
+	Err    string            `json:"error,omitempty"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// Duration is the span's wall-clock extent.
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Tracer records finished spans into a bounded ring and fans each one
+// out to registered observers (the span-derived Prometheus histograms).
+// All methods are safe for concurrent use; all methods on a nil Tracer
+// are allocation-free no-ops.
+type Tracer struct {
+	node string
+
+	mu        sync.Mutex
+	ring      []Span
+	next      int
+	total     uint64
+	observers []func(Span)
+}
+
+// DefaultRing is the span-ring capacity when NewTracer is given <= 0.
+const DefaultRing = 4096
+
+// NewTracer builds a tracer for one node. node may be empty on a
+// standalone daemon; capacity <= 0 selects DefaultRing.
+func NewTracer(node string, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultRing
+	}
+	return &Tracer{node: node, ring: make([]Span, 0, capacity)}
+}
+
+// Node reports the node ID the tracer stamps on its spans.
+func (t *Tracer) Node() string {
+	if t == nil {
+		return ""
+	}
+	return t.node
+}
+
+// Observe registers fn to receive every finished span. Register before
+// the tracer is shared across goroutines.
+func (t *Tracer) Observe(fn func(Span)) {
+	if t == nil || fn == nil {
+		return
+	}
+	t.mu.Lock()
+	t.observers = append(t.observers, fn)
+	t.mu.Unlock()
+}
+
+// Start opens a span. An invalid parent starts a new trace with a fresh
+// trace ID; a valid one continues it. On a nil tracer Start returns nil,
+// and the nil *ActiveSpan absorbs every subsequent call for free.
+func (t *Tracer) Start(parent SpanContext, kind Kind, name string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	sp := Span{
+		ID:    randHex(8),
+		Kind:  kind,
+		Name:  name,
+		Node:  t.node,
+		Start: time.Now(),
+	}
+	if parent.Valid() {
+		sp.Trace, sp.Parent = parent.Trace, parent.Span
+	} else {
+		sp.Trace = randHex(16)
+	}
+	return &ActiveSpan{t: t, span: sp}
+}
+
+// record appends a finished span to the ring and notifies observers.
+func (t *Tracer) record(sp Span) {
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, sp)
+	} else {
+		t.ring[t.next] = sp
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+	t.total++
+	obs := t.observers
+	t.mu.Unlock()
+	for _, fn := range obs {
+		fn(sp)
+	}
+}
+
+// Spans returns the ring contents oldest-first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	if len(t.ring) == cap(t.ring) {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// Trace returns the ring's spans belonging to one trace, oldest-first.
+func (t *Tracer) Trace(traceID string) []Span {
+	var out []Span
+	for _, sp := range t.Spans() {
+		if sp.Trace == traceID {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// Total reports how many spans have finished since boot (including any
+// the ring has since evicted).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// ActiveSpan is an open span. Nil receivers absorb every call, so
+// callers never branch on whether tracing is enabled.
+type ActiveSpan struct {
+	t *Tracer
+
+	mu    sync.Mutex
+	span  Span
+	ended bool
+}
+
+// Context returns the span's position for parenting children and for
+// traceparent injection. Zero (invalid) on a nil span.
+func (a *ActiveSpan) Context() SpanContext {
+	if a == nil {
+		return SpanContext{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return SpanContext{Trace: a.span.Trace, Span: a.span.ID}
+}
+
+// SetJob stamps the job ID the span belongs to.
+func (a *ActiveSpan) SetJob(id string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.span.Job = id
+	a.mu.Unlock()
+}
+
+// SetAttr attaches one key/value annotation.
+func (a *ActiveSpan) SetAttr(k, v string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if a.span.Attrs == nil {
+		a.span.Attrs = make(map[string]string, 4)
+	}
+	a.span.Attrs[k] = v
+	a.mu.Unlock()
+}
+
+// SetError records err on the span (nil err clears nothing, no-op).
+func (a *ActiveSpan) SetError(err error) {
+	if a == nil || err == nil {
+		return
+	}
+	a.mu.Lock()
+	a.span.Err = err.Error()
+	a.mu.Unlock()
+}
+
+// End closes the span and commits it to the tracer ring. Safe to call
+// more than once; only the first End records.
+func (a *ActiveSpan) End() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if a.ended {
+		a.mu.Unlock()
+		return
+	}
+	a.ended = true
+	a.span.End = time.Now()
+	sp := a.span
+	a.mu.Unlock()
+	a.t.record(sp)
+}
+
+// randHex returns n random bytes as 2n lowercase hex digits.
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand failing is a broken platform; fall back to a
+		// fixed pattern rather than panicking the daemon.
+		for i := range b {
+			b[i] = byte(0xa5 ^ i)
+		}
+	}
+	return hex.EncodeToString(b)
+}

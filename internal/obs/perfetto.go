@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"io"
+	"sort"
+	"strings"
+
+	"eruca/internal/telemetry"
+)
+
+// Perfetto export of service spans, reusing the telemetry trace-event
+// emitter so simulator events and service spans can share one document:
+// WriteTrace dumps spans alone, WriteMergedTrace appends a job's sim
+// telemetry events after the spans, and the result opens in
+// ui.perfetto.dev as one timeline.
+//
+// Layout: one trace-event "process" per node (pids from nodePID, well
+// above the sim exporter's run-indexed pids), one "thread" per span
+// kind. Spans render as complete events ("X") with microsecond
+// timestamps relative to the earliest span start, so output is
+// deterministic for a fixed span slice.
+
+// nodePID offsets span process ids away from sim run indices.
+const nodePID = 1000
+
+// WriteTrace renders spans as a standalone Chrome trace-event document.
+func WriteTrace(w io.Writer, spans []Span) error {
+	em := telemetry.NewEmitter(w)
+	EmitSpans(em, spans)
+	return em.Close()
+}
+
+// WriteMergedTrace renders spans plus simulator telemetry events in one
+// document — the ?perfetto=1 job-trace export.
+func WriteMergedTrace(w io.Writer, spans []Span, events []telemetry.Event, runs []string) error {
+	em := telemetry.NewEmitter(w)
+	EmitSpans(em, spans)
+	telemetry.EmitEvents(em, events, runs)
+	return em.Close()
+}
+
+// spanKindOrder fixes thread ids (and so track order) for the typed
+// span vocabulary; unknown kinds land after, in first-appearance order.
+var spanKindOrder = []Kind{
+	KindForward, KindProxy, KindAdmit, KindQueueWait, KindSchedule,
+	KindCacheLookup, KindRun, KindCheckpointSave, KindCheckpointReplicate,
+	KindWALAppend, KindMigrate, KindEvalFanout,
+}
+
+// EmitSpans renders spans into an already-open emitter.
+func EmitSpans(em *telemetry.Emitter, spans []Span) {
+	if len(spans) == 0 {
+		return
+	}
+	base := spans[0].Start
+	for _, sp := range spans {
+		if sp.Start.Before(base) {
+			base = sp.Start
+		}
+	}
+
+	kindTID := map[Kind]int{}
+	for i, k := range spanKindOrder {
+		kindTID[k] = i
+	}
+	pids := map[string]int{}
+	pid := func(node string) int {
+		if p, ok := pids[node]; ok {
+			return p
+		}
+		p := nodePID + len(pids)
+		pids[node] = p
+		name := node
+		if name == "" {
+			name = "erucad"
+		}
+		em.Emit(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":"node %s"}}`, p, name)
+		return p
+	}
+	seenThread := map[[2]int]bool{}
+	tid := func(p int, k Kind) int {
+		t, ok := kindTID[k]
+		if !ok {
+			t = len(kindTID)
+			kindTID[k] = t
+		}
+		key := [2]int{p, t}
+		if !seenThread[key] {
+			seenThread[key] = true
+			em.Emit(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"%s"}}`, p, t, string(k))
+		}
+		return t
+	}
+
+	for _, sp := range spans {
+		p := pid(sp.Node)
+		t := tid(p, sp.Kind)
+		ts := sp.Start.Sub(base).Microseconds()
+		dur := sp.Duration().Microseconds()
+		if dur < 1 {
+			dur = 1
+		}
+		em.Emit(`{"ph":"X","cat":"span","pid":%d,"tid":%d,"ts":%d,"dur":%d,"name":%q,"args":{%s}}`,
+			p, t, ts, dur, sp.Name, spanArgs(sp))
+	}
+}
+
+// spanArgs renders the span identity and annotations as trace-event
+// args fields (deterministic: attrs in sorted key order).
+func spanArgs(sp Span) string {
+	var b strings.Builder
+	field := func(k, v string) {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(quote(k))
+		b.WriteByte(':')
+		b.WriteString(quote(v))
+	}
+	field("trace_id", sp.Trace)
+	field("span_id", sp.ID)
+	if sp.Parent != "" {
+		field("parent_id", sp.Parent)
+	}
+	if sp.Job != "" {
+		field("job_id", sp.Job)
+	}
+	if sp.Err != "" {
+		field("error", sp.Err)
+	}
+	keys := make([]string, 0, len(sp.Attrs))
+	for k := range sp.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		field(k, sp.Attrs[k])
+	}
+	return b.String()
+}
+
+// quote JSON-escapes s minimally (the values here are ids, job names and
+// error strings; control characters are dropped).
+func quote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case c < 0x20:
+			// control characters have no business in span fields
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

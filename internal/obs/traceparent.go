@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"strings"
+)
+
+// W3C Trace Context propagation: "00-<32 hex trace>-<16 hex span>-<2 hex
+// flags>". The peer protocol carries exactly this header, so a curl user
+// (or an OpenTelemetry-instrumented client) can hand the cluster a trace
+// to continue.
+
+// Header is the canonical traceparent header name.
+const Header = "traceparent"
+
+// Traceparent renders sc as a W3C traceparent value ("" when invalid).
+func (sc SpanContext) Traceparent() string {
+	if !sc.Valid() {
+		return ""
+	}
+	return "00-" + sc.Trace + "-" + sc.Span + "-01"
+}
+
+// ParseTraceparent decodes a W3C traceparent value; the zero SpanContext
+// on any malformation.
+func ParseTraceparent(s string) SpanContext {
+	s = strings.TrimSpace(s)
+	// version(2) - trace(32) - span(16) - flags(2)
+	if len(s) != 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}
+	}
+	if s[:2] == "ff" { // forbidden version
+		return SpanContext{}
+	}
+	sc := SpanContext{Trace: s[3:35], Span: s[36:52]}
+	if !isHex(sc.Trace) || !isHex(sc.Span) || !isHex(s[:2]) || !isHex(s[53:]) {
+		return SpanContext{}
+	}
+	if !sc.Valid() {
+		return SpanContext{}
+	}
+	return sc
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Inject stamps sc onto h; a no-op for an invalid context, so disabled
+// tracing adds no header and no allocation.
+func Inject(h http.Header, sc SpanContext) {
+	if !sc.Valid() {
+		return
+	}
+	h.Set(Header, sc.Traceparent())
+}
+
+// Extract reads the traceparent header from h; zero context when absent
+// or malformed.
+func Extract(h http.Header) SpanContext {
+	v := h.Get(Header)
+	if v == "" {
+		return SpanContext{}
+	}
+	return ParseTraceparent(v)
+}
+
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying sc. Invalid contexts return ctx
+// unchanged (no allocation), keeping the disabled path free.
+func ContextWith(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext returns the span context carried by ctx, or the zero
+// (invalid) context.
+func FromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}

@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"eruca/internal/obs"
 )
 
 // TestSubmitMigratedBypassesAdmissionBound: lease-expiry re-enqueue
@@ -35,7 +37,7 @@ func TestSubmitMigratedBypassesAdmissionBound(t *testing.T) {
 		t.Fatalf("plain submit on full queue: %v, want ErrQueueFull", err)
 	}
 	// ...but a migrated job is admitted past the bound.
-	mig, replayed, err := s.SubmitMigrated(long("mix3"), "mig-key", "w2")
+	mig, replayed, err := s.SubmitMigrated(long("mix3"), "mig-key", "w2", obs.SpanContext{})
 	if err != nil || replayed {
 		t.Fatalf("SubmitMigrated on full queue: %v (replayed=%v)", err, replayed)
 	}
@@ -50,7 +52,7 @@ func TestSubmitMigratedBypassesAdmissionBound(t *testing.T) {
 	}
 	// A retried migration (coordinator restart mid-eviction) replays the
 	// original instead of enqueueing a twin.
-	again, replayed, err := s.SubmitMigrated(long("mix3"), "mig-key", "w2")
+	again, replayed, err := s.SubmitMigrated(long("mix3"), "mig-key", "w2", obs.SpanContext{})
 	if err != nil || !replayed || again.ID != mig.ID {
 		t.Errorf("migration retry: id %s replayed=%v err=%v, want replay of %s", again.ID, replayed, err, mig.ID)
 	}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"eruca/internal/obs"
 	"eruca/internal/telemetry"
 )
 
@@ -33,6 +34,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/telemetry", s.handleTelemetry)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.cfg.Pprof {
@@ -87,7 +90,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
 		return
 	}
-	job, replayed, err := s.SubmitWithKey(spec, r.Header.Get("Idempotency-Key"))
+	job, replayed, err := s.SubmitTraced(spec, r.Header.Get("Idempotency-Key"), obs.Extract(r.Header))
 	switch {
 	case replayed:
 		// The key was already accepted: return the original job instead
@@ -181,6 +184,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		fl.Flush()
 	}
 
+	// Periodic comment frames keep idle streams alive through
+	// intermediaries (and the cluster's proxy path); SSE clients ignore
+	// comment lines by spec.
+	keepalive := time.NewTicker(s.cfg.SSEKeepalive)
+	defer keepalive.Stop()
+
 	history, live, unsub := j.events.SubscribeFrom(after)
 	defer unsub()
 	for _, ll := range history {
@@ -196,6 +205,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			send("", ll.N, ll.Text)
+		case <-keepalive.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
 		case <-r.Context().Done():
 			return
 		case <-j.Done():
@@ -256,11 +268,16 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	}
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
+	keepalive := time.NewTicker(s.cfg.SSEKeepalive)
+	defer keepalive.Stop()
 	send("")
 	for {
 		select {
 		case <-tick.C:
 			send("")
+		case <-keepalive.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
 		case <-j.Done():
 			send("done")
 			return
@@ -285,6 +302,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	buf := NewMetricsBuf()
+	s.CollectMetrics(buf)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	buf.Write(w)
+}
+
+// CollectMetrics renders every service + simulator family into buf.
+// The cluster layer calls this too, adding its own families to the same
+// buffer, so the merged scrape still comes out in one sorted pass.
+func (s *Server) CollectMetrics(buf *MetricsBuf) {
 	launched, joined, pools := s.runnerCounters()
 	g := gauges{
 		queueDepth:  s.queue.Len(),
@@ -293,15 +320,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		simLaunched: launched,
 		simJoined:   joined,
 		runnerPools: pools,
+		spansTotal:  s.tracer().Total(),
 	}
 	if s.Draining() {
 		g.draining = 1
 	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.write(w, g)
+	s.metrics.collect(buf, g)
 	// Simulator-level telemetry, aggregated across every job's set:
 	// eruca_sim_* mechanism counters and log2 latency histograms.
-	writeTelemetry(w, s.telemetrySets())
+	collectTelemetry(buf, s.telemetrySets())
 }
 
 // telemetrySets snapshots every job's telemetry set for /metrics.

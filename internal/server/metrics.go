@@ -2,19 +2,20 @@ package server
 
 import (
 	"fmt"
-	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"eruca/internal/obs"
 	"eruca/internal/telemetry"
 )
 
 // metrics is a dependency-free Prometheus-text exporter: fixed counters
 // for the admission path, per-exit-class completion counters, cache
-// hit/miss counters, and a job-latency histogram. Gauges (queue depth,
-// in-flight, runner dedup counters) are sampled at scrape time by the
-// server, not stored here.
+// hit/miss counters, a job-latency histogram, and the span-derived
+// latency families fed by trace closure (zeros when tracing is off).
+// Gauges (queue depth, in-flight, runner dedup counters) are sampled at
+// scrape time by the server, not stored here.
 type metrics struct {
 	submitted        atomic.Int64
 	rejectedFull     atomic.Int64
@@ -33,13 +34,22 @@ type metrics struct {
 
 	mu        sync.Mutex
 	completed map[string]int64 // exit class -> count
-	hist      histogram
+	hist      *SecondsHist
+
+	// Span-derived latency histograms, fed by the tracer's Observe hook
+	// on span closure — latency breakdown without trace inspection.
+	queueWait *SecondsHist
+	runLat    *SecondsHist
+	ckptLat   *SecondsHist
 }
 
 func newMetrics() *metrics {
 	return &metrics{
 		completed: make(map[string]int64),
-		hist:      histogram{bounds: []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}},
+		hist:      NewSecondsHist(0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120),
+		queueWait: NewSecondsHist(spanBounds()...),
+		runLat:    NewSecondsHist(spanBounds()...),
+		ckptLat:   NewSecondsHist(spanBounds()...),
 	}
 }
 
@@ -47,29 +57,22 @@ func newMetrics() *metrics {
 func (m *metrics) jobDone(class string, seconds float64) {
 	m.mu.Lock()
 	m.completed[class]++
-	m.hist.observe(seconds)
 	m.mu.Unlock()
+	m.hist.Observe(seconds)
 }
 
-// histogram is a fixed-bucket cumulative histogram.
-type histogram struct {
-	bounds []float64
-	counts []int64
-	sum    float64
-	n      int64
-}
-
-func (h *histogram) observe(v float64) {
-	if h.counts == nil {
-		h.counts = make([]int64, len(h.bounds))
+// observeSpan is the tracer Observe hook: span closure drives the
+// queue-wait / run / checkpoint latency families.
+func (m *metrics) observeSpan(sp obs.Span) {
+	secs := sp.Duration().Seconds()
+	switch sp.Kind {
+	case obs.KindQueueWait:
+		m.queueWait.Observe(secs)
+	case obs.KindRun:
+		m.runLat.Observe(secs)
+	case obs.KindCheckpointSave:
+		m.ckptLat.Observe(secs)
 	}
-	for i, b := range h.bounds {
-		if v <= b {
-			h.counts[i]++
-		}
-	}
-	h.sum += v
-	h.n++
 }
 
 // gauges are the point-in-time values the server samples at scrape.
@@ -81,30 +84,26 @@ type gauges struct {
 	simLaunched int64
 	simJoined   int64
 	runnerPools int
+	spansTotal  uint64
 }
 
-// write renders the exposition text.
-func (m *metrics) write(w io.Writer, g gauges) {
-	c := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	gg := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
-	}
-	c("eruca_jobs_submitted_total", "Jobs accepted into the queue.", m.submitted.Load())
-	c("eruca_jobs_rejected_full_total", "Jobs rejected with 429 because the queue was full.", m.rejectedFull.Load())
-	c("eruca_jobs_rejected_draining_total", "Jobs rejected with 503 during drain.", m.rejectedDraining.Load())
-	c("eruca_jobs_rejected_invalid_total", "Jobs rejected with 400 at validation.", m.rejectedInvalid.Load())
-	c("eruca_result_cache_hits_total", "Jobs served from the content-addressed result cache.", m.cacheHits.Load())
-	c("eruca_result_cache_misses_total", "Jobs that had to execute.", m.cacheMisses.Load())
-	c("eruca_jobs_idem_replayed_total", "Submissions answered with an existing job via Idempotency-Key.", m.idemReplayed.Load())
-	c("eruca_jobs_recovered_total", "Jobs re-enqueued from the journal at boot.", m.recovered.Load())
-	c("eruca_jobs_migrated_in_total", "Jobs accepted past the admission bound after a peer's eviction.", m.migratedIn.Load())
-	c("eruca_result_cache_remote_hits_total", "Jobs served via the sharded cache's read-through to a peer.", m.remoteCacheHits.Load())
-	c("eruca_sim_runs_total", "Simulations actually executed by the shared runners.", g.simLaunched)
-	c("eruca_sim_dedup_total", "Simulation requests served by an existing singleflight flight.", g.simJoined)
-	c("eruca_search_points_total", "Design-point evaluations requested by search jobs.", m.searchPoints.Load())
-	c("eruca_search_cache_hits_total", "Search evaluations served without a new simulation (result cache, cluster shard, or search snapshot).", m.searchCacheHits.Load())
+// collect renders the service families into buf.
+func (m *metrics) collect(buf *MetricsBuf, g gauges) {
+	buf.Counter("eruca_jobs_submitted_total", "Jobs accepted into the queue.", m.submitted.Load())
+	buf.Counter("eruca_jobs_rejected_full_total", "Jobs rejected with 429 because the queue was full.", m.rejectedFull.Load())
+	buf.Counter("eruca_jobs_rejected_draining_total", "Jobs rejected with 503 during drain.", m.rejectedDraining.Load())
+	buf.Counter("eruca_jobs_rejected_invalid_total", "Jobs rejected with 400 at validation.", m.rejectedInvalid.Load())
+	buf.Counter("eruca_result_cache_hits_total", "Jobs served from the content-addressed result cache.", m.cacheHits.Load())
+	buf.Counter("eruca_result_cache_misses_total", "Jobs that had to execute.", m.cacheMisses.Load())
+	buf.Counter("eruca_jobs_idem_replayed_total", "Submissions answered with an existing job via Idempotency-Key.", m.idemReplayed.Load())
+	buf.Counter("eruca_jobs_recovered_total", "Jobs re-enqueued from the journal at boot.", m.recovered.Load())
+	buf.Counter("eruca_jobs_migrated_in_total", "Jobs accepted past the admission bound after a peer's eviction.", m.migratedIn.Load())
+	buf.Counter("eruca_result_cache_remote_hits_total", "Jobs served via the sharded cache's read-through to a peer.", m.remoteCacheHits.Load())
+	buf.Counter("eruca_sim_runs_total", "Simulations actually executed by the shared runners.", g.simLaunched)
+	buf.Counter("eruca_sim_dedup_total", "Simulation requests served by an existing singleflight flight.", g.simJoined)
+	buf.Counter("eruca_search_points_total", "Design-point evaluations requested by search jobs.", m.searchPoints.Load())
+	buf.Counter("eruca_search_cache_hits_total", "Search evaluations served without a new simulation (result cache, cluster shard, or search snapshot).", m.searchCacheHits.Load())
+	buf.CounterU("eruca_spans_total", "Trace spans finished since boot (0 while tracing is disabled).", g.spansTotal)
 
 	m.mu.Lock()
 	classes := make([]string, 0, len(m.completed))
@@ -112,31 +111,24 @@ func (m *metrics) write(w io.Writer, g gauges) {
 		classes = append(classes, cl)
 	}
 	sort.Strings(classes)
-	fmt.Fprintf(w, "# HELP eruca_jobs_completed_total Jobs finished, by exit class (same 3/4/5 taxonomy as the CLI exit codes).\n")
-	fmt.Fprintf(w, "# TYPE eruca_jobs_completed_total counter\n")
 	for _, cl := range classes {
-		fmt.Fprintf(w, "eruca_jobs_completed_total{class=%q} %d\n", cl, m.completed[cl])
+		buf.Series("eruca_jobs_completed_total",
+			"Jobs finished, by exit class (same 3/4/5 taxonomy as the CLI exit codes).", "counter",
+			fmt.Sprintf("eruca_jobs_completed_total{class=%q} %d", cl, m.completed[cl]))
 	}
-	fmt.Fprintf(w, "# HELP eruca_job_duration_seconds Wall latency of completed jobs.\n")
-	fmt.Fprintf(w, "# TYPE eruca_job_duration_seconds histogram\n")
-	for i, b := range m.hist.bounds {
-		var n int64
-		if m.hist.counts != nil {
-			n = m.hist.counts[i]
-		}
-		fmt.Fprintf(w, "eruca_job_duration_seconds_bucket{le=%q} %d\n", fmt.Sprintf("%g", b), n)
-	}
-	fmt.Fprintf(w, "eruca_job_duration_seconds_bucket{le=\"+Inf\"} %d\n", m.hist.n)
-	fmt.Fprintf(w, "eruca_job_duration_seconds_sum %g\n", m.hist.sum)
-	fmt.Fprintf(w, "eruca_job_duration_seconds_count %d\n", m.hist.n)
 	m.mu.Unlock()
 
-	gg("eruca_queue_depth", "Jobs waiting in the priority queue.", int64(g.queueDepth))
-	gg("eruca_jobs_inflight", "Jobs currently executing.", g.inflight)
-	gg("eruca_result_cache_entries", "Resident result-cache entries.", int64(g.cacheSize))
-	gg("eruca_runner_pools", "Distinct exp.Runner parameter groups alive.", int64(g.runnerPools))
-	gg("eruca_search_frontier_size", "Pareto-frontier size last reported by a search job.", m.searchFrontier.Load())
-	gg("eruca_draining", "1 while the daemon is draining.", int64(g.draining))
+	m.hist.Collect(buf, "eruca_job_duration_seconds", "Wall latency of completed jobs.", "")
+	m.queueWait.Collect(buf, "eruca_job_queue_wait_seconds", "Admission-to-worker-pickup latency, from queue_wait span closure.", "")
+	m.runLat.Collect(buf, "eruca_job_run_seconds", "Execution latency, from run span closure.", "")
+	m.ckptLat.Collect(buf, "eruca_job_checkpoint_seconds", "Checkpoint save latency, from checkpoint_save span closure.", "")
+
+	buf.Gauge("eruca_queue_depth", "Jobs waiting in the priority queue.", int64(g.queueDepth))
+	buf.Gauge("eruca_jobs_inflight", "Jobs currently executing.", g.inflight)
+	buf.Gauge("eruca_result_cache_entries", "Resident result-cache entries.", int64(g.cacheSize))
+	buf.Gauge("eruca_runner_pools", "Distinct exp.Runner parameter groups alive.", int64(g.runnerPools))
+	buf.Gauge("eruca_search_frontier_size", "Pareto-frontier size last reported by a search job.", m.searchFrontier.Load())
+	buf.Gauge("eruca_draining", "1 while the daemon is draining.", int64(g.draining))
 }
 
 // telemetryHelp documents the simulator-level counters on /metrics.
@@ -158,13 +150,13 @@ var telemetryHelp = map[string]string{
 	"trace_dropped":     "Trace events dropped beyond the capture cap.",
 }
 
-// writeTelemetry renders the simulator-level metrics: every mechanism
+// collectTelemetry renders the simulator-level metrics: every mechanism
 // counter summed across the given telemetry sets as
 // eruca_sim_<name>_total, and every log2 histogram merged into a
 // Prometheus histogram eruca_sim_<name> whose bucket bounds are the
 // Hist power-of-two upper edges (only populated buckets are emitted to
 // keep the exposition small).
-func writeTelemetry(w io.Writer, sets []*telemetry.Set) {
+func collectTelemetry(buf *MetricsBuf, sets []*telemetry.Set) {
 	counters := map[string]uint64{}
 	type hist struct {
 		buckets [telemetry.HistBuckets]uint64
@@ -188,38 +180,28 @@ func writeTelemetry(w io.Writer, sets []*telemetry.Set) {
 			m.n += h.N()
 		})
 	}
-	names := make([]string, 0, len(counters))
-	for name := range counters {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
+	for name, v := range counters {
 		metric := "eruca_sim_" + name + "_total"
 		help := telemetryHelp[name]
 		if help == "" {
 			help = "Simulator counter " + name + "."
 		}
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", metric, help, metric, metric, counters[name])
+		buf.CounterU(metric, help, v)
 	}
-	hnames := make([]string, 0, len(hists))
-	for name := range hists {
-		hnames = append(hnames, name)
-	}
-	sort.Strings(hnames)
-	for _, name := range hnames {
-		h := hists[name]
+	for name, h := range hists {
 		metric := "eruca_sim_" + name
-		fmt.Fprintf(w, "# HELP %s Simulator log2 histogram (%s), bus cycles.\n# TYPE %s histogram\n", metric, name, metric)
+		help := fmt.Sprintf("Simulator log2 histogram (%s), bus cycles.", name)
 		var cum uint64
 		for i, c := range h.buckets {
 			cum += c
 			if c == 0 {
 				continue // sparse: only populated bucket edges
 			}
-			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", metric, telemetry.BucketUpper(i), cum)
+			buf.Series(metric, help, "histogram",
+				fmt.Sprintf("%s_bucket{le=\"%d\"} %d", metric, telemetry.BucketUpper(i), cum))
 		}
-		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", metric, h.n)
-		fmt.Fprintf(w, "%s_sum %d\n", metric, h.sum)
-		fmt.Fprintf(w, "%s_count %d\n", metric, h.n)
+		buf.Series(metric, help, "histogram", fmt.Sprintf("%s_bucket{le=\"+Inf\"} %d", metric, h.n))
+		buf.Series(metric, help, "histogram", fmt.Sprintf("%s_sum %d", metric, h.sum))
+		buf.Series(metric, help, "histogram", fmt.Sprintf("%s_count %d", metric, h.n))
 	}
 }

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// TestMetricsGoldenScrape pins the exact /metrics exposition of a fresh
+// daemon: family set, sorted order, HELP/TYPE text, bucket edges and the
+// Prometheus content type. Any drift — a renamed family, a reordered
+// bucket, a lost HELP string — breaks the scrape contract dashboards and
+// recording rules are written against, so it must show up in review as a
+// golden diff, not as a silent change.
+//
+// Regenerate deliberately with: go test ./internal/server/ -run Golden -update
+func TestMetricsGoldenScrape(t *testing.T) {
+	s, err := New(Config{Workers: 1, QueueMax: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", rec.Code)
+	}
+	if got, want := rec.Header().Get("Content-Type"), "text/plain; version=0.0.4; charset=utf-8"; got != want {
+		t.Errorf("Content-Type = %q, want %q", got, want)
+	}
+	body := rec.Body.String()
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if body != string(want) {
+		t.Errorf("scrape drifted from %s (regenerate deliberately with -update):\n%s",
+			golden, diffLines(string(want), body))
+	}
+
+	// Sorted-family invariant, independent of the golden file.
+	var prev string
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		name, ok := strings.CutPrefix(sc.Text(), "# HELP ")
+		if !ok {
+			continue
+		}
+		name = strings.SplitN(name, " ", 2)[0]
+		if prev != "" && name <= prev {
+			t.Errorf("family %s emitted after %s — exposition not sorted", name, prev)
+		}
+		prev = name
+	}
+}
+
+// diffLines renders a minimal first-divergence report for golden
+// mismatches.
+func diffLines(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(w) || i < len(g); i++ {
+		var lw, lg string
+		if i < len(w) {
+			lw = w[i]
+		}
+		if i < len(g) {
+			lg = g[i]
+		}
+		if lw != lg {
+			return fmt.Sprintf("first divergence at line %d:\n  want %q\n  got  %q", i+1, lw, lg)
+		}
+	}
+	return "(no line-level difference)"
+}

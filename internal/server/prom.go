@@ -1,0 +1,144 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// MetricsBuf collects Prometheus text-exposition families so the scrape
+// can be emitted in one deterministically sorted pass, regardless of
+// which layer (server counters, simulator telemetry, cluster) added
+// which family and in what order. Families sort by name; series within
+// a family keep insertion order (bucket sequences stay contiguous).
+type MetricsBuf struct {
+	fams map[string]*promFamily
+}
+
+type promFamily struct {
+	help  string
+	typ   string
+	lines []string
+}
+
+// NewMetricsBuf returns an empty collection buffer.
+func NewMetricsBuf() *MetricsBuf {
+	return &MetricsBuf{fams: make(map[string]*promFamily)}
+}
+
+func (b *MetricsBuf) family(name, help, typ string) *promFamily {
+	f := b.fams[name]
+	if f == nil {
+		f = &promFamily{help: help, typ: typ}
+		b.fams[name] = f
+	}
+	return f
+}
+
+// Counter adds a single-series counter family.
+func (b *MetricsBuf) Counter(name, help string, v int64) {
+	f := b.family(name, help, "counter")
+	f.lines = append(f.lines, fmt.Sprintf("%s %d", name, v))
+}
+
+// CounterU is Counter for uint64 values (simulator telemetry).
+func (b *MetricsBuf) CounterU(name, help string, v uint64) {
+	f := b.family(name, help, "counter")
+	f.lines = append(f.lines, fmt.Sprintf("%s %d", name, v))
+}
+
+// Gauge adds a single-series gauge family.
+func (b *MetricsBuf) Gauge(name, help string, v int64) {
+	f := b.family(name, help, "gauge")
+	f.lines = append(f.lines, fmt.Sprintf("%s %d", name, v))
+}
+
+// Series appends one fully rendered exposition line (labels included)
+// under the family `name` of the given type — labeled counters and
+// histogram series. Help/type are recorded on the family's first use.
+func (b *MetricsBuf) Series(name, help, typ, line string) {
+	f := b.family(name, help, typ)
+	f.lines = append(f.lines, line)
+}
+
+// Write renders the collected families sorted by name.
+func (b *MetricsBuf) Write(w io.Writer) {
+	names := make([]string, 0, len(b.fams))
+	for name := range b.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := b.fams[name]
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, f.help, name, f.typ)
+		for _, line := range f.lines {
+			fmt.Fprintln(w, line)
+		}
+	}
+}
+
+// SecondsHist is a fixed-bucket cumulative latency histogram safe for
+// concurrent observers — the backing store for both the job-duration
+// histogram and the span-derived families (queue wait, run, checkpoint,
+// cluster hop).
+type SecondsHist struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64
+	sum    float64
+	n      int64
+}
+
+// NewSecondsHist builds a histogram over the given ascending bucket
+// upper bounds.
+func NewSecondsHist(bounds ...float64) *SecondsHist {
+	return &SecondsHist{bounds: bounds, counts: make([]int64, len(bounds))}
+}
+
+// spanBounds are the bucket edges for span-derived latency families:
+// finer at the bottom than the job-duration histogram because queue
+// waits and checkpoint saves live in the milliseconds.
+func spanBounds() []float64 {
+	return []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60}
+}
+
+// Observe records one value in seconds.
+func (h *SecondsHist) Observe(v float64) {
+	h.mu.Lock()
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+		}
+	}
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// Collect renders the histogram into buf under `name`. labels, when
+// non-empty (e.g. `kind="forward"`), is spliced into every series so
+// several histograms can share one family.
+func (h *SecondsHist) Collect(buf *MetricsBuf, name, help, labels string) {
+	h.mu.Lock()
+	counts := append([]int64(nil), h.counts...)
+	sum, n := h.sum, h.n
+	h.mu.Unlock()
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for i, b := range h.bounds {
+		buf.Series(name, help, "histogram",
+			fmt.Sprintf("%s_bucket{%s%sle=%q} %d", name, labels, sep, fmt.Sprintf("%g", b), counts[i]))
+	}
+	buf.Series(name, help, "histogram",
+		fmt.Sprintf("%s_bucket{%s%sle=\"+Inf\"} %d", name, labels, sep, n))
+	if labels == "" {
+		buf.Series(name, help, "histogram", fmt.Sprintf("%s_sum %g", name, sum))
+		buf.Series(name, help, "histogram", fmt.Sprintf("%s_count %d", name, n))
+	} else {
+		buf.Series(name, help, "histogram", fmt.Sprintf("%s_sum{%s} %g", name, labels, sum))
+		buf.Series(name, help, "histogram", fmt.Sprintf("%s_count{%s} %d", name, labels, n))
+	}
+}

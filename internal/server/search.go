@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"eruca/internal/obs"
 	"eruca/internal/search"
 	"eruca/internal/workload"
 )
@@ -100,7 +101,7 @@ func (s *Server) evalPoint(ctx context.Context, job *Job, spec JobSpec) (string,
 	}
 	view := runner.WithContext(ctx).WithLog(job.events.Append).WithTelemetry(job.tel)
 	if s.ckpts != nil {
-		view = view.WithCheckpoint(s.checkpointPolicy(job))
+		view = view.WithCheckpoint(s.checkpointPolicy(job, obs.FromContext(ctx)))
 	}
 	out, err := execute(ctx, view, spec)
 	if err != nil {
@@ -113,8 +114,10 @@ func (s *Server) evalPoint(ctx context.Context, job *Job, spec JobSpec) (string,
 // runSearch executes one "search" job to completion and returns the
 // canonical Result JSON (which the content-addressed cache may then
 // serve to identical resubmissions: the engine is deterministic in the
-// spec, so the cached output is the re-run's output).
-func (s *Server) runSearch(job *Job) (string, error) {
+// spec, so the cached output is the re-run's output). ctx is the job
+// context, optionally carrying the run span so cluster eval fan-out
+// hops join the job's trace.
+func (s *Server) runSearch(ctx context.Context, job *Job) (string, error) {
 	n := job.Spec.normalized()
 	if n.Search == nil {
 		return "", fmt.Errorf("server: search job missing the \"search\" spec")
@@ -173,25 +176,31 @@ func (s *Server) runSearch(job *Job) (string, error) {
 				if b != nil {
 					job.events.Append(fmt.Sprintf("search state for %.12s fetched from cluster", job.Hash))
 					if err := s.ckpts.Save(key, b); err != nil {
-						s.cfg.Logf("search state adopt %s: %v", key, err)
+						s.cfg.Log.Error("search state adopt failed", "job_id", job.ID, "key", key, "err", err)
 					}
 				}
 				return b
 			},
 			Save: func(blob []byte) {
+				cs := s.tracer().Start(obs.FromContext(ctx), obs.KindCheckpointSave, "search checkpoint")
+				cs.SetJob(job.ID)
+				cs.SetAttr("key", key)
 				if err := s.ckpts.Save(key, blob); err != nil {
-					s.cfg.Logf("search state save %s: %v", key, err)
+					cs.SetError(err)
+					cs.End()
+					s.cfg.Log.Error("search state save failed", "job_id", job.ID, "key", key, "err", err)
 					return
 				}
 				_ = s.wal.append(walRecord{Type: "checkpoint", Job: job.ID, Key: key})
 				if s.cfg.CkptReplicate != nil {
-					s.cfg.CkptReplicate(key, blob)
+					s.cfg.CkptReplicate(key, blob, cs.Context())
 				}
+				cs.End()
 			},
 		}
 	}
 
-	res, err := search.Run(job.ctx, sspec, opts)
+	res, err := search.Run(ctx, sspec, opts)
 	if err != nil {
 		return "", err
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -14,6 +15,7 @@ import (
 	"eruca/internal/cli"
 	"eruca/internal/clock"
 	"eruca/internal/exp"
+	"eruca/internal/obs"
 	"eruca/internal/sim"
 )
 
@@ -52,8 +54,20 @@ type Config struct {
 	// Pprof mounts net/http/pprof under /debug/pprof/ when true. Off by
 	// default: the profiling surface stays opt-in on shared daemons.
 	Pprof bool
-	// Logf, when non-nil, receives daemon lifecycle lines.
-	Logf func(format string, args ...any)
+	// Log, when non-nil, receives structured daemon lifecycle records
+	// (default: discard). Call sites attach job_id / trace_id / node
+	// attributes so one grep reconstructs a request.
+	Log *slog.Logger
+	// Tracer, when non-nil, records a distributed span per lifecycle
+	// stage of every job (admit, queue_wait, schedule, run, …) into a
+	// bounded ring served at GET /v1/traces. Nil disables tracing at
+	// zero cost: the span plumbing through the hot path is nil-receiver
+	// no-ops, proven allocation-free.
+	Tracer *obs.Tracer
+	// SSEKeepalive is the cadence of ": keepalive" comment frames on
+	// idle SSE streams so intermediaries (and the cluster proxy path)
+	// don't drop quiet connections (default 15s).
+	SSEKeepalive time.Duration
 
 	// NodeID, when non-empty, prefixes every job ID ("n2" makes
 	// "n2-job-000001") so a cluster peer can route any job ID back to
@@ -73,7 +87,9 @@ type Config struct {
 	// CkptReplicate, when non-nil, observes every locally saved
 	// checkpoint blob — the migration write path (the cluster layer
 	// pushes it to the coordinator, asynchronously and best-effort).
-	CkptReplicate func(key string, blob []byte)
+	// parent is the saving span's context (invalid when tracing is
+	// off), so the replication hop joins the job's trace.
+	CkptReplicate func(key string, blob []byte, parent obs.SpanContext)
 	// ClusterSnapshot, when non-nil, supplies the cluster-state records
 	// (membership, placements) that drain-time WAL compaction must
 	// preserve so a restarted coordinator still knows its cluster.
@@ -115,8 +131,11 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointCycles <= 0 {
 		c.CheckpointCycles = 50_000
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.SSEKeepalive <= 0 {
+		c.SSEKeepalive = 15 * time.Second
+	}
+	if c.Log == nil {
+		c.Log = obs.Discard()
 	}
 	return c
 }
@@ -173,11 +192,14 @@ func New(cfg Config) (*Server, error) {
 		idem:    make(map[string]string),
 	}
 	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
+	// Span-derived latency histograms: queue_wait / run / checkpoint
+	// closure feeds the Prometheus families without trace inspection.
+	cfg.Tracer.Observe(s.metrics.observeSpan)
 	if err := s.cache.Load(cfg.CachePath); err != nil {
 		return nil, err
 	}
 	if n := s.cache.Len(); n > 0 {
-		cfg.Logf("result cache: %d entr%s loaded from %s", n, plural(n, "y", "ies"), cfg.CachePath)
+		cfg.Log.Info("result cache loaded", "entries", n, "path", cfg.CachePath)
 	}
 	if cfg.WALDir != "" {
 		if err := s.openDurability(cfg.WALDir); err != nil {
@@ -186,6 +208,17 @@ func New(cfg Config) (*Server, error) {
 	}
 	return s, nil
 }
+
+// tracer returns the configured tracer (nil when tracing is disabled —
+// every obs call site tolerates that for free).
+func (s *Server) tracer() *obs.Tracer { return s.cfg.Tracer }
+
+// Tracer exposes the span ring (nil when tracing is disabled) for the
+// trace endpoints and the cluster layer.
+func (s *Server) Tracer() *obs.Tracer { return s.cfg.Tracer }
+
+// Log exposes the structured logger for layers stacked on the server.
+func (s *Server) Log() *slog.Logger { return s.cfg.Log }
 
 // openDurability opens the journal and checkpoint store under dir and
 // replays the journal into the registry and queue.
@@ -219,15 +252,24 @@ func (s *Server) openDurability(dir string) error {
 			terminal++
 			continue
 		}
+		// A recovered job starts a fresh trace: the pre-crash spans died
+		// with the old process's ring.
+		admit := s.tracer().Start(obs.SpanContext{}, obs.KindAdmit, "recover")
+		admit.SetJob(j.ID)
+		j.trace = admit.Context()
 		j.events.Append(fmt.Sprintf("recovered from journal as %s (hash %.12s)", j.ID, j.Hash))
 		s.queue.pushRecovered(j)
+		qs := s.tracer().Start(j.trace, obs.KindQueueWait, "queue wait")
+		qs.SetJob(j.ID)
+		j.setQueueSpan(qs)
+		admit.End()
 		s.metrics.recovered.Add(1)
 		requeued++
 	}
 	if len(jobs) > 0 || s.ckpts.Len() > 0 {
-		s.cfg.Logf("wal replay: %d job%s restored (%d terminal, %d re-enqueued), %d checkpoint blob%s on disk",
-			len(jobs), plural(len(jobs), "", "s"), terminal, requeued,
-			s.ckpts.Len(), plural(s.ckpts.Len(), "", "s"))
+		s.cfg.Log.Info("wal replayed",
+			"jobs", len(jobs), "terminal", terminal, "requeued", requeued,
+			"checkpoint_blobs", s.ckpts.Len())
 	}
 	return nil
 }
@@ -244,13 +286,17 @@ func (s *Server) journalFinish(j *Job) {
 		_ = s.wal.append(walRecord{Type: "interrupted", Job: j.ID, State: string(state)})
 		return
 	}
+	ws := s.tracer().Start(j.trace, obs.KindWALAppend, "wal finish")
+	ws.SetJob(j.ID)
 	rec := walRecord{Type: "finish", Job: j.ID, State: string(state), Error: errMsg}
 	if state == StateDone {
 		rec.Output = output
 	}
 	if err := s.wal.append(rec); err != nil {
-		s.cfg.Logf("wal: finish record for %s failed: %v", j.ID, err)
+		ws.SetError(err)
+		s.cfg.Log.Error("wal finish record failed", "job_id", j.ID, "trace_id", j.trace.Trace, "err", err)
 	}
+	ws.End()
 }
 
 func plural(n int, one, many string) string {
@@ -275,8 +321,8 @@ func (s *Server) Start() {
 			}
 		}()
 	}
-	s.cfg.Logf("serving with %d workers, sim parallelism %d, queue bound %d",
-		s.cfg.Workers, s.cfg.SimParallel, s.cfg.QueueMax)
+	s.cfg.Log.Info("serving",
+		"workers", s.cfg.Workers, "sim_parallel", s.cfg.SimParallel, "queue_max", s.cfg.QueueMax)
 }
 
 // Submit validates and enqueues a spec. The returned error is one of
@@ -292,12 +338,24 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 // across restarts too, when the WAL is enabled, so a client that lost
 // its 202 to a crash can retry the POST safely.
 func (s *Server) SubmitWithKey(spec JobSpec, idemKey string) (job *Job, replayed bool, err error) {
+	return s.SubmitTraced(spec, idemKey, obs.SpanContext{})
+}
+
+// SubmitTraced is SubmitWithKey carrying a trace parent (extracted from
+// the client's — or a forwarding peer's — traceparent header), so the
+// admit span and every lifecycle span of the job join the caller's
+// trace. An invalid parent starts a fresh trace when tracing is on.
+func (s *Server) SubmitTraced(spec JobSpec, idemKey string, parent obs.SpanContext) (job *Job, replayed bool, err error) {
+	admit := s.tracer().Start(parent, obs.KindAdmit, "admit")
+	defer admit.End()
 	if s.draining.Load() {
 		s.metrics.rejectedDraining.Add(1)
+		admit.SetError(ErrQueueClosed)
 		return nil, false, ErrQueueClosed
 	}
 	if err := spec.Validate(); err != nil {
 		s.metrics.rejectedInvalid.Add(1)
+		admit.SetError(err)
 		return nil, false, err
 	}
 	if idemKey != "" {
@@ -306,6 +364,8 @@ func (s *Server) SubmitWithKey(spec JobSpec, idemKey string) (job *Job, replayed
 			s.idemMu.Unlock()
 			if j := s.jobs.get(id); j != nil {
 				s.metrics.idemReplayed.Add(1)
+				admit.SetJob(j.ID)
+				admit.SetAttr("replayed", "true")
 				return j, true, nil
 			}
 		} else {
@@ -314,13 +374,21 @@ func (s *Server) SubmitWithKey(spec JobSpec, idemKey string) (job *Job, replayed
 	}
 	job = s.jobs.add(spec, s.baseCtx)
 	job.idemKey = idemKey
+	admit.SetJob(job.ID)
+	job.trace = admit.Context()
 	if s.wal != nil {
 		job.onTerminal = s.journalFinish
 		sp := spec
-		if err := s.wal.append(walRecord{Type: "submit", Job: job.ID, Idem: idemKey, Spec: &sp}); err != nil {
-			s.cfg.Logf("wal: submit record for %s failed: %v", job.ID, err)
-			job.finish(StateFailed, "", err)
-			return nil, false, err
+		ws := s.tracer().Start(job.trace, obs.KindWALAppend, "wal submit")
+		ws.SetJob(job.ID)
+		werr := s.wal.append(walRecord{Type: "submit", Job: job.ID, Idem: idemKey, Spec: &sp})
+		ws.SetError(werr)
+		ws.End()
+		if werr != nil {
+			s.cfg.Log.Error("wal submit record failed", "job_id", job.ID, "trace_id", job.trace.Trace, "err", werr)
+			admit.SetError(werr)
+			job.finish(StateFailed, "", werr)
+			return nil, false, werr
 		}
 	}
 	if err := s.queue.Push(job); err != nil {
@@ -330,9 +398,13 @@ func (s *Server) SubmitWithKey(spec JobSpec, idemKey string) (job *Job, replayed
 		case errors.Is(err, ErrQueueClosed):
 			s.metrics.rejectedDraining.Add(1)
 		}
+		admit.SetError(err)
 		job.finish(StateFailed, "", err)
 		return nil, false, err
 	}
+	qs := s.tracer().Start(job.trace, obs.KindQueueWait, "queue wait")
+	qs.SetJob(job.ID)
+	job.setQueueSpan(qs)
 	if idemKey != "" {
 		s.idemMu.Lock()
 		s.idem[idemKey] = job.ID
@@ -353,13 +425,18 @@ func (s *Server) SubmitWithKey(spec JobSpec, idemKey string) (job *Job, replayed
 // because the survivor's queue is momentarily full. The idempotency key
 // still dedups: a retried migration (coordinator restart mid-eviction)
 // replays the first migrated job instead of enqueueing twins.
-func (s *Server) SubmitMigrated(spec JobSpec, idemKey, from string) (job *Job, replayed bool, err error) {
+func (s *Server) SubmitMigrated(spec JobSpec, idemKey, from string, parent obs.SpanContext) (job *Job, replayed bool, err error) {
+	admit := s.tracer().Start(parent, obs.KindAdmit, "admit migrated")
+	admit.SetAttr("from", from)
+	defer admit.End()
 	if s.draining.Load() {
 		s.metrics.rejectedDraining.Add(1)
+		admit.SetError(ErrQueueClosed)
 		return nil, false, ErrQueueClosed
 	}
 	if err := spec.Validate(); err != nil {
 		s.metrics.rejectedInvalid.Add(1)
+		admit.SetError(err)
 		return nil, false, err
 	}
 	if idemKey != "" {
@@ -368,6 +445,8 @@ func (s *Server) SubmitMigrated(spec JobSpec, idemKey, from string) (job *Job, r
 			s.idemMu.Unlock()
 			if j := s.jobs.get(id); j != nil {
 				s.metrics.idemReplayed.Add(1)
+				admit.SetJob(j.ID)
+				admit.SetAttr("replayed", "true")
 				return j, true, nil
 			}
 		} else {
@@ -376,19 +455,26 @@ func (s *Server) SubmitMigrated(spec JobSpec, idemKey, from string) (job *Job, r
 	}
 	job = s.jobs.add(spec, s.baseCtx)
 	job.idemKey = idemKey
+	admit.SetJob(job.ID)
+	job.trace = admit.Context()
 	if s.wal != nil {
 		job.onTerminal = s.journalFinish
 		sp := spec
 		if err := s.wal.append(walRecord{Type: "submit", Job: job.ID, Idem: idemKey, Spec: &sp}); err != nil {
+			admit.SetError(err)
 			job.finish(StateFailed, "", err)
 			return nil, false, err
 		}
 	}
 	if err := s.queue.pushBypass(job); err != nil {
 		s.metrics.rejectedDraining.Add(1)
+		admit.SetError(err)
 		job.finish(StateFailed, "", err)
 		return nil, false, err
 	}
+	qs := s.tracer().Start(job.trace, obs.KindQueueWait, "queue wait")
+	qs.SetJob(job.ID)
+	job.setQueueSpan(qs)
 	if idemKey != "" {
 		s.idemMu.Lock()
 		s.idem[idemKey] = job.ID
@@ -496,12 +582,17 @@ func (s *Server) runnerCounters() (launched, joined int64, pools int) {
 // jobs and deduplicated twins share them) and leave an advisory
 // checkpoint record in the journal; on resume the runner loads the
 // latest blob and continues from its bus cycle instead of cycle zero.
-func (s *Server) checkpointPolicy(job *Job) *exp.CheckpointPolicy {
+func (s *Server) checkpointPolicy(job *Job, parent obs.SpanContext) *exp.CheckpointPolicy {
 	return &exp.CheckpointPolicy{
 		Every: clock.Cycle(s.cfg.CheckpointCycles),
 		Save: func(key string, cp sim.Checkpoint) {
+			cs := s.tracer().Start(parent, obs.KindCheckpointSave, "checkpoint save")
+			cs.SetJob(job.ID)
+			cs.SetAttr("key", key)
 			if err := s.ckpts.Save(key, cp.Blob); err != nil {
-				s.cfg.Logf("checkpoint save %s: %v", key, err)
+				cs.SetError(err)
+				cs.End()
+				s.cfg.Log.Error("checkpoint save failed", "job_id", job.ID, "trace_id", job.trace.Trace, "key", key, "err", err)
 				return
 			}
 			_ = s.wal.append(walRecord{Type: "checkpoint", Job: job.ID, Key: key, Bus: int64(cp.Bus)})
@@ -509,8 +600,9 @@ func (s *Server) checkpointPolicy(job *Job) *exp.CheckpointPolicy {
 				// Cluster replication: the blob also lands on the
 				// coordinator so a survivor can resume this simulation
 				// if this node dies with it in flight.
-				s.cfg.CkptReplicate(key, cp.Blob)
+				s.cfg.CkptReplicate(key, cp.Blob, cs.Context())
 			}
+			cs.End()
 		},
 		Load: func(key string) []byte {
 			if b := s.ckpts.Load(key); b != nil {
@@ -525,7 +617,7 @@ func (s *Server) checkpointPolicy(job *Job) *exp.CheckpointPolicy {
 			if b != nil {
 				job.events.Append(fmt.Sprintf("checkpoint blob for %s fetched from cluster", key))
 				if err := s.ckpts.Save(key, b); err != nil {
-					s.cfg.Logf("checkpoint adopt %s: %v", key, err)
+					s.cfg.Log.Error("checkpoint adopt failed", "job_id", job.ID, "key", key, "err", err)
 				}
 			}
 			return b
@@ -535,23 +627,38 @@ func (s *Server) checkpointPolicy(job *Job) *exp.CheckpointPolicy {
 
 // runJob executes one popped job to its terminal state.
 func (s *Server) runJob(job *Job) {
+	qs := job.takeQueueSpan()
 	if err := job.ctx.Err(); err != nil {
 		// Canceled (or deadline-expired) while queued.
+		qs.SetError(err)
+		qs.End()
 		job.finish(StateCanceled, "", err)
 		s.metrics.jobDone("canceled", time.Since(job.created).Seconds())
 		return
 	}
 	if !job.start() {
+		qs.End()
 		return // lost a race with Cancel; finish already recorded
 	}
+	qs.End()
 	s.metrics.inflight.Add(1)
 	defer s.metrics.inflight.Add(-1)
 	start := time.Now()
 
+	// The schedule span covers the dispatch decision: cache probes and
+	// runner selection, between worker pickup and execution.
+	sched := s.tracer().Start(job.trace, obs.KindSchedule, "schedule")
+	sched.SetJob(job.ID)
+
 	// Content-addressed fast path: an identical completed spec is
 	// served from the cache without touching a runner.
+	cl := s.tracer().Start(sched.Context(), obs.KindCacheLookup, "cache lookup")
+	cl.SetJob(job.ID)
 	if e, ok := s.cache.Get(job.Hash); ok {
 		s.metrics.cacheHits.Add(1)
+		cl.SetAttr("hit", "local")
+		cl.End()
+		sched.End()
 		job.mu.Lock()
 		job.cacheHit = true
 		job.mu.Unlock()
@@ -567,6 +674,9 @@ func (s *Server) runJob(job *Job) {
 	// — e.g. after a ring rebalance moved this hash onto us.
 	if s.cfg.CacheFetch != nil {
 		if out, ok := s.cfg.CacheFetch(job.Hash); ok {
+			cl.SetAttr("hit", "cluster")
+			cl.End()
+			sched.End()
 			s.cache.Put(cacheEntry{Hash: job.Hash, Kind: job.Spec.normalized().Kind, Output: out})
 			s.metrics.remoteCacheHits.Add(1)
 			job.mu.Lock()
@@ -578,35 +688,57 @@ func (s *Server) runJob(job *Job) {
 			return
 		}
 	}
+	cl.SetAttr("hit", "miss")
+	cl.End()
 
 	var out string
 	var err error
+	var run *obs.ActiveSpan
 	if job.Spec.normalized().Kind == "search" {
 		// Search jobs drive the autotuner engine, which fans out into
 		// per-point "eval" executions against the server's own caches and
 		// (via Config.EvalRemote) the cluster — see search.go.
 		if s.wal != nil {
+			ws := s.tracer().Start(sched.Context(), obs.KindWALAppend, "wal start")
+			ws.SetJob(job.ID)
 			_ = s.wal.append(walRecord{Type: "start", Job: job.ID})
+			ws.End()
 		}
-		out, err = s.runSearch(job)
+		sched.End()
+		run = s.tracer().Start(job.trace, obs.KindRun, "run search")
+		run.SetJob(job.ID)
+		// The run span's context rides job.ctx so the eval fan-out hop
+		// spans (cluster layer) parent under this run.
+		out, err = s.runSearch(obs.ContextWith(job.ctx, run.Context()), job)
 	} else {
 		var runner *exp.Runner
 		runner, err = s.runnerFor(job.Spec)
 		if err != nil {
+			sched.SetError(err)
+			sched.End()
 			job.finish(StateFailed, "", err)
 			class, _ := classify(err)
 			s.metrics.jobDone(class, time.Since(start).Seconds())
 			return
 		}
 		if s.wal != nil {
+			ws := s.tracer().Start(sched.Context(), obs.KindWALAppend, "wal start")
+			ws.SetJob(job.ID)
 			_ = s.wal.append(walRecord{Type: "start", Job: job.ID})
+			ws.End()
 		}
-		view := runner.WithContext(job.ctx).WithLog(job.events.Append).WithTelemetry(job.tel)
+		sched.End()
+		run = s.tracer().Start(job.trace, obs.KindRun, "run")
+		run.SetJob(job.ID)
+		ctx := obs.ContextWith(job.ctx, run.Context())
+		view := runner.WithContext(ctx).WithLog(job.events.Append).WithTelemetry(job.tel)
 		if s.ckpts != nil {
-			view = view.WithCheckpoint(s.checkpointPolicy(job))
+			view = view.WithCheckpoint(s.checkpointPolicy(job, run.Context()))
 		}
-		out, err = execute(job.ctx, view, job.Spec)
+		out, err = execute(ctx, view, job.Spec)
 	}
+	run.SetError(err)
+	run.End()
 
 	switch {
 	case err == nil:
@@ -662,8 +794,8 @@ func (s *Server) Drain(ctx context.Context) error {
 	if !s.draining.CompareAndSwap(false, true) {
 		return nil
 	}
-	s.cfg.Logf("draining: admission closed, %d queued, %d in flight",
-		s.queue.Len(), s.metrics.inflight.Load())
+	s.cfg.Log.Info("draining: admission closed",
+		"queued", s.queue.Len(), "inflight", s.metrics.inflight.Load())
 	s.queue.Close()
 
 	done := make(chan struct{})
@@ -686,20 +818,20 @@ func (s *Server) Drain(ctx context.Context) error {
 				interrupted++
 			}
 		}
-		s.cfg.Logf("drain deadline hit; canceling %d remaining job%s (journaled as interrupted)",
-			interrupted, plural(interrupted, "", "s"))
+		s.cfg.Log.Warn("drain deadline hit; canceling remaining jobs (journaled as interrupted)",
+			"interrupted", interrupted)
 		s.baseStop() // cancels every job context
 		<-done
 		drainErr = ctx.Err()
 	}
 	s.baseStop()
 	if err := s.cache.Save(s.cfg.CachePath); err != nil {
-		s.cfg.Logf("cache flush failed: %v", err)
+		s.cfg.Log.Error("cache flush failed", "err", err)
 		if drainErr == nil {
 			drainErr = err
 		}
 	} else if s.cfg.CachePath != "" {
-		s.cfg.Logf("result cache: %d entries flushed to %s", s.cache.Len(), s.cfg.CachePath)
+		s.cfg.Log.Info("result cache flushed", "entries", s.cache.Len(), "path", s.cfg.CachePath)
 	}
 	if s.wal != nil {
 		// Rewrite the journal down to what still matters so it does not
@@ -711,7 +843,7 @@ func (s *Server) Drain(ctx context.Context) error {
 			crecs = s.cfg.ClusterSnapshot()
 		}
 		if err := compactWAL(path, s.Jobs(), crecs); err != nil {
-			s.cfg.Logf("wal compaction failed: %v", err)
+			s.cfg.Log.Error("wal compaction failed", "err", err)
 			if drainErr == nil {
 				drainErr = err
 			}

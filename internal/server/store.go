@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"eruca/internal/obs"
 	"eruca/internal/telemetry"
 )
 
@@ -43,6 +44,11 @@ type Job struct {
 	tel    *telemetry.Set
 	done   chan struct{}
 
+	// trace is the job's position in its distributed trace (the admit
+	// span's context; zero when tracing is disabled). Set once at admit,
+	// before the job is visible to workers.
+	trace obs.SpanContext
+
 	// idemKey is the client's Idempotency-Key (empty when none); a
 	// resubmission with the same key returns this job instead of a new
 	// one, across restarts when the WAL is enabled.
@@ -51,13 +57,14 @@ type Job struct {
 	// journals it). Called outside mu, after done closes.
 	onTerminal func(*Job)
 
-	mu       sync.Mutex
-	state    State
-	output   string
-	errMsg   string
-	errClass string
-	exitCode int
-	cacheHit bool
+	mu        sync.Mutex
+	queueSpan *obs.ActiveSpan // open queue_wait span, handed off to the worker
+	state     State
+	output    string
+	errMsg    string
+	errClass  string
+	exitCode  int
+	cacheHit  bool
 	// interrupted marks a job killed by a forced shutdown (drain
 	// deadline); its terminal record is withheld from the journal so a
 	// restarted daemon re-runs it.
@@ -81,6 +88,31 @@ func (j *Job) markInterrupted() bool {
 
 // Done closes when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// TraceContext reports the job's trace position (invalid when tracing
+// is disabled) — the parent for lifecycle spans and the key clients use
+// against GET /v1/jobs/{id}/trace.
+func (j *Job) TraceContext() obs.SpanContext { return j.trace }
+
+// setQueueSpan parks the open queue_wait span for the worker to close.
+func (j *Job) setQueueSpan(sp *obs.ActiveSpan) {
+	if sp == nil {
+		return
+	}
+	j.mu.Lock()
+	j.queueSpan = sp
+	j.mu.Unlock()
+}
+
+// takeQueueSpan claims the parked queue_wait span (nil when tracing is
+// off or it was already taken).
+func (j *Job) takeQueueSpan() *obs.ActiveSpan {
+	j.mu.Lock()
+	sp := j.queueSpan
+	j.queueSpan = nil
+	j.mu.Unlock()
+	return sp
+}
 
 // IdemKey reports the client idempotency key the job was submitted
 // under ("" when none) — the cluster heartbeat carries it so a migrated

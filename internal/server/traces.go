@@ -1,0 +1,75 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"eruca/internal/obs"
+)
+
+// Trace endpoints: the node's bounded span ring as JSON or Perfetto
+// trace-event JSON.
+//
+//	GET /v1/traces                     every retained span (?trace= filters one trace)
+//	GET /v1/jobs/{id}/trace            the spans of one job's trace
+//
+// Both accept ?perfetto=1 for a Chrome trace-event document; the
+// job-scoped export merges the job's simulator telemetry events into
+// the same document, so service spans and DRAM command timelines open
+// side by side in ui.perfetto.dev.
+
+// traceView is the JSON rendering of a span query.
+type traceView struct {
+	Node  string     `json:"node,omitempty"`
+	Total uint64     `json:"spans_total"`
+	Spans []obs.Span `json:"spans"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	t := s.tracer()
+	if t == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("tracing disabled (run with -spans > 0)"))
+		return
+	}
+	spans := t.Spans()
+	if id := r.URL.Query().Get("trace"); id != "" {
+		spans = t.Trace(id)
+	}
+	if r.URL.Query().Get("perfetto") != "" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = obs.WriteTrace(w, spans)
+		return
+	}
+	writeJSON(w, http.StatusOK, traceView{Node: t.Node(), Total: t.Total(), Spans: spans})
+}
+
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	t := s.tracer()
+	if t == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("tracing disabled (run with -spans > 0)"))
+		return
+	}
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	tc := j.TraceContext()
+	if !tc.Valid() {
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %s has no trace (submitted before tracing was enabled)", j.ID))
+		return
+	}
+	spans := t.Trace(tc.Trace)
+	if r.URL.Query().Get("perfetto") != "" {
+		recent := 1024
+		if v, err := strconv.Atoi(r.URL.Query().Get("recent")); err == nil && v >= 0 {
+			recent = min(v, 4096)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		// Merge the job's simulator event rings onto the span timeline.
+		_ = obs.WriteMergedTrace(w, spans, j.Telemetry().Recent(-1, -1, recent), j.Telemetry().Runs())
+		return
+	}
+	writeJSON(w, http.StatusOK, traceView{Node: t.Node(), Total: t.Total(), Spans: spans})
+}

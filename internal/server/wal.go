@@ -50,6 +50,7 @@ type ClusterRecord struct {
 	Hash  string   `json:"hash,omitempty"`
 	Idem  string   `json:"idem,omitempty"`
 	Spec  *JobSpec `json:"spec,omitempty"`
+	Trace string   `json:"trace,omitempty"` // place: the job's traceparent
 }
 
 // walRecord is one journal line.

@@ -33,21 +33,51 @@ func spanID(e Event) uint64 {
 	return tid(e)<<16 | uint64(e.Sub)<<8 | uint64(e.Slot)
 }
 
+// Emitter accumulates trace-event records into one Chrome trace-event
+// JSON document, handling the comma separation so multiple producers
+// (sim events here, service spans in internal/obs) can interleave into
+// a single "traceEvents" array and land on one Perfetto timeline.
+type Emitter struct {
+	bw    *bufio.Writer
+	first bool
+}
+
+// NewEmitter opens the traceEvents document on w.
+func NewEmitter(w io.Writer) *Emitter {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"traceEvents\":[\n")
+	return &Emitter{bw: bw, first: true}
+}
+
+// Emit appends one record (a complete JSON object rendered by format).
+func (em *Emitter) Emit(format string, args ...interface{}) {
+	if !em.first {
+		em.bw.WriteString(",\n")
+	}
+	em.first = false
+	fmt.Fprintf(em.bw, format, args...)
+}
+
+// Close terminates the document and flushes.
+func (em *Emitter) Close() error {
+	fmt.Fprintf(em.bw, "\n],\"displayTimeUnit\":\"ns\"}\n")
+	return em.bw.Flush()
+}
+
 // WriteTrace renders events as Chrome trace-event JSON ("traceEvents"
 // array form) loadable by Perfetto and chrome://tracing. runs supplies
 // the process names (index = Event.Run); a missing name falls back to
 // "run N".
 func WriteTrace(w io.Writer, events []Event, runs []string) error {
-	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "{\"traceEvents\":[\n")
-	first := true
-	emit := func(format string, args ...interface{}) {
-		if !first {
-			bw.WriteString(",\n")
-		}
-		first = false
-		fmt.Fprintf(bw, format, args...)
-	}
+	em := NewEmitter(w)
+	EmitEvents(em, events, runs)
+	return em.Close()
+}
+
+// EmitEvents renders events into an already-open emitter — the shared
+// path between WriteTrace and merged span+event exports.
+func EmitEvents(em *Emitter, events []Event, runs []string) {
+	emit := em.Emit
 
 	runName := func(run uint16) string {
 		if int(run) < len(runs) {
@@ -161,9 +191,6 @@ func WriteTrace(w io.Writer, events []Event, runs []string) error {
 			delete(open, k)
 		}
 	}
-
-	fmt.Fprintf(bw, "\n],\"displayTimeUnit\":\"ns\"}\n")
-	return bw.Flush()
 }
 
 // sortIDs orders span ids ascending (insertion sort; PREA closes at
