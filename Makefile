@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race zero-alloc chaos chaos-restart chaos-cluster fuzz-smoke search-smoke verify bench bench-baseline bench-compare clean
+.PHONY: build vet test race zero-alloc chaos chaos-restart chaos-cluster chaos-mesh fuzz-smoke search-smoke verify bench bench-baseline bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -22,8 +22,10 @@ race:
 	$(GO) test -race -count=1 -run 'Concurrency' ./internal/stats/
 	$(GO) test -race -count=1 ./internal/telemetry/
 	$(GO) test -race -count=1 ./internal/obs/
+	$(GO) test -race -count=1 ./internal/chaosnet/
+	$(GO) test -race -count=1 ./internal/errfs/
 	$(GO) test -race -count=1 ./internal/server/
-	$(GO) test -race -count=1 -run 'Trace|Keepalive' ./internal/cluster/
+	$(GO) test -race -count=1 -run 'Trace|Keepalive|Partition|Slowloris' ./internal/cluster/
 
 # Hard zero-cost gate for disabled tracing: every nil-tracer call path
 # must stay at exactly 0 allocs/op (the bench-guard CI step runs this).
@@ -55,13 +57,28 @@ chaos-cluster:
 		$(GO) test -count=1 -v -timeout 15m \
 		-run 'ChaosCluster' ./cmd/erucad/
 
+# Chaos-mesh harness: both service-tier fault families composed against
+# real erucad binaries — a DSL-driven timed network partition (-chaos)
+# on one worker plus a SIGKILL of another, with live blob scrubbing
+# (-scrub) — and the sweep must still finish byte-identical to an
+# uninterrupted daemon, with the eviction/migration/fencing visible in
+# the metrics. Set ERUCA_CHAOS_MESH_DIR to keep per-node WALs and logs.
+chaos-mesh:
+	ERUCA_CHAOS_MESH=1 ERUCA_CHAOS_MESH_DIR=$(ERUCA_CHAOS_MESH_DIR) \
+		$(GO) test -count=1 -v -timeout 15m \
+		-run 'ChaosMesh' ./cmd/erucad/
+
 # Short fuzz of the hostile-input decoders: the fault-plan parser
 # (corpus under internal/faults/testdata/fuzz/ keeps regressions pinned)
 # and the snapshot container decoder (must reject corruption with typed
-# errors, never panic or over-allocate).
+# errors, never panic or over-allocate), plus the service tier's
+# attacker-facing parsers: the -chaos DSL and the W3C traceparent
+# header.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzFaultPlan' -fuzztime 10s ./internal/faults/
 	$(GO) test -run '^$$' -fuzz 'FuzzDecode' -fuzztime 10s ./internal/snapshot/
+	$(GO) test -run '^$$' -fuzz 'FuzzChaosPlan' -fuzztime 10s ./internal/chaosnet/
+	$(GO) test -run '^$$' -fuzz 'FuzzTraceparentParse' -fuzztime 10s ./internal/obs/
 
 # Determinism smoke of the autotuner: the same tiny 2-dim search
 # (successive halving over planes x ddb) run twice — once parallel,

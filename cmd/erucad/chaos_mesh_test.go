@@ -1,0 +1,217 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestChaosMeshPartitionAndKill composes the two service-tier fault
+// families against real erucad processes: a DSL-driven timed network
+// partition (worker w2 loses its outbound network mid-sweep via
+// -chaos, gets evicted, heals, is fenced with a 410 and rejoins) AND a
+// SIGKILL of worker w1 (the pre-existing crash chaos). Every job of
+// the sweep must still finish through the coordinator with results
+// byte-identical to an uninterrupted single-node daemon, and the
+// partition must leave its fingerprints in the metrics: an eviction, a
+// migration, and at least one fenced stale-epoch request. Blob
+// scrubbing runs live on every member (-scrub) while all this happens.
+//
+// Multi-process and multi-second, so it only runs when asked:
+//
+//	ERUCA_CHAOS_MESH=1 go test ./cmd/erucad/ -run ChaosMesh
+//
+// (`make chaos-mesh` and the CI chaos-mesh job set this; CI points
+// ERUCA_CHAOS_MESH_DIR at a workspace path so per-node WALs and logs
+// survive as artifacts when the run fails.)
+func TestChaosMeshPartitionAndKill(t *testing.T) {
+	if os.Getenv("ERUCA_CHAOS_MESH") == "" {
+		t.Skip("set ERUCA_CHAOS_MESH=1 to run the chaos-mesh harness")
+	}
+
+	tmp := os.Getenv("ERUCA_CHAOS_MESH_DIR")
+	if tmp == "" {
+		tmp = t.TempDir()
+	} else if err := os.MkdirAll(tmp, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(tmp, "erucad")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build erucad: %v\n%s", err, out)
+	}
+
+	type member struct {
+		id   string
+		addr string
+		peer string
+		wal  string
+		cmd  *exec.Cmd
+	}
+	var coordPeer string
+	startMember := func(id string, extra ...string) *member {
+		m := &member{id: id, addr: freeAddr(t), peer: freeAddr(t), wal: filepath.Join(tmp, "wal-"+id)}
+		args := []string{
+			"-node", id, "-addr", m.addr, "-listen-peer", m.peer,
+			"-wal", m.wal, "-workers", "2", "-checkpoint-cycles", "100000",
+			"-lease", "1s", "-drain-timeout", "5s", "-scrub", "1s",
+		}
+		if id != "c" {
+			args = append(args, "-join", "http://"+coordPeer)
+		}
+		args = append(args, extra...)
+		logf, err := os.Create(filepath.Join(tmp, "node-"+id+".log"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.cmd = exec.Command(bin, args...)
+		m.cmd.Stdout, m.cmd.Stderr = logf, logf
+		if err := m.cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		waitHealthy(t, "http://"+m.addr)
+		return m
+	}
+
+	coord := startMember("c")
+	coordPeer = coord.peer
+	w1 := startMember("w1")
+	// w2's own -chaos plan severs its OUTBOUND network from the rest of
+	// the cluster 3s after boot, for 5s: heartbeats and placement
+	// reports fail, the lease lapses, and after the window closes the
+	// zombie's stale-epoch heartbeat is fenced with a 410. Partitions
+	// are enforced sender-side, so the coordinator can still reach w2 —
+	// a true asymmetric partition. The seed makes the schedule replay.
+	w2 := startMember("w2", "-chaos", "seed=7;partition@3s+5s:w2|c,w1")
+	members := []*member{coord, w1, w2}
+	defer func() {
+		for _, m := range members {
+			if m.cmd.ProcessState == nil {
+				_ = m.cmd.Process.Signal(syscall.SIGKILL)
+				_ = m.cmd.Wait()
+			}
+		}
+	}()
+	defer func() {
+		if !t.Failed() {
+			return
+		}
+		for _, m := range members {
+			resp, err := http.Get("http://" + m.addr + "/v1/traces")
+			if err != nil {
+				continue
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err := os.WriteFile(filepath.Join(tmp, "traces-"+m.id+".json"), body, 0o644); err != nil {
+				t.Logf("trace dump %s: %v", m.id, err)
+			}
+		}
+	}()
+	base := "http://" + coord.addr
+	waitMembers(t, base, 3)
+
+	// The sweep: six mid-sized jobs spread over the ring, big enough to
+	// still be running when the partition window opens.
+	var specs []map[string]any
+	for _, mix := range []string{"mix0", "mix1", "mix2"} {
+		for _, system := range []string{"ddr4", "vsb-ewlr-rap-ddb"} {
+			specs = append(specs, map[string]any{
+				"kind": "sim", "system": system, "mix": mix,
+				"instrs": 1_500_000, "frag": 0.1,
+			})
+		}
+	}
+	key := func(i int) string { return fmt.Sprintf("chaos-mesh-%d", i) }
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		id, code := postJob(t, base, spec, key(i))
+		if code != http.StatusAccepted && code != http.StatusOK {
+			t.Fatalf("submit %d: status %d", i, code)
+		}
+		ids[i] = id
+	}
+	t.Logf("placements: %v", ids)
+
+	// Crash chaos on top: SIGKILL w1 once it has checkpointed something
+	// (if it owns no job the kill is still a valid membership fault).
+	if owns := func() bool {
+		for _, id := range ids {
+			if strings.HasPrefix(id, "w1-") {
+				return true
+			}
+		}
+		return false
+	}(); owns {
+		deadline := time.Now().Add(120 * time.Second)
+		for countCkpts(filepath.Join(w1.wal, "checkpoints")) == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("w1 wrote no checkpoint blob before the kill window")
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	if err := w1.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_ = w1.cmd.Wait()
+
+	// Both fault families must leave their tracks: the killed member
+	// and the partitioned member each evicted, their jobs migrated, and
+	// the healed zombie's stale-epoch write fenced with a 410 before it
+	// rejoined.
+	deadline := time.Now().Add(120 * time.Second)
+	for clusterMetric(t, base, "eruca_cluster_nodes_evicted") < 2 ||
+		clusterMetric(t, base, "eruca_cluster_fenced_requests_total") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("chaos left no tracks: evicted=%d migrated=%d fenced=%d",
+				clusterMetric(t, base, "eruca_cluster_nodes_evicted"),
+				clusterMetric(t, base, "eruca_cluster_jobs_migrated"),
+				clusterMetric(t, base, "eruca_cluster_fenced_requests_total"))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if m := clusterMetric(t, base, "eruca_cluster_jobs_migrated"); m < 1 {
+		t.Errorf("eruca_cluster_jobs_migrated = %d, want >= 1", m)
+	}
+
+	// Every original job ID finishes through the coordinator despite
+	// one member dead and one partitioned-then-rejoined.
+	results := make(map[string]string, len(ids))
+	for _, id := range ids {
+		results[id] = pollDone(t, base, id, 300*time.Second)
+	}
+
+	// Byte-identical to an uninterrupted single-node daemon.
+	refAddr := freeAddr(t)
+	refLog, err := os.Create(filepath.Join(tmp, "ref.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := exec.Command(bin, "-addr", refAddr, "-wal", filepath.Join(tmp, "wal-ref"), "-workers", "2")
+	ref.Stdout, ref.Stderr = refLog, refLog
+	if err := ref.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = ref.Process.Signal(syscall.SIGKILL)
+		_ = ref.Wait()
+	}()
+	refBase := "http://" + refAddr
+	waitHealthy(t, refBase)
+	for i, spec := range specs {
+		rid, code := postJob(t, refBase, spec, key(i))
+		if code != http.StatusAccepted {
+			t.Fatalf("reference submit %d: status %d", i, code)
+		}
+		if got := pollDone(t, refBase, rid, 300*time.Second); got != results[ids[i]] {
+			t.Errorf("spec %d: chaos-mesh result differs from uninterrupted single-node reference", i)
+		}
+	}
+}

@@ -30,6 +30,7 @@
 //	erucad -addr :8080 -wal /var/lib/eruca/wal -drain-timeout 30s
 //	erucad -node n1 -addr :8080 -listen-peer :9080 -wal /var/lib/eruca/n1
 //	erucad -node n2 -addr :8081 -listen-peer :9081 -join http://127.0.0.1:9080 -wal /var/lib/eruca/n2
+//	erucad -node n2 -addr :8081 -listen-peer :9081 -join http://127.0.0.1:9080 -wal /var/lib/eruca/n2 -chaos 'seed=7;partition@5s+3s:n2|n1' -scrub 30s
 //	curl -XPOST localhost:8080/v1/jobs -d '{"kind":"sim","system":"ddr4","mix":"mix0","frag":0.1}'
 //	curl localhost:8080/v1/jobs/job-000001
 //	curl -N localhost:8080/v1/jobs/job-000001/events
@@ -78,14 +79,21 @@ func main() {
 
 		spans = flag.Int("spans", obs.DefaultRing, "trace span-ring capacity; 0 disables request tracing entirely")
 
-		logFlags cli.Log
+		logFlags   cli.Log
+		chaosFlags cli.Chaos
 	)
 	logFlags.Register()
+	chaosFlags.Register()
 	flag.Parse()
 
 	logger, err := logFlags.Build(os.Stderr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "erucad: %v\n", err)
+		os.Exit(cli.ExitUsage)
+	}
+	mesh, err := chaosFlags.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "erucad: -chaos: %v\n", err)
 		os.Exit(cli.ExitUsage)
 	}
 	fatal := func(msg string, args ...any) {
@@ -101,9 +109,10 @@ func main() {
 		Workers: *workers, SimParallel: *parallel,
 		QueueMax: *queueMax, CacheMax: *cacheMax, CachePath: *cache,
 		WALDir: *walDir, CheckpointCycles: *ckptEach,
-		Pprof:  *pprofOn,
-		Log:    logger,
-		Tracer: tracer,
+		ScrubEvery: chaosFlags.ScrubEvery,
+		Pprof:      *pprofOn,
+		Log:        logger,
+		Tracer:     tracer,
 	}
 
 	var (
@@ -121,6 +130,7 @@ func main() {
 			PeerAddr:   advertised(*peerAddr),
 			JoinURL:    *joinURL,
 			LeaseTTL:   *leaseTTL,
+			Chaos:      mesh,
 			Log:        logger,
 		}, scfg)
 		if err != nil {
@@ -134,22 +144,37 @@ func main() {
 		handler = srv.Handler()
 	}
 	srv.Start()
+	if mesh != nil {
+		// Anchor partition windows at process start, not first request.
+		mesh.Arm()
+		logger.Warn("chaos mesh armed", "plan", mesh.String())
+	}
 
+	// Listeners pass through the chaos mesh so inbound faults (stalled
+	// peers) are injectable too; a nil mesh returns them unchanged.
 	errc := make(chan error, 2)
 	var ps *http.Server
 	if node != nil {
-		ps = &http.Server{Addr: *peerAddr, Handler: node.PeerHandler()}
+		pln, lerr := net.Listen("tcp", *peerAddr)
+		if lerr != nil {
+			fatal("peer listen failed", "addr", *peerAddr, "err", lerr)
+		}
+		ps = &http.Server{Handler: node.PeerHandler()}
 		go func() {
 			logger.Info("peer protocol listening", "addr", *peerAddr, "node", *nodeID)
-			errc <- ps.ListenAndServe()
+			errc <- ps.Serve(mesh.Listener(*nodeID, pln))
 		}()
 		node.Start()
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: handler}
+	hln, lerr := net.Listen("tcp", *addr)
+	if lerr != nil {
+		fatal("listen failed", "addr", *addr, "err", lerr)
+	}
+	hs := &http.Server{Handler: handler}
 	go func() {
 		logger.Info("listening", "addr", *addr, "tracing", tracer != nil)
-		errc <- hs.ListenAndServe()
+		errc <- hs.Serve(mesh.Listener(*nodeID, hln))
 	}()
 
 	sigc := make(chan os.Signal, 1)

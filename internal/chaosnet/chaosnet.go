@@ -1,0 +1,471 @@
+// Package chaosnet is the deterministic fault-injection mesh for the
+// service tier — the infrastructure twin of internal/faults (which
+// perturbs the simulator). A Plan is parsed from a -chaos flag spec in
+// the same semicolon-separated grammar -faults uses; a Mesh built from
+// it wraps the cluster's HTTP transports and listeners and injects the
+// failure modes that dominate real distributed systems: network
+// partitions (timed windows or programmatic Sever/Heal), dropped
+// requests, added latency, throttled response bodies, and stalled
+// (slowloris) peers that accept connections but never answer.
+//
+// Determinism is the point: all randomness comes from internal/rng
+// seeded by Plan.Seed, so the same seed and the same request sequence
+// produce the same fault schedule — a failing chaos run replays. A nil
+// Mesh is free by construction: Transport and Listener return their
+// argument unchanged (pointer-identical), so `-chaos ""` leaves the
+// peer hot path untouched.
+//
+// Partitions are enforced on the sender side by node name: each
+// transport knows which node it belongs to, and destination addresses
+// are mapped back to node names through Bind (the cluster layer binds
+// every member it learns about). An address the mesh has never seen
+// resolves to no node and is never severed — unknown traffic is left
+// alone. Because each process enforces only its own plan, asymmetric
+// (one-sided) partitions are expressible by giving the spec to a subset
+// of the nodes.
+package chaosnet
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"eruca/internal/rng"
+)
+
+// Partition is one timed split: from At (relative to Arm) for duration
+// For (0 = until the end of the run), every request between a node in
+// group A and a node in group B fails like a dead network path.
+type Partition struct {
+	At  time.Duration
+	For time.Duration
+	A   []string
+	B   []string
+}
+
+// Plan is the parsed chaos schedule. The zero value injects nothing
+// (but still pays the wrapper); a nil *Plan builds a nil Mesh, which is
+// proven zero-overhead.
+type Plan struct {
+	// Seed reproduces the drop/delay/stall decision stream.
+	Seed int64
+	// Drop is the probability a request fails with a connection error
+	// before reaching the wire.
+	Drop float64
+	// Delay (± DelayJitter, uniform) is added to every request before
+	// it is sent.
+	Delay       time.Duration
+	DelayJitter time.Duration
+	// SlowBodyBps throttles response bodies to this many BYTES per
+	// second (parsed from a bits-per-second spec like "1kbps").
+	SlowBodyBps int64
+	// Stall is the probability an accepted inbound connection swallows
+	// everything the server writes — the slowloris peer: the request is
+	// processed, the response never arrives.
+	Stall float64
+	// Partitions are the timed splits.
+	Partitions []Partition
+}
+
+// Error is the injected transport failure for dropped or partitioned
+// requests. It implements net.Error so retry layers and circuit
+// breakers treat it exactly like a real transport fault.
+type Error struct {
+	Kind string // "partition" or "drop"
+	From string
+	To   string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("chaosnet: injected %s (%s -> %s)", e.Kind, e.From, e.To)
+}
+
+// Timeout implements net.Error.
+func (e *Error) Timeout() bool { return false }
+
+// Temporary implements net.Error (deprecated upstream, still consulted
+// by some retry loops).
+func (e *Error) Temporary() bool { return true }
+
+// Mesh executes a Plan: it hands out wrapped transports and listeners
+// and decides, deterministically, which requests suffer. One Mesh is
+// shared by every node of an in-process cluster (the per-node identity
+// travels with the wrapper, not the mesh); each erucad process builds
+// its own from its -chaos flag.
+type Mesh struct {
+	plan Plan
+
+	mu      sync.Mutex
+	rnd     *rand.Rand
+	src     *rng.Source
+	now     func() time.Time
+	sleep   func(time.Duration)
+	started bool
+	start   time.Time
+	binds   map[string]string // host:port -> node name
+	severs  map[string]bool   // unordered pair key -> manually severed
+	stalled map[string]bool   // node -> listener stalls every connection
+}
+
+// New builds a Mesh for the plan; nil plan -> nil mesh (free).
+func New(p *Plan) *Mesh {
+	if p == nil {
+		return nil
+	}
+	r, src := rng.New(p.Seed)
+	return &Mesh{
+		plan:    *p,
+		rnd:     r,
+		src:     src,
+		now:     time.Now,
+		sleep:   time.Sleep,
+		binds:   make(map[string]string),
+		severs:  make(map[string]bool),
+		stalled: make(map[string]bool),
+	}
+}
+
+// SetClock installs test hooks for time and sleeping, so delay and
+// partition-window logic is testable without wall-clock waits.
+func (m *Mesh) SetClock(now func() time.Time, sleep func(time.Duration)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now != nil {
+		m.now = now
+	}
+	if sleep != nil {
+		m.sleep = sleep
+	}
+}
+
+// Arm starts the partition clock. Called automatically on the first
+// injected decision; call it explicitly to anchor partition windows at
+// process start.
+func (m *Mesh) Arm() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.armLocked()
+}
+
+func (m *Mesh) armLocked() {
+	if !m.started {
+		m.started = true
+		m.start = m.now()
+	}
+}
+
+// Bind maps addresses onto a node name so the sender-side partition
+// check can recognize the destination. Nil-safe; empty addresses are
+// ignored. The cluster layer binds every member it learns about.
+func (m *Mesh) Bind(node string, addrs ...string) {
+	if m == nil || node == "" {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, a := range addrs {
+		if a != "" {
+			m.binds[a] = node
+		}
+	}
+}
+
+// pairKey is order-independent so Sever(a,b) blocks both directions.
+func pairKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "\x00" + b
+}
+
+// Sever manually partitions two nodes (both directions) until Heal.
+func (m *Mesh) Sever(a, b string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.severs[pairKey(a, b)] = true
+}
+
+// Heal lifts a manual Sever.
+func (m *Mesh) Heal(a, b string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.severs, pairKey(a, b))
+}
+
+// StallNode makes (or stops making) node's wrapped listener swallow
+// every response — the programmatic slowloris switch tests use.
+func (m *Mesh) StallNode(node string, stalled bool) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stalled[node] = stalled
+}
+
+// severed reports whether traffic from -> to is currently blocked,
+// either by a manual Sever or by an active timed partition.
+func (m *Mesh) severed(from, to string) bool {
+	if from == "" || to == "" || from == to {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.severs[pairKey(from, to)] {
+		return true
+	}
+	if len(m.plan.Partitions) == 0 {
+		return false
+	}
+	m.armLocked()
+	elapsed := m.now().Sub(m.start)
+	for _, p := range m.plan.Partitions {
+		if elapsed < p.At || (p.For > 0 && elapsed >= p.At+p.For) {
+			continue
+		}
+		if crossesGroups(from, to, p.A, p.B) {
+			return true
+		}
+	}
+	return false
+}
+
+func inGroup(node string, g []string) bool {
+	for _, n := range g {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+func crossesGroups(from, to string, a, b []string) bool {
+	return (inGroup(from, a) && inGroup(to, b)) || (inGroup(from, b) && inGroup(to, a))
+}
+
+// peerOf resolves a destination host:port to its bound node name
+// ("" = unknown, never severed).
+func (m *Mesh) peerOf(hostport string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.binds[hostport]
+}
+
+// decide draws this request's fate from the seeded stream. The draw
+// count per call is fixed by the plan (one per enabled perturbation),
+// so the schedule is a pure function of (seed, request sequence).
+func (m *Mesh) decide() (drop bool, delay time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.armLocked()
+	if m.plan.Drop > 0 {
+		drop = m.rnd.Float64() < m.plan.Drop
+	}
+	if m.plan.Delay > 0 || m.plan.DelayJitter > 0 {
+		delay = m.plan.Delay
+		if m.plan.DelayJitter > 0 {
+			delay += time.Duration((m.rnd.Float64()*2 - 1) * float64(m.plan.DelayJitter))
+		}
+		if delay < 0 {
+			delay = 0
+		}
+	}
+	return drop, delay
+}
+
+// drawStall decides an inbound connection's fate on node.
+func (m *Mesh) drawStall(node string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stalled[node] {
+		return true
+	}
+	if m.plan.Stall <= 0 {
+		return false
+	}
+	m.armLocked()
+	return m.rnd.Float64() < m.plan.Stall
+}
+
+// Decisions reports how many seeded draws the mesh has made — the
+// replay cursor (same seed + same count = same stream position).
+func (m *Mesh) Decisions() uint64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, draws := m.src.State()
+	return draws
+}
+
+// Transport wraps base in the mesh's fault injection for requests sent
+// by node. A nil mesh returns base unchanged — the zero-overhead
+// contract `-chaos ""` relies on.
+func (m *Mesh) Transport(node string, base http.RoundTripper) http.RoundTripper {
+	if m == nil {
+		return base
+	}
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{mesh: m, node: node, base: base}
+}
+
+type transport struct {
+	mesh *Mesh
+	node string
+	base http.RoundTripper
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	m := t.mesh
+	to := m.peerOf(req.URL.Host)
+	if m.severed(t.node, to) {
+		return nil, &Error{Kind: "partition", From: t.node, To: to}
+	}
+	drop, delay := m.decide()
+	if delay > 0 {
+		m.sleepFn()(delay)
+	}
+	if drop {
+		return nil, &Error{Kind: "drop", From: t.node, To: to}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err == nil && m.plan.SlowBodyBps > 0 && resp.Body != nil {
+		resp.Body = &throttledBody{rc: resp.Body, bps: m.plan.SlowBodyBps, sleep: m.sleepFn()}
+	}
+	return resp, err
+}
+
+// CloseIdleConnections forwards to the wrapped transport, so
+// http.Client.CloseIdleConnections still drains the pool when the mesh
+// sits in front of it (without this, pooled pre-fault connections
+// dodge listener-side injection like stalls forever).
+func (t *transport) CloseIdleConnections() {
+	if ci, ok := t.base.(interface{ CloseIdleConnections() }); ok {
+		ci.CloseIdleConnections()
+	}
+}
+
+func (m *Mesh) sleepFn() func(time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sleep
+}
+
+// throttledBody paces reads to bps bytes per second.
+type throttledBody struct {
+	rc    io.ReadCloser
+	bps   int64
+	sleep func(time.Duration)
+}
+
+func (t *throttledBody) Read(p []byte) (int, error) {
+	// Cap each read at ~100ms of budget so pacing is smooth.
+	chunk := t.bps / 10
+	if chunk < 1 {
+		chunk = 1
+	}
+	if int64(len(p)) > chunk {
+		p = p[:chunk]
+	}
+	n, err := t.rc.Read(p)
+	if n > 0 {
+		t.sleep(time.Duration(int64(n) * int64(time.Second) / t.bps))
+	}
+	return n, err
+}
+
+func (t *throttledBody) Close() error { return t.rc.Close() }
+
+// Listener wraps ln so inbound connections on node can be stalled
+// (slowloris). A nil mesh returns ln unchanged.
+func (m *Mesh) Listener(node string, ln net.Listener) net.Listener {
+	if m == nil {
+		return ln
+	}
+	return &listener{mesh: m, node: node, Listener: ln}
+}
+
+type listener struct {
+	net.Listener
+	mesh *Mesh
+	node string
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return c, err
+	}
+	if l.mesh.drawStall(l.node) {
+		return &stallConn{Conn: c}, nil
+	}
+	return c, nil
+}
+
+// stallConn reads normally (the server sees the request) but discards
+// every write: the client never receives a byte of the response and
+// must save itself with a response-header timeout.
+type stallConn struct {
+	net.Conn
+}
+
+func (c *stallConn) Write(p []byte) (int, error) { return len(p), nil }
+
+// String renders the plan in the canonical spec grammar (re-parseable).
+func (m *Mesh) String() string {
+	if m == nil {
+		return "none"
+	}
+	return m.plan.String()
+}
+
+// String renders the plan as a spec Parse accepts.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	var parts []string
+	parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	if p.Drop > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%g", p.Drop))
+	}
+	if p.Delay > 0 || p.DelayJitter > 0 {
+		d := fmt.Sprintf("delay=%s", p.Delay)
+		if p.DelayJitter > 0 {
+			d += "±" + p.DelayJitter.String()
+		}
+		parts = append(parts, d)
+	}
+	if p.SlowBodyBps > 0 {
+		parts = append(parts, fmt.Sprintf("slowbody=%dbps", p.SlowBodyBps*8))
+	}
+	if p.Stall > 0 {
+		parts = append(parts, fmt.Sprintf("stall=%g", p.Stall))
+	}
+	for _, pt := range p.Partitions {
+		at := pt.At.String()
+		if pt.For > 0 {
+			at += "+" + pt.For.String()
+		}
+		parts = append(parts, fmt.Sprintf("partition@%s:%s|%s",
+			at, strings.Join(pt.A, ","), strings.Join(pt.B, ",")))
+	}
+	return strings.Join(parts, ";")
+}

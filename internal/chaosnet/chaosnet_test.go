@@ -1,0 +1,317 @@
+package chaosnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseGrammar(t *testing.T) {
+	p, err := Parse("partition@2s:nodeA|nodeB;delay=200ms±100ms;drop=0.05;slowbody=1kbps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 1 || p.Drop != 0.05 || p.Delay != 200*time.Millisecond || p.DelayJitter != 100*time.Millisecond {
+		t.Errorf("parsed %+v", p)
+	}
+	if p.SlowBodyBps != 125 { // 1kbps = 1000 bits/s = 125 B/s
+		t.Errorf("SlowBodyBps = %d, want 125", p.SlowBodyBps)
+	}
+	if len(p.Partitions) != 1 || p.Partitions[0].At != 2*time.Second || p.Partitions[0].For != 0 {
+		t.Errorf("partitions = %+v", p.Partitions)
+	}
+	if !reflect.DeepEqual(p.Partitions[0].A, []string{"nodeA"}) || !reflect.DeepEqual(p.Partitions[0].B, []string{"nodeB"}) {
+		t.Errorf("groups = %+v", p.Partitions[0])
+	}
+
+	p, err = Parse("seed=42;partition@1s+500ms:a,b|c;stall=0.5;delay=10ms+-5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || p.Stall != 0.5 || p.DelayJitter != 5*time.Millisecond {
+		t.Errorf("parsed %+v", p)
+	}
+	if p.Partitions[0].For != 500*time.Millisecond || len(p.Partitions[0].A) != 2 {
+		t.Errorf("partition = %+v", p.Partitions[0])
+	}
+
+	for _, bad := range []string{
+		"nonsense", "drop=2", "drop=x", "stall=-1", "delay=abc", "delay=-5s",
+		"slowbody=5", "slowbody=0bps", "partition@2s", "partition@x:a|b",
+		"partition@2s:a", "partition@2s:|b", "partition@2s:a,|b", "seed=x",
+		"unknown=1", "partition@2s+:a|b",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// TestParseEmptyIsNil: the `-chaos ""` contract — no plan, no mesh, and
+// the wrappers return their argument pointer-identical, so the peer hot
+// path is provably untouched.
+func TestParseEmptyIsNil(t *testing.T) {
+	p, err := Parse("   ")
+	if err != nil || p != nil {
+		t.Fatalf("Parse(blank) = %v, %v; want nil, nil", p, err)
+	}
+	m := New(nil)
+	if m != nil {
+		t.Fatal("New(nil) built a mesh")
+	}
+	base := &http.Transport{}
+	if got := m.Transport("n1", base); got != http.RoundTripper(base) {
+		t.Error("nil mesh Transport is not the identity")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if got := m.Listener("n1", ln); got != net.Listener(ln) {
+		t.Error("nil mesh Listener is not the identity")
+	}
+	// Nil-safe no-ops.
+	m.Bind("n1", "a:1")
+	m.Sever("a", "b")
+	m.Heal("a", "b")
+	m.StallNode("a", true)
+	m.Arm()
+	if m.Decisions() != 0 {
+		t.Error("nil mesh counted decisions")
+	}
+	if m.String() != "none" {
+		t.Errorf("nil mesh String = %q", m.String())
+	}
+}
+
+// schedule records the fault decisions a mesh makes over n synthetic
+// requests against a stub upstream.
+func schedule(t *testing.T, seed int64, n int) []string {
+	t.Helper()
+	plan := &Plan{Seed: seed, Drop: 0.3, Delay: 10 * time.Millisecond, DelayJitter: 8 * time.Millisecond}
+	m := New(plan)
+	var slept []time.Duration
+	m.SetClock(time.Now, func(d time.Duration) { slept = append(slept, d) })
+	rt := m.Transport("n1", roundTripFunc(func(*http.Request) (*http.Response, error) {
+		return &http.Response{StatusCode: 200, Body: io.NopCloser(strings.NewReader(""))}, nil
+	}))
+	var out []string
+	for i := 0; i < n; i++ {
+		slept = nil
+		req, _ := http.NewRequest("GET", "http://peer:1/x", nil)
+		_, err := rt.RoundTrip(req)
+		d := time.Duration(0)
+		if len(slept) > 0 {
+			d = slept[0]
+		}
+		if err != nil {
+			out = append(out, "drop+"+d.String())
+		} else {
+			out = append(out, "ok+"+d.String())
+		}
+	}
+	return out
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+// TestReplayDeterminism: same seed => identical injected-fault schedule;
+// a different seed diverges.
+func TestReplayDeterminism(t *testing.T) {
+	a := schedule(t, 7, 200)
+	b := schedule(t, 7, 200)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different fault schedules")
+	}
+	drops := 0
+	for _, s := range a {
+		if strings.HasPrefix(s, "drop") {
+			drops++
+		}
+	}
+	if drops < 20 || drops > 120 {
+		t.Errorf("drop=0.3 over 200 requests injected %d drops", drops)
+	}
+	if c := schedule(t, 8, 200); reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// TestPartitionWindowAndHeal drives the timed-partition logic with a
+// fake clock and the manual Sever/Heal switches.
+func TestPartitionWindowAndHeal(t *testing.T) {
+	p, err := Parse("partition@2s+3s:a|b,c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p)
+	now := time.Unix(100, 0)
+	m.SetClock(func() time.Time { return now }, func(time.Duration) {})
+	m.Arm()
+
+	at := func(off time.Duration, from, to string) bool {
+		now = time.Unix(100, 0).Add(off)
+		return m.severed(from, to)
+	}
+	if at(1*time.Second, "a", "b") {
+		t.Error("severed before the window")
+	}
+	for _, to := range []string{"b", "c"} {
+		if !at(2*time.Second, "a", to) || !at(2*time.Second, to, "a") {
+			t.Errorf("a<->%s not severed inside the window", to)
+		}
+	}
+	if at(3*time.Second, "b", "c") {
+		t.Error("same-side nodes severed")
+	}
+	if at(5100*time.Millisecond, "a", "b") {
+		t.Error("still severed after the window")
+	}
+	if at(3*time.Second, "a", "") || at(3*time.Second, "a", "d") {
+		t.Error("unknown peer severed")
+	}
+
+	// Manual sever wins regardless of windows, until healed.
+	m.Sever("x", "y")
+	if !at(0, "x", "y") || !at(0, "y", "x") {
+		t.Error("manual Sever not symmetric")
+	}
+	m.Heal("x", "y")
+	if at(0, "x", "y") {
+		t.Error("Heal did not lift the sever")
+	}
+}
+
+// TestTransportPartitionError: a severed destination fails with the
+// typed injected error before touching the wire.
+func TestTransportPartitionError(t *testing.T) {
+	m := New(&Plan{Seed: 1})
+	m.Bind("b", "peer-b:80")
+	m.Sever("a", "b")
+	calls := 0
+	rt := m.Transport("a", roundTripFunc(func(*http.Request) (*http.Response, error) {
+		calls++
+		return nil, errors.New("should not reach the wire")
+	}))
+	req, _ := http.NewRequest("GET", "http://peer-b:80/x", nil)
+	_, err := rt.RoundTrip(req)
+	var ce *Error
+	if !errors.As(err, &ce) || ce.Kind != "partition" || ce.From != "a" || ce.To != "b" {
+		t.Fatalf("err = %v, want injected partition a->b", err)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || ne.Timeout() {
+		t.Error("injected error should be a non-timeout net.Error")
+	}
+	if calls != 0 {
+		t.Error("partitioned request reached the base transport")
+	}
+	m.Heal("a", "b")
+	if _, err := rt.RoundTrip(req); err == nil || err.Error() != "should not reach the wire" {
+		t.Errorf("healed request did not pass through: %v", err)
+	}
+}
+
+// TestSlowBodyPacing: a throttled body sleeps proportionally to the
+// bytes it delivers.
+func TestSlowBodyPacing(t *testing.T) {
+	m := New(&Plan{Seed: 1, SlowBodyBps: 100}) // 100 B/s
+	var slept time.Duration
+	m.SetClock(nil, func(d time.Duration) { slept += d })
+	body := strings.Repeat("x", 250)
+	rt := m.Transport("n1", roundTripFunc(func(*http.Request) (*http.Response, error) {
+		return &http.Response{StatusCode: 200, Body: io.NopCloser(strings.NewReader(body))}, nil
+	}))
+	req, _ := http.NewRequest("GET", "http://peer:1/x", nil)
+	resp, err := rt.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	if err != nil || len(got) != 250 {
+		t.Fatalf("read %d bytes, err %v", len(got), err)
+	}
+	resp.Body.Close()
+	// 250 bytes at 100 B/s = 2.5s of injected sleep.
+	if slept < 2400*time.Millisecond || slept > 2600*time.Millisecond {
+		t.Errorf("throttle slept %s, want ~2.5s", slept)
+	}
+}
+
+// TestStalledListener: a stalled node's HTTP server processes requests
+// but the client never sees a byte — only its own timeout saves it.
+func TestStalledListener(t *testing.T) {
+	m := New(&Plan{Seed: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan struct{}, 8)
+	hs := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served <- struct{}{}
+		io.WriteString(w, "hello")
+	}))
+	hs.Listener.Close()
+	hs.Listener = m.Listener("victim", ln)
+	hs.Start()
+	defer hs.Close()
+
+	// Keep-alives off: each request must go through a fresh Accept so
+	// the stall decision applies to it.
+	client := &http.Client{Transport: &http.Transport{
+		ResponseHeaderTimeout: 300 * time.Millisecond,
+		DisableKeepAlives:     true,
+	}}
+	if resp, err := client.Get(hs.URL); err != nil {
+		t.Fatalf("unstalled request failed: %v", err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	m.StallNode("victim", true)
+	start := time.Now()
+	_, err = client.Get(hs.URL)
+	if err == nil {
+		t.Fatal("stalled peer answered")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("client hung %s despite ResponseHeaderTimeout", elapsed)
+	}
+	select {
+	case <-served:
+	case <-time.After(2 * time.Second):
+		t.Error("stalled peer never saw the request (stall must swallow responses, not requests)")
+	}
+}
+
+// TestStringRoundTrip: the canonical rendering re-parses to the same
+// plan (the fuzz target leans on this).
+func TestStringRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"seed=7;drop=0.05;delay=200ms±100ms;slowbody=1kbps;stall=0.25;partition@2s+3s:a,b|c",
+		"partition@0s:x|y",
+		"delay=1s",
+	} {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		p2, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", p.String(), err)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Errorf("round trip of %q: %+v != %+v", spec, p, p2)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package chaosnet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse builds a Plan from a -chaos flag spec: semicolon-separated
+// fields in the same grammar -faults uses. An empty spec yields a nil
+// plan (no chaos, proven zero-overhead).
+//
+//	seed=7;drop=0.05;delay=200ms±100ms;slowbody=1kbps;stall=0.5
+//	partition@2s:nodeA|nodeB;partition@10s+3s:a,b|c
+//
+// Fields:
+//
+//	seed=N                  decision-stream seed (default 1)
+//	drop=P                  request drop probability, 0..1
+//	delay=D[±J]             per-request latency, uniform jitter J
+//	                        ("+-" is accepted for "±")
+//	slowbody=R              response-body throttle in bits/s
+//	                        (bps, kbps, mbps suffixes)
+//	stall=P                 inbound slowloris probability, 0..1
+//	partition@T[+D]:A|B     sever node groups A and B (comma-separated
+//	                        names) from T after start, for D (forever
+//	                        when +D is omitted)
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	p := &Plan{Seed: 1}
+	for _, field := range strings.Split(spec, ";") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(field, "partition@"); ok {
+			pt, err := parsePartition(rest)
+			if err != nil {
+				return nil, err
+			}
+			p.Partitions = append(p.Partitions, pt)
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("chaosnet: bad field %q (want key=value or partition@...)", field)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "seed":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaosnet: bad seed %q: %v", val, err)
+			}
+			p.Seed = v
+		case "drop":
+			v, err := parseProb(val)
+			if err != nil {
+				return nil, fmt.Errorf("chaosnet: bad drop %q (want 0..1)", val)
+			}
+			p.Drop = v
+		case "stall":
+			v, err := parseProb(val)
+			if err != nil {
+				return nil, fmt.Errorf("chaosnet: bad stall %q (want 0..1)", val)
+			}
+			p.Stall = v
+		case "delay":
+			d, j, err := parseDelay(val)
+			if err != nil {
+				return nil, err
+			}
+			p.Delay, p.DelayJitter = d, j
+		case "slowbody":
+			bps, err := parseRate(val)
+			if err != nil {
+				return nil, err
+			}
+			p.SlowBodyBps = bps
+		default:
+			return nil, fmt.Errorf("chaosnet: unknown key %q", key)
+		}
+	}
+	return p, nil
+}
+
+func parseProb(val string) (float64, error) {
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil || v < 0 || v > 1 {
+		return 0, fmt.Errorf("bad probability %q", val)
+	}
+	return v, nil
+}
+
+// parseDelay splits "200ms±100ms" (or "200ms+-100ms") into base and
+// jitter durations.
+func parseDelay(val string) (d, j time.Duration, err error) {
+	base, jit := val, ""
+	for _, sep := range []string{"±", "+-"} {
+		if b, rest, ok := strings.Cut(val, sep); ok {
+			base, jit = b, rest
+			break
+		}
+	}
+	if d, err = time.ParseDuration(strings.TrimSpace(base)); err != nil || d < 0 {
+		return 0, 0, fmt.Errorf("chaosnet: bad delay %q", val)
+	}
+	if jit != "" {
+		if j, err = time.ParseDuration(strings.TrimSpace(jit)); err != nil || j < 0 {
+			return 0, 0, fmt.Errorf("chaosnet: bad delay jitter %q", val)
+		}
+	}
+	return d, j, nil
+}
+
+// parseRate turns a bits-per-second spec ("1kbps", "250bps", "2mbps")
+// into bytes per second (floor, minimum 1).
+func parseRate(val string) (int64, error) {
+	s := strings.ToLower(strings.TrimSpace(val))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "kbps"):
+		mult, s = 1_000, strings.TrimSuffix(s, "kbps")
+	case strings.HasSuffix(s, "mbps"):
+		mult, s = 1_000_000, strings.TrimSuffix(s, "mbps")
+	case strings.HasSuffix(s, "bps"):
+		s = strings.TrimSuffix(s, "bps")
+	default:
+		return 0, fmt.Errorf("chaosnet: bad rate %q (want bps/kbps/mbps)", val)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil || v <= 0 || v > 1e12 {
+		return 0, fmt.Errorf("chaosnet: bad rate %q", val)
+	}
+	bytesPerSec := int64(v*float64(mult)) / 8
+	if bytesPerSec < 1 {
+		bytesPerSec = 1
+	}
+	return bytesPerSec, nil
+}
+
+// parsePartition parses "2s:alpha|beta" or "2s+500ms:a,b|c" (the
+// "partition@" prefix is already consumed).
+func parsePartition(rest string) (Partition, error) {
+	timespec, groups, ok := strings.Cut(rest, ":")
+	if !ok {
+		return Partition{}, fmt.Errorf("chaosnet: bad partition %q (want partition@T[+D]:A|B)", rest)
+	}
+	var pt Partition
+	at, dur, hasDur := strings.Cut(timespec, "+")
+	v, err := time.ParseDuration(strings.TrimSpace(at))
+	if err != nil || v < 0 {
+		return Partition{}, fmt.Errorf("chaosnet: bad partition start %q", timespec)
+	}
+	pt.At = v
+	if hasDur {
+		v, err := time.ParseDuration(strings.TrimSpace(dur))
+		if err != nil || v <= 0 {
+			return Partition{}, fmt.Errorf("chaosnet: bad partition duration %q", timespec)
+		}
+		pt.For = v
+	}
+	a, b, ok := strings.Cut(groups, "|")
+	if !ok {
+		return Partition{}, fmt.Errorf("chaosnet: bad partition groups %q (want A|B)", groups)
+	}
+	if pt.A, err = parseGroup(a); err != nil {
+		return Partition{}, err
+	}
+	if pt.B, err = parseGroup(b); err != nil {
+		return Partition{}, err
+	}
+	return pt, nil
+}
+
+func parseGroup(g string) ([]string, error) {
+	var nodes []string
+	for _, n := range strings.Split(g, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			return nil, fmt.Errorf("chaosnet: empty node name in partition group %q", g)
+		}
+		nodes = append(nodes, n)
+	}
+	return nodes, nil
+}

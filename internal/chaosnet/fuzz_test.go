@@ -1,0 +1,49 @@
+package chaosnet
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzChaosPlan hammers the -chaos spec parser with hostile input: it
+// must reject garbage with typed errors (never panic), and every spec
+// it accepts must render back (String) into a spec that re-parses to
+// the identical plan — the canonical-form round trip replay relies on.
+func FuzzChaosPlan(f *testing.F) {
+	f.Add("")
+	f.Add("seed=7;drop=0.05")
+	f.Add("partition@2s:nodeA|nodeB;delay=200ms±100ms;drop=0.05;slowbody=1kbps")
+	f.Add("seed=42;partition@1s+500ms:a,b|c;stall=0.5;delay=10ms+-5ms")
+	f.Add("slowbody=2mbps;delay=1h")
+	f.Add("partition@0s:x|y;partition@1ms+1ms:x|z")
+	f.Add("drop=1;stall=1")
+	f.Add("partition@2s:a|b;;;seed=-1")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil {
+			if p != nil {
+				t.Fatalf("Parse(%q) returned both a plan and an error", spec)
+			}
+			return
+		}
+		if p == nil {
+			return // blank spec: no chaos
+		}
+		rendered := p.String()
+		p2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("String() of accepted spec %q does not re-parse: %q: %v", spec, rendered, err)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("round trip drifted: %q -> %+v -> %q -> %+v", spec, p, rendered, p2)
+		}
+		// An accepted plan must always build a usable mesh.
+		m := New(p)
+		if m == nil {
+			t.Fatal("New on accepted plan returned nil")
+		}
+		m.Bind("a", "a:1")
+		_ = m.severed("a", "b")
+		_, _ = m.decide()
+	})
+}

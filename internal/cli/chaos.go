@@ -1,0 +1,36 @@
+package cli
+
+import (
+	"flag"
+	"time"
+
+	"eruca/internal/chaosnet"
+)
+
+// Chaos is the service-tier fault-injection flag cluster (erucad): the
+// infrastructure twin of Robust's -faults. -chaos drives the network
+// mesh (partitions, drops, delays, slowloris peers); -scrub sets the
+// checkpoint-blob integrity sweep cadence.
+type Chaos struct {
+	Spec       string
+	ScrubEvery time.Duration
+}
+
+// Register installs the flags on the default flag set.
+func (c *Chaos) Register() {
+	flag.StringVar(&c.Spec, "chaos", "",
+		"service-tier fault-injection plan, e.g. seed=7;partition@2s+3s:n2|n1,c;delay=20ms±10ms;drop=0.05;slowbody=1kbps;stall=0.1 (empty = off, zero overhead)")
+	flag.DurationVar(&c.ScrubEvery, "scrub", 0,
+		"checkpoint-blob scrub cadence: verify every blob's sha256 and repair corrupt ones from the cluster replica (0 = scrub only on boot-time load)")
+}
+
+// Build parses -chaos into a mesh. An empty spec yields a nil mesh,
+// which is zero-overhead by construction (wrappers return their
+// arguments unchanged).
+func (c *Chaos) Build() (*chaosnet.Mesh, error) {
+	plan, err := chaosnet.Parse(c.Spec)
+	if err != nil {
+		return nil, err
+	}
+	return chaosnet.New(plan), nil
+}

@@ -24,11 +24,14 @@ type testNode struct {
 	peerBase string // peer protocol base URL
 }
 
+// nodeMod adjusts the cluster and/or server config of a test member
+// before boot (tracer, SSE cadence, chaos mesh, ...).
+type nodeMod func(id string, cc *Config, sc *server.Config)
+
 // startNode boots a full member: server + public and peer listeners +
 // cluster loops. started=false skips the loops (the member exists but
 // never joins or heartbeats — the raw material for eviction tests).
-// mods adjust the server config before boot (tracer, SSE cadence, ...).
-func startNode(t *testing.T, id, joinURL string, ttl time.Duration, started bool, mods ...func(id string, sc *server.Config)) *testNode {
+func startNode(t *testing.T, id, joinURL string, ttl time.Duration, started bool, mods ...nodeMod) *testNode {
 	t.Helper()
 	pubLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -42,22 +45,25 @@ func startNode(t *testing.T, id, joinURL string, ttl time.Duration, started bool
 		Workers: 2, QueueMax: 16,
 		WALDir: filepath.Join(t.TempDir(), id),
 	}
-	for _, mod := range mods {
-		mod(id, &scfg)
-	}
-	n, err := New(Config{
+	ccfg := Config{
 		NodeID:     id,
 		PublicAddr: pubLn.Addr().String(),
 		PeerAddr:   peerLn.Addr().String(),
 		JoinURL:    joinURL,
 		LeaseTTL:   ttl,
-	}, scfg)
+	}
+	for _, mod := range mods {
+		mod(id, &ccfg, &scfg)
+	}
+	n, err := New(ccfg, scfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	n.Server().Start()
-	go http.Serve(pubLn, n.Handler())
-	go http.Serve(peerLn, n.PeerHandler())
+	// Inbound listeners go through the chaos mesh too, so stalled
+	// (slowloris) members are expressible in-process.
+	go http.Serve(ccfg.Chaos.Listener(id, pubLn), n.Handler())
+	go http.Serve(ccfg.Chaos.Listener(id, peerLn), n.PeerHandler())
 	if started {
 		n.Start()
 	}
@@ -74,7 +80,7 @@ func startNode(t *testing.T, id, joinURL string, ttl time.Duration, started bool
 
 // startCluster boots a coordinator plus workers-1 worker members and
 // waits until every member sees the full ring.
-func startCluster(t *testing.T, members int, ttl time.Duration, mods ...func(id string, sc *server.Config)) []*testNode {
+func startCluster(t *testing.T, members int, ttl time.Duration, mods ...nodeMod) []*testNode {
 	t.Helper()
 	nodes := []*testNode{startNode(t, "c", "", ttl, true, mods...)}
 	for i := 1; i < members; i++ {

@@ -133,6 +133,10 @@ func (c *coordinator) join(req joinRequest) joinResponse {
 // against the placement table.
 func (c *coordinator) heartbeat(req heartbeatRequest) (heartbeatResponse, error) {
 	if err := c.leases.Renew(req.Node, req.Epoch); err != nil {
+		// Zombie incarnation: the member was evicted (or is renewing
+		// with a stale epoch after a partition healed). Fence it off —
+		// the handler turns this into a 410 so it rejoins fresh.
+		c.node.metrics.fenced.Add(1)
 		return heartbeatResponse{}, err
 	}
 	c.node.metrics.heartbeats.Add(1)

@@ -2,7 +2,6 @@ package cluster
 
 import (
 	"net/http"
-	"sync"
 
 	"eruca/internal/server"
 )
@@ -26,19 +25,15 @@ func (n *Node) collectMetrics(buf *server.MetricsBuf) {
 	buf.Counter("eruca_cluster_search_evals_forwarded_total", "Search design-point evals routed to their ring owner.", n.metrics.evalsForwarded.Load())
 	buf.Counter("eruca_cluster_requests_proxied_total", "By-ID requests proxied to the job's owner.", n.metrics.proxied.Load())
 	buf.Counter("eruca_cluster_submits_shed_local_total", "Submissions accepted locally because no peer was reachable.", n.metrics.shedLocal.Load())
+	buf.Counter("eruca_cluster_fenced_requests_total", "Stale-epoch requests fenced off with 410 by the coordinator (split-brain writes rejected).", n.metrics.fenced.Load())
 	buf.Gauge("eruca_cluster_breakers_open", "Peer circuit breakers currently open.", int64(n.breakers.OpenCount()))
 	n.metrics.collectHops(buf)
 }
 
-var (
-	proxyOnce   sync.Once
-	proxyShared *http.Client
-)
-
-// proxyClient is the streaming HTTP client for by-ID proxying: unlike
-// n.client it has no overall timeout, because a proxied SSE stream
-// lives as long as the downstream client keeps the connection open.
-func (n *Node) proxyClient() *http.Client {
-	proxyOnce.Do(func() { proxyShared = &http.Client{} })
-	return proxyShared
-}
+// proxyClient is the streaming HTTP client for by-ID proxying: built
+// per node (see peerClient) with dial/TLS/response-header deadlines but
+// no overall timeout — a proxied SSE stream lives as long as the
+// downstream client keeps the connection open, while a peer that
+// accepts the connection and then never answers (slowloris) is cut off
+// at the response-header deadline.
+func (n *Node) proxyClient() *http.Client { return n.proxy }

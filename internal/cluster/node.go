@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/url"
 	"sort"
@@ -37,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"eruca/internal/chaosnet"
 	"eruca/internal/obs"
 	"eruca/internal/retry"
 	"eruca/internal/server"
@@ -63,6 +65,11 @@ type Config struct {
 	// Log receives structured cluster lifecycle records (default:
 	// discard). Every record carries node=<NodeID>.
 	Log *slog.Logger
+	// Chaos, when non-nil, injects deterministic network faults into
+	// every outbound peer call (and, via Mesh.Listener at the serving
+	// side, inbound connections). Nil leaves the peer hot path
+	// untouched — the wrappers are pointer-identity no-ops.
+	Chaos *chaosnet.Mesh
 }
 
 // Node is one cluster member wrapping a server.Server.
@@ -74,7 +81,8 @@ type Node struct {
 
 	coord *coordinator // non-nil on the coordinator
 
-	client   *http.Client
+	client   *http.Client // peer calls; deadlines come per-request from the lease TTL
+	proxy    *http.Client // by-ID proxying; no overall deadline (streaming bodies)
 	breakers retry.Breakers
 	metrics  clusterMetrics
 
@@ -99,6 +107,7 @@ type clusterMetrics struct {
 	rejoins        atomic.Int64
 	jobsMigrated   atomic.Int64
 	nodesEvicted   atomic.Int64
+	fenced         atomic.Int64
 
 	// hops holds one histogram per inter-node span kind, all exposed
 	// under the single family eruca_cluster_hop_seconds{kind=...}. Fed
@@ -164,9 +173,11 @@ func New(cfg Config, scfg server.Config) (*Node, error) {
 		tracer:  scfg.Tracer,
 		members: make(map[string]Member),
 		ring:    newRing(),
-		client:  &http.Client{Timeout: 15 * time.Second},
+		client:  peerClient(cfg, false),
+		proxy:   peerClient(cfg, true),
 		stop:    make(chan struct{}),
 	}
+	cfg.Chaos.Bind(cfg.NodeID, cfg.PublicAddr, cfg.PeerAddr)
 	n.breakers.Threshold = 3
 	n.breakers.Cooldown = cfg.LeaseTTL
 	n.metrics.initHops()
@@ -196,6 +207,83 @@ func New(cfg Config, scfg server.Config) (*Node, error) {
 		n.coord.restore(srv.ClusterReplay())
 	}
 	return n, nil
+}
+
+// peerClient builds one of the node's two HTTP clients. Transport-level
+// guards (dial, TLS-handshake, and response-header deadlines derived
+// from the lease TTL) replace the old flat 15s client timeout; neither
+// client carries an overall timeout — control/data calls get theirs
+// per-request from ctlCtx/callCtx/blobCtx, and the streaming proxy's
+// response bodies are deliberately exempt (a proxied SSE stream lives
+// as long as the downstream client holds the connection). The two
+// clients exist so they pool connections separately: a peer stalling
+// long-lived streams cannot starve the control plane's sockets. Chaos,
+// when configured, wraps the transport; nil chaos returns the base
+// transport pointer-identical, keeping the hot path untouched.
+func peerClient(cfg Config, streaming bool) *http.Client {
+	dial := clampDur(cfg.LeaseTTL, 500*time.Millisecond, 5*time.Second)
+	headers := clampDur(2*cfg.LeaseTTL, time.Second, 15*time.Second)
+	if streaming {
+		// A proxied request's first byte may wait on queue pressure at
+		// the owner; give headers a little more room than peer calls.
+		headers = clampDur(4*cfg.LeaseTTL, 2*time.Second, 30*time.Second)
+	}
+	base := &http.Transport{
+		DialContext:           (&net.Dialer{Timeout: dial}).DialContext,
+		TLSHandshakeTimeout:   dial,
+		ResponseHeaderTimeout: headers,
+		MaxIdleConnsPerHost:   4,
+	}
+	return &http.Client{Transport: cfg.Chaos.Transport(cfg.NodeID, base)}
+}
+
+// clampDur clamps d into [lo, hi].
+func clampDur(d, lo, hi time.Duration) time.Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}
+
+// ctlCtx bounds one control-plane call (join, heartbeat, leave, place):
+// half a lease TTL — a heartbeat that cannot complete inside its own
+// renewal interval is better failed fast and retried than left hanging
+// past the lease it was supposed to renew.
+func (n *Node) ctlCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(),
+		clampDur(n.cfg.LeaseTTL/2, 250*time.Millisecond, 5*time.Second))
+}
+
+// callCtx bounds one data-plane call (migrate, resolve, cache fetch),
+// layered over the caller's context when there is one.
+func (n *Node) callCtx(parent context.Context) (context.Context, context.CancelFunc) {
+	if parent == nil {
+		parent = context.Background()
+	}
+	return context.WithTimeout(parent,
+		clampDur(n.cfg.LeaseTTL, 500*time.Millisecond, 10*time.Second))
+}
+
+// blobCtx bounds one checkpoint-blob transfer: proportionally larger
+// than control calls — blobs are orders of magnitude bigger than a
+// heartbeat body.
+func (n *Node) blobCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(),
+		clampDur(4*n.cfg.LeaseTTL, 2*time.Second, 60*time.Second))
+}
+
+// postJSON issues a ctx-bounded JSON POST through the peer client.
+func (n *Node) postJSON(ctx context.Context, url string, v any) (*http.Response, error) {
+	body, _ := json.Marshal(v)
+	req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return n.client.Do(req)
 }
 
 // Server exposes the wrapped single-node server (for Start/Drain).
@@ -234,13 +322,12 @@ func (n *Node) Stop() {
 	}
 	n.wg.Wait()
 	if n.coord == nil && n.joined.Load() {
-		body, _ := json.Marshal(leaveRequest{Node: n.cfg.NodeID, Epoch: n.epoch.Load()})
-		req, err := http.NewRequest("POST", n.cfg.JoinURL+"/v1/cluster/leave", bytes.NewReader(body))
-		if err == nil {
-			if resp, err := n.client.Do(req); err == nil {
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-			}
+		ctx, cancel := n.ctlCtx()
+		defer cancel()
+		if resp, err := n.postJSON(ctx, n.cfg.JoinURL+"/v1/cluster/leave",
+			leaveRequest{Node: n.cfg.NodeID, Epoch: n.epoch.Load()}); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
 		}
 	}
 }
@@ -315,8 +402,10 @@ var errEvicted = fmt.Errorf("cluster: evicted (stale epoch)")
 
 // join registers with the coordinator.
 func (n *Node) join() error {
-	body, _ := json.Marshal(joinRequest{Node: n.cfg.NodeID, Addr: n.cfg.PublicAddr, Peer: n.cfg.PeerAddr})
-	resp, err := n.client.Post(n.cfg.JoinURL+"/v1/cluster/join", "application/json", bytes.NewReader(body))
+	ctx, cancel := n.ctlCtx()
+	defer cancel()
+	resp, err := n.postJSON(ctx, n.cfg.JoinURL+"/v1/cluster/join",
+		joinRequest{Node: n.cfg.NodeID, Addr: n.cfg.PublicAddr, Peer: n.cfg.PeerAddr})
 	if err != nil {
 		return err
 	}
@@ -338,8 +427,13 @@ func (n *Node) join() error {
 
 // sendHeartbeat renews the worker's lease, reporting non-terminal jobs.
 func (n *Node) sendHeartbeat() error {
-	body, _ := json.Marshal(heartbeatRequest{Node: n.cfg.NodeID, Epoch: n.epoch.Load(), Jobs: n.jobReports()})
-	resp, err := n.client.Post(n.cfg.JoinURL+"/v1/cluster/heartbeat", "application/json", bytes.NewReader(body))
+	// ctlCtx keeps the deadline well inside the lease: a heartbeat stuck
+	// on a dead TCP peer must fail (and be retried by the loop) before
+	// the lease it renews can expire under it.
+	ctx, cancel := n.ctlCtx()
+	defer cancel()
+	resp, err := n.postJSON(ctx, n.cfg.JoinURL+"/v1/cluster/heartbeat",
+		heartbeatRequest{Node: n.cfg.NodeID, Epoch: n.epoch.Load(), Jobs: n.jobReports()})
 	if err != nil {
 		return err
 	}
@@ -381,6 +475,9 @@ func (n *Node) adoptMembers(ms []Member) {
 	for i, m := range ms {
 		ids[i] = m.ID
 		view[m.ID] = m
+		// Teach the chaos mesh which addresses belong to which node so
+		// named partitions ("partition@2s:w2|c") sever the right calls.
+		n.cfg.Chaos.Bind(m.ID, m.Addr, m.Peer)
 	}
 	n.viewMu.Lock()
 	n.members = view
@@ -419,8 +516,10 @@ func (n *Node) onAdmit(j *server.Job) {
 		return
 	}
 	go func() {
-		body, _ := json.Marshal(placeRequest{Node: n.cfg.NodeID, Jobs: report})
-		resp, err := n.client.Post(n.cfg.JoinURL+"/v1/cluster/place", "application/json", bytes.NewReader(body))
+		ctx, cancel := n.ctlCtx()
+		defer cancel()
+		resp, err := n.postJSON(ctx, n.cfg.JoinURL+"/v1/cluster/place",
+			placeRequest{Node: n.cfg.NodeID, Jobs: report})
 		if err != nil {
 			return // best-effort; the next heartbeat carries it
 		}
@@ -447,8 +546,9 @@ func (n *Node) sendMigrate(target string, req migrateRequest) (newID string, err
 	if !br.Allow() {
 		return "", fmt.Errorf("cluster: breaker open for %s", target)
 	}
-	body, _ := json.Marshal(req)
-	resp, err := n.client.Post("http://"+m.Peer+"/v1/cluster/migrate", "application/json", bytes.NewReader(body))
+	ctx, cancel := n.callCtx(nil)
+	defer cancel()
+	resp, err := n.postJSON(ctx, "http://"+m.Peer+"/v1/cluster/migrate", req)
 	if err != nil {
 		br.Failure()
 		return "", err
@@ -482,7 +582,14 @@ func (n *Node) cacheFetch(hash string) (string, bool) {
 	if !br.Allow() {
 		return "", false
 	}
-	resp, err := n.client.Get("http://" + m.Peer + "/v1/cluster/cache?hash=" + url.QueryEscape(hash))
+	ctx, cancel := n.callCtx(nil)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET",
+		"http://"+m.Peer+"/v1/cluster/cache?hash="+url.QueryEscape(hash), nil)
+	if err != nil {
+		return "", false
+	}
+	resp, err := n.client.Do(req)
 	if err != nil {
 		br.Failure()
 		return "", false
@@ -515,7 +622,10 @@ func (n *Node) ckptReplicate(key string, blob []byte, parent obs.SpanContext) {
 		sp := n.tracer.Start(parent, obs.KindCheckpointReplicate, "replicate checkpoint")
 		sp.SetAttr("key", key)
 		defer sp.End()
-		req, err := http.NewRequest("PUT", n.cfg.JoinURL+"/v1/cluster/ckpt?key="+url.QueryEscape(key), bytes.NewReader(buf))
+		ctx, cancel := n.blobCtx()
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, "PUT",
+			n.cfg.JoinURL+"/v1/cluster/ckpt?key="+url.QueryEscape(key), bytes.NewReader(buf))
 		if err != nil {
 			sp.SetError(err)
 			return
@@ -538,7 +648,14 @@ func (n *Node) ckptFetch(key string) []byte {
 	if n.coord != nil {
 		return nil // coordinator already consulted its local store
 	}
-	resp, err := n.client.Get(n.cfg.JoinURL + "/v1/cluster/ckpt?key=" + url.QueryEscape(key))
+	ctx, cancel := n.blobCtx()
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET",
+		n.cfg.JoinURL+"/v1/cluster/ckpt?key="+url.QueryEscape(key), nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := n.client.Do(req)
 	if err != nil {
 		return nil
 	}
@@ -559,6 +676,8 @@ func (n *Node) resolveRemote(ctx context.Context, id string) (resolveResponse, e
 	if n.coord != nil {
 		return n.coord.resolve(id)
 	}
+	ctx, cancel := n.callCtx(ctx)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, "GET", n.cfg.JoinURL+"/v1/cluster/resolve?id="+url.QueryEscape(id), nil)
 	if err != nil {
 		return resolveResponse{}, err

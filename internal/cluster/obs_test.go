@@ -16,7 +16,7 @@ import (
 )
 
 // traced is the startNode mod that turns request tracing on.
-func traced(id string, sc *server.Config) { sc.Tracer = obs.NewTracer(id, 4096) }
+func traced(id string, _ *Config, sc *server.Config) { sc.Tracer = obs.NewTracer(id, 4096) }
 
 // postSpecTraced submits spec with a client traceparent, as an
 // OpenTelemetry-instrumented client would.
@@ -304,7 +304,7 @@ func TestClusterSearchTraceFanout(t *testing.T) {
 // periodic ": keepalive" comment frames, and they survive the cluster's
 // streaming proxy path.
 func TestClusterSSEKeepaliveThroughProxy(t *testing.T) {
-	fastKeepalive := func(id string, sc *server.Config) { sc.SSEKeepalive = 25 * time.Millisecond }
+	fastKeepalive := func(id string, _ *Config, sc *server.Config) { sc.SSEKeepalive = 25 * time.Millisecond }
 	nodes := startCluster(t, 2, 2*time.Second, fastKeepalive)
 
 	// A long job parked on w1: its event stream goes quiet while the

@@ -1,0 +1,280 @@
+package errfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestOSRoundTrip: the passthrough implementation behaves like the os
+// package, including the crash-safety extras (SyncDir).
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.txt")
+	if err := OS.WriteFile(path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := OS.ReadFile(path)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	f, err := OS.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(" world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := f.Stat(); err != nil || st.Size() != 11 {
+		t.Fatalf("Stat = %v, %v", st, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	next := filepath.Join(dir, "g.txt")
+	if err := OS.Rename(path, next); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := OS.ReadDir(dir)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "g.txt" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := OS.MkdirAll(filepath.Join(dir, "a/b"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Remove(next); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OS.ReadFile(next); err == nil {
+		t.Fatal("removed file still readable")
+	}
+}
+
+// TestFaultyENOSPCAfterN: fail every write once the disk "fills" — the
+// canonical ENOSPC-mid-append schedule the WAL tests use.
+func TestFaultyENOSPCAfterN(t *testing.T) {
+	dir := t.TempDir()
+	ffs := New(nil)
+	writes := 0
+	ffs.SetHook(func(op Op, path string) error {
+		if op != OpWrite {
+			return nil
+		}
+		writes++
+		if writes > 2 {
+			return syscall.ENOSPC
+		}
+		return nil
+	})
+	f, err := ffs.OpenFile(filepath.Join(dir, "wal"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write([]byte("rec\n")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, err := f.Write([]byte("rec\n")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("third write err = %v, want ENOSPC", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ffs.Count(OpWrite); got != 3 {
+		t.Errorf("Count(OpWrite) = %d, want 3", got)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "wal"))
+	if err != nil || string(b) != "rec\nrec\n" {
+		t.Fatalf("surviving bytes = %q, %v", b, err)
+	}
+}
+
+// TestFaultyFailedSync: Sync errors surface without corrupting
+// previously written data.
+func TestFaultyFailedSync(t *testing.T) {
+	dir := t.TempDir()
+	ffs := New(nil)
+	boom := errors.New("device lost")
+	ffs.SetHook(func(op Op, path string) error {
+		if op == OpSync {
+			return boom
+		}
+		return nil
+	})
+	f, err := ffs.OpenFile(filepath.Join(dir, "wal"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("rec\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("Sync err = %v, want injected", err)
+	}
+	f.Close()
+	if err := ffs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultyShortWrite: the ErrShortWrite sentinel tears the write —
+// half the bytes land, the caller sees a wrapped error.
+func TestFaultyShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	ffs := New(nil)
+	armed := true
+	ffs.SetHook(func(op Op, path string) error {
+		if armed && (op == OpWrite || op == OpWriteFile) {
+			armed = false
+			return ErrShortWrite
+		}
+		return nil
+	})
+
+	f, err := ffs.OpenFile(filepath.Join(dir, "wal"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrShortWrite) {
+		t.Fatalf("Write err = %v, want ErrShortWrite", err)
+	}
+	if n != 5 {
+		t.Errorf("torn write reported %d bytes, want 5", n)
+	}
+	f.Close()
+	b, _ := os.ReadFile(filepath.Join(dir, "wal"))
+	if string(b) != "01234" {
+		t.Errorf("on-disk tail = %q, want first half", b)
+	}
+
+	armed = true
+	err = ffs.WriteFile(filepath.Join(dir, "blob"), []byte("abcdef"), 0o644)
+	if !errors.Is(err, ErrShortWrite) {
+		t.Fatalf("WriteFile err = %v, want ErrShortWrite", err)
+	}
+	b, _ = os.ReadFile(filepath.Join(dir, "blob"))
+	if string(b) != "abc" {
+		t.Errorf("torn WriteFile left %q, want %q", b, "abc")
+	}
+}
+
+// TestFaultyBitRot: rename reports success but the destination payload
+// silently differs by one bit — only a checksum can notice.
+func TestFaultyBitRot(t *testing.T) {
+	dir := t.TempDir()
+	ffs := New(nil)
+	ffs.SetHook(func(op Op, path string) error {
+		if op == OpRename {
+			return ErrBitRot
+		}
+		return nil
+	})
+	tmp, final := filepath.Join(dir, "b.tmp"), filepath.Join(dir, "b.ckpt")
+	orig := []byte("checkpoint payload bytes")
+	if err := ffs.WriteFile(tmp, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.Rename(tmp, final); err != nil {
+		t.Fatalf("bit-rot rename must report success, got %v", err)
+	}
+	got, err := os.ReadFile(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("length changed: %d != %d", len(got), len(orig))
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("%d bytes differ after bit rot, want exactly 1", diff)
+	}
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Error("tmp file survived the rename")
+	}
+}
+
+// TestFaultyPlainErrors: non-sentinel hook errors fail the op cleanly
+// across the FS surface.
+func TestFaultyPlainErrors(t *testing.T) {
+	dir := t.TempDir()
+	ffs := New(nil)
+	boom := errors.New("io error")
+	deny := map[Op]bool{}
+	ffs.SetHook(func(op Op, path string) error {
+		if deny[op] {
+			return boom
+		}
+		return nil
+	})
+
+	path := filepath.Join(dir, "f")
+	if err := ffs.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	deny[OpReadFile] = true
+	if _, err := ffs.ReadFile(path); !errors.Is(err, boom) {
+		t.Error("ReadFile not denied")
+	}
+	deny[OpOpen] = true
+	if _, err := ffs.OpenFile(path, os.O_RDONLY, 0); !errors.Is(err, boom) {
+		t.Error("OpenFile not denied")
+	}
+	deny[OpRename] = true
+	if err := ffs.Rename(path, path+"2"); !errors.Is(err, boom) {
+		t.Error("Rename not denied")
+	}
+	deny[OpRemove] = true
+	if err := ffs.Remove(path); !errors.Is(err, boom) {
+		t.Error("Remove not denied")
+	}
+	deny[OpMkdirAll] = true
+	if err := ffs.MkdirAll(filepath.Join(dir, "sub"), 0o755); !errors.Is(err, boom) {
+		t.Error("MkdirAll not denied")
+	}
+	deny[OpReadDir] = true
+	if _, err := ffs.ReadDir(dir); !errors.Is(err, boom) {
+		t.Error("ReadDir not denied")
+	}
+	deny[OpSyncDir] = true
+	if err := ffs.SyncDir(dir); !errors.Is(err, boom) {
+		t.Error("SyncDir not denied")
+	}
+
+	// File-level read/close/truncate denial.
+	for k := range deny {
+		delete(deny, k)
+	}
+	f, err := ffs.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deny[OpRead] = true
+	if _, err := io.ReadAll(f); !errors.Is(err, boom) {
+		t.Error("Read not denied")
+	}
+	deny[OpTruncate] = true
+	if err := f.Truncate(0); !errors.Is(err, boom) {
+		t.Error("Truncate not denied")
+	}
+	deny[OpClose] = true
+	if err := f.Close(); !errors.Is(err, boom) {
+		t.Error("Close not denied")
+	}
+}

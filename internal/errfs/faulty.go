@@ -1,0 +1,224 @@
+package errfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sync"
+)
+
+// Op identifies one interceptable filesystem operation.
+type Op string
+
+const (
+	OpOpen      Op = "open"
+	OpRead      Op = "read"
+	OpWrite     Op = "write"
+	OpSync      Op = "sync"
+	OpClose     Op = "close"
+	OpTruncate  Op = "truncate"
+	OpReadFile  Op = "readfile"
+	OpWriteFile Op = "writefile"
+	OpRename    Op = "rename"
+	OpRemove    Op = "remove"
+	OpMkdirAll  Op = "mkdirall"
+	OpReadDir   Op = "readdir"
+	OpSyncDir   Op = "syncdir"
+)
+
+// Sentinels a Hook returns to request a structured fault instead of a
+// plain failure.
+var (
+	// ErrShortWrite on OpWrite/OpWriteFile makes half the data land
+	// before the operation fails — a torn write, the on-disk state a
+	// power cut mid-write leaves behind.
+	ErrShortWrite = errors.New("errfs: short write")
+	// ErrBitRot on OpRename lets the rename "succeed" and then flips
+	// one bit of the destination file — silent media corruption that a
+	// checksum, not an error code, has to catch.
+	ErrBitRot = errors.New("errfs: bit rot after rename")
+)
+
+// Hook inspects one operation before it reaches the base filesystem.
+// nil return lets it through; any other error fails the operation with
+// that error, except the sentinels above, which trigger their
+// structured fault. Hooks run with the Faulty mutex held, so they may
+// not call back into the same Faulty.
+type Hook func(op Op, path string) error
+
+// Faulty wraps a base FS (default OS) with a fault-injection hook and
+// per-op counters.
+type Faulty struct {
+	base FS
+
+	mu   sync.Mutex
+	hook Hook
+	ops  map[Op]int
+}
+
+// New builds a Faulty over base (nil = the real OS filesystem).
+func New(base FS) *Faulty {
+	if base == nil {
+		base = OS
+	}
+	return &Faulty{base: base, ops: make(map[Op]int)}
+}
+
+// SetHook installs (or, with nil, removes) the fault hook.
+func (f *Faulty) SetHook(h Hook) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hook = h
+}
+
+// Count reports how many times op has been attempted.
+func (f *Faulty) Count(op Op) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops[op]
+}
+
+// check counts the op and consults the hook.
+func (f *Faulty) check(op Op, path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops[op]++
+	if f.hook == nil {
+		return nil
+	}
+	return f.hook(op, path)
+}
+
+func (f *Faulty) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if err := f.check(OpOpen, name); err != nil {
+		return nil, err
+	}
+	file, err := f.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: file, fs: f, name: name}, nil
+}
+
+func (f *Faulty) ReadFile(name string) ([]byte, error) {
+	if err := f.check(OpReadFile, name); err != nil {
+		return nil, err
+	}
+	return f.base.ReadFile(name)
+}
+
+func (f *Faulty) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	switch err := f.check(OpWriteFile, name); {
+	case errors.Is(err, ErrShortWrite):
+		_ = f.base.WriteFile(name, data[:len(data)/2], perm)
+		return fmt.Errorf("errfs: torn write of %s: %w", name, ErrShortWrite)
+	case err != nil:
+		return err
+	}
+	return f.base.WriteFile(name, data, perm)
+}
+
+func (f *Faulty) Rename(oldpath, newpath string) error {
+	switch err := f.check(OpRename, oldpath); {
+	case errors.Is(err, ErrBitRot):
+		if rerr := f.base.Rename(oldpath, newpath); rerr != nil {
+			return rerr
+		}
+		f.rot(newpath)
+		return nil
+	case err != nil:
+		return err
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+// rot flips one bit in the middle of path — after the rename reported
+// success, like real media corruption.
+func (f *Faulty) rot(path string) {
+	b, err := f.base.ReadFile(path)
+	if err != nil || len(b) == 0 {
+		return
+	}
+	b[len(b)/2] ^= 0x01
+	_ = f.base.WriteFile(path, b, 0o644)
+}
+
+func (f *Faulty) Remove(name string) error {
+	if err := f.check(OpRemove, name); err != nil {
+		return err
+	}
+	return f.base.Remove(name)
+}
+
+func (f *Faulty) MkdirAll(path string, perm fs.FileMode) error {
+	if err := f.check(OpMkdirAll, path); err != nil {
+		return err
+	}
+	return f.base.MkdirAll(path, perm)
+}
+
+func (f *Faulty) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err := f.check(OpReadDir, name); err != nil {
+		return nil, err
+	}
+	return f.base.ReadDir(name)
+}
+
+func (f *Faulty) SyncDir(name string) error {
+	if err := f.check(OpSyncDir, name); err != nil {
+		return err
+	}
+	return f.base.SyncDir(name)
+}
+
+// faultyFile threads the hook through the open-file operations.
+type faultyFile struct {
+	f    File
+	fs   *Faulty
+	name string
+}
+
+func (ff *faultyFile) Read(p []byte) (int, error) {
+	if err := ff.fs.check(OpRead, ff.name); err != nil {
+		return 0, err
+	}
+	return ff.f.Read(p)
+}
+
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	switch err := ff.fs.check(OpWrite, ff.name); {
+	case errors.Is(err, ErrShortWrite):
+		n, _ := ff.f.Write(p[:len(p)/2])
+		return n, fmt.Errorf("errfs: torn write of %s: %w", ff.name, ErrShortWrite)
+	case err != nil:
+		return 0, err
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultyFile) Sync() error {
+	if err := ff.fs.check(OpSync, ff.name); err != nil {
+		return err
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultyFile) Close() error {
+	if err := ff.fs.check(OpClose, ff.name); err != nil {
+		return err
+	}
+	return ff.f.Close()
+}
+
+func (ff *faultyFile) Truncate(size int64) error {
+	if err := ff.fs.check(OpTruncate, ff.name); err != nil {
+		return err
+	}
+	return ff.f.Truncate(size)
+}
+
+func (ff *faultyFile) Seek(offset int64, whence int) (int64, error) {
+	return ff.f.Seek(offset, whence)
+}
+
+func (ff *faultyFile) Stat() (fs.FileInfo, error) { return ff.f.Stat() }

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTraceparentParse hunts for panics and invariant breaks in the
+// W3C traceparent parser, which chews on attacker-controlled header
+// bytes on every peer and public request. Invariants: never panic,
+// never return a half-valid context, and accept-then-render must
+// round-trip to an equal context (00-version canonicalization aside).
+func FuzzTraceparentParse(f *testing.F) {
+	f.Add("00-aaaabbbbccccddddaaaabbbbccccdddd-1234123412341234-01")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add("ff-aaaabbbbccccddddaaaabbbbccccdddd-1234123412341234-01")
+	f.Add("00-AAAABBBBCCCCDDDDAAAABBBBCCCCDDDD-1234123412341234-01")
+	f.Add("")
+	f.Add("00-short-short-01")
+	f.Add(" 00-aaaabbbbccccddddaaaabbbbccccdddd-1234123412341234-01 ")
+	f.Add("00-aaaabbbbccccddddaaaabbbbccccdddd-1234123412341234-01-extra")
+	f.Add("00\x00aaaabbbbccccddddaaaabbbbccccdddd-1234123412341234-01")
+	f.Fuzz(func(t *testing.T, s string) {
+		sc := ParseTraceparent(s)
+		if (sc == SpanContext{}) {
+			return // rejected: fine, as long as it didn't panic
+		}
+		if !sc.Valid() {
+			t.Fatalf("ParseTraceparent(%q) returned an invalid non-zero context %+v", s, sc)
+		}
+		if len(sc.Trace) != 32 || len(sc.Span) != 16 {
+			t.Fatalf("ParseTraceparent(%q) returned off-size IDs %+v", s, sc)
+		}
+		if !isHex(sc.Trace) || !isHex(sc.Span) {
+			t.Fatalf("ParseTraceparent(%q) accepted non-hex IDs %+v", s, sc)
+		}
+		// Render-and-reparse must be a fixed point: what we accepted is
+		// what we will propagate downstream.
+		rt := ParseTraceparent(sc.Traceparent())
+		if rt != sc {
+			t.Fatalf("round-trip changed the context: %+v -> %q -> %+v", sc, sc.Traceparent(), rt)
+		}
+		// The accepted IDs must come verbatim from the input (no
+		// normalization surprises a proxy could disagree about).
+		if !strings.Contains(s, sc.Trace) || !strings.Contains(s, sc.Span) {
+			t.Fatalf("ParseTraceparent(%q) fabricated IDs %+v", s, sc)
+		}
+	})
+}

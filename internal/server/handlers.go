@@ -106,6 +106,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrQueueClosed):
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterHint()))
 		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrReadOnly):
+		// Degraded read-only mode: the journal stopped taking writes, so
+		// the daemon cannot make this submission durable. Existing jobs
+		// and reads still serve; the client should retry elsewhere.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterHint()))
+		writeError(w, http.StatusServiceUnavailable, err)
 	default:
 		writeError(w, http.StatusBadRequest, err)
 	}
@@ -290,12 +296,18 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
 	state := "ok"
+	if s.Degraded() {
+		// Still 200: the daemon is alive and serving reads; "degraded"
+		// tells operators submissions are being bounced with 503.
+		state = "degraded"
+	}
 	if s.Draining() {
 		status = http.StatusServiceUnavailable
 		state = "draining"
 	}
 	writeJSON(w, status, map[string]any{
 		"status":      state,
+		"degraded":    s.Degraded(),
 		"queue_depth": s.queue.Len(),
 		"inflight":    s.metrics.inflight.Load(),
 	})
@@ -324,6 +336,9 @@ func (s *Server) CollectMetrics(buf *MetricsBuf) {
 	}
 	if s.Draining() {
 		g.draining = 1
+	}
+	if s.Degraded() {
+		g.degraded = 1
 	}
 	s.metrics.collect(buf, g)
 	// Simulator-level telemetry, aggregated across every job's set:

@@ -21,6 +21,9 @@ type metrics struct {
 	rejectedFull     atomic.Int64
 	rejectedDraining atomic.Int64
 	rejectedInvalid  atomic.Int64
+	rejectedReadOnly atomic.Int64
+	blobsCorrupt     atomic.Int64
+	blobsRepaired    atomic.Int64
 	cacheHits        atomic.Int64
 	cacheMisses      atomic.Int64
 	idemReplayed     atomic.Int64
@@ -81,6 +84,7 @@ type gauges struct {
 	inflight    int64
 	cacheSize   int
 	draining    int
+	degraded    int
 	simLaunched int64
 	simJoined   int64
 	runnerPools int
@@ -93,6 +97,9 @@ func (m *metrics) collect(buf *MetricsBuf, g gauges) {
 	buf.Counter("eruca_jobs_rejected_full_total", "Jobs rejected with 429 because the queue was full.", m.rejectedFull.Load())
 	buf.Counter("eruca_jobs_rejected_draining_total", "Jobs rejected with 503 during drain.", m.rejectedDraining.Load())
 	buf.Counter("eruca_jobs_rejected_invalid_total", "Jobs rejected with 400 at validation.", m.rejectedInvalid.Load())
+	buf.Counter("eruca_jobs_rejected_readonly_total", "Jobs rejected with 503 while the daemon is degraded read-only.", m.rejectedReadOnly.Load())
+	buf.Counter("eruca_blobs_corrupt_total", "Checkpoint blobs that failed sha256 verification on read or scrub.", m.blobsCorrupt.Load())
+	buf.Counter("eruca_blobs_repaired_total", "Corrupt checkpoint blobs re-fetched from a cluster replica by the scrubber.", m.blobsRepaired.Load())
 	buf.Counter("eruca_result_cache_hits_total", "Jobs served from the content-addressed result cache.", m.cacheHits.Load())
 	buf.Counter("eruca_result_cache_misses_total", "Jobs that had to execute.", m.cacheMisses.Load())
 	buf.Counter("eruca_jobs_idem_replayed_total", "Submissions answered with an existing job via Idempotency-Key.", m.idemReplayed.Load())
@@ -129,6 +136,7 @@ func (m *metrics) collect(buf *MetricsBuf, g gauges) {
 	buf.Gauge("eruca_runner_pools", "Distinct exp.Runner parameter groups alive.", int64(g.runnerPools))
 	buf.Gauge("eruca_search_frontier_size", "Pareto-frontier size last reported by a search job.", m.searchFrontier.Load())
 	buf.Gauge("eruca_draining", "1 while the daemon is draining.", int64(g.draining))
+	buf.Gauge("eruca_degraded", "1 once a journal write failed and the daemon went read-only.", int64(g.degraded))
 }
 
 // telemetryHelp documents the simulator-level counters on /metrics.

@@ -191,7 +191,7 @@ func (s *Server) runSearch(ctx context.Context, job *Job) (string, error) {
 					s.cfg.Log.Error("search state save failed", "job_id", job.ID, "key", key, "err", err)
 					return
 				}
-				_ = s.wal.append(walRecord{Type: "checkpoint", Job: job.ID, Key: key})
+				_ = s.journalAppend(walRecord{Type: "checkpoint", Job: job.ID, Key: key})
 				if s.cfg.CkptReplicate != nil {
 					s.cfg.CkptReplicate(key, blob, cs.Context())
 				}

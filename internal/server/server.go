@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
-	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
@@ -14,10 +13,18 @@ import (
 
 	"eruca/internal/cli"
 	"eruca/internal/clock"
+	"eruca/internal/errfs"
 	"eruca/internal/exp"
 	"eruca/internal/obs"
 	"eruca/internal/sim"
 )
+
+// ErrReadOnly is returned by submissions once the daemon has degraded
+// to read-only: a journal write failed (disk full, device error), so it
+// can no longer promise durability for new work. Existing jobs keep
+// running and reads keep serving; the HTTP layer maps this to 503 with
+// Retry-After.
+var ErrReadOnly = errors.New("server: journal write failed; daemon is read-only")
 
 // Config sizes the daemon.
 type Config struct {
@@ -68,6 +75,14 @@ type Config struct {
 	// idle SSE streams so intermediaries (and the cluster proxy path)
 	// don't drop quiet connections (default 15s).
 	SSEKeepalive time.Duration
+	// FS is the filesystem under the durability layer (default the real
+	// OS). Chaos tests swap in errfs.Faulty to inject disk failures.
+	FS errfs.FS
+	// ScrubEvery, when positive and WALDir is set, runs a background
+	// checkpoint-blob scrub at this cadence: every blob's sha256 is
+	// verified, corrupt blobs are re-fetched from the cluster replica
+	// (CkptFetch) or deleted.
+	ScrubEvery time.Duration
 
 	// NodeID, when non-empty, prefixes every job ID ("n2" makes
 	// "n2-job-000001") so a cluster peer can route any job ID back to
@@ -137,6 +152,9 @@ func (c Config) withDefaults() Config {
 	if c.Log == nil {
 		c.Log = obs.Discard()
 	}
+	if c.FS == nil {
+		c.FS = errfs.OS
+	}
 	return c
 }
 
@@ -167,6 +185,10 @@ type Server struct {
 	idem   map[string]string // Idempotency-Key -> job ID
 
 	draining atomic.Bool
+	// degraded flips (sticky) when a journal write fails: the daemon
+	// stops admitting work it cannot make durable and serves 503 on
+	// submissions until restarted on a healthy disk.
+	degraded atomic.Bool
 	wg       sync.WaitGroup
 }
 
@@ -223,18 +245,28 @@ func (s *Server) Log() *slog.Logger { return s.cfg.Log }
 // openDurability opens the journal and checkpoint store under dir and
 // replays the journal into the registry and queue.
 func (s *Server) openDurability(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.cfg.FS.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("server: wal dir: %w", err)
 	}
-	ckpts, err := newCkptStore(filepath.Join(dir, "checkpoints"))
+	ckpts, err := newCkptStore(s.cfg.FS, filepath.Join(dir, "checkpoints"))
 	if err != nil {
 		return fmt.Errorf("server: checkpoint store: %w", err)
 	}
-	w, recs, err := openWAL(filepath.Join(dir, "journal.wal"))
+	ckpts.onCorrupt = func(key string) {
+		s.metrics.blobsCorrupt.Add(1)
+		s.cfg.Log.Error("checkpoint blob corrupt", "key", key)
+	}
+	w, recs, err := openWAL(s.cfg.FS, filepath.Join(dir, "journal.wal"))
 	if err != nil {
 		return fmt.Errorf("server: wal open: %w", err)
 	}
 	s.wal, s.ckpts = w, ckpts
+	if s.cfg.ScrubEvery > 0 {
+		// Plain goroutine, deliberately NOT on s.wg: Drain waits for the
+		// workers via wg before canceling baseCtx, and a wg-joined scrub
+		// ticker would deadlock that wait.
+		go s.scrubLoop()
+	}
 	for _, rec := range recs {
 		if rec.Type == "cluster" && rec.Cluster != nil {
 			s.clusterRecs = append(s.clusterRecs, *rec.Cluster)
@@ -283,7 +315,7 @@ func (s *Server) journalFinish(j *Job) {
 	state, output, errMsg, interrupted := j.state, j.output, j.errMsg, j.interrupted
 	j.mu.Unlock()
 	if interrupted {
-		_ = s.wal.append(walRecord{Type: "interrupted", Job: j.ID, State: string(state)})
+		_ = s.journalAppend(walRecord{Type: "interrupted", Job: j.ID, State: string(state)})
 		return
 	}
 	ws := s.tracer().Start(j.trace, obs.KindWALAppend, "wal finish")
@@ -292,11 +324,64 @@ func (s *Server) journalFinish(j *Job) {
 	if state == StateDone {
 		rec.Output = output
 	}
-	if err := s.wal.append(rec); err != nil {
+	if err := s.journalAppend(rec); err != nil {
 		ws.SetError(err)
 		s.cfg.Log.Error("wal finish record failed", "job_id", j.ID, "trace_id", j.trace.Trace, "err", err)
 	}
 	ws.End()
+}
+
+// journalAppend appends one record, flipping the daemon into degraded
+// read-only mode on failure — a journal that cannot take writes cannot
+// back the durability promise a 202 makes.
+func (s *Server) journalAppend(rec walRecord) error {
+	err := s.wal.append(rec)
+	if err != nil {
+		s.degrade(err)
+	}
+	return err
+}
+
+// degrade (idempotently) flips the daemon read-only.
+func (s *Server) degrade(cause error) {
+	if s.degraded.CompareAndSwap(false, true) {
+		s.cfg.Log.Error("journal write failed; degrading to read-only", "err", cause)
+	}
+}
+
+// Degraded reports whether the daemon has gone read-only after a
+// journal write failure.
+func (s *Server) Degraded() bool { return s.degraded.Load() }
+
+// Scrub verifies every checkpoint blob's checksum once, repairing
+// corrupt blobs from the cluster replica tier (CkptFetch) when
+// possible. Safe to call any time; the scrub loop and tests share it.
+func (s *Server) Scrub() (scanned, corrupt, repaired int) {
+	if s.ckpts == nil {
+		return 0, 0, 0
+	}
+	scanned, corrupt, repaired = s.ckpts.Scrub(s.cfg.CkptFetch)
+	s.metrics.blobsRepaired.Add(int64(repaired))
+	if corrupt > 0 {
+		s.cfg.Log.Warn("blob scrub found corruption",
+			"scanned", scanned, "corrupt", corrupt, "repaired", repaired)
+	}
+	return scanned, corrupt, repaired
+}
+
+// scrubLoop runs Scrub at the configured cadence until the server
+// stops.
+func (s *Server) scrubLoop() {
+	t := time.NewTicker(s.cfg.ScrubEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			s.Scrub()
+		}
+	}
 }
 
 func plural(n int, one, many string) string {
@@ -353,6 +438,11 @@ func (s *Server) SubmitTraced(spec JobSpec, idemKey string, parent obs.SpanConte
 		admit.SetError(ErrQueueClosed)
 		return nil, false, ErrQueueClosed
 	}
+	if s.degraded.Load() {
+		s.metrics.rejectedReadOnly.Add(1)
+		admit.SetError(ErrReadOnly)
+		return nil, false, ErrReadOnly
+	}
 	if err := spec.Validate(); err != nil {
 		s.metrics.rejectedInvalid.Add(1)
 		admit.SetError(err)
@@ -372,20 +462,20 @@ func (s *Server) SubmitTraced(spec JobSpec, idemKey string, parent obs.SpanConte
 			s.idemMu.Unlock()
 		}
 	}
-	job = s.jobs.add(spec, s.baseCtx)
-	job.idemKey = idemKey
+	job = s.jobs.add(spec, s.baseCtx, idemKey, admit.Context())
 	admit.SetJob(job.ID)
-	job.trace = admit.Context()
 	if s.wal != nil {
 		job.onTerminal = s.journalFinish
 		sp := spec
 		ws := s.tracer().Start(job.trace, obs.KindWALAppend, "wal submit")
 		ws.SetJob(job.ID)
-		werr := s.wal.append(walRecord{Type: "submit", Job: job.ID, Idem: idemKey, Spec: &sp})
+		werr := s.journalAppend(walRecord{Type: "submit", Job: job.ID, Idem: idemKey, Spec: &sp})
 		ws.SetError(werr)
 		ws.End()
 		if werr != nil {
 			s.cfg.Log.Error("wal submit record failed", "job_id", job.ID, "trace_id", job.trace.Trace, "err", werr)
+			werr = fmt.Errorf("%w (cause: %v)", ErrReadOnly, werr)
+			s.metrics.rejectedReadOnly.Add(1)
 			admit.SetError(werr)
 			job.finish(StateFailed, "", werr)
 			return nil, false, werr
@@ -434,6 +524,11 @@ func (s *Server) SubmitMigrated(spec JobSpec, idemKey, from string, parent obs.S
 		admit.SetError(ErrQueueClosed)
 		return nil, false, ErrQueueClosed
 	}
+	if s.degraded.Load() {
+		s.metrics.rejectedReadOnly.Add(1)
+		admit.SetError(ErrReadOnly)
+		return nil, false, ErrReadOnly
+	}
 	if err := spec.Validate(); err != nil {
 		s.metrics.rejectedInvalid.Add(1)
 		admit.SetError(err)
@@ -453,14 +548,14 @@ func (s *Server) SubmitMigrated(spec JobSpec, idemKey, from string, parent obs.S
 			s.idemMu.Unlock()
 		}
 	}
-	job = s.jobs.add(spec, s.baseCtx)
-	job.idemKey = idemKey
+	job = s.jobs.add(spec, s.baseCtx, idemKey, admit.Context())
 	admit.SetJob(job.ID)
-	job.trace = admit.Context()
 	if s.wal != nil {
 		job.onTerminal = s.journalFinish
 		sp := spec
-		if err := s.wal.append(walRecord{Type: "submit", Job: job.ID, Idem: idemKey, Spec: &sp}); err != nil {
+		if err := s.journalAppend(walRecord{Type: "submit", Job: job.ID, Idem: idemKey, Spec: &sp}); err != nil {
+			err = fmt.Errorf("%w (cause: %v)", ErrReadOnly, err)
+			s.metrics.rejectedReadOnly.Add(1)
 			admit.SetError(err)
 			job.finish(StateFailed, "", err)
 			return nil, false, err
@@ -526,7 +621,7 @@ func (s *Server) JournalCluster(rec ClusterRecord) error {
 	if s.wal == nil {
 		return nil
 	}
-	return s.wal.append(walRecord{Type: "cluster", Cluster: &rec})
+	return s.journalAppend(walRecord{Type: "cluster", Cluster: &rec})
 }
 
 // ClusterReplay returns the cluster-state records replayed from the
@@ -595,7 +690,7 @@ func (s *Server) checkpointPolicy(job *Job, parent obs.SpanContext) *exp.Checkpo
 				s.cfg.Log.Error("checkpoint save failed", "job_id", job.ID, "trace_id", job.trace.Trace, "key", key, "err", err)
 				return
 			}
-			_ = s.wal.append(walRecord{Type: "checkpoint", Job: job.ID, Key: key, Bus: int64(cp.Bus)})
+			_ = s.journalAppend(walRecord{Type: "checkpoint", Job: job.ID, Key: key, Bus: int64(cp.Bus)})
 			if s.cfg.CkptReplicate != nil {
 				// Cluster replication: the blob also lands on the
 				// coordinator so a survivor can resume this simulation
@@ -701,7 +796,7 @@ func (s *Server) runJob(job *Job) {
 		if s.wal != nil {
 			ws := s.tracer().Start(sched.Context(), obs.KindWALAppend, "wal start")
 			ws.SetJob(job.ID)
-			_ = s.wal.append(walRecord{Type: "start", Job: job.ID})
+			_ = s.journalAppend(walRecord{Type: "start", Job: job.ID})
 			ws.End()
 		}
 		sched.End()
@@ -724,7 +819,7 @@ func (s *Server) runJob(job *Job) {
 		if s.wal != nil {
 			ws := s.tracer().Start(sched.Context(), obs.KindWALAppend, "wal start")
 			ws.SetJob(job.ID)
-			_ = s.wal.append(walRecord{Type: "start", Job: job.ID})
+			_ = s.journalAppend(walRecord{Type: "start", Job: job.ID})
 			ws.End()
 		}
 		sched.End()
@@ -842,7 +937,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		if s.cfg.ClusterSnapshot != nil {
 			crecs = s.cfg.ClusterSnapshot()
 		}
-		if err := compactWAL(path, s.Jobs(), crecs); err != nil {
+		if err := compactWAL(s.cfg.FS, path, s.Jobs(), crecs); err != nil {
 			s.cfg.Log.Error("wal compaction failed", "err", err)
 			if drainErr == nil {
 				drainErr = err

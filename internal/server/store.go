@@ -354,12 +354,17 @@ func newRegistry(prefix string) *registry {
 	return &registry{prefix: prefix, jobs: make(map[string]*Job)}
 }
 
-func (r *registry) add(spec JobSpec, base context.Context) *Job {
+func (r *registry) add(spec JobSpec, base context.Context, idemKey string, trace obs.SpanContext) *Job {
 	r.mu.Lock()
 	r.seq++
 	id := fmt.Sprintf("%sjob-%06d", r.prefix, r.seq)
 	r.mu.Unlock()
 	j := newJob(id, spec, base)
+	// Identity fields must land before publication: the moment the job
+	// is in r.jobs, concurrent readers (heartbeat job reports, proxies)
+	// read IdemKey and TraceContext lock-free.
+	j.idemKey = idemKey
+	j.trace = trace
 	r.mu.Lock()
 	r.jobs[id] = j
 	r.mu.Unlock()

@@ -11,8 +11,11 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
+
+	"eruca/internal/errfs"
 )
 
 // This file is the daemon's durability layer: an append-only write-ahead
@@ -33,6 +36,11 @@ import (
 // from there on is a torn tail from a crash mid-write, and the file is
 // truncated back to the last good record so the journal stays
 // append-clean.
+//
+// All disk access goes through an errfs.FS so chaos tests can inject the
+// failures real disks produce (ENOSPC mid-append, failed fsync, torn
+// writes, post-rename bit rot) and assert the daemon degrades to
+// read-only instead of corrupting state.
 
 // ClusterRecord is one cluster-state journal entry: the coordinator
 // journals membership changes (join/evict), job placements learned from
@@ -101,7 +109,8 @@ func (r walRecord) verify() bool {
 // on stable storage by the time the client sees 202.
 type wal struct {
 	mu   sync.Mutex
-	f    *os.File
+	fs   errfs.FS
+	f    errfs.File
 	lsn  int64
 	path string
 }
@@ -109,8 +118,11 @@ type wal struct {
 // openWAL opens (creating if needed) the journal at path, replays every
 // valid record, truncates any torn tail, and returns the journal
 // positioned for appending plus the replayed records in order.
-func openWAL(path string) (*wal, []walRecord, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+func openWAL(fsys errfs.FS, path string) (*wal, []walRecord, error) {
+	if fsys == nil {
+		fsys = errfs.OS
+	}
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -149,7 +161,7 @@ func openWAL(path string) (*wal, []walRecord, error) {
 		f.Close()
 		return nil, nil, err
 	}
-	return &wal{f: f, lsn: lsn, path: path}, recs, nil
+	return &wal{fs: fsys, f: f, lsn: lsn, path: path}, recs, nil
 }
 
 // append seals and writes one record, then syncs.
@@ -227,21 +239,77 @@ func replay(recs []walRecord) (jobs []*recoveredJob, byID map[string]*recoveredJ
 	return jobs, byID
 }
 
-// ckptStore holds the latest simulation checkpoint blob per simulation
-// key, one file per key (atomic via rename). Blobs are self-validating
-// (versioned, checksummed, configuration-matched by sim.Resume), so the
-// store needs no index of its own — which also makes it robust against
-// a journal whose tail was torn: a blob "newer" than the last journaled
-// checkpoint record is simply a better place to resume from.
-type ckptStore struct {
-	dir string
+// blobMagic heads every checkpoint-blob file. The frame embeds the
+// simulation key (file names are hashes, so without it a corrupt blob
+// could not be re-fetched from a replica) and a sha256 of the payload,
+// verified on every read — bit rot shows up as a checksum miss, never as
+// a silently wrong resume.
+const blobMagic = "ERUCABLOB1"
+
+// frameBlob wraps a checkpoint payload for storage:
+//
+//	ERUCABLOB1\n<key>\n<hex sha256(payload)>\n<payload>
+func frameBlob(key string, payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	var buf bytes.Buffer
+	buf.Grow(len(blobMagic) + len(key) + 64 + 3 + len(payload))
+	buf.WriteString(blobMagic)
+	buf.WriteByte('\n')
+	buf.WriteString(key)
+	buf.WriteByte('\n')
+	buf.WriteString(hex.EncodeToString(sum[:]))
+	buf.WriteByte('\n')
+	buf.Write(payload)
+	return buf.Bytes()
 }
 
-func newCkptStore(dir string) (*ckptStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// errBlobCorrupt reports a blob that failed framing or checksum
+// verification.
+var errBlobCorrupt = fmt.Errorf("server: checkpoint blob corrupt")
+
+// parseBlob splits a framed blob and verifies the payload checksum. The
+// key is returned even when verification fails (the header survived) so
+// the scrubber can re-fetch the blob from a replica by key.
+func parseBlob(b []byte) (key string, payload []byte, err error) {
+	rest, ok := bytes.CutPrefix(b, []byte(blobMagic+"\n"))
+	if !ok {
+		return "", nil, errBlobCorrupt
+	}
+	keyB, rest, ok := bytes.Cut(rest, []byte{'\n'})
+	if !ok {
+		return "", nil, errBlobCorrupt
+	}
+	key = string(keyB)
+	sumB, payload, ok := bytes.Cut(rest, []byte{'\n'})
+	if !ok || len(sumB) != 64 {
+		return key, nil, errBlobCorrupt
+	}
+	want := sha256.Sum256(payload)
+	if string(sumB) != hex.EncodeToString(want[:]) {
+		return key, nil, errBlobCorrupt
+	}
+	return key, payload, nil
+}
+
+// ckptStore holds the latest simulation checkpoint blob per simulation
+// key, one file per key (atomic via fsync + rename + directory fsync).
+// Every blob is framed with its key and a sha256 verified on read, so
+// corruption is detected at the store boundary; onCorrupt fires once per
+// detection for metrics/logging.
+type ckptStore struct {
+	dir       string
+	fs        errfs.FS
+	onCorrupt func(key string)
+}
+
+func newCkptStore(fsys errfs.FS, dir string) (*ckptStore, error) {
+	if fsys == nil {
+		fsys = errfs.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &ckptStore{dir: dir}, nil
+	return &ckptStore{dir: dir, fs: fsys}, nil
 }
 
 // file maps a simulation key to its blob path.
@@ -250,29 +318,62 @@ func (c *ckptStore) file(key string) string {
 	return filepath.Join(c.dir, hex.EncodeToString(sum[:12])+".ckpt")
 }
 
-// Save atomically replaces the blob for key.
+// Save atomically replaces the blob for key: frame, write to a temp
+// file, fsync the file, rename over the target, fsync the directory.
+// Only after the directory fsync is the new blob guaranteed to survive a
+// power cut.
 func (c *ckptStore) Save(key string, blob []byte) error {
 	path := c.file(key)
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+	f, err := c.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if _, err := f.Write(frameBlob(key, blob)); err != nil {
+		f.Close()
+		c.fs.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		c.fs.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		c.fs.Remove(tmp)
+		return err
+	}
+	if err := c.fs.Rename(tmp, path); err != nil {
+		c.fs.Remove(tmp)
+		return err
+	}
+	return c.fs.SyncDir(c.dir)
 }
 
-// Load returns the stored blob for key, or nil when there is none (or
-// it cannot be read — resume is an optimization, never a requirement).
+// Load returns the verified payload for key, or nil when there is none
+// (resume is an optimization, never a requirement). A blob that fails
+// verification is reported through onCorrupt and deleted, so the
+// caller's fetch-from-replica fallthrough (checkpointPolicy) becomes a
+// read-through repair.
 func (c *ckptStore) Load(key string) []byte {
-	b, err := os.ReadFile(c.file(key))
+	b, err := c.fs.ReadFile(c.file(key))
 	if err != nil {
 		return nil
 	}
-	return b
+	_, payload, err := parseBlob(b)
+	if err != nil {
+		if c.onCorrupt != nil {
+			c.onCorrupt(key)
+		}
+		c.fs.Remove(c.file(key))
+		return nil
+	}
+	return payload
 }
 
 // Len reports how many blobs the store holds (for logs and tests).
 func (c *ckptStore) Len() int {
-	ents, err := os.ReadDir(c.dir)
+	ents, err := c.fs.ReadDir(c.dir)
 	if err != nil {
 		return 0
 	}
@@ -285,12 +386,59 @@ func (c *ckptStore) Len() int {
 	return n
 }
 
+// Scrub walks every blob, verifies its checksum, and repairs corrupt
+// blobs through the repair callback (fetch-by-key from the replica tier;
+// nil or a nil return means no replica). Blobs whose key survived the
+// corruption are re-fetched and rewritten; unrecoverable blobs are
+// deleted so a later Load does not trip on them again.
+func (c *ckptStore) Scrub(repair func(key string) []byte) (scanned, corrupt, repaired int) {
+	ents, err := c.fs.ReadDir(c.dir)
+	if err != nil {
+		return 0, 0, 0
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".ckpt") {
+			continue
+		}
+		path := filepath.Join(c.dir, e.Name())
+		b, err := c.fs.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		scanned++
+		key, _, perr := parseBlob(b)
+		if perr == nil {
+			continue
+		}
+		corrupt++
+		if c.onCorrupt != nil {
+			c.onCorrupt(key)
+		}
+		if repair != nil && key != "" {
+			if blob := repair(key); blob != nil {
+				if err := c.Save(key, blob); err == nil {
+					repaired++
+					continue
+				}
+			}
+		}
+		c.fs.Remove(path)
+	}
+	return scanned, corrupt, repaired
+}
+
 // compact rewrites the journal down to the records that still matter:
 // one submit (+ finish, when terminal) per job, in the original
 // submission order, then the current cluster-state snapshot, with fresh
 // consecutive LSNs. Called on graceful drain so the journal does not
-// grow without bound across restarts.
-func compactWAL(path string, jobs []*Job, clusterRecs []ClusterRecord) error {
+// grow without bound across restarts. The tmp file is fsynced before the
+// rename and the directory after it; on any failure the original journal
+// is left untouched — a half-written compaction must never replace a
+// good journal.
+func compactWAL(fsys errfs.FS, path string, jobs []*Job, clusterRecs []ClusterRecord) error {
+	if fsys == nil {
+		fsys = errfs.OS
+	}
 	tmp := path + ".tmp"
 	var buf bytes.Buffer
 	lsn := int64(0)
@@ -332,8 +480,27 @@ func compactWAL(path string, jobs []*Job, clusterRecs []ClusterRecord) error {
 			return err
 		}
 	}
-	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
 }

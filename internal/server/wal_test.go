@@ -13,7 +13,7 @@ import (
 // a crashed daemon's journal, crafted deterministically.
 func writeJournal(t *testing.T, dir string, recs ...walRecord) {
 	t.Helper()
-	w, _, err := openWAL(filepath.Join(dir, "journal.wal"))
+	w, _, err := openWAL(nil, filepath.Join(dir, "journal.wal"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestWALAppendReplayRoundTrip(t *testing.T) {
 		walRecord{Type: "submit", Job: "job-000002", Spec: &spec},
 		walRecord{Type: "checkpoint", Job: "job-000002", Key: "ddr4|mix0|0.10", Bus: 50_000},
 	)
-	_, recs, err := openWAL(filepath.Join(dir, "journal.wal"))
+	_, recs, err := openWAL(nil, filepath.Join(dir, "journal.wal"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestWALTornTailTruncated(t *testing.T) {
 	}
 	f.Close()
 
-	w, recs, err := openWAL(path)
+	w, recs, err := openWAL(nil, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestWALTornTailTruncated(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.Close()
-	_, recs, err = openWAL(path)
+	_, recs, err = openWAL(nil, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestWALReplayStopsAtBadRecord(t *testing.T) {
 	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, recs, err := openWAL(path)
+	_, recs, err := openWAL(nil, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestWALReplayStopsAtBadRecord(t *testing.T) {
 	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, recs, err = openWAL(path)
+	_, recs, err = openWAL(nil, path)
 	if err != nil {
 		t.Fatal(err)
 	}
